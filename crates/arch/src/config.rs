@@ -1,0 +1,329 @@
+//! The Table-3 datapath search space.
+
+use crate::tech;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Sharing mode of the per-PE L1 scratchpads (Table 3 `L1_buffer_config`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BufferSharing {
+    /// Separate input/weight/output partitions per PE (Eyeriss-style).
+    Private,
+    /// One shared scratchpad per PE holding all tensor types (TPU-style).
+    Shared,
+}
+
+/// Configuration of the optional L2 level (Table 3 `L2_buffer_config`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum L2Config {
+    /// No L2 level (TPU-style two-level hierarchy).
+    Disabled,
+    /// Per-PE L2 partitions.
+    Private,
+    /// L2 shared by a PE row.
+    Shared,
+}
+
+/// Off-chip memory technology. The Table-3 space searches GDDR6 channel
+/// counts; the TPU-v3 baseline keeps its HBM2 ("Memory technologies besides
+/// GDDR6 can easily be modeled").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemoryTech {
+    /// GDDR6: 56 GB/s and a small PHY per channel.
+    Gddr6,
+    /// HBM2: 450 GB/s and a large PHY per stack.
+    Hbm2,
+}
+
+impl MemoryTech {
+    /// Bandwidth per channel/stack in GB/s.
+    #[must_use]
+    pub const fn gbps_per_channel(self) -> f64 {
+        match self {
+            MemoryTech::Gddr6 => tech::GDDR6_GBPS_PER_CHANNEL,
+            MemoryTech::Hbm2 => tech::HBM2_GBPS_PER_CHANNEL,
+        }
+    }
+}
+
+/// A point in the Table-3 accelerator datapath search space, plus fixed
+/// attributes (clock, core count, memory technology) that the paper holds
+/// constant per experiment.
+///
+/// Size fields follow Table 3's units: L1 buffers in KiB (1 KiB–1 MiB,
+/// powers of two), the Global Memory in MiB (0–256, powers of two), L2 sizes
+/// as multipliers over the corresponding L1 buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatapathConfig {
+    /// PE grid extent in x (1–256, power of two).
+    pub pes_x: u64,
+    /// PE grid extent in y (1–256, power of two).
+    pub pes_y: u64,
+    /// Systolic array rows per PE (1–256, power of two).
+    pub sa_x: u64,
+    /// Systolic array columns per PE (1–256, power of two).
+    pub sa_y: u64,
+    /// VPU width as a multiple of `sa_x` (1–16, power of two).
+    pub vector_multiplier: u64,
+    /// L1 sharing mode.
+    pub l1_config: BufferSharing,
+    /// L1 input-activation buffer per PE, KiB (1–1024, power of two).
+    pub l1_input_kib: u64,
+    /// L1 weight buffer per PE, KiB (1–1024, power of two).
+    pub l1_weight_kib: u64,
+    /// L1 output buffer per PE, KiB (1–1024, power of two).
+    pub l1_output_kib: u64,
+    /// L2 level configuration.
+    pub l2_config: L2Config,
+    /// L2 input size as a multiple of L1 input (1–128, power of two).
+    pub l2_input_mult: u64,
+    /// L2 weight size as a multiple of L1 weight (1–128, power of two).
+    pub l2_weight_mult: u64,
+    /// L2 output size as a multiple of L1 output (1–128, power of two).
+    pub l2_output_mult: u64,
+    /// Global Memory (L3) size per core, MiB (0–256, power of two).
+    pub global_memory_mib: u64,
+    /// DRAM channel count (1–8, power of two).
+    pub dram_channels: u64,
+    /// Off-chip memory technology.
+    pub memory: MemoryTech,
+    /// Native batch size the design is evaluated at (1–256, power of two).
+    pub native_batch: u64,
+    /// Core clock in GHz (fixed per experiment, not searched).
+    pub clock_ghz: f64,
+    /// Number of independent cores (TPU-v3 is dual-core; FAST designs are
+    /// single-core). Cores split DRAM bandwidth evenly and serve disjoint
+    /// batches.
+    pub cores: u64,
+}
+
+/// Validation failures for a [`DatapathConfig`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// The offending field.
+    pub field: &'static str,
+    /// Why the value is invalid.
+    pub reason: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid datapath config: {} {}", self.field, self.reason)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+fn pow2_in(field: &'static str, v: u64, lo: u64, hi: u64) -> Result<(), ConfigError> {
+    if v < lo || v > hi {
+        return Err(ConfigError { field, reason: format!("{v} outside [{lo}, {hi}]") });
+    }
+    if !v.is_power_of_two() {
+        return Err(ConfigError { field, reason: format!("{v} is not a power of two") });
+    }
+    Ok(())
+}
+
+impl DatapathConfig {
+    /// Checks every field against its Table-3 range.
+    ///
+    /// # Errors
+    /// Returns the first violated range.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        pow2_in("pes_x", self.pes_x, 1, 256)?;
+        pow2_in("pes_y", self.pes_y, 1, 256)?;
+        pow2_in("sa_x", self.sa_x, 1, 256)?;
+        pow2_in("sa_y", self.sa_y, 1, 256)?;
+        pow2_in("vector_multiplier", self.vector_multiplier, 1, 16)?;
+        pow2_in("l1_input_kib", self.l1_input_kib, 1, 1024)?;
+        pow2_in("l1_weight_kib", self.l1_weight_kib, 1, 1024)?;
+        pow2_in("l1_output_kib", self.l1_output_kib, 1, 1024)?;
+        pow2_in("l2_input_mult", self.l2_input_mult, 1, 128)?;
+        pow2_in("l2_weight_mult", self.l2_weight_mult, 1, 128)?;
+        pow2_in("l2_output_mult", self.l2_output_mult, 1, 128)?;
+        if self.global_memory_mib != 0 {
+            pow2_in("global_memory_mib", self.global_memory_mib, 1, 256)?;
+        }
+        pow2_in("dram_channels", self.dram_channels, 1, 8)?;
+        pow2_in("native_batch", self.native_batch, 1, 256)?;
+        if !(self.clock_ghz > 0.0 && self.clock_ghz < 4.0) {
+            return Err(ConfigError {
+                field: "clock_ghz",
+                reason: format!("{} outside (0, 4)", self.clock_ghz),
+            });
+        }
+        if self.cores == 0 || self.cores > 4 {
+            return Err(ConfigError {
+                field: "cores",
+                reason: format!("{} outside [1, 4]", self.cores),
+            });
+        }
+        Ok(())
+    }
+
+    // -------------------------------------------------------------------
+    // Derived quantities
+    // -------------------------------------------------------------------
+
+    /// PEs per core.
+    #[must_use]
+    pub fn pes_per_core(&self) -> u64 {
+        self.pes_x * self.pes_y
+    }
+
+    /// MAC units per PE.
+    #[must_use]
+    pub fn macs_per_pe(&self) -> u64 {
+        self.sa_x * self.sa_y
+    }
+
+    /// Total MAC units across all cores.
+    #[must_use]
+    pub fn total_macs(&self) -> u64 {
+        self.cores * self.pes_per_core() * self.macs_per_pe()
+    }
+
+    /// Peak bf16 compute in FLOPS (2 FLOPs per MAC per cycle).
+    #[must_use]
+    pub fn peak_flops(&self) -> f64 {
+        2.0 * self.total_macs() as f64 * self.clock_ghz * 1e9
+    }
+
+    /// VPU lanes per PE (`sa_x × vector_multiplier`).
+    #[must_use]
+    pub fn vpu_lanes_per_pe(&self) -> u64 {
+        self.sa_x * self.vector_multiplier
+    }
+
+    /// Total VPU lanes across all cores.
+    #[must_use]
+    pub fn total_vpu_lanes(&self) -> u64 {
+        self.cores * self.pes_per_core() * self.vpu_lanes_per_pe()
+    }
+
+    /// Aggregate DRAM bandwidth in bytes/second (whole chip).
+    #[must_use]
+    pub fn dram_bytes_per_sec(&self) -> f64 {
+        self.dram_channels as f64 * self.memory.gbps_per_channel() * 1e9
+    }
+
+    /// DRAM bandwidth available to one core, bytes/second.
+    #[must_use]
+    pub fn dram_bytes_per_sec_per_core(&self) -> f64 {
+        self.dram_bytes_per_sec() / self.cores as f64
+    }
+
+    /// Total L1 capacity per PE in bytes (all three partitions).
+    #[must_use]
+    pub fn l1_bytes_per_pe(&self) -> u64 {
+        (self.l1_input_kib + self.l1_weight_kib + self.l1_output_kib) * 1024
+    }
+
+    /// L2 capacity per PE in bytes; zero when disabled.
+    #[must_use]
+    pub fn l2_bytes_per_pe(&self) -> u64 {
+        match self.l2_config {
+            L2Config::Disabled => 0,
+            _ => {
+                (self.l1_input_kib * self.l2_input_mult
+                    + self.l1_weight_kib * self.l2_weight_mult
+                    + self.l1_output_kib * self.l2_output_mult)
+                    * 1024
+            }
+        }
+    }
+
+    /// Global Memory capacity per core in bytes.
+    #[must_use]
+    pub fn global_memory_bytes(&self) -> u64 {
+        self.global_memory_mib * 1024 * 1024
+    }
+
+    /// Total on-chip SRAM in MiB across all cores and levels.
+    #[must_use]
+    pub fn total_sram_mib(&self) -> f64 {
+        let per_core = self.pes_per_core() * (self.l1_bytes_per_pe() + self.l2_bytes_per_pe())
+            + self.global_memory_bytes();
+        (self.cores * per_core) as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Operational-intensity ridgepoint in FLOPs/byte: models below this are
+    /// memory-bandwidth-bound (§4.1 — 137 for TPU-v3, 292 for FAST-Large).
+    #[must_use]
+    pub fn ridgepoint(&self) -> f64 {
+        self.peak_flops() / self.dram_bytes_per_sec()
+    }
+
+    /// Size of the datapath search space of Table 3 in log10 (≈ 13).
+    #[must_use]
+    pub fn search_space_log10() -> f64 {
+        // 9 pow-2 ranges of 9 choices, vector_multiplier 5, l1 cfg 2, l2 cfg 3,
+        // three l2 mults of 8, GM 10, channels 4, batch 9.
+        let combos = 9f64.powi(4) * 5.0 * 2.0 * 9f64.powi(3) * 3.0 * 8f64.powi(3) * 10.0 * 4.0 * 9.0;
+        combos.log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn presets_validate() {
+        presets::tpu_v3().validate().unwrap();
+        presets::fast_large().validate().unwrap();
+        presets::fast_small().validate().unwrap();
+    }
+
+    #[test]
+    fn tpu_v3_peak_numbers() {
+        let c = presets::tpu_v3();
+        // 123 TFLOPS bf16 and 900 GB/s (§4.1).
+        assert!((c.peak_flops() / 1e12 - 123.0).abs() < 1.0, "{}", c.peak_flops() / 1e12);
+        assert!((c.dram_bytes_per_sec() / 1e9 - 900.0).abs() < 1.0);
+        // Ridgepoint ≈ 137 FLOPS/B.
+        assert!((c.ridgepoint() - 137.0).abs() < 2.0, "{}", c.ridgepoint());
+    }
+
+    #[test]
+    fn fast_large_peak_numbers() {
+        let c = presets::fast_large();
+        // Table 5: 131 TFLOPS, 448 GB/s, ridgepoint 292.
+        assert!((c.peak_flops() / 1e12 - 131.0).abs() < 1.0, "{}", c.peak_flops() / 1e12);
+        assert!((c.dram_bytes_per_sec() / 1e9 - 448.0).abs() < 1.0);
+        assert!((c.ridgepoint() - 292.0).abs() < 3.0, "{}", c.ridgepoint());
+    }
+
+    #[test]
+    fn fast_small_peak_numbers() {
+        let c = presets::fast_small();
+        // Table 5: 32 TFLOPS, 448 GB/s, ridgepoint 73.
+        assert!((c.peak_flops() / 1e12 - 32.0).abs() < 1.0);
+        assert!((c.ridgepoint() - 73.0).abs() < 2.0, "{}", c.ridgepoint());
+    }
+
+    #[test]
+    fn validation_rejects_non_pow2() {
+        let mut c = presets::fast_large();
+        c.pes_x = 3;
+        assert!(c.validate().is_err());
+        let mut c = presets::fast_large();
+        c.l1_input_kib = 2048;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn gm_zero_allowed() {
+        let mut c = presets::fast_large();
+        c.global_memory_mib = 0;
+        c.validate().unwrap();
+        assert_eq!(c.global_memory_bytes(), 0);
+    }
+
+    #[test]
+    fn search_space_is_about_1e13() {
+        let log = DatapathConfig::search_space_log10();
+        assert!((12.0..14.5).contains(&log), "{log}");
+    }
+}

@@ -1,0 +1,250 @@
+//! Analytical area and TDP (power-virus) models.
+//!
+//! TDP is estimated "as power virus power, in which each component is assumed
+//! to be accessed at 100 % utilization" (§6.1): every MAC fires every cycle,
+//! every buffer port streams at full width, and DRAM runs at peak bandwidth.
+//! Average (workload) power is computed separately by `fast-sim` from actual
+//! access counts; constraints and Perf/TDP use the virus number, matching the
+//! paper.
+
+use crate::config::{DatapathConfig, L2Config, MemoryTech};
+use crate::tech;
+use serde::{Deserialize, Serialize};
+
+/// Silicon area breakdown in mm².
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AreaBreakdown {
+    /// Systolic-array MACs.
+    pub macs_mm2: f64,
+    /// VPU lanes.
+    pub vpu_mm2: f64,
+    /// L1 scratchpads.
+    pub l1_mm2: f64,
+    /// L2 scratchpads.
+    pub l2_mm2: f64,
+    /// Global Memory.
+    pub gm_mm2: f64,
+    /// DRAM PHYs and controllers.
+    pub dram_phy_mm2: f64,
+    /// Total including NoC/control overhead.
+    pub total_mm2: f64,
+}
+
+/// TDP (power-virus) breakdown in watts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TdpBreakdown {
+    /// Systolic-array MACs at 100 % utilization.
+    pub macs_w: f64,
+    /// VPU lanes at 100 % utilization.
+    pub vpu_w: f64,
+    /// L1 ports at full streaming width.
+    pub l1_w: f64,
+    /// L2 ports at full streaming width.
+    pub l2_w: f64,
+    /// Global Memory ports at full width.
+    pub gm_w: f64,
+    /// DRAM at peak bandwidth plus PHY static power.
+    pub dram_w: f64,
+    /// Leakage (logic + SRAM).
+    pub leakage_w: f64,
+    /// Total including NoC/clock overhead.
+    pub total_w: f64,
+}
+
+/// Computes the silicon area of `cfg`.
+#[must_use]
+pub fn area(cfg: &DatapathConfig) -> AreaBreakdown {
+    let macs_mm2 = cfg.total_macs() as f64 * tech::MAC_AREA_MM2;
+    let vpu_mm2 = cfg.total_vpu_lanes() as f64 * tech::VPU_LANE_AREA_MM2;
+    let pes = (cfg.cores * cfg.pes_per_core()) as f64;
+    let l1_mib = pes * cfg.l1_bytes_per_pe() as f64 / (1024.0 * 1024.0);
+    let l1_mm2 = l1_mib * tech::SRAM_AREA_MM2_PER_MIB;
+    let l2_mib = pes * cfg.l2_bytes_per_pe() as f64 / (1024.0 * 1024.0);
+    let l2_mm2 = l2_mib * tech::SRAM_AREA_MM2_PER_MIB;
+    let gm_mib = (cfg.cores * cfg.global_memory_bytes()) as f64 / (1024.0 * 1024.0);
+    let gm_mm2 = gm_mib * tech::SRAM_AREA_MM2_PER_MIB;
+    let phy = match cfg.memory {
+        MemoryTech::Gddr6 => tech::GDDR6_PHY_AREA_MM2,
+        MemoryTech::Hbm2 => tech::HBM2_PHY_AREA_MM2,
+    };
+    let dram_phy_mm2 = cfg.dram_channels as f64 * phy;
+    let total_mm2 =
+        (macs_mm2 + vpu_mm2 + l1_mm2 + l2_mm2 + gm_mm2 + dram_phy_mm2) * tech::NOC_OVERHEAD;
+    AreaBreakdown { macs_mm2, vpu_mm2, l1_mm2, l2_mm2, gm_mm2, dram_phy_mm2, total_mm2 }
+}
+
+/// Bytes per cycle streamed by one PE's L1 under the power virus: one systolic
+/// row vector in, one weight column refill, one output column out (2-byte
+/// elements).
+#[must_use]
+pub fn l1_virus_bytes_per_cycle(cfg: &DatapathConfig) -> f64 {
+    ((cfg.sa_x + 2 * cfg.sa_y) * 2) as f64
+}
+
+/// Computes the power-virus TDP of `cfg`.
+#[must_use]
+pub fn tdp(cfg: &DatapathConfig) -> TdpBreakdown {
+    let f = cfg.clock_ghz * 1e9;
+    let macs_w = cfg.total_macs() as f64 * tech::MAC_ENERGY_J * f;
+    let vpu_w = cfg.total_vpu_lanes() as f64 * tech::VPU_LANE_ENERGY_J * f;
+
+    let pes = (cfg.cores * cfg.pes_per_core()) as f64;
+    let l1_kib = cfg.l1_bytes_per_pe() as f64 / 1024.0;
+    let l1_bw = l1_virus_bytes_per_cycle(cfg);
+    let l1_w = pes * l1_bw * tech::spad_energy_j_per_byte(l1_kib) * f;
+
+    let l2_w = match cfg.l2_config {
+        L2Config::Disabled => 0.0,
+        _ => {
+            let l2_kib = cfg.l2_bytes_per_pe() as f64 / 1024.0;
+            // L2 refills L1: half the L1 streaming width.
+            pes * (l1_bw / 2.0) * tech::spad_energy_j_per_byte(l2_kib) * f
+        }
+    };
+
+    let gm_mib = cfg.global_memory_bytes() as f64 / (1024.0 * 1024.0);
+    let gm_w = if cfg.global_memory_mib == 0 {
+        0.0
+    } else {
+        let ports = cfg.pes_per_core() as f64 * tech::GM_PORT_BYTES_PER_PE;
+        cfg.cores as f64 * ports * tech::gm_energy_j_per_byte(gm_mib) * f
+    };
+
+    let (dram_e, phy_static) = match cfg.memory {
+        MemoryTech::Gddr6 => (tech::GDDR6_ENERGY_J_PER_BYTE, tech::GDDR6_PHY_STATIC_W),
+        MemoryTech::Hbm2 => (tech::HBM2_ENERGY_J_PER_BYTE, tech::HBM2_PHY_STATIC_W),
+    };
+    let dram_w =
+        cfg.dram_bytes_per_sec() * dram_e + cfg.dram_channels as f64 * phy_static;
+
+    let a = area(cfg);
+    let logic_mm2 = a.macs_mm2 + a.vpu_mm2 + a.dram_phy_mm2;
+    let sram_mib = cfg.total_sram_mib();
+    let leakage_w =
+        logic_mm2 * tech::LOGIC_LEAKAGE_W_PER_MM2 + sram_mib * tech::SRAM_LEAKAGE_W_PER_MIB;
+
+    let total_w =
+        (macs_w + vpu_w + l1_w + l2_w + gm_w + dram_w + leakage_w) * tech::NOC_OVERHEAD;
+    TdpBreakdown { macs_w, vpu_w, l1_w, l2_w, gm_w, dram_w, leakage_w, total_w }
+}
+
+/// Search budget constraints (Eq. 4): maximum area and TDP.
+///
+/// The paper gives FAST "a power and area budget similar to the
+/// current-generation TPU-v3, but on a new process technology". We define the
+/// budget so the modeled TPU-v3 die-shrink sits exactly at Table 5's
+/// normalized point: 0.5× of the TDP budget and 0.6× of the area budget.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Budget {
+    /// Maximum allowed die area (mm²).
+    pub max_area_mm2: f64,
+    /// Maximum allowed TDP (watts).
+    pub max_tdp_w: f64,
+}
+
+impl Budget {
+    /// The paper's experimental budget, anchored to the TPU-v3 shrink.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        let tpu = crate::presets::tpu_v3();
+        Budget {
+            max_area_mm2: area(&tpu).total_mm2 / 0.6,
+            max_tdp_w: tdp(&tpu).total_w / 0.5,
+        }
+    }
+
+    /// Whether `cfg` fits the budget.
+    #[must_use]
+    pub fn admits(&self, cfg: &DatapathConfig) -> bool {
+        area(cfg).total_mm2 <= self.max_area_mm2 && tdp(cfg).total_w <= self.max_tdp_w
+    }
+
+    /// Normalized area of `cfg` (1.0 = at budget).
+    #[must_use]
+    pub fn normalized_area(&self, cfg: &DatapathConfig) -> f64 {
+        area(cfg).total_mm2 / self.max_area_mm2
+    }
+
+    /// Normalized TDP of `cfg` (1.0 = at budget).
+    #[must_use]
+    pub fn normalized_tdp(&self, cfg: &DatapathConfig) -> f64 {
+        tdp(cfg).total_w / self.max_tdp_w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn tpu_sits_at_paper_operating_point() {
+        let b = Budget::paper_default();
+        let tpu = presets::tpu_v3();
+        assert!((b.normalized_area(&tpu) - 0.6).abs() < 1e-9);
+        assert!((b.normalized_tdp(&tpu) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn presets_fit_budget() {
+        let b = Budget::paper_default();
+        assert!(b.admits(&presets::tpu_v3()));
+        assert!(b.admits(&presets::fast_large()), "large: area {:.2} tdp {:.2}",
+            b.normalized_area(&presets::fast_large()),
+            b.normalized_tdp(&presets::fast_large()));
+        assert!(b.admits(&presets::fast_small()));
+    }
+
+    #[test]
+    fn fast_small_is_much_smaller() {
+        let b = Budget::paper_default();
+        let small = presets::fast_small();
+        // Table 5: FAST-Small ≈ 0.15× TDP, 0.3× area.
+        assert!(b.normalized_tdp(&small) < 0.35, "tdp {}", b.normalized_tdp(&small));
+        assert!(b.normalized_area(&small) < 0.45, "area {}", b.normalized_area(&small));
+    }
+
+    #[test]
+    fn area_components_positive() {
+        let a = area(&presets::fast_large());
+        assert!(a.macs_mm2 > 0.0 && a.vpu_mm2 > 0.0 && a.gm_mm2 > 0.0);
+        assert!(a.total_mm2 > a.macs_mm2 + a.vpu_mm2 + a.gm_mm2);
+        assert_eq!(a.l2_mm2, 0.0);
+    }
+
+    #[test]
+    fn bigger_l1_costs_more_tdp() {
+        let mut small = presets::fast_large();
+        small.l1_input_kib = 4;
+        small.l1_weight_kib = 2;
+        small.l1_output_kib = 2;
+        let mut big = small;
+        big.l1_input_kib = 16;
+        big.l1_weight_kib = 8;
+        big.l1_output_kib = 8;
+        let t_small = tdp(&small).total_w;
+        let t_big = tdp(&big).total_w;
+        assert!(t_big > t_small * 1.05, "8->32 KiB L1 should raise TDP: {t_small} vs {t_big}");
+    }
+
+    #[test]
+    fn enabling_l2_raises_tdp() {
+        let base = presets::fast_large();
+        let mut with_l2 = base;
+        with_l2.l2_config = L2Config::Shared;
+        with_l2.l2_input_mult = 8;
+        with_l2.l2_weight_mult = 8;
+        with_l2.l2_output_mult = 8;
+        assert!(tdp(&with_l2).total_w > tdp(&base).total_w);
+        assert!(area(&with_l2).total_mm2 > area(&base).total_mm2);
+    }
+
+    #[test]
+    fn tdp_scales_with_clock() {
+        let mut c = presets::fast_large();
+        let t1 = tdp(&c).total_w;
+        c.clock_ghz = 0.5;
+        let t2 = tdp(&c).total_w;
+        assert!(t2 < t1);
+    }
+}

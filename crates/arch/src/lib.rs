@@ -1,0 +1,71 @@
+//! # fast-arch — the FAST accelerator datapath template
+//!
+//! Implements §5.4 of the paper: a highly-parameterized ML accelerator
+//! template that is an *approximate superset* of popular accelerator
+//! families. A [`DatapathConfig`] describes a grid of processing elements
+//! (PEs), each containing a systolic array for MAC-heavy ops and a TPU-style
+//! vector processing unit (VPU) for everything else, fed by a configurable
+//! memory hierarchy (per-PE L1, optional L2, optional shared Global Memory,
+//! GDDR6/HBM2 DRAM).
+//!
+//! Family coverage (paper examples):
+//! * **TPU-v3**: large systolic arrays, shared L1, L2 disabled —
+//!   [`presets::tpu_v3`].
+//! * **Eyeriss-style scalar PEs**: `sa_x = sa_y = 1`, private L1s.
+//! * **Simba/EdgeTPU-style vector PEs**: `sa_x = 1`.
+//!
+//! The crate also carries the analytical area and power-virus TDP models
+//! (§6.1) used for the Perf/TDP objective and the area/TDP constraints of
+//! Eq. (4), with process constants documented in [`tech`].
+//!
+//! ```
+//! use fast_arch::{presets, cost};
+//!
+//! let tpu = presets::tpu_v3();
+//! assert!((tpu.peak_flops() / 1e12 - 123.0).abs() < 1.0);
+//! let budget = cost::Budget::paper_default();
+//! assert!(budget.admits(&tpu));
+//! ```
+
+pub mod config;
+pub mod cost;
+pub mod presets;
+pub mod tech;
+
+pub use config::{BufferSharing, ConfigError, DatapathConfig, L2Config, MemoryTech};
+pub use cost::{area, tdp, AreaBreakdown, Budget, TdpBreakdown};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reexports_work() {
+        let c = presets::fast_large();
+        let a = area(&c);
+        let t = tdp(&c);
+        assert!(a.total_mm2 > 100.0);
+        assert!(t.total_w > 50.0);
+    }
+
+    #[test]
+    fn eyeriss_style_config_is_expressible() {
+        let mut c = presets::fast_large();
+        c.sa_x = 1;
+        c.sa_y = 1;
+        c.pes_x = 16;
+        c.pes_y = 16;
+        c.l1_config = BufferSharing::Private;
+        c.validate().unwrap();
+        assert_eq!(c.macs_per_pe(), 1);
+    }
+
+    #[test]
+    fn vector_pe_config_is_expressible() {
+        let mut c = presets::fast_large();
+        c.sa_x = 1;
+        c.sa_y = 16;
+        c.validate().unwrap();
+        assert_eq!(c.macs_per_pe(), 16);
+    }
+}

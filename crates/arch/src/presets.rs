@@ -1,0 +1,117 @@
+//! Named design points from the paper (Table 5).
+
+use crate::config::{BufferSharing, DatapathConfig, L2Config, MemoryTech};
+
+/// The modeled TPU-v3 baseline, expressed in the FAST datapath template
+/// (§5.4): dual-core, two 128×128-systolic-array PEs per core, 512-wide VPU
+/// per PE, shared L1, no L2, 16 MiB Global Memory per core, two HBM2 stacks
+/// (900 GB/s aggregate), 0.94 GHz ⇒ 123 TFLOPS bf16.
+///
+/// All experiments compare against this config evaluated by the same
+/// simulator and die-shrunk to the same process constants — the paper does
+/// the same (§6.1 "we evaluated against a simulated rather than measured
+/// TPUv3 baseline").
+#[must_use]
+pub fn tpu_v3() -> DatapathConfig {
+    DatapathConfig {
+        pes_x: 2,
+        pes_y: 1,
+        sa_x: 128,
+        sa_y: 128,
+        vector_multiplier: 4, // 128 × 4 = 512-wide VPU per PE
+        l1_config: BufferSharing::Shared,
+        l1_input_kib: 64,
+        l1_weight_kib: 32,
+        l1_output_kib: 32,
+        l2_config: L2Config::Disabled,
+        l2_input_mult: 1,
+        l2_weight_mult: 1,
+        l2_output_mult: 1,
+        global_memory_mib: 16,
+        dram_channels: 2, // 2 HBM2 stacks ⇒ 900 GB/s
+        memory: MemoryTech::Hbm2,
+        native_batch: 64, // per core ("2×64" in Table 5)
+        clock_ghz: 0.94,
+        cores: 2,
+    }
+}
+
+/// FAST-Large (Table 5): the Perf/TDP-optimized EfficientNet-B7 design that
+/// still meets MLPerf latency. 64 PEs of 32×32 systolic arrays (131 TFLOPS at
+/// 1 GHz), 32-wide VPUs, 8 KiB shared L1s, no L2, 128 MiB Global Memory,
+/// 8 GDDR6 channels (448 GB/s), batch 8.
+#[must_use]
+pub fn fast_large() -> DatapathConfig {
+    DatapathConfig {
+        pes_x: 8,
+        pes_y: 8,
+        sa_x: 32,
+        sa_y: 32,
+        vector_multiplier: 1,
+        l1_config: BufferSharing::Shared,
+        l1_input_kib: 4,
+        l1_weight_kib: 2,
+        l1_output_kib: 2,
+        l2_config: L2Config::Disabled,
+        l2_input_mult: 1,
+        l2_weight_mult: 1,
+        l2_output_mult: 1,
+        global_memory_mib: 128,
+        dram_channels: 8,
+        memory: MemoryTech::Gddr6,
+        native_batch: 8,
+        clock_ghz: 1.0,
+        cores: 1,
+    }
+}
+
+/// FAST-Small (Table 5): the bandwidth-balanced design that avoids fusion.
+/// 8 PEs of 64×32 systolic arrays (32 TFLOPS), 64-wide VPUs, 8 KiB L1s,
+/// 8 MiB Global Memory, 8 GDDR6 channels, batch 64.
+#[must_use]
+pub fn fast_small() -> DatapathConfig {
+    DatapathConfig {
+        pes_x: 8,
+        pes_y: 1,
+        sa_x: 64,
+        sa_y: 32,
+        vector_multiplier: 1,
+        l1_config: BufferSharing::Shared,
+        l1_input_kib: 4,
+        l1_weight_kib: 2,
+        l1_output_kib: 2,
+        l2_config: L2Config::Disabled,
+        l2_input_mult: 1,
+        l2_weight_mult: 1,
+        l2_output_mult: 1,
+        global_memory_mib: 8,
+        dram_channels: 8,
+        memory: MemoryTech::Gddr6,
+        native_batch: 64,
+        clock_ghz: 1.0,
+        cores: 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tpu_vpu_width() {
+        assert_eq!(tpu_v3().vpu_lanes_per_pe(), 512);
+        assert_eq!(tpu_v3().total_vpu_lanes(), 2048);
+    }
+
+    #[test]
+    fn fast_large_l1_is_8kib() {
+        assert_eq!(fast_large().l1_bytes_per_pe(), 8 * 1024);
+    }
+
+    #[test]
+    fn mac_counts() {
+        assert_eq!(tpu_v3().total_macs(), 65536);
+        assert_eq!(fast_large().total_macs(), 65536);
+        assert_eq!(fast_small().total_macs(), 16384);
+    }
+}

@@ -1,0 +1,116 @@
+//! Process-technology constants for the analytical area/energy models.
+//!
+//! The paper uses "analytical power and area models correlated to production
+//! designs on an industry sub-10nm process" (§6.1) whose absolute constants
+//! are proprietary. The constants below are plausible sub-10 nm values chosen
+//! so the modeled TPU-v3 die-shrink lands at the paper's normalized operating
+//! point (Table 5: 0.5× of the TDP budget, 0.6× of the area budget, at
+//! 123 TFLOPS bf16 and 900 GB/s). Absolute mm²/W are therefore *ours*; every
+//! result in the reproduction is reported as a ratio, exactly as in the
+//! paper. See `DESIGN.md` §3(4).
+
+/// Effective silicon area of one bf16 multiply-accumulate unit, including its
+/// share of pipeline registers, accumulators and array wiring (mm²).
+pub const MAC_AREA_MM2: f64 = 0.004;
+
+/// Energy of one bf16 MAC operation (joules).
+pub const MAC_ENERGY_J: f64 = 1.2e-12;
+
+/// Area of one VPU lane (bf16 ALU with transcendental support, register file
+/// slice) in mm².
+pub const VPU_LANE_AREA_MM2: f64 = 0.015;
+
+/// Energy of one VPU lane-operation (joules). Transcendental ops issue
+/// multiple lane-operations (see `fast-sim`).
+pub const VPU_LANE_ENERGY_J: f64 = 2.5e-12;
+
+/// SRAM area per MiB (mm²), density-optimized macro including periphery.
+pub const SRAM_AREA_MM2_PER_MIB: f64 = 0.35;
+
+/// L1/L2 scratchpad access energy per byte, per KiB of buffer capacity
+/// (joules). Linear capacity scaling models the longer bitlines/wires and
+/// wider banking needed to sustain full port bandwidth on bigger buffers —
+/// this is what makes oversized L1s TDP-expensive (Table 6, last row).
+pub const SPAD_ENERGY_J_PER_BYTE_PER_KIB: f64 = 0.10e-12;
+
+/// Floor for scratchpad access energy per byte (joules).
+pub const SPAD_ENERGY_FLOOR_J_PER_BYTE: f64 = 0.2e-12;
+
+/// Global-Memory access energy per byte at 1 MiB (joules); scales with
+/// sqrt(capacity) like an H-tree-banked large SRAM.
+pub const GM_ENERGY_J_PER_BYTE_AT_1MIB: f64 = 0.5e-12;
+
+/// Bytes per cycle of Global-Memory port bandwidth provisioned per PE.
+pub const GM_PORT_BYTES_PER_PE: f64 = 16.0;
+
+/// GDDR6 channel: 32-bit @ 14 Gb/s ⇒ 56 GB/s.
+pub const GDDR6_GBPS_PER_CHANNEL: f64 = 56.0;
+
+/// HBM2 stack bandwidth (one "channel" in the config = one stack): 450 GB/s.
+/// TPU-v3 uses two stacks for its published 900 GB/s.
+pub const HBM2_GBPS_PER_CHANNEL: f64 = 450.0;
+
+/// GDDR6 access energy per byte (joules) — ~7.5 pJ/bit.
+pub const GDDR6_ENERGY_J_PER_BYTE: f64 = 60.0e-12;
+
+/// HBM2 access energy per byte (joules) — ~3.9 pJ/bit.
+pub const HBM2_ENERGY_J_PER_BYTE: f64 = 31.0e-12;
+
+/// GDDR6 PHY + controller area per channel (mm²).
+pub const GDDR6_PHY_AREA_MM2: f64 = 5.5;
+
+/// HBM2 PHY + controller area per stack (mm²).
+pub const HBM2_PHY_AREA_MM2: f64 = 22.0;
+
+/// Static PHY/controller power per GDDR6 channel (watts).
+pub const GDDR6_PHY_STATIC_W: f64 = 1.0;
+
+/// Static PHY/controller power per HBM2 stack (watts).
+pub const HBM2_PHY_STATIC_W: f64 = 3.0;
+
+/// Logic leakage per mm² (watts).
+pub const LOGIC_LEAKAGE_W_PER_MM2: f64 = 0.02;
+
+/// SRAM leakage per MiB (watts).
+pub const SRAM_LEAKAGE_W_PER_MIB: f64 = 0.05;
+
+/// Multiplicative overhead for the on-chip network, clocking and control,
+/// applied to both area and power.
+pub const NOC_OVERHEAD: f64 = 1.15;
+
+/// Scratchpad access energy per byte for a buffer of `kib` KiB capacity.
+#[must_use]
+pub fn spad_energy_j_per_byte(kib: f64) -> f64 {
+    (SPAD_ENERGY_J_PER_BYTE_PER_KIB * kib).max(SPAD_ENERGY_FLOOR_J_PER_BYTE)
+}
+
+/// Global-memory access energy per byte for a buffer of `mib` MiB capacity.
+#[must_use]
+pub fn gm_energy_j_per_byte(mib: f64) -> f64 {
+    GM_ENERGY_J_PER_BYTE_AT_1MIB * mib.max(1.0).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spad_energy_scales_linearly_with_floor() {
+        assert!(spad_energy_j_per_byte(1.0) >= SPAD_ENERGY_FLOOR_J_PER_BYTE);
+        let e8 = spad_energy_j_per_byte(8.0);
+        let e32 = spad_energy_j_per_byte(32.0);
+        assert!((e32 / e8 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gm_energy_scales_with_sqrt() {
+        let e16 = gm_energy_j_per_byte(16.0);
+        let e64 = gm_energy_j_per_byte(64.0);
+        assert!((e64 / e16 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hbm_cheaper_per_byte_than_gddr() {
+        assert!(HBM2_ENERGY_J_PER_BYTE < GDDR6_ENERGY_J_PER_BYTE);
+    }
+}

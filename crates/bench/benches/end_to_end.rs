@@ -1,0 +1,32 @@
+//! Criterion benchmark for one full FAST trial evaluation (the unit the
+//! search loop repeats thousands of times): simulate + fuse + score.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fast_arch::{presets, Budget};
+use fast_core::{Evaluator, Objective};
+use fast_models::{EfficientNet, Workload};
+use fast_sim::SimOptions;
+
+fn bench_trial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end_trial");
+    group.sample_size(20);
+    for (label, w) in [
+        ("efficientnet_b0", Workload::EfficientNet(EfficientNet::B0)),
+        ("efficientnet_b7", Workload::EfficientNet(EfficientNet::B7)),
+        ("bert_1024", Workload::Bert { seq_len: 1024 }),
+        ("resnet50", Workload::ResNet50),
+    ] {
+        let evaluator = Evaluator::new(vec![w], Objective::PerfPerTdp, Budget::paper_default());
+        // Warm the graph cache so the benchmark measures steady-state trials.
+        let _ = evaluator.evaluate(&presets::fast_large(), &SimOptions::default());
+        group.bench_with_input(BenchmarkId::from_parameter(label), &evaluator, |b, e| {
+            b.iter(|| {
+                e.evaluate(&presets::fast_large(), &SimOptions::default()).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trial);
+criterion_main!(benches);

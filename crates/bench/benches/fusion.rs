@@ -1,0 +1,39 @@
+//! Criterion benchmarks for the FAST-fusion pass (greedy and exact paths).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fast_arch::presets;
+use fast_fusion::{fuse_workload, FusionOptions};
+use fast_models::{EfficientNet, Workload};
+use fast_sim::{simulate, SimOptions};
+
+fn bench_fusion(c: &mut Criterion) {
+    let cfg = presets::fast_large();
+    let mut group = c.benchmark_group("fusion");
+    group.sample_size(20);
+    for (label, w, batch) in [
+        ("efficientnet_b0", Workload::EfficientNet(EfficientNet::B0), 8u64),
+        ("efficientnet_b7", Workload::EfficientNet(EfficientNet::B7), 8),
+        ("bert_1024", Workload::Bert { seq_len: 1024 }, 8),
+    ] {
+        let graph = w.build(batch).unwrap();
+        let perf = simulate(&graph, &cfg, &SimOptions::default()).unwrap();
+        group.bench_with_input(BenchmarkId::new("greedy", label), &perf, |b, perf| {
+            b.iter(|| fuse_workload(perf, &cfg, &FusionOptions::heuristic_only()))
+        });
+    }
+    // Exact ILP path on the small model.
+    let graph = EfficientNet::B0.build(1).unwrap();
+    let perf = simulate(&graph, &cfg, &SimOptions::default()).unwrap();
+    group.bench_function("exact_ilp/efficientnet_b0", |b| {
+        let opts = FusionOptions {
+            exact_binary_limit: 10_000,
+            max_nodes: 200,
+            ..FusionOptions::default()
+        };
+        b.iter(|| fuse_workload(&perf, &cfg, &opts))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fusion);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Criterion benchmarks for model-zoo graph construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fast_models::{EfficientNet, Workload};
+
+fn bench_graph_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_build");
+    for (label, w) in [
+        ("efficientnet_b0", Workload::EfficientNet(EfficientNet::B0)),
+        ("efficientnet_b7", Workload::EfficientNet(EfficientNet::B7)),
+        ("resnet50", Workload::ResNet50),
+        ("bert_1024", Workload::Bert { seq_len: 1024 }),
+        ("ocr_recognizer", Workload::OcrRecognizer),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &w, |b, w| {
+            b.iter(|| w.build(std::hint::black_box(8)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph_build);
+criterion_main!(benches);

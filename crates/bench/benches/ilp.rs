@@ -1,0 +1,34 @@
+//! Criterion benchmarks for the MILP solver: LP relaxation and branch &
+//! bound scaling with knapsack size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fast_ilp::{solve_lp, solve_milp, Bounds, Problem, Sense, SolveOptions};
+
+fn knapsack(n: usize) -> Problem {
+    let mut p = Problem::new(format!("ks{n}"));
+    let mut terms = Vec::new();
+    for i in 0..n {
+        let v = p.add_binary(format!("x{i}"), -(((i * 7) % 13 + 1) as f64));
+        terms.push((v, ((i * 5) % 9 + 1) as f64));
+    }
+    p.add_constraint("cap", terms, Sense::Le, (2 * n) as f64);
+    p
+}
+
+fn bench_ilp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ilp");
+    for n in [8usize, 16, 32, 64] {
+        let p = knapsack(n);
+        group.bench_with_input(BenchmarkId::new("lp_relaxation", n), &p, |b, p| {
+            b.iter(|| solve_lp(p, &Bounds::of(p)))
+        });
+        group.bench_with_input(BenchmarkId::new("branch_bound", n), &p, |b, p| {
+            let opts = SolveOptions { max_nodes: 500, ..Default::default() };
+            b.iter(|| solve_milp(p, &opts))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ilp);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Criterion microbenchmarks for the Timeloop-style mapper: per-op
+//! scheduling cost across op shapes and array sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fast_arch::presets;
+use fast_ir::LoopNest;
+use fast_sim::{map_matrix_op, mapper::DataflowSet, PaddingMode};
+
+fn conv_nest(if_: u64, of: u64, k: u64) -> LoopNest {
+    LoopNest {
+        b: 8,
+        oh: 28,
+        ow: 28,
+        if_,
+        of,
+        kh: k,
+        kw: k,
+        weight_latches: 1,
+        stationary_is_activation: false,
+        input_reuse: (k * k).max(1),
+    }
+}
+
+fn bench_mapper(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mapper");
+    for (label, nest) in [
+        ("conv1x1_256", conv_nest(256, 256, 1)),
+        ("conv3x3_512", conv_nest(512, 512, 3)),
+        ("depthwise3x3", LoopNest {
+            b: 8,
+            oh: 56,
+            ow: 56,
+            if_: 9,
+            of: 144,
+            kh: 1,
+            kw: 1,
+            weight_latches: 1,
+            stationary_is_activation: false,
+            input_reuse: 9,
+        }),
+        ("attention_einsum", LoopNest {
+            b: 1024,
+            oh: 1,
+            ow: 1,
+            if_: 64,
+            of: 1024,
+            kh: 1,
+            kw: 1,
+            weight_latches: 96,
+            stationary_is_activation: true,
+            input_reuse: 1,
+        }),
+    ] {
+        for (arch, cfg) in [("tpu", presets::tpu_v3()), ("fast_large", presets::fast_large())] {
+            group.bench_with_input(
+                BenchmarkId::new(label, arch),
+                &(nest, cfg),
+                |b, (nest, cfg)| {
+                    b.iter(|| {
+                        map_matrix_op(
+                            std::hint::black_box(nest),
+                            cfg,
+                            PaddingMode::Pad,
+                            DataflowSet::All,
+                            "bench",
+                        )
+                        .unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mapper);
+criterion_main!(benches);

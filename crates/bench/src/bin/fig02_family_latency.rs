@@ -1,0 +1,4 @@
+//! Figure 2: EfficientNet family step time vs ImageNet top-1.
+fn main() {
+    println!("{}", fast_bench::figures::fig02_family_latency());
+}

@@ -1,0 +1,4 @@
+//! Figure 3: op fusion impact on operational intensity.
+fn main() {
+    println!("{}", fast_bench::figures::fig03_op_intensity());
+}

@@ -1,0 +1,4 @@
+//! Figure 4: B7 per-block fraction of peak FLOPS on TPU-v3.
+fn main() {
+    println!("{}", fast_bench::figures::fig04_b7_block_util());
+}

@@ -1,0 +1,4 @@
+//! Figure 5: BERT per-op runtime share vs sequence length.
+fn main() {
+    println!("{}", fast_bench::figures::fig05_bert_ops());
+}

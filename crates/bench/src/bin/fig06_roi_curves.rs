@@ -1,0 +1,4 @@
+//! Figure 6: ROI vs deployment volume.
+fn main() {
+    println!("{}", fast_bench::figures::fig06_roi_curves());
+}

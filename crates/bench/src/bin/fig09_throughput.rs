@@ -1,0 +1,4 @@
+//! Figure 9: throughput relative to TPU-v3.
+fn main() {
+    println!("{}", fast_bench::headline::fig09_throughput());
+}

@@ -1,0 +1,4 @@
+//! Figure 10: Perf/TDP relative to the die-shrunk TPU-v3.
+fn main() {
+    println!("{}", fast_bench::headline::fig10_perf_tdp());
+}

@@ -1,0 +1,4 @@
+//! Figure 11: search convergence (Bayesian vs LCS vs random).
+fn main() {
+    println!("{}", fast_bench::search_figs::fig11_convergence());
+}

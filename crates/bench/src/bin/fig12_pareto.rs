@@ -1,0 +1,4 @@
+//! Figure 12: B7 step time vs TDP and area Pareto frontier.
+fn main() {
+    println!("{}", fast_bench::search_figs::fig12_pareto());
+}

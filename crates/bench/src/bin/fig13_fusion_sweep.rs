@@ -1,0 +1,4 @@
+//! Figure 13: post-fusion op intensity, Global Memory x batch.
+fn main() {
+    println!("{}", fast_bench::figures::fig13_fusion_sweep());
+}

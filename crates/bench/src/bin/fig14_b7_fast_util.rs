@@ -1,0 +1,4 @@
+//! Figure 14: B7 per-block utilization on FAST-Large.
+fn main() {
+    println!("{}", fast_bench::figures::fig14_b7_fast_util());
+}

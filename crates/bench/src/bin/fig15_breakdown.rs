@@ -1,0 +1,4 @@
+//! Figure 15: scheduling/datapath/fusion component breakdown.
+fn main() {
+    println!("{}", fast_bench::figures::fig15_breakdown());
+}

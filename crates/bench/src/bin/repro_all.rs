@@ -1,0 +1,31 @@
+//! Regenerates every table and figure of the paper in order, printing each
+//! report (the source of EXPERIMENTS.md). Search-driven figures honor the
+//! `FAST_TRIALS` environment variable.
+fn main() {
+    let sections: Vec<(&str, fn() -> String)> = vec![
+        ("tab01", fast_bench::tables::tab01_working_sets),
+        ("tab02", fast_bench::tables::tab02_b7_op_runtime),
+        ("fig02", fast_bench::figures::fig02_family_latency),
+        ("fig03", fast_bench::figures::fig03_op_intensity),
+        ("fig04", fast_bench::figures::fig04_b7_block_util),
+        ("fig05", fast_bench::figures::fig05_bert_ops),
+        ("fig06", fast_bench::figures::fig06_roi_curves),
+        ("fig09", fast_bench::headline::fig09_throughput),
+        ("fig10", fast_bench::headline::fig10_perf_tdp),
+        ("fig11", fast_bench::search_figs::fig11_convergence),
+        ("fig12", fast_bench::search_figs::fig12_pareto),
+        ("fig13", fast_bench::figures::fig13_fusion_sweep),
+        ("fig14", fast_bench::figures::fig14_b7_fast_util),
+        ("fig15", fast_bench::figures::fig15_breakdown),
+        ("tab04", fast_bench::tables::tab04_roi_volumes),
+        ("tab05", fast_bench::tables::tab05_example_designs),
+        ("tab06", fast_bench::tables::tab06_ablation),
+    ];
+    for (name, f) in sections {
+        let start = std::time::Instant::now();
+        let report = f();
+        eprintln!("[{name}: {:.1}s]", start.elapsed().as_secs_f64());
+        println!("{report}");
+        println!("{}", "=".repeat(78));
+    }
+}

@@ -1,0 +1,4 @@
+//! Table 1 of the paper: EfficientNet storage requirements.
+fn main() {
+    println!("{}", fast_bench::tables::tab01_working_sets());
+}

@@ -1,0 +1,4 @@
+//! Table 2: EfficientNet-B7 per-op FLOP% vs runtime% on TPU-v3.
+fn main() {
+    println!("{}", fast_bench::tables::tab02_b7_op_runtime());
+}

@@ -1,0 +1,4 @@
+//! Table 4: deployment volumes required per ROI target.
+fn main() {
+    println!("{}", fast_bench::tables::tab04_roi_volumes());
+}

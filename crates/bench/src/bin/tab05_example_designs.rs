@@ -1,0 +1,4 @@
+//! Table 5: TPU-v3 / FAST-Large / FAST-Small example designs.
+fn main() {
+    println!("{}", fast_bench::tables::tab05_example_designs());
+}

@@ -1,0 +1,4 @@
+//! Table 6: FAST-Large ablation study.
+fn main() {
+    println!("{}", fast_bench::tables::tab06_ablation());
+}

@@ -1,0 +1,333 @@
+//! Figures 2–6 and 13–15 of the paper (the non-search-driven ones).
+
+use crate::Table;
+use fast_arch::presets;
+use fast_core::component_breakdown;
+use fast_fusion::{fuse_workload, FusionOptions};
+use fast_ir::{operational_intensity, FusionStrategy};
+use fast_models::{BertComponent, BertConfig, EfficientNet, Workload};
+use fast_roi::RoiModel;
+use fast_sim::{simulate, SimOptions};
+use std::fmt::Write as _;
+
+/// Figure 2: EfficientNet family inference step time (batch 1) vs published
+/// ImageNet top-1 accuracy, on FAST-Large and the TPU-v3 baseline.
+#[must_use]
+pub fn fig02_family_latency() -> String {
+    let mut t = Table::new(["Model", "top-1 %", "FAST-Large ms", "TPU-v3 ms", "speedup"]);
+    let fast_cfg = {
+        let mut c = presets::fast_large();
+        c.native_batch = 1;
+        c
+    };
+    let mut tpu_cfg = presets::tpu_v3();
+    tpu_cfg.native_batch = 1;
+    for v in EfficientNet::ALL {
+        let g = v.build(1).expect("builds");
+        let fast_perf = simulate(&g, &fast_cfg, &SimOptions::default()).expect("schedules");
+        let fast_fused = fuse_workload(&fast_perf, &fast_cfg, &FusionOptions::heuristic_only());
+        let tpu_perf = simulate(&g, &tpu_cfg, &SimOptions::tpu_baseline()).expect("schedules");
+        let fast_ms = fast_fused.total_seconds * 1e3;
+        let tpu_ms = tpu_perf.prefusion_seconds * 1e3;
+        t.row([
+            v.name().to_string(),
+            format!("{:.1}", v.imagenet_top1()),
+            format!("{fast_ms:.2}"),
+            format!("{tpu_ms:.2}"),
+            format!("{:.1}x", tpu_ms / fast_ms),
+        ]);
+    }
+    format!(
+        "Figure 2 — EfficientNet family: step time vs ImageNet top-1 (batch 1)\n\n{}\n\
+         Faster accelerators run larger, more accurate models within the same\n\
+         latency budget; FAST does not change model accuracy.\n",
+        t.render()
+    )
+}
+
+/// Figure 3: the impact of op fusion on operational intensity, across
+/// fusion strategies and batch sizes.
+#[must_use]
+pub fn fig03_op_intensity() -> String {
+    let workloads = [
+        Workload::EfficientNet(EfficientNet::B0),
+        Workload::EfficientNet(EfficientNet::B4),
+        Workload::EfficientNet(EfficientNet::B7),
+        Workload::ResNet50,
+        Workload::Bert { seq_len: 128 },
+        Workload::Bert { seq_len: 1024 },
+    ];
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 3 — operational intensity (FLOPs/DRAM byte) per fusion strategy\n"
+    );
+    for batch in [1u64, 8, 128] {
+        let mut t = Table::new([
+            "workload (batch)",
+            "no fusion",
+            "XLA fusion",
+            "DSConv tmpl",
+            "block tmpl",
+            "weights pinned",
+        ]);
+        for w in workloads {
+            let g = w.build(batch).expect("builds");
+            let mut cells = vec![format!("{} (b{batch})", w.name())];
+            for strat in FusionStrategy::ALL {
+                let r = operational_intensity(&g, strat);
+                cells.push(format!("{:.0}", r.intensity));
+            }
+            t.row(cells);
+        }
+        let _ = writeln!(out, "batch {batch}:\n{}", t.render());
+    }
+    let _ = writeln!(
+        out,
+        "Models with op intensity below ~200 are bandwidth-bound on current\n\
+         accelerators (ridgepoints: TPU-v3 137, A100 208). Batching helps\n\
+         ResNet-50 and BERT-128 but not EfficientNet / BERT-1024 — and only\n\
+         aggressive fusion with weight pinning clears future ridgepoints."
+    );
+    out
+}
+
+/// Figure 4: EfficientNet-B7 per-MBConv-block performance as a fraction of
+/// peak FLOPS on the TPU-v3 baseline.
+#[must_use]
+pub fn fig04_b7_block_util() -> String {
+    let cfg = presets::tpu_v3();
+    let g = EfficientNet::B7.build(64).expect("builds");
+    let perf = simulate(&g, &cfg, &SimOptions::tpu_baseline()).expect("schedules");
+    per_block_util_table(
+        "Figure 4 — B7 per-block fraction of peak FLOPS on TPU-v3 (batch 64)",
+        &g,
+        &perf,
+        None,
+    )
+}
+
+/// Figure 14: the same per-block view on FAST-Large, with and without FAST
+/// fusion.
+#[must_use]
+pub fn fig14_b7_fast_util() -> String {
+    let cfg = presets::fast_large();
+    let g = EfficientNet::B7.build(8).expect("builds");
+    let perf = simulate(&g, &cfg, &SimOptions::default()).expect("schedules");
+    let fused = fuse_workload(&perf, &cfg, &FusionOptions::heuristic_only());
+    per_block_util_table(
+        "Figure 14 — B7 per-block fraction of peak FLOPS on FAST-Large (batch 8)",
+        &g,
+        &perf,
+        Some(&fused),
+    )
+}
+
+fn per_block_util_table(
+    title: &str,
+    g: &fast_ir::Graph,
+    perf: &fast_sim::WorkloadPerf,
+    fused: Option<&fast_fusion::FusionResult>,
+) -> String {
+    let n_groups = g.group_names().len();
+    // Aggregate region time and flops per group (pre-fusion = t_max; post =
+    // fusion times).
+    let mut pre = vec![(0.0f64, 0u64); n_groups];
+    let mut post = vec![(0.0f64, 0u64); n_groups];
+    for (k, r) in perf.regions.iter().enumerate() {
+        let Some(gid) = r.group else { continue };
+        let gid = gid as usize;
+        pre[gid].0 += r.t_max;
+        pre[gid].1 += r.flops;
+        if let Some(f) = fused {
+            post[gid].0 += f.region_seconds[k];
+            post[gid].1 += r.flops;
+        }
+    }
+    let peak = perf.peak_flops_per_core;
+    let mut t = if fused.is_some() {
+        Table::new(["block", "util (no fusion)", "util (FAST fusion)"])
+    } else {
+        Table::new(["block", "fraction of peak FLOPS"])
+    };
+    // Sample every 4th block to keep the table readable; the shape (rising
+    // utilization with depth/channel count) is what Figure 4 shows.
+    for gid in (0..n_groups).step_by(4) {
+        let (secs, flops) = pre[gid];
+        if secs <= 0.0 {
+            continue;
+        }
+        let u_pre = flops as f64 / (secs * peak);
+        if fused.is_some() {
+            let (fsecs, fflops) = post[gid];
+            let u_post =
+                if fsecs > 0.0 { fflops as f64 / (fsecs * peak) } else { 0.0 };
+            t.row([
+                g.group_names()[gid].clone(),
+                format!("{u_pre:.2}"),
+                format!("{u_post:.2}"),
+            ]);
+        } else {
+            t.row([g.group_names()[gid].clone(), format!("{u_pre:.2}")]);
+        }
+    }
+    format!(
+        "{title}\n\n{}\nEarlier blocks have low utilization (few channels); a good ratio\n\
+         exceeds 0.7 (§4.2).\n",
+        t.render()
+    )
+}
+
+/// Figure 5: BERT per-component runtime share vs sequence length on TPU-v3.
+#[must_use]
+pub fn fig05_bert_ops() -> String {
+    let cfg = presets::tpu_v3();
+    let mut t = Table::new([
+        "seq len",
+        "QKV proj",
+        "softmax",
+        "self-attention",
+        "feed-forward",
+        "other",
+    ]);
+    for seq in [128u64, 256, 512, 1024, 2048] {
+        let g = BertConfig::base().build(8, seq).expect("builds");
+        let perf = simulate(&g, &cfg, &SimOptions::tpu_baseline()).expect("schedules");
+        let rows = perf.time_by(|n| format!("{:?}", BertComponent::of_node_name(&n.name)));
+        let total: f64 = rows.iter().map(|r| r.1).sum();
+        let share = |label: &str| {
+            rows.iter()
+                .find(|r| r.0.contains(label))
+                .map(|r| 100.0 * r.1 / total)
+                .unwrap_or(0.0)
+        };
+        t.row([
+            seq.to_string(),
+            format!("{:.1}%", share("QkvProjection")),
+            format!("{:.1}%", share("Softmax")),
+            format!("{:.1}%", share("SelfAttention")),
+            format!("{:.1}%", share("FeedForward")),
+            format!("{:.1}%", share("Other")),
+        ]);
+    }
+    format!(
+        "Figure 5 — BERT per-op runtime share on TPU-v3 vs sequence length\n\n{}\n\
+         Softmax and self-attention scale quadratically and dominate at long\n\
+         sequence lengths (§4.3).\n",
+        t.render()
+    )
+}
+
+/// Figure 6: ROI vs deployment volume for hypothetical Perf/TCO gains.
+#[must_use]
+pub fn fig06_roi_curves() -> String {
+    let model = RoiModel::paper_default();
+    let volumes = [500.0, 1_000.0, 2_000.0, 4_000.0, 8_000.0, 16_000.0, 32_000.0];
+    let mut t = Table::new([
+        "Perf/TCO",
+        "n=500",
+        "1000",
+        "2000",
+        "4000",
+        "8000",
+        "16000",
+        "32000",
+    ]);
+    for s in [1.5, 2.0, 4.0, 10.0, 30.0, 100.0] {
+        let mut cells = vec![format!("{s:.1}x")];
+        for (_, roi) in model.roi_curve(s, &volumes) {
+            cells.push(format!("{roi:.2}"));
+        }
+        t.row(cells);
+    }
+    format!(
+        "Figure 6 — accelerator ROI vs deployment volume (ROI > 1 is profitable)\n\n{}\n\
+         Volume dominates: every Perf/TCO-positive design becomes profitable\n\
+         with enough deployed units, and returns to higher Perf/TCO diminish.\n",
+        t.render()
+    )
+}
+
+/// Figure 13: post-fusion operational intensity sweeping Global Memory and
+/// batch size on the FAST-Large datapath, for EfficientNet-B0 and B7.
+#[must_use]
+pub fn fig13_fusion_sweep() -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 13 — post-fusion operational intensity vs Global Memory x batch\n\
+         (FAST-Large datapath; ridgepoint 292)\n"
+    );
+    for variant in [EfficientNet::B0, EfficientNet::B7] {
+        let mut t = Table::new(["batch \\ GM", "16 MiB", "32 MiB", "64 MiB", "128 MiB", "256 MiB"]);
+        for batch in [1u64, 4, 8, 16, 32] {
+            let mut cells = vec![batch.to_string()];
+            let g = variant.build(batch).expect("builds");
+            for gm in [16u64, 32, 64, 128, 256] {
+                let mut cfg = presets::fast_large();
+                cfg.global_memory_mib = gm;
+                cfg.native_batch = batch;
+                let perf = simulate(&g, &cfg, &SimOptions::default()).expect("schedules");
+                let fused = fuse_workload(&perf, &cfg, &FusionOptions::heuristic_only());
+                let oi = fused.op_intensity(perf.total_flops);
+                cells.push(if oi.is_finite() { format!("{oi:.0}") } else { "inf".into() });
+            }
+            t.row(cells);
+        }
+        let _ = writeln!(out, "{}:\n{}", variant.name(), t.render());
+    }
+    let _ = writeln!(
+        out,
+        "Intensity rises with Global Memory and falls with batch size (bigger\n\
+         working sets); B0 clears the ridgepoint easily, B7 only at small batch\n\
+         with a large Global Memory — the worst case for fusion (§6.2.6)."
+    );
+    out
+}
+
+/// Figure 15: component breakdown vs a single-core TPU-v3.
+#[must_use]
+pub fn fig15_breakdown() -> String {
+    let rows = component_breakdown(&[
+        Workload::EfficientNet(EfficientNet::B7),
+        Workload::ResNet50,
+        Workload::Bert { seq_len: 1024 },
+    ])
+    .expect("evaluates");
+    let mut t = Table::new(["workload", "+scheduling", "+datapath", "+fusion (full FAST)"]);
+    for r in &rows {
+        t.row([
+            r.workload.name(),
+            format!("{:.2}x", r.scheduling_speedup),
+            format!("{:.2}x", r.datapath_speedup),
+            format!("{:.2}x", r.fusion_speedup),
+        ]);
+    }
+    format!(
+        "Figure 15 — additive component speedups vs one TPU-v3 core\n\n{}\n\
+         Datapath gains saturate at the memory-bandwidth wall until FAST\n\
+         fusion removes it; scheduling, datapath and fusion work in synergy\n\
+         (§6.2.7).\n",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig03_runs_quickly_at_batch1_subset() {
+        // Smoke: op-intensity analytics are pure IR computations.
+        let g = EfficientNet::B0.build(1).unwrap();
+        let none = operational_intensity(&g, FusionStrategy::None).intensity;
+        let ideal = operational_intensity(&g, FusionStrategy::WeightPinnedIdeal).intensity;
+        assert!(ideal > none);
+    }
+
+    #[test]
+    fn fig06_report_mentions_profitability() {
+        let s = fig06_roi_curves();
+        assert!(s.contains("profitable"));
+    }
+}

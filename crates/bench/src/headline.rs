@@ -1,0 +1,179 @@
+//! Figures 9 and 10: the headline throughput and Perf/TDP comparisons
+//! against the TPU-v3 baseline, across the full workload suite.
+//!
+//! Three FAST configurations per workload, exactly as in the paper:
+//! * **FAST scheduling/fusion** on the unchanged TPU-v3 datapath;
+//! * **FAST search — single workload**: a design searched for that workload;
+//! * **FAST search — multi workload**: one design searched on the 5-workload
+//!   suite (GeoMean-5), evaluated per member workload.
+//!
+//! The paper runs 5000 Vizier trials per search; the default budget here is
+//! intentionally small (`FAST_TRIALS`, default 400, seeded with the published
+//! presets) so the whole figure regenerates in minutes.
+
+use crate::{trial_budget, Table};
+use fast_arch::{presets, Budget};
+use fast_core::{
+    relative_to_tpu, run_fast_search, Evaluator, Objective, OptimizerKind, RelativePerf,
+    SearchConfig,
+};
+use fast_models::Workload;
+use fast_sim::{engine::ScheduleQuality, mapper::DataflowSet, SimOptions};
+use std::fmt::Write as _;
+
+/// One row of Figures 9/10.
+#[derive(Debug, Clone)]
+pub struct HeadlineRow {
+    /// Workload.
+    pub workload: Workload,
+    /// FAST scheduling + fusion on the TPU-v3 datapath.
+    pub sched_fusion: RelativePerf,
+    /// Single-workload searched design.
+    pub single: RelativePerf,
+    /// Multi-workload design (only for the 5-workload suite members).
+    pub multi: Option<RelativePerf>,
+}
+
+/// Computes the Figure-9/10 rows under `objective`.
+#[must_use]
+pub fn headline_results(objective: Objective, trials: usize) -> Vec<HeadlineRow> {
+    let budget = Budget::paper_default();
+    let suite = Workload::suite();
+    let suite5 = Workload::suite5();
+
+    // FAST scheduling/fusion on the TPU datapath: lift the dataflow and
+    // schedule-quality restrictions, keep the hardware.
+    let tpu_sched_sim = SimOptions {
+        dataflows: DataflowSet::All,
+        schedule_quality: ScheduleQuality::Searched,
+        ..SimOptions::tpu_baseline()
+    };
+
+    // One multi-workload search shared by all member rows.
+    let multi_eval = Evaluator::new(suite5.clone(), objective, budget);
+    let multi_cfg = SearchConfig {
+        trials,
+        optimizer: OptimizerKind::Lcs,
+        seed: 11,
+        ..SearchConfig::default()
+    };
+    let multi_best = run_fast_search(&multi_eval, &multi_cfg)
+        .best
+        .expect("seeded search always yields a design");
+
+    let mut rows = Vec::new();
+    for &w in &suite {
+        let sched_fusion =
+            relative_to_tpu(&presets::tpu_v3(), &tpu_sched_sim, w, &budget).expect("evaluates");
+
+        let single_eval = Evaluator::new(vec![w], objective, budget);
+        let single_cfg = SearchConfig {
+            trials,
+            optimizer: OptimizerKind::Lcs,
+            seed: 5,
+            ..SearchConfig::default()
+        };
+        let single_best =
+            run_fast_search(&single_eval, &single_cfg).best.expect("seeded search");
+        let single = relative_to_tpu(&single_best.config, &single_best.sim, w, &budget)
+            .expect("evaluates");
+
+        let multi = if suite5.contains(&w) {
+            Some(
+                relative_to_tpu(&multi_best.config, &multi_best.sim, w, &budget)
+                    .expect("evaluates"),
+            )
+        } else {
+            None
+        };
+        rows.push(HeadlineRow { workload: w, sched_fusion, single, multi });
+    }
+    rows
+}
+
+fn geomean(values: impl Iterator<Item = f64>) -> f64 {
+    let (sum, n) = values.fold((0.0, 0usize), |(s, n), v| (s + v.ln(), n + 1));
+    if n == 0 {
+        f64::NAN
+    } else {
+        (sum / n as f64).exp()
+    }
+}
+
+fn render(rows: &[HeadlineRow], metric: impl Fn(&RelativePerf) -> f64, title: &str) -> String {
+    let mut t = Table::new([
+        "workload",
+        "sched/fusion on TPUv3",
+        "FAST single-workload",
+        "FAST multi-workload",
+    ]);
+    for r in rows {
+        t.row([
+            r.workload.name(),
+            format!("{:.2}x", metric(&r.sched_fusion)),
+            format!("{:.2}x", metric(&r.single)),
+            r.multi.map_or("-".to_string(), |m| format!("{:.2}x", metric(&m))),
+        ]);
+    }
+    let gm_sched = geomean(rows.iter().map(|r| metric(&r.sched_fusion)));
+    let gm_single = geomean(rows.iter().map(|r| metric(&r.single)));
+    let gm5_single =
+        geomean(rows.iter().filter(|r| r.multi.is_some()).map(|r| metric(&r.single)));
+    let gm5_multi = geomean(rows.iter().filter_map(|r| r.multi.as_ref()).map(&metric));
+    t.row([
+        "GeoMean".to_string(),
+        format!("{gm_sched:.2}x"),
+        format!("{gm_single:.2}x"),
+        "-".to_string(),
+    ]);
+    t.row([
+        "GeoMean-5".to_string(),
+        "-".to_string(),
+        format!("{gm5_single:.2}x"),
+        format!("{gm5_multi:.2}x"),
+    ]);
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}\n\n{}", t.render());
+    out
+}
+
+/// Figure 9: modeled inference throughput relative to TPU-v3.
+#[must_use]
+pub fn fig09_throughput() -> String {
+    let trials = trial_budget(400);
+    let rows = headline_results(Objective::Qps, trials);
+    let mut s = render(
+        &rows,
+        |r| r.speedup,
+        &format!(
+            "Figure 9 — throughput vs TPU-v3 ({trials} trials/search; paper: 5000)"
+        ),
+    );
+    let _ = writeln!(
+        s,
+        "Paper reference: sched/fusion-on-TPUv3 1.7x; single-workload search\n\
+         3.8x average (GeoMean-5 multi-workload 3.1x); EfficientNets gain most,\n\
+         OCR workloads least."
+    );
+    s
+}
+
+/// Figure 10: Perf/TDP relative to the die-shrunk TPU-v3.
+#[must_use]
+pub fn fig10_perf_tdp() -> String {
+    let trials = trial_budget(400);
+    let rows = headline_results(Objective::PerfPerTdp, trials);
+    let mut s = render(
+        &rows,
+        |r| r.perf_per_tdp,
+        &format!(
+            "Figure 10 — Perf/TDP vs die-shrunk TPU-v3 ({trials} trials/search; paper: 5000)"
+        ),
+    );
+    let _ = writeln!(
+        s,
+        "Paper reference: 3.7x average across all workloads (6.4x EfficientNet,\n\
+         2.7x BERT); multi-workload design 2.4x."
+    );
+    s
+}

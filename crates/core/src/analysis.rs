@@ -1,0 +1,235 @@
+//! Component breakdown (Figure 15) and the FAST-Large ablation (Table 6).
+
+use crate::evaluate::{EvalError, Evaluator, Objective};
+use fast_arch::{presets, Budget, DatapathConfig};
+use fast_fusion::FusionOptions;
+use fast_models::{EfficientNet, Workload};
+use fast_sim::{mapper::DataflowSet, SimOptions};
+use serde::{Deserialize, Serialize};
+
+/// A single-core TPU-v3 (Figure 15 compares one TPU core against a halved
+/// FAST-Large design).
+#[must_use]
+pub fn tpu_v3_single_core() -> DatapathConfig {
+    let mut c = presets::tpu_v3();
+    c.cores = 1;
+    c.dram_channels = 1; // one HBM2 stack: 450 GB/s
+    c
+}
+
+/// A halved FAST-Large: 32 PEs; the memory system keeps its full 448 GB/s,
+/// matching the single TPU-v3 core's ~450 GB/s (Figure 15 compares one TPU
+/// core against this half design).
+#[must_use]
+pub fn fast_large_half() -> DatapathConfig {
+    let mut c = presets::fast_large();
+    c.pes_x = 8;
+    c.pes_y = 4;
+    c
+}
+
+/// One Figure-15 row: cumulative speedups over the single-core TPU-v3
+/// baseline as FAST's components are added.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BreakdownRow {
+    /// Workload.
+    pub workload: Workload,
+    /// Baseline step time (seconds).
+    pub baseline_seconds: f64,
+    /// + FAST scheduling (Timeloop mappings on the TPU datapath).
+    pub scheduling_speedup: f64,
+    /// + datapath (32×32 arrays, 128 MiB GM), fusion still off.
+    pub datapath_speedup: f64,
+    /// + FAST fusion (the full stack).
+    pub fusion_speedup: f64,
+}
+
+/// Computes the Figure-15 component breakdown for `workloads`.
+///
+/// Components are additive in the paper's sense: each bar includes all
+/// previous ones.
+///
+/// # Errors
+/// Propagates evaluation failures.
+pub fn component_breakdown(workloads: &[Workload]) -> Result<Vec<BreakdownRow>, EvalError> {
+    let budget = Budget::paper_default();
+    let tpu1 = tpu_v3_single_core();
+    let half = fast_large_half();
+    let no_fusion = FusionOptions::disabled();
+
+    let mut rows = Vec::new();
+    for &w in workloads {
+        let ev = |cfg: &DatapathConfig, sim: &SimOptions, fusion: &FusionOptions| {
+            let e = Evaluator::new(vec![w], Objective::Qps, budget)
+                .with_fusion(fusion.clone());
+            e.evaluate(cfg, sim).map(|d| d.workloads[0].qps)
+        };
+        // Baseline: stock TPU stack, fusion disabled (GM used only as the
+        // staging buffer the baseline compiler already uses).
+        let mut tpu_nogm = tpu1;
+        tpu_nogm.global_memory_mib = tpu1.global_memory_mib;
+        let baseline = ev(&tpu_nogm, &SimOptions::tpu_baseline(), &no_fusion)?;
+        // + scheduling: FAST mappings (all dataflows, searched quality) on
+        // the unchanged TPU datapath.
+        let sched_sim = SimOptions {
+            dataflows: DataflowSet::All,
+            schedule_quality: fast_sim::engine::ScheduleQuality::Searched,
+            ..SimOptions::tpu_baseline()
+        };
+        let sched = ev(&tpu1, &sched_sim, &no_fusion)?;
+        // + datapath: halved FAST-Large, still no FAST fusion. Without
+        // fusion the design keeps the baseline's large batch (batch 8 is
+        // only optimal once fusion shrinks working sets — §4.1).
+        let mut half_b64 = half;
+        half_b64.native_batch = tpu1.native_batch;
+        let datapath = ev(&half_b64, &SimOptions::default(), &no_fusion)?;
+        // + fusion: the full stack.
+        let fusion = ev(&half, &SimOptions::default(), &FusionOptions::heuristic_only())?;
+
+        rows.push(BreakdownRow {
+            workload: w,
+            baseline_seconds: 1.0 / baseline,
+            scheduling_speedup: sched / baseline,
+            datapath_speedup: datapath / baseline,
+            fusion_speedup: fusion / baseline,
+        });
+    }
+    Ok(rows)
+}
+
+/// One Table-6 ablation row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AblationRow {
+    /// Variant label.
+    pub label: String,
+    /// Per-workload `(Perf/TDP vs TPU-v3, relative to unmodified FAST-Large)`.
+    pub per_workload: Vec<(Workload, f64, f64)>,
+}
+
+/// The Table-6 workloads.
+#[must_use]
+pub fn ablation_workloads() -> Vec<Workload> {
+    vec![
+        Workload::EfficientNet(EfficientNet::B7),
+        Workload::ResNet50,
+        Workload::Bert { seq_len: 1024 },
+    ]
+}
+
+/// Builds the Table-6 ablation variants: FAST-Large with one component at a
+/// time reverted to its TPU-v3 value.
+#[must_use]
+pub fn ablation_variants() -> Vec<(String, DatapathConfig, SimOptions, FusionOptions)> {
+    let base = presets::fast_large();
+    let sim = SimOptions::default();
+    let fusion = FusionOptions::heuristic_only();
+    let no_fusion = FusionOptions::disabled();
+
+    let mut with_16mb = base;
+    with_16mb.global_memory_mib = 16;
+
+    // Revert to 128×128 arrays at constant peak FLOPS (4 PEs), with the
+    // TPU-sized L1 such a tile needs.
+    let mut big_arrays = base;
+    big_arrays.sa_x = 128;
+    big_arrays.sa_y = 128;
+    big_arrays.pes_x = 2;
+    big_arrays.pes_y = 2;
+    big_arrays.l1_input_kib = 64;
+    big_arrays.l1_weight_kib = 32;
+    big_arrays.l1_output_kib = 32;
+
+    let mut big_l1 = base;
+    big_l1.l1_input_kib = 16;
+    big_l1.l1_weight_kib = 8;
+    big_l1.l1_output_kib = 8;
+
+    vec![
+        ("FAST-Large".to_string(), base, sim, fusion.clone()),
+        ("With 16MB Global Mem".to_string(), with_16mb, sim, fusion.clone()),
+        ("Without FAST Fusion".to_string(), base, sim, no_fusion),
+        ("With 128x128 systolic arrays".to_string(), big_arrays, sim, fusion.clone()),
+        ("With 32KB L1 scratchpads".to_string(), big_l1, sim, fusion),
+    ]
+}
+
+/// Runs the Table-6 ablation.
+///
+/// # Errors
+/// Propagates evaluation failures.
+pub fn ablation_study() -> Result<Vec<AblationRow>, EvalError> {
+    let budget = Budget::paper_default();
+    let workloads = ablation_workloads();
+    let tpu = presets::tpu_v3();
+
+    // Per-workload TPU-v3 reference Perf/TDP (stock stack: no FAST fusion).
+    let mut tpu_ppt = Vec::new();
+    for &w in &workloads {
+        let e = Evaluator::new(vec![w], Objective::PerfPerTdp, budget)
+            .with_fusion(FusionOptions::disabled());
+        let d = e.evaluate(&tpu, &SimOptions::tpu_baseline())?;
+        tpu_ppt.push(d.geomean_qps / d.tdp_w);
+    }
+
+    let mut rows = Vec::new();
+    let mut baseline_ppt: Vec<f64> = Vec::new();
+    for (label, cfg, sim, fusion) in ablation_variants() {
+        let mut per_workload = Vec::new();
+        for (k, &w) in workloads.iter().enumerate() {
+            let e = Evaluator::new(vec![w], Objective::PerfPerTdp, budget)
+                .with_fusion(fusion.clone());
+            let d = e.evaluate(&cfg, &sim)?;
+            let ppt = d.geomean_qps / d.tdp_w;
+            let vs_tpu = ppt / tpu_ppt[k];
+            let vs_base = if rows.is_empty() {
+                baseline_ppt.push(ppt);
+                1.0
+            } else {
+                ppt / baseline_ppt[k]
+            };
+            per_workload.push((w, vs_tpu, vs_base));
+        }
+        rows.push(AblationRow { label, per_workload });
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_components_are_cumulative_for_b7() {
+        let rows =
+            component_breakdown(&[Workload::EfficientNet(EfficientNet::B7)]).unwrap();
+        let r = &rows[0];
+        assert!(r.scheduling_speedup > 1.0, "scheduling {}", r.scheduling_speedup);
+        // The paper's Figure-15 message: datapath changes alone saturate on
+        // the memory-bandwidth wall; fusion unlocks them.
+        assert!(
+            r.fusion_speedup > r.datapath_speedup,
+            "fusion {} must add over datapath {}",
+            r.fusion_speedup,
+            r.datapath_speedup
+        );
+        assert!(
+            r.fusion_speedup > r.scheduling_speedup,
+            "fusion {} must add over scheduling {}",
+            r.fusion_speedup,
+            r.scheduling_speedup
+        );
+    }
+
+    #[test]
+    fn ablation_every_component_matters_for_b7() {
+        let rows = ablation_study().unwrap();
+        assert_eq!(rows.len(), 5);
+        let base = &rows[0];
+        assert!(base.per_workload[0].1 > 2.0, "FAST-Large vs TPU {}", base.per_workload[0].1);
+        // Every ablated variant loses Perf/TDP on EfficientNet-B7 (Table 6).
+        for row in &rows[1..] {
+            let (_, _, rel) = row.per_workload[0];
+            assert!(rel < 1.0, "{}: relative {rel}", row.label);
+        }
+    }
+}

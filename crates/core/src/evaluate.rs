@@ -1,0 +1,335 @@
+//! Trial evaluation: the three-phase pipeline of Figure 1.
+//!
+//! For a candidate design the evaluator (1) validates the datapath and its
+//! area/TDP against the budget (Eq. 4), (2) schedules every op of every
+//! workload through the Timeloop-style mapper (rejecting on schedule
+//! failures, Eq. 5), (3) runs the FAST-fusion ILP, and finally scores the
+//! objective. Workload graphs are cached by `(workload, batch)` since the
+//! model zoo is immutable across trials.
+
+use crate::search_space::FastSpace;
+use fast_arch::{cost, Budget, DatapathConfig};
+use fast_fusion::{fuse_workload, FusionOptions, FusionResult};
+use fast_models::Workload;
+use fast_sim::{simulate, SimOptions, WorkloadPerf};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// The optimization objective `f` (§5.2). Higher is better in all cases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Objective {
+    /// Inference throughput (queries/second), geomean across workloads.
+    Qps,
+    /// Throughput per watt of TDP — the paper's headline Perf/TDP metric
+    /// (the Perf/TCO proxy).
+    #[default]
+    PerfPerTdp,
+}
+
+/// Why a trial was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// The datapath violates a Table-3 range.
+    InvalidConfig(String),
+    /// Area or TDP exceeds the budget (Eq. 4).
+    OverBudget {
+        /// Normalized area (1.0 = at budget).
+        area: f64,
+        /// Normalized TDP (1.0 = at budget).
+        tdp: f64,
+    },
+    /// A workload could not be scheduled (Eq. 5).
+    ScheduleFailure(String),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::InvalidConfig(e) => write!(f, "invalid config: {e}"),
+            EvalError::OverBudget { area, tdp } => {
+                write!(f, "over budget: area {area:.2}, tdp {tdp:.2}")
+            }
+            EvalError::ScheduleFailure(e) => write!(f, "schedule failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Per-workload outcome of one design evaluation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkloadEval {
+    /// The workload.
+    pub workload: Workload,
+    /// Post-fusion step time (seconds) for one core's batch.
+    pub step_seconds: f64,
+    /// Chip throughput in queries/second.
+    pub qps: f64,
+    /// Compute utilization at the post-fusion step time.
+    pub utilization: f64,
+    /// Pre-fusion memory-stall fraction.
+    pub prefusion_stall: f64,
+    /// Post-fusion memory-stall fraction.
+    pub postfusion_stall: f64,
+    /// Pre-fusion operational intensity (FLOPs/DRAM byte).
+    pub op_intensity_pre: f64,
+    /// Post-fusion operational intensity.
+    pub op_intensity_post: f64,
+    /// Bytes of weights pinned by FAST fusion.
+    pub pinned_weight_bytes: u64,
+}
+
+/// Complete evaluation of one design point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DesignEval {
+    /// The evaluated datapath.
+    pub config: DatapathConfig,
+    /// Scheduling options used.
+    pub sim: SimOptions,
+    /// Per-workload results.
+    pub workloads: Vec<WorkloadEval>,
+    /// Power-virus TDP (watts).
+    pub tdp_w: f64,
+    /// Die area (mm²).
+    pub area_mm2: f64,
+    /// Geomean QPS across workloads.
+    pub geomean_qps: f64,
+    /// Objective value under the evaluator's objective.
+    pub objective_value: f64,
+}
+
+/// Evaluates design points for a fixed workload set, objective and budget.
+///
+/// Clone-cheap: the graph cache is shared behind an `Arc`.
+#[derive(Clone)]
+pub struct Evaluator {
+    workloads: Vec<Workload>,
+    objective: Objective,
+    budget: Budget,
+    fusion: FusionOptions,
+    graphs: Arc<Mutex<HashMap<(Workload, u64), Arc<fast_ir::Graph>>>>,
+}
+
+impl Evaluator {
+    /// Creates an evaluator.
+    #[must_use]
+    pub fn new(workloads: Vec<Workload>, objective: Objective, budget: Budget) -> Self {
+        Evaluator {
+            workloads,
+            objective,
+            budget,
+            fusion: FusionOptions::heuristic_only(),
+            graphs: Arc::new(Mutex::new(HashMap::new())),
+        }
+    }
+
+    /// Uses a custom fusion configuration (e.g. the exact ILP path for
+    /// one-off reports).
+    #[must_use]
+    pub fn with_fusion(mut self, fusion: FusionOptions) -> Self {
+        self.fusion = fusion;
+        self
+    }
+
+    /// The workload set.
+    #[must_use]
+    pub fn workloads(&self) -> &[Workload] {
+        &self.workloads
+    }
+
+    /// The budget in force.
+    #[must_use]
+    pub fn budget(&self) -> &Budget {
+        &self.budget
+    }
+
+    /// The objective in force.
+    #[must_use]
+    pub fn objective(&self) -> Objective {
+        self.objective
+    }
+
+    fn graph(&self, w: Workload, batch: u64) -> Arc<fast_ir::Graph> {
+        let mut cache = self.graphs.lock().expect("graph cache poisoned");
+        cache
+            .entry((w, batch))
+            .or_insert_with(|| {
+                Arc::new(w.build(batch).expect("in-tree workloads always build"))
+            })
+            .clone()
+    }
+
+    /// Simulates one workload on a config (pre-fusion detail), without budget
+    /// checks — used by report/breakdown code as well as `evaluate`.
+    ///
+    /// # Errors
+    /// Propagates schedule failures.
+    pub fn simulate_workload(
+        &self,
+        w: Workload,
+        cfg: &DatapathConfig,
+        sim: &SimOptions,
+    ) -> Result<WorkloadPerf, EvalError> {
+        let graph = self.graph(w, cfg.native_batch);
+        simulate(&graph, cfg, sim).map_err(|e| EvalError::ScheduleFailure(e.to_string()))
+    }
+
+    /// Runs fusion for a simulated workload.
+    #[must_use]
+    pub fn fuse(&self, perf: &WorkloadPerf, cfg: &DatapathConfig) -> FusionResult {
+        fuse_workload(perf, cfg, &self.fusion)
+    }
+
+    /// Full Figure-1 evaluation of one design point.
+    ///
+    /// # Errors
+    /// Returns [`EvalError`] when the design is invalid, over budget, or
+    /// unschedulable — the search loop maps these to safe-search rejections.
+    pub fn evaluate(
+        &self,
+        cfg: &DatapathConfig,
+        sim: &SimOptions,
+    ) -> Result<DesignEval, EvalError> {
+        cfg.validate().map_err(|e| EvalError::InvalidConfig(e.to_string()))?;
+        let area = cost::area(cfg).total_mm2;
+        let tdp = cost::tdp(cfg).total_w;
+        if !self.budget.admits(cfg) {
+            return Err(EvalError::OverBudget {
+                area: self.budget.normalized_area(cfg),
+                tdp: self.budget.normalized_tdp(cfg),
+            });
+        }
+
+        let mut workloads = Vec::with_capacity(self.workloads.len());
+        let mut log_qps_sum = 0.0;
+        for &w in &self.workloads {
+            let perf = self.simulate_workload(w, cfg, sim)?;
+            let fused = self.fuse(&perf, cfg);
+            let step = fused.total_seconds;
+            let qps = (perf.batch_per_core * perf.cores) as f64 / step;
+            log_qps_sum += qps.ln();
+            workloads.push(WorkloadEval {
+                workload: w,
+                step_seconds: step,
+                qps,
+                utilization: perf.utilization_at(step),
+                prefusion_stall: perf.prefusion_memory_stall_fraction(),
+                postfusion_stall: (1.0 - perf.compute_seconds / step).max(0.0),
+                op_intensity_pre: perf.prefusion_op_intensity(),
+                op_intensity_post: fused.op_intensity(perf.total_flops),
+                pinned_weight_bytes: fused.pinned_weight_bytes,
+            });
+        }
+        let geomean_qps = (log_qps_sum / self.workloads.len() as f64).exp();
+        let objective_value = match self.objective {
+            Objective::Qps => geomean_qps,
+            Objective::PerfPerTdp => geomean_qps / tdp,
+        };
+        Ok(DesignEval {
+            config: *cfg,
+            sim: *sim,
+            workloads,
+            tdp_w: tdp,
+            area_mm2: area,
+            geomean_qps,
+            objective_value,
+        })
+    }
+
+    /// Evaluates an encoded search-space point.
+    ///
+    /// # Errors
+    /// See [`Evaluator::evaluate`].
+    pub fn evaluate_point(
+        &self,
+        space: &FastSpace,
+        point: &[usize],
+    ) -> Result<DesignEval, EvalError> {
+        let (cfg, sim) = space.decode(point);
+        self.evaluate(&cfg, &sim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fast_arch::presets;
+    use fast_models::EfficientNet;
+
+    fn evaluator(objective: Objective) -> Evaluator {
+        Evaluator::new(
+            vec![Workload::EfficientNet(EfficientNet::B0)],
+            objective,
+            Budget::paper_default(),
+        )
+    }
+
+    #[test]
+    fn evaluates_presets() {
+        let e = evaluator(Objective::PerfPerTdp);
+        let eval = e.evaluate(&presets::fast_large(), &SimOptions::default()).unwrap();
+        assert!(eval.geomean_qps > 0.0);
+        assert!(eval.objective_value > 0.0);
+        assert_eq!(eval.workloads.len(), 1);
+        assert!(eval.tdp_w > 50.0);
+    }
+
+    #[test]
+    fn rejects_over_budget() {
+        let e = evaluator(Objective::Qps);
+        let mut cfg = presets::fast_large();
+        cfg.pes_x = 32;
+        cfg.pes_y = 32; // 1M MACs: far over the area budget
+        let err = e.evaluate(&cfg, &SimOptions::default()).unwrap_err();
+        assert!(matches!(err, EvalError::OverBudget { .. }));
+    }
+
+    #[test]
+    fn rejects_schedule_failures() {
+        let e = evaluator(Objective::Qps);
+        let mut cfg = presets::fast_large();
+        cfg.sa_x = 128;
+        cfg.sa_y = 128;
+        cfg.pes_x = 2;
+        cfg.pes_y = 1;
+        // 128×128 weight tiles (32 KiB) cannot fit in 8 KiB shared L1.
+        let err = e.evaluate(&cfg, &SimOptions::default()).unwrap_err();
+        assert!(matches!(err, EvalError::ScheduleFailure(_)), "{err:?}");
+    }
+
+    #[test]
+    fn rejects_invalid_config() {
+        let e = evaluator(Objective::Qps);
+        let mut cfg = presets::fast_large();
+        cfg.pes_x = 3;
+        assert!(matches!(
+            e.evaluate(&cfg, &SimOptions::default()),
+            Err(EvalError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn objective_perf_per_tdp_differs_from_qps() {
+        let qps = evaluator(Objective::Qps)
+            .evaluate(&presets::fast_large(), &SimOptions::default())
+            .unwrap();
+        let ppt = evaluator(Objective::PerfPerTdp)
+            .evaluate(&presets::fast_large(), &SimOptions::default())
+            .unwrap();
+        assert!(ppt.objective_value < qps.objective_value);
+        assert!((ppt.geomean_qps - qps.geomean_qps).abs() < 1e-9);
+    }
+
+    #[test]
+    fn graph_cache_is_shared_across_clones() {
+        let e = evaluator(Objective::Qps);
+        let e2 = e.clone();
+        let _ = e.evaluate(&presets::fast_large(), &SimOptions::default()).unwrap();
+        // Second evaluation through the clone hits the cache (smoke test —
+        // correctness, not timing).
+        let _ = e2.evaluate(&presets::fast_large(), &SimOptions::default()).unwrap();
+        assert_eq!(e.graphs.lock().unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,43 @@
+//! # fast-core — the Full-stack Accelerator Search Technique
+//!
+//! The paper's primary contribution (§5): joint optimization of the hardware
+//! datapath, the software schedule, and compiler passes (FAST fusion, tensor
+//! padding, two-pass softmax), targeting inference accelerators for one or a
+//! set of workloads under area/TDP budgets.
+//!
+//! Pipeline per trial (Figure 1):
+//! 1. a black-box optimizer ([`fast_search`]) proposes a point in the
+//!    [`FastSpace`] (Table 3 + softmax knob);
+//! 2. the simulator ([`fast_sim`]) pads and schedules every op of every
+//!    workload on the candidate datapath, rejecting schedule failures;
+//! 3. the FAST-fusion ILP ([`fast_fusion`]) places activations/weights in
+//!    Global Memory and the design is scored (QPS or Perf/TDP geomean).
+//!
+//! ```no_run
+//! use fast_core::{Evaluator, Objective, SearchConfig, run_fast_search};
+//! use fast_arch::Budget;
+//! use fast_models::Workload;
+//!
+//! let evaluator = Evaluator::new(
+//!     vec![Workload::ResNet50],
+//!     Objective::PerfPerTdp,
+//!     Budget::paper_default(),
+//! );
+//! let outcome = run_fast_search(&evaluator, &SearchConfig::default());
+//! println!("best objective: {:?}", outcome.study.best_objective);
+//! ```
+
+pub mod analysis;
+pub mod driver;
+pub mod evaluate;
+pub mod report;
+pub mod search_space;
+
+pub use analysis::{
+    ablation_study, ablation_variants, ablation_workloads, component_breakdown, AblationRow,
+    BreakdownRow,
+};
+pub use driver::{run_fast_search, OptimizerKind, SearchConfig, SearchOutcome};
+pub use evaluate::{DesignEval, EvalError, Evaluator, Objective, WorkloadEval};
+pub use report::{design_report, relative_to_tpu, DesignReport, RelativePerf};
+pub use search_space::{combined_search_space_log10, FastSpace, SpaceDims};

@@ -1,0 +1,188 @@
+//! Design reports in the shape of the paper's Table 5, plus the
+//! TPU-v3-relative comparisons used by Figures 9/10 and Table 6.
+
+use crate::evaluate::{EvalError, Evaluator, Objective};
+use fast_arch::{presets, Budget, DatapathConfig};
+use fast_models::Workload;
+use fast_sim::SimOptions;
+use serde::{Deserialize, Serialize};
+
+/// A Table-5-style summary of one design on one workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DesignReport {
+    /// Design name.
+    pub name: String,
+    /// TDP normalized to the search budget.
+    pub normalized_tdp: f64,
+    /// Area normalized to the search budget.
+    pub normalized_area: f64,
+    /// Peak bf16 compute (TFLOPS).
+    pub peak_tflops: f64,
+    /// Peak DRAM bandwidth (GB/s).
+    pub peak_bandwidth_gbs: f64,
+    /// Native batch size per core.
+    pub batch: u64,
+    /// PEs per core.
+    pub num_pes: u64,
+    /// Core count.
+    pub cores: u64,
+    /// Systolic-array dimensions.
+    pub sa_dims: (u64, u64),
+    /// VPU width per PE.
+    pub vpu_width: u64,
+    /// L1 bytes per PE.
+    pub l1_bytes_per_pe: u64,
+    /// Global Memory MiB per core.
+    pub global_memory_mib: u64,
+    /// Compute utilization at the post-fusion step time.
+    pub compute_utilization: f64,
+    /// Pre-fusion memory-stall percentage.
+    pub prefusion_stall_pct: f64,
+    /// Fusion efficiency: fraction of pre-fusion stall removed (Table 5's
+    /// "Fusion Efficiency").
+    pub fusion_efficiency_pct: f64,
+    /// Operational-intensity ridgepoint (peak FLOPS / bandwidth).
+    pub ridgepoint: f64,
+    /// Post-fusion model operational intensity.
+    pub fused_op_intensity: f64,
+    /// Chip throughput (QPS).
+    pub qps: f64,
+    /// Inference step latency (ms).
+    pub latency_ms: f64,
+}
+
+/// Builds a Table-5 report of `cfg` on `workload`.
+///
+/// # Errors
+/// Propagates evaluation failures (schedule failures etc.).
+pub fn design_report(
+    name: &str,
+    cfg: &DatapathConfig,
+    sim: &SimOptions,
+    workload: Workload,
+    budget: &Budget,
+) -> Result<DesignReport, EvalError> {
+    let evaluator = Evaluator::new(vec![workload], Objective::PerfPerTdp, *budget);
+    let perf = evaluator.simulate_workload(workload, cfg, sim)?;
+    let fused = evaluator.fuse(&perf, cfg);
+    let step = fused.total_seconds;
+    let qps = (perf.batch_per_core * perf.cores) as f64 / step;
+    let pre = perf.prefusion_memory_stall_fraction();
+    let post = (1.0 - perf.compute_seconds / step).max(0.0);
+    let fusion_efficiency = if pre > 1e-9 { (pre - post).max(0.0) / pre } else { 0.0 };
+    Ok(DesignReport {
+        name: name.to_string(),
+        normalized_tdp: budget.normalized_tdp(cfg),
+        normalized_area: budget.normalized_area(cfg),
+        peak_tflops: cfg.peak_flops() / 1e12,
+        peak_bandwidth_gbs: cfg.dram_bytes_per_sec() / 1e9,
+        batch: cfg.native_batch,
+        num_pes: cfg.pes_per_core(),
+        cores: cfg.cores,
+        sa_dims: (cfg.sa_x, cfg.sa_y),
+        vpu_width: cfg.vpu_lanes_per_pe(),
+        l1_bytes_per_pe: cfg.l1_bytes_per_pe(),
+        global_memory_mib: cfg.global_memory_mib,
+        compute_utilization: perf.utilization_at(step),
+        prefusion_stall_pct: pre * 100.0,
+        fusion_efficiency_pct: fusion_efficiency * 100.0,
+        ridgepoint: cfg.ridgepoint(),
+        fused_op_intensity: fused.op_intensity(perf.total_flops),
+        qps,
+        latency_ms: step * 1e3,
+    })
+}
+
+/// QPS and Perf/TDP of `cfg` relative to the modeled TPU-v3 baseline on one
+/// workload — the unit of Figures 9 and 10.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RelativePerf {
+    /// Throughput ratio vs TPU-v3 (Figure 9).
+    pub speedup: f64,
+    /// Perf/TDP ratio vs the die-shrunk TPU-v3 (Figure 10).
+    pub perf_per_tdp: f64,
+}
+
+/// Evaluates `cfg` against the TPU-v3 baseline on `workload`.
+///
+/// The baseline runs the stock TPU execution stack (weight-stationary MXU
+/// schedules, XLA-quality mappings, three-pass softmax, XLA fusion regions
+/// only — no FAST fusion), simulated by the same simulator — §6.1.
+///
+/// # Errors
+/// Propagates evaluation failures of either design.
+pub fn relative_to_tpu(
+    cfg: &DatapathConfig,
+    sim: &SimOptions,
+    workload: Workload,
+    budget: &Budget,
+) -> Result<RelativePerf, EvalError> {
+    let evaluator = Evaluator::new(vec![workload], Objective::PerfPerTdp, *budget);
+    let tpu = presets::tpu_v3();
+    let tpu_eval = evaluator
+        .clone()
+        .with_fusion(fast_fusion::FusionOptions::disabled())
+        .evaluate(&tpu, &SimOptions::tpu_baseline())?;
+    let eval = evaluator.evaluate(cfg, sim)?;
+    let speedup = eval.geomean_qps / tpu_eval.geomean_qps;
+    let perf_per_tdp =
+        (eval.geomean_qps / eval.tdp_w) / (tpu_eval.geomean_qps / tpu_eval.tdp_w);
+    Ok(RelativePerf { speedup, perf_per_tdp })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fast_models::EfficientNet;
+
+    #[test]
+    fn table5_fast_large_report_shape() {
+        let budget = Budget::paper_default();
+        let r = design_report(
+            "FAST-Large",
+            &presets::fast_large(),
+            &SimOptions::default(),
+            Workload::EfficientNet(EfficientNet::B7),
+            &budget,
+        )
+        .unwrap();
+        // Table 5 anchors (loose bands; exact values in EXPERIMENTS.md).
+        assert!((r.peak_tflops - 131.0).abs() < 1.0);
+        assert!((r.peak_bandwidth_gbs - 448.0).abs() < 1.0);
+        assert!((r.ridgepoint - 292.0).abs() < 3.0);
+        assert!(r.normalized_tdp < 0.7);
+        assert!(r.compute_utilization > 0.25, "util {}", r.compute_utilization);
+        assert!(r.prefusion_stall_pct > 40.0, "stall {}", r.prefusion_stall_pct);
+        assert!(r.fusion_efficiency_pct > 60.0, "fusion eff {}", r.fusion_efficiency_pct);
+        assert!(r.latency_ms < 20.0, "latency {}", r.latency_ms);
+    }
+
+    #[test]
+    fn tpu_report_is_self_relative_one() {
+        let budget = Budget::paper_default();
+        let rel = relative_to_tpu(
+            &presets::tpu_v3(),
+            &SimOptions::tpu_baseline(),
+            Workload::ResNet50,
+            &budget,
+        )
+        .unwrap();
+        assert!((rel.speedup - 1.0).abs() < 1e-9);
+        assert!((rel.perf_per_tdp - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fast_large_beats_tpu_on_b7() {
+        let budget = Budget::paper_default();
+        let rel = relative_to_tpu(
+            &presets::fast_large(),
+            &SimOptions::default(),
+            Workload::EfficientNet(EfficientNet::B7),
+            &budget,
+        )
+        .unwrap();
+        // Paper: 3.5× QPS, 3.9–4.3× Perf/TDP. Accept the right regime.
+        assert!(rel.speedup > 2.0, "speedup {}", rel.speedup);
+        assert!(rel.perf_per_tdp > 2.5, "perf/tdp {}", rel.perf_per_tdp);
+    }
+}

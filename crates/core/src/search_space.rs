@@ -1,0 +1,264 @@
+//! The full FAST search space: Table 3's datapath dimensions plus the
+//! compiler/scheduling knobs (two-pass softmax, §5.6).
+//!
+//! The scheduling mapspace itself is explored *inside* the simulator (the
+//! mapper tries the constrained set of known-good schemes per op — §5.3),
+//! and FAST fusion adds its own `2^(3n)` placement space solved by ILP, so
+//! the black-box optimizer only proposes the dimensions below. The combined
+//! space size (datapath × schedule × fusion) is what the paper's O(10^2300)
+//! headline counts; see [`combined_search_space_log10`].
+
+use fast_arch::{BufferSharing, DatapathConfig, L2Config, MemoryTech};
+use fast_search::{ParamDomain, ParamSpace};
+use fast_sim::{PaddingMode, SimOptions, SoftmaxMode};
+use serde::{Deserialize, Serialize};
+
+/// Dimension indices of the encoded search space, in Table-3 order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpaceDims {
+    /// `PEs_x_dim`.
+    pub pes_x: usize,
+    /// `PEs_y_dim`.
+    pub pes_y: usize,
+    /// `Systolic_array_x`.
+    pub sa_x: usize,
+    /// `Systolic_array_y`.
+    pub sa_y: usize,
+    /// `Vector_unit_multiplier`.
+    pub vector_multiplier: usize,
+    /// `L1_buffer_config`.
+    pub l1_config: usize,
+    /// `L1_input_buffer_size`.
+    pub l1_input: usize,
+    /// `L1_weight_buffer_size`.
+    pub l1_weight: usize,
+    /// `L1_output_buffer_size`.
+    pub l1_output: usize,
+    /// `L2_buffer_config`.
+    pub l2_config: usize,
+    /// `L2_input_buffer_multiplier`.
+    pub l2_input_mult: usize,
+    /// `L2_weight_buffer_multiplier`.
+    pub l2_weight_mult: usize,
+    /// `L2_output_buffer_multiplier`.
+    pub l2_output_mult: usize,
+    /// `L3_global_buffer_size`.
+    pub global_memory: usize,
+    /// `GDDR6_channels`.
+    pub dram_channels: usize,
+    /// `Native_batch_size`.
+    pub native_batch: usize,
+    /// Two-pass-softmax flag (§5.6).
+    pub two_pass_softmax: usize,
+}
+
+/// The encoded FAST search space.
+#[derive(Debug, Clone)]
+pub struct FastSpace {
+    space: ParamSpace,
+    dims: SpaceDims,
+}
+
+impl FastSpace {
+    /// Builds the Table-3 search space (plus the softmax knob).
+    #[must_use]
+    pub fn table3() -> Self {
+        let mut s = ParamSpace::new();
+        let dims = SpaceDims {
+            pes_x: s.add("PEs_x_dim", ParamDomain::Pow2 { min: 1, max: 256 }),
+            pes_y: s.add("PEs_y_dim", ParamDomain::Pow2 { min: 1, max: 256 }),
+            sa_x: s.add("Systolic_array_x", ParamDomain::Pow2 { min: 1, max: 256 }),
+            sa_y: s.add("Systolic_array_y", ParamDomain::Pow2 { min: 1, max: 256 }),
+            vector_multiplier: s
+                .add("Vector_unit_multiplier", ParamDomain::Pow2 { min: 1, max: 16 }),
+            l1_config: s.add("L1_buffer_config", ParamDomain::Categorical { n: 2 }),
+            l1_input: s.add("L1_input_buffer_size", ParamDomain::Pow2 { min: 1, max: 1024 }),
+            l1_weight: s.add("L1_weight_buffer_size", ParamDomain::Pow2 { min: 1, max: 1024 }),
+            l1_output: s.add("L1_output_buffer_size", ParamDomain::Pow2 { min: 1, max: 1024 }),
+            l2_config: s.add("L2_buffer_config", ParamDomain::Categorical { n: 3 }),
+            l2_input_mult: s
+                .add("L2_input_buffer_multiplier", ParamDomain::Pow2 { min: 1, max: 128 }),
+            l2_weight_mult: s
+                .add("L2_weight_buffer_multiplier", ParamDomain::Pow2 { min: 1, max: 128 }),
+            l2_output_mult: s
+                .add("L2_output_buffer_multiplier", ParamDomain::Pow2 { min: 1, max: 128 }),
+            global_memory: s
+                .add("L3_global_buffer_size", ParamDomain::Pow2OrZero { min: 1, max: 256 }),
+            dram_channels: s.add("GDDR6_channels", ParamDomain::Pow2 { min: 1, max: 8 }),
+            native_batch: s.add("Native_batch_size", ParamDomain::Pow2 { min: 1, max: 256 }),
+            two_pass_softmax: s.add("Two_pass_softmax", ParamDomain::Bool),
+        };
+        FastSpace { space: s, dims }
+    }
+
+    /// The underlying parameter space (for optimizers).
+    #[must_use]
+    pub fn space(&self) -> &ParamSpace {
+        &self.space
+    }
+
+    /// Dimension indices.
+    #[must_use]
+    pub fn dims(&self) -> &SpaceDims {
+        &self.dims
+    }
+
+    /// Decodes a point into a datapath config and simulation options.
+    ///
+    /// Searched designs are single-core at 1 GHz over GDDR6, matching the
+    /// FAST-Large/-Small presets.
+    #[must_use]
+    pub fn decode(&self, point: &[usize]) -> (DatapathConfig, SimOptions) {
+        let v = |d: usize| self.space.value(point, d);
+        let d = &self.dims;
+        let cfg = DatapathConfig {
+            pes_x: v(d.pes_x),
+            pes_y: v(d.pes_y),
+            sa_x: v(d.sa_x),
+            sa_y: v(d.sa_y),
+            vector_multiplier: v(d.vector_multiplier),
+            l1_config: if v(d.l1_config) == 0 {
+                BufferSharing::Private
+            } else {
+                BufferSharing::Shared
+            },
+            l1_input_kib: v(d.l1_input),
+            l1_weight_kib: v(d.l1_weight),
+            l1_output_kib: v(d.l1_output),
+            l2_config: match v(d.l2_config) {
+                0 => L2Config::Disabled,
+                1 => L2Config::Private,
+                _ => L2Config::Shared,
+            },
+            l2_input_mult: v(d.l2_input_mult),
+            l2_weight_mult: v(d.l2_weight_mult),
+            l2_output_mult: v(d.l2_output_mult),
+            global_memory_mib: v(d.global_memory),
+            dram_channels: v(d.dram_channels),
+            memory: MemoryTech::Gddr6,
+            native_batch: v(d.native_batch),
+            clock_ghz: 1.0,
+            cores: 1,
+        };
+        let sim = SimOptions {
+            padding: PaddingMode::Pad,
+            softmax: if v(d.two_pass_softmax) == 1 {
+                SoftmaxMode::TwoPass
+            } else {
+                SoftmaxMode::ThreePass
+            },
+            dataflows: fast_sim::mapper::DataflowSet::All,
+            schedule_quality: fast_sim::engine::ScheduleQuality::Searched,
+        };
+        (cfg, sim)
+    }
+
+    /// Encodes a config back into a point (inverse of [`FastSpace::decode`]),
+    /// used to seed searches with known designs.
+    ///
+    /// # Panics
+    /// Panics if the config contains values outside the Table-3 ranges.
+    #[must_use]
+    pub fn encode(&self, cfg: &DatapathConfig, sim: &SimOptions) -> Vec<usize> {
+        let mut point = vec![0usize; self.space.len()];
+        let d = &self.dims;
+        let pow2_index = |dim: usize, value: u64, min: u64| {
+            let idx = (value.trailing_zeros() - min.trailing_zeros()) as usize;
+            assert!(
+                idx < self.space.cardinality(dim),
+                "value {value} outside domain of dim {dim}"
+            );
+            idx
+        };
+        point[d.pes_x] = pow2_index(d.pes_x, cfg.pes_x, 1);
+        point[d.pes_y] = pow2_index(d.pes_y, cfg.pes_y, 1);
+        point[d.sa_x] = pow2_index(d.sa_x, cfg.sa_x, 1);
+        point[d.sa_y] = pow2_index(d.sa_y, cfg.sa_y, 1);
+        point[d.vector_multiplier] = pow2_index(d.vector_multiplier, cfg.vector_multiplier, 1);
+        point[d.l1_config] = usize::from(matches!(cfg.l1_config, BufferSharing::Shared));
+        point[d.l1_input] = pow2_index(d.l1_input, cfg.l1_input_kib, 1);
+        point[d.l1_weight] = pow2_index(d.l1_weight, cfg.l1_weight_kib, 1);
+        point[d.l1_output] = pow2_index(d.l1_output, cfg.l1_output_kib, 1);
+        point[d.l2_config] = match cfg.l2_config {
+            L2Config::Disabled => 0,
+            L2Config::Private => 1,
+            L2Config::Shared => 2,
+        };
+        point[d.l2_input_mult] = pow2_index(d.l2_input_mult, cfg.l2_input_mult, 1);
+        point[d.l2_weight_mult] = pow2_index(d.l2_weight_mult, cfg.l2_weight_mult, 1);
+        point[d.l2_output_mult] = pow2_index(d.l2_output_mult, cfg.l2_output_mult, 1);
+        point[d.global_memory] = if cfg.global_memory_mib == 0 {
+            0
+        } else {
+            pow2_index(d.global_memory, cfg.global_memory_mib, 1) + 1
+        };
+        point[d.dram_channels] = pow2_index(d.dram_channels, cfg.dram_channels, 1);
+        point[d.native_batch] = pow2_index(d.native_batch, cfg.native_batch, 1);
+        point[d.two_pass_softmax] = usize::from(matches!(sim.softmax, SoftmaxMode::TwoPass));
+        point
+    }
+}
+
+/// log10 of the combined FAST search space — datapath (Table 3) × per-layer
+/// schedule mapspaces × fusion placements — the paper's O(10^2300) estimate
+/// for a ResNet-50-scale model (§5.3).
+#[must_use]
+pub fn combined_search_space_log10(
+    datapath_log10: f64,
+    n_matrix_ops: usize,
+    mapspace_log10_per_op: f64,
+    n_fusion_regions: usize,
+) -> f64 {
+    let schedule = n_matrix_ops as f64 * mapspace_log10_per_op;
+    let fusion = 3.0 * n_fusion_regions as f64 * 2f64.log10();
+    datapath_log10 + schedule + fusion
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fast_arch::presets;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn datapath_space_is_about_1e13() {
+        let s = FastSpace::table3();
+        // 17 dims including the softmax bool: Table 3's 1e13 × 2.
+        let log = s.space().log10_size();
+        assert!((13.0..14.0).contains(&log), "{log}");
+    }
+
+    #[test]
+    fn decode_produces_valid_configs() {
+        let s = FastSpace::table3();
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..200 {
+            let p = s.space().sample(&mut rng);
+            let (cfg, _sim) = s.decode(&p);
+            cfg.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_for_presets() {
+        let s = FastSpace::table3();
+        for cfg in [presets::fast_large(), presets::fast_small()] {
+            let sim = SimOptions::default();
+            let point = s.encode(&cfg, &sim);
+            let (decoded, dsim) = s.decode(&point);
+            assert_eq!(decoded, cfg);
+            assert_eq!(dsim.softmax, sim.softmax);
+        }
+    }
+
+    #[test]
+    fn combined_space_matches_paper_order() {
+        // ResNet-50-scale: ~53 conv layers with ~1e38-per-op unconstrained
+        // mapspaces (1e2000 aggregate) plus the 1e13 datapath and 2^(3·60)
+        // fusion placements — the paper rounds the product down to 1e2300.
+        let log = combined_search_space_log10(13.0, 53, 38.0, 60);
+        assert!(log > 2000.0, "{log}");
+        assert!(log < 2400.0, "{log}");
+    }
+}

@@ -1,0 +1,722 @@
+//! # fast-fusion — the FAST fusion pass (§5.5, Figure 8)
+//!
+//! FAST fusion is a secondary pass over the XLA-partially-fused region graph:
+//! it assigns intermediate **activation** tensors and pinnable **weight**
+//! tensors from DRAM to leftover Global-Memory capacity so as to directly
+//! minimize total execution time as modeled by the simulator — not an
+//! indirect proxy like total memory accesses.
+//!
+//! The optimization problem is the paper's Figure-8 ILP verbatim:
+//!
+//! * binary `p^k_i` for `k ∈ {I, O, W}` decides whether layer `i`'s tensor of
+//!   type `k` lives in Global Memory;
+//! * `T_i ≥ T_i^min` and `T_i ≥ T_i^max − Σ_k t^k_i · p^k_i` linearize the
+//!   per-layer time as tensors move on-chip;
+//! * a Global-Memory capacity row per layer charges resident streaming
+//!   buffers `B_i`, this layer's on-chip tensors, and every pinned weight;
+//! * producer/consumer linkage plus the adjacency restriction: an input can
+//!   only be read from Global Memory when its producer executed *immediately
+//!   before* (activations have short lifetimes — multi-fanout regions benefit
+//!   at most once).
+//!
+//! Solving follows the paper's SCIP-with-timeout contract: a greedy
+//! benefit-per-byte warm start, then LP-based branch and bound when the
+//! problem is small enough, falling back to the incumbent otherwise.
+
+use fast_arch::DatapathConfig;
+use fast_ilp::{solve_milp, MilpStatus, Problem, Sense, SolveOptions, VarId};
+use fast_sim::WorkloadPerf;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Per-region tensor placement decided by FAST fusion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Placement {
+    /// Input activation read from Global Memory.
+    pub input_gm: bool,
+    /// Output activation written to Global Memory.
+    pub output_gm: bool,
+    /// Weights pinned in Global Memory across inferences.
+    pub weight_gm: bool,
+}
+
+/// How the fusion ILP was solved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FusionSolver {
+    /// LP-based branch and bound proved optimality.
+    ExactOptimal,
+    /// Branch and bound hit a limit; best incumbent returned.
+    ExactIncumbent,
+    /// Problem exceeded the exact-solver size threshold; greedy incumbent.
+    Heuristic,
+    /// No Global Memory configured — fusion disabled, all tensors in DRAM.
+    Disabled,
+}
+
+/// Options for the fusion pass.
+#[derive(Debug, Clone)]
+pub struct FusionOptions {
+    /// Maximum binary variable count for the exact branch-and-bound path.
+    pub exact_binary_limit: usize,
+    /// Branch-and-bound node limit.
+    pub max_nodes: usize,
+    /// Branch-and-bound time limit (the paper uses 20 minutes of SCIP; we
+    /// default far smaller since the search loop calls this per trial).
+    pub time_limit: Duration,
+    /// Maximum execution-order distance between a producer and the consumer
+    /// reading its activation from Global Memory; capacity is charged on
+    /// every intervening layer row. `1` is the paper's strict Figure-8
+    /// adjacency ("executes immediately after"); the default of 8 implements
+    /// the generalization the paper defers to future work — without it the
+    /// squeeze-and-excite skip inside every MBConv block re-reads its large
+    /// tensor from DRAM and fusion cannot reach the reported stall reduction.
+    pub residency_window: usize,
+    /// Completely disables the pass (ablation rows "Without FAST Fusion").
+    pub disabled: bool,
+}
+
+impl Default for FusionOptions {
+    fn default() -> Self {
+        FusionOptions {
+            exact_binary_limit: 160,
+            max_nodes: 600,
+            time_limit: Duration::from_secs(5),
+            residency_window: 8,
+            disabled: false,
+        }
+    }
+}
+
+impl FusionOptions {
+    /// Heuristic-only options (used inside hot search loops).
+    #[must_use]
+    pub fn heuristic_only() -> Self {
+        FusionOptions { exact_binary_limit: 0, ..FusionOptions::default() }
+    }
+
+    /// The paper's strict Figure-8 semantics: producer must execute
+    /// immediately before the consumer.
+    #[must_use]
+    pub fn strict_adjacency() -> Self {
+        FusionOptions { residency_window: 1, ..FusionOptions::default() }
+    }
+
+    /// A disabled pass: every tensor streams from DRAM (ablation baseline).
+    #[must_use]
+    pub fn disabled() -> Self {
+        FusionOptions { disabled: true, ..FusionOptions::default() }
+    }
+}
+
+/// Result of the fusion pass.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FusionResult {
+    /// Placement per compute region, in execution order.
+    pub placements: Vec<Placement>,
+    /// Post-fusion per-region execution times (seconds): the ILP's `T_i`
+    /// (per-region `max(compute, DRAM)` — the quantity Figure 8 minimizes).
+    pub region_seconds: Vec<f64>,
+    /// Post-fusion step time with cross-region DMA overlap:
+    /// `max(Σ compute, Σ post-fusion DRAM)`.
+    pub total_seconds: f64,
+    /// Σ of the per-region `T_i` (the ILP objective value).
+    pub sum_region_seconds: f64,
+    /// Bytes of weights pinned across inferences.
+    pub pinned_weight_bytes: u64,
+    /// Peak Global-Memory usage across layer rows.
+    pub peak_gm_bytes: u64,
+    /// DRAM traffic per step after fusion.
+    pub dram_bytes: u64,
+    /// Solver path taken.
+    pub solver: FusionSolver,
+}
+
+impl FusionResult {
+    /// Post-fusion operational intensity.
+    #[must_use]
+    pub fn op_intensity(&self, total_flops: u64) -> f64 {
+        if self.dram_bytes == 0 {
+            f64::INFINITY
+        } else {
+            total_flops as f64 / self.dram_bytes as f64
+        }
+    }
+}
+
+/// Eligibility of each region's three placement decisions, after pruning.
+struct Eligibility {
+    input: bool,
+    output: bool,
+    weight: bool,
+}
+
+/// Computes which placements can possibly help (the variable pruning pass).
+fn eligibility(perf: &WorkloadPerf, window: usize) -> Vec<Eligibility> {
+    let n = perf.regions.len();
+    let mut elig: Vec<Eligibility> = (0..n)
+        .map(|_| Eligibility { input: false, output: false, weight: false })
+        .collect();
+    for (i, r) in perf.regions.iter().enumerate() {
+        // Input from GM only if the producer ran within the residency window.
+        if let Some(j) = r.primary_input {
+            if j < i && i - j <= window && r.primary_in_bytes > 0 {
+                elig[i].input = true;
+            }
+        }
+        if r.weight_store_bytes > 0 && r.t_weight > 0.0 {
+            elig[i].weight = true;
+        }
+    }
+    // Output to GM only if some in-window successor consumes it.
+    for i in 0..n {
+        let consumer_ok = (i + 1..n.min(i + window + 1)).any(|k| {
+            elig[k].input && perf.regions[k].primary_input == Some(i)
+        });
+        elig[i].output = consumer_ok && perf.regions[i].out_bytes > 0;
+    }
+    // Inputs whose producer cannot store: disable.
+    for i in 0..n {
+        if elig[i].input {
+            let j = perf.regions[i].primary_input.expect("checked above");
+            if !elig[j].output {
+                elig[i].input = false;
+            }
+        }
+    }
+    elig
+}
+
+/// Global-Memory bytes a fused input tensor occupies: whole tensors in
+/// general, but adjacent row-streamable chains (attention einsum → softmax →
+/// einsum) are inter-op blocked and only hold a streaming tile (§5.5).
+fn fused_input_charge(perf: &WorkloadPerf, i: usize, gm_bytes: u64) -> u64 {
+    let r = &perf.regions[i];
+    let blockable = r.row_streamable
+        && r.primary_input
+            .is_some_and(|j| j + 1 == i && perf.regions[j].row_streamable);
+    if blockable {
+        r.primary_in_bytes.min(gm_bytes / 4)
+    } else {
+        r.primary_in_bytes
+    }
+}
+
+/// Per-layer Global-Memory usage rows for a placement vector: streaming
+/// buffers + pinned weights + every fused activation resident across its
+/// producer→consumer span.
+fn capacity_rows(perf: &WorkloadPerf, gm_bytes: u64, placements: &[Placement]) -> Vec<u64> {
+    let pinned: u64 = perf
+        .regions
+        .iter()
+        .zip(placements)
+        .filter(|(_, p)| p.weight_gm)
+        .map(|(r, _)| r.weight_store_bytes)
+        .sum();
+    let mut rows: Vec<u64> = perf
+        .regions
+        .iter()
+        .map(|r| r.resident_buffer_bytes + pinned)
+        .collect();
+    for (i, (r, p)) in perf.regions.iter().zip(placements).enumerate() {
+        if p.input_gm {
+            if let Some(j) = r.primary_input {
+                let charge = fused_input_charge(perf, i, gm_bytes);
+                for row in rows.iter_mut().take(i + 1).skip(j) {
+                    *row += charge;
+                }
+            }
+        }
+    }
+    rows
+}
+
+/// Evaluation of a placement vector.
+struct Evaluation {
+    times: Vec<f64>,
+    sum_times: f64,
+    overlapped_total: f64,
+    pinned: u64,
+    peak: u64,
+    dram: u64,
+}
+
+fn evaluate(perf: &WorkloadPerf, gm_bytes: u64, placements: &[Placement]) -> Evaluation {
+    let pinned: u64 = perf
+        .regions
+        .iter()
+        .zip(placements)
+        .filter(|(_, p)| p.weight_gm)
+        .map(|(r, _)| r.weight_store_bytes)
+        .sum();
+    let mut times = Vec::with_capacity(perf.regions.len());
+    let mut sum_times = 0.0;
+    let mut dram = 0u64;
+    let mut dram_seconds = 0.0;
+    for (r, p) in perf.regions.iter().zip(placements) {
+        let t = r.time_with_placements(p.input_gm, p.output_gm, p.weight_gm);
+        times.push(t);
+        sum_times += t;
+        dram += r.dram_bytes_with_placements(p.input_gm, p.output_gm, p.weight_gm);
+        let mut d = r.t_fixed;
+        if !p.input_gm {
+            d += r.t_in;
+        }
+        if !p.output_gm {
+            d += r.t_out;
+        }
+        if !p.weight_gm {
+            d += r.t_weight;
+        }
+        dram_seconds += d;
+    }
+    let peak = capacity_rows(perf, gm_bytes, placements).into_iter().max().unwrap_or(0);
+    Evaluation {
+        times,
+        sum_times,
+        overlapped_total: perf.compute_seconds.max(dram_seconds),
+        pinned,
+        peak,
+        dram,
+    }
+}
+
+/// Checks that `placements` respect the per-layer capacity rows.
+fn feasible(perf: &WorkloadPerf, gm_bytes: u64, placements: &[Placement]) -> bool {
+    capacity_rows(perf, gm_bytes, placements).into_iter().all(|row| row <= gm_bytes)
+}
+
+/// Greedy warm start: repeatedly take the feasible move with the best
+/// time-saved per Global-Memory byte.
+///
+/// Moves are (a) pin one region's weights, (b) fuse one adjacent
+/// producer→consumer activation edge. Per-move deltas are computed locally
+/// (only the touched regions change time; pinning shrinks every row's slack).
+fn greedy(perf: &WorkloadPerf, gm_bytes: u64, elig: &[Eligibility]) -> Vec<Placement> {
+    let n = perf.regions.len();
+    let mut placements = vec![Placement::default(); n];
+    let mut pinned: u64 = 0;
+    // Row usage excluding the global pinned term.
+    let mut row_local: Vec<u64> =
+        perf.regions.iter().map(|r| r.resident_buffer_bytes).collect();
+    let max_local = |rows: &[u64]| rows.iter().copied().max().unwrap_or(0);
+
+    #[derive(Clone, Copy)]
+    enum Move {
+        PinWeight(usize),
+        /// Fuse the primary edge into consumer `i` (producer is
+        /// `regions[i].primary_input`).
+        FuseEdge(usize),
+    }
+
+    let time_of = |placements: &[Placement], i: usize| {
+        perf.regions[i].time_with_placements(
+            placements[i].input_gm,
+            placements[i].output_gm,
+            placements[i].weight_gm,
+        )
+    };
+
+    loop {
+        let mut best: Option<(f64, Move)> = None;
+        for i in 0..n {
+            let r = &perf.regions[i];
+            if elig[i].weight && !placements[i].weight_gm {
+                let w = r.weight_store_bytes;
+                // Pinning must fit under every row (it is globally resident).
+                if pinned + w + max_local(&row_local) <= gm_bytes {
+                    let before = time_of(&placements, i);
+                    let mut cand = placements[i];
+                    cand.weight_gm = true;
+                    let after = r.time_with_placements(
+                        cand.input_gm,
+                        cand.output_gm,
+                        cand.weight_gm,
+                    );
+                    let saved = before - after;
+                    let density = saved / w.max(1) as f64;
+                    if saved > 1e-15 && best.is_none_or(|(b, _)| density > b) {
+                        best = Some((density, Move::PinWeight(i)));
+                    }
+                }
+            }
+            if elig[i].input && !placements[i].input_gm {
+                let j = r.primary_input.expect("eligible input has producer");
+                let bytes = fused_input_charge(perf, i, gm_bytes);
+                let fits = (j..=i)
+                    .all(|k| row_local[k] + bytes + pinned <= gm_bytes);
+                if fits {
+                    let mut before = time_of(&placements, i);
+                    let mut cj = placements[j];
+                    if !cj.output_gm {
+                        before += time_of(&placements, j);
+                    }
+                    let mut ci = placements[i];
+                    ci.input_gm = true;
+                    let mut after = perf.regions[i].time_with_placements(
+                        ci.input_gm,
+                        ci.output_gm,
+                        ci.weight_gm,
+                    );
+                    if !cj.output_gm {
+                        cj.output_gm = true;
+                        after += perf.regions[j].time_with_placements(
+                            cj.input_gm,
+                            cj.output_gm,
+                            cj.weight_gm,
+                        );
+                    }
+                    let saved = before - after;
+                    let density = saved / bytes.max(1) as f64;
+                    if saved > 1e-15 && best.is_none_or(|(b, _)| density > b) {
+                        best = Some((density, Move::FuseEdge(i)));
+                    }
+                }
+            }
+        }
+        match best {
+            Some((_, Move::PinWeight(i))) => {
+                placements[i].weight_gm = true;
+                pinned += perf.regions[i].weight_store_bytes;
+            }
+            Some((_, Move::FuseEdge(i))) => {
+                let j = perf.regions[i].primary_input.expect("checked");
+                placements[i].input_gm = true;
+                placements[j].output_gm = true;
+                let bytes = fused_input_charge(perf, i, gm_bytes);
+                for row in row_local.iter_mut().take(i + 1).skip(j) {
+                    *row += bytes;
+                }
+            }
+            None => break,
+        }
+    }
+    placements
+}
+
+/// Variable handles of the Figure-8 ILP.
+struct IlpVars {
+    p_in: Vec<Option<VarId>>,
+    p_out: Vec<Option<VarId>>,
+    p_w: Vec<Option<VarId>>,
+    t: Vec<VarId>,
+}
+
+fn build_ilp(perf: &WorkloadPerf, gm_bytes: u64, elig: &[Eligibility]) -> (Problem, IlpVars) {
+    let n = perf.regions.len();
+    let mut prob = Problem::new(format!("fast-fusion:{}", perf.workload));
+    let mut vars = IlpVars {
+        p_in: vec![None; n],
+        p_out: vec![None; n],
+        p_w: vec![None; n],
+        t: Vec::with_capacity(n),
+    };
+
+    for i in 0..n {
+        if elig[i].input {
+            vars.p_in[i] = Some(prob.add_binary(format!("pI_{i}"), 0.0));
+        }
+        if elig[i].output {
+            vars.p_out[i] = Some(prob.add_binary(format!("pO_{i}"), 0.0));
+        }
+        if elig[i].weight {
+            vars.p_w[i] = Some(prob.add_binary(format!("pW_{i}"), 0.0));
+        }
+    }
+    // Time variables and rows: T_i >= T_min via bound, plus the Figure-8 row
+    // T_i + t^I pI + t^O pO + t^W pW >= T_max.
+    for (i, r) in perf.regions.iter().enumerate() {
+        let t_min = r.time_with_placements(true, true, true);
+        let t = prob.add_continuous(format!("T_{i}"), t_min, f64::INFINITY, 1.0);
+        vars.t.push(t);
+        let mut terms = vec![(t, 1.0)];
+        if let Some(v) = vars.p_in[i] {
+            terms.push((v, r.t_in));
+        }
+        if let Some(v) = vars.p_out[i] {
+            terms.push((v, r.t_out));
+        }
+        if let Some(v) = vars.p_w[i] {
+            terms.push((v, r.t_weight));
+        }
+        prob.add_constraint(format!("time_{i}"), terms, Sense::Ge, r.t_max);
+    }
+    // Capacity row per layer k: B_k + Σ resident activations + Σ_j W_j pW_j
+    // <= C. A fused activation read by layer i from producer j is resident on
+    // rows j..=i.
+    for (k, rk) in perf.regions.iter().enumerate() {
+        let mut terms = Vec::new();
+        for (i, r) in perf.regions.iter().enumerate() {
+            if let Some(v) = vars.p_in[i] {
+                let j = r.primary_input.expect("eligible input has producer");
+                if j <= k && k <= i {
+                    terms.push((v, fused_input_charge(perf, i, gm_bytes) as f64));
+                }
+            }
+        }
+        for rj in perf.regions.iter().zip(&vars.p_w) {
+            if let (r, Some(v)) = rj {
+                terms.push((*v, r.weight_store_bytes as f64));
+            }
+        }
+        if terms.is_empty() {
+            continue;
+        }
+        prob.add_constraint(
+            format!("cap_{k}"),
+            terms,
+            Sense::Le,
+            gm_bytes as f64 - rk.resident_buffer_bytes as f64,
+        );
+    }
+    // Linkage: consumer reads from GM only if producer wrote it, and an
+    // output is only stored if its consumer reads it.
+    for i in 0..n {
+        if let Some(pi) = vars.p_in[i] {
+            let j = perf.regions[i].primary_input.expect("eligible input has producer");
+            if let Some(po) = vars.p_out[j] {
+                prob.add_constraint(
+                    format!("link_{j}_{i}"),
+                    vec![(po, 1.0), (pi, -1.0)],
+                    Sense::Ge,
+                    0.0,
+                );
+            }
+        }
+        if let Some(po) = vars.p_out[i] {
+            // Output useful only if some eligible consumer reads it from GM.
+            let readers: Vec<(VarId, f64)> = (i + 1..n)
+                .filter(|&k| perf.regions[k].primary_input == Some(i))
+                .filter_map(|k| vars.p_in[k].map(|v| (v, 1.0)))
+                .collect();
+            if !readers.is_empty() {
+                let mut terms = readers;
+                terms.push((po, -1.0));
+                prob.add_constraint(format!("useful_{i}"), terms, Sense::Ge, 0.0);
+            }
+        }
+    }
+    (prob, vars)
+}
+
+/// Runs FAST fusion on a simulated workload.
+#[must_use]
+pub fn fuse_workload(
+    perf: &WorkloadPerf,
+    cfg: &DatapathConfig,
+    opts: &FusionOptions,
+) -> FusionResult {
+    let gm_bytes = cfg.global_memory_bytes();
+    let n = perf.regions.len();
+    if opts.disabled || gm_bytes == 0 || n == 0 {
+        let placements = vec![Placement::default(); n];
+        let ev = evaluate(perf, gm_bytes, &placements);
+        return FusionResult {
+            placements,
+            region_seconds: ev.times,
+            total_seconds: ev.overlapped_total,
+            sum_region_seconds: ev.sum_times,
+            pinned_weight_bytes: ev.pinned,
+            peak_gm_bytes: ev.peak,
+            dram_bytes: ev.dram,
+            solver: FusionSolver::Disabled,
+        };
+    }
+
+    let elig = eligibility(perf, opts.residency_window.max(1));
+    let warm = greedy(perf, gm_bytes, &elig);
+    let n_binaries: usize = elig
+        .iter()
+        .map(|e| usize::from(e.input) + usize::from(e.output) + usize::from(e.weight))
+        .sum();
+
+    let (placements, solver) = if n_binaries > 0 && n_binaries <= opts.exact_binary_limit {
+        let (prob, vars) = build_ilp(perf, gm_bytes, &elig);
+        let mut ws = vec![0.0; prob.num_vars()];
+        for i in 0..n {
+            if let Some(v) = vars.p_in[i] {
+                ws[v.index()] = f64::from(u8::from(warm[i].input_gm));
+            }
+            if let Some(v) = vars.p_out[i] {
+                ws[v.index()] = f64::from(u8::from(warm[i].output_gm));
+            }
+            if let Some(v) = vars.p_w[i] {
+                ws[v.index()] = f64::from(u8::from(warm[i].weight_gm));
+            }
+        }
+        for (i, r) in perf.regions.iter().enumerate() {
+            ws[vars.t[i].index()] =
+                r.time_with_placements(warm[i].input_gm, warm[i].output_gm, warm[i].weight_gm);
+        }
+        let sol = solve_milp(
+            &prob,
+            &SolveOptions {
+                max_nodes: opts.max_nodes,
+                time_limit: opts.time_limit,
+                gap_tol: 1e-6,
+                warm_start: Some(ws),
+            },
+        );
+        match sol.status {
+            MilpStatus::Optimal | MilpStatus::Incumbent => {
+                let mut placements = vec![Placement::default(); n];
+                for i in 0..n {
+                    if let Some(v) = vars.p_in[i] {
+                        placements[i].input_gm = sol.values[v.index()] > 0.5;
+                    }
+                    if let Some(v) = vars.p_out[i] {
+                        placements[i].output_gm = sol.values[v.index()] > 0.5;
+                    }
+                    if let Some(v) = vars.p_w[i] {
+                        placements[i].weight_gm = sol.values[v.index()] > 0.5;
+                    }
+                }
+                let status = if sol.status == MilpStatus::Optimal {
+                    FusionSolver::ExactOptimal
+                } else {
+                    FusionSolver::ExactIncumbent
+                };
+                // Guard against solver tolerance artifacts.
+                if feasible(perf, gm_bytes, &placements) {
+                    (placements, status)
+                } else {
+                    (warm.clone(), FusionSolver::Heuristic)
+                }
+            }
+            _ => (warm.clone(), FusionSolver::Heuristic),
+        }
+    } else {
+        (warm.clone(), FusionSolver::Heuristic)
+    };
+
+    let ev = evaluate(perf, gm_bytes, &placements);
+    FusionResult {
+        placements,
+        region_seconds: ev.times,
+        total_seconds: ev.overlapped_total,
+        sum_region_seconds: ev.sum_times,
+        pinned_weight_bytes: ev.pinned,
+        peak_gm_bytes: ev.peak,
+        dram_bytes: ev.dram,
+        solver,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fast_arch::presets;
+    use fast_models::{EfficientNet, Workload};
+    use fast_sim::{simulate, SimOptions};
+
+    fn perf_of(w: Workload, batch: u64, cfg: &DatapathConfig) -> WorkloadPerf {
+        let g = w.build(batch).unwrap();
+        simulate(&g, cfg, &SimOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn fusion_never_slower_than_prefusion() {
+        let cfg = presets::fast_large();
+        for w in [Workload::EfficientNet(EfficientNet::B0), Workload::ResNet50] {
+            let perf = perf_of(w, 8, &cfg);
+            let fused = fuse_workload(&perf, &cfg, &FusionOptions::default());
+            assert!(
+                fused.total_seconds <= perf.prefusion_seconds * (1.0 + 1e-9),
+                "{w}: fused {} vs prefusion {}",
+                fused.total_seconds,
+                perf.prefusion_seconds
+            );
+            assert!(fused.total_seconds >= perf.compute_seconds * (1.0 - 1e-9));
+        }
+    }
+
+    #[test]
+    fn fusion_disabled_without_global_memory() {
+        let mut cfg = presets::fast_large();
+        cfg.global_memory_mib = 0;
+        let perf = perf_of(Workload::EfficientNet(EfficientNet::B0), 8, &cfg);
+        let fused = fuse_workload(&perf, &cfg, &FusionOptions::default());
+        assert_eq!(fused.solver, FusionSolver::Disabled);
+        assert!((fused.total_seconds - perf.prefusion_seconds).abs() < 1e-12);
+        assert_eq!(fused.pinned_weight_bytes, 0);
+    }
+
+    #[test]
+    fn bigger_gm_fuses_more() {
+        let mut small = presets::fast_large();
+        small.global_memory_mib = 8;
+        let mut big = presets::fast_large();
+        big.global_memory_mib = 128;
+        let w = Workload::EfficientNet(EfficientNet::B4);
+        let perf_small = perf_of(w, 8, &small);
+        let perf_big = perf_of(w, 8, &big);
+        let f_small = fuse_workload(&perf_small, &small, &FusionOptions::heuristic_only());
+        let f_big = fuse_workload(&perf_big, &big, &FusionOptions::heuristic_only());
+        assert!(
+            f_big.dram_bytes <= f_small.dram_bytes,
+            "big GM should cut DRAM traffic: {} vs {}",
+            f_big.dram_bytes,
+            f_small.dram_bytes
+        );
+        let g = w.build(8).unwrap();
+        assert!(f_big.op_intensity(g.total_flops()) >= f_small.op_intensity(g.total_flops()));
+    }
+
+    #[test]
+    fn placements_respect_capacity() {
+        let cfg = presets::fast_large();
+        let perf = perf_of(Workload::EfficientNet(EfficientNet::B7), 8, &cfg);
+        let fused = fuse_workload(&perf, &cfg, &FusionOptions::default());
+        assert!(feasible(&perf, cfg.global_memory_bytes(), &fused.placements));
+        assert!(fused.peak_gm_bytes <= cfg.global_memory_bytes());
+    }
+
+    #[test]
+    fn linkage_inputs_have_producing_outputs() {
+        let cfg = presets::fast_large();
+        let perf = perf_of(Workload::EfficientNet(EfficientNet::B3), 8, &cfg);
+        let fused = fuse_workload(&perf, &cfg, &FusionOptions::default());
+        for (i, p) in fused.placements.iter().enumerate() {
+            if p.input_gm {
+                let j = perf.regions[i].primary_input.expect("input needs producer");
+                assert!(fused.placements[j].output_gm, "region {i} reads GM without producer");
+                assert!(j < i && i - j <= 8, "residency window violated: {j} -> {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_matches_or_beats_heuristic_on_small_model() {
+        let cfg = presets::fast_large();
+        let perf = perf_of(Workload::EfficientNet(EfficientNet::B0), 1, &cfg);
+        let heur = fuse_workload(&perf, &cfg, &FusionOptions::heuristic_only());
+        let exact = fuse_workload(
+            &perf,
+            &cfg,
+            &FusionOptions {
+                exact_binary_limit: 10_000,
+                max_nodes: 4000,
+                time_limit: Duration::from_secs(30),
+                ..FusionOptions::default()
+            },
+        );
+        assert!(
+            exact.total_seconds <= heur.total_seconds * (1.0 + 1e-9),
+            "exact {} vs heuristic {}",
+            exact.total_seconds,
+            heur.total_seconds
+        );
+    }
+
+    #[test]
+    fn b7_fusion_removes_most_memory_stall() {
+        // Table 5: FAST-Large on B7 — pre-fusion 63% stall, post-fusion ~9%,
+        // fusion efficiency 85%.
+        let cfg = presets::fast_large();
+        let perf = perf_of(Workload::EfficientNet(EfficientNet::B7), 8, &cfg);
+        let fused = fuse_workload(&perf, &cfg, &FusionOptions::default());
+        let pre_stall = perf.prefusion_memory_stall_fraction();
+        let post_stall = (1.0 - perf.compute_seconds / fused.total_seconds).max(0.0);
+        assert!(pre_stall > 0.3, "pre stall {pre_stall}");
+        assert!(post_stall < pre_stall * 0.6, "post stall {post_stall} vs pre {pre_stall}");
+    }
+}

@@ -1,0 +1,297 @@
+//! Branch-and-bound driver for 0/1 MILPs on top of the LP relaxation.
+//!
+//! Matches the contract FAST relies on from SCIP (§6.1): solve to optimality
+//! when the budget allows, otherwise return the **best incumbent** found
+//! within the node/time limit.
+
+use crate::problem::Problem;
+use crate::simplex::{solve_lp, Bounds, LpStatus};
+use std::time::{Duration, Instant};
+
+/// Termination status of a MILP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MilpStatus {
+    /// Proven optimal.
+    Optimal,
+    /// A feasible incumbent is returned but limits stopped the proof.
+    Incumbent,
+    /// Proven infeasible.
+    Infeasible,
+    /// Limits hit before any feasible point was found.
+    Unknown,
+}
+
+/// Result of a MILP solve.
+#[derive(Debug, Clone)]
+pub struct MilpSolution {
+    /// Termination status.
+    pub status: MilpStatus,
+    /// Objective of `values` (`f64::INFINITY` when none found).
+    pub objective: f64,
+    /// Best assignment found.
+    pub values: Vec<f64>,
+    /// Branch-and-bound nodes explored.
+    pub nodes_explored: usize,
+}
+
+/// Solver limits and warm start.
+#[derive(Debug, Clone)]
+pub struct SolveOptions {
+    /// Maximum branch-and-bound nodes.
+    pub max_nodes: usize,
+    /// Wall-clock limit.
+    pub time_limit: Duration,
+    /// Relative optimality gap at which to stop.
+    pub gap_tol: f64,
+    /// Optional feasible warm-start assignment (used as initial incumbent).
+    pub warm_start: Option<Vec<f64>>,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions {
+            max_nodes: 10_000,
+            time_limit: Duration::from_secs(20),
+            gap_tol: 1e-6,
+            warm_start: None,
+        }
+    }
+}
+
+const INT_TOL: f64 = 1e-6;
+
+/// Solves a 0/1 MILP by LP-based branch and bound.
+#[must_use]
+pub fn solve_milp(problem: &Problem, options: &SolveOptions) -> MilpSolution {
+    let start = Instant::now();
+    let binaries = problem.binary_vars();
+    let root_bounds = Bounds::of(problem);
+
+    let mut best_obj = f64::INFINITY;
+    let mut best_x: Option<Vec<f64>> = None;
+    if let Some(ws) = &options.warm_start {
+        if problem.is_feasible(ws, 1e-6) {
+            best_obj = problem.objective_value(ws);
+            best_x = Some(ws.clone());
+        }
+    }
+
+    let mut nodes_explored = 0usize;
+    let mut proven = true;
+    // DFS stack of bound sets.
+    let mut stack: Vec<Bounds> = vec![root_bounds];
+
+    while let Some(bounds) = stack.pop() {
+        if nodes_explored >= options.max_nodes || start.elapsed() > options.time_limit {
+            proven = false;
+            break;
+        }
+        nodes_explored += 1;
+
+        let lp = solve_lp(problem, &bounds);
+        match lp.status {
+            LpStatus::Infeasible => continue,
+            LpStatus::Unbounded => {
+                // A relaxation unbounded at the root means the MILP is
+                // unbounded or the model is broken; treat as no-prune.
+                proven = false;
+                continue;
+            }
+            LpStatus::IterLimit => {
+                proven = false;
+                // Cannot trust the bound; fall through and try branching on
+                // the (possibly suboptimal) point.
+            }
+            LpStatus::Optimal => {}
+        }
+        // Bound-based pruning (only sound for Optimal relaxations).
+        if lp.status == LpStatus::Optimal
+            && lp.objective >= best_obj - options.gap_tol * best_obj.abs().max(1.0)
+        {
+            continue;
+        }
+
+        // Find most fractional binary.
+        let mut branch_var = None;
+        let mut most_frac = INT_TOL;
+        for &b in &binaries {
+            let v = lp.values[b.index()];
+            let frac = (v - v.round()).abs();
+            if frac > most_frac {
+                most_frac = frac;
+                branch_var = Some(b);
+            }
+        }
+
+        match branch_var {
+            None => {
+                // Integral: candidate incumbent (round exactly to be safe).
+                let mut x = lp.values.clone();
+                for &b in &binaries {
+                    x[b.index()] = x[b.index()].round();
+                }
+                if problem.is_feasible(&x, 1e-6) {
+                    let obj = problem.objective_value(&x);
+                    if obj < best_obj {
+                        best_obj = obj;
+                        best_x = Some(x);
+                    }
+                }
+            }
+            Some(b) => {
+                // Rounding heuristic to seed incumbents early.
+                if best_x.is_none() {
+                    let mut x = lp.values.clone();
+                    for &bv in &binaries {
+                        x[bv.index()] = x[bv.index()].round();
+                    }
+                    if problem.is_feasible(&x, 1e-6) {
+                        let obj = problem.objective_value(&x);
+                        if obj < best_obj {
+                            best_obj = obj;
+                            best_x = Some(x);
+                        }
+                    }
+                }
+                let frac = lp.values[b.index()];
+                // Explore the nearer side first (DFS pops last push).
+                let (first, second) = if frac >= 0.5 { (0.0, 1.0) } else { (1.0, 0.0) };
+                for fix in [first, second] {
+                    let mut child = bounds.clone();
+                    child.lo[b.index()] = fix;
+                    child.hi[b.index()] = fix;
+                    stack.push(child);
+                }
+            }
+        }
+    }
+
+    match best_x {
+        Some(values) => MilpSolution {
+            status: if proven && stack.is_empty() { MilpStatus::Optimal } else { MilpStatus::Incumbent },
+            objective: best_obj,
+            values,
+            nodes_explored,
+        },
+        None => MilpSolution {
+            status: if proven && stack.is_empty() { MilpStatus::Infeasible } else { MilpStatus::Unknown },
+            objective: f64::INFINITY,
+            values: vec![0.0; problem.num_vars()],
+            nodes_explored,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Sense;
+
+    /// 0/1 knapsack with known optimum.
+    #[test]
+    fn knapsack_exact() {
+        // values [6,10,12], weights [1,2,3], cap 5 -> take items 2+3 = 22.
+        let mut p = Problem::new("ks");
+        let a = p.add_binary("a", -6.0);
+        let b = p.add_binary("b", -10.0);
+        let c = p.add_binary("c", -12.0);
+        p.add_constraint("cap", vec![(a, 1.0), (b, 2.0), (c, 3.0)], Sense::Le, 5.0);
+        let s = solve_milp(&p, &SolveOptions::default());
+        assert_eq!(s.status, MilpStatus::Optimal);
+        assert!((s.objective + 22.0).abs() < 1e-6, "{}", s.objective);
+        assert_eq!(s.values[1].round() as i64, 1);
+        assert_eq!(s.values[2].round() as i64, 1);
+    }
+
+    #[test]
+    fn mixed_integer_continuous() {
+        // min -y - 5 b  s.t. y <= 3 + 2b, y <= 4, b binary.
+        // b=1: y=4 (cap by y<=4): obj -9. b=0: y=3: obj -3. Optimum -9.
+        let mut p = Problem::new("mix");
+        let y = p.add_continuous("y", 0.0, 4.0, -1.0);
+        let b = p.add_binary("b", -5.0);
+        p.add_constraint("link", vec![(y, 1.0), (b, -2.0)], Sense::Le, 3.0);
+        let s = solve_milp(&p, &SolveOptions::default());
+        assert_eq!(s.status, MilpStatus::Optimal);
+        assert!((s.objective + 9.0).abs() < 1e-6, "{}", s.objective);
+    }
+
+    #[test]
+    fn infeasible_milp() {
+        let mut p = Problem::new("inf");
+        let a = p.add_binary("a", 1.0);
+        let b = p.add_binary("b", 1.0);
+        p.add_constraint("c1", vec![(a, 1.0), (b, 1.0)], Sense::Ge, 3.0);
+        let s = solve_milp(&p, &SolveOptions::default());
+        assert_eq!(s.status, MilpStatus::Infeasible);
+    }
+
+    #[test]
+    fn warm_start_used_as_incumbent() {
+        let mut p = Problem::new("ws");
+        let a = p.add_binary("a", -1.0);
+        p.add_constraint("c", vec![(a, 1.0)], Sense::Le, 1.0);
+        let opts = SolveOptions {
+            max_nodes: 0, // no exploration: incumbent must come from warm start
+            warm_start: Some(vec![1.0]),
+            ..SolveOptions::default()
+        };
+        let s = solve_milp(&p, &opts);
+        assert_eq!(s.status, MilpStatus::Incumbent);
+        assert!((s.objective + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn node_limit_returns_incumbent_not_panic() {
+        // 12-item knapsack, tiny node budget.
+        let mut p = Problem::new("big");
+        let mut terms = Vec::new();
+        for i in 0..12 {
+            let v = p.add_binary(format!("x{i}"), -((i % 5 + 1) as f64));
+            terms.push((v, (i % 3 + 1) as f64));
+        }
+        p.add_constraint("cap", terms, Sense::Le, 7.0);
+        let opts = SolveOptions { max_nodes: 5, ..SolveOptions::default() };
+        let s = solve_milp(&p, &opts);
+        assert!(matches!(s.status, MilpStatus::Incumbent | MilpStatus::Unknown | MilpStatus::Optimal));
+        if s.status != MilpStatus::Unknown {
+            assert!(p.is_feasible(&s.values, 1e-6));
+        }
+    }
+
+    /// Exhaustive cross-check on all 2^n assignments for small random-ish
+    /// problems.
+    #[test]
+    fn matches_brute_force_on_small_problems() {
+        let cases: Vec<(Vec<f64>, Vec<f64>, f64)> = vec![
+            (vec![-3.0, -1.0, -4.0, -1.5], vec![2.0, 1.0, 3.0, 2.0], 4.0),
+            (vec![-1.0, -2.0, -3.0, -4.0], vec![1.0, 1.0, 1.0, 1.0], 2.0),
+            (vec![-5.0, -4.0, -3.0, -2.0], vec![4.0, 3.0, 2.0, 1.0], 6.0),
+        ];
+        for (values, weights, cap) in cases {
+            let mut p = Problem::new("bf");
+            let vars: Vec<_> = values
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| p.add_binary(format!("x{i}"), v))
+                .collect();
+            let terms: Vec<_> = vars.iter().zip(&weights).map(|(&v, &w)| (v, w)).collect();
+            p.add_constraint("cap", terms, Sense::Le, cap);
+            let s = solve_milp(&p, &SolveOptions::default());
+            assert_eq!(s.status, MilpStatus::Optimal);
+            // Brute force.
+            let n = values.len();
+            let mut best = f64::INFINITY;
+            for mask in 0..(1u32 << n) {
+                let x: Vec<f64> =
+                    (0..n).map(|i| if mask & (1 << i) != 0 { 1.0 } else { 0.0 }).collect();
+                let w: f64 = x.iter().zip(&weights).map(|(a, b)| a * b).sum();
+                if w <= cap {
+                    let obj: f64 = x.iter().zip(&values).map(|(a, b)| a * b).sum();
+                    best = best.min(obj);
+                }
+            }
+            assert!((s.objective - best).abs() < 1e-6, "got {} want {best}", s.objective);
+        }
+    }
+}

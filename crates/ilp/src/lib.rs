@@ -1,0 +1,150 @@
+//! # fast-ilp — a self-contained 0/1 MILP solver
+//!
+//! The FAST paper solves its fusion ILP (Figure 8) with SCIP v7, configured
+//! with a 20-minute timeout after which the best incumbent is taken (§6.1).
+//! SCIP is not available to this reproduction, so this crate provides the
+//! substrate from scratch:
+//!
+//! * a [`Problem`] builder for sparse mixed 0/1 linear programs,
+//! * a dense two-phase primal [`simplex`] solver for LP relaxations,
+//! * an LP-based [`branch_bound`] driver with node/time limits that returns
+//!   the best incumbent on limit — the same contract FAST relies on.
+//!
+//! ```
+//! use fast_ilp::{Problem, Sense, SolveOptions, solve_milp, MilpStatus};
+//!
+//! // max 6a + 10b + 12c  s.t.  a + 2b + 3c <= 5   (classic knapsack)
+//! let mut p = Problem::new("knapsack");
+//! let a = p.add_binary("a", -6.0);
+//! let b = p.add_binary("b", -10.0);
+//! let c = p.add_binary("c", -12.0);
+//! p.add_constraint("cap", vec![(a, 1.0), (b, 2.0), (c, 3.0)], Sense::Le, 5.0);
+//! let sol = solve_milp(&p, &SolveOptions::default());
+//! assert_eq!(sol.status, MilpStatus::Optimal);
+//! assert_eq!(sol.objective, -22.0);
+//! ```
+
+pub mod branch_bound;
+pub mod problem;
+pub mod simplex;
+
+pub use branch_bound::{solve_milp, MilpSolution, MilpStatus, SolveOptions};
+pub use problem::{Constraint, Problem, Sense, VarId, VarKind, Variable};
+pub use simplex::{solve_lp, Bounds, LpSolution, LpStatus};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn brute_force(values: &[f64], weights: &[Vec<f64>], caps: &[f64]) -> f64 {
+        let n = values.len();
+        let mut best = f64::INFINITY;
+        for mask in 0..(1u32 << n) {
+            let x: Vec<f64> =
+                (0..n).map(|i| if mask & (1 << i) != 0 { 1.0 } else { 0.0 }).collect();
+            let feasible = weights.iter().zip(caps).all(|(row, &cap)| {
+                row.iter().zip(&x).map(|(a, b)| a * b).sum::<f64>() <= cap + 1e-9
+            });
+            if feasible {
+                let obj: f64 = x.iter().zip(values).map(|(a, b)| a * b).sum();
+                best = best.min(obj);
+            }
+        }
+        best
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Branch-and-bound matches brute force on random multi-constraint
+        /// binary problems (n <= 8, 2 rows).
+        #[test]
+        fn bb_matches_brute_force(
+            values in prop::collection::vec(-9i32..=9, 2..=8),
+            w1 in prop::collection::vec(0i32..=5, 8),
+            w2 in prop::collection::vec(0i32..=5, 8),
+            c1 in 0i32..=12,
+            c2 in 0i32..=12,
+        ) {
+            let n = values.len();
+            let values: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+            let rows: Vec<Vec<f64>> = vec![
+                w1[..n].iter().map(|&v| v as f64).collect(),
+                w2[..n].iter().map(|&v| v as f64).collect(),
+            ];
+            let caps = [c1 as f64, c2 as f64];
+
+            let mut p = Problem::new("prop");
+            let vars: Vec<VarId> = values
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| p.add_binary(format!("x{i}"), v))
+                .collect();
+            for (r, row) in rows.iter().enumerate() {
+                let terms: Vec<(VarId, f64)> =
+                    vars.iter().zip(row).map(|(&v, &w)| (v, w)).collect();
+                p.add_constraint(format!("r{r}"), terms, Sense::Le, caps[r]);
+            }
+            let sol = solve_milp(&p, &SolveOptions::default());
+            prop_assert_eq!(sol.status, MilpStatus::Optimal);
+            let expect = brute_force(&values, &rows, &caps);
+            prop_assert!((sol.objective - expect).abs() < 1e-6,
+                "solver {} vs brute force {}", sol.objective, expect);
+        }
+
+        /// Every returned incumbent is feasible.
+        #[test]
+        fn incumbents_are_feasible(
+            values in prop::collection::vec(-9i32..=0, 3..=10),
+            weights in prop::collection::vec(1i32..=4, 10),
+            cap in 1i32..=10,
+        ) {
+            let n = values.len();
+            let mut p = Problem::new("prop2");
+            let vars: Vec<VarId> = values
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| p.add_binary(format!("x{i}"), v as f64))
+                .collect();
+            let terms: Vec<(VarId, f64)> = vars
+                .iter()
+                .zip(&weights[..n])
+                .map(|(&v, &w)| (v, w as f64))
+                .collect();
+            p.add_constraint("cap", terms, Sense::Le, cap as f64);
+            let sol = solve_milp(&p, &SolveOptions { max_nodes: 12, ..Default::default() });
+            if sol.status != MilpStatus::Unknown && sol.status != MilpStatus::Infeasible {
+                prop_assert!(p.is_feasible(&sol.values, 1e-6));
+            }
+        }
+
+        /// LP relaxation is a valid lower bound for the MILP optimum.
+        #[test]
+        fn lp_bounds_milp(
+            values in prop::collection::vec(-9i32..=9, 2..=7),
+            weights in prop::collection::vec(0i32..=5, 7),
+            cap in 0i32..=10,
+        ) {
+            let n = values.len();
+            let mut p = Problem::new("prop3");
+            let vars: Vec<VarId> = values
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| p.add_binary(format!("x{i}"), v as f64))
+                .collect();
+            let terms: Vec<(VarId, f64)> = vars
+                .iter()
+                .zip(&weights[..n])
+                .map(|(&v, &w)| (v, w as f64))
+                .collect();
+            p.add_constraint("cap", terms, Sense::Le, cap as f64);
+            let lp = solve_lp(&p, &Bounds::of(&p));
+            let milp = solve_milp(&p, &SolveOptions::default());
+            prop_assert_eq!(lp.status, LpStatus::Optimal);
+            prop_assert_eq!(milp.status, MilpStatus::Optimal);
+            prop_assert!(lp.objective <= milp.objective + 1e-6,
+                "lp {} should lower-bound milp {}", lp.objective, milp.objective);
+        }
+    }
+}

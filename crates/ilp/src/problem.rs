@@ -1,0 +1,264 @@
+//! Mixed 0/1 integer linear program representation.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a decision variable within a [`Problem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VarId(pub(crate) u32);
+
+impl VarId {
+    /// Dense index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Variable domain.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum VarKind {
+    /// Continuous within `[lower, upper]`.
+    Continuous {
+        /// Lower bound (≥ 0 after standardization; negative bounds are shifted).
+        lower: f64,
+        /// Upper bound; `f64::INFINITY` allowed.
+        upper: f64,
+    },
+    /// Binary `{0, 1}`.
+    Binary,
+}
+
+/// A decision variable.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Variable {
+    /// Display name.
+    pub name: String,
+    /// Domain.
+    pub kind: VarKind,
+    /// Objective coefficient (problems are minimized).
+    pub objective: f64,
+}
+
+/// Row sense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Sense {
+    /// `Σ a_j x_j ≤ rhs`.
+    Le,
+    /// `Σ a_j x_j ≥ rhs`.
+    Ge,
+    /// `Σ a_j x_j = rhs`.
+    Eq,
+}
+
+/// A linear constraint (sparse row).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Constraint {
+    /// Display name.
+    pub name: String,
+    /// `(variable, coefficient)` terms; duplicate variables are summed.
+    pub terms: Vec<(VarId, f64)>,
+    /// Row sense.
+    pub sense: Sense,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// A minimization MILP: `min cᵀx` subject to linear rows and variable domains.
+///
+/// ```
+/// use fast_ilp::{Problem, Sense};
+///
+/// // Knapsack: maximize 3a + 4b with a + 2b <= 2  ==  minimize -(3a + 4b).
+/// let mut p = Problem::new("knapsack");
+/// let a = p.add_binary("a", -3.0);
+/// let b = p.add_binary("b", -4.0);
+/// p.add_constraint("cap", vec![(a, 1.0), (b, 2.0)], Sense::Le, 2.0);
+/// assert_eq!(p.num_vars(), 2);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Problem {
+    name: String,
+    vars: Vec<Variable>,
+    constraints: Vec<Constraint>,
+}
+
+impl Problem {
+    /// Creates an empty problem.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Problem { name: name.into(), vars: Vec::new(), constraints: Vec::new() }
+    }
+
+    /// Problem name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a binary variable with objective coefficient `objective`.
+    pub fn add_binary(&mut self, name: impl Into<String>, objective: f64) -> VarId {
+        self.vars.push(Variable { name: name.into(), kind: VarKind::Binary, objective });
+        VarId((self.vars.len() - 1) as u32)
+    }
+
+    /// Adds a continuous variable on `[lower, upper]`.
+    ///
+    /// # Panics
+    /// Panics if `lower > upper` or `lower` is not finite.
+    pub fn add_continuous(
+        &mut self,
+        name: impl Into<String>,
+        lower: f64,
+        upper: f64,
+        objective: f64,
+    ) -> VarId {
+        assert!(lower.is_finite(), "lower bound must be finite");
+        assert!(lower <= upper, "lower must not exceed upper");
+        self.vars.push(Variable {
+            name: name.into(),
+            kind: VarKind::Continuous { lower, upper },
+            objective,
+        });
+        VarId((self.vars.len() - 1) as u32)
+    }
+
+    /// Adds a constraint row.
+    pub fn add_constraint(
+        &mut self,
+        name: impl Into<String>,
+        terms: Vec<(VarId, f64)>,
+        sense: Sense,
+        rhs: f64,
+    ) {
+        self.constraints.push(Constraint { name: name.into(), terms, sense, rhs });
+    }
+
+    /// Number of variables.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraint rows.
+    #[must_use]
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Variable metadata.
+    #[must_use]
+    pub fn variables(&self) -> &[Variable] {
+        &self.vars
+    }
+
+    /// Constraint rows.
+    #[must_use]
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Indices of the binary variables.
+    #[must_use]
+    pub fn binary_vars(&self) -> Vec<VarId> {
+        self.vars
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| matches!(v.kind, VarKind::Binary))
+            .map(|(i, _)| VarId(i as u32))
+            .collect()
+    }
+
+    /// Objective value of an assignment.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != num_vars()`.
+    #[must_use]
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.vars.len());
+        self.vars.iter().zip(x).map(|(v, &xi)| v.objective * xi).sum()
+    }
+
+    /// Checks feasibility of an assignment within `tol`.
+    #[must_use]
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        if x.len() != self.vars.len() {
+            return false;
+        }
+        for (v, &xi) in self.vars.iter().zip(x) {
+            match v.kind {
+                VarKind::Binary => {
+                    if !(xi > -tol && xi < 1.0 + tol)
+                        || (xi - xi.round()).abs() > tol
+                    {
+                        return false;
+                    }
+                }
+                VarKind::Continuous { lower, upper } => {
+                    if xi < lower - tol || xi > upper + tol {
+                        return false;
+                    }
+                }
+            }
+        }
+        for c in &self.constraints {
+            let lhs: f64 = c.terms.iter().map(|&(v, a)| a * x[v.index()]).sum();
+            let ok = match c.sense {
+                Sense::Le => lhs <= c.rhs + tol,
+                Sense::Ge => lhs >= c.rhs - tol,
+                Sense::Eq => (lhs - c.rhs).abs() <= tol,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Display for Problem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "MILP `{}`: {} vars ({} binary), {} rows",
+            self.name,
+            self.num_vars(),
+            self.binary_vars().len(),
+            self.num_constraints()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_evaluate() {
+        let mut p = Problem::new("t");
+        let a = p.add_binary("a", -3.0);
+        let b = p.add_continuous("b", 0.0, 5.0, 2.0);
+        p.add_constraint("c1", vec![(a, 1.0), (b, 1.0)], Sense::Le, 4.0);
+        assert_eq!(p.num_vars(), 2);
+        assert_eq!(p.objective_value(&[1.0, 2.0]), -3.0 + 4.0);
+        assert!(p.is_feasible(&[1.0, 2.0], 1e-9));
+        assert!(!p.is_feasible(&[1.0, 4.0], 1e-9)); // violates c1
+        assert!(!p.is_feasible(&[0.5, 0.0], 1e-9)); // fractional binary
+        assert!(!p.is_feasible(&[0.0, 6.0], 1e-9)); // above upper bound
+    }
+
+    #[test]
+    fn display_mentions_sizes() {
+        let mut p = Problem::new("x");
+        p.add_binary("a", 0.0);
+        let s = p.to_string();
+        assert!(s.contains("1 vars"));
+    }
+
+    #[test]
+    #[should_panic(expected = "lower must not exceed upper")]
+    fn bad_bounds_panic() {
+        let mut p = Problem::new("t");
+        let _ = p.add_continuous("b", 2.0, 1.0, 0.0);
+    }
+}

@@ -1,0 +1,512 @@
+//! Dense two-phase primal simplex for the LP relaxations.
+//!
+//! Engineering notes:
+//! * Variables are shifted to nonnegative form; finite upper bounds become
+//!   explicit slack rows (simple and adequate for the fusion-ILP sizes this
+//!   solver targets).
+//! * Dantzig pricing with a Bland's-rule fallback to guarantee termination
+//!   in the presence of degeneracy.
+//! * Phase 1 minimizes artificial infeasibility; redundant rows whose
+//!   artificial cannot be pivoted out are left basic at zero.
+
+use crate::problem::{Problem, Sense, VarKind};
+
+/// Termination status of an LP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpStatus {
+    /// Optimal basic solution found.
+    Optimal,
+    /// No feasible point exists (within tolerance).
+    Infeasible,
+    /// Objective unbounded below.
+    Unbounded,
+    /// Iteration limit hit; the returned point may be suboptimal.
+    IterLimit,
+}
+
+/// Result of an LP solve, in the original variable space.
+#[derive(Debug, Clone)]
+pub struct LpSolution {
+    /// Termination status.
+    pub status: LpStatus,
+    /// Objective value at `values` (meaningful for `Optimal` / `IterLimit`).
+    pub objective: f64,
+    /// Variable assignment, indexed by [`crate::VarId`].
+    pub values: Vec<f64>,
+}
+
+/// Per-variable effective bounds used by branch-and-bound to fix binaries
+/// without rebuilding the problem.
+#[derive(Debug, Clone)]
+pub struct Bounds {
+    /// Lower bounds, indexed by variable.
+    pub lo: Vec<f64>,
+    /// Upper bounds, indexed by variable.
+    pub hi: Vec<f64>,
+}
+
+impl Bounds {
+    /// Natural bounds of the problem's variable domains (binaries relaxed to
+    /// `[0,1]`).
+    #[must_use]
+    pub fn of(problem: &Problem) -> Self {
+        let mut lo = Vec::with_capacity(problem.num_vars());
+        let mut hi = Vec::with_capacity(problem.num_vars());
+        for v in problem.variables() {
+            match v.kind {
+                VarKind::Binary => {
+                    lo.push(0.0);
+                    hi.push(1.0);
+                }
+                VarKind::Continuous { lower, upper } => {
+                    lo.push(lower);
+                    hi.push(upper);
+                }
+            }
+        }
+        Bounds { lo, hi }
+    }
+}
+
+const EPS: f64 = 1e-9;
+
+/// Solves the LP relaxation of `problem` under `bounds`.
+#[must_use]
+pub fn solve_lp(problem: &Problem, bounds: &Bounds) -> LpSolution {
+    Tableau::build(problem, bounds).map_or(
+        LpSolution {
+            status: LpStatus::Infeasible,
+            objective: f64::INFINITY,
+            values: vec![0.0; problem.num_vars()],
+        },
+        |mut t| t.solve(problem),
+    )
+}
+
+struct Tableau {
+    /// `rows × (cols + 1)`; last column is the RHS.
+    a: Vec<f64>,
+    rows: usize,
+    cols: usize,
+    /// Basic variable (column index) per row.
+    basis: Vec<usize>,
+    /// Column index where artificial columns start (none may enter in phase 2).
+    artificial_start: usize,
+    /// Number of original (shifted) structural variables.
+    n_struct: usize,
+    /// Per-variable shift: x_original = x_shifted + shift.
+    shifts: Vec<f64>,
+    /// Objective row (length cols + 1; last entry is -objective value).
+    cost: Vec<f64>,
+}
+
+impl Tableau {
+    fn at(&self, r: usize, c: usize) -> f64 {
+        self.a[r * (self.cols + 1) + c]
+    }
+
+    fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.a[r * (self.cols + 1) + c] = v;
+    }
+
+    /// Builds the phase-1 tableau. Returns `None` when a variable's bounds
+    /// are contradictory (lo > hi), which means trivially infeasible.
+    fn build(problem: &Problem, bounds: &Bounds) -> Option<Tableau> {
+        let n = problem.num_vars();
+        for i in 0..n {
+            if bounds.lo[i] > bounds.hi[i] + EPS {
+                return None;
+            }
+        }
+        let shifts: Vec<f64> = bounds.lo.clone();
+
+        // Row descriptors: (dense coefficients over structural vars, sense, rhs).
+        let mut rows: Vec<(Vec<f64>, Sense, f64)> = Vec::new();
+        for c in problem.constraints() {
+            let mut coef = vec![0.0; n];
+            let mut rhs = c.rhs;
+            for &(v, a) in &c.terms {
+                coef[v.index()] += a;
+                rhs -= a * shifts[v.index()];
+            }
+            rows.push((coef, c.sense, rhs));
+        }
+        // Upper-bound rows for finite ranges (after shifting: x' <= hi - lo).
+        // A zero range pins the variable at its shift (rhs 0 row).
+        for i in 0..n {
+            let range = bounds.hi[i] - bounds.lo[i];
+            if range.is_finite() {
+                let mut coef = vec![0.0; n];
+                coef[i] = 1.0;
+                rows.push((coef, Sense::Le, range.max(0.0)));
+            }
+        }
+
+        let m = rows.len();
+        // Count slacks and artificials.
+        let mut n_slack = 0;
+        let mut n_art = 0;
+        for (_, sense, rhs) in &rows {
+            let flipped = *rhs < 0.0;
+            let eff = match (sense, flipped) {
+                (Sense::Le, false) | (Sense::Ge, true) => Sense::Le,
+                (Sense::Le, true) | (Sense::Ge, false) => Sense::Ge,
+                (Sense::Eq, _) => Sense::Eq,
+            };
+            match eff {
+                Sense::Le => n_slack += 1,
+                Sense::Ge => {
+                    n_slack += 1;
+                    n_art += 1;
+                }
+                Sense::Eq => n_art += 1,
+            }
+        }
+        let cols = n + n_slack + n_art;
+        let mut t = Tableau {
+            a: vec![0.0; m * (cols + 1)],
+            rows: m,
+            cols,
+            basis: vec![0; m],
+            artificial_start: n + n_slack,
+            n_struct: n,
+            shifts,
+            cost: vec![0.0; cols + 1],
+        };
+
+        let mut slack_idx = n;
+        let mut art_idx = n + n_slack;
+        for (r, (coef, sense, rhs)) in rows.into_iter().enumerate() {
+            let flip = rhs < 0.0;
+            let sgn = if flip { -1.0 } else { 1.0 };
+            for (j, &c) in coef.iter().enumerate() {
+                if c != 0.0 {
+                    t.set(r, j, sgn * c);
+                }
+            }
+            t.set(r, cols, sgn * rhs);
+            let eff = match (sense, flip) {
+                (Sense::Le, false) | (Sense::Ge, true) => Sense::Le,
+                (Sense::Le, true) | (Sense::Ge, false) => Sense::Ge,
+                (Sense::Eq, _) => Sense::Eq,
+            };
+            match eff {
+                Sense::Le => {
+                    t.set(r, slack_idx, 1.0);
+                    t.basis[r] = slack_idx;
+                    slack_idx += 1;
+                }
+                Sense::Ge => {
+                    t.set(r, slack_idx, -1.0);
+                    slack_idx += 1;
+                    t.set(r, art_idx, 1.0);
+                    t.basis[r] = art_idx;
+                    art_idx += 1;
+                }
+                Sense::Eq => {
+                    t.set(r, art_idx, 1.0);
+                    t.basis[r] = art_idx;
+                    art_idx += 1;
+                }
+            }
+        }
+        Some(t)
+    }
+
+    /// Rebuilds the cost row for the given per-column objective, reduced
+    /// against the current basis.
+    fn load_costs(&mut self, col_cost: &[f64]) {
+        self.cost[..self.cols].copy_from_slice(col_cost);
+        self.cost[self.cols] = 0.0;
+        for r in 0..self.rows {
+            let cb = col_cost[self.basis[r]];
+            if cb != 0.0 {
+                for c in 0..=self.cols {
+                    let v = self.at(r, c);
+                    if v != 0.0 {
+                        self.cost[c] -= cb * v;
+                    }
+                }
+            }
+        }
+    }
+
+    fn pivot(&mut self, pr: usize, pc: usize) {
+        let w = self.cols + 1;
+        let piv = self.at(pr, pc);
+        debug_assert!(piv.abs() > EPS);
+        let inv = 1.0 / piv;
+        for c in 0..w {
+            let v = self.a[pr * w + c] * inv;
+            self.a[pr * w + c] = v;
+        }
+        for r in 0..self.rows {
+            if r == pr {
+                continue;
+            }
+            let factor = self.at(r, pc);
+            if factor.abs() > 1e-13 {
+                for c in 0..w {
+                    let v = self.a[r * w + c] - factor * self.a[pr * w + c];
+                    self.a[r * w + c] = v;
+                }
+                self.a[r * w + pc] = 0.0;
+            }
+        }
+        let factor = self.cost[pc];
+        if factor.abs() > 1e-13 {
+            for c in 0..w {
+                self.cost[c] -= factor * self.a[pr * w + c];
+            }
+            self.cost[pc] = 0.0;
+        }
+        self.basis[pr] = pc;
+    }
+
+    /// Runs simplex iterations until optimality/unboundedness/limit.
+    /// `allow_artificial` permits artificial columns to enter (phase 1 only).
+    fn iterate(&mut self, allow_artificial: bool, max_iters: usize) -> LpStatus {
+        let mut iters = 0;
+        let bland_after = max_iters / 2;
+        loop {
+            if iters >= max_iters {
+                return LpStatus::IterLimit;
+            }
+            iters += 1;
+            // Entering column.
+            let use_bland = iters > bland_after;
+            let mut pc: Option<usize> = None;
+            let mut best = -EPS;
+            let limit = if allow_artificial { self.cols } else { self.artificial_start };
+            for c in 0..limit {
+                let rc = self.cost[c];
+                if rc < -EPS {
+                    if use_bland {
+                        pc = Some(c);
+                        break;
+                    }
+                    if rc < best {
+                        best = rc;
+                        pc = Some(c);
+                    }
+                }
+            }
+            let Some(pc) = pc else { return LpStatus::Optimal };
+            // Ratio test.
+            let mut pr: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for r in 0..self.rows {
+                let a = self.at(r, pc);
+                if a > EPS {
+                    let ratio = self.at(r, self.cols) / a;
+                    if ratio < best_ratio - EPS
+                        || (ratio < best_ratio + EPS
+                            && pr.is_some_and(|p| self.basis[r] < self.basis[p]))
+                    {
+                        best_ratio = ratio;
+                        pr = Some(r);
+                    }
+                }
+            }
+            let Some(pr) = pr else { return LpStatus::Unbounded };
+            self.pivot(pr, pc);
+        }
+    }
+
+    fn solve(&mut self, problem: &Problem) -> LpSolution {
+        let max_iters = 50 * (self.rows + self.cols) + 2000;
+
+        // Phase 1: drive artificials to zero.
+        if self.artificial_start < self.cols {
+            let mut phase1 = vec![0.0; self.cols];
+            for c in self.artificial_start..self.cols {
+                phase1[c] = 1.0;
+            }
+            self.load_costs(&phase1);
+            let st = self.iterate(true, max_iters);
+            let infeas = -self.cost[self.cols];
+            if st == LpStatus::Unbounded || infeas > 1e-6 {
+                return LpSolution {
+                    status: LpStatus::Infeasible,
+                    objective: f64::INFINITY,
+                    values: vec![0.0; problem.num_vars()],
+                };
+            }
+            // Pivot out any artificial still basic (at zero).
+            for r in 0..self.rows {
+                if self.basis[r] >= self.artificial_start {
+                    let pc = (0..self.artificial_start).find(|&c| self.at(r, c).abs() > 1e-7);
+                    if let Some(pc) = pc {
+                        self.pivot(r, pc);
+                    }
+                }
+            }
+        }
+
+        // Phase 2: original objective over structural columns.
+        let mut phase2 = vec![0.0; self.cols];
+        for (i, v) in problem.variables().iter().enumerate() {
+            phase2[i] = v.objective;
+        }
+        self.load_costs(&phase2);
+        let status = self.iterate(false, max_iters);
+        if status == LpStatus::Unbounded {
+            return LpSolution {
+                status,
+                objective: f64::NEG_INFINITY,
+                values: vec![0.0; problem.num_vars()],
+            };
+        }
+
+        // Extract solution.
+        let mut x = vec![0.0; self.n_struct];
+        for r in 0..self.rows {
+            let b = self.basis[r];
+            if b < self.n_struct {
+                x[b] = self.at(r, self.cols);
+            }
+        }
+        for (i, xi) in x.iter_mut().enumerate() {
+            *xi += self.shifts[i];
+        }
+        let objective = problem.objective_value(&x);
+        LpSolution {
+            status: if status == LpStatus::IterLimit { LpStatus::IterLimit } else { LpStatus::Optimal },
+            objective,
+            values: x,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Problem;
+
+    fn solve(p: &Problem) -> LpSolution {
+        solve_lp(p, &Bounds::of(p))
+    }
+
+    #[test]
+    fn simple_le_lp() {
+        // min -x - 2y s.t. x + y <= 4, x <= 3, y <= 2  -> x=3 (wait y=2, x=2)
+        // Optimum: y=2, x=2, obj = -6.
+        let mut p = Problem::new("t");
+        let x = p.add_continuous("x", 0.0, 3.0, -1.0);
+        let y = p.add_continuous("y", 0.0, 2.0, -2.0);
+        p.add_constraint("cap", vec![(x, 1.0), (y, 1.0)], crate::Sense::Le, 4.0);
+        let s = solve(&p);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.objective - (-6.0)).abs() < 1e-6, "{}", s.objective);
+        assert!((s.values[0] - 2.0).abs() < 1e-6);
+        assert!((s.values[1] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ge_and_eq_rows() {
+        // min x + y s.t. x + y >= 2, x - y = 0 -> x=y=1, obj 2.
+        let mut p = Problem::new("t");
+        let x = p.add_continuous("x", 0.0, f64::INFINITY, 1.0);
+        let y = p.add_continuous("y", 0.0, f64::INFINITY, 1.0);
+        p.add_constraint("c1", vec![(x, 1.0), (y, 1.0)], crate::Sense::Ge, 2.0);
+        p.add_constraint("c2", vec![(x, 1.0), (y, -1.0)], crate::Sense::Eq, 0.0);
+        let s = solve(&p);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.objective - 2.0).abs() < 1e-6);
+        assert!((s.values[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut p = Problem::new("t");
+        let x = p.add_continuous("x", 0.0, 1.0, 1.0);
+        p.add_constraint("c", vec![(x, 1.0)], crate::Sense::Ge, 2.0);
+        let s = solve(&p);
+        assert_eq!(s.status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut p = Problem::new("t");
+        let x = p.add_continuous("x", 0.0, f64::INFINITY, -1.0);
+        p.add_constraint("c", vec![(x, -1.0)], crate::Sense::Le, 0.0);
+        let s = solve(&p);
+        assert_eq!(s.status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn shifted_lower_bounds() {
+        // min x with x >= 5 via bounds.
+        let mut p = Problem::new("t");
+        let x = p.add_continuous("x", 5.0, 10.0, 1.0);
+        p.add_constraint("c", vec![(x, 1.0)], crate::Sense::Le, 9.0);
+        let s = solve(&p);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.values[0] - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn negative_rhs_rows() {
+        // min y s.t. -x - y <= -3 (i.e. x + y >= 3), x <= 2 -> y = 1.
+        let mut p = Problem::new("t");
+        let x = p.add_continuous("x", 0.0, 2.0, 0.0);
+        let y = p.add_continuous("y", 0.0, f64::INFINITY, 1.0);
+        p.add_constraint("c", vec![(x, -1.0), (y, -1.0)], crate::Sense::Le, -3.0);
+        let s = solve(&p);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.objective - 1.0).abs() < 1e-6, "{}", s.objective);
+    }
+
+    #[test]
+    fn binary_relaxation_is_fractional() {
+        // min -x1 - x2 s.t. x1 + x2 <= 1.5 over binaries -> LP gives 1.5.
+        let mut p = Problem::new("t");
+        let a = p.add_binary("a", -1.0);
+        let b = p.add_binary("b", -1.0);
+        p.add_constraint("c", vec![(a, 1.0), (b, 1.0)], crate::Sense::Le, 1.5);
+        let s = solve(&p);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.objective + 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fixed_variable_via_bounds() {
+        let mut p = Problem::new("t");
+        let a = p.add_binary("a", -1.0);
+        let b = p.add_binary("b", -1.0);
+        p.add_constraint("c", vec![(a, 1.0), (b, 1.0)], crate::Sense::Le, 2.0);
+        let mut bounds = Bounds::of(&p);
+        bounds.lo[0] = 0.0;
+        bounds.hi[0] = 0.0; // fix a = 0
+        let s = solve_lp(&p, &bounds);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.values[0]).abs() < 1e-9);
+        assert!((s.values[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn contradictory_bounds_infeasible() {
+        let mut p = Problem::new("t");
+        let _a = p.add_binary("a", -1.0);
+        let mut bounds = Bounds::of(&p);
+        bounds.lo[0] = 1.0;
+        bounds.hi[0] = 0.0;
+        let s = solve_lp(&p, &bounds);
+        assert_eq!(s.status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Many redundant rows through the origin.
+        let mut p = Problem::new("t");
+        let x = p.add_continuous("x", 0.0, 10.0, -1.0);
+        let y = p.add_continuous("y", 0.0, 10.0, -1.0);
+        for i in 0..20 {
+            let a = 1.0 + (i as f64) * 0.01;
+            p.add_constraint(format!("c{i}"), vec![(x, a), (y, 1.0)], crate::Sense::Le, 10.0);
+        }
+        let s = solve(&p);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!(s.objective < -9.0);
+    }
+}

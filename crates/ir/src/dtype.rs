@@ -1,0 +1,81 @@
+//! Element data types.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Element type of a tensor.
+///
+/// FAST evaluates inference in `bfloat16` throughout (the paper explicitly
+/// scopes out quantization), but the IR supports other widths so the cost
+/// models can be reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum DType {
+    /// 16-bit brain float — the paper's evaluation precision.
+    #[default]
+    Bf16,
+    /// IEEE 754 half precision.
+    F16,
+    /// IEEE 754 single precision.
+    F32,
+    /// 8-bit signed integer (quantized inference; out of paper scope but
+    /// supported by the cost models).
+    I8,
+    /// 32-bit signed integer (indices, accumulators).
+    I32,
+}
+
+impl DType {
+    /// Size of one element in bytes.
+    #[must_use]
+    pub const fn size_bytes(self) -> u64 {
+        match self {
+            DType::Bf16 | DType::F16 => 2,
+            DType::F32 | DType::I32 => 4,
+            DType::I8 => 1,
+        }
+    }
+
+    /// Short lowercase name, e.g. `"bf16"`.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            DType::Bf16 => "bf16",
+            DType::F16 => "f16",
+            DType::F32 => "f32",
+            DType::I8 => "i8",
+            DType::I32 => "i32",
+        }
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(DType::Bf16.size_bytes(), 2);
+        assert_eq!(DType::F16.size_bytes(), 2);
+        assert_eq!(DType::F32.size_bytes(), 4);
+        assert_eq!(DType::I8.size_bytes(), 1);
+        assert_eq!(DType::I32.size_bytes(), 4);
+    }
+
+    #[test]
+    fn default_is_bf16() {
+        assert_eq!(DType::default(), DType::Bf16);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        for d in [DType::Bf16, DType::F16, DType::F32, DType::I8, DType::I32] {
+            assert_eq!(d.to_string(), d.name());
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Canonical loop nests for matrix ops.
+//!
+//! A standard `Conv2D` is a 7-dimensional nested loop over batch (`B`), output
+//! height/width (`OH`, `OW`), input/output features (`IF`, `OF`) and kernel
+//! height/width (`KH`, `KW`) — §3.1 of the paper. All four matrix-op kinds
+//! reduce to this nest:
+//!
+//! * `Conv2D`: the nest verbatim.
+//! * `MatMul [m,k]×[k,n]`: `B=m, IF=k, OF=n`, spatial/kernel dims 1.
+//! * `BatchMatMul`: per-product `B=m, IF=k, OF=n`, repeated `batch` times with
+//!   a *fresh weight latch per product* (activation × activation — the BERT
+//!   self-attention penalty of §4.3).
+//! * `DepthwiseConv2D`: each channel contracts only over its own `KH×KW`
+//!   window, so the reduction extent presented to the systolic-array rows is
+//!   `KH·KW` (not `IF·KH·KW`), reproducing the paper's §3.2 observation that a
+//!   3×3 depthwise conv can use at most 9 of 128 rows.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies one of the seven canonical loop dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LoopDim {
+    /// Batch.
+    B,
+    /// Output height.
+    Oh,
+    /// Output width.
+    Ow,
+    /// Input features (reduction).
+    If,
+    /// Output features.
+    Of,
+    /// Kernel height (reduction).
+    Kh,
+    /// Kernel width (reduction).
+    Kw,
+}
+
+impl LoopDim {
+    /// All seven dimensions in canonical order.
+    pub const ALL: [LoopDim; 7] = [
+        LoopDim::B,
+        LoopDim::Oh,
+        LoopDim::Ow,
+        LoopDim::If,
+        LoopDim::Of,
+        LoopDim::Kh,
+        LoopDim::Kw,
+    ];
+
+    /// Whether iterating this dimension reduces into the same output element.
+    #[must_use]
+    pub const fn is_reduction(self) -> bool {
+        matches!(self, LoopDim::If | LoopDim::Kh | LoopDim::Kw)
+    }
+}
+
+/// A concrete 7-D loop nest plus the attributes the mapper needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LoopNest {
+    /// Batch extent (streaming dimension).
+    pub b: u64,
+    /// Output height extent.
+    pub oh: u64,
+    /// Output width extent.
+    pub ow: u64,
+    /// Reduction (input-feature) extent presented to systolic rows.
+    pub if_: u64,
+    /// Output-feature extent presented to systolic columns.
+    pub of: u64,
+    /// Kernel height extent.
+    pub kh: u64,
+    /// Kernel width extent.
+    pub kw: u64,
+    /// Number of independent products whose weights must each be latched
+    /// separately (1 for weight ops; `batch` for activation×activation
+    /// einsums; `channels / of` groups for depthwise convs).
+    pub weight_latches: u64,
+    /// True when the stationary operand is itself an activation, so the latch
+    /// cost recurs per inference and per product (BERT self-attention).
+    pub stationary_is_activation: bool,
+    /// Input-activation spatial reuse factor: how many bytes of input
+    /// activation are read per MAC relative to a dense matmul. Used for
+    /// on-chip bandwidth modeling of convs (sliding-window reuse).
+    pub input_reuse: u64,
+}
+
+impl LoopNest {
+    /// Total multiply-accumulate count of the nest.
+    #[must_use]
+    pub fn macs(&self) -> u64 {
+        self.b * self.oh * self.ow * self.if_ * self.of * self.kh * self.kw * self.weight_latches
+    }
+
+    /// Extent of a dimension.
+    #[must_use]
+    pub fn extent(&self, d: LoopDim) -> u64 {
+        match d {
+            LoopDim::B => self.b,
+            LoopDim::Oh => self.oh,
+            LoopDim::Ow => self.ow,
+            LoopDim::If => self.if_,
+            LoopDim::Of => self.of,
+            LoopDim::Kh => self.kh,
+            LoopDim::Kw => self.kw,
+        }
+    }
+
+    /// Returns a copy with dimension `d` set to `extent`.
+    #[must_use]
+    pub fn with_extent(mut self, d: LoopDim, extent: u64) -> Self {
+        match d {
+            LoopDim::B => self.b = extent,
+            LoopDim::Oh => self.oh = extent,
+            LoopDim::Ow => self.ow = extent,
+            LoopDim::If => self.if_ = extent,
+            LoopDim::Of => self.of = extent,
+            LoopDim::Kh => self.kh = extent,
+            LoopDim::Kw => self.kw = extent,
+        }
+        self
+    }
+
+    /// Reduction extent available for mapping onto systolic-array rows under
+    /// a weight-stationary scheme (`IF·KH·KW`).
+    #[must_use]
+    pub fn reduction_extent(&self) -> u64 {
+        self.if_ * self.kh * self.kw
+    }
+
+    /// Streaming extent (rows fed through the array): `B·OH·OW`.
+    #[must_use]
+    pub fn streaming_extent(&self) -> u64 {
+        self.b * self.oh * self.ow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nest() -> LoopNest {
+        LoopNest {
+            b: 4,
+            oh: 7,
+            ow: 7,
+            if_: 64,
+            of: 128,
+            kh: 3,
+            kw: 3,
+            weight_latches: 1,
+            stationary_is_activation: false,
+            input_reuse: 1,
+        }
+    }
+
+    #[test]
+    fn macs_product() {
+        assert_eq!(nest().macs(), 4 * 7 * 7 * 64 * 128 * 9);
+    }
+
+    #[test]
+    fn reduction_and_streaming_extents() {
+        let n = nest();
+        assert_eq!(n.reduction_extent(), 64 * 9);
+        assert_eq!(n.streaming_extent(), 4 * 49);
+    }
+
+    #[test]
+    fn with_extent_roundtrip() {
+        let n = nest();
+        for d in LoopDim::ALL {
+            let m = n.with_extent(d, 5);
+            assert_eq!(m.extent(d), 5);
+        }
+    }
+
+    #[test]
+    fn reduction_dims_flagged() {
+        assert!(LoopDim::If.is_reduction());
+        assert!(LoopDim::Kh.is_reduction());
+        assert!(!LoopDim::Of.is_reduction());
+        assert!(!LoopDim::B.is_reduction());
+    }
+}

@@ -1,0 +1,774 @@
+//! Operator kinds and their geometry, FLOP, and byte accounting.
+//!
+//! Matrix ops (`Conv2d`, `DepthwiseConv2d`, `MatMul`, `BatchMatMul`) expose a
+//! canonical 7-dimensional loop nest (see [`crate::loop_nest`]) that the
+//! Timeloop-style mapper schedules onto the datapath. All other ops are
+//! "vector ops" in the paper's terminology and are costed on the VPU by
+//! `fast-sim`'s custom cost models.
+
+use crate::shape::Shape;
+use crate::{DType, IrError};
+use serde::{Deserialize, Serialize};
+
+/// Spatial padding scheme for convolutions (TensorFlow semantics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Padding {
+    /// Output spatial extent is `ceil(in / stride)`.
+    Same,
+    /// No padding: output extent is `(in - k) / stride + 1`.
+    Valid,
+}
+
+/// Geometry of a standard `Conv2D` (NHWC activations, HWIO weights).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Conv2dGeom {
+    /// Input spatial height.
+    pub in_h: u64,
+    /// Input spatial width.
+    pub in_w: u64,
+    /// Input feature (channel) count, `IF`.
+    pub in_ch: u64,
+    /// Output feature count, `OF`.
+    pub out_ch: u64,
+    /// Kernel height `KH`.
+    pub kh: u64,
+    /// Kernel width `KW`.
+    pub kw: u64,
+    /// Stride (same in both spatial dims).
+    pub stride: u64,
+    /// Padding scheme.
+    pub pad: Padding,
+}
+
+impl Conv2dGeom {
+    /// Convenience constructor for a square-kernel SAME-padded conv.
+    #[must_use]
+    pub fn same(in_h: u64, in_w: u64, in_ch: u64, out_ch: u64, k: u64, stride: u64) -> Self {
+        Conv2dGeom { in_h, in_w, in_ch, out_ch, kh: k, kw: k, stride, pad: Padding::Same }
+    }
+
+    /// Convenience constructor for a square-kernel VALID-padded conv.
+    #[must_use]
+    pub fn valid(in_h: u64, in_w: u64, in_ch: u64, out_ch: u64, k: u64, stride: u64) -> Self {
+        Conv2dGeom { in_h, in_w, in_ch, out_ch, kh: k, kw: k, stride, pad: Padding::Valid }
+    }
+
+    /// Output spatial height.
+    #[must_use]
+    pub fn out_h(&self) -> u64 {
+        out_extent(self.in_h, self.kh, self.stride, self.pad)
+    }
+
+    /// Output spatial width.
+    #[must_use]
+    pub fn out_w(&self) -> u64 {
+        out_extent(self.in_w, self.kw, self.stride, self.pad)
+    }
+
+    fn check(&self, op: &str) -> Result<(), IrError> {
+        for (name, v) in [
+            ("in_h", self.in_h),
+            ("in_w", self.in_w),
+            ("in_ch", self.in_ch),
+            ("out_ch", self.out_ch),
+            ("kh", self.kh),
+            ("kw", self.kw),
+            ("stride", self.stride),
+        ] {
+            if v == 0 {
+                return Err(IrError::InvalidGeometry {
+                    op: op.to_string(),
+                    reason: format!("{name} must be nonzero"),
+                });
+            }
+        }
+        if self.pad == Padding::Valid && (self.kh > self.in_h || self.kw > self.in_w) {
+            return Err(IrError::InvalidGeometry {
+                op: op.to_string(),
+                reason: "VALID kernel larger than input".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Geometry of a depthwise `Conv2D` (channel multiplier 1, the EfficientNet /
+/// MobileNet case).
+///
+/// Each channel is convolved independently: the kernel filter depth `IF` is 1,
+/// which is exactly the mapping-efficiency problem §3.2 of the paper analyses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DepthwiseConv2dGeom {
+    /// Input spatial height.
+    pub in_h: u64,
+    /// Input spatial width.
+    pub in_w: u64,
+    /// Channel count (input == output channels).
+    pub channels: u64,
+    /// Kernel height.
+    pub kh: u64,
+    /// Kernel width.
+    pub kw: u64,
+    /// Stride (both spatial dims).
+    pub stride: u64,
+    /// Padding scheme.
+    pub pad: Padding,
+}
+
+impl DepthwiseConv2dGeom {
+    /// Convenience constructor for a square-kernel SAME-padded depthwise conv.
+    #[must_use]
+    pub fn same(in_h: u64, in_w: u64, channels: u64, k: u64, stride: u64) -> Self {
+        DepthwiseConv2dGeom { in_h, in_w, channels, kh: k, kw: k, stride, pad: Padding::Same }
+    }
+
+    /// Output spatial height.
+    #[must_use]
+    pub fn out_h(&self) -> u64 {
+        out_extent(self.in_h, self.kh, self.stride, self.pad)
+    }
+
+    /// Output spatial width.
+    #[must_use]
+    pub fn out_w(&self) -> u64 {
+        out_extent(self.in_w, self.kw, self.stride, self.pad)
+    }
+}
+
+/// Geometry of an activation × weight matrix multiply.
+///
+/// The activation shape is `[.., k]` (all leading dims collapse into the
+/// streaming dimension `m`), the weight is `[k, n]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MatMulGeom {
+    /// Contraction (reduction) extent — rows of the weight matrix.
+    pub k: u64,
+    /// Output feature extent — columns of the weight matrix.
+    pub n: u64,
+}
+
+/// Geometry of an activation × activation batched matrix multiply (einsum),
+/// e.g. BERT attention `QKᵀ` and `AV`.
+///
+/// Because the "weight" side is itself an activation, the cost of latching it
+/// into the systolic array cannot be amortized across the batch — §4.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BatchMatMulGeom {
+    /// Number of independent matrix products (e.g. `batch × heads`).
+    pub batch: u64,
+    /// LHS rows per product.
+    pub m: u64,
+    /// Contraction extent.
+    pub k: u64,
+    /// RHS columns per product.
+    pub n: u64,
+}
+
+/// Geometry of a row-wise softmax.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SoftmaxGeom {
+    /// Number of independent softmax rows.
+    pub rows: u64,
+    /// Softmax vector length (the reduction axis).
+    pub cols: u64,
+}
+
+/// Normalization flavors modeled as VPU ops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NormKind {
+    /// Layer normalization (BERT): mean/variance over the feature axis plus
+    /// scale and shift.
+    LayerNorm,
+}
+
+/// Pooling flavors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PoolKind {
+    /// Windowed max pooling.
+    Max,
+    /// Windowed average pooling.
+    Avg,
+    /// Global average pooling (window = whole spatial extent).
+    GlobalAvg,
+}
+
+/// Geometry of a pooling op over NHWC input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PoolGeom {
+    /// Pooling flavor.
+    pub kind: PoolKind,
+    /// Input spatial height.
+    pub in_h: u64,
+    /// Input spatial width.
+    pub in_w: u64,
+    /// Channel count.
+    pub channels: u64,
+    /// Window extent (ignored for [`PoolKind::GlobalAvg`]).
+    pub k: u64,
+    /// Stride (ignored for [`PoolKind::GlobalAvg`]).
+    pub stride: u64,
+}
+
+impl PoolGeom {
+    /// Output spatial height.
+    #[must_use]
+    pub fn out_h(&self) -> u64 {
+        match self.kind {
+            PoolKind::GlobalAvg => 1,
+            _ => out_extent(self.in_h, self.k, self.stride, Padding::Same),
+        }
+    }
+
+    /// Output spatial width.
+    #[must_use]
+    pub fn out_w(&self) -> u64 {
+        match self.kind {
+            PoolKind::GlobalAvg => 1,
+            _ => out_extent(self.in_w, self.k, self.stride, Padding::Same),
+        }
+    }
+}
+
+/// Element-wise op flavors (all costed on the VPU).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EwKind {
+    /// `max(x, 0)`.
+    Relu,
+    /// Gaussian error linear unit (BERT feed-forward activation).
+    Gelu,
+    /// `x * sigmoid(x)` (EfficientNet activation).
+    Swish,
+    /// Logistic sigmoid (squeeze-and-excite gating).
+    Sigmoid,
+    /// Hyperbolic tangent (LSTM gates).
+    Tanh,
+    /// Elementwise exponential.
+    Exp,
+    /// Binary addition (residual connections).
+    Add,
+    /// Binary multiplication (SE scaling, gating).
+    Mul,
+    /// Binary subtraction.
+    Sub,
+    /// Binary division.
+    Div,
+    /// Binary maximum.
+    Max,
+}
+
+impl EwKind {
+    /// Number of tensor inputs the op consumes.
+    #[must_use]
+    pub const fn arity(self) -> usize {
+        match self {
+            EwKind::Relu
+            | EwKind::Gelu
+            | EwKind::Swish
+            | EwKind::Sigmoid
+            | EwKind::Tanh
+            | EwKind::Exp => 1,
+            EwKind::Add | EwKind::Mul | EwKind::Sub | EwKind::Div | EwKind::Max => 2,
+        }
+    }
+
+    /// Whether the op involves a transcendental evaluation (costed higher on
+    /// the VPU by `fast-sim`).
+    #[must_use]
+    pub const fn is_transcendental(self) -> bool {
+        matches!(
+            self,
+            EwKind::Gelu | EwKind::Swish | EwKind::Sigmoid | EwKind::Tanh | EwKind::Exp
+        )
+    }
+}
+
+/// The operator kinds understood by the FAST stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Graph input placeholder (no compute, no weights).
+    Input,
+    /// Standard 2-D convolution.
+    Conv2d(Conv2dGeom),
+    /// Depthwise 2-D convolution (channel multiplier 1).
+    DepthwiseConv2d(DepthwiseConv2dGeom),
+    /// Activation × weight matrix multiply (fully-connected / projection).
+    MatMul(MatMulGeom),
+    /// Activation × activation batched matmul (attention einsum).
+    BatchMatMul(BatchMatMulGeom),
+    /// Row-wise softmax.
+    Softmax(SoftmaxGeom),
+    /// Normalization (layernorm etc.).
+    Norm(NormKind),
+    /// Element-wise op.
+    Elementwise(EwKind),
+    /// Pooling.
+    Pool(PoolGeom),
+    /// Embedding-table gather: output `[.., dim]` rows read from a
+    /// `[vocab, dim]` table.
+    Embedding {
+        /// Vocabulary size (table rows).
+        vocab: u64,
+        /// Embedding width (table columns).
+        dim: u64,
+    },
+    /// Pure data movement (reshape / transpose / layout change).
+    DataMovement,
+    /// Concatenation along the last axis.
+    Concat,
+}
+
+impl OpKind {
+    /// Whether this op runs on the systolic array (a "matrix op" in the
+    /// paper's taxonomy — at most one per XLA fusion region).
+    #[must_use]
+    pub const fn is_matrix_op(&self) -> bool {
+        matches!(
+            self,
+            OpKind::Conv2d(_)
+                | OpKind::DepthwiseConv2d(_)
+                | OpKind::MatMul(_)
+                | OpKind::BatchMatMul(_)
+        )
+    }
+
+    /// Whether this op is pure data movement / bookkeeping.
+    #[must_use]
+    pub const fn is_data_movement(&self) -> bool {
+        matches!(self, OpKind::DataMovement | OpKind::Concat | OpKind::Input)
+    }
+
+    /// Short operator class name used in reports (Table 2, Figure 5).
+    #[must_use]
+    pub const fn class_name(&self) -> &'static str {
+        match self {
+            OpKind::Input => "Input",
+            OpKind::Conv2d(_) => "Conv2D",
+            OpKind::DepthwiseConv2d(_) => "DepthwiseConv2dNative",
+            OpKind::MatMul(_) => "MatMul",
+            OpKind::BatchMatMul(_) => "BatchMatMul",
+            OpKind::Softmax(_) => "Softmax",
+            OpKind::Norm(_) => "Norm",
+            OpKind::Elementwise(_) => "Elementwise",
+            OpKind::Pool(_) => "Pool",
+            OpKind::Embedding { .. } => "Embedding",
+            OpKind::DataMovement => "DataMovement",
+            OpKind::Concat => "Concat",
+        }
+    }
+
+    /// Expected number of activation inputs.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        match self {
+            OpKind::Input => 0,
+            OpKind::Elementwise(k) => k.arity(),
+            OpKind::BatchMatMul(_) => 2,
+            OpKind::Concat => 2, // builders may extend; >=2 validated separately
+            _ => 1,
+        }
+    }
+
+    /// Floating-point operations performed by this op for the given output
+    /// batch (the batch extent is carried by the node's shapes, not the
+    /// geometry).
+    ///
+    /// Convention: one multiply-accumulate = 2 FLOPs; element-wise and
+    /// reduction ops count 1 FLOP per produced/consumed element (transcendental
+    /// cost differences are modeled by the simulator, not the IR).
+    #[must_use]
+    pub fn flops(&self, batch: u64, out_elements: u64, in_elements: u64) -> u64 {
+        match self {
+            OpKind::Input | OpKind::DataMovement | OpKind::Concat | OpKind::Embedding { .. } => 0,
+            OpKind::Conv2d(g) => {
+                2 * batch * g.out_h() * g.out_w() * g.out_ch * g.in_ch * g.kh * g.kw
+            }
+            OpKind::DepthwiseConv2d(g) => {
+                2 * batch * g.out_h() * g.out_w() * g.channels * g.kh * g.kw
+            }
+            OpKind::MatMul(g) => {
+                // out_elements = m * n
+                2 * (out_elements / g.n) * g.k * g.n
+            }
+            OpKind::BatchMatMul(g) => 2 * g.batch * g.m * g.k * g.n,
+            // max-pass + sub/exp pass + sum + div: ~4 ops per element.
+            OpKind::Softmax(g) => 4 * g.rows * g.cols,
+            // mean + var + normalize + scale/shift: ~6 ops per element.
+            OpKind::Norm(NormKind::LayerNorm) => 6 * out_elements,
+            OpKind::Elementwise(k) => (k.arity() as u64) * out_elements,
+            OpKind::Pool(g) => match g.kind {
+                PoolKind::GlobalAvg => in_elements,
+                _ => out_elements * g.k * g.k,
+            },
+        }
+    }
+
+    /// Bytes of weights (parameters) owned by this op when stored in `dtype`.
+    ///
+    /// Inference-time batch-norm parameters are assumed folded into the
+    /// preceding convolution (standard XLA practice), so convs carry an extra
+    /// bias/scale vector.
+    #[must_use]
+    pub fn weight_bytes(&self, dtype: DType) -> u64 {
+        let e = dtype.size_bytes();
+        match self {
+            OpKind::Conv2d(g) => (g.in_ch * g.out_ch * g.kh * g.kw + 2 * g.out_ch) * e,
+            OpKind::DepthwiseConv2d(g) => (g.channels * g.kh * g.kw + 2 * g.channels) * e,
+            OpKind::MatMul(g) => (g.k * g.n + g.n) * e,
+            OpKind::Norm(NormKind::LayerNorm) => 0, // gamma/beta negligible; see models
+            OpKind::Embedding { vocab, dim } => vocab * dim * e,
+            _ => 0,
+        }
+    }
+
+    /// Bytes of the weight tensor actually *accessed* per inference (differs
+    /// from [`OpKind::weight_bytes`] only for embedding gathers, which touch
+    /// `rows_accessed` table rows rather than the whole table).
+    #[must_use]
+    pub fn accessed_weight_bytes(&self, dtype: DType, out_elements: u64) -> u64 {
+        match self {
+            OpKind::Embedding { dim, .. } => {
+                // out_elements = tokens * dim; one row read per token.
+                (out_elements / dim) * dim * dtype.size_bytes()
+            }
+            _ => self.weight_bytes(dtype),
+        }
+    }
+}
+
+/// Computes an output spatial extent under TensorFlow padding semantics.
+#[must_use]
+pub(crate) fn out_extent(input: u64, k: u64, stride: u64, pad: Padding) -> u64 {
+    match pad {
+        Padding::Same => input.div_ceil(stride),
+        Padding::Valid => (input.saturating_sub(k)) / stride + 1,
+    }
+}
+
+pub(crate) use validate_geom::validate;
+
+mod validate_geom {
+    use super::*;
+
+    /// Validates op geometry at node-construction time.
+    pub(crate) fn validate(op_name: &str, kind: &OpKind) -> Result<(), IrError> {
+        match kind {
+            OpKind::Conv2d(g) => g.check(op_name),
+            OpKind::DepthwiseConv2d(g) => {
+                let as_conv = Conv2dGeom {
+                    in_h: g.in_h,
+                    in_w: g.in_w,
+                    in_ch: g.channels,
+                    out_ch: g.channels,
+                    kh: g.kh,
+                    kw: g.kw,
+                    stride: g.stride,
+                    pad: g.pad,
+                };
+                as_conv.check(op_name)
+            }
+            OpKind::MatMul(g) => {
+                if g.k == 0 || g.n == 0 {
+                    return Err(IrError::InvalidGeometry {
+                        op: op_name.to_string(),
+                        reason: "matmul dims must be nonzero".to_string(),
+                    });
+                }
+                Ok(())
+            }
+            OpKind::BatchMatMul(g) => {
+                if g.batch == 0 || g.m == 0 || g.k == 0 || g.n == 0 {
+                    return Err(IrError::InvalidGeometry {
+                        op: op_name.to_string(),
+                        reason: "batch matmul dims must be nonzero".to_string(),
+                    });
+                }
+                Ok(())
+            }
+            OpKind::Softmax(g) => {
+                if g.rows == 0 || g.cols == 0 {
+                    return Err(IrError::InvalidGeometry {
+                        op: op_name.to_string(),
+                        reason: "softmax dims must be nonzero".to_string(),
+                    });
+                }
+                Ok(())
+            }
+            OpKind::Embedding { vocab, dim } => {
+                if *vocab == 0 || *dim == 0 {
+                    return Err(IrError::InvalidGeometry {
+                        op: op_name.to_string(),
+                        reason: "embedding dims must be nonzero".to_string(),
+                    });
+                }
+                Ok(())
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+/// Infers the output shape of `kind` given its input shapes.
+///
+/// # Errors
+/// Returns [`IrError::ShapeMismatch`] / [`IrError::ArityMismatch`] when the
+/// inputs are inconsistent with the op geometry.
+pub(crate) fn infer_shape(
+    op_name: &str,
+    kind: &OpKind,
+    inputs: &[&Shape],
+) -> Result<Shape, IrError> {
+    let arity_err = |expected: usize| IrError::ArityMismatch {
+        op: op_name.to_string(),
+        expected,
+        got: inputs.len(),
+    };
+    let mismatch = |expected: String, got: &Shape| IrError::ShapeMismatch {
+        op: op_name.to_string(),
+        expected,
+        got: got.to_string(),
+    };
+    match kind {
+        OpKind::Input => Err(arity_err(0)),
+        OpKind::Conv2d(g) => {
+            let [x] = take::<1>(inputs).ok_or_else(|| arity_err(1))?;
+            let d = x.dims();
+            if d.len() != 4 || d[1] != g.in_h || d[2] != g.in_w || d[3] != g.in_ch {
+                return Err(mismatch(
+                    format!("[B,{},{},{}]", g.in_h, g.in_w, g.in_ch),
+                    x,
+                ));
+            }
+            Ok(Shape::from(vec![d[0], g.out_h(), g.out_w(), g.out_ch]))
+        }
+        OpKind::DepthwiseConv2d(g) => {
+            let [x] = take::<1>(inputs).ok_or_else(|| arity_err(1))?;
+            let d = x.dims();
+            if d.len() != 4 || d[1] != g.in_h || d[2] != g.in_w || d[3] != g.channels {
+                return Err(mismatch(
+                    format!("[B,{},{},{}]", g.in_h, g.in_w, g.channels),
+                    x,
+                ));
+            }
+            Ok(Shape::from(vec![d[0], g.out_h(), g.out_w(), g.channels]))
+        }
+        OpKind::MatMul(g) => {
+            let [x] = take::<1>(inputs).ok_or_else(|| arity_err(1))?;
+            let d = x.dims();
+            if d.is_empty() || *d.last().expect("nonempty") != g.k {
+                return Err(mismatch(format!("[..,{}]", g.k), x));
+            }
+            let mut out = d.to_vec();
+            *out.last_mut().expect("nonempty") = g.n;
+            Ok(Shape::from(out))
+        }
+        OpKind::BatchMatMul(g) => {
+            let [a, b] = take::<2>(inputs).ok_or_else(|| arity_err(2))?;
+            if a.elements() != g.batch * g.m * g.k {
+                return Err(mismatch(format!("{} elements (b*m*k)", g.batch * g.m * g.k), a));
+            }
+            if b.elements() != g.batch * g.k * g.n {
+                return Err(mismatch(format!("{} elements (b*k*n)", g.batch * g.k * g.n), b));
+            }
+            Ok(Shape::from(vec![g.batch, g.m, g.n]))
+        }
+        OpKind::Softmax(g) => {
+            let [x] = take::<1>(inputs).ok_or_else(|| arity_err(1))?;
+            if x.elements() != g.rows * g.cols {
+                return Err(mismatch(format!("{} elements", g.rows * g.cols), x));
+            }
+            Ok((*x).clone())
+        }
+        OpKind::Norm(_) => {
+            let [x] = take::<1>(inputs).ok_or_else(|| arity_err(1))?;
+            Ok((*x).clone())
+        }
+        OpKind::Elementwise(k) => {
+            if inputs.len() != k.arity() {
+                return Err(arity_err(k.arity()));
+            }
+            if k.arity() == 2 && inputs[0].elements() != inputs[1].elements() {
+                // Broadcasting of a smaller operand (e.g. SE scale [B,1,1,C]
+                // against [B,H,W,C]) is allowed when one side divides the
+                // other; the output takes the larger shape.
+                let (big, small) = if inputs[0].elements() >= inputs[1].elements() {
+                    (inputs[0], inputs[1])
+                } else {
+                    (inputs[1], inputs[0])
+                };
+                if small.elements() == 0 || big.elements() % small.elements() != 0 {
+                    return Err(mismatch(big.to_string(), small));
+                }
+                return Ok(big.clone());
+            }
+            Ok(inputs[0].clone())
+        }
+        OpKind::Pool(g) => {
+            let [x] = take::<1>(inputs).ok_or_else(|| arity_err(1))?;
+            let d = x.dims();
+            if d.len() != 4 || d[1] != g.in_h || d[2] != g.in_w || d[3] != g.channels {
+                return Err(mismatch(
+                    format!("[B,{},{},{}]", g.in_h, g.in_w, g.channels),
+                    x,
+                ));
+            }
+            Ok(Shape::from(vec![d[0], g.out_h(), g.out_w(), g.channels]))
+        }
+        OpKind::Embedding { dim, .. } => {
+            let [ids] = take::<1>(inputs).ok_or_else(|| arity_err(1))?;
+            let mut out = ids.dims().to_vec();
+            out.push(*dim);
+            Ok(Shape::from(out))
+        }
+        OpKind::DataMovement => {
+            let [x] = take::<1>(inputs).ok_or_else(|| arity_err(1))?;
+            Ok((*x).clone())
+        }
+        OpKind::Concat => {
+            if inputs.len() < 2 {
+                return Err(arity_err(2));
+            }
+            let first = inputs[0].dims();
+            let mut last = 0;
+            for s in inputs {
+                let d = s.dims();
+                if d.len() != first.len() || d[..d.len() - 1] != first[..first.len() - 1] {
+                    return Err(mismatch(inputs[0].to_string(), s));
+                }
+                last += *d.last().expect("nonempty");
+            }
+            let mut out = first.to_vec();
+            *out.last_mut().expect("nonempty") = last;
+            Ok(Shape::from(out))
+        }
+    }
+}
+
+fn take<'a, const N: usize>(inputs: &'a [&'a Shape]) -> Option<[&'a Shape; N]> {
+    if inputs.len() == N {
+        let mut arr = [inputs[0]; N];
+        arr[..N].copy_from_slice(&inputs[..N]);
+        Some(arr)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_out_extents_same_and_valid() {
+        let g = Conv2dGeom::same(224, 224, 3, 32, 3, 2);
+        assert_eq!(g.out_h(), 112);
+        assert_eq!(g.out_w(), 112);
+        let g = Conv2dGeom::valid(7, 7, 8, 8, 7, 1);
+        assert_eq!(g.out_h(), 1);
+    }
+
+    #[test]
+    fn conv_flops() {
+        // 1x1 conv: 2 * B*OH*OW*OF*IF.
+        let g = Conv2dGeom::same(56, 56, 64, 128, 1, 1);
+        let flops = OpKind::Conv2d(g).flops(2, 0, 0);
+        assert_eq!(flops, 2 * 2 * 56 * 56 * 128 * 64);
+    }
+
+    #[test]
+    fn depthwise_flops_are_if_independent() {
+        let g = DepthwiseConv2dGeom::same(56, 56, 64, 3, 1);
+        let flops = OpKind::DepthwiseConv2d(g).flops(1, 0, 0);
+        assert_eq!(flops, 2 * 56 * 56 * 64 * 9);
+        // 8-9x cheaper than the equivalent standard conv (paper §3.2).
+        let full = OpKind::Conv2d(Conv2dGeom::same(56, 56, 64, 64, 3, 1)).flops(1, 0, 0);
+        assert!(full / flops == 64);
+    }
+
+    #[test]
+    fn matmul_shape_inference_collapses_leading_dims() {
+        let g = MatMulGeom { k: 768, n: 3072 };
+        let x = Shape::from([8, 128, 768]);
+        let out = infer_shape("ff1", &OpKind::MatMul(g), &[&x]).unwrap();
+        assert_eq!(out.dims(), &[8, 128, 3072]);
+        let flops = OpKind::MatMul(g).flops(8, out.elements(), x.elements());
+        assert_eq!(flops, 2 * 8 * 128 * 768 * 3072);
+    }
+
+    #[test]
+    fn bmm_shape_checks_both_sides() {
+        let g = BatchMatMulGeom { batch: 12, m: 128, k: 64, n: 128 };
+        let a = Shape::from([12, 128, 64]);
+        let b = Shape::from([12, 64, 128]);
+        let out = infer_shape("qk", &OpKind::BatchMatMul(g), &[&a, &b]).unwrap();
+        assert_eq!(out.dims(), &[12, 128, 128]);
+        let bad = Shape::from([12, 128, 63]);
+        assert!(infer_shape("qk", &OpKind::BatchMatMul(g), &[&a, &bad]).is_err());
+    }
+
+    #[test]
+    fn elementwise_broadcast() {
+        let big = Shape::from([1, 56, 56, 64]);
+        let small = Shape::from([1, 1, 1, 64]);
+        let out = infer_shape("se", &OpKind::Elementwise(EwKind::Mul), &[&big, &small]).unwrap();
+        assert_eq!(out, big);
+        let bad = Shape::from([1, 1, 1, 63]);
+        assert!(infer_shape("se", &OpKind::Elementwise(EwKind::Mul), &[&big, &bad]).is_err());
+    }
+
+    #[test]
+    fn weight_bytes() {
+        let g = Conv2dGeom::same(56, 56, 64, 128, 3, 1);
+        let w = OpKind::Conv2d(g).weight_bytes(DType::Bf16);
+        assert_eq!(w, (64 * 128 * 9 + 2 * 128) * 2);
+        assert_eq!(OpKind::Elementwise(EwKind::Relu).weight_bytes(DType::Bf16), 0);
+    }
+
+    #[test]
+    fn embedding_accessed_bytes_smaller_than_table() {
+        let k = OpKind::Embedding { vocab: 30522, dim: 768 };
+        let table = k.weight_bytes(DType::Bf16);
+        // 128 tokens.
+        let accessed = k.accessed_weight_bytes(DType::Bf16, 128 * 768);
+        assert_eq!(accessed, 128 * 768 * 2);
+        assert!(accessed < table);
+    }
+
+    #[test]
+    fn pool_shapes() {
+        let g = PoolGeom {
+            kind: PoolKind::GlobalAvg,
+            in_h: 7,
+            in_w: 7,
+            channels: 2560,
+            k: 0,
+            stride: 0,
+        };
+        let x = Shape::from([4, 7, 7, 2560]);
+        let out = infer_shape("gap", &OpKind::Pool(g), &[&x]).unwrap();
+        assert_eq!(out.dims(), &[4, 1, 1, 2560]);
+    }
+
+    #[test]
+    fn concat_requires_matching_prefix() {
+        let a = Shape::from([1, 10, 4]);
+        let b = Shape::from([1, 10, 8]);
+        let out = infer_shape("cat", &OpKind::Concat, &[&a, &b]).unwrap();
+        assert_eq!(out.dims(), &[1, 10, 12]);
+        let bad = Shape::from([1, 11, 8]);
+        assert!(infer_shape("cat", &OpKind::Concat, &[&a, &bad]).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_zero_dims() {
+        let g = Conv2dGeom::same(0, 56, 64, 128, 3, 1);
+        assert!(validate("c", &OpKind::Conv2d(g)).is_err());
+        let g = MatMulGeom { k: 0, n: 10 };
+        assert!(validate("m", &OpKind::MatMul(g)).is_err());
+    }
+
+    #[test]
+    fn softmax_flops_proportional_to_elements() {
+        let g = SoftmaxGeom { rows: 12 * 128, cols: 128 };
+        assert_eq!(OpKind::Softmax(g).flops(1, 0, 0), 4 * 12 * 128 * 128);
+    }
+}

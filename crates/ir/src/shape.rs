@@ -1,0 +1,129 @@
+//! Tensor shapes.
+
+use crate::DType;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A logical tensor shape (row-major list of dimension extents).
+///
+/// Layout decisions (NHWC vs NCHW, tiling) are made by the mapper in
+/// `fast-sim`; the IR only tracks logical extents. Activations in this code
+/// base use NHWC ordering by convention: `[batch, height, width, channels]`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub struct Shape(Vec<u64>);
+
+impl Shape {
+    /// Creates a shape from dimension extents.
+    ///
+    /// Zero-extent dimensions are permitted only for the empty shape; use
+    /// [`Shape::scalar`] for rank-0 tensors.
+    #[must_use]
+    pub fn new(dims: impl Into<Vec<u64>>) -> Self {
+        Shape(dims.into())
+    }
+
+    /// The rank-0 (scalar) shape.
+    #[must_use]
+    pub fn scalar() -> Self {
+        Shape(Vec::new())
+    }
+
+    /// Dimension extents.
+    #[must_use]
+    pub fn dims(&self) -> &[u64] {
+        &self.0
+    }
+
+    /// Number of dimensions.
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements (1 for scalars).
+    #[must_use]
+    pub fn elements(&self) -> u64 {
+        self.0.iter().product()
+    }
+
+    /// Size in bytes when stored densely with element type `dtype`.
+    #[must_use]
+    pub fn bytes(&self, dtype: DType) -> u64 {
+        self.elements() * dtype.size_bytes()
+    }
+
+    /// Returns a copy with `dim` replaced by `extent`.
+    ///
+    /// # Panics
+    /// Panics if `dim >= rank()`.
+    #[must_use]
+    pub fn with_dim(&self, dim: usize, extent: u64) -> Self {
+        let mut d = self.0.clone();
+        d[dim] = extent;
+        Shape(d)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<u64>> for Shape {
+    fn from(v: Vec<u64>) -> Self {
+        Shape(v)
+    }
+}
+
+impl<const N: usize> From<[u64; N]> for Shape {
+    fn from(v: [u64; N]) -> Self {
+        Shape(v.to_vec())
+    }
+}
+
+impl AsRef<[u64]> for Shape {
+    fn as_ref(&self) -> &[u64] {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn element_count_and_bytes() {
+        let s = Shape::from([2, 3, 4]);
+        assert_eq!(s.elements(), 24);
+        assert_eq!(s.bytes(DType::Bf16), 48);
+        assert_eq!(s.bytes(DType::F32), 96);
+        assert_eq!(s.rank(), 3);
+    }
+
+    #[test]
+    fn scalar_has_one_element() {
+        let s = Shape::scalar();
+        assert_eq!(s.elements(), 1);
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.to_string(), "[]");
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Shape::from([1, 224, 224, 3]).to_string(), "[1,224,224,3]");
+    }
+
+    #[test]
+    fn with_dim_replaces() {
+        let s = Shape::from([8, 128]);
+        assert_eq!(s.with_dim(0, 16).dims(), &[16, 128]);
+    }
+}

@@ -1,0 +1,133 @@
+//! Whole-graph statistics (Table 1 / Table 2 inputs).
+
+use crate::graph::Graph;
+use crate::ops::OpKind;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of one workload graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// Workload name.
+    pub name: String,
+    /// Node count (including inputs).
+    pub nodes: usize,
+    /// Total FLOPs per inference at the graph's batch size.
+    pub flops: u64,
+    /// Total parameter bytes (Table 1 "Weights" column).
+    pub weight_bytes: u64,
+    /// Largest single-op working set: input activations + outputs
+    /// (Table 1 "Max Working Set" column).
+    pub max_working_set_bytes: u64,
+    /// Name of the op with the largest working set.
+    pub max_working_set_op: String,
+    /// Number of matrix ops.
+    pub matrix_ops: usize,
+    /// FLOPs per op class, descending (Table 2 "FLOP Percentage" numerator).
+    pub flops_by_class: Vec<(String, u64)>,
+}
+
+impl GraphStats {
+    /// Computes statistics for `graph`.
+    #[must_use]
+    pub fn of(graph: &Graph) -> Self {
+        let mut flops = 0u64;
+        let mut weight_bytes = 0u64;
+        let mut max_ws = 0u64;
+        let mut max_ws_op = String::new();
+        let mut matrix_ops = 0usize;
+        let mut by_class: std::collections::BTreeMap<&'static str, u64> =
+            std::collections::BTreeMap::new();
+        for n in graph.nodes() {
+            let f = graph.node_flops(n.id());
+            flops += f;
+            weight_bytes += graph.node_weight_bytes(n.id());
+            if n.kind().is_matrix_op() {
+                matrix_ops += 1;
+            }
+            if !matches!(n.kind(), OpKind::Input) {
+                let ws = graph.node_working_set(n.id());
+                if ws > max_ws {
+                    max_ws = ws;
+                    max_ws_op = n.name().to_string();
+                }
+            }
+            *by_class.entry(n.kind().class_name()).or_insert(0) += f;
+        }
+        let mut flops_by_class: Vec<(String, u64)> =
+            by_class.into_iter().map(|(k, v)| (k.to_string(), v)).collect();
+        flops_by_class.sort_by(|a, b| b.1.cmp(&a.1));
+        GraphStats {
+            name: graph.name().to_string(),
+            nodes: graph.len(),
+            flops,
+            weight_bytes,
+            max_working_set_bytes: max_ws,
+            max_working_set_op: max_ws_op,
+            matrix_ops,
+            flops_by_class,
+        }
+    }
+
+    /// Weight size in MiB (Table 1 units).
+    #[must_use]
+    pub fn weight_mib(&self) -> f64 {
+        self.weight_bytes as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Max working set in MiB (Table 1 units).
+    #[must_use]
+    pub fn max_working_set_mib(&self) -> f64 {
+        self.max_working_set_bytes as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Fraction of total FLOPs contributed by op class `class`.
+    #[must_use]
+    pub fn flop_fraction(&self, class: &str) -> f64 {
+        if self.flops == 0 {
+            return 0.0;
+        }
+        self.flops_by_class
+            .iter()
+            .find(|(c, _)| c == class)
+            .map(|(_, f)| *f as f64 / self.flops as f64)
+            .unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Conv2dGeom, DType, Graph};
+    use crate::ops::DepthwiseConv2dGeom;
+
+    #[test]
+    fn stats_capture_working_set_and_classes() {
+        let mut g = Graph::new("t", DType::Bf16);
+        let x = g.input("x", [1, 32, 32, 16]);
+        let c = g.conv2d("c", x, Conv2dGeom::same(32, 32, 16, 64, 3, 2)).unwrap();
+        let d = g
+            .depthwise_conv2d("dw", c, DepthwiseConv2dGeom::same(16, 16, 64, 3, 1))
+            .unwrap();
+        g.mark_output(d);
+        let s = GraphStats::of(&g);
+        assert_eq!(s.nodes, 3);
+        assert_eq!(s.matrix_ops, 2);
+        // Conv working set: in 32*32*16*2 + out 16*16*64*2 bytes.
+        assert_eq!(s.max_working_set_bytes, 32 * 32 * 16 * 2 + 16 * 16 * 64 * 2);
+        assert_eq!(s.max_working_set_op, "c");
+        let conv_frac = s.flop_fraction("Conv2D");
+        let dw_frac = s.flop_fraction("DepthwiseConv2dNative");
+        assert!(conv_frac > dw_frac);
+        assert!((conv_frac + dw_frac - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mib_helpers() {
+        let mut g = Graph::new("t", DType::Bf16);
+        let x = g.input("x", [1, 1024, 1024]);
+        let _ = x;
+        let s = GraphStats::of(&g);
+        assert_eq!(s.weight_mib(), 0.0);
+        assert_eq!(s.max_working_set_mib(), 0.0);
+    }
+}

@@ -1,0 +1,245 @@
+//! BERT-Base encoder graph builder (Devlin et al., 2019).
+//!
+//! Each encoder layer is: Q/K/V projection, scaled-dot-product attention
+//! (`QKᵀ` einsum → softmax → `AV` einsum), output projection, residual +
+//! layernorm, feed-forward (768 → 3072 → 768 with GELU), residual +
+//! layernorm. QKV projection and feed-forward scale linearly with sequence
+//! length while softmax and self-attention scale quadratically — the §4.3
+//! bottleneck FAST targets.
+
+use fast_ir::{BatchMatMulGeom, DType, Graph, IrError, MatMulGeom, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// BERT model hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BertConfig {
+    /// Encoder layer count.
+    pub layers: u64,
+    /// Hidden width.
+    pub hidden: u64,
+    /// Attention head count.
+    pub heads: u64,
+    /// Feed-forward inner width.
+    pub ff: u64,
+    /// WordPiece vocabulary size.
+    pub vocab: u64,
+}
+
+impl BertConfig {
+    /// BERT-Base: 12 layers, hidden 768, 12 heads, FF 3072.
+    #[must_use]
+    pub const fn base() -> Self {
+        BertConfig { layers: 12, hidden: 768, heads: 12, ff: 3072, vocab: 30522 }
+    }
+
+    /// BERT-Large: 24 layers, hidden 1024, 16 heads, FF 4096.
+    #[must_use]
+    pub const fn large() -> Self {
+        BertConfig { layers: 24, hidden: 1024, heads: 16, ff: 4096, vocab: 30522 }
+    }
+
+    /// Per-head width.
+    #[must_use]
+    pub const fn head_dim(&self) -> u64 {
+        self.hidden / self.heads
+    }
+
+    /// Builds the encoder inference graph at `batch` × `seq_len`.
+    ///
+    /// # Errors
+    /// Propagates IR construction errors.
+    pub fn build(&self, batch: u64, seq_len: u64) -> Result<Graph, IrError> {
+        let mut g = Graph::new(format!("BERT-seq{seq_len}"), DType::Bf16);
+        let ids = g.input("token_ids", [batch, seq_len]);
+        let mut cur = g.embedding("embed", ids, self.vocab, self.hidden)?;
+        for layer in 0..self.layers {
+            g.begin_group(format!("encoder{layer}"));
+            cur = self.encoder_layer(&mut g, layer, cur, batch, seq_len)?;
+            g.end_group();
+        }
+        g.mark_output(cur);
+        Ok(g)
+    }
+
+    fn encoder_layer(
+        &self,
+        g: &mut Graph,
+        layer: u64,
+        input: NodeId,
+        batch: u64,
+        seq: u64,
+    ) -> Result<NodeId, IrError> {
+        let h = self.hidden;
+        let heads = self.heads;
+        let d = self.head_dim();
+        let p = |s: &str| format!("l{layer}.{s}");
+
+        // Q/K/V projections (activation × weight).
+        let q = g.matmul(p("qkv.q"), input, MatMulGeom { k: h, n: h })?;
+        let k = g.matmul(p("qkv.k"), input, MatMulGeom { k: h, n: h })?;
+        let v = g.matmul(p("qkv.v"), input, MatMulGeom { k: h, n: h })?;
+
+        // Split heads: [B,S,H] -> [B*heads, S, d].
+        let qh = g.reshape(p("attn.q_heads"), q, [batch * heads, seq, d])?;
+        let kh = g.reshape(p("attn.k_heads"), k, [batch * heads, d, seq])?;
+        let vh = g.reshape(p("attn.v_heads"), v, [batch * heads, seq, d])?;
+
+        // Attention scores QKᵀ (activation × activation) and softmax.
+        let scores = g.batch_matmul(
+            p("attn.qk"),
+            qh,
+            kh,
+            BatchMatMulGeom { batch: batch * heads, m: seq, k: d, n: seq },
+        )?;
+        let probs = g.softmax(p("softmax"), scores)?;
+
+        // Attention output AV (activation × activation).
+        let ctx = g.batch_matmul(
+            p("attn.av"),
+            probs,
+            vh,
+            BatchMatMulGeom { batch: batch * heads, m: seq, k: seq, n: d },
+        )?;
+        let merged = g.reshape(p("attn.merge"), ctx, [batch, seq, h])?;
+
+        // Output projection + residual + layernorm.
+        let proj = g.matmul(p("attn.out"), merged, MatMulGeom { k: h, n: h })?;
+        let res1 = g.residual_add(p("attn.residual"), proj, input)?;
+        let ln1 = g.layer_norm(p("attn.ln"), res1)?;
+
+        // Feed-forward + residual + layernorm.
+        let ff1 = g.matmul(p("ff.fc1"), ln1, MatMulGeom { k: h, n: self.ff })?;
+        let gelu = g.gelu(p("ff.gelu"), ff1)?;
+        let ff2 = g.matmul(p("ff.fc2"), gelu, MatMulGeom { k: self.ff, n: h })?;
+        let res2 = g.residual_add(p("ff.residual"), ff2, ln1)?;
+        g.layer_norm(p("ff.ln"), res2)
+    }
+}
+
+/// Functional component of a BERT node, for the Figure-5 runtime breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BertComponent {
+    /// Q/K/V matrix projections.
+    QkvProjection,
+    /// Softmax over attention scores.
+    Softmax,
+    /// Self-attention einsums (QKᵀ and AV) and the output projection.
+    SelfAttention,
+    /// Feed-forward matmuls and activation.
+    FeedForward,
+    /// Everything else (embeddings, layernorm, residuals, reshapes).
+    Other,
+}
+
+impl BertComponent {
+    /// All components in Figure-5 order.
+    pub const ALL: [BertComponent; 5] = [
+        BertComponent::QkvProjection,
+        BertComponent::Softmax,
+        BertComponent::SelfAttention,
+        BertComponent::FeedForward,
+        BertComponent::Other,
+    ];
+
+    /// Display label.
+    #[must_use]
+    pub const fn label(self) -> &'static str {
+        match self {
+            BertComponent::QkvProjection => "QKV projection",
+            BertComponent::Softmax => "softmax",
+            BertComponent::SelfAttention => "self-attention",
+            BertComponent::FeedForward => "feed-forward",
+            BertComponent::Other => "other",
+        }
+    }
+
+    /// Classifies a node by the naming convention of [`BertConfig::build`].
+    #[must_use]
+    pub fn of_node_name(name: &str) -> Self {
+        let Some((_, rest)) = name.split_once('.') else {
+            return BertComponent::Other;
+        };
+        if rest.starts_with("qkv.") {
+            BertComponent::QkvProjection
+        } else if rest == "softmax" {
+            BertComponent::Softmax
+        } else if rest.starts_with("attn.qk") || rest.starts_with("attn.av") || rest == "attn.out" {
+            BertComponent::SelfAttention
+        } else if rest.starts_with("ff.fc") || rest == "ff.gelu" {
+            BertComponent::FeedForward
+        } else {
+            BertComponent::Other
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fast_ir::OpKind;
+
+    #[test]
+    fn base_config_dims() {
+        let c = BertConfig::base();
+        assert_eq!(c.head_dim(), 64);
+        assert_eq!(BertConfig::large().head_dim(), 64);
+    }
+
+    #[test]
+    fn graph_builds_and_validates() {
+        let g = BertConfig::base().build(4, 128).unwrap();
+        g.validate().unwrap();
+        assert_eq!(g.group_names().len(), 12);
+        // ≈ 110 M parameters in BERT-Base (embedding + encoder).
+        let params = g.total_weight_bytes() as f64 / 2.0 / 1e6;
+        assert!((95.0..120.0).contains(&params), "params {params}M");
+    }
+
+    #[test]
+    fn attention_flops_scale_quadratically() {
+        let c = BertConfig::base();
+        let flops_at = |s: u64| {
+            let g = c.build(1, s).unwrap();
+            let mut attn = 0u64;
+            let mut ff = 0u64;
+            for n in g.nodes() {
+                match BertComponent::of_node_name(n.name()) {
+                    BertComponent::SelfAttention | BertComponent::Softmax => {
+                        attn += g.node_flops(n.id());
+                    }
+                    BertComponent::FeedForward | BertComponent::QkvProjection => {
+                        ff += g.node_flops(n.id());
+                    }
+                    BertComponent::Other => {}
+                }
+            }
+            (attn, ff)
+        };
+        let (a128, f128) = flops_at(128);
+        let (a1024, f1024) = flops_at(1024);
+        // Feed-forward/QKV are linear in seq; attention grows much faster
+        // (quadratic einsums + linear out-projection).
+        assert_eq!(f1024, 8 * f128);
+        assert!(a1024 > 5 * 8 * a128 / 4, "attention must grow superlinearly");
+    }
+
+    #[test]
+    fn einsums_are_activation_activation() {
+        let g = BertConfig::base().build(1, 128).unwrap();
+        let qk = g.nodes().find(|n| n.name() == "l0.attn.qk").unwrap();
+        assert!(matches!(qk.kind(), OpKind::BatchMatMul(_)));
+        let nest = g.loop_nest(qk.id()).unwrap();
+        assert!(nest.stationary_is_activation);
+        assert_eq!(nest.weight_latches, 12);
+    }
+
+    #[test]
+    fn component_classification() {
+        assert_eq!(BertComponent::of_node_name("l3.qkv.q"), BertComponent::QkvProjection);
+        assert_eq!(BertComponent::of_node_name("l0.softmax"), BertComponent::Softmax);
+        assert_eq!(BertComponent::of_node_name("l11.attn.av"), BertComponent::SelfAttention);
+        assert_eq!(BertComponent::of_node_name("l2.ff.gelu"), BertComponent::FeedForward);
+        assert_eq!(BertComponent::of_node_name("l2.ff.ln"), BertComponent::Other);
+        assert_eq!(BertComponent::of_node_name("embed"), BertComponent::Other);
+    }
+}

@@ -1,0 +1,334 @@
+//! EfficientNet B0–B7 graph builders (Tan & Le, ICML 2019).
+//!
+//! EfficientNet scales a baseline network (B0) with compound coefficients for
+//! width, depth and input resolution. Its MBConv blocks are built from
+//! depthwise-separable convolutions plus squeeze-and-excitation, which is
+//! precisely the low-operational-intensity structure §3.2/§4.2 of the FAST
+//! paper analyses.
+
+use fast_ir::ops::DepthwiseConv2dGeom;
+use fast_ir::{Conv2dGeom, DType, Graph, IrError, MatMulGeom, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// An EfficientNet model variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum EfficientNet {
+    /// EfficientNet-B0 (224×224).
+    B0,
+    /// EfficientNet-B1 (240×240).
+    B1,
+    /// EfficientNet-B2 (260×260).
+    B2,
+    /// EfficientNet-B3 (300×300).
+    B3,
+    /// EfficientNet-B4 (380×380).
+    B4,
+    /// EfficientNet-B5 (456×456).
+    B5,
+    /// EfficientNet-B6 (528×528).
+    B6,
+    /// EfficientNet-B7 (600×600).
+    B7,
+}
+
+impl EfficientNet {
+    /// All variants, B0..B7.
+    pub const ALL: [EfficientNet; 8] = [
+        EfficientNet::B0,
+        EfficientNet::B1,
+        EfficientNet::B2,
+        EfficientNet::B3,
+        EfficientNet::B4,
+        EfficientNet::B5,
+        EfficientNet::B6,
+        EfficientNet::B7,
+    ];
+
+    /// `(width_coefficient, depth_coefficient, resolution)`.
+    #[must_use]
+    pub const fn scaling(self) -> (f64, f64, u64) {
+        match self {
+            EfficientNet::B0 => (1.0, 1.0, 224),
+            EfficientNet::B1 => (1.0, 1.1, 240),
+            EfficientNet::B2 => (1.1, 1.2, 260),
+            EfficientNet::B3 => (1.2, 1.4, 300),
+            EfficientNet::B4 => (1.4, 1.8, 380),
+            EfficientNet::B5 => (1.6, 2.2, 456),
+            EfficientNet::B6 => (1.8, 2.6, 528),
+            EfficientNet::B7 => (2.0, 3.1, 600),
+        }
+    }
+
+    /// Published ImageNet top-1 accuracy (%) — used verbatim for Figure 2
+    /// (FAST does not change model accuracy).
+    #[must_use]
+    pub const fn imagenet_top1(self) -> f64 {
+        match self {
+            EfficientNet::B0 => 77.1,
+            EfficientNet::B1 => 79.1,
+            EfficientNet::B2 => 80.1,
+            EfficientNet::B3 => 81.6,
+            EfficientNet::B4 => 82.9,
+            EfficientNet::B5 => 83.6,
+            EfficientNet::B6 => 84.0,
+            EfficientNet::B7 => 84.3,
+        }
+    }
+
+    /// Variant name, e.g. `"EfficientNet-B3"`.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            EfficientNet::B0 => "EfficientNet-B0",
+            EfficientNet::B1 => "EfficientNet-B1",
+            EfficientNet::B2 => "EfficientNet-B2",
+            EfficientNet::B3 => "EfficientNet-B3",
+            EfficientNet::B4 => "EfficientNet-B4",
+            EfficientNet::B5 => "EfficientNet-B5",
+            EfficientNet::B6 => "EfficientNet-B6",
+            EfficientNet::B7 => "EfficientNet-B7",
+        }
+    }
+
+    /// Builds the inference graph at `batch`.
+    ///
+    /// # Errors
+    /// Propagates IR construction errors (none occur for valid variants; the
+    /// `Result` exists because the builders are fallible by contract).
+    pub fn build(self, batch: u64) -> Result<Graph, IrError> {
+        build_efficientnet(self, batch)
+    }
+}
+
+/// Baseline (B0) stage configuration:
+/// `(expand_ratio, channels, repeats, stride, kernel)`.
+const B0_STAGES: [(u64, u64, u64, u64, u64); 7] = [
+    (1, 16, 1, 1, 3),
+    (6, 24, 2, 2, 3),
+    (6, 40, 2, 2, 5),
+    (6, 80, 3, 2, 3),
+    (6, 112, 3, 1, 5),
+    (6, 192, 4, 2, 5),
+    (6, 320, 1, 1, 3),
+];
+
+/// Stem / head baseline channel counts.
+const STEM_CHANNELS: u64 = 32;
+const HEAD_CHANNELS: u64 = 1280;
+const NUM_CLASSES: u64 = 1000;
+const SE_RATIO: f64 = 0.25;
+
+/// Rounds a channel count scaled by `width` to the nearest multiple of 8,
+/// never dropping below 90 % of the unrounded value (reference TF logic).
+#[must_use]
+pub fn round_channels(channels: u64, width: f64) -> u64 {
+    let scaled = channels as f64 * width;
+    let divisor = 8.0;
+    let mut new = ((scaled + divisor / 2.0) / divisor).floor() * divisor;
+    if new < 0.9 * scaled {
+        new += divisor;
+    }
+    (new as u64).max(8)
+}
+
+/// Rounds a repeat count scaled by `depth` (ceil, reference TF logic).
+#[must_use]
+pub fn round_repeats(repeats: u64, depth: f64) -> u64 {
+    (repeats as f64 * depth).ceil() as u64
+}
+
+fn build_efficientnet(variant: EfficientNet, batch: u64) -> Result<Graph, IrError> {
+    let (width, depth, res) = variant.scaling();
+    let mut g = Graph::new(variant.name(), DType::Bf16);
+    let x = g.input("images", [batch, res, res, 3]);
+
+    // Stem: 3x3 stride-2 conv + swish.
+    let stem_ch = round_channels(STEM_CHANNELS, width);
+    let mut h = res.div_ceil(2);
+    let mut w = res.div_ceil(2);
+    let c = g.conv2d("stem.conv", x, Conv2dGeom::same(res, res, 3, stem_ch, 3, 2))?;
+    let mut cur = g.swish("stem.swish", c)?;
+    let mut in_ch = stem_ch;
+
+    let mut block_idx = 0u64;
+    for (stage, &(expand, channels, repeats, stride, kernel)) in B0_STAGES.iter().enumerate() {
+        let out_ch = round_channels(channels, width);
+        let reps = round_repeats(repeats, depth);
+        for rep in 0..reps {
+            let s = if rep == 0 { stride } else { 1 };
+            let name = format!("s{stage}b{rep}");
+            g.begin_group(format!("mbconv{block_idx}"));
+            let (next, nh, nw) =
+                mbconv_block(&mut g, &name, cur, batch, h, w, in_ch, out_ch, expand, kernel, s)?;
+            g.end_group();
+            cur = next;
+            h = nh;
+            w = nw;
+            in_ch = out_ch;
+            block_idx += 1;
+        }
+    }
+
+    // Head: 1x1 conv to wide features, swish, global pool, classifier.
+    let head_ch = round_channels(HEAD_CHANNELS, width);
+    let hc = g.conv2d("head.conv", cur, Conv2dGeom::same(h, w, in_ch, head_ch, 1, 1))?;
+    let hs = g.swish("head.swish", hc)?;
+    let gap = g.global_avg_pool("head.gap", hs)?;
+    let flat = g.reshape("head.flat", gap, [batch, head_ch])?;
+    let logits = g.matmul("head.fc", flat, MatMulGeom { k: head_ch, n: NUM_CLASSES })?;
+    g.mark_output(logits);
+    Ok(g)
+}
+
+/// Builds one MBConv (inverted-residual) block, returning the output node and
+/// spatial extents.
+#[allow(clippy::too_many_arguments)]
+fn mbconv_block(
+    g: &mut Graph,
+    name: &str,
+    input: NodeId,
+    batch: u64,
+    h: u64,
+    w: u64,
+    in_ch: u64,
+    out_ch: u64,
+    expand: u64,
+    kernel: u64,
+    stride: u64,
+) -> Result<(NodeId, u64, u64), IrError> {
+    let mid_ch = in_ch * expand;
+
+    // Expansion (skipped when expand ratio is 1, as in stage 0).
+    let expanded = if expand != 1 {
+        let e = g.conv2d(
+            format!("{name}.expand"),
+            input,
+            Conv2dGeom::same(h, w, in_ch, mid_ch, 1, 1),
+        )?;
+        g.swish(format!("{name}.expand_swish"), e)?
+    } else {
+        input
+    };
+
+    // Depthwise conv.
+    let dw = g.depthwise_conv2d(
+        format!("{name}.dwconv"),
+        expanded,
+        DepthwiseConv2dGeom::same(h, w, mid_ch, kernel, stride),
+    )?;
+    let dws = g.swish(format!("{name}.dw_swish"), dw)?;
+    let oh = h.div_ceil(stride);
+    let ow = w.div_ceil(stride);
+
+    // Squeeze-and-excitation: pool -> reduce FC -> swish -> expand FC ->
+    // sigmoid -> channel-wise scale. Reduction width derives from the block
+    // *input* channels (reference implementation).
+    let se_ch = ((in_ch as f64 * SE_RATIO) as u64).max(1);
+    let pooled = g.global_avg_pool(format!("{name}.se_pool"), dws)?;
+    let squeezed = g.reshape(format!("{name}.se_flat"), pooled, [batch, mid_ch])?;
+    let fc1 = g.matmul(format!("{name}.se_fc1"), squeezed, MatMulGeom { k: mid_ch, n: se_ch })?;
+    let fc1a = g.swish(format!("{name}.se_swish"), fc1)?;
+    let fc2 = g.matmul(format!("{name}.se_fc2"), fc1a, MatMulGeom { k: se_ch, n: mid_ch })?;
+    let gate = g.unary(format!("{name}.se_sigmoid"), fast_ir::EwKind::Sigmoid, fc2)?;
+    let scaled = g.binary(format!("{name}.se_scale"), fast_ir::EwKind::Mul, dws, gate)?;
+
+    // Projection back to out_ch (linear — no activation).
+    let proj = g.conv2d(
+        format!("{name}.project"),
+        scaled,
+        Conv2dGeom::same(oh, ow, mid_ch, out_ch, 1, 1),
+    )?;
+
+    // Residual connection when shapes allow.
+    let out = if stride == 1 && in_ch == out_ch {
+        g.residual_add(format!("{name}.add"), proj, input)?
+    } else {
+        proj
+    };
+    Ok((out, oh, ow))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fast_ir::GraphStats;
+
+    #[test]
+    fn rounding_rules_match_reference() {
+        assert_eq!(round_channels(32, 1.0), 32);
+        // 35.2 rounds down to 32, which is above 0.9*35.2 = 31.7, so it stays.
+        assert_eq!(round_channels(32, 1.1), 32);
+        // Reference values: width 1.1 of 16 = 17.6 -> 16; 0.9*17.6 = 15.84 <= 16 so 16.
+        assert_eq!(round_channels(16, 1.1), 16);
+        // width 2.0 doubles cleanly.
+        assert_eq!(round_channels(320, 2.0), 640);
+        assert_eq!(round_repeats(1, 3.1), 4);
+        assert_eq!(round_repeats(4, 3.1), 13);
+        assert_eq!(round_repeats(2, 1.0), 2);
+    }
+
+    #[test]
+    fn b0_structure() {
+        let g = EfficientNet::B0.build(1).unwrap();
+        g.validate().unwrap();
+        // 16 MBConv blocks in B0.
+        assert_eq!(g.group_names().len(), 16);
+        // B0 ≈ 0.39 GFLOPs-MACs*2 at 224x224 (reference: 0.39 GMACs).
+        let gflops = g.total_flops() as f64 / 1e9;
+        assert!((0.6..1.0).contains(&gflops), "B0 flops {gflops}");
+        // ≈ 5.3 M parameters.
+        let params = g.total_weight_bytes() as f64 / 2.0 / 1e6;
+        assert!((4.5..6.5).contains(&params), "B0 params {params}M");
+    }
+
+    #[test]
+    fn b7_structure() {
+        let g = EfficientNet::B7.build(1).unwrap();
+        g.validate().unwrap();
+        assert_eq!(g.group_names().len(), 55);
+        // ≈ 66 M parameters.
+        let params = g.total_weight_bytes() as f64 / 2.0 / 1e6;
+        assert!((58.0..75.0).contains(&params), "B7 params {params}M");
+        // ≈ 37 GMACs -> 74 GFLOPs at 600x600.
+        let gflops = g.total_flops() as f64 / 1e9;
+        assert!((60.0..90.0).contains(&gflops), "B7 flops {gflops}");
+    }
+
+    #[test]
+    fn working_sets_grow_with_variant() {
+        let b0 = GraphStats::of(&EfficientNet::B0.build(1).unwrap());
+        let b4 = GraphStats::of(&EfficientNet::B4.build(1).unwrap());
+        let b7 = GraphStats::of(&EfficientNet::B7.build(1).unwrap());
+        assert!(b0.max_working_set_bytes < b4.max_working_set_bytes);
+        assert!(b4.max_working_set_bytes < b7.max_working_set_bytes);
+        assert!(b0.weight_bytes < b4.weight_bytes);
+        assert!(b4.weight_bytes < b7.weight_bytes);
+    }
+
+    #[test]
+    fn batch_scales_flops_linearly() {
+        let b1 = EfficientNet::B0.build(1).unwrap().total_flops();
+        let b8 = EfficientNet::B0.build(8).unwrap().total_flops();
+        assert_eq!(b8, 8 * b1);
+    }
+
+    #[test]
+    fn depthwise_flops_are_small_fraction() {
+        // Table 2: depthwise convs are ~5 % of FLOPs in B7.
+        let g = EfficientNet::B7.build(1).unwrap();
+        let s = GraphStats::of(&g);
+        let dw = s.flop_fraction("DepthwiseConv2dNative");
+        assert!((0.01..0.12).contains(&dw), "depthwise fraction {dw}");
+        let conv = s.flop_fraction("Conv2D");
+        assert!(conv > 0.8, "conv fraction {conv}");
+    }
+
+    #[test]
+    fn accuracies_monotone() {
+        let mut last = 0.0;
+        for v in EfficientNet::ALL {
+            assert!(v.imagenet_top1() > last);
+            last = v.imagenet_top1();
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! # fast-models — the FAST paper's workload zoo
+//!
+//! Builds the inference graphs the paper evaluates (§6.1 "Workloads"):
+//!
+//! * the full EfficientNet family B0–B7 ([`EfficientNet`]),
+//! * BERT-Base at short (128) and long (1024) sequence lengths
+//!   ([`BertConfig`]), plus arbitrary lengths for the Figure-5 sweep,
+//! * ResNet-50v2 ([`resnet::build_resnet50v2`]),
+//! * two synthetic stand-ins for the production OCR pipeline
+//!   ([`ocr::build_ocr_rpn`], [`ocr::build_ocr_recognizer`]) — see the module
+//!   docs for the substitution rationale.
+//!
+//! [`Workload`] is the uniform handle the search framework consumes: it can
+//! build a graph at any batch size and names itself consistently across
+//! reports.
+//!
+//! ```
+//! use fast_models::Workload;
+//!
+//! let g = Workload::EfficientNet(fast_models::EfficientNet::B0).build(1)?;
+//! assert!(g.total_flops() > 500_000_000);
+//! # Ok::<(), fast_ir::IrError>(())
+//! ```
+
+pub mod bert;
+pub mod efficientnet;
+pub mod ocr;
+pub mod resnet;
+
+pub use bert::{BertComponent, BertConfig};
+pub use efficientnet::EfficientNet;
+
+use fast_ir::{Graph, IrError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A benchmark workload identity: knows its name and how to build its graph
+/// at any batch size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Workload {
+    /// One of the EfficientNet variants.
+    EfficientNet(EfficientNet),
+    /// BERT-Base at a given sequence length.
+    Bert {
+        /// Input sequence length in tokens.
+        seq_len: u64,
+    },
+    /// ResNet-50v2 at 224×224.
+    ResNet50,
+    /// Synthetic Mask R-CNN RPN stage of the OCR pipeline.
+    OcrRpn,
+    /// Synthetic LSTM-based OCR line recognizer.
+    OcrRecognizer,
+}
+
+impl Workload {
+    /// The full 13-workload benchmark suite of Figures 9/10: EfficientNet
+    /// B0–B7, ResNet-50, OCR-RPN, OCR-Recognizer, BERT-128 and BERT-1024.
+    #[must_use]
+    pub fn suite() -> Vec<Workload> {
+        let mut v: Vec<Workload> =
+            EfficientNet::ALL.iter().map(|&e| Workload::EfficientNet(e)).collect();
+        v.extend([
+            Workload::ResNet50,
+            Workload::OcrRpn,
+            Workload::OcrRecognizer,
+            Workload::Bert { seq_len: 128 },
+            Workload::Bert { seq_len: 1024 },
+        ]);
+        v
+    }
+
+    /// The reduced 5-workload suite used for the multi-workload search
+    /// ("GeoMean-5" in Figure 9): EfficientNet-B7, ResNet-50, OCR-RPN,
+    /// OCR-Recognizer, BERT-1024.
+    #[must_use]
+    pub fn suite5() -> Vec<Workload> {
+        vec![
+            Workload::EfficientNet(EfficientNet::B7),
+            Workload::ResNet50,
+            Workload::OcrRpn,
+            Workload::OcrRecognizer,
+            Workload::Bert { seq_len: 1024 },
+        ]
+    }
+
+    /// Workload display name matching the paper's figures.
+    #[must_use]
+    pub fn name(&self) -> String {
+        match self {
+            Workload::EfficientNet(v) => v.name().to_string(),
+            Workload::Bert { seq_len } => format!("BERT-{seq_len}"),
+            Workload::ResNet50 => "ResNet50v2".to_string(),
+            Workload::OcrRpn => "OCR-RPN".to_string(),
+            Workload::OcrRecognizer => "OCR-Recognizer".to_string(),
+        }
+    }
+
+    /// Builds the workload graph at `batch`.
+    ///
+    /// # Errors
+    /// Propagates IR construction errors (none occur for in-tree workloads).
+    pub fn build(&self, batch: u64) -> Result<Graph, IrError> {
+        match self {
+            Workload::EfficientNet(v) => v.build(batch),
+            Workload::Bert { seq_len } => BertConfig::base().build(batch, *seq_len),
+            Workload::ResNet50 => resnet::build_resnet50v2(batch, 224),
+            Workload::OcrRpn => ocr::build_ocr_rpn(batch),
+            Workload::OcrRecognizer => ocr::build_ocr_recognizer(batch),
+        }
+    }
+}
+
+impl fmt::Display for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fast_ir::GraphStats;
+
+    #[test]
+    fn suite_has_thirteen_workloads() {
+        let s = Workload::suite();
+        assert_eq!(s.len(), 13);
+    }
+
+    #[test]
+    fn suite5_matches_paper() {
+        let s = Workload::suite5();
+        assert_eq!(s.len(), 5);
+        assert!(s.contains(&Workload::EfficientNet(EfficientNet::B7)));
+        assert!(s.contains(&Workload::Bert { seq_len: 1024 }));
+    }
+
+    #[test]
+    fn all_suite_workloads_build_and_validate() {
+        for w in Workload::suite() {
+            let g = w.build(1).unwrap_or_else(|e| panic!("{w}: {e}"));
+            g.validate().unwrap_or_else(|e| panic!("{w}: {e}"));
+            let stats = GraphStats::of(&g);
+            assert!(stats.flops > 0, "{w} has zero flops");
+            assert!(stats.matrix_ops > 0, "{w} has no matrix ops");
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: Vec<String> = Workload::suite().iter().map(Workload::name).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+}

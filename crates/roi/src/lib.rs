@@ -1,0 +1,208 @@
+//! # fast-roi — the economics of specialized accelerators (§5.1)
+//!
+//! Implements the paper's ROI model (Equations 1–2):
+//!
+//! ```text
+//! TCO_old(n) = C_cap(n) + t_D · C_op(n)
+//! ROI        = TCO_old · (S − 1) / ((t_design · C_eng + C_mask + C_IP) · S)
+//! ```
+//!
+//! where `S` is the Perf/TCO improvement of the new accelerator over the
+//! baseline and `n` the deployment volume. An ROI above 1 is profitable.
+//! All constants default to the paper's public sources: the NVIDIA DGX A100
+//! 320 GB platform as the baseline ($199k for 8 accelerators), May-2021 US
+//! commercial electricity, a 3-year deployment lifetime, Bay-Area median SWE
+//! compensation with 65 % overhead, 65 aggregate engineer-years (the
+//! Simba/Tesla-FSD average), and sub-10 nm mask/IP NRE extrapolated with the
+//! exponential scaling of ASIC Clouds — calibrated against Table 4.
+
+use serde::{Deserialize, Serialize};
+
+/// The ROI model constants (Equations 1–2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoiModel {
+    /// Capital cost per deployed accelerator, including its share of host,
+    /// networking and rack (USD).
+    pub accelerator_price: f64,
+    /// Average wall power per accelerator including system share (kW).
+    pub accelerator_kw: f64,
+    /// Electricity price (USD per kWh).
+    pub electricity_per_kwh: f64,
+    /// Deployment lifetime `t_D` (years).
+    pub lifetime_years: f64,
+    /// Aggregate engineering effort `t_design` (engineer-years).
+    pub engineer_years: f64,
+    /// Fully-loaded cost per engineer-year `C_eng` (USD).
+    pub engineer_cost_per_year: f64,
+    /// Wafer mask NRE `C_mask` (USD).
+    pub mask_cost: f64,
+    /// IP licensing NRE `C_IP` (USD), e.g. the DRAM PHY.
+    pub ip_cost: f64,
+}
+
+impl RoiModel {
+    /// The paper's hypothetical datacenter scenario (§5.1 / §6.2.2).
+    #[must_use]
+    pub fn paper_default() -> Self {
+        RoiModel {
+            // DGX A100 320GB: $199,000 MSRP for 8 accelerators.
+            accelerator_price: 199_000.0 / 8.0,
+            // DGX A100 max system power 6.5 kW across 8 accelerators.
+            accelerator_kw: 6.5 / 8.0,
+            // US commercial average, May 2021 (EIA).
+            electricity_per_kwh: 0.1084,
+            lifetime_years: 3.0,
+            // Average of Simba (12.5) and Tesla FSD (117) engineer-years.
+            engineer_years: 65.0,
+            // $240k median total compensation × 1.65 overhead.
+            engineer_cost_per_year: 240_000.0 * 1.65,
+            // Sub-10nm extrapolations (exponential scaling per ASIC Clouds),
+            // calibrated to Table 4's break-even volumes.
+            mask_cost: 12.0e6,
+            ip_cost: 6.0e6,
+        }
+    }
+
+    /// One-time engineering + manufacturing NRE (denominator of Eq. 2).
+    #[must_use]
+    pub fn nre(&self) -> f64 {
+        self.engineer_years * self.engineer_cost_per_year + self.mask_cost + self.ip_cost
+    }
+
+    /// Lifetime TCO of one deployed baseline accelerator (capital plus
+    /// `t_D` years of electricity).
+    #[must_use]
+    pub fn tco_per_accelerator(&self) -> f64 {
+        let kwh_per_year = self.accelerator_kw * 24.0 * 365.0;
+        self.accelerator_price
+            + self.lifetime_years * kwh_per_year * self.electricity_per_kwh
+    }
+
+    /// Baseline fleet TCO for `n` accelerators (Eq. 1).
+    #[must_use]
+    pub fn tco_old(&self, n: f64) -> f64 {
+        n * self.tco_per_accelerator()
+    }
+
+    /// ROI of replacing an `n`-accelerator baseline fleet with a design
+    /// whose Perf/TCO is `s ×` the baseline (Eq. 2).
+    ///
+    /// Returns 0 for `s <= 1` (no savings).
+    #[must_use]
+    pub fn roi(&self, n: f64, s: f64) -> f64 {
+        if s <= 1.0 {
+            return 0.0;
+        }
+        self.tco_old(n) * (s - 1.0) / (self.nre() * s)
+    }
+
+    /// Deployment volume needed to reach `target_roi` at Perf/TCO gain `s`
+    /// (Table 4's columns). Returns `None` when `s <= 1`.
+    #[must_use]
+    pub fn volume_for_roi(&self, s: f64, target_roi: f64) -> Option<f64> {
+        if s <= 1.0 {
+            return None;
+        }
+        Some(target_roi * self.nre() * s / ((s - 1.0) * self.tco_per_accelerator()))
+    }
+
+    /// Figure-6 curve: ROI at each volume for a given Perf/TCO gain.
+    #[must_use]
+    pub fn roi_curve(&self, s: f64, volumes: &[f64]) -> Vec<(f64, f64)> {
+        volumes.iter().map(|&n| (n, self.roi(n, s))).collect()
+    }
+}
+
+impl Default for RoiModel {
+    fn default() -> Self {
+        RoiModel::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants_nre() {
+        let m = RoiModel::paper_default();
+        // 65 × $396k = $25.74M engineering + $18M mask/IP.
+        assert!((m.nre() - 43.74e6).abs() < 1e4, "{}", m.nre());
+    }
+
+    #[test]
+    fn tco_per_accelerator_matches_hand_calculation() {
+        let m = RoiModel::paper_default();
+        let expected = 24_875.0 + 3.0 * 0.8125 * 8760.0 * 0.1084;
+        assert!((m.tco_per_accelerator() - expected).abs() < 1.0);
+    }
+
+    /// Table 4: break-even (1× ROI) volumes per workload Perf/TCO.
+    ///
+    /// The Multi-Workload row of the paper (2,792 at S = 2.82) is internally
+    /// inconsistent with Eq. 2 — the formula that fits the six workload rows
+    /// to <0.3 % yields 2,494 for S = 2.82 (2,792 corresponds to S ≈ 2.4,
+    /// the multi-workload Perf/TDP geomean from the abstract). We therefore
+    /// check the six self-consistent rows; see EXPERIMENTS.md.
+    #[test]
+    fn table4_breakeven_volumes() {
+        let m = RoiModel::paper_default();
+        let cases = [
+            (3.91, 2_164.0), // EfficientNet-B7
+            (2.65, 2_588.0), // ResNet50
+            (2.34, 2_810.0), // OCR-RPN
+            (2.72, 2_548.0), // OCR-Recognizer
+            (1.84, 3_534.0), // BERT-128
+            (2.70, 2_558.0), // BERT-1024
+        ];
+        for (s, paper_volume) in cases {
+            let v = m.volume_for_roi(s, 1.0).unwrap();
+            let rel = (v - paper_volume).abs() / paper_volume;
+            assert!(rel < 0.01, "S={s}: volume {v:.0} vs paper {paper_volume} ({rel:.3})");
+        }
+    }
+
+    #[test]
+    fn roi_scales_linearly_with_volume() {
+        let m = RoiModel::paper_default();
+        let r1 = m.roi(1_000.0, 2.0);
+        let r2 = m.roi(2_000.0, 2.0);
+        assert!((r2 / r1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diminishing_returns_in_s() {
+        // Figure 6's second takeaway: 8000 @ 1.5x beats 2000 @ 100x.
+        let m = RoiModel::paper_default();
+        assert!(m.roi(8_000.0, 1.5) > m.roi(2_000.0, 100.0));
+    }
+
+    #[test]
+    fn s_below_one_is_unprofitable() {
+        let m = RoiModel::paper_default();
+        assert_eq!(m.roi(10_000.0, 1.0), 0.0);
+        assert_eq!(m.volume_for_roi(0.9, 1.0), None);
+    }
+
+    #[test]
+    fn roi_curve_shape() {
+        let m = RoiModel::paper_default();
+        let vols = [1_000.0, 5_000.0, 20_000.0];
+        let curve = m.roi_curve(4.0, &vols);
+        assert_eq!(curve.len(), 3);
+        assert!(curve[0].1 < curve[1].1 && curve[1].1 < curve[2].1);
+        // Volume on the x axis passes through unchanged.
+        assert_eq!(curve[2].0, 20_000.0);
+    }
+
+    #[test]
+    fn volume_then_roi_roundtrip() {
+        let m = RoiModel::paper_default();
+        for s in [1.5, 2.0, 4.0, 10.0] {
+            for target in [1.0, 2.0, 8.0] {
+                let v = m.volume_for_roi(s, target).unwrap();
+                assert!((m.roi(v, s) - target).abs() < 1e-9);
+            }
+        }
+    }
+}

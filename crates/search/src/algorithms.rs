@@ -1,0 +1,343 @@
+//! The three search heuristics the paper evaluates (Figure 11): random
+//! sampling, Linear Combination Swarm (LCS — Vizier's Bayesian-optimized
+//! genetic/swarm algorithm), and a Bayesian optimizer (here a Tree-structured
+//! Parzen Estimator over the discrete domains, standing in for Vizier's
+//! default GP-based algorithm).
+
+use crate::optimizer::{Optimizer, Trial, TrialResult};
+use crate::space::ParamSpace;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Uniform random sampling.
+#[derive(Debug, Default)]
+pub struct RandomSearch;
+
+impl RandomSearch {
+    /// Creates a random-sampling optimizer.
+    #[must_use]
+    pub fn new() -> Self {
+        RandomSearch
+    }
+}
+
+impl Optimizer for RandomSearch {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn propose(&mut self, space: &ParamSpace, rng: &mut StdRng) -> Vec<usize> {
+        space.sample(rng)
+    }
+
+    fn observe(&mut self, _space: &ParamSpace, _trial: &Trial) {}
+}
+
+/// Linear Combination Swarm: a population of particles; each proposal is a
+/// per-dimension stochastic mix of the global best, a particle's personal
+/// best, and mutation (Golovin et al., "Black box optimization via a
+/// Bayesian-optimized genetic algorithm").
+#[derive(Debug)]
+pub struct LcsSwarm {
+    population: usize,
+    /// Personal bests: `(point, objective)` per particle.
+    personal: Vec<Option<(Vec<usize>, f64)>>,
+    global: Option<(Vec<usize>, f64)>,
+    next_particle: usize,
+    /// Probability of inheriting each dimension from the global best.
+    pull_global: f64,
+    /// Probability of mutating each dimension to a random neighbor.
+    mutate: f64,
+    pending: Vec<(usize, Vec<usize>)>,
+}
+
+impl LcsSwarm {
+    /// Creates a swarm with `population` particles.
+    #[must_use]
+    pub fn new(population: usize) -> Self {
+        LcsSwarm {
+            population: population.max(2),
+            personal: vec![None; population.max(2)],
+            global: None,
+            next_particle: 0,
+            pull_global: 0.35,
+            mutate: 0.15,
+            pending: Vec::new(),
+        }
+    }
+}
+
+impl Default for LcsSwarm {
+    fn default() -> Self {
+        LcsSwarm::new(20)
+    }
+}
+
+impl Optimizer for LcsSwarm {
+    fn name(&self) -> &'static str {
+        "LCS"
+    }
+
+    fn propose(&mut self, space: &ParamSpace, rng: &mut StdRng) -> Vec<usize> {
+        let particle = self.next_particle;
+        self.next_particle = (self.next_particle + 1) % self.population;
+
+        let point = match (&self.personal[particle], &self.global) {
+            (Some((pb, _)), Some((gb, _))) => {
+                let mut p = Vec::with_capacity(space.len());
+                for d in 0..space.len() {
+                    let card = space.cardinality(d);
+                    let r: f64 = rng.gen();
+                    let idx = if r < self.mutate {
+                        // Random neighbor step (or uniform for small domains).
+                        let step: i64 = if rng.gen() { 1 } else { -1 };
+                        let raw = pb[d] as i64 + step;
+                        raw.clamp(0, card as i64 - 1) as usize
+                    } else if r < self.mutate + self.pull_global {
+                        gb[d]
+                    } else {
+                        pb[d]
+                    };
+                    p.push(idx);
+                }
+                p
+            }
+            // Cold particle: explore uniformly.
+            _ => space.sample(rng),
+        };
+        self.pending.push((particle, point.clone()));
+        point
+    }
+
+    fn observe(&mut self, _space: &ParamSpace, trial: &Trial) {
+        let Some(pos) = self.pending.iter().position(|(_, p)| p == &trial.point) else {
+            return;
+        };
+        let (particle, point) = self.pending.swap_remove(pos);
+        if let TrialResult::Valid(obj) = trial.result {
+            let better_personal =
+                self.personal[particle].as_ref().is_none_or(|(_, b)| obj > *b);
+            if better_personal {
+                self.personal[particle] = Some((point.clone(), obj));
+            }
+            let better_global = self.global.as_ref().is_none_or(|(_, b)| obj > *b);
+            if better_global {
+                self.global = Some((point, obj));
+            }
+        }
+    }
+}
+
+/// Tree-structured Parzen Estimator over discrete domains.
+///
+/// Valid trials are split into a "good" head (top `gamma` fraction by
+/// objective) and a "bad" tail; per dimension, categorical densities with
+/// Laplace smoothing model each group, and proposals maximize the density
+/// ratio `l_good / l_bad` over a candidate batch. Invalid trials count as
+/// bad, implementing safe search's pressure away from infeasible regions.
+#[derive(Debug)]
+pub struct Tpe {
+    history: Vec<(Vec<usize>, Option<f64>)>,
+    /// Fraction of valid trials treated as "good".
+    gamma: f64,
+    /// Number of candidates scored per proposal.
+    candidates: usize,
+    /// Trials before switching from uniform exploration.
+    startup: usize,
+}
+
+impl Tpe {
+    /// Creates a TPE optimizer with standard settings.
+    #[must_use]
+    pub fn new() -> Self {
+        Tpe { history: Vec::new(), gamma: 0.25, candidates: 24, startup: 16 }
+    }
+}
+
+impl Default for Tpe {
+    fn default() -> Self {
+        Tpe::new()
+    }
+}
+
+impl Tpe {
+    /// Per-dimension smoothed densities for a set of points.
+    fn densities(points: &[&Vec<usize>], space: &ParamSpace) -> Vec<Vec<f64>> {
+        (0..space.len())
+            .map(|d| {
+                let card = space.cardinality(d);
+                let mut counts = vec![1.0f64; card]; // Laplace smoothing
+                for p in points {
+                    counts[p[d]] += 1.0;
+                }
+                let total: f64 = counts.iter().sum();
+                counts.iter().map(|c| c / total).collect()
+            })
+            .collect()
+    }
+}
+
+impl Optimizer for Tpe {
+    fn name(&self) -> &'static str {
+        "bayesian (TPE)"
+    }
+
+    fn propose(&mut self, space: &ParamSpace, rng: &mut StdRng) -> Vec<usize> {
+        let valid: Vec<(&Vec<usize>, f64)> = self
+            .history
+            .iter()
+            .filter_map(|(p, o)| o.map(|o| (p, o)))
+            .collect();
+        if self.history.len() < self.startup || valid.len() < 4 {
+            return space.sample(rng);
+        }
+        // Split into good / bad.
+        let mut sorted = valid;
+        sorted.sort_by(|a, b| b.1.total_cmp(&a.1));
+        let n_good = ((sorted.len() as f64 * self.gamma).ceil() as usize).max(2);
+        let good: Vec<&Vec<usize>> = sorted[..n_good].iter().map(|(p, _)| *p).collect();
+        let mut bad: Vec<&Vec<usize>> = sorted[n_good..].iter().map(|(p, _)| *p).collect();
+        // Invalid points join the bad density (safe search).
+        bad.extend(self.history.iter().filter(|(_, o)| o.is_none()).map(|(p, _)| p));
+
+        let good_d = Self::densities(&good, space);
+        let bad_d = Self::densities(&bad, space);
+
+        let mut best: Option<(f64, Vec<usize>)> = None;
+        for _ in 0..self.candidates {
+            // Sample a candidate from the good density.
+            let mut cand = Vec::with_capacity(space.len());
+            for d in 0..space.len() {
+                let mut r: f64 = rng.gen();
+                let mut idx = 0;
+                for (i, &p) in good_d[d].iter().enumerate() {
+                    if r < p {
+                        idx = i;
+                        break;
+                    }
+                    r -= p;
+                    idx = i;
+                }
+                cand.push(idx);
+            }
+            // Score by log density ratio.
+            let score: f64 = (0..space.len())
+                .map(|d| (good_d[d][cand[d]] / bad_d[d][cand[d]]).ln())
+                .sum();
+            if best.as_ref().is_none_or(|(s, _)| score > *s) {
+                best = Some((score, cand));
+            }
+        }
+        best.expect("candidates > 0").1
+    }
+
+    fn observe(&mut self, _space: &ParamSpace, trial: &Trial) {
+        self.history.push((trial.point.clone(), trial.result.objective()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    /// A separable test objective: reward large indices on even dims, small
+    /// on odd dims; reject a "forbidden" corner to exercise safe search.
+    fn toy_objective(space: &ParamSpace, p: &[usize]) -> TrialResult {
+        if p[0] == 0 && p[1] == 0 {
+            return TrialResult::Invalid;
+        }
+        let score: f64 = (0..space.len())
+            .map(|d| {
+                let v = p[d] as f64 / (space.cardinality(d) - 1).max(1) as f64;
+                if d % 2 == 0 {
+                    v
+                } else {
+                    1.0 - v
+                }
+            })
+            .sum();
+        TrialResult::Valid(score)
+    }
+
+    fn toy_space() -> ParamSpace {
+        let mut s = ParamSpace::new();
+        for i in 0..6 {
+            s.add(format!("p{i}"), crate::space::ParamDomain::Pow2 { min: 1, max: 128 });
+        }
+        s
+    }
+
+    fn run(opt: &mut dyn Optimizer, trials: usize, seed: u64) -> f64 {
+        let space = toy_space();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut best = f64::NEG_INFINITY;
+        for _ in 0..trials {
+            let point = opt.propose(&space, &mut rng);
+            let result = toy_objective(&space, &point);
+            if let TrialResult::Valid(v) = result {
+                best = best.max(v);
+            }
+            opt.observe(&space, &Trial { point, result });
+        }
+        best
+    }
+
+    #[test]
+    fn all_optimizers_improve_over_time() {
+        for mk in [
+            || Box::new(RandomSearch::new()) as Box<dyn Optimizer>,
+            || Box::new(LcsSwarm::default()) as Box<dyn Optimizer>,
+            || Box::new(Tpe::new()) as Box<dyn Optimizer>,
+        ] {
+            let mut short = mk();
+            let mut long = mk();
+            let b_short = run(short.as_mut(), 20, 3);
+            let b_long = run(long.as_mut(), 300, 3);
+            assert!(
+                b_long >= b_short,
+                "{}: long {} < short {}",
+                long.name(),
+                b_long,
+                b_short
+            );
+            assert!(b_long > 4.0, "{}: best {}", long.name(), b_long);
+        }
+    }
+
+    #[test]
+    fn guided_search_beats_random_on_average() {
+        let trials = 150;
+        let seeds = [1u64, 2, 3, 4, 5, 6, 7, 8];
+        let avg = |mk: &dyn Fn() -> Box<dyn Optimizer>| {
+            seeds
+                .iter()
+                .map(|&s| run(mk().as_mut(), trials, s))
+                .sum::<f64>()
+                / seeds.len() as f64
+        };
+        let random = avg(&|| Box::new(RandomSearch::new()));
+        let lcs = avg(&|| Box::new(LcsSwarm::default()));
+        let tpe = avg(&|| Box::new(Tpe::new()));
+        assert!(lcs > random - 0.1, "lcs {lcs} vs random {random}");
+        assert!(tpe > random - 0.1, "tpe {tpe} vs random {random}");
+    }
+
+    #[test]
+    fn proposals_stay_in_space() {
+        let space = toy_space();
+        let mut rng = StdRng::seed_from_u64(11);
+        for mut opt in [
+            Box::new(RandomSearch::new()) as Box<dyn Optimizer>,
+            Box::new(LcsSwarm::new(5)),
+            Box::new(Tpe::new()),
+        ] {
+            for _ in 0..100 {
+                let p = opt.propose(&space, &mut rng);
+                assert!(space.contains(&p), "{} out of space", opt.name());
+                let result = toy_objective(&space, &p);
+                opt.observe(&space, &Trial { point: p, result });
+            }
+        }
+    }
+}

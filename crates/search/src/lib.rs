@@ -1,0 +1,90 @@
+//! # fast-search — black-box optimization for FAST (the Vizier stand-in)
+//!
+//! The paper drives its design-space exploration with Google Vizier (§5.3,
+//! §6.1): a service proposing hyperparameter settings, with LCS and random
+//! sampling as alternative heuristics (Figure 11) and *safe search* rejecting
+//! invalid designs. This crate rebuilds that substrate:
+//!
+//! * [`ParamSpace`] — discrete, named parameter domains (powers of two,
+//!   categoricals, booleans — exactly Table 3's shapes);
+//! * [`Optimizer`] implementations: [`RandomSearch`], [`LcsSwarm`] (linear
+//!   combination swarm) and [`Tpe`] (a Parzen-estimator Bayesian optimizer
+//!   standing in for Vizier's default);
+//! * [`run_study`] — a reproducible, seeded trial loop with best-so-far
+//!   convergence tracking and invalid-trial accounting;
+//! * [`convergence_band`] — multi-run mean/CI aggregation for Figure 11.
+//!
+//! ```
+//! use fast_search::{ParamSpace, ParamDomain, RandomSearch, run_study, TrialResult};
+//!
+//! let mut space = ParamSpace::new();
+//! space.add("pe_count", ParamDomain::Pow2 { min: 1, max: 64 });
+//! let mut opt = RandomSearch::new();
+//! let result = run_study(&space, &mut opt, 50, 0, |point| {
+//!     TrialResult::Valid(space.value(point, 0) as f64)
+//! });
+//! assert_eq!(result.best_objective, Some(64.0));
+//! ```
+
+pub mod algorithms;
+pub mod optimizer;
+pub mod space;
+pub mod study;
+
+pub use algorithms::{LcsSwarm, RandomSearch, Tpe};
+pub use optimizer::{Optimizer, Trial, TrialResult};
+pub use space::{ParamDef, ParamDomain, ParamSpace};
+pub use study::{convergence_band, run_study, ConvergenceBand, StudyResult};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Random samples always lie inside the space, for arbitrary spaces.
+        #[test]
+        fn samples_in_space(dims in prop::collection::vec(0u32..=8, 1..6), seed in 0u64..1000) {
+            let mut space = ParamSpace::new();
+            for (i, d) in dims.iter().enumerate() {
+                space.add(format!("p{i}"), ParamDomain::Pow2 { min: 1, max: 1u64 << d });
+            }
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..20 {
+                let p = space.sample(&mut rng);
+                prop_assert!(space.contains(&p));
+            }
+        }
+
+        /// Convergence curves are monotone non-decreasing past the first
+        /// valid trial, for every optimizer.
+        #[test]
+        fn convergence_monotone(seed in 0u64..50) {
+            let mut space = ParamSpace::new();
+            space.add("a", ParamDomain::Pow2 { min: 1, max: 256 });
+            space.add("b", ParamDomain::Categorical { n: 5 });
+            for mut opt in [
+                Box::new(RandomSearch::new()) as Box<dyn Optimizer>,
+                Box::new(LcsSwarm::new(6)),
+                Box::new(Tpe::new()),
+            ] {
+                let res = run_study(&space, opt.as_mut(), 60, seed, |p| {
+                    if p[1] == 4 {
+                        TrialResult::Invalid
+                    } else {
+                        TrialResult::Valid((p[0] * (p[1] + 1)) as f64)
+                    }
+                });
+                let mut last = f64::NEG_INFINITY;
+                for v in res.convergence.iter().filter(|v| v.is_finite()) {
+                    prop_assert!(*v >= last);
+                    last = *v;
+                }
+            }
+        }
+    }
+}

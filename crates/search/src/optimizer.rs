@@ -1,0 +1,61 @@
+//! Optimizer trait and the trial bookkeeping shared by all algorithms.
+
+use crate::space::ParamSpace;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of evaluating one proposed point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TrialResult {
+    /// The design was valid; higher objective is better.
+    Valid(f64),
+    /// The design violated a constraint (schedule failure, over budget) and
+    /// was rejected — Vizier's safe-search semantics (§6.1).
+    Invalid,
+}
+
+impl TrialResult {
+    /// The objective value when valid.
+    #[must_use]
+    pub fn objective(&self) -> Option<f64> {
+        match self {
+            TrialResult::Valid(v) => Some(*v),
+            TrialResult::Invalid => None,
+        }
+    }
+}
+
+/// One completed trial.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Trial {
+    /// The proposed point (index encoding).
+    pub point: Vec<usize>,
+    /// Evaluation outcome.
+    pub result: TrialResult,
+}
+
+/// A black-box optimizer proposing points over a [`ParamSpace`].
+///
+/// Implementations are deterministic given the provided RNG, so experiments
+/// are reproducible from seeds.
+pub trait Optimizer {
+    /// Short algorithm name for reports (e.g. `"LCS"`).
+    fn name(&self) -> &'static str;
+
+    /// Proposes the next point to evaluate.
+    fn propose(&mut self, space: &ParamSpace, rng: &mut StdRng) -> Vec<usize>;
+
+    /// Records the outcome of a proposed point.
+    fn observe(&mut self, space: &ParamSpace, trial: &Trial);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trial_result_accessors() {
+        assert_eq!(TrialResult::Valid(3.0).objective(), Some(3.0));
+        assert_eq!(TrialResult::Invalid.objective(), None);
+    }
+}

@@ -1,0 +1,210 @@
+//! Search-space definition: named parameters with discrete domains.
+//!
+//! All FAST parameters are discrete (Table 3: powers of two, enums, booleans),
+//! so points are encoded as dense index vectors — one index per parameter into
+//! its ordered domain. This makes every optimizer representation-agnostic.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The domain of one parameter.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ParamDomain {
+    /// Powers of two in `[min, max]` (inclusive), e.g. `1, 2, …, 256`.
+    Pow2 {
+        /// Smallest admissible value (must itself be a power of two).
+        min: u64,
+        /// Largest admissible value (must itself be a power of two).
+        max: u64,
+    },
+    /// Zero plus powers of two in `[min, max]` (the Global-Memory size).
+    Pow2OrZero {
+        /// Smallest nonzero value.
+        min: u64,
+        /// Largest value.
+        max: u64,
+    },
+    /// A categorical choice with `n` alternatives.
+    Categorical {
+        /// Number of alternatives.
+        n: usize,
+    },
+    /// A boolean flag.
+    Bool,
+}
+
+impl ParamDomain {
+    /// Number of admissible values.
+    #[must_use]
+    pub fn cardinality(&self) -> usize {
+        match self {
+            ParamDomain::Pow2 { min, max } => {
+                (max.trailing_zeros() - min.trailing_zeros() + 1) as usize
+            }
+            ParamDomain::Pow2OrZero { min, max } => {
+                (max.trailing_zeros() - min.trailing_zeros() + 2) as usize
+            }
+            ParamDomain::Categorical { n } => *n,
+            ParamDomain::Bool => 2,
+        }
+    }
+
+    /// The numeric value at ordinal `index`.
+    ///
+    /// For categorical/bool domains this is the index itself.
+    ///
+    /// # Panics
+    /// Panics if `index >= cardinality()`.
+    #[must_use]
+    pub fn value(&self, index: usize) -> u64 {
+        assert!(index < self.cardinality(), "index {index} out of domain");
+        match self {
+            ParamDomain::Pow2 { min, .. } => min << index,
+            ParamDomain::Pow2OrZero { min, .. } => {
+                if index == 0 {
+                    0
+                } else {
+                    min << (index - 1)
+                }
+            }
+            ParamDomain::Categorical { .. } | ParamDomain::Bool => index as u64,
+        }
+    }
+}
+
+/// A named parameter.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParamDef {
+    /// Display name.
+    pub name: String,
+    /// Domain.
+    pub domain: ParamDomain,
+}
+
+/// An ordered collection of parameters; points are index vectors.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParamSpace {
+    params: Vec<ParamDef>,
+}
+
+impl ParamSpace {
+    /// Creates an empty space.
+    #[must_use]
+    pub fn new() -> Self {
+        ParamSpace { params: Vec::new() }
+    }
+
+    /// Adds a parameter, returning its dimension index.
+    pub fn add(&mut self, name: impl Into<String>, domain: ParamDomain) -> usize {
+        self.params.push(ParamDef { name: name.into(), domain });
+        self.params.len() - 1
+    }
+
+    /// The parameter definitions.
+    #[must_use]
+    pub fn params(&self) -> &[ParamDef] {
+        &self.params
+    }
+
+    /// Number of dimensions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Whether the space has no parameters.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Cardinality of dimension `dim`.
+    ///
+    /// # Panics
+    /// Panics if `dim` is out of range.
+    #[must_use]
+    pub fn cardinality(&self, dim: usize) -> usize {
+        self.params[dim].domain.cardinality()
+    }
+
+    /// Numeric value of dimension `dim` at a point.
+    ///
+    /// # Panics
+    /// Panics if `dim` or the index is out of range.
+    #[must_use]
+    pub fn value(&self, point: &[usize], dim: usize) -> u64 {
+        self.params[dim].domain.value(point[dim])
+    }
+
+    /// log10 of the number of points in the space.
+    #[must_use]
+    pub fn log10_size(&self) -> f64 {
+        self.params.iter().map(|p| (p.domain.cardinality() as f64).log10()).sum()
+    }
+
+    /// Samples a uniform random point.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<usize> {
+        self.params.iter().map(|p| rng.gen_range(0..p.domain.cardinality())).collect()
+    }
+
+    /// Checks that a point is within the space.
+    #[must_use]
+    pub fn contains(&self, point: &[usize]) -> bool {
+        point.len() == self.params.len()
+            && point
+                .iter()
+                .zip(&self.params)
+                .all(|(&i, p)| i < p.domain.cardinality())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pow2_domain() {
+        let d = ParamDomain::Pow2 { min: 1, max: 256 };
+        assert_eq!(d.cardinality(), 9);
+        assert_eq!(d.value(0), 1);
+        assert_eq!(d.value(8), 256);
+        let d = ParamDomain::Pow2 { min: 4, max: 64 };
+        assert_eq!(d.cardinality(), 5);
+        assert_eq!(d.value(2), 16);
+    }
+
+    #[test]
+    fn pow2_or_zero_domain() {
+        let d = ParamDomain::Pow2OrZero { min: 1, max: 256 };
+        assert_eq!(d.cardinality(), 10);
+        assert_eq!(d.value(0), 0);
+        assert_eq!(d.value(1), 1);
+        assert_eq!(d.value(9), 256);
+    }
+
+    #[test]
+    fn space_sampling_and_values() {
+        let mut s = ParamSpace::new();
+        let a = s.add("a", ParamDomain::Pow2 { min: 1, max: 8 });
+        let b = s.add("b", ParamDomain::Bool);
+        let c = s.add("c", ParamDomain::Categorical { n: 3 });
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let p = s.sample(&mut rng);
+            assert!(s.contains(&p));
+            assert!(s.value(&p, a) <= 8);
+            assert!(s.value(&p, b) <= 1);
+            assert!(s.value(&p, c) <= 2);
+        }
+        assert!((s.log10_size() - (4.0f64 * 2.0 * 3.0).log10()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of domain")]
+    fn value_out_of_range_panics() {
+        let d = ParamDomain::Bool;
+        let _ = d.value(2);
+    }
+}

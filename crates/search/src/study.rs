@@ -1,0 +1,189 @@
+//! The study driver: runs an optimizer against an objective for a trial
+//! budget, recording best-so-far convergence curves (Figure 11).
+
+use crate::optimizer::{Optimizer, Trial, TrialResult};
+use crate::space::ParamSpace;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Result of one study run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StudyResult {
+    /// Optimizer name.
+    pub optimizer: String,
+    /// Best point found (index encoding), if any trial was valid.
+    pub best_point: Option<Vec<usize>>,
+    /// Best objective found.
+    pub best_objective: Option<f64>,
+    /// Best-so-far objective after each trial (`NaN` until first valid).
+    pub convergence: Vec<f64>,
+    /// Number of invalid (rejected) trials.
+    pub invalid_trials: usize,
+    /// All trials in order.
+    pub trials: Vec<Trial>,
+}
+
+/// Runs `optimizer` for `n_trials` evaluations of `objective`, seeded for
+/// reproducibility.
+pub fn run_study<F>(
+    space: &ParamSpace,
+    optimizer: &mut dyn Optimizer,
+    n_trials: usize,
+    seed: u64,
+    mut objective: F,
+) -> StudyResult
+where
+    F: FnMut(&[usize]) -> TrialResult,
+{
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut best: Option<(Vec<usize>, f64)> = None;
+    let mut convergence = Vec::with_capacity(n_trials);
+    let mut invalid = 0;
+    let mut trials = Vec::with_capacity(n_trials);
+
+    for _ in 0..n_trials {
+        let point = optimizer.propose(space, &mut rng);
+        debug_assert!(space.contains(&point));
+        let result = objective(&point);
+        match result {
+            TrialResult::Valid(obj) => {
+                if best.as_ref().is_none_or(|(_, b)| obj > *b) {
+                    best = Some((point.clone(), obj));
+                }
+            }
+            TrialResult::Invalid => invalid += 1,
+        }
+        convergence.push(best.as_ref().map_or(f64::NAN, |(_, b)| *b));
+        let trial = Trial { point, result };
+        optimizer.observe(space, &trial);
+        trials.push(trial);
+    }
+
+    StudyResult {
+        optimizer: optimizer.name().to_string(),
+        best_point: best.as_ref().map(|(p, _)| p.clone()),
+        best_objective: best.map(|(_, b)| b),
+        convergence,
+        invalid_trials: invalid,
+        trials,
+    }
+}
+
+/// Aggregates convergence curves from repeated runs: per-trial mean and a
+/// normal-approximation confidence interval (Figure 11 plots mean and the
+/// 90 % CI across 5 runs).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConvergenceBand {
+    /// Per-trial mean of best-so-far.
+    pub mean: Vec<f64>,
+    /// Per-trial lower CI bound.
+    pub lo: Vec<f64>,
+    /// Per-trial upper CI bound.
+    pub hi: Vec<f64>,
+}
+
+/// Builds a [`ConvergenceBand`] from several equal-length convergence curves.
+///
+/// `z` is the normal quantile (1.645 for a 90 % interval). Trials where some
+/// run has no valid incumbent yet (`NaN`) are averaged over the runs that do.
+#[must_use]
+pub fn convergence_band(curves: &[Vec<f64>], z: f64) -> ConvergenceBand {
+    let len = curves.iter().map(Vec::len).max().unwrap_or(0);
+    let mut mean = Vec::with_capacity(len);
+    let mut lo = Vec::with_capacity(len);
+    let mut hi = Vec::with_capacity(len);
+    for t in 0..len {
+        let vals: Vec<f64> = curves
+            .iter()
+            .filter_map(|c| c.get(t).copied())
+            .filter(|v| v.is_finite())
+            .collect();
+        if vals.is_empty() {
+            mean.push(f64::NAN);
+            lo.push(f64::NAN);
+            hi.push(f64::NAN);
+            continue;
+        }
+        let m = vals.iter().sum::<f64>() / vals.len() as f64;
+        let var = vals.iter().map(|v| (v - m).powi(2)).sum::<f64>()
+            / (vals.len().saturating_sub(1).max(1)) as f64;
+        let se = (var / vals.len() as f64).sqrt();
+        mean.push(m);
+        lo.push(m - z * se);
+        hi.push(m + z * se);
+    }
+    ConvergenceBand { mean, lo, hi }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{LcsSwarm, RandomSearch};
+    use crate::space::ParamDomain;
+
+    fn space() -> ParamSpace {
+        let mut s = ParamSpace::new();
+        s.add("x", ParamDomain::Pow2 { min: 1, max: 1024 });
+        s.add("y", ParamDomain::Pow2 { min: 1, max: 1024 });
+        s
+    }
+
+    #[test]
+    fn study_tracks_best_so_far_monotonically() {
+        let s = space();
+        let mut opt = RandomSearch::new();
+        let res = run_study(&s, &mut opt, 2000, 42, |p| {
+            TrialResult::Valid((p[0] + p[1]) as f64)
+        });
+        assert_eq!(res.convergence.len(), 2000);
+        for w in res.convergence.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        assert_eq!(res.best_objective, Some(20.0)); // both at index 10
+        assert_eq!(res.invalid_trials, 0);
+    }
+
+    #[test]
+    fn study_counts_invalid_trials() {
+        let s = space();
+        let mut opt = RandomSearch::new();
+        let res = run_study(&s, &mut opt, 100, 1, |p| {
+            if p[0] > 5 {
+                TrialResult::Invalid
+            } else {
+                TrialResult::Valid(p[0] as f64)
+            }
+        });
+        assert!(res.invalid_trials > 0);
+        assert!(res.best_objective.unwrap() <= 5.0);
+    }
+
+    #[test]
+    fn reproducible_given_seed() {
+        let s = space();
+        let run = |seed| {
+            let mut opt = LcsSwarm::default();
+            run_study(&s, &mut opt, 100, seed, |p| TrialResult::Valid(p[0] as f64))
+                .best_objective
+        };
+        assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn band_statistics() {
+        let curves = vec![vec![1.0, 2.0, 3.0], vec![3.0, 4.0, 5.0]];
+        let band = convergence_band(&curves, 1.645);
+        assert!((band.mean[0] - 2.0).abs() < 1e-12);
+        assert!((band.mean[2] - 4.0).abs() < 1e-12);
+        assert!(band.lo[0] < band.mean[0] && band.mean[0] < band.hi[0]);
+    }
+
+    #[test]
+    fn band_handles_nan_prefix() {
+        let curves = vec![vec![f64::NAN, 2.0], vec![1.0, 4.0]];
+        let band = convergence_band(&curves, 1.0);
+        assert!((band.mean[0] - 1.0).abs() < 1e-12);
+        assert!((band.mean[1] - 3.0).abs() < 1e-12);
+    }
+}

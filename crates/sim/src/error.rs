@@ -1,0 +1,87 @@
+//! Scheduling failures (constraint Eq. 5 of the paper).
+
+use std::fmt;
+
+/// A workload could not be mapped onto the candidate datapath.
+///
+/// The FAST optimization problem requires `ScheduleFailures(h, w) = 0`
+/// (Eq. 5); search trials that produce failures are invalid and rejected by
+/// safe search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleFailure {
+    /// The L1 weight partition cannot hold even one systolic-array weight
+    /// tile, so nothing can ever be latched.
+    WeightTileDoesNotFit {
+        /// Op that failed to map.
+        op: String,
+        /// Required bytes for one `sa_x × sa_y` tile.
+        required: u64,
+        /// Available L1 weight bytes.
+        available: u64,
+    },
+    /// The L1 input partition cannot double-buffer one streaming column.
+    InputStreamDoesNotFit {
+        /// Op that failed to map.
+        op: String,
+        /// Required bytes.
+        required: u64,
+        /// Available L1 input bytes.
+        available: u64,
+    },
+    /// The L1 output partition cannot hold one accumulator column.
+    OutputTileDoesNotFit {
+        /// Op that failed to map.
+        op: String,
+        /// Required bytes.
+        required: u64,
+        /// Available L1 output bytes.
+        available: u64,
+    },
+    /// Exact-factorization mode (raw Timeloop semantics, no padding pass) and
+    /// a problem dimension does not divide the array dimension.
+    DimensionDoesNotFactorize {
+        /// Op that failed to map.
+        op: String,
+        /// The dimension description.
+        dim: String,
+    },
+}
+
+impl fmt::Display for ScheduleFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleFailure::WeightTileDoesNotFit { op, required, available } => write!(
+                f,
+                "op `{op}`: weight tile of {required} B exceeds L1 weight partition of {available} B"
+            ),
+            ScheduleFailure::InputStreamDoesNotFit { op, required, available } => write!(
+                f,
+                "op `{op}`: input stream buffer of {required} B exceeds L1 input partition of {available} B"
+            ),
+            ScheduleFailure::OutputTileDoesNotFit { op, required, available } => write!(
+                f,
+                "op `{op}`: output tile of {required} B exceeds L1 output partition of {available} B"
+            ),
+            ScheduleFailure::DimensionDoesNotFactorize { op, dim } => {
+                write!(f, "op `{op}`: dimension {dim} does not factorize (padding disabled)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleFailure {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_op() {
+        let e = ScheduleFailure::WeightTileDoesNotFit {
+            op: "conv1".into(),
+            required: 2048,
+            available: 1024,
+        };
+        assert!(e.to_string().contains("conv1"));
+    }
+}

@@ -1,0 +1,42 @@
+//! # fast-sim — the FAST performance simulator
+//!
+//! A from-scratch analytical simulator standing in for the paper's modified
+//! internal TPU simulator + Timeloop (§6.1). It evaluates an IR graph on a
+//! candidate [`fast_arch::DatapathConfig`] and produces:
+//!
+//! * per-node compute costs — matrix ops through a Timeloop-style mapper
+//!   ([`mapper`]) with weight-/output-stationary dataflows, PE partitioning
+//!   and a tensor-padding pre-pass; vector ops through VPU cost models
+//!   ([`vector`]) including the §5.6 two-pass-softmax option;
+//! * per-region statistics ([`engine::RegionPerf`]) — `T_min`, `T_max`,
+//!   per-tensor DRAM times, buffer residency and pinnable weight sizes —
+//!   exactly the inputs of the FAST-fusion ILP (Figure 8);
+//! * workload summaries ([`engine::WorkloadPerf`]) — pre-fusion step time,
+//!   QPS, utilization, memory-stall fraction and operational intensity.
+//!
+//! ```
+//! use fast_sim::{simulate, SimOptions};
+//! use fast_arch::presets;
+//! use fast_models::Workload;
+//!
+//! # fn main() -> Result<(), fast_sim::ScheduleFailure> {
+//! let graph = Workload::ResNet50.build(8).expect("build");
+//! let perf = simulate(&graph, &presets::tpu_v3(), &SimOptions::default())?;
+//! assert!(perf.prefusion_qps() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod engine;
+pub mod error;
+pub mod mapper;
+pub mod power;
+pub mod softmax;
+pub mod vector;
+
+pub use engine::{simulate, NodePerf, RegionPerf, SimOptions, WorkloadPerf};
+pub use error::ScheduleFailure;
+pub use power::{average_power_w, step_activity, step_energy, EnergyBreakdown, StepActivity};
+pub use mapper::{map_matrix_op, Dataflow, Mapping, PaddingMode};
+pub use softmax::{softmax_three_pass, softmax_two_pass};
+pub use vector::{cost_vector_op, SoftmaxMode, VectorCost};

@@ -1,0 +1,478 @@
+//! Timeloop-style scheduling of matrix ops onto the datapath.
+//!
+//! For each canonical 7-D loop nest the mapper searches the constrained
+//! mapspace the paper describes (§5.3: Vizier constrains schedules to
+//! known-good mapping schemes): weight-stationary and output-stationary
+//! spatial schemes, PE-level work partitioning, and a tensor-padding
+//! pre-pass (ceil-mode tiling). It returns the compute-cycle cost and the
+//! array utilization that the engine combines with DRAM transfer times.
+//!
+//! The model captures the first-order effects the paper builds on:
+//!
+//! * **Systolic tiling waste** — partial edge tiles charge full array time.
+//! * **Depthwise block-diagonal packing** — under weight-stationary mapping a
+//!   depthwise conv must place each channel on its own column with a private
+//!   `KH·KW`-row block (inputs propagate horizontally and would otherwise mix
+//!   channels), so at most `min(⌊sa_x/KH·KW⌋, sa_y)` channels are active per
+//!   latch. This is why a 3×3 depthwise conv is catastrophically inefficient
+//!   on a 128×128 array (§3.2) and fine on a 32×32 one (Table 5).
+//! * **Weight-latch amortization** — a pre-staged weight latch overlaps with
+//!   streaming; an activation "latch" (attention einsums) has a data
+//!   dependency and pays the array fill serially, and recurs per product
+//!   (§4.3).
+//! * **Output-stationary feed limits** — OS avoids latching but must feed
+//!   `sa_x + sa_y` operand elements per cycle from L1; sliding-window reuse
+//!   multiplies the effective feed for convolutions. The TPU-v3 MXU cannot
+//!   run OS schedules at all ([`DataflowSet::WeightStationaryOnly`]) — FAST's
+//!   scheduling gains on the TPU datapath (Figure 9, first bar) come
+//!   precisely from lifting this restriction.
+
+use crate::error::ScheduleFailure;
+use fast_arch::{BufferSharing, DatapathConfig};
+use fast_ir::LoopNest;
+use serde::{Deserialize, Serialize};
+
+/// Tensor-padding pre-pass mode (§6.1: raw Timeloop fails on dimensions that
+/// do not factorize; FAST adds a padding pre-processing step).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum PaddingMode {
+    /// Pad problem dimensions up to array-tile multiples (FAST default).
+    #[default]
+    Pad,
+    /// Require exact factorization; otherwise the schedule fails.
+    Exact,
+}
+
+/// Spatial dataflow family (the "known-good mapping schemes" of §5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Dataflow {
+    /// Weights latched into the array; reduction on rows, output features on
+    /// columns; activations stream through (TPU-style).
+    WeightStationary,
+    /// Outputs accumulate in place; streaming positions on rows, output
+    /// features on columns; operands stream in each cycle.
+    OutputStationary,
+}
+
+impl Dataflow {
+    /// Both dataflows, in search order.
+    pub const ALL: [Dataflow; 2] = [Dataflow::WeightStationary, Dataflow::OutputStationary];
+}
+
+/// Which dataflows the schedule search may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum DataflowSet {
+    /// Full FAST mapspace: weight- and output-stationary schemes.
+    #[default]
+    All,
+    /// TPU-v3 baseline: the MXU supports only weight-stationary execution.
+    WeightStationaryOnly,
+}
+
+impl DataflowSet {
+    fn candidates(self) -> &'static [Dataflow] {
+        match self {
+            DataflowSet::All => &Dataflow::ALL,
+            DataflowSet::WeightStationaryOnly => &Dataflow::ALL[..1],
+        }
+    }
+}
+
+/// Result of scheduling one matrix op onto one core.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Mapping {
+    /// Chosen dataflow.
+    pub dataflow: Dataflow,
+    /// Compute cycles on one core (all PEs cooperating).
+    pub compute_cycles: u64,
+    /// Fraction of peak MAC throughput achieved while computing.
+    pub utilization: f64,
+    /// Number of weight-tile latches performed.
+    pub weight_latches: u64,
+    /// Padded MAC count (≥ the nest's true MACs).
+    pub padded_macs: u64,
+}
+
+/// Whether a nest is a depthwise-conv signature: the reduction presented to
+/// the rows is the kernel window (`KH·KW` folded into `if_`) and inputs are
+/// not shareable across array columns (each column is a distinct channel).
+fn is_depthwise(nest: &LoopNest) -> bool {
+    nest.input_reuse > 1 && nest.kh == 1 && nest.kw == 1
+}
+
+/// Cost of one candidate dataflow: `(cycles on one PE, work units, padded MACs)`.
+fn cost_weight_stationary(nest: &LoopNest, cfg: &DatapathConfig) -> (u64, u64, u64) {
+    let stream = nest.streaming_extent(); // per latch group
+
+    let (latches, per_tile) = if is_depthwise(nest) {
+        // Block-diagonal packing: each channel occupies its own column and a
+        // private KH·KW-row block. When the window exceeds the array rows,
+        // the reduction itself must be row-tiled (partial sums per pass).
+        let window = nest.if_;
+        let (per_latch_channels, row_tiles) = if window <= cfg.sa_x {
+            ((cfg.sa_x / window).min(cfg.sa_y).max(1), 1)
+        } else {
+            (1, window.div_ceil(cfg.sa_x))
+        };
+        let latches =
+            nest.weight_latches * nest.of.div_ceil(per_latch_channels) * row_tiles;
+        (latches, stream.max(cfg.sa_x))
+    } else {
+        let reduction = nest.reduction_extent();
+        let row_tiles = reduction.div_ceil(cfg.sa_x);
+        let col_tiles = nest.of.div_ceil(cfg.sa_y);
+        let latches = nest.weight_latches * row_tiles * col_tiles;
+        // A pre-staged *weight* latch is double-buffered and overlaps with
+        // streaming; an *activation* latch (attention einsums) has a data
+        // dependency on the producing op and pays the fill serially (§4.3).
+        let per_tile = if nest.stationary_is_activation {
+            stream + cfg.sa_x
+        } else {
+            stream.max(cfg.sa_x)
+        };
+        (latches, per_tile)
+    };
+    let total = latches.saturating_mul(per_tile);
+    let padded_macs = latches * per_tile * cfg.sa_x * cfg.sa_y;
+    (total, latches, padded_macs)
+}
+
+fn cost_output_stationary(nest: &LoopNest, cfg: &DatapathConfig) -> (u64, u64, u64) {
+    let stream = nest.streaming_extent();
+    let col_tiles = nest.of.div_ceil(cfg.sa_y);
+    let reduction = nest.reduction_extent();
+
+    // Pruned tiling search over the output-blocking factor `t`: each PE
+    // position computes `t` outputs back-to-back before draining, amortizing
+    // the drain (this is the kind of temporal blocking Timeloop discovers).
+    let mut best: Option<(u64, u64, u64)> = None;
+    for t in [1u64, 2, 4, 8, 16, 32, 64] {
+        let rows_per_tile = cfg.sa_x * t;
+        if t > 1 && rows_per_tile > stream.next_power_of_two() {
+            break;
+        }
+        let row_tiles = stream.div_ceil(rows_per_tile);
+        let tiles = nest.weight_latches * row_tiles * col_tiles;
+
+        // Per output tile: stream the reductions for all t outputs, then
+        // drain the accumulators through the array edge once.
+        let mut per_tile = reduction * t + cfg.sa_y;
+
+        // Feed limit: depthwise inputs cannot be broadcast along columns
+        // (each column is a different channel), so the array is limited by
+        // the L1 feed of `sa_x + sa_y` elements per cycle, amplified by
+        // sliding-window reuse (each delivered element serves up to KH·KW
+        // window positions).
+        if is_depthwise(nest) {
+            let macs_per_tile = reduction * t * cfg.sa_x * cfg.sa_y;
+            let feed = (cfg.sa_x + cfg.sa_y) * nest.input_reuse;
+            per_tile = per_tile.max(macs_per_tile.div_ceil(feed));
+        }
+        let total = tiles.saturating_mul(per_tile);
+        let padded_macs = tiles * per_tile * cfg.sa_x * cfg.sa_y;
+        if best.is_none_or(|(c, _, _)| total < c) {
+            best = Some((total, tiles, padded_macs));
+        }
+    }
+    best.expect("t=1 always evaluated")
+}
+
+/// Distributes single-array cycles across the PE grid of one core.
+///
+/// Work granules are (latch × tile) units; surplus PEs split long streams in
+/// chunks no finer than the array fill depth.
+fn parallelize(cycles_one_pe: u64, work_units: u64, per_unit: u64, cfg: &DatapathConfig) -> u64 {
+    let pes = cfg.pes_per_core();
+    if pes <= 1 || cycles_one_pe == 0 {
+        return cycles_one_pe;
+    }
+    if work_units >= pes {
+        // Whole units round-robin across PEs.
+        return work_units.div_ceil(pes).saturating_mul(per_unit);
+    }
+    // Fewer units than PEs: split each unit's stream across the leftover
+    // parallelism, but never below the array fill depth.
+    let split = (pes / work_units.max(1)).max(1);
+    per_unit.div_ceil(split).max(cfg.sa_x)
+}
+
+/// Checks the L1 capacity preconditions for latching and streaming.
+fn check_l1(cfg: &DatapathConfig, op: &str) -> Result<(), ScheduleFailure> {
+    let e = 2u64; // bf16
+    let weight_tile = cfg.sa_x * cfg.sa_y * e;
+    let input_stream = 2 * cfg.sa_x * e; // double-buffered input column
+    let output_tile = 2 * cfg.sa_y * e * 2; // f32 accumulator column, double-buffered
+    match cfg.l1_config {
+        BufferSharing::Shared => {
+            let total = cfg.l1_bytes_per_pe();
+            let need = weight_tile + input_stream + output_tile;
+            if need > total {
+                return Err(ScheduleFailure::WeightTileDoesNotFit {
+                    op: op.to_string(),
+                    required: need,
+                    available: total,
+                });
+            }
+        }
+        BufferSharing::Private => {
+            if weight_tile > cfg.l1_weight_kib * 1024 {
+                return Err(ScheduleFailure::WeightTileDoesNotFit {
+                    op: op.to_string(),
+                    required: weight_tile,
+                    available: cfg.l1_weight_kib * 1024,
+                });
+            }
+            if input_stream > cfg.l1_input_kib * 1024 {
+                return Err(ScheduleFailure::InputStreamDoesNotFit {
+                    op: op.to_string(),
+                    required: input_stream,
+                    available: cfg.l1_input_kib * 1024,
+                });
+            }
+            if output_tile > cfg.l1_output_kib * 1024 {
+                return Err(ScheduleFailure::OutputTileDoesNotFit {
+                    op: op.to_string(),
+                    required: output_tile,
+                    available: cfg.l1_output_kib * 1024,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Maps `nest` onto one core of `cfg`, returning the best mapping across the
+/// allowed dataflow candidates.
+///
+/// # Errors
+/// Returns a [`ScheduleFailure`] when the buffer preconditions fail, or when
+/// `padding` is [`PaddingMode::Exact`] and the nest does not factorize.
+pub fn map_matrix_op(
+    nest: &LoopNest,
+    cfg: &DatapathConfig,
+    padding: PaddingMode,
+    dataflows: DataflowSet,
+    op: &str,
+) -> Result<Mapping, ScheduleFailure> {
+    check_l1(cfg, op)?;
+    if padding == PaddingMode::Exact {
+        let reduction = nest.reduction_extent();
+        if reduction % cfg.sa_x != 0 && reduction > cfg.sa_x {
+            return Err(ScheduleFailure::DimensionDoesNotFactorize {
+                op: op.to_string(),
+                dim: format!("reduction {reduction} vs sa_x {}", cfg.sa_x),
+            });
+        }
+        if nest.of % cfg.sa_y != 0 && nest.of > cfg.sa_y {
+            return Err(ScheduleFailure::DimensionDoesNotFactorize {
+                op: op.to_string(),
+                dim: format!("OF {} vs sa_y {}", nest.of, cfg.sa_y),
+            });
+        }
+    }
+
+    let true_macs = nest.macs();
+    let mut best: Option<Mapping> = None;
+    for &df in dataflows.candidates() {
+        let (one_pe_cycles, units, padded) = match df {
+            Dataflow::WeightStationary => cost_weight_stationary(nest, cfg),
+            Dataflow::OutputStationary => cost_output_stationary(nest, cfg),
+        };
+        let per_unit = one_pe_cycles.div_ceil(units.max(1));
+        let cycles = parallelize(one_pe_cycles, units, per_unit, cfg).max(1);
+        let peak_macs_per_cycle = (cfg.pes_per_core() * cfg.macs_per_pe()) as f64;
+        let utilization = (true_macs as f64 / (cycles as f64 * peak_macs_per_cycle)).min(1.0);
+        let m = Mapping {
+            dataflow: df,
+            compute_cycles: cycles,
+            utilization,
+            weight_latches: units,
+            padded_macs: padded,
+        };
+        if best.as_ref().is_none_or(|b| m.compute_cycles < b.compute_cycles) {
+            best = Some(m);
+        }
+    }
+    Ok(best.expect("at least one dataflow candidate"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fast_arch::presets;
+
+    fn nest_conv(b: u64, hw: u64, if_: u64, of: u64, k: u64) -> LoopNest {
+        LoopNest {
+            b,
+            oh: hw,
+            ow: hw,
+            if_,
+            of,
+            kh: k,
+            kw: k,
+            weight_latches: 1,
+            stationary_is_activation: false,
+            input_reuse: (k * k).max(1),
+        }
+    }
+
+    fn nest_dw(b: u64, hw: u64, c: u64, k: u64) -> LoopNest {
+        LoopNest {
+            b,
+            oh: hw,
+            ow: hw,
+            if_: k * k,
+            of: c,
+            kh: 1,
+            kw: 1,
+            weight_latches: 1,
+            stationary_is_activation: false,
+            input_reuse: k * k,
+        }
+    }
+
+    fn map(nest: &LoopNest, cfg: &DatapathConfig, flows: DataflowSet) -> Mapping {
+        map_matrix_op(nest, cfg, PaddingMode::Pad, flows, "op").unwrap()
+    }
+
+    #[test]
+    fn dense_conv_high_utilization_on_tpu() {
+        let cfg = presets::tpu_v3();
+        let nest = nest_conv(8, 28, 512, 512, 1);
+        let m = map(&nest, &cfg, DataflowSet::WeightStationaryOnly);
+        assert!(m.utilization > 0.8, "util {}", m.utilization);
+    }
+
+    #[test]
+    fn depthwise_catastrophic_on_tpu_mxu() {
+        let cfg = presets::tpu_v3();
+        let nest = nest_dw(8, 56, 144, 3);
+        let m = map(&nest, &cfg, DataflowSet::WeightStationaryOnly);
+        // Block-diagonal packing: 14 channels × 9 rows of 128×128.
+        assert!(m.utilization < 0.02, "util {}", m.utilization);
+    }
+
+    #[test]
+    fn depthwise_os_schedule_helps_even_on_tpu_datapath() {
+        let cfg = presets::tpu_v3();
+        let nest = nest_dw(8, 56, 144, 3);
+        let ws = map(&nest, &cfg, DataflowSet::WeightStationaryOnly);
+        let all = map(&nest, &cfg, DataflowSet::All);
+        assert!(
+            all.compute_cycles < ws.compute_cycles / 2,
+            "OS should speed up depthwise: {} vs {}",
+            all.compute_cycles,
+            ws.compute_cycles
+        );
+    }
+
+    #[test]
+    fn depthwise_much_better_on_small_arrays() {
+        let tpu = presets::tpu_v3();
+        let large = presets::fast_large();
+        let nest = nest_dw(8, 56, 144, 3);
+        let m_tpu = map(&nest, &tpu, DataflowSet::WeightStationaryOnly);
+        let m_fast = map(&nest, &large, DataflowSet::All);
+        assert!(
+            m_fast.utilization > 10.0 * m_tpu.utilization,
+            "fast {} vs tpu {}",
+            m_fast.utilization,
+            m_tpu.utilization
+        );
+        assert!(m_fast.utilization > 0.3, "fast-large dw util {}", m_fast.utilization);
+    }
+
+    #[test]
+    fn activation_activation_latch_penalty() {
+        let cfg = presets::tpu_v3();
+        let act_act = LoopNest {
+            b: 128,
+            oh: 1,
+            ow: 1,
+            if_: 64,
+            of: 128,
+            kh: 1,
+            kw: 1,
+            weight_latches: 12 * 8,
+            stationary_is_activation: true,
+            input_reuse: 1,
+        };
+        let act_w = LoopNest {
+            b: 128 * 12 * 8,
+            oh: 1,
+            ow: 1,
+            if_: 64,
+            of: 128,
+            kh: 1,
+            kw: 1,
+            weight_latches: 1,
+            stationary_is_activation: false,
+            input_reuse: 1,
+        };
+        let m_aa = map(&act_act, &cfg, DataflowSet::WeightStationaryOnly);
+        let m_aw = map(&act_w, &cfg, DataflowSet::WeightStationaryOnly);
+        assert!(
+            m_aw.utilization > m_aa.utilization,
+            "weight matmul {} should beat act-act {}",
+            m_aw.utilization,
+            m_aa.utilization
+        );
+    }
+
+    #[test]
+    fn exact_mode_fails_on_ragged_dims() {
+        let cfg = presets::tpu_v3();
+        let nest = nest_conv(1, 7, 100, 300, 3); // 900 reduction, OF 300
+        assert!(
+            map_matrix_op(&nest, &cfg, PaddingMode::Exact, DataflowSet::All, "c").is_err()
+        );
+        assert!(map_matrix_op(&nest, &cfg, PaddingMode::Pad, DataflowSet::All, "c").is_ok());
+    }
+
+    #[test]
+    fn l1_too_small_is_schedule_failure() {
+        let mut cfg = presets::tpu_v3();
+        cfg.l1_input_kib = 1;
+        cfg.l1_weight_kib = 1;
+        cfg.l1_output_kib = 1;
+        let nest = nest_conv(1, 28, 256, 256, 1);
+        let err =
+            map_matrix_op(&nest, &cfg, PaddingMode::Pad, DataflowSet::All, "c").unwrap_err();
+        assert!(matches!(err, ScheduleFailure::WeightTileDoesNotFit { .. }));
+    }
+
+    #[test]
+    fn more_pes_do_not_slow_down() {
+        let mut small = presets::fast_large();
+        small.pes_x = 2;
+        small.pes_y = 2;
+        let big = presets::fast_large(); // 8x8 PEs
+        let nest = nest_conv(8, 28, 256, 256, 3);
+        let m_small = map(&nest, &small, DataflowSet::All);
+        let m_big = map(&nest, &big, DataflowSet::All);
+        assert!(m_big.compute_cycles <= m_small.compute_cycles);
+    }
+
+    #[test]
+    fn utilization_bounded_by_one() {
+        let cfg = presets::fast_small();
+        let nest = nest_conv(64, 14, 512, 512, 1);
+        let m = map(&nest, &cfg, DataflowSet::All);
+        assert!(m.utilization <= 1.0);
+        assert!(m.compute_cycles > 0);
+    }
+
+    #[test]
+    fn scalar_pe_grid_is_mappable() {
+        // Eyeriss-style: 1×1 systolic arrays on a 16×16 grid.
+        let mut cfg = presets::fast_large();
+        cfg.sa_x = 1;
+        cfg.sa_y = 1;
+        cfg.pes_x = 16;
+        cfg.pes_y = 16;
+        let nest = nest_conv(1, 14, 64, 64, 3);
+        let m = map(&nest, &cfg, DataflowSet::All);
+        assert!(m.compute_cycles > 0);
+        assert!(m.utilization <= 1.0);
+    }
+}

@@ -1,0 +1,194 @@
+//! Workload-average power and energy (distinct from the power-virus TDP).
+//!
+//! The paper's simulator "estimates op post-fusion performance and outputs
+//! final execution time **and power** for the target workloads" (§5.3). TDP
+//! (in `fast-arch`) assumes 100 % component activity; this module instead
+//! charges the *actual* activity of a simulated step — MACs issued, VPU
+//! lane-ops executed, bytes moved at each memory level — plus leakage over
+//! the step duration. Average power = energy / step time.
+
+use crate::engine::WorkloadPerf;
+use fast_arch::{tech, DatapathConfig, MemoryTech};
+use serde::{Deserialize, Serialize};
+
+/// Energy breakdown of one inference step on one core (joules).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Systolic-array MAC energy.
+    pub macs_j: f64,
+    /// VPU lane-operation energy.
+    pub vpu_j: f64,
+    /// L1 traffic energy (operand streaming for every MAC).
+    pub l1_j: f64,
+    /// Global-Memory traffic energy (fused tensors + staging).
+    pub gm_j: f64,
+    /// DRAM access energy.
+    pub dram_j: f64,
+    /// Leakage over the step (whole chip, prorated to one core).
+    pub leakage_j: f64,
+    /// Total energy per step.
+    pub total_j: f64,
+}
+
+impl EnergyBreakdown {
+    /// Average power over a step of `step_seconds` (watts).
+    #[must_use]
+    pub fn average_power_w(&self, step_seconds: f64) -> f64 {
+        self.total_j / step_seconds
+    }
+
+    /// Energy per inference query (joules), given the step's batch size.
+    #[must_use]
+    pub fn per_query_j(&self, batch: u64) -> f64 {
+        self.total_j / batch.max(1) as f64
+    }
+}
+
+/// Activity counts of one simulated step (one core).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StepActivity {
+    /// Multiply-accumulates issued (= matrix FLOPs / 2).
+    pub macs: u64,
+    /// VPU lane-operations (≈ non-matrix FLOPs).
+    pub vpu_ops: u64,
+    /// Bytes moved through DRAM.
+    pub dram_bytes: u64,
+    /// Bytes moved through the Global Memory (on-chip hits).
+    pub gm_bytes: u64,
+}
+
+/// Derives the step activity from a simulation result and the post-fusion
+/// DRAM traffic (pass `perf.prefusion_dram_bytes` when fusion is disabled).
+#[must_use]
+pub fn step_activity(perf: &WorkloadPerf, postfusion_dram_bytes: u64) -> StepActivity {
+    let macs = perf.matrix_flops / 2;
+    let vpu_ops = perf.total_flops - perf.matrix_flops;
+    // Every byte the fusion pass removed from DRAM becomes Global-Memory
+    // traffic instead; staging traffic approximately doubles GM movement
+    // (write then read).
+    let gm_bytes =
+        2 * perf.prefusion_dram_bytes.saturating_sub(postfusion_dram_bytes);
+    StepActivity { macs, vpu_ops, dram_bytes: postfusion_dram_bytes, gm_bytes }
+}
+
+/// Computes the energy of one step with activity `act` running for
+/// `step_seconds` on `cfg`.
+#[must_use]
+pub fn step_energy(
+    cfg: &DatapathConfig,
+    act: &StepActivity,
+    step_seconds: f64,
+) -> EnergyBreakdown {
+    let macs_j = act.macs as f64 * tech::MAC_ENERGY_J;
+    let vpu_j = act.vpu_ops as f64 * tech::VPU_LANE_ENERGY_J;
+
+    // L1 streaming: every MAC consumes one input-activation byte-pair per
+    // systolic row-fill amortized across the columns, plus weight and output
+    // traffic — model as 2 bytes moved per (sa_y)-wide MAC group on the
+    // input side and per (sa_x)-deep group on the output side.
+    let l1_bytes = 2.0 * act.macs as f64 * (1.0 / cfg.sa_y as f64 + 1.0 / cfg.sa_x as f64);
+    let l1_kib = cfg.l1_bytes_per_pe() as f64 / 1024.0;
+    let l1_j = l1_bytes * tech::spad_energy_j_per_byte(l1_kib);
+
+    let gm_mib = (cfg.global_memory_bytes() as f64 / (1024.0 * 1024.0)).max(1.0);
+    let gm_j = act.gm_bytes as f64 * tech::gm_energy_j_per_byte(gm_mib);
+
+    let dram_e = match cfg.memory {
+        MemoryTech::Gddr6 => tech::GDDR6_ENERGY_J_PER_BYTE,
+        MemoryTech::Hbm2 => tech::HBM2_ENERGY_J_PER_BYTE,
+    };
+    let dram_j = act.dram_bytes as f64 * dram_e;
+
+    let area = fast_arch::cost::area(cfg);
+    let logic_mm2 = area.macs_mm2 + area.vpu_mm2 + area.dram_phy_mm2;
+    let leak_w = (logic_mm2 * tech::LOGIC_LEAKAGE_W_PER_MM2
+        + cfg.total_sram_mib() * tech::SRAM_LEAKAGE_W_PER_MIB)
+        / cfg.cores as f64;
+    let leakage_j = leak_w * step_seconds;
+
+    let total_j =
+        (macs_j + vpu_j + l1_j + gm_j + dram_j + leakage_j) * tech::NOC_OVERHEAD;
+    EnergyBreakdown { macs_j, vpu_j, l1_j, gm_j, dram_j, leakage_j, total_j }
+}
+
+/// Convenience: average power of a simulated workload step.
+#[must_use]
+pub fn average_power_w(
+    cfg: &DatapathConfig,
+    perf: &WorkloadPerf,
+    postfusion_dram_bytes: u64,
+    step_seconds: f64,
+) -> f64 {
+    let act = step_activity(perf, postfusion_dram_bytes);
+    step_energy(cfg, &act, step_seconds).average_power_w(step_seconds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{simulate, SimOptions};
+    use fast_arch::presets;
+    use fast_models::{EfficientNet, Workload};
+
+    fn perf(cfg: &DatapathConfig) -> WorkloadPerf {
+        let g = Workload::EfficientNet(EfficientNet::B0).build(cfg.native_batch).unwrap();
+        simulate(&g, cfg, &SimOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn average_power_below_tdp() {
+        // The power virus is an upper bound on any real workload.
+        let cfg = presets::fast_large();
+        let p = perf(&cfg);
+        let avg = average_power_w(&cfg, &p, p.prefusion_dram_bytes, p.prefusion_seconds);
+        let tdp = fast_arch::cost::tdp(&cfg).total_w / cfg.cores as f64;
+        assert!(avg > 1.0, "avg power {avg} W implausibly low");
+        assert!(avg < tdp, "avg {avg} W must stay below per-core TDP {tdp} W");
+    }
+
+    #[test]
+    fn fusion_shifts_energy_from_dram_to_gm() {
+        let cfg = presets::fast_large();
+        let p = perf(&cfg);
+        let unfused = step_activity(&p, p.prefusion_dram_bytes);
+        let fused_dram = p.prefusion_dram_bytes / 3;
+        let fused = step_activity(&p, fused_dram);
+        assert_eq!(unfused.gm_bytes, 0);
+        assert!(fused.gm_bytes > 0);
+        assert!(fused.dram_bytes < unfused.dram_bytes);
+        let e_unfused = step_energy(&cfg, &unfused, p.prefusion_seconds);
+        let e_fused = step_energy(&cfg, &fused, p.prefusion_seconds);
+        // GM accesses are far cheaper than DRAM: fusion saves energy too.
+        assert!(e_fused.total_j < e_unfused.total_j);
+        assert!(e_fused.gm_j > e_unfused.gm_j);
+        assert!(e_fused.dram_j < e_unfused.dram_j);
+    }
+
+    #[test]
+    fn energy_scales_with_activity() {
+        let cfg = presets::fast_large();
+        let a1 = StepActivity { macs: 1 << 30, vpu_ops: 1 << 20, dram_bytes: 1 << 28, gm_bytes: 0 };
+        let a2 = StepActivity { macs: 1 << 31, vpu_ops: 1 << 21, dram_bytes: 1 << 29, gm_bytes: 0 };
+        let e1 = step_energy(&cfg, &a1, 1e-3);
+        let e2 = step_energy(&cfg, &a2, 1e-3);
+        assert!(e2.macs_j > 1.9 * e1.macs_j);
+        assert!(e2.dram_j > 1.9 * e1.dram_j);
+        // Leakage is time-, not activity-, dependent.
+        assert!((e2.leakage_j - e1.leakage_j).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_query_energy() {
+        let e = EnergyBreakdown {
+            macs_j: 0.5,
+            vpu_j: 0.1,
+            l1_j: 0.1,
+            gm_j: 0.1,
+            dram_j: 0.1,
+            leakage_j: 0.1,
+            total_j: 1.0,
+        };
+        assert!((e.per_query_j(8) - 0.125).abs() < 1e-12);
+        assert!((e.average_power_w(0.01) - 100.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,130 @@
+//! Numeric reference implementations of the two softmax algorithms (§5.6).
+//!
+//! These are functional (not performance) models: they exist to prove the
+//! two-pass online-normalizer rewrite is numerically equivalent to the
+//! three-pass numerically-stable softmax, which is what licenses FAST to
+//! treat the choice as a pure scheduling knob.
+
+/// Numerically-stable three-pass softmax (Algorithm 1 of the paper).
+///
+/// Pass 1 finds the max, pass 2 exponentiates and accumulates the sum, pass 3
+/// normalizes.
+#[must_use]
+pub fn softmax_three_pass(v: &[f32]) -> Vec<f32> {
+    if v.is_empty() {
+        return Vec::new();
+    }
+    let mut max_val = f32::NEG_INFINITY;
+    for &x in v {
+        max_val = max_val.max(x);
+    }
+    let mut temp = Vec::with_capacity(v.len());
+    let mut sum = 0.0f32;
+    for &x in v {
+        let e = (x - max_val).exp();
+        temp.push(e);
+        sum += e;
+    }
+    temp.iter_mut().for_each(|e| *e /= sum);
+    temp
+}
+
+/// Two-pass online-normalizer softmax (Algorithm 2; Milakov & Gimelshein).
+///
+/// Pass 1 maintains a running max and a renormalized running sum; pass 2
+/// produces outputs. Note the output expression normalizes by the running
+/// max implicitly: `out[i] = exp(v[i] - max) / sum`.
+#[must_use]
+pub fn softmax_two_pass(v: &[f32]) -> Vec<f32> {
+    if v.is_empty() {
+        return Vec::new();
+    }
+    let mut running_max = f32::NEG_INFINITY;
+    let mut running_sum = 0.0f32;
+    for &x in v {
+        let new_max = running_max.max(x);
+        running_sum = running_sum * (running_max - new_max).exp() + (x - new_max).exp();
+        running_max = new_max;
+    }
+    v.iter().map(|&x| (x - running_max).exp() / running_sum).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn assert_close(a: &[f32], b: &[f32], tol: f32) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() <= tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matches_on_simple_input() {
+        let v = [1.0f32, 2.0, 3.0];
+        let a = softmax_three_pass(&v);
+        let b = softmax_two_pass(&v);
+        assert_close(&a, &b, 1e-6);
+        let sum: f32 = a.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(a[2] > a[1] && a[1] > a[0]);
+    }
+
+    #[test]
+    fn stable_under_large_magnitudes() {
+        let v = [1000.0f32, 1000.5, 999.0];
+        let a = softmax_three_pass(&v);
+        let b = softmax_two_pass(&v);
+        assert!(a.iter().all(|x| x.is_finite()));
+        assert_close(&a, &b, 1e-5);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(softmax_three_pass(&[]).is_empty());
+        assert!(softmax_two_pass(&[]).is_empty());
+    }
+
+    #[test]
+    fn single_element_is_one() {
+        assert_close(&softmax_two_pass(&[42.0]), &[1.0], 1e-7);
+        assert_close(&softmax_three_pass(&[-42.0]), &[1.0], 1e-7);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Algorithms 1 and 2 agree element-wise on arbitrary finite input.
+        #[test]
+        fn two_pass_equals_three_pass(v in prop::collection::vec(-50.0f32..50.0, 1..200)) {
+            let a = softmax_three_pass(&v);
+            let b = softmax_two_pass(&v);
+            for (x, y) in a.iter().zip(&b) {
+                prop_assert!((x - y).abs() < 1e-5, "{} vs {}", x, y);
+            }
+        }
+
+        /// Softmax outputs form a probability distribution.
+        #[test]
+        fn outputs_sum_to_one(v in prop::collection::vec(-30.0f32..30.0, 1..100)) {
+            for out in [softmax_three_pass(&v), softmax_two_pass(&v)] {
+                let sum: f32 = out.iter().sum();
+                prop_assert!((sum - 1.0).abs() < 1e-4, "sum {}", sum);
+                prop_assert!(out.iter().all(|&x| (0.0..=1.0 + 1e-6).contains(&x)));
+            }
+        }
+
+        /// Softmax is invariant to constant shifts.
+        #[test]
+        fn shift_invariance(v in prop::collection::vec(-20.0f32..20.0, 1..50), c in -100.0f32..100.0) {
+            let shifted: Vec<f32> = v.iter().map(|x| x + c).collect();
+            let a = softmax_two_pass(&v);
+            let b = softmax_two_pass(&shifted);
+            for (x, y) in a.iter().zip(&b) {
+                prop_assert!((x - y).abs() < 1e-4);
+            }
+        }
+    }
+}

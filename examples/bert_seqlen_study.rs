@@ -1,0 +1,62 @@
+//! BERT bottleneck study (§4.3 of the paper): sweep sequence length, break
+//! runtime into components on the TPU-v3 baseline, and show how the two-pass
+//! softmax trade-off (§5.6) depends on the machine balance.
+//!
+//! Run with: `cargo run --release --example bert_seqlen_study`
+
+use fast::models::BertComponent;
+use fast::prelude::*;
+use fast::sim::SoftmaxMode;
+
+fn main() {
+    let tpu = presets::tpu_v3();
+
+    println!("BERT-Base on TPU-v3: runtime share per component vs sequence length\n");
+    println!(
+        "{:>6} {:>16} {:>10} {:>16} {:>14} {:>8}",
+        "seq", "QKV projection", "softmax", "self-attention", "feed-forward", "other"
+    );
+    for seq in [128u64, 256, 512, 1024, 2048] {
+        let graph = BertConfig::base().build(8, seq).expect("builds");
+        let perf = simulate(&graph, &tpu, &SimOptions::tpu_baseline()).expect("schedules");
+        let rows = perf.time_by(|n| format!("{:?}", BertComponent::of_node_name(&n.name)));
+        let total: f64 = rows.iter().map(|r| r.1).sum();
+        let share = |label: &str| {
+            rows.iter()
+                .find(|r| r.0.contains(label))
+                .map(|r| 100.0 * r.1 / total)
+                .unwrap_or(0.0)
+        };
+        println!(
+            "{:>6} {:>15.1}% {:>9.1}% {:>15.1}% {:>13.1}% {:>7.1}%",
+            seq,
+            share("QkvProjection"),
+            share("Softmax"),
+            share("SelfAttention"),
+            share("FeedForward"),
+            share("Other"),
+        );
+    }
+    println!("\n(paper Figure 5: softmax + self-attention dominate at long sequence lengths)");
+
+    // Two-pass softmax: fewer DRAM spills, more exponentials (§5.6). Compare
+    // on a bandwidth-starved variant of FAST-Large, where it should win.
+    let mut starved = presets::fast_large();
+    starved.dram_channels = 1;
+    starved.global_memory_mib = 1;
+    println!("\ntwo-pass softmax on a bandwidth-starved design (1 GDDR6 channel, 1 MiB GM):");
+    for (label, mode) in
+        [("three-pass", SoftmaxMode::ThreePass), ("two-pass", SoftmaxMode::TwoPass)]
+    {
+        let sim_opts = SimOptions { softmax: mode, ..SimOptions::default() };
+        let graph = BertConfig::base().build(8, 2048).expect("builds");
+        let perf = simulate(&graph, &starved, &sim_opts).expect("schedules");
+        println!(
+            "  {label:11}: step {:.1} ms (DRAM traffic {:.2} GB)",
+            perf.prefusion_seconds * 1e3,
+            perf.prefusion_dram_bytes as f64 / 1e9
+        );
+    }
+    println!("\n(the search exposes this choice as a hyperparameter; on designs with");
+    println!(" ample bandwidth and fusion enabled it was not useful — §6.2.1)");
+}

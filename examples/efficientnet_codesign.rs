@@ -1,0 +1,59 @@
+//! Hardware/software co-design for one workload: run a (short) FAST search
+//! optimizing Perf/TDP for EfficientNet-B4 and compare the discovered design
+//! against the TPU-v3 baseline.
+//!
+//! The paper runs 5000 Vizier trials per experiment; this example runs a few
+//! hundred LCS trials seeded with the published presets, which is enough to
+//! see the search improve on them.
+//!
+//! Run with: `cargo run --release --example efficientnet_codesign`
+
+use fast::prelude::*;
+
+fn main() {
+    let workload = Workload::EfficientNet(EfficientNet::B4);
+    let budget = Budget::paper_default();
+    let evaluator = Evaluator::new(vec![workload], Objective::PerfPerTdp, budget);
+
+    let config = SearchConfig {
+        trials: 250,
+        optimizer: OptimizerKind::Lcs,
+        seed: 42,
+        ..SearchConfig::default()
+    };
+    println!("searching {} trials over a 10^{:.0} datapath space ...", config.trials, 13.3);
+    let outcome = run_fast_search(&evaluator, &config);
+
+    let best = outcome.best.expect("seeded search always finds a valid design");
+    println!(
+        "valid trials: {}, invalid (rejected): {}",
+        config.trials - outcome.study.invalid_trials,
+        outcome.study.invalid_trials
+    );
+
+    let cfg = best.config;
+    println!("\nbest design found:");
+    println!("  PEs           : {} x {}", cfg.pes_x, cfg.pes_y);
+    println!("  systolic array: {} x {}", cfg.sa_x, cfg.sa_y);
+    println!("  VPU width     : {}", cfg.vpu_lanes_per_pe());
+    println!("  L1 per PE     : {} KiB ({:?})", cfg.l1_bytes_per_pe() / 1024, cfg.l1_config);
+    println!("  L2            : {:?}", cfg.l2_config);
+    println!("  Global Memory : {} MiB", cfg.global_memory_mib);
+    println!("  GDDR6 channels: {} ({:.0} GB/s)", cfg.dram_channels, cfg.dram_bytes_per_sec() / 1e9);
+    println!("  batch         : {}", cfg.native_batch);
+    println!("  peak compute  : {:.0} TFLOPS", cfg.peak_flops() / 1e12);
+
+    let rel = relative_to_tpu(&cfg, &best.sim, workload, &budget).expect("evaluates");
+    println!("\nvs TPU-v3 on {workload}:");
+    println!("  throughput : {:.2}x", rel.speedup);
+    println!("  Perf/TDP   : {:.2}x (paper Figure 10 band for EfficientNets: 3.5-6.4x)", rel.perf_per_tdp);
+
+    // Convergence summary: best-so-far at a few checkpoints.
+    print!("\nconvergence (best Perf/TDP objective): ");
+    for t in [10, 50, 100, 200, config.trials - 1] {
+        if let Some(v) = outcome.study.convergence.get(t) {
+            print!("t={t}: {v:.4}  ");
+        }
+    }
+    println!();
+}

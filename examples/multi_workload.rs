@@ -1,0 +1,54 @@
+//! Multi-workload accelerator search: one design serving the paper's
+//! 5-workload suite (EfficientNet-B7, ResNet-50, OCR-RPN, OCR-Recognizer,
+//! BERT-1024), optimized for the geomean Perf/TDP — the "FAST-search multi
+//! workload" bars of Figures 9/10.
+//!
+//! Run with: `cargo run --release --example multi_workload`
+
+use fast::prelude::*;
+
+fn main() {
+    let suite = Workload::suite5();
+    let budget = Budget::paper_default();
+    let evaluator = Evaluator::new(suite.clone(), Objective::PerfPerTdp, budget);
+
+    let config = SearchConfig {
+        trials: 120,
+        optimizer: OptimizerKind::Lcs,
+        seed: 7,
+        ..SearchConfig::default()
+    };
+    println!(
+        "searching a single design for {} workloads ({} trials)...\n",
+        suite.len(),
+        config.trials
+    );
+    let outcome = run_fast_search(&evaluator, &config);
+    let best = outcome.best.expect("seeded search finds a valid design");
+
+    println!("multi-workload design:");
+    let cfg = best.config;
+    println!(
+        "  {} PEs of {}x{}, {} MiB GM, {} GDDR6 channels, batch {}",
+        cfg.pes_per_core(),
+        cfg.sa_x,
+        cfg.sa_y,
+        cfg.global_memory_mib,
+        cfg.dram_channels,
+        cfg.native_batch
+    );
+
+    println!("\nper-workload results vs TPU-v3 (paper: multi-workload avg 2.4x Perf/TDP):");
+    let mut log_sum = 0.0;
+    for &w in &suite {
+        let rel = relative_to_tpu(&cfg, &best.sim, w, &budget).expect("evaluates");
+        log_sum += rel.perf_per_tdp.ln();
+        println!("  {:16} {:>6.2}x throughput  {:>6.2}x Perf/TDP", w.name(), rel.speedup, rel.perf_per_tdp);
+    }
+    println!(
+        "  {:16} {:>6}   {:>9.2}x Perf/TDP (geomean)",
+        "GeoMean-5",
+        "",
+        (log_sum / suite.len() as f64).exp()
+    );
+}

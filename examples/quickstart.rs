@@ -1,0 +1,66 @@
+//! Quickstart: evaluate the paper's published designs on EfficientNet-B7 and
+//! print a Table-5-style comparison.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use fast::prelude::*;
+
+fn main() {
+    let budget = Budget::paper_default();
+    let b7 = Workload::EfficientNet(EfficientNet::B7);
+
+    let designs = [
+        ("TPU-v3 (modeled)", presets::tpu_v3(), SimOptions::tpu_baseline()),
+        ("FAST-Large", presets::fast_large(), SimOptions::default()),
+        ("FAST-Small", presets::fast_small(), SimOptions::default()),
+    ];
+
+    println!("EfficientNet-B7 inference, simulated on a common sub-10nm process\n");
+    println!(
+        "{:18} {:>9} {:>9} {:>8} {:>8} {:>7} {:>9} {:>9} {:>8}",
+        "design", "TFLOPS", "GB/s", "util", "QPS", "lat ms", "opint", "TDP/bgt", "area/bgt"
+    );
+
+    let mut tpu_qps_per_w = 0.0;
+    for (name, cfg, sim) in designs {
+        let report = design_report(name, &cfg, &sim, b7, &budget)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        println!(
+            "{:18} {:>9.0} {:>9.0} {:>8.2} {:>8.0} {:>7.1} {:>9.0} {:>9.2} {:>8.2}",
+            report.name,
+            report.peak_tflops,
+            report.peak_bandwidth_gbs,
+            report.compute_utilization,
+            report.qps,
+            report.latency_ms,
+            report.fused_op_intensity,
+            report.normalized_tdp,
+            report.normalized_area,
+        );
+        let qps_per_w = report.qps / report.normalized_tdp;
+        if name.starts_with("TPU") {
+            tpu_qps_per_w = qps_per_w;
+        } else {
+            println!(
+                "{:18}   -> {:.2}x Perf/TDP vs TPU-v3 (paper Table 5: 3.9x)",
+                "", qps_per_w / tpu_qps_per_w
+            );
+        }
+    }
+
+    println!("\nFusion detail for FAST-Large:");
+    let evaluator = Evaluator::new(vec![b7], Objective::PerfPerTdp, budget);
+    let eval = evaluator
+        .evaluate(&presets::fast_large(), &SimOptions::default())
+        .expect("valid design");
+    let w = &eval.workloads[0];
+    println!(
+        "  memory stall {:.0}% -> {:.0}%, operational intensity {:.0} -> {:.0} FLOPS/B, \
+         {:.0} MiB weights pinned",
+        w.prefusion_stall * 100.0,
+        w.postfusion_stall * 100.0,
+        w.op_intensity_pre,
+        w.op_intensity_post,
+        w.pinned_weight_bytes as f64 / (1024.0 * 1024.0),
+    );
+}

@@ -1,0 +1,136 @@
+//! Property-based integration tests over the full evaluation pipeline:
+//! random valid datapaths, random workloads — invariants that must hold for
+//! *every* design the search could visit.
+
+use fast::prelude::*;
+use fast::core::FastSpace;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn small_workload(ix: u8) -> Workload {
+    match ix % 4 {
+        0 => Workload::EfficientNet(EfficientNet::B0),
+        1 => Workload::EfficientNet(EfficientNet::B2),
+        2 => Workload::ResNet50,
+        _ => Workload::Bert { seq_len: 128 },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For any schedulable design: fused time is bracketed by pure-compute
+    /// and pre-fusion time; fusion respects Global-Memory capacity; DRAM
+    /// traffic never increases.
+    #[test]
+    fn fusion_invariants_on_random_designs(seed in 0u64..500, wix in 0u8..4) {
+        let space = FastSpace::table3();
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Sample until a structurally valid config (budget is irrelevant
+        // here; we cap size to keep runtime sane).
+        let mut found = None;
+        for _ in 0..40 {
+            let p = space.space().sample(&mut rng);
+            let (cfg, sim) = space.decode(&p);
+            if cfg.total_macs() > 1 << 20 || cfg.native_batch > 16 {
+                continue;
+            }
+            let w = small_workload(wix);
+            let Ok(graph) = w.build(cfg.native_batch) else { continue };
+            if let Ok(perf) = simulate(&graph, &cfg, &sim) {
+                found = Some((cfg, perf));
+                break;
+            }
+        }
+        let Some((cfg, perf)) = found else {
+            // All sampled points unschedulable — acceptable for a random draw.
+            return Ok(());
+        };
+        let fused = fuse_workload(&perf, &cfg, &FusionOptions::heuristic_only());
+        prop_assert!(fused.total_seconds <= perf.prefusion_seconds * (1.0 + 1e-9),
+            "fusion may not slow down: {} vs {}", fused.total_seconds, perf.prefusion_seconds);
+        prop_assert!(fused.total_seconds >= perf.compute_seconds * (1.0 - 1e-9),
+            "fused time below compute floor");
+        prop_assert!(fused.peak_gm_bytes <= cfg.global_memory_bytes(),
+            "capacity violated: {} > {}", fused.peak_gm_bytes, cfg.global_memory_bytes());
+        prop_assert!(fused.dram_bytes <= perf.prefusion_dram_bytes,
+            "fusion may not add traffic");
+    }
+
+    /// Utilization is a true fraction and step times are positive for every
+    /// schedulable random design.
+    #[test]
+    fn utilization_bounded(seed in 0u64..500) {
+        let space = FastSpace::table3();
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(7919));
+        for _ in 0..20 {
+            let p = space.space().sample(&mut rng);
+            let (cfg, sim) = space.decode(&p);
+            if cfg.total_macs() > 1 << 20 || cfg.native_batch > 8 {
+                continue;
+            }
+            let graph = Workload::EfficientNet(EfficientNet::B0)
+                .build(cfg.native_batch)
+                .expect("builds");
+            if let Ok(perf) = simulate(&graph, &cfg, &sim) {
+                prop_assert!(perf.prefusion_seconds > 0.0);
+                let util = perf.utilization_at(perf.prefusion_seconds);
+                prop_assert!(util > 0.0 && util <= 1.0 + 1e-9, "util {util}");
+                prop_assert!(perf.compute_seconds <= perf.prefusion_seconds * (1.0 + 1e-9));
+            }
+        }
+    }
+
+    /// Doubling DRAM channels never slows a design down (monotonicity of the
+    /// memory system).
+    #[test]
+    fn bandwidth_monotonicity(channels_exp in 0u32..3) {
+        let mut slow = presets::fast_large();
+        slow.dram_channels = 1 << channels_exp;
+        let mut fast_cfg = slow;
+        fast_cfg.dram_channels = slow.dram_channels * 2;
+        let g = Workload::EfficientNet(EfficientNet::B2).build(8).expect("builds");
+        let p_slow = simulate(&g, &slow, &SimOptions::default()).expect("schedules");
+        let p_fast = simulate(&g, &fast_cfg, &SimOptions::default()).expect("schedules");
+        prop_assert!(p_fast.prefusion_seconds <= p_slow.prefusion_seconds * (1.0 + 1e-9));
+    }
+
+    /// A larger Global Memory never hurts post-fusion time.
+    #[test]
+    fn global_memory_monotonicity(gm_exp in 3u32..7) {
+        let mut small = presets::fast_large();
+        small.global_memory_mib = 1 << gm_exp;
+        let mut big = small;
+        big.global_memory_mib = small.global_memory_mib * 2;
+        let g = Workload::EfficientNet(EfficientNet::B4).build(8).expect("builds");
+        let fuse = |cfg: &DatapathConfig| {
+            let perf = simulate(&g, cfg, &SimOptions::default()).expect("schedules");
+            fuse_workload(&perf, cfg, &FusionOptions::heuristic_only()).total_seconds
+        };
+        prop_assert!(fuse(&big) <= fuse(&small) * (1.0 + 1e-9));
+    }
+}
+
+/// Graph-level sanity across the whole zoo at several batch sizes.
+#[test]
+fn zoo_builds_at_all_search_batches() {
+    for w in Workload::suite() {
+        for batch in [1u64, 4, 32] {
+            let g = w.build(batch).unwrap_or_else(|e| panic!("{w} b{batch}: {e}"));
+            g.validate().unwrap();
+            assert!(g.total_flops() > 0);
+        }
+    }
+}
+
+/// The simulator is deterministic: identical inputs give identical outputs.
+#[test]
+fn simulation_is_deterministic() {
+    let g = Workload::Bert { seq_len: 128 }.build(8).unwrap();
+    let cfg = presets::fast_large();
+    let a = simulate(&g, &cfg, &SimOptions::default()).unwrap();
+    let b = simulate(&g, &cfg, &SimOptions::default()).unwrap();
+    assert_eq!(a.prefusion_seconds.to_bits(), b.prefusion_seconds.to_bits());
+    assert_eq!(a.prefusion_dram_bytes, b.prefusion_dram_bytes);
+}
