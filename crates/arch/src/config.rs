@@ -259,7 +259,8 @@ impl DatapathConfig {
     pub fn search_space_log10() -> f64 {
         // 9 pow-2 ranges of 9 choices, vector_multiplier 5, l1 cfg 2, l2 cfg 3,
         // three l2 mults of 8, GM 10, channels 4, batch 9.
-        let combos = 9f64.powi(4) * 5.0 * 2.0 * 9f64.powi(3) * 3.0 * 8f64.powi(3) * 10.0 * 4.0 * 9.0;
+        let combos =
+            9f64.powi(4) * 5.0 * 2.0 * 9f64.powi(3) * 3.0 * 8f64.powi(3) * 10.0 * 4.0 * 9.0;
         combos.log10()
     }
 }

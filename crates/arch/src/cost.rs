@@ -114,8 +114,7 @@ pub fn tdp(cfg: &DatapathConfig) -> TdpBreakdown {
         MemoryTech::Gddr6 => (tech::GDDR6_ENERGY_J_PER_BYTE, tech::GDDR6_PHY_STATIC_W),
         MemoryTech::Hbm2 => (tech::HBM2_ENERGY_J_PER_BYTE, tech::HBM2_PHY_STATIC_W),
     };
-    let dram_w =
-        cfg.dram_bytes_per_sec() * dram_e + cfg.dram_channels as f64 * phy_static;
+    let dram_w = cfg.dram_bytes_per_sec() * dram_e + cfg.dram_channels as f64 * phy_static;
 
     let a = area(cfg);
     let logic_mm2 = a.macs_mm2 + a.vpu_mm2 + a.dram_phy_mm2;
@@ -123,8 +122,7 @@ pub fn tdp(cfg: &DatapathConfig) -> TdpBreakdown {
     let leakage_w =
         logic_mm2 * tech::LOGIC_LEAKAGE_W_PER_MM2 + sram_mib * tech::SRAM_LEAKAGE_W_PER_MIB;
 
-    let total_w =
-        (macs_w + vpu_w + l1_w + l2_w + gm_w + dram_w + leakage_w) * tech::NOC_OVERHEAD;
+    let total_w = (macs_w + vpu_w + l1_w + l2_w + gm_w + dram_w + leakage_w) * tech::NOC_OVERHEAD;
     TdpBreakdown { macs_w, vpu_w, l1_w, l2_w, gm_w, dram_w, leakage_w, total_w }
 }
 
@@ -147,10 +145,7 @@ impl Budget {
     #[must_use]
     pub fn paper_default() -> Self {
         let tpu = crate::presets::tpu_v3();
-        Budget {
-            max_area_mm2: area(&tpu).total_mm2 / 0.6,
-            max_tdp_w: tdp(&tpu).total_w / 0.5,
-        }
+        Budget { max_area_mm2: area(&tpu).total_mm2 / 0.6, max_tdp_w: tdp(&tpu).total_w / 0.5 }
     }
 
     /// Whether `cfg` fits the budget.
@@ -189,9 +184,12 @@ mod tests {
     fn presets_fit_budget() {
         let b = Budget::paper_default();
         assert!(b.admits(&presets::tpu_v3()));
-        assert!(b.admits(&presets::fast_large()), "large: area {:.2} tdp {:.2}",
+        assert!(
+            b.admits(&presets::fast_large()),
+            "large: area {:.2} tdp {:.2}",
             b.normalized_area(&presets::fast_large()),
-            b.normalized_tdp(&presets::fast_large()));
+            b.normalized_tdp(&presets::fast_large())
+        );
         assert!(b.admits(&presets::fast_small()));
     }
 

@@ -111,6 +111,6 @@ mod tests {
 
     #[test]
     fn hbm_cheaper_per_byte_than_gddr() {
-        assert!(HBM2_ENERGY_J_PER_BYTE < GDDR6_ENERGY_J_PER_BYTE);
+        const { assert!(HBM2_ENERGY_J_PER_BYTE < GDDR6_ENERGY_J_PER_BYTE) }
     }
 }

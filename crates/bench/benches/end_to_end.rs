@@ -17,11 +17,15 @@ fn bench_trial(c: &mut Criterion) {
         ("resnet50", Workload::ResNet50),
     ] {
         let evaluator = Evaluator::new(vec![w], Objective::PerfPerTdp, Budget::paper_default());
-        // Warm the graph cache so the benchmark measures steady-state trials.
+        // Warm the graph cache so the benchmark measures steady-state trials;
+        // evaluate through a fresh evaluation cache each run so the memoized
+        // result of the previous iteration doesn't short-circuit the work.
         let _ = evaluator.evaluate(&presets::fast_large(), &SimOptions::default());
         group.bench_with_input(BenchmarkId::from_parameter(label), &evaluator, |b, e| {
             b.iter(|| {
-                e.evaluate(&presets::fast_large(), &SimOptions::default()).unwrap()
+                e.fresh_eval_cache()
+                    .evaluate(&presets::fast_large(), &SimOptions::default())
+                    .unwrap()
             })
         });
     }

@@ -26,30 +26,36 @@ fn bench_mapper(c: &mut Criterion) {
     for (label, nest) in [
         ("conv1x1_256", conv_nest(256, 256, 1)),
         ("conv3x3_512", conv_nest(512, 512, 3)),
-        ("depthwise3x3", LoopNest {
-            b: 8,
-            oh: 56,
-            ow: 56,
-            if_: 9,
-            of: 144,
-            kh: 1,
-            kw: 1,
-            weight_latches: 1,
-            stationary_is_activation: false,
-            input_reuse: 9,
-        }),
-        ("attention_einsum", LoopNest {
-            b: 1024,
-            oh: 1,
-            ow: 1,
-            if_: 64,
-            of: 1024,
-            kh: 1,
-            kw: 1,
-            weight_latches: 96,
-            stationary_is_activation: true,
-            input_reuse: 1,
-        }),
+        (
+            "depthwise3x3",
+            LoopNest {
+                b: 8,
+                oh: 56,
+                ow: 56,
+                if_: 9,
+                of: 144,
+                kh: 1,
+                kw: 1,
+                weight_latches: 1,
+                stationary_is_activation: false,
+                input_reuse: 9,
+            },
+        ),
+        (
+            "attention_einsum",
+            LoopNest {
+                b: 1024,
+                oh: 1,
+                ow: 1,
+                if_: 64,
+                of: 1024,
+                kh: 1,
+                kw: 1,
+                weight_latches: 96,
+                stationary_is_activation: true,
+                input_reuse: 1,
+            },
+        ),
     ] {
         for (arch, cfg) in [("tpu", presets::tpu_v3()), ("fast_large", presets::fast_large())] {
             group.bench_with_input(

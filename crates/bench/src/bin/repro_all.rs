@@ -1,8 +1,10 @@
 //! Regenerates every table and figure of the paper in order, printing each
 //! report (the source of EXPERIMENTS.md). Search-driven figures honor the
 //! `FAST_TRIALS` environment variable.
+type Section = (&'static str, fn() -> String);
+
 fn main() {
-    let sections: Vec<(&str, fn() -> String)> = vec![
+    let sections: Vec<Section> = vec![
         ("tab01", fast_bench::tables::tab01_working_sets),
         ("tab02", fast_bench::tables::tab02_b7_op_runtime),
         ("fig02", fast_bench::figures::fig02_family_latency),

@@ -58,10 +58,8 @@ pub fn fig03_op_intensity() -> String {
         Workload::Bert { seq_len: 1024 },
     ];
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "Figure 3 — operational intensity (FLOPs/DRAM byte) per fusion strategy\n"
-    );
+    let _ =
+        writeln!(out, "Figure 3 — operational intensity (FLOPs/DRAM byte) per fusion strategy\n");
     for batch in [1u64, 8, 128] {
         let mut t = Table::new([
             "workload (batch)",
@@ -160,13 +158,8 @@ fn per_block_util_table(
         let u_pre = flops as f64 / (secs * peak);
         if fused.is_some() {
             let (fsecs, fflops) = post[gid];
-            let u_post =
-                if fsecs > 0.0 { fflops as f64 / (fsecs * peak) } else { 0.0 };
-            t.row([
-                g.group_names()[gid].clone(),
-                format!("{u_pre:.2}"),
-                format!("{u_post:.2}"),
-            ]);
+            let u_post = if fsecs > 0.0 { fflops as f64 / (fsecs * peak) } else { 0.0 };
+            t.row([g.group_names()[gid].clone(), format!("{u_pre:.2}"), format!("{u_post:.2}")]);
         } else {
             t.row([g.group_names()[gid].clone(), format!("{u_pre:.2}")]);
         }
@@ -182,24 +175,15 @@ fn per_block_util_table(
 #[must_use]
 pub fn fig05_bert_ops() -> String {
     let cfg = presets::tpu_v3();
-    let mut t = Table::new([
-        "seq len",
-        "QKV proj",
-        "softmax",
-        "self-attention",
-        "feed-forward",
-        "other",
-    ]);
+    let mut t =
+        Table::new(["seq len", "QKV proj", "softmax", "self-attention", "feed-forward", "other"]);
     for seq in [128u64, 256, 512, 1024, 2048] {
         let g = BertConfig::base().build(8, seq).expect("builds");
         let perf = simulate(&g, &cfg, &SimOptions::tpu_baseline()).expect("schedules");
         let rows = perf.time_by(|n| format!("{:?}", BertComponent::of_node_name(&n.name)));
         let total: f64 = rows.iter().map(|r| r.1).sum();
         let share = |label: &str| {
-            rows.iter()
-                .find(|r| r.0.contains(label))
-                .map(|r| 100.0 * r.1 / total)
-                .unwrap_or(0.0)
+            rows.iter().find(|r| r.0.contains(label)).map(|r| 100.0 * r.1 / total).unwrap_or(0.0)
         };
         t.row([
             seq.to_string(),
@@ -223,16 +207,7 @@ pub fn fig05_bert_ops() -> String {
 pub fn fig06_roi_curves() -> String {
     let model = RoiModel::paper_default();
     let volumes = [500.0, 1_000.0, 2_000.0, 4_000.0, 8_000.0, 16_000.0, 32_000.0];
-    let mut t = Table::new([
-        "Perf/TCO",
-        "n=500",
-        "1000",
-        "2000",
-        "4000",
-        "8000",
-        "16000",
-        "32000",
-    ]);
+    let mut t = Table::new(["Perf/TCO", "n=500", "1000", "2000", "4000", "8000", "16000", "32000"]);
     for s in [1.5, 2.0, 4.0, 10.0, 30.0, 100.0] {
         let mut cells = vec![format!("{s:.1}x")];
         for (_, roi) in model.roi_curve(s, &volumes) {

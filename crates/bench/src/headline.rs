@@ -51,12 +51,8 @@ pub fn headline_results(objective: Objective, trials: usize) -> Vec<HeadlineRow>
 
     // One multi-workload search shared by all member rows.
     let multi_eval = Evaluator::new(suite5.clone(), objective, budget);
-    let multi_cfg = SearchConfig {
-        trials,
-        optimizer: OptimizerKind::Lcs,
-        seed: 11,
-        ..SearchConfig::default()
-    };
+    let multi_cfg =
+        SearchConfig { trials, optimizer: OptimizerKind::Lcs, seed: 11, ..SearchConfig::default() };
     let multi_best = run_fast_search(&multi_eval, &multi_cfg)
         .best
         .expect("seeded search always yields a design");
@@ -73,10 +69,9 @@ pub fn headline_results(objective: Objective, trials: usize) -> Vec<HeadlineRow>
             seed: 5,
             ..SearchConfig::default()
         };
-        let single_best =
-            run_fast_search(&single_eval, &single_cfg).best.expect("seeded search");
-        let single = relative_to_tpu(&single_best.config, &single_best.sim, w, &budget)
-            .expect("evaluates");
+        let single_best = run_fast_search(&single_eval, &single_cfg).best.expect("seeded search");
+        let single =
+            relative_to_tpu(&single_best.config, &single_best.sim, w, &budget).expect("evaluates");
 
         let multi = if suite5.contains(&w) {
             Some(
@@ -117,8 +112,7 @@ fn render(rows: &[HeadlineRow], metric: impl Fn(&RelativePerf) -> f64, title: &s
     }
     let gm_sched = geomean(rows.iter().map(|r| metric(&r.sched_fusion)));
     let gm_single = geomean(rows.iter().map(|r| metric(&r.single)));
-    let gm5_single =
-        geomean(rows.iter().filter(|r| r.multi.is_some()).map(|r| metric(&r.single)));
+    let gm5_single = geomean(rows.iter().filter(|r| r.multi.is_some()).map(|r| metric(&r.single)));
     let gm5_multi = geomean(rows.iter().filter_map(|r| r.multi.as_ref()).map(&metric));
     t.row([
         "GeoMean".to_string(),
@@ -145,9 +139,7 @@ pub fn fig09_throughput() -> String {
     let mut s = render(
         &rows,
         |r| r.speedup,
-        &format!(
-            "Figure 9 — throughput vs TPU-v3 ({trials} trials/search; paper: 5000)"
-        ),
+        &format!("Figure 9 — throughput vs TPU-v3 ({trials} trials/search; paper: 5000)"),
     );
     let _ = writeln!(
         s,
@@ -166,9 +158,7 @@ pub fn fig10_perf_tdp() -> String {
     let mut s = render(
         &rows,
         |r| r.perf_per_tdp,
-        &format!(
-            "Figure 10 — Perf/TDP vs die-shrunk TPU-v3 ({trials} trials/search; paper: 5000)"
-        ),
+        &format!("Figure 10 — Perf/TDP vs die-shrunk TPU-v3 ({trials} trials/search; paper: 5000)"),
     );
     let _ = writeln!(
         s,

@@ -29,9 +29,8 @@ pub fn fig11_convergence() -> String {
         "Figure 11 — search convergence on EfficientNet-B7 Perf/TDP\n\
          ({runs} runs x {trials} trials per heuristic; paper: 5 x 5000)\n"
     );
-    let checkpoints: Vec<usize> = [trials / 8, trials / 4, trials / 2, 3 * trials / 4, trials - 1]
-        .into_iter()
-        .collect();
+    let checkpoints: Vec<usize> =
+        [trials / 8, trials / 4, trials / 2, 3 * trials / 4, trials - 1].into_iter().collect();
     let mut t = Table::new({
         let mut h = vec!["heuristic".to_string()];
         h.extend(checkpoints.iter().map(|c| format!("t={}", c + 1)));
@@ -144,10 +143,8 @@ pub fn fig12_pareto() -> String {
         points.len()
     );
     for (label, axis) in [("TDP", 1usize), ("area", 2usize)] {
-        let proj: Vec<(f64, f64)> = points
-            .iter()
-            .map(|p| (p.0, if axis == 1 { p.1 } else { p.2 }))
-            .collect();
+        let proj: Vec<(f64, f64)> =
+            points.iter().map(|p| (p.0, if axis == 1 { p.1 } else { p.2 })).collect();
         let front = pareto(&proj);
         let mut t = Table::new(["step ms", &format!("normalized {label}")]);
         for (x, y) in &front {

@@ -152,22 +152,25 @@ pub fn tab05_example_designs() -> String {
     let _ = writeln!(out, "Table 5 — example designs on EfficientNet-B7\n");
     let mut t = Table::new(["", &reports[0].name, &reports[1].name, &reports[2].name]);
     let row = |t: &mut Table, label: &str, f: &dyn Fn(&fast_core::DesignReport) -> String| {
-        t.row([
-            label.to_string(),
-            f(&reports[0]),
-            f(&reports[1]),
-            f(&reports[2]),
-        ]);
+        t.row([label.to_string(), f(&reports[0]), f(&reports[1]), f(&reports[2])]);
     };
     row(&mut t, "Normalized TDP", &|r| format!("{:.2}x", r.normalized_tdp));
     row(&mut t, "Normalized Area", &|r| format!("{:.2}x", r.normalized_area));
     row(&mut t, "Peak Compute", &|r| format!("{:.0} TFLOPS", r.peak_tflops));
     row(&mut t, "Peak Bandwidth", &|r| format!("{:.0} GB/s", r.peak_bandwidth_gbs));
     row(&mut t, "Batch Size", &|r| {
-        if r.cores > 1 { format!("{}x{}", r.cores, r.batch) } else { r.batch.to_string() }
+        if r.cores > 1 {
+            format!("{}x{}", r.cores, r.batch)
+        } else {
+            r.batch.to_string()
+        }
     });
     row(&mut t, "Num PEs", &|r| {
-        if r.cores > 1 { format!("{}x{}", r.cores, r.num_pes) } else { r.num_pes.to_string() }
+        if r.cores > 1 {
+            format!("{}x{}", r.cores, r.num_pes)
+        } else {
+            r.num_pes.to_string()
+        }
     });
     row(&mut t, "PE Systolic Array", &|r| format!("{}x{}", r.sa_dims.0, r.sa_dims.1));
     row(&mut t, "PE Vector Width", &|r| r.vpu_width.to_string());

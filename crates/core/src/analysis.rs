@@ -60,8 +60,7 @@ pub fn component_breakdown(workloads: &[Workload]) -> Result<Vec<BreakdownRow>, 
     let mut rows = Vec::new();
     for &w in workloads {
         let ev = |cfg: &DatapathConfig, sim: &SimOptions, fusion: &FusionOptions| {
-            let e = Evaluator::new(vec![w], Objective::Qps, budget)
-                .with_fusion(fusion.clone());
+            let e = Evaluator::new(vec![w], Objective::Qps, budget).with_fusion(fusion.clone());
             e.evaluate(cfg, sim).map(|d| d.workloads[0].qps)
         };
         // Baseline: stock TPU stack, fusion disabled (GM used only as the
@@ -176,8 +175,8 @@ pub fn ablation_study() -> Result<Vec<AblationRow>, EvalError> {
     for (label, cfg, sim, fusion) in ablation_variants() {
         let mut per_workload = Vec::new();
         for (k, &w) in workloads.iter().enumerate() {
-            let e = Evaluator::new(vec![w], Objective::PerfPerTdp, budget)
-                .with_fusion(fusion.clone());
+            let e =
+                Evaluator::new(vec![w], Objective::PerfPerTdp, budget).with_fusion(fusion.clone());
             let d = e.evaluate(&cfg, &sim)?;
             let ppt = d.geomean_qps / d.tdp_w;
             let vs_tpu = ppt / tpu_ppt[k];
@@ -200,8 +199,7 @@ mod tests {
 
     #[test]
     fn breakdown_components_are_cumulative_for_b7() {
-        let rows =
-            component_breakdown(&[Workload::EfficientNet(EfficientNet::B7)]).unwrap();
+        let rows = component_breakdown(&[Workload::EfficientNet(EfficientNet::B7)]).unwrap();
         let r = &rows[0];
         assert!(r.scheduling_speedup > 1.0, "scheduling {}", r.scheduling_speedup);
         // The paper's Figure-15 message: datapath changes alone saturate on

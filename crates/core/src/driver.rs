@@ -5,9 +5,10 @@ use crate::evaluate::{DesignEval, Evaluator};
 use crate::search_space::FastSpace;
 use fast_arch::DatapathConfig;
 use fast_search::{
-    run_study, LcsSwarm, Optimizer, RandomSearch, StudyResult, Tpe, Trial, TrialResult,
+    run_study_batched, LcsSwarm, Optimizer, RandomSearch, StudyResult, Tpe, Trial, TrialResult,
 };
 use fast_sim::SimOptions;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Which black-box optimizer drives the search (Figure 11 compares them).
@@ -93,6 +94,14 @@ pub struct SearchConfig {
     pub seed: u64,
     /// Known-good design points proposed first (may be empty).
     pub seeds: Vec<(DatapathConfig, SimOptions)>,
+    /// Trials proposed and evaluated per round. The default of `1` is the
+    /// classic propose→evaluate→observe loop (per-trial observation,
+    /// matching the paper's sequential Vizier methodology); larger batches
+    /// let [`run_fast_search_parallel`] fan a round out across cores at the
+    /// cost of optimizers observing a whole round at once. The study outcome
+    /// depends on the batch size but never on how a round's evaluations are
+    /// executed.
+    pub batch: usize,
 }
 
 impl Default for SearchConfig {
@@ -105,6 +114,7 @@ impl Default for SearchConfig {
                 (fast_arch::presets::fast_large(), SimOptions::default()),
                 (fast_arch::presets::fast_small(), SimOptions::default()),
             ],
+            batch: 1,
         }
     }
 }
@@ -120,26 +130,71 @@ pub struct SearchOutcome {
     pub space_log10: f64,
 }
 
-/// Runs a FAST search with `evaluator` scoring each proposed design.
-#[must_use]
-pub fn run_fast_search(evaluator: &Evaluator, config: &SearchConfig) -> SearchOutcome {
+/// Shared study loop of both drivers: proposes rounds of `config.batch`
+/// points and scores them with `evaluate_round`.
+fn run_search_with<F>(
+    evaluator: &Evaluator,
+    config: &SearchConfig,
+    evaluate_round: F,
+) -> SearchOutcome
+where
+    F: FnMut(&Evaluator, &FastSpace, &[Vec<usize>]) -> Vec<TrialResult>,
+{
+    let mut evaluate_round = evaluate_round;
     let space = FastSpace::table3();
     let seeds: Vec<Vec<usize>> =
         config.seeds.iter().map(|(cfg, sim)| space.encode(cfg, sim)).collect();
     let mut opt = SeededOptimizer { inner: config.optimizer.build(), seeds, next: 0 };
 
-    let study = run_study(space.space(), &mut opt, config.trials, config.seed, |point| {
-        match evaluator.evaluate_point(&space, point) {
-            Ok(eval) => TrialResult::Valid(eval.objective_value),
-            Err(_) => TrialResult::Invalid,
-        }
-    });
+    let study = run_study_batched(
+        space.space(),
+        &mut opt,
+        config.trials,
+        config.batch,
+        config.seed,
+        |points| evaluate_round(evaluator, &space, points),
+    );
 
-    let best = study
-        .best_point
-        .as_ref()
-        .and_then(|p| evaluator.evaluate_point(&space, p).ok());
+    let best = study.best_point.as_ref().and_then(|p| evaluator.evaluate_point(&space, p).ok());
     SearchOutcome { study, best, space_log10: space.space().log10_size() }
+}
+
+/// Scores one encoded point as a safe-search trial outcome.
+fn score_point(evaluator: &Evaluator, space: &FastSpace, point: &[usize]) -> TrialResult {
+    match evaluator.evaluate_point(space, point) {
+        Ok(eval) => TrialResult::Valid(eval.objective_value),
+        Err(_) => TrialResult::Invalid,
+    }
+}
+
+/// Runs a FAST search with `evaluator` scoring each proposed design, one
+/// trial at a time on the calling thread.
+#[must_use]
+pub fn run_fast_search(evaluator: &Evaluator, config: &SearchConfig) -> SearchOutcome {
+    run_search_with(evaluator, config, |evaluator, space, points| {
+        points.iter().map(|p| score_point(evaluator, space, p)).collect()
+    })
+}
+
+/// Runs a FAST search evaluating each round of `config.batch` proposals in
+/// parallel across the rayon thread pool.
+///
+/// **Determinism:** bit-identical to [`run_fast_search`] with the same
+/// config. Per-trial RNGs are derived from `(config.seed, trial index)`, the
+/// evaluation cache stores pure functions of its key, and round results are
+/// collected in proposal order before the optimizer observes them — so
+/// thread scheduling cannot leak into the trial sequence. Worker threads
+/// share the evaluator's memoization table, so duplicate proposals within or
+/// across rounds cost one simulation total.
+///
+/// The guarantee assumes the evaluator's pipeline is itself deterministic:
+/// true for the default heuristic fusion; see [`Evaluator::with_fusion`] for
+/// the wall-clock-bounded exact-ILP caveat.
+#[must_use]
+pub fn run_fast_search_parallel(evaluator: &Evaluator, config: &SearchConfig) -> SearchOutcome {
+    run_search_with(evaluator, config, |evaluator, space, points| {
+        points.par_iter().map(|p| score_point(evaluator, space, p)).collect()
+    })
 }
 
 #[cfg(test)]
@@ -171,9 +226,8 @@ mod tests {
     #[test]
     fn search_beats_or_matches_seed_designs() {
         let e = quick_evaluator();
-        let seed_eval = e
-            .evaluate(&fast_arch::presets::fast_large(), &SimOptions::default())
-            .unwrap();
+        let seed_eval =
+            e.evaluate(&fast_arch::presets::fast_large(), &SimOptions::default()).unwrap();
         let cfg = SearchConfig {
             trials: 60,
             seed: 7,
@@ -198,12 +252,61 @@ mod tests {
             seed: 3,
             optimizer: OptimizerKind::Random,
             seeds: Vec::new(),
+            ..SearchConfig::default()
         };
         let out = run_fast_search(&e, &cfg);
         // With a 1e13 space most random points are invalid; the run must
         // still complete and report counts consistently.
         assert_eq!(out.study.convergence.len(), 40);
         assert!(out.study.invalid_trials <= 40);
+    }
+
+    #[test]
+    fn parallel_search_reproduces_sequential_search() {
+        let e = quick_evaluator();
+        for kind in OptimizerKind::ALL {
+            let cfg = SearchConfig {
+                trials: 48,
+                seed: 13,
+                optimizer: kind,
+                batch: 8,
+                ..SearchConfig::default()
+            };
+            let seq = run_fast_search(&e.fresh_eval_cache(), &cfg);
+            let par = run_fast_search_parallel(&e.fresh_eval_cache(), &cfg);
+            assert_eq!(
+                seq.study.best_objective, par.study.best_objective,
+                "{kind:?}: best objective must not depend on parallelism"
+            );
+            assert_eq!(seq.study.convergence, par.study.convergence, "{kind:?}");
+            assert_eq!(seq.study.invalid_trials, par.study.invalid_trials, "{kind:?}");
+            assert_eq!(
+                seq.study.trials.iter().map(|t| &t.point).collect::<Vec<_>>(),
+                par.study.trials.iter().map(|t| &t.point).collect::<Vec<_>>(),
+                "{kind:?}: trial-for-trial proposal sequence must match"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_search_shares_the_evaluation_cache() {
+        let e = quick_evaluator().fresh_eval_cache();
+        let cfg = SearchConfig { trials: 40, seed: 2, batch: 8, ..SearchConfig::default() };
+        let out = run_fast_search_parallel(&e, &cfg);
+        assert!(out.best.is_some());
+        let stats = e.cache_stats();
+        // Seeded LCS re-proposes incumbent-adjacent points constantly; the
+        // cache must absorb at least the re-evaluation of the best point.
+        assert!(stats.hits > 0, "expected cache hits, got {stats:?}");
+        // Only distinct proposals may miss (+1 for the final best-point
+        // re-evaluation): duplicates must be served from the cache.
+        let distinct: std::collections::HashSet<_> =
+            out.study.trials.iter().map(|t| &t.point).collect();
+        assert!(
+            stats.misses <= distinct.len() as u64 + 1,
+            "duplicate proposals re-ran the simulator: {stats:?}, {} distinct points",
+            distinct.len()
+        );
     }
 
     #[test]

@@ -15,6 +15,8 @@ use fast_sim::{simulate, SimOptions, WorkloadPerf};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// The optimization objective `f` (§5.2). Higher is better in all cases.
@@ -100,16 +102,136 @@ pub struct DesignEval {
     pub objective_value: f64,
 }
 
+/// Canonical cache identity of one `(workload, datapath, schedule, fusion)`
+/// simulation — the unit of work [`Evaluator::evaluate`] repeats per trial.
+///
+/// [`DatapathConfig`] is float-bearing (`clock_ghz`), so it cannot derive
+/// `Eq`/`Hash`; the key canonicalizes the clock through `f64::to_bits`.
+/// Configs only reach the cache after `validate()` accepts them, which
+/// excludes NaN clocks, so bitwise equality is exact equality here. Fusion
+/// options are part of the key because `with_fusion` clones share one cache.
+#[derive(Debug, Clone)]
+struct SimKey {
+    workload: Workload,
+    config: DatapathConfig,
+    sim: SimOptions,
+    fusion: FusionOptions,
+}
+
+/// The fully canonicalized, hashable form of a [`DatapathConfig`]: every
+/// field, floats as `to_bits`.
+type ConfigKey = (
+    (u64, u64, u64, u64, u64),
+    (fast_arch::BufferSharing, u64, u64, u64),
+    (fast_arch::L2Config, u64, u64, u64),
+    (u64, u64, fast_arch::MemoryTech, u64),
+    (u64, u64),
+);
+
+impl SimKey {
+    /// The single source of truth for key identity: every [`DatapathConfig`]
+    /// field, floats canonicalized through `to_bits`. The exhaustive
+    /// destructuring (no `..`) makes adding a config field a compile error
+    /// here, so the cache key can never silently ignore one; a new float
+    /// field must be converted with `to_bits` to satisfy [`ConfigKey`]'s
+    /// `Eq`/`Hash`.
+    fn canonical(&self) -> (Workload, SimOptions, &FusionOptions, ConfigKey) {
+        let DatapathConfig {
+            pes_x,
+            pes_y,
+            sa_x,
+            sa_y,
+            vector_multiplier,
+            l1_config,
+            l1_input_kib,
+            l1_weight_kib,
+            l1_output_kib,
+            l2_config,
+            l2_input_mult,
+            l2_weight_mult,
+            l2_output_mult,
+            global_memory_mib,
+            dram_channels,
+            memory,
+            native_batch,
+            clock_ghz,
+            cores,
+        } = self.config;
+        (
+            self.workload,
+            self.sim,
+            &self.fusion,
+            (
+                (pes_x, pes_y, sa_x, sa_y, vector_multiplier),
+                (l1_config, l1_input_kib, l1_weight_kib, l1_output_kib),
+                (l2_config, l2_input_mult, l2_weight_mult, l2_output_mult),
+                (global_memory_mib, dram_channels, memory, native_batch),
+                (clock_ghz.to_bits(), cores),
+            ),
+        )
+    }
+}
+
+impl PartialEq for SimKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.canonical() == other.canonical()
+    }
+}
+
+impl Eq for SimKey {}
+
+impl Hash for SimKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.canonical().hash(state);
+    }
+}
+
+/// Hit/miss counters of the evaluation cache (monotonic totals).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Evaluations answered from the cache.
+    pub hits: u64,
+    /// Evaluations that ran the simulator + fusion pipeline.
+    pub misses: u64,
+}
+
+/// The per-workload evaluation cache shared by every clone of an
+/// [`Evaluator`] (and thus by every thread of a parallel study).
+///
+/// Both successful evaluations and schedule failures are cached: a design
+/// that failed to schedule once will fail identically forever, and repeated
+/// proposals of near-duplicate points are common in swarm/TPE searches.
+#[derive(Default)]
+struct EvalCache {
+    entries: Mutex<HashMap<SimKey, Arc<Result<WorkloadEval, EvalError>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+// Worker threads score trials through a shared `&Evaluator`.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Evaluator>();
+    assert_send_sync::<DesignEval>();
+    assert_send_sync::<EvalError>();
+};
+
+/// The immutable workload-graph cache, keyed by `(workload, batch)`.
+type GraphCache = Mutex<HashMap<(Workload, u64), Arc<fast_ir::Graph>>>;
+
 /// Evaluates design points for a fixed workload set, objective and budget.
 ///
-/// Clone-cheap: the graph cache is shared behind an `Arc`.
+/// Clone-cheap: the graph and evaluation caches are shared behind `Arc`s, so
+/// clones handed to worker threads by the parallel driver all feed one
+/// memoization table.
 #[derive(Clone)]
 pub struct Evaluator {
     workloads: Vec<Workload>,
     objective: Objective,
     budget: Budget,
     fusion: FusionOptions,
-    graphs: Arc<Mutex<HashMap<(Workload, u64), Arc<fast_ir::Graph>>>>,
+    graphs: Arc<GraphCache>,
+    cache: Arc<EvalCache>,
 }
 
 impl Evaluator {
@@ -122,15 +244,46 @@ impl Evaluator {
             budget,
             fusion: FusionOptions::heuristic_only(),
             graphs: Arc::new(Mutex::new(HashMap::new())),
+            cache: Arc::new(EvalCache::default()),
         }
     }
 
     /// Uses a custom fusion configuration (e.g. the exact ILP path for
-    /// one-off reports).
+    /// one-off reports). Safe to combine with a shared cache: fusion options
+    /// are part of the cache key.
+    ///
+    /// **Determinism caveat:** the exact-ILP path (`exact_binary_limit > 0`)
+    /// is bounded by a wall-clock `time_limit`, so its incumbent can depend
+    /// on machine load. The default [`FusionOptions::heuristic_only`]
+    /// pipeline is a pure function of its inputs; prefer it (or an
+    /// effectively unlimited `time_limit` with a `max_nodes` bound, which is
+    /// deterministic) whenever reproducibility across runs matters — e.g.
+    /// under `run_fast_search_parallel`, whose sequential-equivalence
+    /// guarantee assumes a deterministic evaluation pipeline. Within one
+    /// run the cache is always self-consistent (first insert wins).
     #[must_use]
     pub fn with_fusion(mut self, fusion: FusionOptions) -> Self {
         self.fusion = fusion;
         self
+    }
+
+    /// A clone sharing the (immutable) workload-graph cache but starting
+    /// from an empty evaluation cache — for benchmarks and tests that must
+    /// measure or observe uncached evaluation.
+    #[must_use]
+    pub fn fresh_eval_cache(&self) -> Self {
+        let mut e = self.clone();
+        e.cache = Arc::new(EvalCache::default());
+        e
+    }
+
+    /// Evaluation-cache hit/miss totals since this cache was created.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.cache.hits.load(Ordering::Relaxed),
+            misses: self.cache.misses.load(Ordering::Relaxed),
+        }
     }
 
     /// The workload set.
@@ -155,9 +308,7 @@ impl Evaluator {
         let mut cache = self.graphs.lock().expect("graph cache poisoned");
         cache
             .entry((w, batch))
-            .or_insert_with(|| {
-                Arc::new(w.build(batch).expect("in-tree workloads always build"))
-            })
+            .or_insert_with(|| Arc::new(w.build(batch).expect("in-tree workloads always build")))
             .clone()
     }
 
@@ -180,6 +331,64 @@ impl Evaluator {
     #[must_use]
     pub fn fuse(&self, perf: &WorkloadPerf, cfg: &DatapathConfig) -> FusionResult {
         fuse_workload(perf, cfg, &self.fusion)
+    }
+
+    /// The uncached simulate→fuse→summarize pipeline for one workload.
+    fn compute_workload_eval(
+        &self,
+        w: Workload,
+        cfg: &DatapathConfig,
+        sim: &SimOptions,
+    ) -> Result<WorkloadEval, EvalError> {
+        let perf = self.simulate_workload(w, cfg, sim)?;
+        let fused = self.fuse(&perf, cfg);
+        let step = fused.total_seconds;
+        let qps = (perf.batch_per_core * perf.cores) as f64 / step;
+        Ok(WorkloadEval {
+            workload: w,
+            step_seconds: step,
+            qps,
+            utilization: perf.utilization_at(step),
+            prefusion_stall: perf.prefusion_memory_stall_fraction(),
+            postfusion_stall: (1.0 - perf.compute_seconds / step).max(0.0),
+            op_intensity_pre: perf.prefusion_op_intensity(),
+            op_intensity_post: fused.op_intensity(perf.total_flops),
+            pinned_weight_bytes: fused.pinned_weight_bytes,
+        })
+    }
+
+    /// Memoized per-workload evaluation: answers from the shared cache when
+    /// the exact `(workload, datapath, schedule, fusion)` combination has
+    /// been scored before — by any clone, on any thread — and otherwise runs
+    /// the simulator + fusion pipeline and records the outcome (schedule
+    /// failures included; they are deterministic too).
+    fn workload_eval(
+        &self,
+        w: Workload,
+        cfg: &DatapathConfig,
+        sim: &SimOptions,
+    ) -> Result<WorkloadEval, EvalError> {
+        let key = SimKey { workload: w, config: *cfg, sim: *sim, fusion: self.fusion.clone() };
+        if let Some(cached) = self.cache.entries.lock().expect("eval cache poisoned").get(&key) {
+            self.cache.hits.fetch_add(1, Ordering::Relaxed);
+            return (**cached).clone();
+        }
+        // Compute outside the lock: simulation is the hot path and may run
+        // concurrently for distinct keys. Two threads racing on the same key
+        // duplicate work once; first insert wins (`or_insert_with`) and the
+        // loser adopts the cached value, so every reader of a key observes
+        // one single result for the whole run.
+        self.cache.misses.fetch_add(1, Ordering::Relaxed);
+        let result = self.compute_workload_eval(w, cfg, sim);
+        let entry = self
+            .cache
+            .entries
+            .lock()
+            .expect("eval cache poisoned")
+            .entry(key)
+            .or_insert_with(|| Arc::new(result))
+            .clone();
+        (*entry).clone()
     }
 
     /// Full Figure-1 evaluation of one design point.
@@ -205,22 +414,9 @@ impl Evaluator {
         let mut workloads = Vec::with_capacity(self.workloads.len());
         let mut log_qps_sum = 0.0;
         for &w in &self.workloads {
-            let perf = self.simulate_workload(w, cfg, sim)?;
-            let fused = self.fuse(&perf, cfg);
-            let step = fused.total_seconds;
-            let qps = (perf.batch_per_core * perf.cores) as f64 / step;
-            log_qps_sum += qps.ln();
-            workloads.push(WorkloadEval {
-                workload: w,
-                step_seconds: step,
-                qps,
-                utilization: perf.utilization_at(step),
-                prefusion_stall: perf.prefusion_memory_stall_fraction(),
-                postfusion_stall: (1.0 - perf.compute_seconds / step).max(0.0),
-                op_intensity_pre: perf.prefusion_op_intensity(),
-                op_intensity_post: fused.op_intensity(perf.total_flops),
-                pinned_weight_bytes: fused.pinned_weight_bytes,
-            });
+            let we = self.workload_eval(w, cfg, sim)?;
+            log_qps_sum += we.qps.ln();
+            workloads.push(we);
         }
         let geomean_qps = (log_qps_sum / self.workloads.len() as f64).exp();
         let objective_value = match self.objective {
@@ -331,5 +527,83 @@ mod tests {
         // correctness, not timing).
         let _ = e2.evaluate(&presets::fast_large(), &SimOptions::default()).unwrap();
         assert_eq!(e.graphs.lock().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn eval_cache_hits_on_repeat_and_across_clones() {
+        let e = evaluator(Objective::Qps);
+        let _ = e.evaluate(&presets::fast_large(), &SimOptions::default()).unwrap();
+        assert_eq!(e.cache_stats(), CacheStats { hits: 0, misses: 1 });
+        let _ = e.evaluate(&presets::fast_large(), &SimOptions::default()).unwrap();
+        assert_eq!(e.cache_stats(), CacheStats { hits: 1, misses: 1 });
+        // Clones share the cache; fresh_eval_cache severs it.
+        let _ = e.clone().evaluate(&presets::fast_large(), &SimOptions::default()).unwrap();
+        assert_eq!(e.cache_stats().hits, 2);
+        let fresh = e.fresh_eval_cache();
+        let _ = fresh.evaluate(&presets::fast_large(), &SimOptions::default()).unwrap();
+        assert_eq!(fresh.cache_stats(), CacheStats { hits: 0, misses: 1 });
+        assert_eq!(e.cache_stats().hits, 2, "fresh clone must not touch the original");
+    }
+
+    #[test]
+    fn eval_cache_result_is_bit_identical_to_fresh_run() {
+        let e = evaluator(Objective::PerfPerTdp);
+        let cfg = presets::fast_large();
+        let sim = SimOptions::default();
+        let first = e.evaluate(&cfg, &sim).unwrap();
+        let cached = e.evaluate(&cfg, &sim).unwrap();
+        assert!(e.cache_stats().hits >= 1);
+        assert_eq!(first.objective_value.to_bits(), cached.objective_value.to_bits());
+        assert_eq!(
+            first.workloads[0].step_seconds.to_bits(),
+            cached.workloads[0].step_seconds.to_bits()
+        );
+        assert_eq!(first.workloads[0].pinned_weight_bytes, cached.workloads[0].pinned_weight_bytes);
+    }
+
+    #[test]
+    fn eval_cache_caches_schedule_failures() {
+        let e = evaluator(Objective::Qps);
+        let mut cfg = presets::fast_large();
+        cfg.sa_x = 128;
+        cfg.sa_y = 128;
+        cfg.pes_x = 2;
+        cfg.pes_y = 1;
+        let a = e.evaluate(&cfg, &SimOptions::default()).unwrap_err();
+        let b = e.evaluate(&cfg, &SimOptions::default()).unwrap_err();
+        assert_eq!(a, b);
+        assert_eq!(e.cache_stats(), CacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn eval_cache_distinguishes_fusion_options() {
+        let base = evaluator(Objective::Qps);
+        let cfg = presets::fast_large();
+        let sim = SimOptions::default();
+        let with_fusion =
+            base.clone().with_fusion(FusionOptions { disabled: true, ..FusionOptions::default() });
+        let fused = base.evaluate(&cfg, &sim).unwrap();
+        // Shares the cache Arc but must not share entries: fusion options differ.
+        let unfused = with_fusion.evaluate(&cfg, &sim).unwrap();
+        assert_eq!(base.cache_stats(), CacheStats { hits: 0, misses: 2 });
+        assert!(
+            unfused.workloads[0].step_seconds >= fused.workloads[0].step_seconds,
+            "disabling fusion cannot speed the workload up"
+        );
+    }
+
+    #[test]
+    fn eval_cache_distinguishes_objectives_without_resimulating() {
+        // Multi-objective re-scoring: same design under QPS and Perf/TDP
+        // shares one simulation when the evaluators share a cache.
+        let qps_eval = evaluator(Objective::Qps);
+        let mut ppt_eval = qps_eval.clone();
+        ppt_eval.objective = Objective::PerfPerTdp;
+        let cfg = presets::fast_large();
+        let a = qps_eval.evaluate(&cfg, &SimOptions::default()).unwrap();
+        let b = ppt_eval.evaluate(&cfg, &SimOptions::default()).unwrap();
+        assert_eq!(qps_eval.cache_stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(a.geomean_qps.to_bits(), b.geomean_qps.to_bits());
+        assert!(b.objective_value < a.objective_value);
     }
 }

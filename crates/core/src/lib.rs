@@ -37,7 +37,9 @@ pub use analysis::{
     ablation_study, ablation_variants, ablation_workloads, component_breakdown, AblationRow,
     BreakdownRow,
 };
-pub use driver::{run_fast_search, OptimizerKind, SearchConfig, SearchOutcome};
-pub use evaluate::{DesignEval, EvalError, Evaluator, Objective, WorkloadEval};
+pub use driver::{
+    run_fast_search, run_fast_search_parallel, OptimizerKind, SearchConfig, SearchOutcome,
+};
+pub use evaluate::{CacheStats, DesignEval, EvalError, Evaluator, Objective, WorkloadEval};
 pub use report::{design_report, relative_to_tpu, DesignReport, RelativePerf};
 pub use search_space::{combined_search_space_log10, FastSpace, SpaceDims};

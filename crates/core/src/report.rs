@@ -125,8 +125,7 @@ pub fn relative_to_tpu(
         .evaluate(&tpu, &SimOptions::tpu_baseline())?;
     let eval = evaluator.evaluate(cfg, sim)?;
     let speedup = eval.geomean_qps / tpu_eval.geomean_qps;
-    let perf_per_tdp =
-        (eval.geomean_qps / eval.tdp_w) / (tpu_eval.geomean_qps / tpu_eval.tdp_w);
+    let perf_per_tdp = (eval.geomean_qps / eval.tdp_w) / (tpu_eval.geomean_qps / tpu_eval.tdp_w);
     Ok(RelativePerf { speedup, perf_per_tdp })
 }
 

@@ -164,10 +164,7 @@ impl FastSpace {
         let d = &self.dims;
         let pow2_index = |dim: usize, value: u64, min: u64| {
             let idx = (value.trailing_zeros() - min.trailing_zeros()) as usize;
-            assert!(
-                idx < self.space.cardinality(dim),
-                "value {value} outside domain of dim {dim}"
-            );
+            assert!(idx < self.space.cardinality(dim), "value {value} outside domain of dim {dim}");
             idx
         };
         point[d.pes_x] = pow2_index(d.pes_x, cfg.pes_x, 1);

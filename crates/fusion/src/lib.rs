@@ -54,7 +54,10 @@ pub enum FusionSolver {
 }
 
 /// Options for the fusion pass.
-#[derive(Debug, Clone)]
+///
+/// `Eq`/`Hash` let evaluation caches key on the exact fusion configuration
+/// (all fields are integral, so float-hashing caveats don't apply).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct FusionOptions {
     /// Maximum binary variable count for the exact branch-and-bound path.
     pub exact_binary_limit: usize,
@@ -153,9 +156,8 @@ struct Eligibility {
 /// Computes which placements can possibly help (the variable pruning pass).
 fn eligibility(perf: &WorkloadPerf, window: usize) -> Vec<Eligibility> {
     let n = perf.regions.len();
-    let mut elig: Vec<Eligibility> = (0..n)
-        .map(|_| Eligibility { input: false, output: false, weight: false })
-        .collect();
+    let mut elig: Vec<Eligibility> =
+        (0..n).map(|_| Eligibility { input: false, output: false, weight: false }).collect();
     for (i, r) in perf.regions.iter().enumerate() {
         // Input from GM only if the producer ran within the residency window.
         if let Some(j) = r.primary_input {
@@ -169,9 +171,8 @@ fn eligibility(perf: &WorkloadPerf, window: usize) -> Vec<Eligibility> {
     }
     // Output to GM only if some in-window successor consumes it.
     for i in 0..n {
-        let consumer_ok = (i + 1..n.min(i + window + 1)).any(|k| {
-            elig[k].input && perf.regions[k].primary_input == Some(i)
-        });
+        let consumer_ok = (i + 1..n.min(i + window + 1))
+            .any(|k| elig[k].input && perf.regions[k].primary_input == Some(i));
         elig[i].output = consumer_ok && perf.regions[i].out_bytes > 0;
     }
     // Inputs whose producer cannot store: disable.
@@ -192,8 +193,7 @@ fn eligibility(perf: &WorkloadPerf, window: usize) -> Vec<Eligibility> {
 fn fused_input_charge(perf: &WorkloadPerf, i: usize, gm_bytes: u64) -> u64 {
     let r = &perf.regions[i];
     let blockable = r.row_streamable
-        && r.primary_input
-            .is_some_and(|j| j + 1 == i && perf.regions[j].row_streamable);
+        && r.primary_input.is_some_and(|j| j + 1 == i && perf.regions[j].row_streamable);
     if blockable {
         r.primary_in_bytes.min(gm_bytes / 4)
     } else {
@@ -212,11 +212,8 @@ fn capacity_rows(perf: &WorkloadPerf, gm_bytes: u64, placements: &[Placement]) -
         .filter(|(_, p)| p.weight_gm)
         .map(|(r, _)| r.weight_store_bytes)
         .sum();
-    let mut rows: Vec<u64> = perf
-        .regions
-        .iter()
-        .map(|r| r.resident_buffer_bytes + pinned)
-        .collect();
+    let mut rows: Vec<u64> =
+        perf.regions.iter().map(|r| r.resident_buffer_bytes + pinned).collect();
     for (i, (r, p)) in perf.regions.iter().zip(placements).enumerate() {
         if p.input_gm {
             if let Some(j) = r.primary_input {
@@ -296,8 +293,7 @@ fn greedy(perf: &WorkloadPerf, gm_bytes: u64, elig: &[Eligibility]) -> Vec<Place
     let mut placements = vec![Placement::default(); n];
     let mut pinned: u64 = 0;
     // Row usage excluding the global pinned term.
-    let mut row_local: Vec<u64> =
-        perf.regions.iter().map(|r| r.resident_buffer_bytes).collect();
+    let mut row_local: Vec<u64> = perf.regions.iter().map(|r| r.resident_buffer_bytes).collect();
     let max_local = |rows: &[u64]| rows.iter().copied().max().unwrap_or(0);
 
     #[derive(Clone, Copy)]
@@ -327,11 +323,8 @@ fn greedy(perf: &WorkloadPerf, gm_bytes: u64, elig: &[Eligibility]) -> Vec<Place
                     let before = time_of(&placements, i);
                     let mut cand = placements[i];
                     cand.weight_gm = true;
-                    let after = r.time_with_placements(
-                        cand.input_gm,
-                        cand.output_gm,
-                        cand.weight_gm,
-                    );
+                    let after =
+                        r.time_with_placements(cand.input_gm, cand.output_gm, cand.weight_gm);
                     let saved = before - after;
                     let density = saved / w.max(1) as f64;
                     if saved > 1e-15 && best.is_none_or(|(b, _)| density > b) {
@@ -342,8 +335,7 @@ fn greedy(perf: &WorkloadPerf, gm_bytes: u64, elig: &[Eligibility]) -> Vec<Place
             if elig[i].input && !placements[i].input_gm {
                 let j = r.primary_input.expect("eligible input has producer");
                 let bytes = fused_input_charge(perf, i, gm_bytes);
-                let fits = (j..=i)
-                    .all(|k| row_local[k] + bytes + pinned <= gm_bytes);
+                let fits = (j..=i).all(|k| row_local[k] + bytes + pinned <= gm_bytes);
                 if fits {
                     let mut before = time_of(&placements, i);
                     let mut cj = placements[j];
@@ -411,14 +403,14 @@ fn build_ilp(perf: &WorkloadPerf, gm_bytes: u64, elig: &[Eligibility]) -> (Probl
         t: Vec::with_capacity(n),
     };
 
-    for i in 0..n {
-        if elig[i].input {
+    for (i, e) in elig.iter().enumerate() {
+        if e.input {
             vars.p_in[i] = Some(prob.add_binary(format!("pI_{i}"), 0.0));
         }
-        if elig[i].output {
+        if e.output {
             vars.p_out[i] = Some(prob.add_binary(format!("pO_{i}"), 0.0));
         }
-        if elig[i].weight {
+        if e.weight {
             vars.p_w[i] = Some(prob.add_binary(format!("pW_{i}"), 0.0));
         }
     }
@@ -532,15 +524,15 @@ pub fn fuse_workload(
     let (placements, solver) = if n_binaries > 0 && n_binaries <= opts.exact_binary_limit {
         let (prob, vars) = build_ilp(perf, gm_bytes, &elig);
         let mut ws = vec![0.0; prob.num_vars()];
-        for i in 0..n {
+        for (i, w) in warm.iter().enumerate() {
             if let Some(v) = vars.p_in[i] {
-                ws[v.index()] = f64::from(u8::from(warm[i].input_gm));
+                ws[v.index()] = f64::from(u8::from(w.input_gm));
             }
             if let Some(v) = vars.p_out[i] {
-                ws[v.index()] = f64::from(u8::from(warm[i].output_gm));
+                ws[v.index()] = f64::from(u8::from(w.output_gm));
             }
             if let Some(v) = vars.p_w[i] {
-                ws[v.index()] = f64::from(u8::from(warm[i].weight_gm));
+                ws[v.index()] = f64::from(u8::from(w.weight_gm));
             }
         }
         for (i, r) in perf.regions.iter().enumerate() {
@@ -559,15 +551,15 @@ pub fn fuse_workload(
         match sol.status {
             MilpStatus::Optimal | MilpStatus::Incumbent => {
                 let mut placements = vec![Placement::default(); n];
-                for i in 0..n {
+                for (i, p) in placements.iter_mut().enumerate() {
                     if let Some(v) = vars.p_in[i] {
-                        placements[i].input_gm = sol.values[v.index()] > 0.5;
+                        p.input_gm = sol.values[v.index()] > 0.5;
                     }
                     if let Some(v) = vars.p_out[i] {
-                        placements[i].output_gm = sol.values[v.index()] > 0.5;
+                        p.output_gm = sol.values[v.index()] > 0.5;
                     }
                     if let Some(v) = vars.p_w[i] {
-                        placements[i].weight_gm = sol.values[v.index()] > 0.5;
+                        p.weight_gm = sol.values[v.index()] > 0.5;
                     }
                 }
                 let status = if sol.status == MilpStatus::Optimal {

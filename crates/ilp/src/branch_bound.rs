@@ -168,13 +168,21 @@ pub fn solve_milp(problem: &Problem, options: &SolveOptions) -> MilpSolution {
 
     match best_x {
         Some(values) => MilpSolution {
-            status: if proven && stack.is_empty() { MilpStatus::Optimal } else { MilpStatus::Incumbent },
+            status: if proven && stack.is_empty() {
+                MilpStatus::Optimal
+            } else {
+                MilpStatus::Incumbent
+            },
             objective: best_obj,
             values,
             nodes_explored,
         },
         None => MilpSolution {
-            status: if proven && stack.is_empty() { MilpStatus::Infeasible } else { MilpStatus::Unknown },
+            status: if proven && stack.is_empty() {
+                MilpStatus::Infeasible
+            } else {
+                MilpStatus::Unknown
+            },
             objective: f64::INFINITY,
             values: vec![0.0; problem.num_vars()],
             nodes_explored,
@@ -253,7 +261,10 @@ mod tests {
         p.add_constraint("cap", terms, Sense::Le, 7.0);
         let opts = SolveOptions { max_nodes: 5, ..SolveOptions::default() };
         let s = solve_milp(&p, &opts);
-        assert!(matches!(s.status, MilpStatus::Incumbent | MilpStatus::Unknown | MilpStatus::Optimal));
+        assert!(matches!(
+            s.status,
+            MilpStatus::Incumbent | MilpStatus::Unknown | MilpStatus::Optimal
+        ));
         if s.status != MilpStatus::Unknown {
             assert!(p.is_feasible(&s.values, 1e-6));
         }
@@ -270,11 +281,8 @@ mod tests {
         ];
         for (values, weights, cap) in cases {
             let mut p = Problem::new("bf");
-            let vars: Vec<_> = values
-                .iter()
-                .enumerate()
-                .map(|(i, &v)| p.add_binary(format!("x{i}"), v))
-                .collect();
+            let vars: Vec<_> =
+                values.iter().enumerate().map(|(i, &v)| p.add_binary(format!("x{i}"), v)).collect();
             let terms: Vec<_> = vars.iter().zip(&weights).map(|(&v, &w)| (v, w)).collect();
             p.add_constraint("cap", terms, Sense::Le, cap);
             let s = solve_milp(&p, &SolveOptions::default());

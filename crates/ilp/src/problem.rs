@@ -188,9 +188,7 @@ impl Problem {
         for (v, &xi) in self.vars.iter().zip(x) {
             match v.kind {
                 VarKind::Binary => {
-                    if !(xi > -tol && xi < 1.0 + tol)
-                        || (xi - xi.round()).abs() > tol
-                    {
+                    if !(xi > -tol && xi < 1.0 + tol) || (xi - xi.round()).abs() > tol {
                         return false;
                     }
                 }

@@ -319,8 +319,8 @@ impl Tableau {
         // Phase 1: drive artificials to zero.
         if self.artificial_start < self.cols {
             let mut phase1 = vec![0.0; self.cols];
-            for c in self.artificial_start..self.cols {
-                phase1[c] = 1.0;
+            for cost in &mut phase1[self.artificial_start..] {
+                *cost = 1.0;
             }
             self.load_costs(&phase1);
             let st = self.iterate(true, max_iters);
@@ -371,7 +371,11 @@ impl Tableau {
         }
         let objective = problem.objective_value(&x);
         LpSolution {
-            status: if status == LpStatus::IterLimit { LpStatus::IterLimit } else { LpStatus::Optimal },
+            status: if status == LpStatus::IterLimit {
+                LpStatus::IterLimit
+            } else {
+                LpStatus::Optimal
+            },
             objective,
             values: x,
         }

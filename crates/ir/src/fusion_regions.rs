@@ -259,7 +259,8 @@ fn build_from_partition(graph: &Graph, partition: &[Vec<NodeId>]) -> RegionGraph
     let consumers = graph.consumers();
 
     // Order regions by the topological position of their first member.
-    let mut order: Vec<usize> = (0..partition.len()).filter(|&i| !partition[i].is_empty()).collect();
+    let mut order: Vec<usize> =
+        (0..partition.len()).filter(|&i| !partition[i].is_empty()).collect();
     order.sort_by_key(|&i| partition[i].first().map(|n| n.index()).unwrap_or(usize::MAX));
     let mut new_index = vec![usize::MAX; partition.len()];
     for (new, &old) in order.iter().enumerate() {
@@ -267,7 +268,8 @@ fn build_from_partition(graph: &Graph, partition: &[Vec<NodeId>]) -> RegionGraph
     }
 
     let mut regions: Vec<Region> = Vec::with_capacity(order.len());
-    let mut edge_map: std::collections::BTreeMap<(u32, u32), u64> = std::collections::BTreeMap::new();
+    let mut edge_map: std::collections::BTreeMap<(u32, u32), u64> =
+        std::collections::BTreeMap::new();
 
     for (new, &old) in order.iter().enumerate() {
         let members = &partition[old];
@@ -340,11 +342,7 @@ fn build_from_partition(graph: &Graph, partition: &[Vec<NodeId>]) -> RegionGraph
 
     let edges = edge_map
         .into_iter()
-        .map(|((from, to), bytes)| RegionEdge {
-            from: RegionId(from),
-            to: RegionId(to),
-            bytes,
-        })
+        .map(|((from, to), bytes)| RegionEdge { from: RegionId(from), to: RegionId(to), bytes })
         .collect();
     RegionGraph { regions, edges }
 }
@@ -384,10 +382,7 @@ mod tests {
         let add = g.residual_add("add", c2, c1).unwrap();
         g.mark_output(add);
         let rg = build_regions(&g);
-        let c2_region = rg
-            .compute_regions()
-            .find(|r| r.name == "c2")
-            .expect("c2 region");
+        let c2_region = rg.compute_regions().find(|r| r.name == "c2").expect("c2 region");
         assert!(c2_region.nodes.contains(&add));
     }
 
@@ -402,11 +397,7 @@ mod tests {
         g.mark_output(cur);
         let rg = build_regions(&g);
         for r in rg.compute_regions() {
-            let n_matrix = r
-                .nodes
-                .iter()
-                .filter(|&&n| g.node(n).kind().is_matrix_op())
-                .count();
+            let n_matrix = r.nodes.iter().filter(|&&n| g.node(n).kind().is_matrix_op()).count();
             assert!(n_matrix <= 1);
         }
         assert_eq!(rg.compute_regions().count(), 6);
@@ -422,11 +413,7 @@ mod tests {
         let rg = build_regions(&g);
         let c1r = rg.compute_regions().find(|r| r.name == "c1").unwrap().id();
         let c2r = rg.compute_regions().find(|r| r.name == "c2").unwrap().id();
-        let e = rg
-            .edges()
-            .iter()
-            .find(|e| e.from == c1r && e.to == c2r)
-            .expect("edge");
+        let e = rg.edges().iter().find(|e| e.from == c1r && e.to == c2r).expect("edge");
         assert_eq!(e.bytes, 8 * 8 * 32 * 2);
         assert_eq!(rg.primary_input(c2r), Some(c1r));
     }

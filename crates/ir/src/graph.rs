@@ -1,13 +1,13 @@
 //! Operator graphs and their builder API.
 
 use crate::loop_nest::LoopNest;
+use crate::ops::DepthwiseConv2dGeom;
 use crate::ops::{self, infer_shape, OpKind};
 use crate::shape::Shape;
 use crate::{
     BatchMatMulGeom, Conv2dGeom, DType, EwKind, IrError, MatMulGeom, NormKind, PoolGeom, PoolKind,
     SoftmaxGeom,
 };
-use crate::ops::DepthwiseConv2dGeom;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -712,9 +712,7 @@ mod tests {
     fn loop_nest_for_depthwise_uses_kernel_as_reduction() {
         let mut g = Graph::new("t", DType::Bf16);
         let x = g.input("x", [1, 56, 56, 64]);
-        let d = g
-            .depthwise_conv2d("dw", x, DepthwiseConv2dGeom::same(56, 56, 64, 3, 1))
-            .unwrap();
+        let d = g.depthwise_conv2d("dw", x, DepthwiseConv2dGeom::same(56, 56, 64, 3, 1)).unwrap();
         let nest = g.loop_nest(d).unwrap();
         assert_eq!(nest.if_, 9);
         assert_eq!(nest.of, 64);

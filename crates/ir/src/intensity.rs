@@ -162,9 +162,7 @@ mod tests {
         let mut g = Graph::new("ds", DType::Bf16);
         let x = g.input("x", [1, 28, 28, 96]);
         g.begin_group("block");
-        let d = g
-            .depthwise_conv2d("dw", x, DepthwiseConv2dGeom::same(28, 28, 96, 3, 1))
-            .unwrap();
+        let d = g.depthwise_conv2d("dw", x, DepthwiseConv2dGeom::same(28, 28, 96, 3, 1)).unwrap();
         let s = g.swish("sw", d).unwrap();
         let p = g.conv2d("pw", s, Conv2dGeom::same(28, 28, 96, 32, 1, 1)).unwrap();
         g.end_group();
@@ -193,12 +191,7 @@ mod tests {
         let mut last = 0.0;
         for s in FusionStrategy::ALL {
             let r = operational_intensity(&g, s);
-            assert!(
-                r.intensity >= last,
-                "{}: {} < {last}",
-                s.label(),
-                r.intensity
-            );
+            assert!(r.intensity >= last, "{}: {} < {last}", s.label(), r.intensity);
             last = r.intensity;
         }
     }

@@ -38,15 +38,8 @@ pub enum LoopDim {
 
 impl LoopDim {
     /// All seven dimensions in canonical order.
-    pub const ALL: [LoopDim; 7] = [
-        LoopDim::B,
-        LoopDim::Oh,
-        LoopDim::Ow,
-        LoopDim::If,
-        LoopDim::Of,
-        LoopDim::Kh,
-        LoopDim::Kw,
-    ];
+    pub const ALL: [LoopDim; 7] =
+        [LoopDim::B, LoopDim::Oh, LoopDim::Ow, LoopDim::If, LoopDim::Of, LoopDim::Kh, LoopDim::Kw];
 
     /// Whether iterating this dimension reduces into the same output element.
     #[must_use]

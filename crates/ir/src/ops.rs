@@ -275,10 +275,7 @@ impl EwKind {
     /// the VPU by `fast-sim`).
     #[must_use]
     pub const fn is_transcendental(self) -> bool {
-        matches!(
-            self,
-            EwKind::Gelu | EwKind::Swish | EwKind::Sigmoid | EwKind::Tanh | EwKind::Exp
-        )
+        matches!(self, EwKind::Gelu | EwKind::Swish | EwKind::Sigmoid | EwKind::Tanh | EwKind::Exp)
     }
 }
 
@@ -533,10 +530,7 @@ pub(crate) fn infer_shape(
             let [x] = take::<1>(inputs).ok_or_else(|| arity_err(1))?;
             let d = x.dims();
             if d.len() != 4 || d[1] != g.in_h || d[2] != g.in_w || d[3] != g.in_ch {
-                return Err(mismatch(
-                    format!("[B,{},{},{}]", g.in_h, g.in_w, g.in_ch),
-                    x,
-                ));
+                return Err(mismatch(format!("[B,{},{},{}]", g.in_h, g.in_w, g.in_ch), x));
             }
             Ok(Shape::from(vec![d[0], g.out_h(), g.out_w(), g.out_ch]))
         }
@@ -544,10 +538,7 @@ pub(crate) fn infer_shape(
             let [x] = take::<1>(inputs).ok_or_else(|| arity_err(1))?;
             let d = x.dims();
             if d.len() != 4 || d[1] != g.in_h || d[2] != g.in_w || d[3] != g.channels {
-                return Err(mismatch(
-                    format!("[B,{},{},{}]", g.in_h, g.in_w, g.channels),
-                    x,
-                ));
+                return Err(mismatch(format!("[B,{},{},{}]", g.in_h, g.in_w, g.channels), x));
             }
             Ok(Shape::from(vec![d[0], g.out_h(), g.out_w(), g.channels]))
         }
@@ -606,10 +597,7 @@ pub(crate) fn infer_shape(
             let [x] = take::<1>(inputs).ok_or_else(|| arity_err(1))?;
             let d = x.dims();
             if d.len() != 4 || d[1] != g.in_h || d[2] != g.in_w || d[3] != g.channels {
-                return Err(mismatch(
-                    format!("[B,{},{},{}]", g.in_h, g.in_w, g.channels),
-                    x,
-                ));
+                return Err(mismatch(format!("[B,{},{},{}]", g.in_h, g.in_w, g.channels), x));
             }
             Ok(Shape::from(vec![d[0], g.out_h(), g.out_w(), g.channels]))
         }

@@ -55,7 +55,7 @@ impl GraphStats {
         }
         let mut flops_by_class: Vec<(String, u64)> =
             by_class.into_iter().map(|(k, v)| (k.to_string(), v)).collect();
-        flops_by_class.sort_by(|a, b| b.1.cmp(&a.1));
+        flops_by_class.sort_by_key(|&(_, f)| std::cmp::Reverse(f));
         GraphStats {
             name: graph.name().to_string(),
             nodes: graph.len(),
@@ -97,17 +97,15 @@ impl GraphStats {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Conv2dGeom, DType, Graph};
     use crate::ops::DepthwiseConv2dGeom;
+    use crate::{Conv2dGeom, DType, Graph};
 
     #[test]
     fn stats_capture_working_set_and_classes() {
         let mut g = Graph::new("t", DType::Bf16);
         let x = g.input("x", [1, 32, 32, 16]);
         let c = g.conv2d("c", x, Conv2dGeom::same(32, 32, 16, 64, 3, 2)).unwrap();
-        let d = g
-            .depthwise_conv2d("dw", c, DepthwiseConv2dGeom::same(16, 16, 64, 3, 1))
-            .unwrap();
+        let d = g.depthwise_conv2d("dw", c, DepthwiseConv2dGeom::same(16, 16, 64, 3, 1)).unwrap();
         g.mark_output(d);
         let s = GraphStats::of(&g);
         assert_eq!(s.nodes, 3);

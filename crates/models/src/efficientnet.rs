@@ -200,11 +200,8 @@ fn mbconv_block(
 
     // Expansion (skipped when expand ratio is 1, as in stage 0).
     let expanded = if expand != 1 {
-        let e = g.conv2d(
-            format!("{name}.expand"),
-            input,
-            Conv2dGeom::same(h, w, in_ch, mid_ch, 1, 1),
-        )?;
+        let e =
+            g.conv2d(format!("{name}.expand"), input, Conv2dGeom::same(h, w, in_ch, mid_ch, 1, 1))?;
         g.swish(format!("{name}.expand_swish"), e)?
     } else {
         input

@@ -6,7 +6,7 @@
 //! * **OCR-RPN** — the region-proposal stage of a standard Mask R-CNN text
 //!   spotter. We synthesize it faithfully from the public Mask R-CNN recipe:
 //!   a ResNet-50 backbone over a large page image, an FPN neck (lateral 1×1
-//!   + 3×3 smoothing convs; the cheap top-down element-wise merges are
+//!   plus 3×3 smoothing convs; the cheap top-down element-wise merges are
 //!   omitted), and the shared 3×3 + dual 1×1 RPN head at five pyramid levels.
 //! * **OCR-Recognizer** — an LSTM-based line recognizer. We synthesize a
 //!   CRNN-style model: a convolutional feature extractor over a text-line
@@ -56,11 +56,8 @@ pub fn build_ocr_rpn(batch: u64) -> Result<Graph, IrError> {
             let c1 =
                 g.conv2d(format!("{name}.conv1"), pre, Conv2dGeom::same(h, h, in_ch, width, 1, 1))?;
             let r1 = g.relu(format!("{name}.relu1"), c1)?;
-            let c2 = g.conv2d(
-                format!("{name}.conv2"),
-                r1,
-                Conv2dGeom::same(h, h, width, width, 3, s),
-            )?;
+            let c2 =
+                g.conv2d(format!("{name}.conv2"), r1, Conv2dGeom::same(h, h, width, width, 3, s))?;
             let oh = h.div_ceil(s);
             let r2 = g.relu(format!("{name}.relu2"), c2)?;
             let c3 = g.conv2d(
@@ -92,11 +89,8 @@ pub fn build_ocr_rpn(batch: u64) -> Result<Graph, IrError> {
         let name = format!("fpn.p{}", level + 2);
         let lat =
             g.conv2d(format!("{name}.lateral"), feat, Conv2dGeom::same(s, s, ch, fpn_ch, 1, 1))?;
-        let smooth = g.conv2d(
-            format!("{name}.smooth"),
-            lat,
-            Conv2dGeom::same(s, s, fpn_ch, fpn_ch, 3, 1),
-        )?;
+        let smooth =
+            g.conv2d(format!("{name}.smooth"), lat, Conv2dGeom::same(s, s, fpn_ch, fpn_ch, 3, 1))?;
         pyramid.push((smooth, s));
     }
     let &(p5, s5) = pyramid.last().expect("pyramid nonempty");
@@ -248,7 +242,14 @@ fn lstm_direction(
         let combined = g.pool(
             sp("gate_combine"),
             grid,
-            PoolGeom { kind: PoolKind::GlobalAvg, in_h: 2, in_w: 2, channels: LSTM_HIDDEN, k: 0, stride: 0 },
+            PoolGeom {
+                kind: PoolKind::GlobalAvg,
+                in_h: 2,
+                in_w: 2,
+                channels: LSTM_HIDDEN,
+                k: 0,
+                stride: 0,
+            },
         )?;
         let cell = g.reshape(sp("cell"), combined, [batch, LSTM_HIDDEN])?;
         let mixed = g.binary(sp("cell_mix"), EwKind::Mul, cell, hidden)?;

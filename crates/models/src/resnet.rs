@@ -41,8 +41,7 @@ pub fn build_resnet50v2(batch: u64, resolution: u64) -> Result<Graph, IrError> {
             let s = if b == 0 { stride } else { 1 };
             let name = format!("s{stage}b{b}");
             g.begin_group(name.clone());
-            let (next, nh, nw) =
-                bottleneck_v2(&mut g, &name, cur, h, w, in_ch, width, out_ch, s)?;
+            let (next, nh, nw) = bottleneck_v2(&mut g, &name, cur, h, w, in_ch, width, out_ch, s)?;
             g.end_group();
             cur = next;
             h = nh;
@@ -85,11 +84,7 @@ fn bottleneck_v2(
         g.conv2d(format!("{name}.conv3"), r2, Conv2dGeom::same(oh, ow, width, out_ch, 1, 1))?;
 
     let shortcut = if stride != 1 || in_ch != out_ch {
-        g.conv2d(
-            format!("{name}.shortcut"),
-            pre,
-            Conv2dGeom::same(h, w, in_ch, out_ch, 1, stride),
-        )?
+        g.conv2d(format!("{name}.shortcut"), pre, Conv2dGeom::same(h, w, in_ch, out_ch, 1, stride))?
     } else {
         input
     };
@@ -107,7 +102,7 @@ mod tests {
         let g = build_resnet50v2(1, 224).unwrap();
         g.validate().unwrap();
         assert_eq!(g.group_names().len(), 16); // 3+4+6+3 blocks
-        // ≈ 25.5 M parameters.
+                                               // ≈ 25.5 M parameters.
         let params = g.total_weight_bytes() as f64 / 2.0 / 1e6;
         assert!((23.0..28.0).contains(&params), "params {params}M");
         // ≈ 4.1 GMACs -> 8.2 GFLOPs.

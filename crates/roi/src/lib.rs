@@ -74,8 +74,7 @@ impl RoiModel {
     #[must_use]
     pub fn tco_per_accelerator(&self) -> f64 {
         let kwh_per_year = self.accelerator_kw * 24.0 * 365.0;
-        self.accelerator_price
-            + self.lifetime_years * kwh_per_year * self.electricity_per_kwh
+        self.accelerator_price + self.lifetime_years * kwh_per_year * self.electricity_per_kwh
     }
 
     /// Baseline fleet TCO for `n` accelerators (Eq. 1).

@@ -115,8 +115,7 @@ impl Optimizer for LcsSwarm {
         };
         let (particle, point) = self.pending.swap_remove(pos);
         if let TrialResult::Valid(obj) = trial.result {
-            let better_personal =
-                self.personal[particle].as_ref().is_none_or(|(_, b)| obj > *b);
+            let better_personal = self.personal[particle].as_ref().is_none_or(|(_, b)| obj > *b);
             if better_personal {
                 self.personal[particle] = Some((point.clone(), obj));
             }
@@ -183,11 +182,8 @@ impl Optimizer for Tpe {
     }
 
     fn propose(&mut self, space: &ParamSpace, rng: &mut StdRng) -> Vec<usize> {
-        let valid: Vec<(&Vec<usize>, f64)> = self
-            .history
-            .iter()
-            .filter_map(|(p, o)| o.map(|o| (p, o)))
-            .collect();
+        let valid: Vec<(&Vec<usize>, f64)> =
+            self.history.iter().filter_map(|(p, o)| o.map(|o| (p, o))).collect();
         if self.history.len() < self.startup || valid.len() < 4 {
             return space.sample(rng);
         }
@@ -207,10 +203,10 @@ impl Optimizer for Tpe {
         for _ in 0..self.candidates {
             // Sample a candidate from the good density.
             let mut cand = Vec::with_capacity(space.len());
-            for d in 0..space.len() {
+            for dens in &good_d {
                 let mut r: f64 = rng.gen();
                 let mut idx = 0;
-                for (i, &p) in good_d[d].iter().enumerate() {
+                for (i, &p) in dens.iter().enumerate() {
                     if r < p {
                         idx = i;
                         break;
@@ -221,9 +217,8 @@ impl Optimizer for Tpe {
                 cand.push(idx);
             }
             // Score by log density ratio.
-            let score: f64 = (0..space.len())
-                .map(|d| (good_d[d][cand[d]] / bad_d[d][cand[d]]).ln())
-                .sum();
+            let score: f64 =
+                (0..space.len()).map(|d| (good_d[d][cand[d]] / bad_d[d][cand[d]]).ln()).sum();
             if best.as_ref().is_none_or(|(s, _)| score > *s) {
                 best = Some((score, cand));
             }
@@ -294,13 +289,7 @@ mod tests {
             let mut long = mk();
             let b_short = run(short.as_mut(), 20, 3);
             let b_long = run(long.as_mut(), 300, 3);
-            assert!(
-                b_long >= b_short,
-                "{}: long {} < short {}",
-                long.name(),
-                b_long,
-                b_short
-            );
+            assert!(b_long >= b_short, "{}: long {} < short {}", long.name(), b_long, b_short);
             assert!(b_long > 4.0, "{}: best {}", long.name(), b_long);
         }
     }
@@ -310,11 +299,7 @@ mod tests {
         let trials = 150;
         let seeds = [1u64, 2, 3, 4, 5, 6, 7, 8];
         let avg = |mk: &dyn Fn() -> Box<dyn Optimizer>| {
-            seeds
-                .iter()
-                .map(|&s| run(mk().as_mut(), trials, s))
-                .sum::<f64>()
-                / seeds.len() as f64
+            seeds.iter().map(|&s| run(mk().as_mut(), trials, s)).sum::<f64>() / seeds.len() as f64
         };
         let random = avg(&|| Box::new(RandomSearch::new()));
         let lcs = avg(&|| Box::new(LcsSwarm::default()));

@@ -34,7 +34,9 @@ pub mod study;
 pub use algorithms::{LcsSwarm, RandomSearch, Tpe};
 pub use optimizer::{Optimizer, Trial, TrialResult};
 pub use space::{ParamDef, ParamDomain, ParamSpace};
-pub use study::{convergence_band, run_study, ConvergenceBand, StudyResult};
+pub use study::{
+    convergence_band, run_study, run_study_batched, trial_rng, ConvergenceBand, StudyResult,
+};
 
 #[cfg(test)]
 mod proptests {

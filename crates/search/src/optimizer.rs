@@ -47,6 +47,31 @@ pub trait Optimizer {
 
     /// Records the outcome of a proposed point.
     fn observe(&mut self, space: &ParamSpace, trial: &Trial);
+
+    /// Proposes one point per RNG in `rngs`, for batched (possibly parallel)
+    /// evaluation. `rngs[i]` is the dedicated generator of the batch's i-th
+    /// trial, derived by the study driver from the study seed and the global
+    /// trial index — so proposals depend only on (seed, trial index,
+    /// observation history), never on evaluation timing.
+    ///
+    /// The default implementation calls [`Optimizer::propose`] once per RNG,
+    /// in order, preserving every existing algorithm's behavior; algorithms
+    /// with a smarter batch policy (e.g. diversity-aware swarms) can
+    /// override it.
+    fn propose_batch(&mut self, space: &ParamSpace, rngs: &mut [StdRng]) -> Vec<Vec<usize>> {
+        rngs.iter_mut().map(|rng| self.propose(space, rng)).collect()
+    }
+
+    /// Records a batch of completed trials, in proposal order.
+    ///
+    /// The default implementation forwards to [`Optimizer::observe`] one
+    /// trial at a time, so sequential and batched studies feed algorithms
+    /// identical observation streams.
+    fn observe_batch(&mut self, space: &ParamSpace, trials: &[Trial]) {
+        for trial in trials {
+            self.observe(space, trial);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -151,10 +151,7 @@ impl ParamSpace {
     #[must_use]
     pub fn contains(&self, point: &[usize]) -> bool {
         point.len() == self.params.len()
-            && point
-                .iter()
-                .zip(&self.params)
-                .all(|(&i, p)| i < p.domain.cardinality())
+            && point.iter().zip(&self.params).all(|(&i, p)| i < p.domain.cardinality())
     }
 }
 

@@ -24,6 +24,22 @@ pub struct StudyResult {
     pub trials: Vec<Trial>,
 }
 
+/// Derives the dedicated RNG of one trial from the study seed and the
+/// trial's global index.
+///
+/// This is the determinism contract of batched/parallel studies: a trial's
+/// random stream depends only on `(seed, trial_index)`, never on thread
+/// scheduling or batch boundaries, so a parallel run reproduces the serial
+/// run trial for trial. SplitMix64 mixing keeps nearby `(seed, index)` pairs
+/// statistically unrelated.
+#[must_use]
+pub fn trial_rng(seed: u64, trial_index: usize) -> StdRng {
+    let mut x = seed ^ (trial_index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    StdRng::seed_from_u64(x ^ (x >> 31))
+}
+
 /// Runs `optimizer` for `n_trials` evaluations of `objective`, seeded for
 /// reproducibility.
 pub fn run_study<F>(
@@ -70,6 +86,78 @@ where
     }
 }
 
+/// Runs `optimizer` for `n_trials` evaluations in rounds of `batch_size`
+/// proposals, handing each round to `evaluate_batch` as a slice.
+///
+/// Unlike [`run_study`] (one shared RNG threaded through every proposal),
+/// every trial gets its own generator from [`trial_rng`], so the caller may
+/// evaluate a round's points concurrently — or serially — and obtain
+/// bit-identical results: `evaluate_batch` must return one [`TrialResult`]
+/// per point, in proposal order, and everything else is sequenced here.
+/// With `batch_size == 1` the observation stream the optimizer sees is
+/// identical to a sequential per-trial-RNG study; larger batches trade
+/// observation freshness (the optimizer observes a whole round at once) for
+/// evaluation parallelism, which is the standard batched black-box-search
+/// compromise.
+pub fn run_study_batched<F>(
+    space: &ParamSpace,
+    optimizer: &mut dyn Optimizer,
+    n_trials: usize,
+    batch_size: usize,
+    seed: u64,
+    mut evaluate_batch: F,
+) -> StudyResult
+where
+    F: FnMut(&[Vec<usize>]) -> Vec<TrialResult>,
+{
+    let batch_size = batch_size.max(1);
+    let mut best: Option<(Vec<usize>, f64)> = None;
+    let mut convergence = Vec::with_capacity(n_trials);
+    let mut invalid = 0;
+    let mut trials = Vec::with_capacity(n_trials);
+
+    let mut start = 0;
+    while start < n_trials {
+        let round = batch_size.min(n_trials - start);
+        let mut rngs: Vec<StdRng> = (start..start + round).map(|i| trial_rng(seed, i)).collect();
+        let points = optimizer.propose_batch(space, &mut rngs);
+        assert_eq!(points.len(), round, "optimizer must propose one point per RNG");
+        debug_assert!(points.iter().all(|p| space.contains(p)));
+
+        let results = evaluate_batch(&points);
+        assert_eq!(results.len(), round, "evaluator must score every proposed point");
+
+        let round_trials: Vec<Trial> = points
+            .into_iter()
+            .zip(results)
+            .map(|(point, result)| Trial { point, result })
+            .collect();
+        for trial in &round_trials {
+            match trial.result {
+                TrialResult::Valid(obj) => {
+                    if best.as_ref().is_none_or(|(_, b)| obj > *b) {
+                        best = Some((trial.point.clone(), obj));
+                    }
+                }
+                TrialResult::Invalid => invalid += 1,
+            }
+            convergence.push(best.as_ref().map_or(f64::NAN, |(_, b)| *b));
+        }
+        optimizer.observe_batch(space, &round_trials);
+        trials.extend(round_trials);
+        start += round;
+    }
+
+    StudyResult {
+        optimizer: optimizer.name().to_string(),
+        best_point: best.as_ref().map(|(p, _)| p.clone()),
+        best_objective: best.map(|(_, b)| b),
+        convergence,
+        invalid_trials: invalid,
+        trials,
+    }
+}
+
 /// Aggregates convergence curves from repeated runs: per-trial mean and a
 /// normal-approximation confidence interval (Figure 11 plots mean and the
 /// 90 % CI across 5 runs).
@@ -94,11 +182,8 @@ pub fn convergence_band(curves: &[Vec<f64>], z: f64) -> ConvergenceBand {
     let mut lo = Vec::with_capacity(len);
     let mut hi = Vec::with_capacity(len);
     for t in 0..len {
-        let vals: Vec<f64> = curves
-            .iter()
-            .filter_map(|c| c.get(t).copied())
-            .filter(|v| v.is_finite())
-            .collect();
+        let vals: Vec<f64> =
+            curves.iter().filter_map(|c| c.get(t).copied()).filter(|v| v.is_finite()).collect();
         if vals.is_empty() {
             mean.push(f64::NAN);
             lo.push(f64::NAN);
@@ -133,9 +218,7 @@ mod tests {
     fn study_tracks_best_so_far_monotonically() {
         let s = space();
         let mut opt = RandomSearch::new();
-        let res = run_study(&s, &mut opt, 2000, 42, |p| {
-            TrialResult::Valid((p[0] + p[1]) as f64)
-        });
+        let res = run_study(&s, &mut opt, 2000, 42, |p| TrialResult::Valid((p[0] + p[1]) as f64));
         assert_eq!(res.convergence.len(), 2000);
         for w in res.convergence.windows(2) {
             assert!(w[1] >= w[0]);
@@ -164,10 +247,90 @@ mod tests {
         let s = space();
         let run = |seed| {
             let mut opt = LcsSwarm::default();
-            run_study(&s, &mut opt, 100, seed, |p| TrialResult::Valid(p[0] as f64))
-                .best_objective
+            run_study(&s, &mut opt, 100, seed, |p| TrialResult::Valid(p[0] as f64)).best_objective
         };
         assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn trial_rng_is_deterministic_and_distinct() {
+        use rand::RngCore as _;
+        assert_eq!(trial_rng(9, 4).next_u64(), trial_rng(9, 4).next_u64());
+        assert_ne!(trial_rng(9, 4).next_u64(), trial_rng(9, 5).next_u64());
+        assert_ne!(trial_rng(9, 4).next_u64(), trial_rng(10, 4).next_u64());
+    }
+
+    #[test]
+    fn batched_study_is_invariant_to_batch_size_for_random_search() {
+        // Random search ignores history, so with per-trial RNGs the proposal
+        // sequence — and therefore the whole study — must not depend on how
+        // trials are grouped into batches.
+        let s = space();
+        let run = |batch| {
+            let mut opt = RandomSearch::new();
+            run_study_batched(&s, &mut opt, 97, batch, 5, |points| {
+                points.iter().map(|p| TrialResult::Valid((p[0] * 3 + p[1]) as f64)).collect()
+            })
+        };
+        let a = run(1);
+        for batch in [2, 16, 97, 1000] {
+            let b = run(batch);
+            assert_eq!(a.best_point, b.best_point, "batch {batch}");
+            assert_eq!(a.convergence, b.convergence, "batch {batch}");
+            assert_eq!(
+                a.trials.iter().map(|t| &t.point).collect::<Vec<_>>(),
+                b.trials.iter().map(|t| &t.point).collect::<Vec<_>>(),
+                "batch {batch}"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_study_observes_every_trial() {
+        struct Counting {
+            observed: usize,
+            proposed: usize,
+        }
+        impl Optimizer for Counting {
+            fn name(&self) -> &'static str {
+                "counting"
+            }
+            fn propose(&mut self, space: &ParamSpace, rng: &mut StdRng) -> Vec<usize> {
+                self.proposed += 1;
+                space.sample(rng)
+            }
+            fn observe(&mut self, _space: &ParamSpace, _trial: &Trial) {
+                self.observed += 1;
+            }
+        }
+        let s = space();
+        let mut opt = Counting { observed: 0, proposed: 0 };
+        let res = run_study_batched(&s, &mut opt, 23, 4, 0, |points| {
+            points.iter().map(|_| TrialResult::Invalid).collect()
+        });
+        assert_eq!(opt.proposed, 23);
+        assert_eq!(opt.observed, 23);
+        assert_eq!(res.invalid_trials, 23);
+        assert_eq!(res.trials.len(), 23);
+        assert!(res.best_point.is_none());
+    }
+
+    #[test]
+    fn batched_study_matches_lcs_regardless_of_evaluation_order() {
+        // For history-driven optimizers the guarantee is: same batch size,
+        // same seed => same study, no matter how the evaluator computes a
+        // round (the driver may parallelize internally).
+        let s = space();
+        let run = || {
+            let mut opt = LcsSwarm::default();
+            run_study_batched(&s, &mut opt, 80, 8, 11, |points| {
+                points.iter().map(|p| TrialResult::Valid((p[0] + p[1]) as f64)).collect()
+            })
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.best_objective, b.best_objective);
+        assert_eq!(a.convergence, b.convergence);
     }
 
     #[test]

@@ -279,8 +279,9 @@ pub fn simulate(
 ) -> Result<WorkloadPerf, ScheduleFailure> {
     let clock_hz = cfg.clock_ghz * 1e9 * opts.schedule_quality.efficiency();
     let bw = cfg.dram_bytes_per_sec_per_core();
-    let on_chip_bytes =
-        cfg.global_memory_bytes() + cfg.pes_per_core() * cfg.l1_bytes_per_pe() + cfg.pes_per_core() * cfg.l2_bytes_per_pe();
+    let on_chip_bytes = cfg.global_memory_bytes()
+        + cfg.pes_per_core() * cfg.l1_bytes_per_pe()
+        + cfg.pes_per_core() * cfg.l2_bytes_per_pe();
 
     let mut mapping_cache: HashMap<LoopNest, Mapping> = HashMap::new();
     let mut nodes = Vec::with_capacity(graph.len());
@@ -372,20 +373,15 @@ pub fn simulate(
             .unwrap_or(0)
             .min(r.external_in_bytes);
         let t_in = primary_in_bytes as f64 / bw;
-        let t_fixed =
-            (spill_bytes + (r.external_in_bytes - primary_in_bytes)) as f64 / bw;
+        let t_fixed = (spill_bytes + (r.external_in_bytes - primary_in_bytes)) as f64 / bw;
         let t_out = r.output_bytes as f64 / bw;
         let t_weight = r.weight_bytes as f64 / bw;
         let t_min = compute_seconds.max(t_fixed);
         let t_max = compute_seconds.max(t_fixed + t_in + t_out + t_weight);
-        let resident_buffer_bytes = if gm == 0 {
-            0
-        } else {
-            (r.external_in_bytes + r.output_bytes).min(gm / 8)
-        };
-        let primary_input = region_graph
-            .primary_input(r.id())
-            .and_then(|p| order_of.get(&p).copied());
+        let resident_buffer_bytes =
+            if gm == 0 { 0 } else { (r.external_in_bytes + r.output_bytes).min(gm / 8) };
+        let primary_input =
+            region_graph.primary_input(r.id()).and_then(|p| order_of.get(&p).copied());
         let row_streamable = r.nodes.iter().all(|&n| {
             matches!(
                 graph.node(n).kind(),
@@ -428,11 +424,8 @@ pub fn simulate(
         .find(|n| matches!(n.kind(), OpKind::Input))
         .map(|n| *n.shape().dims().first().unwrap_or(&1))
         .unwrap_or(1);
-    let matrix_flops: u64 = graph
-        .nodes()
-        .filter(|n| n.kind().is_matrix_op())
-        .map(|n| graph.node_flops(n.id()))
-        .sum();
+    let matrix_flops: u64 =
+        graph.nodes().filter(|n| n.kind().is_matrix_op()).map(|n| graph.node_flops(n.id())).sum();
 
     Ok(WorkloadPerf {
         workload: graph.name().to_string(),
@@ -502,10 +495,7 @@ mod tests {
         // coming from fusion (Figure 15's message).
         let tpu_qps = tpu.prefusion_qps();
         let fast_qps = fast.prefusion_qps();
-        assert!(
-            fast_qps > tpu_qps * 0.4,
-            "fast-large prefusion qps {fast_qps} vs tpu {tpu_qps}"
-        );
+        assert!(fast_qps > tpu_qps * 0.4, "fast-large prefusion qps {fast_qps} vs tpu {tpu_qps}");
         // And its compute-only time must be far better than TPU's.
         let tpu_compute_qps = (tpu.batch_per_core * tpu.cores) as f64 / tpu.compute_seconds;
         let fast_compute_qps = (fast.batch_per_core * fast.cores) as f64 / fast.compute_seconds;
@@ -535,18 +525,13 @@ mod tests {
     }
 
     #[test]
-    fn bert_softmax_share_grows_with_sequence_length(){
+    fn bert_softmax_share_grows_with_sequence_length() {
         let share = |seq: u64| {
             let p = sim_tpu(Workload::Bert { seq_len: seq }, 8);
-            let rows = p.time_by(|n| {
-                format!("{:?}", fast_models::BertComponent::of_node_name(&n.name))
-            });
+            let rows =
+                p.time_by(|n| format!("{:?}", fast_models::BertComponent::of_node_name(&n.name)));
             let total: f64 = rows.iter().map(|r| r.1).sum();
-            let softmax = rows
-                .iter()
-                .find(|r| r.0.contains("Softmax"))
-                .map(|r| r.1)
-                .unwrap_or(0.0);
+            let softmax = rows.iter().find(|r| r.0.contains("Softmax")).map(|r| r.1).unwrap_or(0.0);
             softmax / total
         };
         let s128 = share(128);

@@ -35,8 +35,20 @@ pub mod softmax;
 pub mod vector;
 
 pub use engine::{simulate, NodePerf, RegionPerf, SimOptions, WorkloadPerf};
+
+// The parallel search driver hands `simulate` inputs to worker threads and
+// collects its outputs across them; lock that thread-safety in at compile
+// time so a future `Rc`/`RefCell` can't silently break parallel studies.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<fast_ir::Graph>();
+    assert_send_sync::<fast_arch::DatapathConfig>();
+    assert_send_sync::<engine::SimOptions>();
+    assert_send_sync::<engine::WorkloadPerf>();
+    assert_send_sync::<error::ScheduleFailure>();
+};
 pub use error::ScheduleFailure;
-pub use power::{average_power_w, step_activity, step_energy, EnergyBreakdown, StepActivity};
 pub use mapper::{map_matrix_op, Dataflow, Mapping, PaddingMode};
+pub use power::{average_power_w, step_activity, step_energy, EnergyBreakdown, StepActivity};
 pub use softmax::{softmax_three_pass, softmax_two_pass};
 pub use vector::{cost_vector_op, SoftmaxMode, VectorCost};

@@ -114,8 +114,7 @@ fn cost_weight_stationary(nest: &LoopNest, cfg: &DatapathConfig) -> (u64, u64, u
         } else {
             (1, window.div_ceil(cfg.sa_x))
         };
-        let latches =
-            nest.weight_latches * nest.of.div_ceil(per_latch_channels) * row_tiles;
+        let latches = nest.weight_latches * nest.of.div_ceil(per_latch_channels) * row_tiles;
         (latches, stream.max(cfg.sa_x))
     } else {
         let reduction = nest.reduction_extent();
@@ -125,11 +124,8 @@ fn cost_weight_stationary(nest: &LoopNest, cfg: &DatapathConfig) -> (u64, u64, u
         // A pre-staged *weight* latch is double-buffered and overlaps with
         // streaming; an *activation* latch (attention einsums) has a data
         // dependency on the producing op and pays the fill serially (§4.3).
-        let per_tile = if nest.stationary_is_activation {
-            stream + cfg.sa_x
-        } else {
-            stream.max(cfg.sa_x)
-        };
+        let per_tile =
+            if nest.stationary_is_activation { stream + cfg.sa_x } else { stream.max(cfg.sa_x) };
         (latches, per_tile)
     };
     let total = latches.saturating_mul(per_tile);
@@ -257,13 +253,13 @@ pub fn map_matrix_op(
     check_l1(cfg, op)?;
     if padding == PaddingMode::Exact {
         let reduction = nest.reduction_extent();
-        if reduction % cfg.sa_x != 0 && reduction > cfg.sa_x {
+        if !reduction.is_multiple_of(cfg.sa_x) && reduction > cfg.sa_x {
             return Err(ScheduleFailure::DimensionDoesNotFactorize {
                 op: op.to_string(),
                 dim: format!("reduction {reduction} vs sa_x {}", cfg.sa_x),
             });
         }
-        if nest.of % cfg.sa_y != 0 && nest.of > cfg.sa_y {
+        if !nest.of.is_multiple_of(cfg.sa_y) && nest.of > cfg.sa_y {
             return Err(ScheduleFailure::DimensionDoesNotFactorize {
                 op: op.to_string(),
                 dim: format!("OF {} vs sa_y {}", nest.of, cfg.sa_y),
@@ -423,9 +419,7 @@ mod tests {
     fn exact_mode_fails_on_ragged_dims() {
         let cfg = presets::tpu_v3();
         let nest = nest_conv(1, 7, 100, 300, 3); // 900 reduction, OF 300
-        assert!(
-            map_matrix_op(&nest, &cfg, PaddingMode::Exact, DataflowSet::All, "c").is_err()
-        );
+        assert!(map_matrix_op(&nest, &cfg, PaddingMode::Exact, DataflowSet::All, "c").is_err());
         assert!(map_matrix_op(&nest, &cfg, PaddingMode::Pad, DataflowSet::All, "c").is_ok());
     }
 
@@ -436,8 +430,7 @@ mod tests {
         cfg.l1_weight_kib = 1;
         cfg.l1_output_kib = 1;
         let nest = nest_conv(1, 28, 256, 256, 1);
-        let err =
-            map_matrix_op(&nest, &cfg, PaddingMode::Pad, DataflowSet::All, "c").unwrap_err();
+        let err = map_matrix_op(&nest, &cfg, PaddingMode::Pad, DataflowSet::All, "c").unwrap_err();
         assert!(matches!(err, ScheduleFailure::WeightTileDoesNotFit { .. }));
     }
 

@@ -66,19 +66,14 @@ pub fn step_activity(perf: &WorkloadPerf, postfusion_dram_bytes: u64) -> StepAct
     // Every byte the fusion pass removed from DRAM becomes Global-Memory
     // traffic instead; staging traffic approximately doubles GM movement
     // (write then read).
-    let gm_bytes =
-        2 * perf.prefusion_dram_bytes.saturating_sub(postfusion_dram_bytes);
+    let gm_bytes = 2 * perf.prefusion_dram_bytes.saturating_sub(postfusion_dram_bytes);
     StepActivity { macs, vpu_ops, dram_bytes: postfusion_dram_bytes, gm_bytes }
 }
 
 /// Computes the energy of one step with activity `act` running for
 /// `step_seconds` on `cfg`.
 #[must_use]
-pub fn step_energy(
-    cfg: &DatapathConfig,
-    act: &StepActivity,
-    step_seconds: f64,
-) -> EnergyBreakdown {
+pub fn step_energy(cfg: &DatapathConfig, act: &StepActivity, step_seconds: f64) -> EnergyBreakdown {
     let macs_j = act.macs as f64 * tech::MAC_ENERGY_J;
     let vpu_j = act.vpu_ops as f64 * tech::VPU_LANE_ENERGY_J;
 
@@ -106,8 +101,7 @@ pub fn step_energy(
         / cfg.cores as f64;
     let leakage_j = leak_w * step_seconds;
 
-    let total_j =
-        (macs_j + vpu_j + l1_j + gm_j + dram_j + leakage_j) * tech::NOC_OVERHEAD;
+    let total_j = (macs_j + vpu_j + l1_j + gm_j + dram_j + leakage_j) * tech::NOC_OVERHEAD;
     EnergyBreakdown { macs_j, vpu_j, l1_j, gm_j, dram_j, leakage_j, total_j }
 }
 

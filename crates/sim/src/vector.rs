@@ -117,10 +117,9 @@ pub fn cost_vector_op(
             // Two reduction passes + normalize/scale.
             VectorCost { compute_cycles: cycles(out_elements * 6), spill_bytes: 0 }
         }
-        OpKind::Elementwise(k) => VectorCost {
-            compute_cycles: cycles(out_elements * ew_lane_ops(*k)),
-            spill_bytes: 0,
-        },
+        OpKind::Elementwise(k) => {
+            VectorCost { compute_cycles: cycles(out_elements * ew_lane_ops(*k)), spill_bytes: 0 }
+        }
         OpKind::Pool(g) => {
             let per_elem = match g.kind {
                 PoolKind::GlobalAvg => {
@@ -164,9 +163,7 @@ mod tests {
         let three = SoftmaxMode::ThreePass;
         let two = SoftmaxMode::TwoPass;
         assert!(two.lane_ops_per_element() > three.lane_ops_per_element());
-        assert!(
-            two.extra_spill_accesses_per_element() < three.extra_spill_accesses_per_element()
-        );
+        assert!(two.extra_spill_accesses_per_element() < three.extra_spill_accesses_per_element());
     }
 
     #[test]

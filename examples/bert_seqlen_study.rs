@@ -22,10 +22,7 @@ fn main() {
         let rows = perf.time_by(|n| format!("{:?}", BertComponent::of_node_name(&n.name)));
         let total: f64 = rows.iter().map(|r| r.1).sum();
         let share = |label: &str| {
-            rows.iter()
-                .find(|r| r.0.contains(label))
-                .map(|r| 100.0 * r.1 / total)
-                .unwrap_or(0.0)
+            rows.iter().find(|r| r.0.contains(label)).map(|r| 100.0 * r.1 / total).unwrap_or(0.0)
         };
         println!(
             "{:>6} {:>15.1}% {:>9.1}% {:>15.1}% {:>13.1}% {:>7.1}%",

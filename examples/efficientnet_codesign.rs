@@ -19,10 +19,11 @@ fn main() {
         trials: 250,
         optimizer: OptimizerKind::Lcs,
         seed: 42,
+        batch: 16,
         ..SearchConfig::default()
     };
     println!("searching {} trials over a 10^{:.0} datapath space ...", config.trials, 13.3);
-    let outcome = run_fast_search(&evaluator, &config);
+    let outcome = run_fast_search_parallel(&evaluator, &config);
 
     let best = outcome.best.expect("seeded search always finds a valid design");
     println!(
@@ -39,14 +40,21 @@ fn main() {
     println!("  L1 per PE     : {} KiB ({:?})", cfg.l1_bytes_per_pe() / 1024, cfg.l1_config);
     println!("  L2            : {:?}", cfg.l2_config);
     println!("  Global Memory : {} MiB", cfg.global_memory_mib);
-    println!("  GDDR6 channels: {} ({:.0} GB/s)", cfg.dram_channels, cfg.dram_bytes_per_sec() / 1e9);
+    println!(
+        "  GDDR6 channels: {} ({:.0} GB/s)",
+        cfg.dram_channels,
+        cfg.dram_bytes_per_sec() / 1e9
+    );
     println!("  batch         : {}", cfg.native_batch);
     println!("  peak compute  : {:.0} TFLOPS", cfg.peak_flops() / 1e12);
 
     let rel = relative_to_tpu(&cfg, &best.sim, workload, &budget).expect("evaluates");
     println!("\nvs TPU-v3 on {workload}:");
     println!("  throughput : {:.2}x", rel.speedup);
-    println!("  Perf/TDP   : {:.2}x (paper Figure 10 band for EfficientNets: 3.5-6.4x)", rel.perf_per_tdp);
+    println!(
+        "  Perf/TDP   : {:.2}x (paper Figure 10 band for EfficientNets: 3.5-6.4x)",
+        rel.perf_per_tdp
+    );
 
     // Convergence summary: best-so-far at a few checkpoints.
     print!("\nconvergence (best Perf/TDP objective): ");

@@ -16,15 +16,19 @@ fn main() {
         trials: 120,
         optimizer: OptimizerKind::Lcs,
         seed: 7,
+        batch: 16,
         ..SearchConfig::default()
     };
     println!(
-        "searching a single design for {} workloads ({} trials)...\n",
+        "searching a single design for {} workloads ({} trials, batches of {})...\n",
         suite.len(),
-        config.trials
+        config.trials,
+        config.batch
     );
-    let outcome = run_fast_search(&evaluator, &config);
+    let outcome = run_fast_search_parallel(&evaluator, &config);
     let best = outcome.best.expect("seeded search finds a valid design");
+    let stats = evaluator.cache_stats();
+    println!("evaluation cache: {} simulations, {} memoized re-scores\n", stats.misses, stats.hits);
 
     println!("multi-workload design:");
     let cfg = best.config;
@@ -43,7 +47,12 @@ fn main() {
     for &w in &suite {
         let rel = relative_to_tpu(&cfg, &best.sim, w, &budget).expect("evaluates");
         log_sum += rel.perf_per_tdp.ln();
-        println!("  {:16} {:>6.2}x throughput  {:>6.2}x Perf/TDP", w.name(), rel.speedup, rel.perf_per_tdp);
+        println!(
+            "  {:16} {:>6.2}x throughput  {:>6.2}x Perf/TDP",
+            w.name(),
+            rel.speedup,
+            rel.perf_per_tdp
+        );
     }
     println!(
         "  {:16} {:>6}   {:>9.2}x Perf/TDP (geomean)",

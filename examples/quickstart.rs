@@ -23,8 +23,8 @@ fn main() {
 
     let mut tpu_qps_per_w = 0.0;
     for (name, cfg, sim) in designs {
-        let report = design_report(name, &cfg, &sim, b7, &budget)
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let report =
+            design_report(name, &cfg, &sim, b7, &budget).unwrap_or_else(|e| panic!("{name}: {e}"));
         println!(
             "{:18} {:>9.0} {:>9.0} {:>8.2} {:>8.0} {:>7.1} {:>9.0} {:>9.2} {:>8.2}",
             report.name,
@@ -43,16 +43,16 @@ fn main() {
         } else {
             println!(
                 "{:18}   -> {:.2}x Perf/TDP vs TPU-v3 (paper Table 5: 3.9x)",
-                "", qps_per_w / tpu_qps_per_w
+                "",
+                qps_per_w / tpu_qps_per_w
             );
         }
     }
 
     println!("\nFusion detail for FAST-Large:");
     let evaluator = Evaluator::new(vec![b7], Objective::PerfPerTdp, budget);
-    let eval = evaluator
-        .evaluate(&presets::fast_large(), &SimOptions::default())
-        .expect("valid design");
+    let eval =
+        evaluator.evaluate(&presets::fast_large(), &SimOptions::default()).expect("valid design");
     let w = &eval.workloads[0];
     println!(
         "  memory stall {:.0}% -> {:.0}%, operational intensity {:.0} -> {:.0} FLOPS/B, \

@@ -11,10 +11,7 @@ fn main() {
     let model = RoiModel::paper_default();
 
     println!("NRE to build the accelerator: ${:.1} M", model.nre() / 1e6);
-    println!(
-        "baseline lifetime TCO per accelerator: ${:.0}\n",
-        model.tco_per_accelerator()
-    );
+    println!("baseline lifetime TCO per accelerator: ${:.0}\n", model.tco_per_accelerator());
 
     // Measure Perf/TCO gains (Perf/TDP proxy) for single-workload designs.
     let workloads = [
@@ -27,13 +24,8 @@ fn main() {
         "target workload", "Perf/TCO", "1x ROI", "2x ROI", "4x ROI", "8x ROI"
     );
     for w in workloads {
-        let rel = relative_to_tpu(
-            &presets::fast_large(),
-            &SimOptions::default(),
-            w,
-            &budget,
-        )
-        .expect("evaluates");
+        let rel = relative_to_tpu(&presets::fast_large(), &SimOptions::default(), w, &budget)
+            .expect("evaluates");
         let s = rel.perf_per_tdp;
         print!("{:18} {:>8.2}x", w.name(), s);
         for target in [1.0, 2.0, 4.0, 8.0] {

@@ -37,8 +37,7 @@ fn batching_crossover() {
         let g1 = w.build(1).unwrap();
         let g128 = w.build(128).unwrap();
         let i1 = fast::ir::operational_intensity(&g1, FusionStrategy::XlaDefault).intensity;
-        let i128 =
-            fast::ir::operational_intensity(&g128, FusionStrategy::XlaDefault).intensity;
+        let i128 = fast::ir::operational_intensity(&g128, FusionStrategy::XlaDefault).intensity;
         i128 / i1
     };
     let resnet = gain(Workload::ResNet50);
@@ -70,18 +69,9 @@ fn depthwise_dominates_tpu_runtime() {
 #[test]
 fn fast_large_b7_headline() {
     let budget = Budget::paper_default();
-    let rel = relative_to_tpu(
-        &presets::fast_large(),
-        &SimOptions::default(),
-        b7(),
-        &budget,
-    )
-    .unwrap();
-    assert!(
-        (2.5..9.0).contains(&rel.perf_per_tdp),
-        "B7 Perf/TDP vs TPU {}",
-        rel.perf_per_tdp
-    );
+    let rel =
+        relative_to_tpu(&presets::fast_large(), &SimOptions::default(), b7(), &budget).unwrap();
+    assert!((2.5..9.0).contains(&rel.perf_per_tdp), "B7 Perf/TDP vs TPU {}", rel.perf_per_tdp);
     assert!(rel.speedup > 2.5, "B7 speedup {}", rel.speedup);
 }
 
@@ -113,11 +103,7 @@ fn scheduling_and_fusion_alone_help_tpu() {
         ..SimOptions::tpu_baseline()
     };
     let rel = relative_to_tpu(&presets::tpu_v3(), &sim, Workload::ResNet50, &budget).unwrap();
-    assert!(
-        (1.2..3.0).contains(&rel.speedup),
-        "sched/fusion-only speedup {}",
-        rel.speedup
-    );
+    assert!((1.2..3.0).contains(&rel.speedup), "sched/fusion-only speedup {}", rel.speedup);
 }
 
 /// Fusion is the load-bearing component (Figure 15 / Table 6): removing it
@@ -126,10 +112,7 @@ fn scheduling_and_fusion_alone_help_tpu() {
 fn fusion_is_the_biggest_component() {
     let rows = ablation_study().unwrap();
     let rel_of = |label: &str| {
-        rows.iter()
-            .find(|r| r.label.contains(label))
-            .map(|r| r.per_workload[0].2)
-            .unwrap()
+        rows.iter().find(|r| r.label.contains(label)).map(|r| r.per_workload[0].2).unwrap()
     };
     let no_fusion = rel_of("Without FAST Fusion");
     let small_l1 = rel_of("32KB L1");
@@ -146,10 +129,8 @@ fn search_respects_budget_and_improves() {
         Objective::PerfPerTdp,
         budget,
     );
-    let seed_obj = evaluator
-        .evaluate(&presets::fast_large(), &SimOptions::default())
-        .unwrap()
-        .objective_value;
+    let seed_obj =
+        evaluator.evaluate(&presets::fast_large(), &SimOptions::default()).unwrap().objective_value;
     let outcome = run_fast_search(
         &evaluator,
         &SearchConfig { trials: 150, seed: 3, ..SearchConfig::default() },

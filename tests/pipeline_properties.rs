@@ -2,8 +2,8 @@
 //! random valid datapaths, random workloads — invariants that must hold for
 //! *every* design the search could visit.
 
-use fast::prelude::*;
 use fast::core::FastSpace;
+use fast::prelude::*;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

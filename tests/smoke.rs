@@ -1,0 +1,61 @@
+//! Tier-1 smoke tests: the quickstart pipeline end-to-end in seconds, so CI
+//! catches pipeline breaks without running the heavy paper-shape suite.
+//!
+//! Covers EfficientNet-B0 on the Table-3 FAST-Large preset through every
+//! stage: graph build → simulate → fuse → score → ROI, plus one tiny cached
+//! parallel search.
+
+use fast::core::{run_fast_search_parallel, SearchConfig};
+use fast::prelude::*;
+
+#[test]
+fn quickstart_pipeline_b0_end_to_end() {
+    // 1. Build: the workload graph materializes and validates.
+    let w = Workload::EfficientNet(EfficientNet::B0);
+    let graph = w.build(8).expect("B0 builds at batch 8");
+    graph.validate().expect("well-formed graph");
+    assert!(graph.total_flops() > 0);
+
+    // 2. Simulate: the Table-3 preset schedules every op.
+    let cfg = fast::arch::presets::fast_large();
+    let perf = simulate(&graph, &cfg, &SimOptions::default()).expect("preset schedules");
+    assert!(perf.prefusion_seconds > 0.0);
+    assert!(perf.compute_seconds <= perf.prefusion_seconds * (1.0 + 1e-9));
+
+    // 3. Fuse: never slower, never over Global-Memory capacity.
+    let fused = fuse_workload(&perf, &cfg, &FusionOptions::heuristic_only());
+    assert!(fused.total_seconds <= perf.prefusion_seconds * (1.0 + 1e-9));
+    assert!(fused.total_seconds >= perf.compute_seconds * (1.0 - 1e-9));
+    assert!(fused.peak_gm_bytes <= cfg.global_memory_bytes());
+
+    // 4. Score: the evaluator agrees with the hand-composed pipeline.
+    let evaluator = Evaluator::new(vec![w], Objective::PerfPerTdp, Budget::paper_default());
+    let eval = evaluator.evaluate(&cfg, &SimOptions::default()).expect("FAST-Large is in budget");
+    assert_eq!(eval.workloads[0].step_seconds.to_bits(), fused.total_seconds.to_bits());
+    assert!(eval.objective_value > 0.0);
+    assert!(eval.tdp_w > 0.0 && eval.area_mm2 > 0.0);
+
+    // 5. ROI: the §5.1 model produces a positive-return volume for a design
+    //    with a real speedup.
+    let roi = RoiModel::paper_default();
+    let speedup = 2.0;
+    let volume = roi.volume_for_roi(speedup, 1.0).expect("2x speedup pays back");
+    assert!(volume > 0.0);
+    assert!(roi.roi(volume * 2.0, speedup) > roi.roi(volume, speedup));
+}
+
+#[test]
+fn tiny_parallel_search_smokes() {
+    let evaluator = Evaluator::new(
+        vec![Workload::EfficientNet(EfficientNet::B0)],
+        Objective::PerfPerTdp,
+        Budget::paper_default(),
+    );
+    let out = run_fast_search_parallel(
+        &evaluator,
+        &SearchConfig { trials: 12, seed: 0, batch: 4, ..SearchConfig::default() },
+    );
+    assert_eq!(out.study.convergence.len(), 12);
+    let best = out.best.expect("seed designs guarantee a valid trial");
+    assert!(best.objective_value > 0.0);
+}

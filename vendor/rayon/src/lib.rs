@@ -1,0 +1,176 @@
+//! Offline shim for `rayon`.
+//!
+//! Implements the parallel-iterator subset the FAST driver uses
+//! (`par_iter`/`into_par_iter` → `map` → `collect`, plus `with_min_len` as a
+//! no-op) on OS threads via `std::thread::scope`. `map` executes eagerly over
+//! an index-claiming work queue, so uneven per-item costs (cheap cache hits
+//! next to full simulations) still load-balance across cores. Thread count
+//! honours `RAYON_NUM_THREADS`, defaulting to available parallelism.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub mod prelude {
+    //! The glob-import surface, mirroring `rayon::prelude`.
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Number of worker threads used for parallel execution.
+#[must_use]
+pub fn current_num_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        })
+}
+
+/// Runs `f` over every item on a pool of scoped threads, preserving order.
+fn par_map_vec<T: Send, R: Send, F: Fn(T) -> R + Sync>(items: Vec<T>, f: F) -> Vec<R> {
+    let n_items = items.len();
+    let threads = current_num_threads().min(n_items.max(1));
+    if threads <= 1 || n_items <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Hand out item slots by atomic index-claim: cheap, contention-free for
+    // coarse work, and naturally load-balancing for uneven item costs.
+    let slots: Vec<std::sync::Mutex<Option<T>>> =
+        items.into_iter().map(|t| std::sync::Mutex::new(Some(t))).collect();
+    let results: Vec<std::sync::Mutex<Option<R>>> =
+        (0..n_items).map(|_| std::sync::Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n_items {
+                    break;
+                }
+                let item = slots[i].lock().unwrap().take().expect("slot claimed once");
+                let out = f(item);
+                *results[i].lock().unwrap() = Some(out);
+            });
+        }
+    });
+
+    results.into_iter().map(|m| m.into_inner().unwrap().expect("all slots computed")).collect()
+}
+
+/// An eager "parallel iterator": adapters run immediately on the pool.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// Types convertible into a [`ParIter`] by value.
+pub trait IntoParallelIterator {
+    /// Item type produced.
+    type Item: Send;
+    /// Converts into the parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter { items: self.collect() }
+    }
+}
+
+/// Types whose references yield a [`ParIter`] of `&Item`.
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed item type.
+    type Item: Send + 'a;
+    /// Parallel iterator over references.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+/// The adapter/consumer surface (a small but faithful `ParallelIterator`).
+pub trait ParallelIterator: Sized {
+    /// Item type.
+    type Item: Send;
+
+    /// Consumes into the underlying ordered items.
+    fn into_items(self) -> Vec<Self::Item>;
+
+    /// Parallel map (eager: executes on the pool immediately).
+    fn map<R: Send, F: Fn(Self::Item) -> R + Sync + Send>(self, f: F) -> ParIter<R> {
+        ParIter { items: par_map_vec(self.into_items(), f) }
+    }
+
+    /// Compatibility no-op (the shim does not split ranges).
+    fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
+    /// Collects results in input order.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.into_items().into_iter().collect()
+    }
+}
+
+impl<T: Send> ParallelIterator for ParIter<T> {
+    type Item = T;
+    fn into_items(self) -> Vec<T> {
+        self.items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let out: Vec<usize> = v.into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let v = vec![1u64, 2, 3, 4];
+        let out: Vec<u64> = v.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![2, 3, 4, 5]);
+        assert_eq!(v.len(), 4); // still usable
+    }
+
+    #[test]
+    fn actually_uses_threads() {
+        let ids: Vec<std::thread::ThreadId> = (0..64usize)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|_| {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                std::thread::current().id()
+            })
+            .collect();
+        if super::current_num_threads() > 1 {
+            let distinct: std::collections::HashSet<_> = ids.into_iter().collect();
+            assert!(distinct.len() > 1, "expected multiple worker threads");
+        }
+    }
+}

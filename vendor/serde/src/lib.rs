@@ -1,0 +1,18 @@
+//! Offline shim for `serde`.
+//!
+//! The repo only uses serde as `#[derive(Serialize, Deserialize)]` markers —
+//! nothing actually serializes (there is no `serde_json` in the tree). The
+//! shim therefore exposes the two trait names with blanket impls plus no-op
+//! derive macros, which is the entire surface the codebase touches. Swap the
+//! `[workspace.dependencies]` path entries for registry versions to restore
+//! real serialization.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all types.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

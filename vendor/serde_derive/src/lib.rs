@@ -1,0 +1,18 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The workspace's `serde` shim gives `Serialize`/`Deserialize` blanket
+//! impls, so the derives have nothing to generate: they accept the item and
+//! emit no code. This keeps every `#[derive(Serialize, Deserialize)]` in the
+//! tree compiling without the real (network-fetched) serde stack.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
