@@ -22,6 +22,7 @@ fn main() {
         ("tab04", fast_bench::tables::tab04_roi_volumes),
         ("tab05", fast_bench::tables::tab05_example_designs),
         ("tab06", fast_bench::tables::tab06_ablation),
+        ("sweep", fast_bench::pareto_figs::sweep_budget_frontiers),
     ];
     for (name, f) in sections {
         let start = std::time::Instant::now();

@@ -1,0 +1,4 @@
+//! The scenario-sweep budget frontiers (Figure 9/10-style), standalone.
+fn main() {
+    println!("{}", fast_bench::pareto_figs::sweep_budget_frontiers());
+}

@@ -24,10 +24,12 @@
 //! | `tab04_roi_volumes` | Table 4 — volumes for ROI targets |
 //! | `tab05_example_designs` | Table 5 — example designs |
 //! | `tab06_ablation` | Table 6 — FAST-Large ablation |
+//! | `sweep_frontiers` | budget sweep — per-scenario Pareto frontiers + ROI |
 //! | `repro_all` | everything above, in order |
 
 pub mod figures;
 pub mod headline;
+pub mod pareto_figs;
 pub mod search_figs;
 pub mod tables;
 

@@ -53,10 +53,16 @@ impl OptimizerKind {
 /// feasible designs), after which control passes to the inner algorithm.
 /// This stands in for Vizier transfer learning / prior injection and keeps
 /// short CI-scale searches out of the all-invalid regime.
-struct SeededOptimizer {
+pub(crate) struct SeededOptimizer {
     inner: Box<dyn Optimizer>,
     seeds: Vec<Vec<usize>>,
     next: usize,
+}
+
+impl SeededOptimizer {
+    pub(crate) fn new(inner: Box<dyn Optimizer>, seeds: Vec<Vec<usize>>) -> Self {
+        SeededOptimizer { inner, seeds, next: 0 }
+    }
 }
 
 impl Optimizer for SeededOptimizer {
@@ -144,7 +150,7 @@ where
     let space = FastSpace::table3();
     let seeds: Vec<Vec<usize>> =
         config.seeds.iter().map(|(cfg, sim)| space.encode(cfg, sim)).collect();
-    let mut opt = SeededOptimizer { inner: config.optimizer.build(), seeds, next: 0 };
+    let mut opt = SeededOptimizer::new(config.optimizer.build(), seeds);
 
     let study = run_study_batched(
         space.space(),

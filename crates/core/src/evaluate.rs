@@ -267,6 +267,30 @@ impl Evaluator {
         self
     }
 
+    /// A clone re-targeted at a different scenario — workload set, objective
+    /// and budget — while *sharing* this evaluator's graph and evaluation
+    /// caches.
+    ///
+    /// This is the scenario-sweep engine's re-scoring path: the cache is
+    /// keyed per `(workload, datapath, schedule, fusion)` simulation, and
+    /// budgets/objectives only enter scoring *after* the cached stage — so
+    /// re-scoring a design under a second objective or a tighter budget is a
+    /// cache hit, never a re-simulation, and a domain whose workloads were
+    /// simulated under another domain reuses those simulations wholesale.
+    #[must_use]
+    pub fn for_scenario(
+        &self,
+        workloads: Vec<Workload>,
+        objective: Objective,
+        budget: Budget,
+    ) -> Self {
+        let mut e = self.clone();
+        e.workloads = workloads;
+        e.objective = objective;
+        e.budget = budget;
+        e
+    }
+
     /// A clone sharing the (immutable) workload-graph cache but starting
     /// from an empty evaluation cache — for benchmarks and tests that must
     /// measure or observe uncached evaluation.
@@ -590,6 +614,41 @@ mod tests {
             unfused.workloads[0].step_seconds >= fused.workloads[0].step_seconds,
             "disabling fusion cannot speed the workload up"
         );
+    }
+
+    #[test]
+    fn for_scenario_shares_cache_across_budget_objective_and_domain() {
+        use fast_models::EfficientNet;
+        let base = evaluator(Objective::Qps);
+        let cfg = presets::fast_large();
+        let sim = SimOptions::default();
+        let _ = base.evaluate(&cfg, &sim).unwrap();
+        assert_eq!(base.cache_stats(), CacheStats { hits: 0, misses: 1 });
+        // Different objective and a tighter (still admitting) budget: the
+        // simulation is a cache hit.
+        let tighter = Budget {
+            max_area_mm2: Budget::paper_default().max_area_mm2 * 0.9,
+            max_tdp_w: Budget::paper_default().max_tdp_w * 0.9,
+        };
+        let rescore = base.for_scenario(
+            vec![Workload::EfficientNet(EfficientNet::B0)],
+            Objective::PerfPerTdp,
+            tighter,
+        );
+        let _ = rescore.evaluate(&cfg, &sim).unwrap();
+        assert_eq!(base.cache_stats(), CacheStats { hits: 1, misses: 1 });
+        // A multi-workload domain containing the simulated workload reuses
+        // its simulation and only pays for the new workload.
+        let multi = base.for_scenario(
+            vec![
+                Workload::EfficientNet(EfficientNet::B0),
+                Workload::EfficientNet(EfficientNet::B1),
+            ],
+            Objective::Qps,
+            Budget::paper_default(),
+        );
+        let _ = multi.evaluate(&cfg, &sim).unwrap();
+        assert_eq!(base.cache_stats(), CacheStats { hits: 2, misses: 2 });
     }
 
     #[test]

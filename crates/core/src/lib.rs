@@ -13,6 +13,10 @@
 //! 3. the FAST-fusion ILP ([`fast_fusion`]) places activations/weights in
 //!    Global Memory and the design is scored (QPS or Perf/TDP geomean).
 //!
+//! Above the single-study drivers, the [`sweep`] module runs whole result
+//! matrices — `{budget × objective × workload domain}` — as Pareto studies
+//! over one shared evaluation cache (the paper's Figs. 9–11 sweeps).
+//!
 //! ```no_run
 //! use fast_core::{Evaluator, Objective, SearchConfig, run_fast_search};
 //! use fast_arch::Budget;
@@ -32,6 +36,7 @@ pub mod driver;
 pub mod evaluate;
 pub mod report;
 pub mod search_space;
+pub mod sweep;
 
 pub use analysis::{
     ablation_study, ablation_variants, ablation_workloads, component_breakdown, AblationRow,
@@ -43,3 +48,7 @@ pub use driver::{
 pub use evaluate::{CacheStats, DesignEval, EvalError, Evaluator, Objective, WorkloadEval};
 pub use report::{design_report, relative_to_tpu, DesignReport, RelativePerf};
 pub use search_space::{combined_search_space_log10, FastSpace, SpaceDims};
+pub use sweep::{
+    BudgetLevel, FrontierDesign, Scenario, ScenarioMatrix, ScenarioResult, SweepConfig,
+    SweepResult, SweepRunner,
+};

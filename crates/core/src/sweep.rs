@@ -1,0 +1,459 @@
+//! The scenario-sweep engine: one call runs the paper's whole result matrix.
+//!
+//! The headline results of the paper are *sweeps*, not single optima —
+//! Perf and Perf/TDP frontiers across area/TDP budgets, per-model and
+//! multi-model domains (Figs. 9–11, §6). [`SweepRunner`] expands a
+//! declarative [`ScenarioMatrix`] — `{budget × objective × workload
+//! domain}` — into one Pareto study per scenario, all sharing a single
+//! evaluation cache: re-scoring a design under a second objective or a
+//! tighter budget is a cache hit, not a re-simulation, and a domain whose
+//! workloads were already simulated under another domain reuses those
+//! simulations wholesale. Each scenario reports its non-dominated frontier
+//! (objective vs. TDP vs. area) and its share of the cache traffic.
+//!
+//! Determinism: every scenario runs the batched Pareto driver under the
+//! `trial_rng(seed, index)` contract, so a sweep is reproducible from
+//! `(matrix, config)` alone, and evaluating rounds in parallel cannot change
+//! any frontier.
+
+use crate::driver::{OptimizerKind, SeededOptimizer};
+use crate::evaluate::{CacheStats, Evaluator, Objective};
+use crate::search_space::FastSpace;
+use fast_arch::{Budget, DatapathConfig};
+use fast_models::WorkloadDomain;
+use fast_search::{run_study_pareto_batched, FrontierPoint, MetricDirection, MultiObjective};
+use fast_sim::SimOptions;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A named area/TDP budget level of the sweep (e.g. `"1.00x"` for the paper
+/// budget, `"0.50x"` for an embedded-class point).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BudgetLevel {
+    /// Display name.
+    pub name: String,
+    /// The budget constraint (Eq. 4).
+    pub budget: Budget,
+}
+
+impl BudgetLevel {
+    /// The paper budget scaled by `factor` on both axes, named `"{factor}x"`.
+    #[must_use]
+    pub fn scaled(factor: f64) -> Self {
+        let paper = Budget::paper_default();
+        BudgetLevel {
+            name: format!("{factor:.2}x"),
+            budget: Budget {
+                max_area_mm2: paper.max_area_mm2 * factor,
+                max_tdp_w: paper.max_tdp_w * factor,
+            },
+        }
+    }
+}
+
+/// The declarative scenario matrix: budgets × objectives × workload domains.
+///
+/// Expansion order is domain-major (all budgets and objectives of a domain
+/// before the next domain), budgets in the given order, objectives
+/// innermost. Cache reuse is maximized by listing budgets loosest-first
+/// (designs admitted by a tight budget are a subset of those admitted by a
+/// loose one) and superset domains before their sub-domains.
+#[derive(Debug, Clone)]
+pub struct ScenarioMatrix {
+    /// Budget levels, ideally loosest first.
+    pub budgets: Vec<BudgetLevel>,
+    /// Objectives to score under.
+    pub objectives: Vec<Objective>,
+    /// Workload domains (per-model and/or multi-model).
+    pub domains: Vec<WorkloadDomain>,
+}
+
+impl ScenarioMatrix {
+    /// Expands the matrix into the concrete scenario list.
+    ///
+    /// # Panics
+    /// Panics if any axis is empty — an empty matrix is a configuration
+    /// error, not an empty sweep.
+    #[must_use]
+    pub fn scenarios(&self) -> Vec<Scenario> {
+        assert!(
+            !self.budgets.is_empty() && !self.objectives.is_empty() && !self.domains.is_empty(),
+            "every scenario-matrix axis needs at least one entry"
+        );
+        let mut out =
+            Vec::with_capacity(self.budgets.len() * self.objectives.len() * self.domains.len());
+        for domain in &self.domains {
+            for level in &self.budgets {
+                for &objective in &self.objectives {
+                    out.push(Scenario {
+                        name: format!("{}/{}/{:?}", domain.name, level.name, objective),
+                        domain: domain.clone(),
+                        budget_name: level.name.clone(),
+                        budget: level.budget,
+                        objective,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of scenarios the matrix expands to.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.budgets.len() * self.objectives.len() * self.domains.len()
+    }
+
+    /// Whether the matrix expands to no scenarios.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One concrete cell of the scenario matrix.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// `"{domain}/{budget}/{objective}"`.
+    pub name: String,
+    /// The workload domain scored (geomean across its workloads).
+    pub domain: WorkloadDomain,
+    /// The budget level's display name.
+    pub budget_name: String,
+    /// The budget constraint.
+    pub budget: Budget,
+    /// The optimization objective.
+    pub objective: Objective,
+}
+
+/// Search settings shared by every scenario of a sweep.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Trial budget per scenario.
+    pub trials: usize,
+    /// Optimizer driving each scenario's study.
+    ///
+    /// [`OptimizerKind::Random`] proposes identically across scenarios
+    /// (proposals never depend on observations), maximizing cross-scenario
+    /// cache reuse; the guided optimizers trade some reuse (their proposal
+    /// streams diverge once observations differ) for per-scenario quality.
+    pub optimizer: OptimizerKind,
+    /// Base RNG seed; every scenario uses the same seed so proposal streams
+    /// align across scenarios where possible.
+    pub seed: u64,
+    /// Trials proposed and evaluated per round (rounds are scored in
+    /// parallel across the rayon pool).
+    pub batch: usize,
+    /// Known-good designs proposed first in every scenario (keeps short
+    /// sweeps out of the all-invalid regime and anchors every frontier).
+    pub seeds: Vec<(DatapathConfig, SimOptions)>,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            trials: 120,
+            optimizer: OptimizerKind::Random,
+            seed: 0,
+            batch: 16,
+            seeds: vec![
+                (fast_arch::presets::fast_large(), SimOptions::default()),
+                (fast_arch::presets::fast_small(), SimOptions::default()),
+            ],
+        }
+    }
+}
+
+/// A frontier design decoded and summarized.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FrontierDesign {
+    /// The encoded search-space point.
+    pub point: Vec<usize>,
+    /// The decoded datapath.
+    pub config: DatapathConfig,
+    /// Scenario-objective value (higher is better).
+    pub objective_value: f64,
+    /// Geomean QPS across the domain's workloads.
+    pub geomean_qps: f64,
+    /// Power-virus TDP (watts).
+    pub tdp_w: f64,
+    /// Die area (mm²).
+    pub area_mm2: f64,
+}
+
+/// Outcome of one scenario's Pareto study.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// The scenario.
+    pub scenario: Scenario,
+    /// The non-dominated set (objective ↑, TDP ↓, area ↓) in canonical
+    /// order, decoded into design summaries.
+    pub frontier: Vec<FrontierDesign>,
+    /// The raw frontier points (index encoding + metric vectors).
+    pub frontier_points: Vec<FrontierPoint>,
+    /// Best objective value observed (`None` if every trial was invalid).
+    pub best_objective: Option<f64>,
+    /// Number of safe-search rejections.
+    pub invalid_trials: usize,
+    /// Evaluation-cache traffic attributable to this scenario's study
+    /// (hits/misses delta across its `run_study_pareto_batched` call).
+    pub cache: CacheStats,
+}
+
+impl ScenarioResult {
+    /// Fraction of this scenario's per-workload evaluations answered from
+    /// the shared cache (0 when the scenario touched the cache not at all).
+    #[must_use]
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache.hits + self.cache.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Outcome of a whole sweep.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// Per-scenario results, in matrix expansion order.
+    pub scenarios: Vec<ScenarioResult>,
+    /// Total cache traffic across the sweep.
+    pub total_cache: CacheStats,
+}
+
+impl SweepResult {
+    /// Looks a scenario up by its `"{domain}/{budget}/{objective}"` name.
+    #[must_use]
+    pub fn scenario(&self, name: &str) -> Option<&ScenarioResult> {
+        self.scenarios.iter().find(|s| s.scenario.name == name)
+    }
+}
+
+/// Runs a [`ScenarioMatrix`] as a sequence of Pareto studies over one shared
+/// evaluation cache.
+#[derive(Debug, Clone)]
+pub struct SweepRunner {
+    matrix: ScenarioMatrix,
+    config: SweepConfig,
+}
+
+/// Archive metric order used by every scenario: scenario objective
+/// (maximize), TDP watts (minimize), die area (minimize).
+const DIRECTIONS: [MetricDirection; 3] =
+    [MetricDirection::Maximize, MetricDirection::Minimize, MetricDirection::Minimize];
+
+impl SweepRunner {
+    /// Creates a runner for `matrix` under `config`.
+    #[must_use]
+    pub fn new(matrix: ScenarioMatrix, config: SweepConfig) -> Self {
+        SweepRunner { matrix, config }
+    }
+
+    /// The expanded scenario list (matrix order).
+    #[must_use]
+    pub fn scenarios(&self) -> Vec<Scenario> {
+        self.matrix.scenarios()
+    }
+
+    /// Runs every scenario, sharing one evaluation cache, and returns the
+    /// per-scenario frontiers and cache statistics.
+    ///
+    /// Scenario rounds are evaluated in parallel across the rayon pool; by
+    /// the Pareto driver's determinism contract the result — frontiers,
+    /// convergence *and* cache counters — is bit-identical to a serial run
+    /// of the same matrix and config. (Duplicate proposals within a round
+    /// are deduplicated before evaluation: without that, two threads racing
+    /// the same uncached key would each count a miss, making the hit/miss
+    /// stats depend on thread scheduling.)
+    #[must_use]
+    pub fn run(&self) -> SweepResult {
+        let space = FastSpace::table3();
+        let seeds: Vec<Vec<usize>> =
+            self.config.seeds.iter().map(|(cfg, sim)| space.encode(cfg, sim)).collect();
+        // The prototype owns the caches every scenario evaluator shares; its
+        // own scenario fields are never used to score anything.
+        let proto = Evaluator::new(Vec::new(), Objective::Qps, Budget::paper_default());
+
+        let mut scenarios = Vec::new();
+        for scenario in self.matrix.scenarios() {
+            let evaluator = proto.for_scenario(
+                scenario.domain.workloads.clone(),
+                scenario.objective,
+                scenario.budget,
+            );
+            let before = evaluator.cache_stats();
+            let mut opt = SeededOptimizer::new(self.config.optimizer.build(), seeds.clone());
+            let study = run_study_pareto_batched(
+                space.space(),
+                &mut opt,
+                self.config.trials,
+                self.config.batch,
+                self.config.seed,
+                &DIRECTIONS,
+                |points| {
+                    // Score each *unique* point once, in parallel, then fan
+                    // results back out to the proposal order.
+                    let mut unique: Vec<&Vec<usize>> = Vec::new();
+                    let mut index_of: HashMap<&Vec<usize>, usize> = HashMap::new();
+                    for p in points {
+                        index_of.entry(p).or_insert_with(|| {
+                            unique.push(p);
+                            unique.len() - 1
+                        });
+                    }
+                    let scored: Vec<MultiObjective> = unique
+                        .par_iter()
+                        .map(|p| match evaluator.evaluate_point(&space, p) {
+                            Ok(e) => MultiObjective::valid(
+                                vec![e.objective_value, e.tdp_w, e.area_mm2],
+                                e.objective_value,
+                            ),
+                            Err(_) => MultiObjective::Invalid,
+                        })
+                        .collect();
+                    points.iter().map(|p| scored[index_of[p]].clone()).collect()
+                },
+            );
+            let after = evaluator.cache_stats();
+            let cache =
+                CacheStats { hits: after.hits - before.hits, misses: after.misses - before.misses };
+
+            // Decode the frontier into design summaries; re-evaluation is a
+            // cache hit by construction (every frontier point was valid).
+            let frontier: Vec<FrontierDesign> = study
+                .frontier
+                .iter()
+                .filter_map(|fp| {
+                    let eval = evaluator.evaluate_point(&space, &fp.point).ok()?;
+                    Some(FrontierDesign {
+                        point: fp.point.clone(),
+                        config: eval.config,
+                        objective_value: eval.objective_value,
+                        geomean_qps: eval.geomean_qps,
+                        tdp_w: eval.tdp_w,
+                        area_mm2: eval.area_mm2,
+                    })
+                })
+                .collect();
+            let best_objective = study.guide_convergence.last().copied().filter(|v| v.is_finite());
+
+            scenarios.push(ScenarioResult {
+                scenario,
+                frontier,
+                frontier_points: study.frontier,
+                best_objective,
+                invalid_trials: study.invalid_trials,
+                cache,
+            });
+        }
+
+        SweepResult { scenarios, total_cache: proto.cache_stats() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fast_models::{EfficientNet, Workload};
+
+    fn tiny_matrix() -> ScenarioMatrix {
+        ScenarioMatrix {
+            budgets: vec![BudgetLevel::scaled(1.0), BudgetLevel::scaled(0.7)],
+            objectives: vec![Objective::Qps, Objective::PerfPerTdp],
+            domains: vec![WorkloadDomain::per_model(Workload::EfficientNet(EfficientNet::B0))],
+        }
+    }
+
+    #[test]
+    fn matrix_expands_domain_major() {
+        let m = tiny_matrix();
+        assert_eq!(m.len(), 4);
+        let names: Vec<String> = m.scenarios().into_iter().map(|s| s.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "EfficientNet-B0/1.00x/Qps",
+                "EfficientNet-B0/1.00x/PerfPerTdp",
+                "EfficientNet-B0/0.70x/Qps",
+                "EfficientNet-B0/0.70x/PerfPerTdp",
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn empty_axis_panics() {
+        let m = ScenarioMatrix {
+            budgets: vec![],
+            objectives: vec![Objective::Qps],
+            domains: vec![WorkloadDomain::per_model(Workload::ResNet50)],
+        };
+        let _ = m.scenarios();
+    }
+
+    #[test]
+    fn budget_level_scales_both_axes() {
+        let half = BudgetLevel::scaled(0.5);
+        let paper = Budget::paper_default();
+        assert_eq!(half.name, "0.50x");
+        assert!((half.budget.max_area_mm2 - paper.max_area_mm2 * 0.5).abs() < 1e-9);
+        assert!((half.budget.max_tdp_w - paper.max_tdp_w * 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sweep_emits_frontier_per_scenario_and_reuses_cache() {
+        let config = SweepConfig { trials: 24, batch: 8, ..SweepConfig::default() };
+        let result = SweepRunner::new(tiny_matrix(), config).run();
+        assert_eq!(result.scenarios.len(), 4);
+        for (i, s) in result.scenarios.iter().enumerate() {
+            // Seed designs guarantee at least one valid trial per scenario
+            // (fast_small fits 0.7x of the paper budget).
+            assert!(!s.frontier.is_empty(), "{}: empty frontier", s.scenario.name);
+            assert!(s.best_objective.is_some(), "{}", s.scenario.name);
+            // Frontier designs are mutually non-dominated.
+            for a in &s.frontier {
+                for b in &s.frontier {
+                    let dominates = a.objective_value >= b.objective_value
+                        && a.tdp_w <= b.tdp_w
+                        && a.area_mm2 <= b.area_mm2
+                        && (a.objective_value > b.objective_value
+                            || a.tdp_w < b.tdp_w
+                            || a.area_mm2 < b.area_mm2);
+                    assert!(!dominates, "{}: dominated point on frontier", s.scenario.name);
+                }
+            }
+            if i > 0 {
+                // Same proposals (Random, same seed) against the shared
+                // cache: later scenarios re-score, they don't re-simulate.
+                assert!(
+                    s.cache_hit_rate() > 0.5,
+                    "{}: hit rate {:.2} ({:?})",
+                    s.scenario.name,
+                    s.cache_hit_rate(),
+                    s.cache
+                );
+            }
+        }
+        assert_eq!(
+            result.total_cache.hits + result.total_cache.misses,
+            result.scenarios.iter().map(|s| s.cache.hits + s.cache.misses).sum::<u64>()
+                + result.scenarios.iter().map(|s| s.frontier.len() as u64).sum::<u64>(),
+            "per-scenario deltas + frontier decoding account for all traffic"
+        );
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let config = SweepConfig { trials: 16, batch: 4, ..SweepConfig::default() };
+        let matrix = tiny_matrix();
+        let a = SweepRunner::new(matrix.clone(), config.clone()).run();
+        let b = SweepRunner::new(matrix, config).run();
+        for (x, y) in a.scenarios.iter().zip(&b.scenarios) {
+            assert_eq!(x.frontier_points, y.frontier_points, "{}", x.scenario.name);
+            assert_eq!(x.invalid_trials, y.invalid_trials);
+        }
+    }
+}

@@ -12,7 +12,9 @@
 //!
 //! [`Workload`] is the uniform handle the search framework consumes: it can
 //! build a graph at any batch size and names itself consistently across
-//! reports.
+//! reports. [`WorkloadDomain`] groups workloads into the named per-model and
+//! multi-model search domains (§6.2) the scenario-sweep engine crosses with
+//! budgets and objectives.
 //!
 //! ```
 //! use fast_models::Workload;
@@ -117,6 +119,64 @@ impl fmt::Display for Workload {
     }
 }
 
+/// A named set of workloads searched *together* — the unit the paper calls a
+/// domain (§6.2): a per-model domain holds one workload (Figures 9/10's
+/// per-model columns), a multi-model domain holds several and is scored by
+/// geomean ("GeoMean-5", "GeoMean-13").
+///
+/// The scenario-sweep engine (`fast-core`) crosses domains with budgets and
+/// objectives; keeping the definition here lets every layer name domains
+/// consistently.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkloadDomain {
+    /// Display name ("EfficientNet-B7", "GeoMean-5", …).
+    pub name: String,
+    /// The workloads scored together (geomean across them).
+    pub workloads: Vec<Workload>,
+}
+
+impl WorkloadDomain {
+    /// A per-model domain: one workload, named after it.
+    #[must_use]
+    pub fn per_model(workload: Workload) -> Self {
+        WorkloadDomain { name: workload.name(), workloads: vec![workload] }
+    }
+
+    /// A multi-model domain with an explicit name.
+    ///
+    /// # Panics
+    /// Panics if `workloads` is empty — a domain must score something.
+    #[must_use]
+    pub fn multi_model(name: impl Into<String>, workloads: Vec<Workload>) -> Self {
+        assert!(!workloads.is_empty(), "a workload domain cannot be empty");
+        WorkloadDomain { name: name.into(), workloads }
+    }
+
+    /// The 13 per-model domains of the full benchmark suite.
+    #[must_use]
+    pub fn per_model_suite() -> Vec<WorkloadDomain> {
+        Workload::suite().into_iter().map(WorkloadDomain::per_model).collect()
+    }
+
+    /// The paper's reduced multi-model search domain ("GeoMean-5").
+    #[must_use]
+    pub fn geomean5() -> Self {
+        WorkloadDomain::multi_model("GeoMean-5", Workload::suite5())
+    }
+
+    /// The full 13-workload multi-model domain ("GeoMean-13").
+    #[must_use]
+    pub fn geomean13() -> Self {
+        WorkloadDomain::multi_model("GeoMean-13", Workload::suite())
+    }
+}
+
+impl fmt::Display for WorkloadDomain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,6 +205,23 @@ mod tests {
             assert!(stats.flops > 0, "{w} has zero flops");
             assert!(stats.matrix_ops > 0, "{w} has no matrix ops");
         }
+    }
+
+    #[test]
+    fn domains_cover_suite_shapes() {
+        assert_eq!(WorkloadDomain::per_model_suite().len(), 13);
+        assert!(WorkloadDomain::per_model_suite()
+            .iter()
+            .all(|d| d.workloads.len() == 1 && d.name == d.workloads[0].name()));
+        assert_eq!(WorkloadDomain::geomean5().workloads, Workload::suite5());
+        assert_eq!(WorkloadDomain::geomean13().workloads, Workload::suite());
+        assert_eq!(WorkloadDomain::geomean5().to_string(), "GeoMean-5");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be empty")]
+    fn empty_multi_model_domain_panics() {
+        let _ = WorkloadDomain::multi_model("empty", vec![]);
     }
 
     #[test]

@@ -110,6 +110,17 @@ impl RoiModel {
     pub fn roi_curve(&self, s: f64, volumes: &[f64]) -> Vec<(f64, f64)> {
         volumes.iter().map(|&n| (n, self.roi(n, s))).collect()
     }
+
+    /// ROI at deployment volume `n` for each Perf/TCO gain along a Pareto
+    /// frontier, in frontier order — the economics overlay of the
+    /// scenario-sweep engine's budget frontiers. `gains[i]` is the i-th
+    /// frontier design's Perf/TCO (Perf/TDP proxy) relative to the
+    /// baseline; gains at or below 1 yield 0 (no savings to amortize the
+    /// NRE against).
+    #[must_use]
+    pub fn roi_along_frontier(&self, n: f64, gains: &[f64]) -> Vec<f64> {
+        gains.iter().map(|&s| self.roi(n, s)).collect()
+    }
 }
 
 impl Default for RoiModel {
@@ -192,6 +203,21 @@ mod tests {
         assert!(curve[0].1 < curve[1].1 && curve[1].1 < curve[2].1);
         // Volume on the x axis passes through unchanged.
         assert_eq!(curve[2].0, 20_000.0);
+    }
+
+    #[test]
+    fn roi_along_frontier_matches_pointwise_roi() {
+        let m = RoiModel::paper_default();
+        let gains = [0.8, 1.0, 1.5, 2.82, 3.91];
+        let rois = m.roi_along_frontier(4_000.0, &gains);
+        assert_eq!(rois.len(), gains.len());
+        assert_eq!(rois[0], 0.0, "sub-baseline gain is unprofitable");
+        assert_eq!(rois[1], 0.0, "break-even gain is unprofitable");
+        for (i, &s) in gains.iter().enumerate() {
+            assert_eq!(rois[i], m.roi(4_000.0, s));
+        }
+        // ROI grows monotonically along an improving frontier.
+        assert!(rois[2] < rois[3] && rois[3] < rois[4]);
     }
 
     #[test]

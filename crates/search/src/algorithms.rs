@@ -89,7 +89,8 @@ impl Optimizer for LcsSwarm {
                     let card = space.cardinality(d);
                     let r: f64 = rng.gen();
                     let idx = if r < self.mutate {
-                        // Random neighbor step (or uniform for small domains).
+                        // Mutation: a ±1 neighbor step, clamped to the
+                        // domain edges (so boundary indices step inward).
                         let step: i64 = if rng.gen() { 1 } else { -1 };
                         let raw = pb[d] as i64 + step;
                         raw.clamp(0, card as i64 - 1) as usize
@@ -110,10 +111,27 @@ impl Optimizer for LcsSwarm {
     }
 
     fn observe(&mut self, _space: &ParamSpace, trial: &Trial) {
+        // Results arrive in proposal order (the study drivers' contract), so
+        // the *earliest* pending entry with this point value is the proposing
+        // particle. `Vec::remove` keeps the queue in FIFO order — a
+        // `swap_remove` here would reorder duplicate proposals (common in
+        // batched rounds on small domains) and attribute later results to
+        // the wrong particle's personal best.
         let Some(pos) = self.pending.iter().position(|(_, p)| p == &trial.point) else {
+            // A trial this swarm never proposed — an injected seed design
+            // (prior injection). It belongs to no particle, but a valid one
+            // still anchors the global best: in mostly-invalid spaces the
+            // known-good seeds are the strongest early signal, and dropping
+            // them would leave every particle cold-sampling until its own
+            // proposals got lucky.
+            if let TrialResult::Valid(obj) = trial.result {
+                if self.global.as_ref().is_none_or(|(_, b)| obj > *b) {
+                    self.global = Some((trial.point.clone(), obj));
+                }
+            }
             return;
         };
-        let (particle, point) = self.pending.swap_remove(pos);
+        let (particle, point) = self.pending.remove(pos);
         if let TrialResult::Valid(obj) = trial.result {
             let better_personal = self.personal[particle].as_ref().is_none_or(|(_, b)| obj > *b);
             if better_personal {
@@ -306,6 +324,52 @@ mod tests {
         let tpe = avg(&|| Box::new(Tpe::new()));
         assert!(lcs > random - 0.1, "lcs {lcs} vs random {random}");
         assert!(tpe > random - 0.1, "tpe {tpe} vs random {random}");
+    }
+
+    /// Regression: with duplicate proposals pending, results (which arrive
+    /// in proposal order) must attribute FIFO to the proposing particles.
+    /// The old code matched by point value with `swap_remove`, which
+    /// reorders the queue: after observing the duplicate-free trials below,
+    /// particle 3 received particle 2's result and vice versa.
+    #[test]
+    fn duplicate_proposals_attribute_personal_bests_fifo() {
+        let mut swarm = LcsSwarm::new(4);
+        let space = {
+            let mut s = ParamSpace::new();
+            s.add("x", crate::space::ParamDomain::Categorical { n: 2 });
+            s
+        };
+        let p = vec![0usize];
+        let q = vec![1usize];
+        // A batched round in which particles 0, 2 and 3 proposed the same
+        // point value (forced duplicates).
+        swarm.pending = vec![(0, p.clone()), (1, q.clone()), (2, p.clone()), (3, p.clone())];
+        for (point, obj) in [(p.clone(), 1.0), (q.clone(), 5.0), (p.clone(), 2.0), (p.clone(), 3.0)]
+        {
+            swarm.observe(&space, &Trial { point, result: TrialResult::Valid(obj) });
+        }
+        assert!(swarm.pending.is_empty());
+        let personal: Vec<f64> = swarm.personal.iter().map(|pb| pb.as_ref().unwrap().1).collect();
+        assert_eq!(personal, vec![1.0, 5.0, 2.0, 3.0], "FIFO attribution violated");
+        assert_eq!(swarm.global.as_ref().unwrap().1, 5.0);
+    }
+
+    /// Trials the swarm never proposed (seed-design injections) update the
+    /// global best — the prior-injection anchor — but never particle state.
+    #[test]
+    fn unproposed_trials_anchor_global_but_not_particles() {
+        let mut swarm = LcsSwarm::new(2);
+        let space = {
+            let mut s = ParamSpace::new();
+            s.add("x", crate::space::ParamDomain::Categorical { n: 4 });
+            s
+        };
+        swarm.observe(&space, &Trial { point: vec![3], result: TrialResult::Valid(9.0) });
+        assert!(swarm.personal.iter().all(Option::is_none));
+        assert_eq!(swarm.global, Some((vec![3], 9.0)));
+        // Invalid injected trials change nothing.
+        swarm.observe(&space, &Trial { point: vec![1], result: TrialResult::Invalid });
+        assert_eq!(swarm.global, Some((vec![3], 9.0)));
     }
 
     #[test]

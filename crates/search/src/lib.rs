@@ -12,7 +12,10 @@
 //!   standing in for Vizier's default);
 //! * [`run_study`] — a reproducible, seeded trial loop with best-so-far
 //!   convergence tracking and invalid-trial accounting;
-//! * [`convergence_band`] — multi-run mean/CI aggregation for Figure 11.
+//! * [`convergence_band`] — multi-run mean/CI aggregation for Figure 11;
+//! * [`ParetoArchive`] / [`run_study_pareto`] — the multi-objective path:
+//!   order-invariant non-dominated sets over ≥ 2 metrics and deterministic
+//!   (batched or sequential) Pareto studies for the paper's budget sweeps.
 //!
 //! ```
 //! use fast_search::{ParamSpace, ParamDomain, RandomSearch, run_study, TrialResult};
@@ -28,11 +31,16 @@
 
 pub mod algorithms;
 pub mod optimizer;
+pub mod pareto;
 pub mod space;
 pub mod study;
 
 pub use algorithms::{LcsSwarm, RandomSearch, Tpe};
 pub use optimizer::{Optimizer, Trial, TrialResult};
+pub use pareto::{
+    run_study_pareto, run_study_pareto_batched, FrontierPoint, MetricDirection, MultiObjective,
+    MultiTrial, ParetoArchive, ParetoStudyResult,
+};
 pub use space::{ParamDef, ParamDomain, ParamSpace};
 pub use study::{
     convergence_band, run_study, run_study_batched, trial_rng, ConvergenceBand, StudyResult,
@@ -60,6 +68,77 @@ mod proptests {
                 let p = space.sample(&mut rng);
                 prop_assert!(space.contains(&p));
             }
+        }
+
+        /// A Pareto archive is order-invariant: inserting the same trials in
+        /// any order yields the same non-dominated set (satellite of the
+        /// parallel==sequential frontier guarantee).
+        #[test]
+        fn pareto_archive_order_invariant(
+            raw in prop::collection::vec((0usize..40, 0u32..20, 0u32..20), 1..40),
+            seed in 0u64..1000,
+        ) {
+            use rand::Rng as _;
+            let pts: Vec<(Vec<usize>, Vec<f64>)> = raw
+                .iter()
+                .map(|&(p, a, b)| (vec![p], vec![f64::from(a), f64::from(b)]))
+                .collect();
+            let dirs = [MetricDirection::Maximize, MetricDirection::Minimize];
+            let build = |order: &[usize]| {
+                let mut arch = ParetoArchive::new(&dirs);
+                for &i in order {
+                    let (p, m) = pts[i].clone();
+                    arch.insert(p, m);
+                }
+                arch.frontier()
+            };
+            let forward: Vec<usize> = (0..pts.len()).collect();
+            let reference = build(&forward);
+            // Reversed plus a seeded Fisher–Yates shuffle.
+            let mut reversed = forward.clone();
+            reversed.reverse();
+            prop_assert_eq!(&build(&reversed), &reference);
+            let mut shuffled = forward;
+            let mut rng = StdRng::seed_from_u64(seed);
+            for i in (1..shuffled.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                shuffled.swap(i, j);
+            }
+            prop_assert_eq!(&build(&shuffled), &reference);
+        }
+
+        /// `run_study_pareto` equals `run_study_pareto_batched` at any batch
+        /// size for random search: the frontier is bit-identical, so a
+        /// caller evaluating rounds in parallel reproduces the sequential
+        /// study (the evaluator returns results in proposal order either
+        /// way).
+        #[test]
+        fn pareto_batched_matches_sequential(seed in 0u64..200, batch in 1usize..24) {
+            let mut space = ParamSpace::new();
+            space.add("a", ParamDomain::Pow2 { min: 1, max: 256 });
+            space.add("b", ParamDomain::Categorical { n: 7 });
+            let dirs = [MetricDirection::Maximize, MetricDirection::Minimize];
+            let score = |p: &[usize]| {
+                if p[1] == 6 {
+                    MultiObjective::Invalid
+                } else {
+                    MultiObjective::valid(
+                        vec![(p[0] * (p[1] + 1)) as f64, (p[0] + 3 * p[1]) as f64],
+                        p[0] as f64,
+                    )
+                }
+            };
+            let mut seq_opt = RandomSearch::new();
+            let seq = run_study_pareto(&space, &mut seq_opt, 60, seed, &dirs, score);
+            let mut bat_opt = RandomSearch::new();
+            let bat = run_study_pareto_batched(&space, &mut bat_opt, 60, batch, seed, &dirs,
+                |pts| pts.iter().map(|p| score(p)).collect());
+            prop_assert_eq!(&seq.frontier, &bat.frontier);
+            // Bitwise: the convergence prefix is NaN until the first valid
+            // trial, and NaN != NaN under PartialEq.
+            let bits = |c: &[f64]| c.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+            prop_assert_eq!(bits(&seq.guide_convergence), bits(&bat.guide_convergence));
+            prop_assert_eq!(seq.invalid_trials, bat.invalid_trials);
         }
 
         /// Convergence curves are monotone non-decreasing past the first

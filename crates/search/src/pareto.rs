@@ -1,0 +1,459 @@
+//! Multi-objective (Pareto) search: the layer the paper's budget sweeps
+//! stand on (Figs. 9–11 report *frontiers* across area/TDP budgets, not
+//! single optima).
+//!
+//! The scalar study drivers in [`crate::study`] optimize one objective;
+//! this module adds the multi-metric path alongside them:
+//!
+//! * [`MultiObjective`] — the trial outcome carrying one value per tracked
+//!   metric plus the scalar *guide* the black-box optimizer climbs;
+//! * [`ParetoArchive`] — an order-invariant non-dominated set over two or
+//!   more metrics with per-metric [`MetricDirection`]s;
+//! * [`run_study_pareto`] / [`run_study_pareto_batched`] — study drivers
+//!   that keep the scalar drivers' `trial_rng(seed, index)` determinism
+//!   contract, so batched/parallel evaluation reproduces the sequential
+//!   study frontier bit for bit.
+
+use crate::optimizer::{Optimizer, Trial, TrialResult};
+use crate::space::ParamSpace;
+use crate::study::trial_rng;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// Whether larger or smaller values of a metric are preferred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MetricDirection {
+    /// Larger is better (e.g. geomean QPS).
+    Maximize,
+    /// Smaller is better (e.g. TDP watts, die area).
+    Minimize,
+}
+
+impl MetricDirection {
+    /// Canonicalizes `v` so that "larger is better" holds for every metric:
+    /// minimized metrics are negated.
+    #[must_use]
+    fn signed(self, v: f64) -> f64 {
+        match self {
+            MetricDirection::Maximize => v,
+            MetricDirection::Minimize => -v,
+        }
+    }
+}
+
+/// Outcome of evaluating one point under several metrics at once — the
+/// multi-objective counterpart of [`TrialResult`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MultiObjective {
+    /// A feasible design.
+    Valid {
+        /// One value per archive metric, in the archive's metric order.
+        metrics: Vec<f64>,
+        /// The scalar the black-box optimizer maximizes while the archive
+        /// tracks the full metric vector (e.g. the scenario objective).
+        guide: f64,
+    },
+    /// An infeasible design (safe-search rejection), counted but never
+    /// archived.
+    Invalid,
+}
+
+impl MultiObjective {
+    /// Convenience constructor for a feasible outcome.
+    #[must_use]
+    pub fn valid(metrics: Vec<f64>, guide: f64) -> Self {
+        MultiObjective::Valid { metrics, guide }
+    }
+}
+
+/// One completed multi-objective trial.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiTrial {
+    /// The proposed point (index encoding).
+    pub point: Vec<usize>,
+    /// Evaluation outcome.
+    pub result: MultiObjective,
+}
+
+/// A non-dominated point: the design and its metric vector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrontierPoint {
+    /// The design (index encoding).
+    pub point: Vec<usize>,
+    /// Raw metric values (not canonicalized), in archive metric order.
+    pub metrics: Vec<f64>,
+}
+
+/// A non-dominated set (Pareto frontier) over two or more metrics.
+///
+/// Insertion order never affects the final set: a point enters the archive
+/// iff no archived point dominates it, and entering evicts every archived
+/// point it dominates. Points with identical metric vectors do not dominate
+/// each other, so distinct co-located designs are all kept; exact duplicates
+/// (same point *and* metrics) are inserted once. [`ParetoArchive::frontier`]
+/// returns the set in a canonical sort order, so two archives holding the
+/// same set render identically — the basis of the order-invariance and
+/// parallel-equals-sequential guarantees.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ParetoArchive {
+    directions: Vec<MetricDirection>,
+    entries: Vec<FrontierPoint>,
+}
+
+impl ParetoArchive {
+    /// Creates an empty archive over the given metric directions.
+    ///
+    /// # Panics
+    /// Panics if fewer than two metrics are given — a single metric is a
+    /// scalar study; use [`crate::run_study`] instead.
+    #[must_use]
+    pub fn new(directions: &[MetricDirection]) -> Self {
+        assert!(directions.len() >= 2, "a Pareto archive needs >= 2 metrics");
+        ParetoArchive { directions: directions.to_vec(), entries: Vec::new() }
+    }
+
+    /// Number of tracked metrics.
+    #[must_use]
+    pub fn metrics(&self) -> usize {
+        self.directions.len()
+    }
+
+    /// The metric directions.
+    #[must_use]
+    pub fn directions(&self) -> &[MetricDirection] {
+        &self.directions
+    }
+
+    /// Number of non-dominated points currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the archive holds no points.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether `a` dominates `b`: at least as good on every metric and
+    /// strictly better on at least one (directions applied).
+    fn dominates(&self, a: &[f64], b: &[f64]) -> bool {
+        let mut strictly = false;
+        for (d, (&va, &vb)) in self.directions.iter().zip(a.iter().zip(b)) {
+            let (sa, sb) = (d.signed(va), d.signed(vb));
+            if sa < sb {
+                return false;
+            }
+            if sa > sb {
+                strictly = true;
+            }
+        }
+        strictly
+    }
+
+    /// Offers a point to the archive. Returns `true` if it was kept (it is
+    /// non-dominated and not an exact duplicate), evicting any archived
+    /// points it dominates.
+    ///
+    /// # Panics
+    /// Panics if `metrics` has the wrong arity or contains a NaN (NaN has no
+    /// place in a dominance order).
+    pub fn insert(&mut self, point: Vec<usize>, metrics: Vec<f64>) -> bool {
+        assert_eq!(metrics.len(), self.directions.len(), "metric arity mismatch");
+        assert!(metrics.iter().all(|m| !m.is_nan()), "NaN metric offered to Pareto archive");
+        for e in &self.entries {
+            if self.dominates(&e.metrics, &metrics) {
+                return false;
+            }
+            if e.metrics == metrics && e.point == point {
+                return false; // exact duplicate
+            }
+        }
+        let dominated: Vec<usize> = (0..self.entries.len())
+            .filter(|&i| self.dominates(&metrics, &self.entries[i].metrics))
+            .collect();
+        for i in dominated.into_iter().rev() {
+            self.entries.remove(i);
+        }
+        self.entries.push(FrontierPoint { point, metrics });
+        true
+    }
+
+    /// The non-dominated set in canonical order: sorted by metric values
+    /// (lexicographic `total_cmp`), ties broken by the point encoding.
+    #[must_use]
+    pub fn frontier(&self) -> Vec<FrontierPoint> {
+        let mut f = self.entries.clone();
+        f.sort_by(|a, b| {
+            a.metrics
+                .iter()
+                .zip(&b.metrics)
+                .map(|(x, y)| x.total_cmp(y))
+                .find(|o| o.is_ne())
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.point.cmp(&b.point))
+        });
+        f
+    }
+}
+
+/// Result of one multi-objective study run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ParetoStudyResult {
+    /// Optimizer name.
+    pub optimizer: String,
+    /// The non-dominated set over all valid trials, in canonical order.
+    pub frontier: Vec<FrontierPoint>,
+    /// Best-so-far *guide* scalar after each trial (`NaN` until the first
+    /// valid trial) — the multi-objective analogue of
+    /// [`crate::StudyResult::convergence`].
+    pub guide_convergence: Vec<f64>,
+    /// Number of invalid (rejected) trials.
+    pub invalid_trials: usize,
+    /// All trials in order.
+    pub trials: Vec<MultiTrial>,
+}
+
+/// Runs `optimizer` for `n_trials` multi-objective evaluations, one point at
+/// a time, maintaining a [`ParetoArchive`] over `directions`.
+///
+/// Determinism: identical to [`run_study_pareto_batched`] with
+/// `batch_size == 1` — every trial draws its RNG from
+/// [`trial_rng`]`(seed, index)`, so the frontier depends only on the seed,
+/// the optimizer, and the objective function.
+pub fn run_study_pareto<F>(
+    space: &ParamSpace,
+    optimizer: &mut dyn Optimizer,
+    n_trials: usize,
+    seed: u64,
+    directions: &[MetricDirection],
+    mut objective: F,
+) -> ParetoStudyResult
+where
+    F: FnMut(&[usize]) -> MultiObjective,
+{
+    run_study_pareto_batched(space, optimizer, n_trials, 1, seed, directions, |points| {
+        points.iter().map(|p| objective(p)).collect()
+    })
+}
+
+/// Runs `optimizer` for `n_trials` multi-objective evaluations in rounds of
+/// `batch_size` proposals, handing each round to `evaluate_batch` as a
+/// slice.
+///
+/// This is the multi-objective sibling of [`crate::run_study_batched`] and
+/// keeps its determinism contract: trial `i` draws its randomness from
+/// [`trial_rng`]`(seed, i)`, rounds are observed in proposal order, and
+/// `evaluate_batch` must return one [`MultiObjective`] per point in proposal
+/// order — so the caller may evaluate a round's points concurrently (or
+/// serially) and obtain a bit-identical [`ParetoStudyResult::frontier`].
+/// The optimizer itself observes the scalar `guide` of each valid trial
+/// (as [`TrialResult::Valid`]) while the archive tracks the full metric
+/// vectors.
+///
+/// # Panics
+/// Panics if `evaluate_batch` returns the wrong number of results or a
+/// metric vector of the wrong arity.
+pub fn run_study_pareto_batched<F>(
+    space: &ParamSpace,
+    optimizer: &mut dyn Optimizer,
+    n_trials: usize,
+    batch_size: usize,
+    seed: u64,
+    directions: &[MetricDirection],
+    mut evaluate_batch: F,
+) -> ParetoStudyResult
+where
+    F: FnMut(&[Vec<usize>]) -> Vec<MultiObjective>,
+{
+    let batch_size = batch_size.max(1);
+    let mut archive = ParetoArchive::new(directions);
+    let mut best_guide = f64::NAN;
+    let mut guide_convergence = Vec::with_capacity(n_trials);
+    let mut invalid = 0;
+    let mut trials = Vec::with_capacity(n_trials);
+
+    let mut start = 0;
+    while start < n_trials {
+        let round = batch_size.min(n_trials - start);
+        let mut rngs: Vec<StdRng> = (start..start + round).map(|i| trial_rng(seed, i)).collect();
+        let points = optimizer.propose_batch(space, &mut rngs);
+        assert_eq!(points.len(), round, "optimizer must propose one point per RNG");
+        debug_assert!(points.iter().all(|p| space.contains(p)));
+
+        let results = evaluate_batch(&points);
+        assert_eq!(results.len(), round, "evaluator must score every proposed point");
+
+        let mut scalar_trials = Vec::with_capacity(round);
+        for (point, result) in points.into_iter().zip(results) {
+            let scalar = match &result {
+                MultiObjective::Valid { metrics, guide } => {
+                    archive.insert(point.clone(), metrics.clone());
+                    if best_guide.is_nan() || *guide > best_guide {
+                        best_guide = *guide;
+                    }
+                    TrialResult::Valid(*guide)
+                }
+                MultiObjective::Invalid => {
+                    invalid += 1;
+                    TrialResult::Invalid
+                }
+            };
+            guide_convergence.push(best_guide);
+            scalar_trials.push(Trial { point: point.clone(), result: scalar });
+            trials.push(MultiTrial { point, result });
+        }
+        optimizer.observe_batch(space, &scalar_trials);
+        start += round;
+    }
+
+    ParetoStudyResult {
+        optimizer: optimizer.name().to_string(),
+        frontier: archive.frontier(),
+        guide_convergence,
+        invalid_trials: invalid,
+        trials,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::RandomSearch;
+    use crate::space::ParamDomain;
+    use MetricDirection::{Maximize, Minimize};
+
+    fn space() -> ParamSpace {
+        let mut s = ParamSpace::new();
+        s.add("x", ParamDomain::Pow2 { min: 1, max: 64 });
+        s.add("y", ParamDomain::Pow2 { min: 1, max: 64 });
+        s
+    }
+
+    #[test]
+    fn archive_keeps_only_non_dominated() {
+        let mut a = ParetoArchive::new(&[Maximize, Minimize]);
+        assert!(a.insert(vec![0], vec![1.0, 5.0]));
+        // Dominated: lower qps, higher tdp.
+        assert!(!a.insert(vec![1], vec![0.5, 6.0]));
+        // Dominates the first: evicts it.
+        assert!(a.insert(vec![2], vec![2.0, 4.0]));
+        assert_eq!(a.len(), 1);
+        // Incomparable: better on one metric, worse on the other.
+        assert!(a.insert(vec![3], vec![1.0, 1.0]));
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn archive_keeps_colocated_points_and_dedupes_exact() {
+        let mut a = ParetoArchive::new(&[Maximize, Maximize]);
+        assert!(a.insert(vec![0], vec![1.0, 1.0]));
+        // Same metrics, different design: neither dominates, both kept.
+        assert!(a.insert(vec![1], vec![1.0, 1.0]));
+        // Exact duplicate: skipped.
+        assert!(!a.insert(vec![0], vec![1.0, 1.0]));
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn archive_is_order_invariant_on_a_fixed_set() {
+        let pts: Vec<(Vec<usize>, Vec<f64>)> = vec![
+            (vec![0], vec![1.0, 5.0]),
+            (vec![1], vec![2.0, 4.0]),
+            (vec![2], vec![0.5, 6.0]),
+            (vec![3], vec![2.0, 4.0]),
+            (vec![4], vec![3.0, 9.0]),
+            (vec![5], vec![1.5, 4.5]),
+        ];
+        let build = |order: &[usize]| {
+            let mut a = ParetoArchive::new(&[Maximize, Minimize]);
+            for &i in order {
+                let (p, m) = pts[i].clone();
+                a.insert(p, m);
+            }
+            a.frontier()
+        };
+        let reference = build(&[0, 1, 2, 3, 4, 5]);
+        assert_eq!(reference, build(&[5, 4, 3, 2, 1, 0]));
+        assert_eq!(reference, build(&[3, 0, 5, 1, 4, 2]));
+        assert_eq!(reference, build(&[2, 4, 0, 3, 1, 5]));
+    }
+
+    #[test]
+    #[should_panic(expected = "metric arity mismatch")]
+    fn archive_rejects_wrong_arity() {
+        let mut a = ParetoArchive::new(&[Maximize, Minimize]);
+        a.insert(vec![0], vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 2 metrics")]
+    fn archive_rejects_single_metric() {
+        let _ = ParetoArchive::new(&[Maximize]);
+    }
+
+    #[test]
+    fn pareto_study_tracks_frontier_and_guide() {
+        let s = space();
+        let mut opt = RandomSearch::new();
+        let res = run_study_pareto(&s, &mut opt, 200, 7, &[Maximize, Minimize], |p| {
+            // qps grows with x, "tdp" grows with x + y: the frontier is the
+            // set of y == 0 points (any extra y costs tdp, gains nothing).
+            let (x, y) = (p[0] as f64, p[1] as f64);
+            MultiObjective::valid(vec![x, x + y], x / (x + y + 1.0))
+        });
+        assert_eq!(res.guide_convergence.len(), 200);
+        assert_eq!(res.invalid_trials, 0);
+        assert!(!res.frontier.is_empty());
+        for fp in &res.frontier {
+            assert_eq!(fp.point[1], 0, "frontier must be y == 0, got {:?}", fp.point);
+        }
+        // Guide convergence is monotone once finite.
+        let mut last = f64::NEG_INFINITY;
+        for v in res.guide_convergence.iter().filter(|v| v.is_finite()) {
+            assert!(*v >= last);
+            last = *v;
+        }
+    }
+
+    #[test]
+    fn pareto_study_counts_invalid_trials() {
+        let s = space();
+        let mut opt = RandomSearch::new();
+        let res = run_study_pareto(&s, &mut opt, 100, 3, &[Maximize, Minimize], |p| {
+            if p[0] > 3 {
+                MultiObjective::Invalid
+            } else {
+                MultiObjective::valid(vec![p[0] as f64, p[1] as f64], p[0] as f64)
+            }
+        });
+        assert!(res.invalid_trials > 0);
+        assert!(res.frontier.iter().all(|fp| fp.point[0] <= 3));
+        assert_eq!(res.trials.len(), 100);
+    }
+
+    #[test]
+    fn batched_pareto_study_is_invariant_to_batch_size_for_random_search() {
+        let s = space();
+        let run = |batch| {
+            let mut opt = RandomSearch::new();
+            run_study_pareto_batched(&s, &mut opt, 93, batch, 5, &[Maximize, Minimize], |pts| {
+                pts.iter()
+                    .map(|p| {
+                        MultiObjective::valid(
+                            vec![(p[0] * 2) as f64, (p[0] + p[1]) as f64],
+                            p[0] as f64,
+                        )
+                    })
+                    .collect()
+            })
+        };
+        let a = run(1);
+        for batch in [2, 16, 93, 1000] {
+            let b = run(batch);
+            assert_eq!(a.frontier, b.frontier, "batch {batch}");
+            assert_eq!(a.guide_convergence, b.guide_convergence, "batch {batch}");
+        }
+    }
+}

@@ -34,9 +34,59 @@ pub enum ParamDomain {
 }
 
 impl ParamDomain {
+    /// Checks the domain is well-formed: power-of-two bounds with
+    /// `min <= max` for the `Pow2` shapes, at least one alternative for
+    /// `Categorical`.
+    ///
+    /// [`ParamSpace::add`] enforces this at construction time and
+    /// [`ParamDomain::cardinality`] re-asserts it at use (closing the
+    /// deserialization path around `add`), so an optimizer can never observe
+    /// an ill-formed domain; call it directly when constructing domains from
+    /// untrusted input. Without the check, `cardinality` would underflow its
+    /// `trailing_zeros` subtraction for `min > max` and silently mis-count
+    /// for non-power-of-two bounds (`trailing_zeros` only measures the
+    /// lowest set bit).
+    ///
+    /// # Errors
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            ParamDomain::Pow2 { min, max } | ParamDomain::Pow2OrZero { min, max } => {
+                if !min.is_power_of_two() {
+                    return Err(format!("min {min} is not a power of two"));
+                }
+                if !max.is_power_of_two() {
+                    return Err(format!("max {max} is not a power of two"));
+                }
+                if min > max {
+                    return Err(format!("empty domain: min {min} > max {max}"));
+                }
+                Ok(())
+            }
+            ParamDomain::Categorical { n } => {
+                if *n == 0 {
+                    return Err("categorical domain needs at least one alternative".to_string());
+                }
+                Ok(())
+            }
+            ParamDomain::Bool => Ok(()),
+        }
+    }
+
     /// Number of admissible values.
+    ///
+    /// # Panics
+    /// Panics if the domain fails [`ParamDomain::validate`].
+    /// [`ParamSpace::add`] rejects ill-formed domains up front, but a
+    /// domain can reach this method without passing through `add` (e.g. a
+    /// deserialized space, which bypasses construction-time checks), so the
+    /// guard is unconditional — the check is a handful of integer branches
+    /// and allocates nothing when the domain is well-formed.
     #[must_use]
     pub fn cardinality(&self) -> usize {
+        if let Err(e) = self.validate() {
+            panic!("cardinality of invalid domain {self:?}: {e}");
+        }
         match self {
             ParamDomain::Pow2 { min, max } => {
                 (max.trailing_zeros() - min.trailing_zeros() + 1) as usize
@@ -95,8 +145,18 @@ impl ParamSpace {
     }
 
     /// Adds a parameter, returning its dimension index.
+    ///
+    /// # Panics
+    /// Panics with a description of the violation if the domain is
+    /// ill-formed (see [`ParamDomain::validate`]) — catching, at
+    /// construction time, bounds that would otherwise corrupt every
+    /// cardinality-dependent computation downstream.
     pub fn add(&mut self, name: impl Into<String>, domain: ParamDomain) -> usize {
-        self.params.push(ParamDef { name: name.into(), domain });
+        let name = name.into();
+        if let Err(e) = domain.validate() {
+            panic!("invalid domain for parameter {name:?}: {e}");
+        }
+        self.params.push(ParamDef { name, domain });
         self.params.len() - 1
     }
 
@@ -203,5 +263,46 @@ mod tests {
     fn value_out_of_range_panics() {
         let d = ParamDomain::Bool;
         let _ = d.value(2);
+    }
+
+    #[test]
+    fn validate_catches_ill_formed_domains() {
+        // min > max: would underflow the trailing_zeros subtraction.
+        assert!(ParamDomain::Pow2 { min: 64, max: 8 }.validate().is_err());
+        assert!(ParamDomain::Pow2OrZero { min: 512, max: 256 }.validate().is_err());
+        // Non-power-of-two bounds: trailing_zeros would silently mis-count
+        // (e.g. 12 = 0b1100 has 2 trailing zeros, counting as if it were 4).
+        assert!(ParamDomain::Pow2 { min: 1, max: 12 }.validate().is_err());
+        assert!(ParamDomain::Pow2 { min: 3, max: 16 }.validate().is_err());
+        assert!(ParamDomain::Pow2 { min: 0, max: 16 }.validate().is_err());
+        assert!(ParamDomain::Categorical { n: 0 }.validate().is_err());
+        // Well-formed shapes pass.
+        assert!(ParamDomain::Pow2 { min: 4, max: 4 }.validate().is_ok());
+        assert!(ParamDomain::Pow2OrZero { min: 1, max: 256 }.validate().is_ok());
+        assert!(ParamDomain::Categorical { n: 1 }.validate().is_ok());
+        assert!(ParamDomain::Bool.validate().is_ok());
+    }
+
+    /// The use-site guard: a domain that never went through
+    /// `ParamSpace::add` (e.g. deserialized) still fails loudly instead of
+    /// underflowing.
+    #[test]
+    #[should_panic(expected = "cardinality of invalid domain")]
+    fn cardinality_of_invalid_domain_panics() {
+        let _ = ParamDomain::Pow2 { min: 64, max: 8 }.cardinality();
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid domain for parameter \"bad\": empty domain: min 64 > max 8")]
+    fn add_rejects_inverted_bounds() {
+        let mut s = ParamSpace::new();
+        s.add("bad", ParamDomain::Pow2 { min: 64, max: 8 });
+    }
+
+    #[test]
+    #[should_panic(expected = "not a power of two")]
+    fn add_rejects_non_pow2_bounds() {
+        let mut s = ParamSpace::new();
+        s.add("bad", ParamDomain::Pow2 { min: 1, max: 100 });
     }
 }

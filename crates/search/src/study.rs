@@ -171,10 +171,19 @@ pub struct ConvergenceBand {
     pub hi: Vec<f64>,
 }
 
-/// Builds a [`ConvergenceBand`] from several equal-length convergence curves.
+/// Builds a [`ConvergenceBand`] from several convergence curves.
 ///
 /// `z` is the normal quantile (1.645 for a 90 % interval). Trials where some
 /// run has no valid incumbent yet (`NaN`) are averaged over the runs that do.
+///
+/// Curves may be *ragged* (unequal lengths): the band extends to the longest
+/// curve, and position `t` aggregates only the curves that reach `t`. The
+/// tail of the band therefore reflects fewer runs than the head — its CI
+/// widens accordingly (smaller `n` in the standard error), and the mean can
+/// step when a short run drops out. Callers comparing optimizers on equal
+/// footing should pass equal-length curves (one per seed at a fixed trial
+/// budget, as [`run_study`] produces); the ragged behavior exists for
+/// aggregating runs truncated by external budgets.
 #[must_use]
 pub fn convergence_band(curves: &[Vec<f64>], z: f64) -> ConvergenceBand {
     let len = curves.iter().map(Vec::len).max().unwrap_or(0);
@@ -340,6 +349,22 @@ mod tests {
         assert!((band.mean[0] - 2.0).abs() < 1e-12);
         assert!((band.mean[2] - 4.0).abs() < 1e-12);
         assert!(band.lo[0] < band.mean[0] && band.mean[0] < band.hi[0]);
+    }
+
+    /// The documented ragged behavior: positions past a short curve's end
+    /// aggregate only the longer curves, so the tail mean tracks the
+    /// surviving runs (and the single-run tail has a zero-width CI).
+    #[test]
+    fn band_ragged_curves_average_over_runs_that_reach_t() {
+        let curves = vec![vec![1.0, 2.0], vec![3.0, 4.0, 10.0]];
+        let band = convergence_band(&curves, 1.645);
+        assert_eq!(band.mean.len(), 3, "band extends to the longest curve");
+        assert!((band.mean[0] - 2.0).abs() < 1e-12);
+        assert!((band.mean[1] - 3.0).abs() < 1e-12);
+        // t = 2: only the long run remains.
+        assert!((band.mean[2] - 10.0).abs() < 1e-12);
+        assert!((band.lo[2] - 10.0).abs() < 1e-12, "single-run tail has zero-width CI");
+        assert!((band.hi[2] - 10.0).abs() < 1e-12);
     }
 
     #[test]

@@ -57,13 +57,17 @@ pub mod prelude {
     pub use fast_arch::{presets, Budget, DatapathConfig};
     pub use fast_core::{
         ablation_study, component_breakdown, design_report, relative_to_tpu, run_fast_search,
-        run_fast_search_parallel, CacheStats, DesignEval, Evaluator, FastSpace, Objective,
-        OptimizerKind, SearchConfig,
+        run_fast_search_parallel, BudgetLevel, CacheStats, DesignEval, Evaluator, FastSpace,
+        Objective, OptimizerKind, ScenarioMatrix, SearchConfig, SweepConfig, SweepResult,
+        SweepRunner,
     };
     pub use fast_fusion::{fuse_workload, FusionOptions};
     pub use fast_ir::{DType, FusionStrategy, Graph, GraphStats};
-    pub use fast_models::{BertConfig, EfficientNet, Workload};
+    pub use fast_models::{BertConfig, EfficientNet, Workload, WorkloadDomain};
     pub use fast_roi::RoiModel;
-    pub use fast_search::{run_study, run_study_batched, trial_rng, TrialResult};
+    pub use fast_search::{
+        run_study, run_study_batched, run_study_pareto, run_study_pareto_batched, trial_rng,
+        MetricDirection, MultiObjective, ParetoArchive, TrialResult,
+    };
     pub use fast_sim::{simulate, SimOptions, SoftmaxMode};
 }

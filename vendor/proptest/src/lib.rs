@@ -1,7 +1,7 @@
 //! Offline shim for `proptest`.
 //!
 //! Re-implements the subset the FAST test suites use: the `proptest!` macro
-//! (with optional `#![proptest_config(...)]`), integer-range and
+//! (with optional `#![proptest_config(...)]`), integer-range, tuple and
 //! `prop::collection::vec` strategies, and `prop_assert!`/`prop_assert_eq!`.
 //! Cases are generated from a fixed seed so failures reproduce; shrinking is
 //! not implemented — a failing case reports its inputs via the panic message
@@ -87,6 +87,21 @@ macro_rules! impl_float_range_strategies {
 
 impl_float_range_strategies!(f32, f64);
 
+macro_rules! impl_tuple_strategies {
+    ($(($($s:ident),+)),*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($s,)+) = self;
+                ($($s.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategies!((A, B), (A, B, C), (A, B, C, D));
+
 /// A strategy yielding a constant.
 #[derive(Debug, Clone)]
 pub struct Just<T: Clone + std::fmt::Debug>(pub T);
@@ -104,7 +119,7 @@ pub mod collection {
     use rand::rngs::StdRng;
     use rand::Rng;
 
-    /// Length specifications accepted by [`vec`].
+    /// Length specifications accepted by [`vec()`].
     pub trait SizeRange {
         /// Draws a length.
         fn sample_len(&self, rng: &mut StdRng) -> usize;
