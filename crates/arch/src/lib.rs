@@ -29,6 +29,7 @@
 
 pub mod config;
 pub mod cost;
+mod persist;
 pub mod presets;
 pub mod tech;
 

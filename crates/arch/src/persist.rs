@@ -1,0 +1,187 @@
+//! Binary-codec impls for the datapath types that appear in durable
+//! snapshots (the evaluation-cache key and sweep checkpoints).
+//!
+//! Hand-written field-by-field — the vendored serde derives generate no
+//! code — so this file *is* the on-disk layout of a [`DatapathConfig`]. The
+//! exhaustive destructuring mirrors the cache key's: adding a config field
+//! without extending the codec is a compile error, which keeps old
+//! snapshots from being silently reinterpreted (the envelope version in
+//! the snapshot container must be bumped instead).
+
+use crate::config::{BufferSharing, DatapathConfig, L2Config, MemoryTech};
+use crate::cost::Budget;
+use serde::bin::{Decode, DecodeError, Encode, Reader, Writer};
+
+impl Encode for BufferSharing {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(match self {
+            BufferSharing::Private => 0,
+            BufferSharing::Shared => 1,
+        });
+    }
+}
+
+impl Decode for BufferSharing {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.get_u8()? {
+            0 => Ok(BufferSharing::Private),
+            1 => Ok(BufferSharing::Shared),
+            b => Err(DecodeError { offset: 0, what: format!("invalid BufferSharing tag {b}") }),
+        }
+    }
+}
+
+impl Encode for L2Config {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(match self {
+            L2Config::Disabled => 0,
+            L2Config::Private => 1,
+            L2Config::Shared => 2,
+        });
+    }
+}
+
+impl Decode for L2Config {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.get_u8()? {
+            0 => Ok(L2Config::Disabled),
+            1 => Ok(L2Config::Private),
+            2 => Ok(L2Config::Shared),
+            b => Err(DecodeError { offset: 0, what: format!("invalid L2Config tag {b}") }),
+        }
+    }
+}
+
+impl Encode for MemoryTech {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(match self {
+            MemoryTech::Gddr6 => 0,
+            MemoryTech::Hbm2 => 1,
+        });
+    }
+}
+
+impl Decode for MemoryTech {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.get_u8()? {
+            0 => Ok(MemoryTech::Gddr6),
+            1 => Ok(MemoryTech::Hbm2),
+            b => Err(DecodeError { offset: 0, what: format!("invalid MemoryTech tag {b}") }),
+        }
+    }
+}
+
+impl Encode for DatapathConfig {
+    fn encode(&self, w: &mut Writer) {
+        let DatapathConfig {
+            pes_x,
+            pes_y,
+            sa_x,
+            sa_y,
+            vector_multiplier,
+            l1_config,
+            l1_input_kib,
+            l1_weight_kib,
+            l1_output_kib,
+            l2_config,
+            l2_input_mult,
+            l2_weight_mult,
+            l2_output_mult,
+            global_memory_mib,
+            dram_channels,
+            memory,
+            native_batch,
+            clock_ghz,
+            cores,
+        } = *self;
+        pes_x.encode(w);
+        pes_y.encode(w);
+        sa_x.encode(w);
+        sa_y.encode(w);
+        vector_multiplier.encode(w);
+        l1_config.encode(w);
+        l1_input_kib.encode(w);
+        l1_weight_kib.encode(w);
+        l1_output_kib.encode(w);
+        l2_config.encode(w);
+        l2_input_mult.encode(w);
+        l2_weight_mult.encode(w);
+        l2_output_mult.encode(w);
+        global_memory_mib.encode(w);
+        dram_channels.encode(w);
+        memory.encode(w);
+        native_batch.encode(w);
+        clock_ghz.encode(w);
+        cores.encode(w);
+    }
+}
+
+impl Decode for DatapathConfig {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(DatapathConfig {
+            pes_x: Decode::decode(r)?,
+            pes_y: Decode::decode(r)?,
+            sa_x: Decode::decode(r)?,
+            sa_y: Decode::decode(r)?,
+            vector_multiplier: Decode::decode(r)?,
+            l1_config: Decode::decode(r)?,
+            l1_input_kib: Decode::decode(r)?,
+            l1_weight_kib: Decode::decode(r)?,
+            l1_output_kib: Decode::decode(r)?,
+            l2_config: Decode::decode(r)?,
+            l2_input_mult: Decode::decode(r)?,
+            l2_weight_mult: Decode::decode(r)?,
+            l2_output_mult: Decode::decode(r)?,
+            global_memory_mib: Decode::decode(r)?,
+            dram_channels: Decode::decode(r)?,
+            memory: Decode::decode(r)?,
+            native_batch: Decode::decode(r)?,
+            clock_ghz: Decode::decode(r)?,
+            cores: Decode::decode(r)?,
+        })
+    }
+}
+
+impl Encode for Budget {
+    fn encode(&self, w: &mut Writer) {
+        let Budget { max_area_mm2, max_tdp_w } = *self;
+        max_area_mm2.encode(w);
+        max_tdp_w.encode(w);
+    }
+}
+
+impl Decode for Budget {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Budget { max_area_mm2: Decode::decode(r)?, max_tdp_w: Decode::decode(r)? })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::presets;
+    use serde::bin::{Decode, Encode};
+
+    #[test]
+    fn datapath_config_round_trips_bit_identically() {
+        for cfg in [presets::tpu_v3(), presets::fast_large(), presets::fast_small()] {
+            let back = crate::DatapathConfig::from_bytes(&cfg.to_bytes()).unwrap();
+            assert_eq!(back, cfg);
+            assert_eq!(back.clock_ghz.to_bits(), cfg.clock_ghz.to_bits());
+        }
+    }
+
+    #[test]
+    fn budget_round_trips() {
+        let b = crate::Budget::paper_default();
+        let back = crate::Budget::from_bytes(&b.to_bytes()).unwrap();
+        assert_eq!(back.max_area_mm2.to_bits(), b.max_area_mm2.to_bits());
+        assert_eq!(back.max_tdp_w.to_bits(), b.max_tdp_w.to_bits());
+    }
+
+    #[test]
+    fn enum_tags_reject_garbage() {
+        assert!(crate::MemoryTech::from_bytes(&[9]).is_err());
+        assert!(crate::L2Config::from_bytes(&[3]).is_err());
+        assert!(crate::BufferSharing::from_bytes(&[2]).is_err());
+    }
+}

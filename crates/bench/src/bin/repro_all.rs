@@ -1,28 +1,64 @@
 //! Regenerates every table and figure of the paper in order, printing each
 //! report (the source of EXPERIMENTS.md). Search-driven figures honor the
-//! `FAST_TRIALS` environment variable.
-type Section = (&'static str, fn() -> String);
+//! `FAST_TRIALS` environment variable. The closing budget sweep — the
+//! longest section — is durable: `--checkpoint DIR` persists its progress
+//! and `--resume` replays a killed run from the snapshot.
+
+use fast_bench::pareto_figs::{sweep_budget_frontiers_with, SweepRunOptions};
+
+type Section = (&'static str, Box<dyn Fn() -> String>);
+
+const USAGE: &str = "usage: repro_all [--checkpoint DIR] [--resume]
+  --checkpoint DIR   persist the budget sweep's progress under DIR
+  --resume           resume the budget sweep from DIR (requires --checkpoint)";
 
 fn main() {
+    let mut sweep_opts = SweepRunOptions::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--checkpoint" => match args.next() {
+                Some(dir) => sweep_opts.checkpoint = Some(dir.into()),
+                None => {
+                    eprintln!("--checkpoint needs a directory\n{USAGE}");
+                    std::process::exit(2);
+                }
+            },
+            "--resume" => sweep_opts.resume = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if sweep_opts.resume && sweep_opts.checkpoint.is_none() {
+        eprintln!("--resume requires --checkpoint DIR\n{USAGE}");
+        std::process::exit(2);
+    }
+
     let sections: Vec<Section> = vec![
-        ("tab01", fast_bench::tables::tab01_working_sets),
-        ("tab02", fast_bench::tables::tab02_b7_op_runtime),
-        ("fig02", fast_bench::figures::fig02_family_latency),
-        ("fig03", fast_bench::figures::fig03_op_intensity),
-        ("fig04", fast_bench::figures::fig04_b7_block_util),
-        ("fig05", fast_bench::figures::fig05_bert_ops),
-        ("fig06", fast_bench::figures::fig06_roi_curves),
-        ("fig09", fast_bench::headline::fig09_throughput),
-        ("fig10", fast_bench::headline::fig10_perf_tdp),
-        ("fig11", fast_bench::search_figs::fig11_convergence),
-        ("fig12", fast_bench::search_figs::fig12_pareto),
-        ("fig13", fast_bench::figures::fig13_fusion_sweep),
-        ("fig14", fast_bench::figures::fig14_b7_fast_util),
-        ("fig15", fast_bench::figures::fig15_breakdown),
-        ("tab04", fast_bench::tables::tab04_roi_volumes),
-        ("tab05", fast_bench::tables::tab05_example_designs),
-        ("tab06", fast_bench::tables::tab06_ablation),
-        ("sweep", fast_bench::pareto_figs::sweep_budget_frontiers),
+        ("tab01", Box::new(fast_bench::tables::tab01_working_sets)),
+        ("tab02", Box::new(fast_bench::tables::tab02_b7_op_runtime)),
+        ("fig02", Box::new(fast_bench::figures::fig02_family_latency)),
+        ("fig03", Box::new(fast_bench::figures::fig03_op_intensity)),
+        ("fig04", Box::new(fast_bench::figures::fig04_b7_block_util)),
+        ("fig05", Box::new(fast_bench::figures::fig05_bert_ops)),
+        ("fig06", Box::new(fast_bench::figures::fig06_roi_curves)),
+        ("fig09", Box::new(fast_bench::headline::fig09_throughput)),
+        ("fig10", Box::new(fast_bench::headline::fig10_perf_tdp)),
+        ("fig11", Box::new(fast_bench::search_figs::fig11_convergence)),
+        ("fig12", Box::new(fast_bench::search_figs::fig12_pareto)),
+        ("fig13", Box::new(fast_bench::figures::fig13_fusion_sweep)),
+        ("fig14", Box::new(fast_bench::figures::fig14_b7_fast_util)),
+        ("fig15", Box::new(fast_bench::figures::fig15_breakdown)),
+        ("tab04", Box::new(fast_bench::tables::tab04_roi_volumes)),
+        ("tab05", Box::new(fast_bench::tables::tab05_example_designs)),
+        ("tab06", Box::new(fast_bench::tables::tab06_ablation)),
+        ("sweep", Box::new(move || sweep_budget_frontiers_with(&sweep_opts))),
     ];
     for (name, f) in sections {
         let start = std::time::Instant::now();

@@ -1,4 +1,42 @@
-//! The scenario-sweep budget frontiers (Figure 9/10-style), standalone.
+//! The scenario-sweep budget frontiers (Figure 9/10-style), standalone and
+//! durable: `--checkpoint DIR` persists progress, `--resume` continues a
+//! killed run bit-identically, `--frontiers-only` prints only the
+//! deterministic tables (what the CI kill-and-resume smoke diffs).
+
+use fast_bench::pareto_figs::{sweep_budget_frontiers_with, SweepRunOptions};
+
+const USAGE: &str = "usage: sweep_frontiers [--checkpoint DIR] [--resume] [--frontiers-only]
+  --checkpoint DIR   save the evaluation cache + scenario ledger under DIR
+  --resume           continue a killed run from DIR (requires --checkpoint)
+  --frontiers-only   print only the deterministic frontier tables";
+
 fn main() {
-    println!("{}", fast_bench::pareto_figs::sweep_budget_frontiers());
+    let mut opts = SweepRunOptions::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--checkpoint" => match args.next() {
+                Some(dir) => opts.checkpoint = Some(dir.into()),
+                None => {
+                    eprintln!("--checkpoint needs a directory\n{USAGE}");
+                    std::process::exit(2);
+                }
+            },
+            "--resume" => opts.resume = true,
+            "--frontiers-only" => opts.frontiers_only = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if opts.resume && opts.checkpoint.is_none() {
+        eprintln!("--resume requires --checkpoint DIR\n{USAGE}");
+        std::process::exit(2);
+    }
+    println!("{}", sweep_budget_frontiers_with(&opts));
 }

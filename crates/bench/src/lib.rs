@@ -26,6 +26,20 @@
 //! | `tab06_ablation` | Table 6 — FAST-Large ablation |
 //! | `sweep_frontiers` | budget sweep — per-scenario Pareto frontiers + ROI |
 //! | `repro_all` | everything above, in order |
+//!
+//! The `sweep_frontiers` and `repro_all` binaries are *durable*: pass
+//! `--checkpoint DIR` to persist progress and `--resume` to continue a
+//! killed run bit-identically (see [`pareto_figs::SweepRunOptions`]).
+//!
+//! ```
+//! use fast_bench::Table;
+//!
+//! let mut t = Table::new(["design", "QPS"]);
+//! t.row(["FAST-Large", "12000"]);
+//! let rendered = t.render();
+//! assert!(rendered.contains("FAST-Large"));
+//! assert_eq!(rendered.lines().count(), 3); // header, rule, one row
+//! ```
 
 pub mod figures;
 pub mod headline;

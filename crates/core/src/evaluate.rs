@@ -12,10 +12,12 @@ use fast_arch::{cost, Budget, DatapathConfig};
 use fast_fusion::{fuse_workload, FusionOptions, FusionResult};
 use fast_models::Workload;
 use fast_sim::{simulate, SimOptions, WorkloadPerf};
+use serde::bin::{self, Decode, Encode, Reader, Writer};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -470,6 +472,234 @@ impl Evaluator {
         let (cfg, sim) = space.decode(point);
         self.evaluate(&cfg, &sim)
     }
+
+    /// Number of `(workload, datapath, schedule, fusion)` results currently
+    /// memoized.
+    #[must_use]
+    pub fn eval_cache_len(&self) -> usize {
+        self.cache.entries.lock().expect("eval cache poisoned").len()
+    }
+
+    /// Writes the evaluation cache to `path` as a versioned, checksummed
+    /// snapshot; returns the number of entries written.
+    ///
+    /// The write is atomic (temp file + rename), so a process killed
+    /// mid-save leaves either the previous snapshot or a temp file the
+    /// loader never looks at — never a torn snapshot. Entries are sorted by
+    /// encoded key, so equal caches produce byte-identical files.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn save_eval_cache(&self, path: &Path) -> std::io::Result<usize> {
+        let encoded: Vec<(Vec<u8>, Vec<u8>)> = {
+            let entries = self.cache.entries.lock().expect("eval cache poisoned");
+            let mut pairs: Vec<(Vec<u8>, Vec<u8>)> =
+                entries.iter().map(|(k, v)| (k.to_bytes(), v.as_ref().to_bytes())).collect();
+            pairs.sort();
+            pairs
+        };
+        let mut payload = Writer::new();
+        payload.put_u64(encoded.len() as u64);
+        for (k, v) in &encoded {
+            payload.put_bytes(k);
+            payload.put_bytes(v);
+        }
+        let file = bin::write_envelope(CACHE_MAGIC, CACHE_VERSION, &payload.into_bytes());
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, &file)?;
+        std::fs::rename(&tmp, path)?;
+        Ok(encoded.len())
+    }
+
+    /// Loads a [`Evaluator::save_eval_cache`] snapshot from `path` and
+    /// merges it into this evaluator's (shared) cache.
+    ///
+    /// **Never fails and never poisons results:** a missing file is simply
+    /// a cold cache, and any damage — truncation, a wrong version byte,
+    /// endian-swapped or otherwise corrupt bytes — is detected by the
+    /// envelope (magic/version/length/checksum) or the decoders, logged to
+    /// stderr, and degrades to a cold cache. Existing in-memory entries
+    /// always win over loaded ones. Loaded entries count as neither hits
+    /// nor misses until they answer an evaluation.
+    pub fn load_eval_cache(&self, path: &Path) -> CacheLoadReport {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return CacheLoadReport { loaded: 0, warning: None };
+            }
+            Err(e) => return CacheLoadReport::cold(format!("reading {}: {e}", path.display())),
+        };
+        let payload = match bin::read_envelope(CACHE_MAGIC, CACHE_VERSION, &bytes) {
+            Ok(p) => p,
+            Err(e) => {
+                return CacheLoadReport::cold(format!("snapshot {}: {e}", path.display()));
+            }
+        };
+        // Decode everything before touching the shared cache: a snapshot is
+        // adopted whole or not at all.
+        let mut decoded: Vec<(SimKey, Result<WorkloadEval, EvalError>)> = Vec::new();
+        let mut r = Reader::new(payload);
+        let count = match r.get_u64() {
+            Ok(c) => c,
+            Err(e) => return CacheLoadReport::cold(format!("snapshot {}: {e}", path.display())),
+        };
+        for _ in 0..count {
+            match <(SimKey, Result<WorkloadEval, EvalError>)>::decode(&mut r) {
+                Ok(pair) => decoded.push(pair),
+                Err(e) => {
+                    return CacheLoadReport::cold(format!("snapshot {}: {e}", path.display()));
+                }
+            }
+        }
+        if !r.is_done() {
+            return CacheLoadReport::cold(format!(
+                "snapshot {}: {} trailing bytes",
+                path.display(),
+                r.remaining()
+            ));
+        }
+        let loaded = decoded.len();
+        let mut entries = self.cache.entries.lock().expect("eval cache poisoned");
+        for (key, value) in decoded {
+            entries.entry(key).or_insert_with(|| Arc::new(value));
+        }
+        CacheLoadReport { loaded, warning: None }
+    }
+}
+
+/// Magic prefix of evaluation-cache snapshot files.
+const CACHE_MAGIC: [u8; 8] = *b"FASTEVC1";
+/// Snapshot format version; bump on any layout change so old files degrade
+/// to a cold cache instead of being misread.
+const CACHE_VERSION: u32 = 1;
+
+/// Outcome of [`Evaluator::load_eval_cache`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheLoadReport {
+    /// Entries merged into the cache (0 when cold).
+    pub loaded: usize,
+    /// Why the snapshot was rejected, if it was (also logged to stderr).
+    pub warning: Option<String>,
+}
+
+impl CacheLoadReport {
+    /// A cold-cache outcome carrying (and logging) a warning.
+    fn cold(warning: String) -> Self {
+        eprintln!("warning: evaluation-cache snapshot ignored — {warning}");
+        CacheLoadReport { loaded: 0, warning: Some(warning) }
+    }
+}
+
+impl Encode for Objective {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(match self {
+            Objective::Qps => 0,
+            Objective::PerfPerTdp => 1,
+        });
+    }
+}
+
+impl Decode for Objective {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, bin::DecodeError> {
+        match r.get_u8()? {
+            0 => Ok(Objective::Qps),
+            1 => Ok(Objective::PerfPerTdp),
+            t => Err(bin::DecodeError { offset: 0, what: format!("invalid Objective tag {t}") }),
+        }
+    }
+}
+
+impl Encode for SimKey {
+    fn encode(&self, w: &mut Writer) {
+        let SimKey { workload, config, sim, fusion } = self;
+        workload.encode(w);
+        config.encode(w);
+        sim.encode(w);
+        fusion.encode(w);
+    }
+}
+
+impl Decode for SimKey {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, bin::DecodeError> {
+        Ok(SimKey {
+            workload: Decode::decode(r)?,
+            config: Decode::decode(r)?,
+            sim: Decode::decode(r)?,
+            fusion: Decode::decode(r)?,
+        })
+    }
+}
+
+impl Encode for WorkloadEval {
+    fn encode(&self, w: &mut Writer) {
+        let WorkloadEval {
+            workload,
+            step_seconds,
+            qps,
+            utilization,
+            prefusion_stall,
+            postfusion_stall,
+            op_intensity_pre,
+            op_intensity_post,
+            pinned_weight_bytes,
+        } = self;
+        workload.encode(w);
+        step_seconds.encode(w);
+        qps.encode(w);
+        utilization.encode(w);
+        prefusion_stall.encode(w);
+        postfusion_stall.encode(w);
+        op_intensity_pre.encode(w);
+        op_intensity_post.encode(w);
+        pinned_weight_bytes.encode(w);
+    }
+}
+
+impl Decode for WorkloadEval {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, bin::DecodeError> {
+        Ok(WorkloadEval {
+            workload: Decode::decode(r)?,
+            step_seconds: Decode::decode(r)?,
+            qps: Decode::decode(r)?,
+            utilization: Decode::decode(r)?,
+            prefusion_stall: Decode::decode(r)?,
+            postfusion_stall: Decode::decode(r)?,
+            op_intensity_pre: Decode::decode(r)?,
+            op_intensity_post: Decode::decode(r)?,
+            pinned_weight_bytes: Decode::decode(r)?,
+        })
+    }
+}
+
+impl Encode for EvalError {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            EvalError::InvalidConfig(e) => {
+                w.put_u8(0);
+                e.encode(w);
+            }
+            EvalError::OverBudget { area, tdp } => {
+                w.put_u8(1);
+                area.encode(w);
+                tdp.encode(w);
+            }
+            EvalError::ScheduleFailure(e) => {
+                w.put_u8(2);
+                e.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for EvalError {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, bin::DecodeError> {
+        match r.get_u8()? {
+            0 => Ok(EvalError::InvalidConfig(Decode::decode(r)?)),
+            1 => Ok(EvalError::OverBudget { area: Decode::decode(r)?, tdp: Decode::decode(r)? }),
+            2 => Ok(EvalError::ScheduleFailure(Decode::decode(r)?)),
+            t => Err(bin::DecodeError { offset: 0, what: format!("invalid EvalError tag {t}") }),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -649,6 +879,146 @@ mod tests {
         );
         let _ = multi.evaluate(&cfg, &sim).unwrap();
         assert_eq!(base.cache_stats(), CacheStats { hits: 2, misses: 2 });
+    }
+
+    /// A per-test scratch path under the target-adjacent temp dir.
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("fast-evc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn cache_snapshot_round_trips_bit_identically() {
+        let e = evaluator(Objective::PerfPerTdp);
+        let sim = SimOptions::default();
+        let first = e.evaluate(&presets::fast_large(), &sim).unwrap();
+        // A cached schedule failure rides along.
+        let mut bad = presets::fast_large();
+        bad.sa_x = 128;
+        bad.sa_y = 128;
+        bad.pes_x = 2;
+        bad.pes_y = 1;
+        let _ = e.evaluate(&bad, &sim).unwrap_err();
+        assert_eq!(e.eval_cache_len(), 2);
+
+        let path = scratch("roundtrip.bin");
+        assert_eq!(e.save_eval_cache(&path).unwrap(), 2);
+
+        let fresh = e.fresh_eval_cache();
+        let report = fresh.load_eval_cache(&path);
+        assert_eq!(report, CacheLoadReport { loaded: 2, warning: None });
+        assert_eq!(fresh.eval_cache_len(), 2);
+        // Warm: both lookups are hits, and the success is bit-identical.
+        let warm = fresh.evaluate(&presets::fast_large(), &sim).unwrap();
+        let bad_again = fresh.evaluate(&bad, &sim).unwrap_err();
+        assert_eq!(fresh.cache_stats(), CacheStats { hits: 2, misses: 0 });
+        assert_eq!(warm.objective_value.to_bits(), first.objective_value.to_bits());
+        assert_eq!(
+            warm.workloads[0].step_seconds.to_bits(),
+            first.workloads[0].step_seconds.to_bits()
+        );
+        assert!(matches!(bad_again, EvalError::ScheduleFailure(_)));
+    }
+
+    #[test]
+    fn cache_snapshot_missing_file_is_silently_cold() {
+        let e = evaluator(Objective::Qps);
+        let report = e.load_eval_cache(&scratch("never-written.bin"));
+        assert_eq!(report, CacheLoadReport { loaded: 0, warning: None });
+    }
+
+    #[test]
+    fn cache_snapshot_rejects_truncation_at_every_length() {
+        let e = evaluator(Objective::Qps);
+        let _ = e.evaluate(&presets::fast_large(), &SimOptions::default()).unwrap();
+        let path = scratch("truncate.bin");
+        e.save_eval_cache(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+
+        for cut in [0, 1, bin::ENVELOPE_HEADER_LEN - 1, bin::ENVELOPE_HEADER_LEN, bytes.len() - 1] {
+            let cut_path = scratch("truncated.bin");
+            std::fs::write(&cut_path, &bytes[..cut]).unwrap();
+            let fresh = e.fresh_eval_cache();
+            let report = fresh.load_eval_cache(&cut_path);
+            assert_eq!(report.loaded, 0, "cut at {cut}");
+            assert!(report.warning.is_some(), "cut at {cut}");
+            assert_eq!(fresh.eval_cache_len(), 0, "cut at {cut}: cold means cold");
+        }
+    }
+
+    #[test]
+    fn cache_snapshot_rejects_version_skew() {
+        let e = evaluator(Objective::Qps);
+        let _ = e.evaluate(&presets::fast_large(), &SimOptions::default()).unwrap();
+        let path = scratch("version.bin");
+        e.save_eval_cache(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[8] = bytes[8].wrapping_add(1); // version u32's low byte
+        std::fs::write(&path, &bytes).unwrap();
+        let fresh = e.fresh_eval_cache();
+        let report = fresh.load_eval_cache(&path);
+        assert_eq!(report.loaded, 0);
+        assert!(report.warning.unwrap().contains("version"), "must name the version skew");
+    }
+
+    #[test]
+    fn cache_snapshot_rejects_foreign_endian_garbage() {
+        let e = evaluator(Objective::Qps);
+        let _ = e.evaluate(&presets::fast_large(), &SimOptions::default()).unwrap();
+        let path = scratch("endian.bin");
+        e.save_eval_cache(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+
+        // Byte-swap the payload as a big-endian writer would have produced
+        // it: the checksum (computed over the little-endian payload) fails.
+        let mut swapped = bytes.clone();
+        swapped[bin::ENVELOPE_HEADER_LEN..].reverse();
+        std::fs::write(&path, &swapped).unwrap();
+        let fresh = e.fresh_eval_cache();
+        let report = fresh.load_eval_cache(&path);
+        assert_eq!(report.loaded, 0);
+        assert!(report.warning.is_some());
+
+        // Arbitrary garbage of plausible size: bad magic.
+        std::fs::write(&path, vec![0xA5u8; 256]).unwrap();
+        let report = fresh.load_eval_cache(&path);
+        assert_eq!(report.loaded, 0);
+        assert!(report.warning.unwrap().contains("magic"));
+        assert_eq!(fresh.eval_cache_len(), 0);
+    }
+
+    #[test]
+    fn cache_snapshot_checksum_catches_flipped_payload_bits() {
+        let e = evaluator(Objective::Qps);
+        let _ = e.evaluate(&presets::fast_large(), &SimOptions::default()).unwrap();
+        let path = scratch("bitflip.bin");
+        e.save_eval_cache(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        let fresh = e.fresh_eval_cache();
+        let report = fresh.load_eval_cache(&path);
+        assert_eq!(report.loaded, 0);
+        assert!(report.warning.unwrap().contains("checksum"));
+    }
+
+    #[test]
+    fn cache_snapshot_merge_keeps_existing_entries() {
+        let e = evaluator(Objective::Qps);
+        let sim = SimOptions::default();
+        let _ = e.evaluate(&presets::fast_large(), &sim).unwrap();
+        let path = scratch("merge.bin");
+        e.save_eval_cache(&path).unwrap();
+
+        // An evaluator that already simulated one of the snapshot's keys
+        // keeps its own entry and gains nothing new for it.
+        let other = e.fresh_eval_cache();
+        let _ = other.evaluate(&presets::fast_large(), &sim).unwrap();
+        let report = other.load_eval_cache(&path);
+        assert_eq!(report.loaded, 1);
+        assert_eq!(other.eval_cache_len(), 1);
     }
 
     #[test]

@@ -15,7 +15,11 @@
 //!
 //! Above the single-study drivers, the [`sweep`] module runs whole result
 //! matrices — `{budget × objective × workload domain}` — as Pareto studies
-//! over one shared evaluation cache (the paper's Figs. 9–11 sweeps).
+//! over one shared evaluation cache (the paper's Figs. 9–11 sweeps), and
+//! makes them durable: [`Checkpointer`] + [`SweepRunner::resume`] let a
+//! killed sweep continue bit-identically, with the evaluation cache
+//! persisted via [`Evaluator::save_eval_cache`] /
+//! [`Evaluator::load_eval_cache`].
 //!
 //! ```no_run
 //! use fast_core::{Evaluator, Objective, SearchConfig, run_fast_search};
@@ -45,10 +49,12 @@ pub use analysis::{
 pub use driver::{
     run_fast_search, run_fast_search_parallel, OptimizerKind, SearchConfig, SearchOutcome,
 };
-pub use evaluate::{CacheStats, DesignEval, EvalError, Evaluator, Objective, WorkloadEval};
+pub use evaluate::{
+    CacheLoadReport, CacheStats, DesignEval, EvalError, Evaluator, Objective, WorkloadEval,
+};
 pub use report::{design_report, relative_to_tpu, DesignReport, RelativePerf};
 pub use search_space::{combined_search_space_log10, FastSpace, SpaceDims};
 pub use sweep::{
-    BudgetLevel, FrontierDesign, Scenario, ScenarioMatrix, ScenarioResult, SweepConfig,
-    SweepResult, SweepRunner,
+    BudgetLevel, Checkpointer, CompletedScenario, FrontierDesign, Scenario, ScenarioMatrix,
+    ScenarioResult, SweepConfig, SweepResult, SweepRunner,
 };

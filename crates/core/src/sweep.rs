@@ -24,8 +24,10 @@ use fast_models::WorkloadDomain;
 use fast_search::{run_study_pareto_batched, FrontierPoint, MetricDirection, MultiObjective};
 use fast_sim::SimOptions;
 use rayon::prelude::*;
+use serde::bin::{self, Decode, Encode, Reader, Writer};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 
 /// A named area/TDP budget level of the sweep (e.g. `"1.00x"` for the paper
 /// budget, `"0.50x"` for an embedded-class point).
@@ -232,6 +234,144 @@ impl SweepResult {
     }
 }
 
+/// Writes sweep progress to disk so a killed sweep can be resumed.
+///
+/// Two files live under the checkpoint directory:
+///
+/// * `eval_cache.bin` — the shared evaluation cache
+///   ([`Evaluator::save_eval_cache`]), refreshed at every study round that
+///   ran new simulations. This is the expensive state: after a mid-scenario
+///   kill, the resumed scenario re-proposes the same points (determinism
+///   contract) and answers them from this snapshot.
+/// * `sweep.bin` — the scenario ledger: a fingerprint of `(matrix, config)`
+///   plus a [`CompletedScenario`] record per finished scenario, rewritten
+///   at every scenario boundary.
+///
+/// Both writes are atomic (temp file + rename) and both loads degrade to
+/// "no checkpoint" on any damage or fingerprint mismatch — resuming can
+/// cost re-simulation, never correctness.
+#[derive(Debug, Clone)]
+pub struct Checkpointer {
+    dir: PathBuf,
+}
+
+/// Magic prefix of sweep-ledger files.
+const SWEEP_MAGIC: [u8; 8] = *b"FASTSWP1";
+/// Ledger format version; bump on layout changes.
+const SWEEP_VERSION: u32 = 1;
+
+impl Checkpointer {
+    /// Creates (or reopens) a checkpoint directory.
+    ///
+    /// # Errors
+    /// Propagates directory-creation failures.
+    pub fn new(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Checkpointer { dir })
+    }
+
+    /// The checkpoint directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the evaluation-cache snapshot.
+    #[must_use]
+    pub fn cache_path(&self) -> PathBuf {
+        self.dir.join("eval_cache.bin")
+    }
+
+    /// Path of the scenario ledger.
+    #[must_use]
+    pub fn sweep_path(&self) -> PathBuf {
+        self.dir.join("sweep.bin")
+    }
+
+    /// Atomically rewrites the scenario ledger.
+    fn save_ledger(&self, fingerprint: u64, completed: &[CompletedScenario]) {
+        let mut payload = Writer::new();
+        payload.put_u64(fingerprint);
+        completed.to_vec().encode(&mut payload);
+        let file = bin::write_envelope(SWEEP_MAGIC, SWEEP_VERSION, &payload.into_bytes());
+        let path = self.sweep_path();
+        let tmp = path.with_extension("tmp");
+        if let Err(e) = std::fs::write(&tmp, &file).and_then(|()| std::fs::rename(&tmp, &path)) {
+            eprintln!("warning: could not write sweep ledger {}: {e}", path.display());
+        }
+    }
+
+    /// Loads the ledger if it exists, is intact, and matches `fingerprint`.
+    /// Anything else — missing file, corruption, a ledger from a different
+    /// matrix/config — yields an empty ledger (with a logged warning when
+    /// the file existed but was unusable).
+    fn load_ledger(&self, fingerprint: u64) -> Vec<CompletedScenario> {
+        let path = self.sweep_path();
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Vec::new(),
+            Err(e) => {
+                eprintln!("warning: sweep ledger ignored — reading {}: {e}", path.display());
+                return Vec::new();
+            }
+        };
+        let reject = |what: &str| {
+            eprintln!("warning: sweep ledger ignored — {}: {what}", path.display());
+            Vec::new()
+        };
+        let payload = match bin::read_envelope(SWEEP_MAGIC, SWEEP_VERSION, &bytes) {
+            Ok(p) => p,
+            Err(e) => return reject(&e.to_string()),
+        };
+        let mut r = Reader::new(payload);
+        let (got_fp, completed): (u64, Vec<CompletedScenario>) =
+            match <(u64, Vec<CompletedScenario>)>::decode(&mut r) {
+                Ok(v) if r.is_done() => v,
+                Ok(_) => return reject("trailing bytes"),
+                Err(e) => return reject(&e.to_string()),
+            };
+        if got_fp != fingerprint {
+            return reject("checkpoint belongs to a different matrix/config");
+        }
+        completed
+    }
+}
+
+/// One finished scenario as recorded in the sweep ledger.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompletedScenario {
+    /// `"{domain}/{budget}/{objective}"`.
+    pub name: String,
+    /// The scenario's non-dominated set in canonical order.
+    pub frontier_points: Vec<FrontierPoint>,
+    /// Safe-search rejections in its study.
+    pub invalid_trials: usize,
+    /// Best objective value observed.
+    pub best_objective: Option<f64>,
+}
+
+impl Encode for CompletedScenario {
+    fn encode(&self, w: &mut Writer) {
+        let CompletedScenario { name, frontier_points, invalid_trials, best_objective } = self;
+        name.encode(w);
+        frontier_points.encode(w);
+        invalid_trials.encode(w);
+        best_objective.encode(w);
+    }
+}
+
+impl Decode for CompletedScenario {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, bin::DecodeError> {
+        Ok(CompletedScenario {
+            name: Decode::decode(r)?,
+            frontier_points: Decode::decode(r)?,
+            invalid_trials: Decode::decode(r)?,
+            best_objective: Decode::decode(r)?,
+        })
+    }
+}
+
 /// Runs a [`ScenarioMatrix`] as a sequence of Pareto studies over one shared
 /// evaluation cache.
 #[derive(Debug, Clone)]
@@ -270,6 +410,84 @@ impl SweepRunner {
     /// stats depend on thread scheduling.)
     #[must_use]
     pub fn run(&self) -> SweepResult {
+        self.run_impl(None, false, None)
+    }
+
+    /// [`SweepRunner::run`], saving checkpoints as it goes: the evaluation
+    /// cache at every round that simulated something new, the scenario
+    /// ledger at every scenario boundary. The sweep result is identical to
+    /// [`SweepRunner::run`]'s; the process merely becomes killable.
+    #[must_use]
+    pub fn run_checkpointed(&self, ck: &Checkpointer) -> SweepResult {
+        self.run_impl(Some(ck), false, None)
+    }
+
+    /// Resumes a killed [`SweepRunner::run_checkpointed`] sweep.
+    ///
+    /// Loads the evaluation-cache snapshot, then *replays* the whole matrix
+    /// against it: scenarios that completed before the kill re-run as
+    /// near-pure cache traffic (their proposals repeat by the determinism
+    /// contract, so every simulation is already memoized), and the first
+    /// unfinished scenario continues paying only for rounds the snapshot
+    /// missed. The result — every frontier, every convergence curve — is
+    /// **bit-identical to an uninterrupted run**; replayed scenarios are
+    /// additionally cross-checked against the ledger, warning on any
+    /// mismatch (which would indicate the code changed between runs).
+    ///
+    /// A missing, damaged, or mismatched checkpoint degrades to a cold
+    /// fresh run — resuming can cost re-simulation, never correctness.
+    /// Checkpointing continues during the resumed run.
+    #[must_use]
+    pub fn resume(&self, ck: &Checkpointer) -> SweepResult {
+        self.run_impl(Some(ck), true, None)
+    }
+
+    /// Runs only the first `limit` scenarios (with checkpointing) and stops
+    /// — a time-boxed prefix run. The returned result covers the prefix;
+    /// [`SweepRunner::resume`] later completes the matrix from the
+    /// checkpoint as if the prefix run had been killed at the boundary.
+    #[must_use]
+    pub fn run_prefix(&self, ck: &Checkpointer, limit: usize) -> SweepResult {
+        self.run_impl(Some(ck), false, Some(limit))
+    }
+
+    /// Fingerprint of `(matrix, config)` guarding ledger reuse: resuming
+    /// under any other matrix, budget set, objective set, domain content,
+    /// trial budget, optimizer, seed set or batch size must not adopt this
+    /// checkpoint's ledger.
+    fn fingerprint(&self) -> u64 {
+        let mut w = Writer::new();
+        for level in &self.matrix.budgets {
+            level.name.encode(&mut w);
+            level.budget.encode(&mut w);
+        }
+        for objective in &self.matrix.objectives {
+            objective.encode(&mut w);
+        }
+        for domain in &self.matrix.domains {
+            domain.encode(&mut w);
+        }
+        self.config.trials.encode(&mut w);
+        w.put_u8(match self.config.optimizer {
+            OptimizerKind::Random => 0,
+            OptimizerKind::Lcs => 1,
+            OptimizerKind::Tpe => 2,
+        });
+        self.config.seed.encode(&mut w);
+        self.config.batch.encode(&mut w);
+        for (cfg, sim) in &self.config.seeds {
+            cfg.encode(&mut w);
+            sim.encode(&mut w);
+        }
+        bin::fnv1a(&w.into_bytes())
+    }
+
+    fn run_impl(
+        &self,
+        ck: Option<&Checkpointer>,
+        resume: bool,
+        limit: Option<usize>,
+    ) -> SweepResult {
         let space = FastSpace::table3();
         let seeds: Vec<Vec<usize>> =
             self.config.seeds.iter().map(|(cfg, sim)| space.encode(cfg, sim)).collect();
@@ -277,8 +495,32 @@ impl SweepRunner {
         // own scenario fields are never used to score anything.
         let proto = Evaluator::new(Vec::new(), Objective::Qps, Budget::paper_default());
 
+        let fingerprint = self.fingerprint();
+        let mut ledger: HashMap<String, CompletedScenario> = HashMap::new();
+        if resume {
+            if let Some(ck) = ck {
+                let report = proto.load_eval_cache(&ck.cache_path());
+                if report.loaded > 0 {
+                    eprintln!(
+                        "resuming: {} cached evaluations loaded from {}",
+                        report.loaded,
+                        ck.cache_path().display()
+                    );
+                }
+                ledger =
+                    ck.load_ledger(fingerprint).into_iter().map(|c| (c.name.clone(), c)).collect();
+            }
+        }
+        // Misses already represented in the on-disk cache snapshot; rounds
+        // that add none skip the (whole-cache) re-save.
+        let mut saved_misses = proto.cache_stats().misses;
+        let mut completed: Vec<CompletedScenario> = Vec::new();
+
+        let all = self.matrix.scenarios();
+        let n = limit.map_or(all.len(), |l| l.min(all.len()));
+
         let mut scenarios = Vec::new();
-        for scenario in self.matrix.scenarios() {
+        for scenario in all.into_iter().take(n) {
             let evaluator = proto.for_scenario(
                 scenario.domain.workloads.clone(),
                 scenario.objective,
@@ -314,6 +556,20 @@ impl SweepRunner {
                             Err(_) => MultiObjective::Invalid,
                         })
                         .collect();
+                    // Round boundary: persist newly-simulated results so a
+                    // kill mid-scenario only re-pays this round's proposals.
+                    if let Some(ck) = ck {
+                        let misses = evaluator.cache_stats().misses;
+                        if misses > saved_misses {
+                            match evaluator.save_eval_cache(&ck.cache_path()) {
+                                Ok(_) => saved_misses = misses,
+                                Err(e) => eprintln!(
+                                    "warning: could not write cache snapshot {}: {e}",
+                                    ck.cache_path().display()
+                                ),
+                            }
+                        }
+                    }
                     points.iter().map(|p| scored[index_of[p]].clone()).collect()
                 },
             );
@@ -339,6 +595,30 @@ impl SweepRunner {
                 })
                 .collect();
             let best_objective = study.guide_convergence.last().copied().filter(|v| v.is_finite());
+
+            let record = CompletedScenario {
+                name: scenario.name.clone(),
+                frontier_points: study.frontier.clone(),
+                invalid_trials: study.invalid_trials,
+                best_objective,
+            };
+            if let Some(prior) = ledger.get(&record.name) {
+                // A replayed scenario must reproduce its pre-kill result
+                // exactly; a mismatch means the code (or an env knob the
+                // fingerprint cannot see) changed between runs. The fresh
+                // computation wins either way.
+                if *prior != record {
+                    eprintln!(
+                        "warning: resumed scenario {} diverged from its checkpoint record \
+                         (recomputed result kept)",
+                        record.name
+                    );
+                }
+            }
+            if let Some(ck) = ck {
+                completed.push(record);
+                ck.save_ledger(fingerprint, &completed);
+            }
 
             scenarios.push(ScenarioResult {
                 scenario,
@@ -442,6 +722,123 @@ mod tests {
             result.scenarios.iter().map(|s| s.cache.hits + s.cache.misses).sum::<u64>()
                 + result.scenarios.iter().map(|s| s.frontier.len() as u64).sum::<u64>(),
             "per-scenario deltas + frontier decoding account for all traffic"
+        );
+    }
+
+    fn scratch_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("fast-sweep-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn checkpointed_run_equals_plain_run() {
+        let config = SweepConfig { trials: 16, batch: 4, ..SweepConfig::default() };
+        let matrix = tiny_matrix();
+        let plain = SweepRunner::new(matrix.clone(), config.clone()).run();
+        let ck = Checkpointer::new(scratch_dir("equals")).unwrap();
+        let durable = SweepRunner::new(matrix, config).run_checkpointed(&ck);
+        for (a, b) in plain.scenarios.iter().zip(&durable.scenarios) {
+            assert_eq!(a.frontier_points, b.frontier_points, "{}", a.scenario.name);
+            assert_eq!(
+                a.cache, b.cache,
+                "{}: checkpointing must not perturb cache traffic",
+                a.scenario.name
+            );
+        }
+        assert!(ck.cache_path().exists());
+        assert!(ck.sweep_path().exists());
+    }
+
+    #[test]
+    fn prefix_then_resume_is_bit_identical_with_high_hit_rate() {
+        let config = SweepConfig { trials: 24, batch: 8, ..SweepConfig::default() };
+        let matrix = tiny_matrix();
+        let full = SweepRunner::new(matrix.clone(), config.clone()).run();
+
+        let ck = Checkpointer::new(scratch_dir("resume")).unwrap();
+        let runner = SweepRunner::new(matrix.clone(), config.clone());
+        let prefix = runner.run_prefix(&ck, 2);
+        assert_eq!(prefix.scenarios.len(), 2);
+
+        // A fresh runner (fresh process, conceptually) resumes.
+        let resumed = SweepRunner::new(matrix, config).resume(&ck);
+        assert_eq!(resumed.scenarios.len(), full.scenarios.len());
+        for (a, b) in full.scenarios.iter().zip(&resumed.scenarios) {
+            assert_eq!(a.frontier_points, b.frontier_points, "{}", a.scenario.name);
+            assert_eq!(a.invalid_trials, b.invalid_trials, "{}", a.scenario.name);
+        }
+        // The replayed prefix scenarios answer (almost) everything from the
+        // loaded snapshot.
+        for s in &resumed.scenarios[..2] {
+            assert!(
+                s.cache_hit_rate() > 0.9,
+                "{}: replay hit rate {:.2} ({:?})",
+                s.scenario.name,
+                s.cache_hit_rate(),
+                s.cache
+            );
+        }
+    }
+
+    #[test]
+    fn resume_with_mismatched_config_degrades_to_cold_run() {
+        let matrix = tiny_matrix();
+        let ck = Checkpointer::new(scratch_dir("mismatch")).unwrap();
+        let config = SweepConfig { trials: 16, batch: 4, ..SweepConfig::default() };
+        let _ = SweepRunner::new(matrix.clone(), config.clone()).run_prefix(&ck, 1);
+
+        // Different seed => different fingerprint: the ledger must be
+        // ignored, and the run must still complete correctly end to end.
+        let other = SweepConfig { seed: 99, ..config };
+        let expected = SweepRunner::new(matrix.clone(), other.clone()).run();
+        let resumed = SweepRunner::new(matrix, other).resume(&ck);
+        for (a, b) in expected.scenarios.iter().zip(&resumed.scenarios) {
+            assert_eq!(a.frontier_points, b.frontier_points, "{}", a.scenario.name);
+        }
+    }
+
+    #[test]
+    fn corrupt_checkpoint_files_degrade_to_cold_run() {
+        let matrix = tiny_matrix();
+        let config = SweepConfig { trials: 16, batch: 4, ..SweepConfig::default() };
+        let ck = Checkpointer::new(scratch_dir("corrupt")).unwrap();
+        let _ = SweepRunner::new(matrix.clone(), config.clone()).run_prefix(&ck, 2);
+        // Trash both files.
+        std::fs::write(ck.cache_path(), b"definitely not a snapshot").unwrap();
+        std::fs::write(ck.sweep_path(), vec![0xFFu8; 64]).unwrap();
+
+        let expected = SweepRunner::new(matrix.clone(), config.clone()).run();
+        let resumed = SweepRunner::new(matrix, config).resume(&ck);
+        for (a, b) in expected.scenarios.iter().zip(&resumed.scenarios) {
+            assert_eq!(a.frontier_points, b.frontier_points, "{}", a.scenario.name);
+        }
+    }
+
+    #[test]
+    fn fingerprint_sees_every_axis() {
+        let config = SweepConfig { trials: 16, batch: 4, ..SweepConfig::default() };
+        let base = SweepRunner::new(tiny_matrix(), config.clone());
+        let fp = |r: &SweepRunner| r.fingerprint();
+        assert_eq!(fp(&base), fp(&SweepRunner::new(tiny_matrix(), config.clone())));
+
+        let mut m = tiny_matrix();
+        m.budgets.pop();
+        assert_ne!(fp(&base), fp(&SweepRunner::new(m, config.clone())));
+        assert_ne!(
+            fp(&base),
+            fp(&SweepRunner::new(tiny_matrix(), SweepConfig { trials: 17, ..config.clone() }))
+        );
+        assert_ne!(
+            fp(&base),
+            fp(&SweepRunner::new(
+                tiny_matrix(),
+                SweepConfig { optimizer: OptimizerKind::Lcs, ..config.clone() }
+            ))
+        );
+        assert_ne!(
+            fp(&base),
+            fp(&SweepRunner::new(tiny_matrix(), SweepConfig { seeds: Vec::new(), ..config }))
         );
     }
 

@@ -22,6 +22,21 @@
 //! Solving follows the paper's SCIP-with-timeout contract: a greedy
 //! benefit-per-byte warm start, then LP-based branch and bound when the
 //! problem is small enough, falling back to the incumbent otherwise.
+//!
+//! ```
+//! use fast_fusion::{fuse_workload, FusionOptions};
+//! use fast_models::Workload;
+//! use fast_sim::{simulate, SimOptions};
+//!
+//! let cfg = fast_arch::presets::fast_large();
+//! let graph = Workload::EfficientNet(fast_models::EfficientNet::B0).build(8).unwrap();
+//! let perf = simulate(&graph, &cfg, &SimOptions::default()).unwrap();
+//! let fused = fuse_workload(&perf, &cfg, &FusionOptions::default());
+//! // Fusion moves tensor traffic on-chip: never slower than pre-fusion,
+//! // never faster than pure compute.
+//! assert!(fused.total_seconds <= perf.prefusion_seconds * (1.0 + 1e-9));
+//! assert!(fused.total_seconds >= perf.compute_seconds * (1.0 - 1e-9));
+//! ```
 
 use fast_arch::DatapathConfig;
 use fast_ilp::{solve_milp, MilpStatus, Problem, Sense, SolveOptions, VarId};
@@ -108,6 +123,33 @@ impl FusionOptions {
     #[must_use]
     pub fn disabled() -> Self {
         FusionOptions { disabled: true, ..FusionOptions::default() }
+    }
+}
+
+// Binary-codec impls (part of the evaluation-cache snapshot key). The
+// vendored serde derives generate no code, so the layout is spelled out
+// here; the time limit is persisted as whole nanoseconds.
+impl serde::bin::Encode for FusionOptions {
+    fn encode(&self, w: &mut serde::bin::Writer) {
+        let FusionOptions { exact_binary_limit, max_nodes, time_limit, residency_window, disabled } =
+            self;
+        exact_binary_limit.encode(w);
+        max_nodes.encode(w);
+        u64::try_from(time_limit.as_nanos()).unwrap_or(u64::MAX).encode(w);
+        residency_window.encode(w);
+        disabled.encode(w);
+    }
+}
+
+impl serde::bin::Decode for FusionOptions {
+    fn decode(r: &mut serde::bin::Reader<'_>) -> Result<Self, serde::bin::DecodeError> {
+        Ok(FusionOptions {
+            exact_binary_limit: usize::decode(r)?,
+            max_nodes: usize::decode(r)?,
+            time_limit: Duration::from_nanos(u64::decode(r)?),
+            residency_window: usize::decode(r)?,
+            disabled: bool::decode(r)?,
+        })
     }
 }
 
@@ -603,6 +645,19 @@ mod tests {
     fn perf_of(w: Workload, batch: u64, cfg: &DatapathConfig) -> WorkloadPerf {
         let g = w.build(batch).unwrap();
         simulate(&g, cfg, &SimOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn fusion_options_round_trip_through_codec() {
+        use serde::bin::{Decode as _, Encode as _};
+        for opts in [
+            FusionOptions::default(),
+            FusionOptions::heuristic_only(),
+            FusionOptions::strict_adjacency(),
+            FusionOptions::disabled(),
+        ] {
+            assert_eq!(FusionOptions::from_bytes(&opts.to_bytes()).unwrap(), opts);
+        }
     }
 
     #[test]

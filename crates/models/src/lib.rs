@@ -27,6 +27,7 @@
 pub mod bert;
 pub mod efficientnet;
 pub mod ocr;
+mod persist;
 pub mod resnet;
 
 pub use bert::{BertComponent, BertConfig};

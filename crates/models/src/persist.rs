@@ -1,0 +1,104 @@
+//! Binary-codec impls for workload identities — the part of the
+//! evaluation-cache key and sweep checkpoints this crate owns. Hand-written
+//! because the vendored serde derives generate no code.
+
+use crate::efficientnet::EfficientNet;
+use crate::{Workload, WorkloadDomain};
+use serde::bin::{Decode, DecodeError, Encode, Reader, Writer};
+
+impl Encode for EfficientNet {
+    fn encode(&self, w: &mut Writer) {
+        let idx =
+            EfficientNet::ALL.iter().position(|v| v == self).expect("ALL covers every variant");
+        w.put_u8(idx as u8);
+    }
+}
+
+impl Decode for EfficientNet {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let idx = r.get_u8()? as usize;
+        EfficientNet::ALL.get(idx).copied().ok_or_else(|| DecodeError {
+            offset: 0,
+            what: format!("invalid EfficientNet index {idx}"),
+        })
+    }
+}
+
+impl Encode for Workload {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Workload::EfficientNet(v) => {
+                w.put_u8(0);
+                v.encode(w);
+            }
+            Workload::Bert { seq_len } => {
+                w.put_u8(1);
+                seq_len.encode(w);
+            }
+            Workload::ResNet50 => w.put_u8(2),
+            Workload::OcrRpn => w.put_u8(3),
+            Workload::OcrRecognizer => w.put_u8(4),
+        }
+    }
+}
+
+impl Decode for Workload {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.get_u8()? {
+            0 => Ok(Workload::EfficientNet(Decode::decode(r)?)),
+            1 => Ok(Workload::Bert { seq_len: Decode::decode(r)? }),
+            2 => Ok(Workload::ResNet50),
+            3 => Ok(Workload::OcrRpn),
+            4 => Ok(Workload::OcrRecognizer),
+            t => Err(DecodeError { offset: 0, what: format!("invalid Workload tag {t}") }),
+        }
+    }
+}
+
+impl Encode for WorkloadDomain {
+    fn encode(&self, w: &mut Writer) {
+        let WorkloadDomain { name, workloads } = self;
+        name.encode(w);
+        workloads.encode(w);
+    }
+}
+
+impl Decode for WorkloadDomain {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let name: String = Decode::decode(r)?;
+        let workloads: Vec<Workload> = Decode::decode(r)?;
+        if workloads.is_empty() {
+            return Err(DecodeError {
+                offset: 0,
+                what: format!("domain {name:?} decodes to no workloads"),
+            });
+        }
+        Ok(WorkloadDomain { name, workloads })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_suite_workload_round_trips() {
+        for w in Workload::suite() {
+            assert_eq!(Workload::from_bytes(&w.to_bytes()).unwrap(), w);
+        }
+    }
+
+    #[test]
+    fn domains_round_trip() {
+        for d in [WorkloadDomain::geomean5(), WorkloadDomain::per_model(Workload::ResNet50)] {
+            let back = WorkloadDomain::from_bytes(&d.to_bytes()).unwrap();
+            assert_eq!(back, d);
+        }
+    }
+
+    #[test]
+    fn garbage_tags_are_rejected() {
+        assert!(Workload::from_bytes(&[9]).is_err());
+        assert!(EfficientNet::from_bytes(&[8]).is_err());
+    }
+}

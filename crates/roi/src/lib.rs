@@ -15,6 +15,19 @@
 //! compensation with 65 % overhead, 65 aggregate engineer-years (the
 //! Simba/Tesla-FSD average), and sub-10 nm mask/IP NRE extrapolated with the
 //! exponential scaling of ASIC Clouds — calibrated against Table 4.
+//!
+//! ```
+//! use fast_roi::RoiModel;
+//!
+//! let model = RoiModel::paper_default();
+//! // A 2x Perf/TCO accelerator pays back at datacenter scale…
+//! assert!(model.roi(100_000.0, 2.0) > 1.0);
+//! // …but not at a 100-chip deployment (the NRE dominates).
+//! assert!(model.roi(100.0, 2.0) < 1.0);
+//! // ROI grows monotonically along a frontier of increasing gains.
+//! let rois = model.roi_along_frontier(50_000.0, &[1.2, 1.5, 2.0]);
+//! assert!(rois[0] < rois[1] && rois[1] < rois[2]);
+//! ```
 
 use serde::{Deserialize, Serialize};
 

@@ -5,6 +5,7 @@
 //! default GP-based algorithm).
 
 use crate::optimizer::{Optimizer, Trial, TrialResult};
+use crate::snapshot::OptimizerState;
 use crate::space::ParamSpace;
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -31,6 +32,14 @@ impl Optimizer for RandomSearch {
     }
 
     fn observe(&mut self, _space: &ParamSpace, _trial: &Trial) {}
+
+    fn save_state(&self) -> OptimizerState {
+        OptimizerState::Random
+    }
+
+    fn load_state(&mut self, state: &OptimizerState) -> bool {
+        matches!(state, OptimizerState::Random)
+    }
 }
 
 /// Linear Combination Swarm: a population of particles; each proposal is a
@@ -143,6 +152,50 @@ impl Optimizer for LcsSwarm {
             }
         }
     }
+
+    fn save_state(&self) -> OptimizerState {
+        OptimizerState::Lcs {
+            population: self.population,
+            personal: self.personal.clone(),
+            global: self.global.clone(),
+            next_particle: self.next_particle,
+            pull_global: self.pull_global,
+            mutate: self.mutate,
+            pending: self.pending.clone(),
+        }
+    }
+
+    fn load_state(&mut self, state: &OptimizerState) -> bool {
+        let OptimizerState::Lcs {
+            population,
+            personal,
+            global,
+            next_particle,
+            pull_global,
+            mutate,
+            pending,
+        } = state
+        else {
+            return false;
+        };
+        // Structural sanity: a state whose particle bookkeeping is
+        // internally inconsistent cannot be adopted.
+        if *population < 2
+            || personal.len() != *population
+            || *next_particle >= *population
+            || pending.iter().any(|(p, _)| p >= population)
+        {
+            return false;
+        }
+        self.population = *population;
+        self.personal = personal.clone();
+        self.global = global.clone();
+        self.next_particle = *next_particle;
+        self.pull_global = *pull_global;
+        self.mutate = *mutate;
+        self.pending = pending.clone();
+        true
+    }
 }
 
 /// Tree-structured Parzen Estimator over discrete domains.
@@ -246,6 +299,29 @@ impl Optimizer for Tpe {
 
     fn observe(&mut self, _space: &ParamSpace, trial: &Trial) {
         self.history.push((trial.point.clone(), trial.result.objective()));
+    }
+
+    fn save_state(&self) -> OptimizerState {
+        OptimizerState::Tpe {
+            history: self.history.clone(),
+            gamma: self.gamma,
+            candidates: self.candidates,
+            startup: self.startup,
+        }
+    }
+
+    fn load_state(&mut self, state: &OptimizerState) -> bool {
+        let OptimizerState::Tpe { history, gamma, candidates, startup } = state else {
+            return false;
+        };
+        if *candidates == 0 {
+            return false; // propose() requires at least one candidate
+        }
+        self.history = history.clone();
+        self.gamma = *gamma;
+        self.candidates = *candidates;
+        self.startup = *startup;
+        true
     }
 }
 
@@ -370,6 +446,62 @@ mod tests {
         // Invalid injected trials change nothing.
         swarm.observe(&space, &Trial { point: vec![1], result: TrialResult::Invalid });
         assert_eq!(swarm.global, Some((vec![3], 9.0)));
+    }
+
+    /// `save_state` → `load_state` into a fresh instance must transplant
+    /// the algorithm exactly: both copies propose identically afterwards.
+    #[test]
+    fn save_load_state_transplants_each_algorithm() {
+        let space = toy_space();
+        type MkOpt = fn() -> Box<dyn Optimizer>;
+        let makers: [MkOpt; 3] = [
+            || Box::new(RandomSearch::new()) as Box<dyn Optimizer>,
+            || Box::new(LcsSwarm::new(5)),
+            || Box::new(Tpe::new()),
+        ];
+        for mk in makers {
+            let mut original = mk();
+            let _ = run(original.as_mut(), 40, 7);
+
+            let mut clone = mk();
+            assert!(clone.load_state(&original.save_state()), "{}", original.name());
+
+            // Identical proposal streams from identical RNGs.
+            let mut rng_a = StdRng::seed_from_u64(99);
+            let mut rng_b = StdRng::seed_from_u64(99);
+            for _ in 0..20 {
+                let pa = original.propose(&space, &mut rng_a);
+                let pb = clone.propose(&space, &mut rng_b);
+                assert_eq!(pa, pb, "{}", original.name());
+                let ra = toy_objective(&space, &pa);
+                original.observe(&space, &Trial { point: pa, result: ra });
+                clone.observe(&space, &Trial { point: pb, result: ra });
+            }
+        }
+    }
+
+    #[test]
+    fn load_state_rejects_foreign_or_inconsistent_states() {
+        use crate::snapshot::OptimizerState;
+        let mut lcs = LcsSwarm::new(4);
+        assert!(!lcs.load_state(&OptimizerState::Random));
+        assert!(!lcs.load_state(&OptimizerState::Opaque));
+        // Internally inconsistent LCS state: pending references particle 9
+        // of a 2-particle swarm.
+        assert!(!lcs.load_state(&OptimizerState::Lcs {
+            population: 2,
+            personal: vec![None, None],
+            global: None,
+            next_particle: 0,
+            pull_global: 0.3,
+            mutate: 0.1,
+            pending: vec![(9, vec![0])],
+        }));
+        let mut tpe = Tpe::new();
+        assert!(!tpe.load_state(&OptimizerState::Random));
+        let mut random = RandomSearch::new();
+        assert!(random.load_state(&OptimizerState::Random));
+        assert!(!random.load_state(&OptimizerState::Opaque));
     }
 
     #[test]

@@ -15,7 +15,12 @@
 //! * [`convergence_band`] — multi-run mean/CI aggregation for Figure 11;
 //! * [`ParetoArchive`] / [`run_study_pareto`] — the multi-objective path:
 //!   order-invariant non-dominated sets over ≥ 2 metrics and deterministic
-//!   (batched or sequential) Pareto studies for the paper's budget sweeps.
+//!   (batched or sequential) Pareto studies for the paper's budget sweeps;
+//! * [`snapshot`] — durable studies: [`StudyCheckpoint`] /
+//!   [`ParetoCheckpoint`] capture a study at a round boundary (archive,
+//!   convergence, trials, [`OptimizerState`], and the `trial_rng` cursor as
+//!   `(seed, trials_done)`), and the `*_resumable` drivers continue one
+//!   bit-identically — interrupted-then-resumed equals uninterrupted.
 //!
 //! ```
 //! use fast_search::{ParamSpace, ParamDomain, RandomSearch, run_study, TrialResult};
@@ -32,18 +37,21 @@
 pub mod algorithms;
 pub mod optimizer;
 pub mod pareto;
+pub mod snapshot;
 pub mod space;
 pub mod study;
 
 pub use algorithms::{LcsSwarm, RandomSearch, Tpe};
 pub use optimizer::{Optimizer, Trial, TrialResult};
 pub use pareto::{
-    run_study_pareto, run_study_pareto_batched, FrontierPoint, MetricDirection, MultiObjective,
-    MultiTrial, ParetoArchive, ParetoStudyResult,
+    run_study_pareto, run_study_pareto_batched, run_study_pareto_resumable, FrontierPoint,
+    MetricDirection, MultiObjective, MultiTrial, ParetoArchive, ParetoStudyResult,
 };
+pub use snapshot::{OptimizerState, ParetoCheckpoint, StudyCheckpoint};
 pub use space::{ParamDef, ParamDomain, ParamSpace};
 pub use study::{
-    convergence_band, run_study, run_study_batched, trial_rng, ConvergenceBand, StudyResult,
+    convergence_band, run_study, run_study_batched, run_study_batched_resumable, trial_rng,
+    ConvergenceBand, StudyResult,
 };
 
 #[cfg(test)]

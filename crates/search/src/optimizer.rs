@@ -1,5 +1,6 @@
 //! Optimizer trait and the trial bookkeeping shared by all algorithms.
 
+use crate::snapshot::OptimizerState;
 use crate::space::ParamSpace;
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
@@ -26,7 +27,7 @@ impl TrialResult {
 }
 
 /// One completed trial.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Trial {
     /// The proposed point (index encoding).
     pub point: Vec<usize>,
@@ -71,6 +72,24 @@ pub trait Optimizer {
         for trial in trials {
             self.observe(space, trial);
         }
+    }
+
+    /// Captures this optimizer's internal state for a checkpoint.
+    ///
+    /// The default returns [`OptimizerState::Opaque`], which the resumable
+    /// study drivers handle by replaying the recorded trial stream instead
+    /// of restoring directly — still bit-identical, just slower. Built-in
+    /// algorithms override this with a full snapshot.
+    fn save_state(&self) -> OptimizerState {
+        OptimizerState::Opaque
+    }
+
+    /// Restores this optimizer from a [`save_state`](Optimizer::save_state)
+    /// snapshot. Returns `false` — leaving the optimizer untouched — when
+    /// the state does not belong to this algorithm (the resumable drivers
+    /// then fall back to replay).
+    fn load_state(&mut self, _state: &OptimizerState) -> bool {
+        false
     }
 }
 

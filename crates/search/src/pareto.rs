@@ -15,6 +15,7 @@
 //!   study frontier bit for bit.
 
 use crate::optimizer::{Optimizer, Trial, TrialResult};
+use crate::snapshot::ParetoCheckpoint;
 use crate::space::ParamSpace;
 use crate::study::trial_rng;
 use rand::rngs::StdRng;
@@ -94,7 +95,7 @@ pub struct FrontierPoint {
 /// returns the set in a canonical sort order, so two archives holding the
 /// same set render identically — the basis of the order-invariance and
 /// parallel-equals-sequential guarantees.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ParetoArchive {
     directions: Vec<MetricDirection>,
     entries: Vec<FrontierPoint>,
@@ -180,6 +181,51 @@ impl ParetoArchive {
         true
     }
 
+    /// The raw entries in insertion order — the serialization view.
+    /// Prefer [`ParetoArchive::frontier`] for reporting: insertion order is
+    /// an implementation detail that checkpointing must preserve (so a
+    /// resumed archive is *bit*-identical, not merely set-identical) but
+    /// nothing else should depend on.
+    #[must_use]
+    pub fn entries(&self) -> &[FrontierPoint] {
+        &self.entries
+    }
+
+    /// Rebuilds an archive from serialized parts, preserving entry order.
+    ///
+    /// Validates everything [`ParetoArchive::insert`] would have: ≥ 2
+    /// directions, metric arity, no NaNs, and mutual non-domination with no
+    /// exact duplicates — so a decoded archive is indistinguishable from
+    /// the archive that was encoded.
+    ///
+    /// # Errors
+    /// Returns a description of the first violated invariant.
+    pub fn from_parts(
+        directions: &[MetricDirection],
+        entries: Vec<FrontierPoint>,
+    ) -> Result<Self, String> {
+        if directions.len() < 2 {
+            return Err(format!("a Pareto archive needs >= 2 metrics, got {}", directions.len()));
+        }
+        let mut archive = ParetoArchive { directions: directions.to_vec(), entries: Vec::new() };
+        for fp in entries {
+            if fp.metrics.len() != directions.len() {
+                return Err(format!(
+                    "entry arity {} != {} directions",
+                    fp.metrics.len(),
+                    directions.len()
+                ));
+            }
+            if fp.metrics.iter().any(|m| m.is_nan()) {
+                return Err("NaN metric in archive entry".to_string());
+            }
+            if !archive.insert(fp.point, fp.metrics) {
+                return Err("archive entries are not a mutually non-dominated set".to_string());
+            }
+        }
+        Ok(archive)
+    }
+
     /// The non-dominated set in canonical order: sorted by metric values
     /// (lexicographic `total_cmp`), ties broken by the point encoding.
     #[must_use]
@@ -262,19 +308,157 @@ pub fn run_study_pareto_batched<F>(
     batch_size: usize,
     seed: u64,
     directions: &[MetricDirection],
-    mut evaluate_batch: F,
+    evaluate_batch: F,
 ) -> ParetoStudyResult
 where
     F: FnMut(&[Vec<usize>]) -> Vec<MultiObjective>,
 {
+    let mut evaluate_batch = evaluate_batch;
+    run_study_pareto_inner(
+        space,
+        optimizer,
+        n_trials,
+        batch_size,
+        seed,
+        directions,
+        None,
+        &mut |points| evaluate_batch(points),
+        None,
+    )
+}
+
+/// Converts one multi-objective outcome into the scalar trial the optimizer
+/// observes, updating the archive, incumbent guide and counters.
+fn absorb_result(
+    archive: &mut ParetoArchive,
+    best_guide: &mut f64,
+    invalid: &mut usize,
+    point: &[usize],
+    result: &MultiObjective,
+) -> TrialResult {
+    match result {
+        MultiObjective::Valid { metrics, guide } => {
+            archive.insert(point.to_vec(), metrics.clone());
+            if best_guide.is_nan() || *guide > *best_guide {
+                *best_guide = *guide;
+            }
+            TrialResult::Valid(*guide)
+        }
+        MultiObjective::Invalid => {
+            *invalid += 1;
+            TrialResult::Invalid
+        }
+    }
+}
+
+/// The full-featured Pareto study driver: [`run_study_pareto_batched`]
+/// plus durability. `resume_from` continues a study from a
+/// [`ParetoCheckpoint`]; `on_round` receives a fresh checkpoint after every
+/// evaluated round (round boundaries are the only consistent snapshot
+/// points — mid-round there are proposals without observations).
+///
+/// **Bit-identity contract:** for any round boundary `k`, running
+/// `n_trials` straight equals running `k` trials, checkpointing, and
+/// resuming the checkpoint with a fresh optimizer of the same
+/// configuration — same frontier, same convergence, same trial sequence.
+/// Restoration uses [`Optimizer::load_state`] when the optimizer accepts
+/// the snapshot, and otherwise *replays* the recorded proposal/observation
+/// stream (exact, because proposals depend only on `(seed, trial index,
+/// observation history)` — the `trial_rng` determinism contract).
+///
+/// # Panics
+/// Panics if the checkpoint disagrees with the study configuration (seed,
+/// batch size, directions, a trial count that is neither a round boundary
+/// nor a completed study, or more trials recorded than `n_trials`), if a
+/// replayed optimizer re-proposes a different point than the record (a
+/// differently-configured optimizer), or on the [`run_study_pareto_batched`]
+/// arity contracts.
+#[allow(clippy::too_many_arguments)] // the durable superset of the batched driver
+pub fn run_study_pareto_resumable<F, C>(
+    space: &ParamSpace,
+    optimizer: &mut dyn Optimizer,
+    n_trials: usize,
+    batch_size: usize,
+    seed: u64,
+    directions: &[MetricDirection],
+    resume_from: Option<ParetoCheckpoint>,
+    mut evaluate_batch: F,
+    mut on_round: C,
+) -> ParetoStudyResult
+where
+    F: FnMut(&[Vec<usize>]) -> Vec<MultiObjective>,
+    C: FnMut(&ParetoCheckpoint),
+{
+    run_study_pareto_inner(
+        space,
+        optimizer,
+        n_trials,
+        batch_size,
+        seed,
+        directions,
+        resume_from,
+        &mut |points| evaluate_batch(points),
+        Some(&mut |ck: &ParetoCheckpoint| on_round(ck)),
+    )
+}
+
+/// Monomorphization-free core of the Pareto study drivers. Checkpoints are
+/// only constructed when a round hook is installed — the plain batched
+/// driver pays nothing for durability it does not use.
+#[allow(clippy::too_many_arguments)]
+fn run_study_pareto_inner(
+    space: &ParamSpace,
+    optimizer: &mut dyn Optimizer,
+    n_trials: usize,
+    batch_size: usize,
+    seed: u64,
+    directions: &[MetricDirection],
+    resume_from: Option<ParetoCheckpoint>,
+    evaluate_batch: &mut dyn FnMut(&[Vec<usize>]) -> Vec<MultiObjective>,
+    mut on_round: Option<&mut dyn FnMut(&ParetoCheckpoint)>,
+) -> ParetoStudyResult {
     let batch_size = batch_size.max(1);
     let mut archive = ParetoArchive::new(directions);
     let mut best_guide = f64::NAN;
     let mut guide_convergence = Vec::with_capacity(n_trials);
     let mut invalid = 0;
-    let mut trials = Vec::with_capacity(n_trials);
+    let mut trials: Vec<MultiTrial> = Vec::with_capacity(n_trials);
 
-    let mut start = 0;
+    if let Some(ck) = resume_from {
+        assert_eq!(ck.archive.directions(), directions, "checkpoint direction mismatch");
+        // The optimizer observed each trial's scalar guide, not the full
+        // metric vector — replay (if needed) feeds it the same stream.
+        let scalar: Vec<Trial> = ck
+            .trials
+            .iter()
+            .map(|t| Trial {
+                point: t.point.clone(),
+                result: match &t.result {
+                    MultiObjective::Valid { guide, .. } => TrialResult::Valid(*guide),
+                    MultiObjective::Invalid => TrialResult::Invalid,
+                },
+            })
+            .collect();
+        crate::snapshot::validate_and_restore(
+            space,
+            optimizer,
+            n_trials,
+            batch_size,
+            seed,
+            ck.seed,
+            ck.batch_size,
+            ck.guide_convergence.len(),
+            &ck.optimizer,
+            &scalar,
+        );
+        archive = ck.archive;
+        best_guide = ck.best_guide;
+        guide_convergence = ck.guide_convergence;
+        invalid = ck.invalid_trials;
+        trials = ck.trials;
+    }
+
+    let mut start = trials.len();
     while start < n_trials {
         let round = batch_size.min(n_trials - start);
         let mut rngs: Vec<StdRng> = (start..start + round).map(|i| trial_rng(seed, i)).collect();
@@ -287,25 +471,27 @@ where
 
         let mut scalar_trials = Vec::with_capacity(round);
         for (point, result) in points.into_iter().zip(results) {
-            let scalar = match &result {
-                MultiObjective::Valid { metrics, guide } => {
-                    archive.insert(point.clone(), metrics.clone());
-                    if best_guide.is_nan() || *guide > best_guide {
-                        best_guide = *guide;
-                    }
-                    TrialResult::Valid(*guide)
-                }
-                MultiObjective::Invalid => {
-                    invalid += 1;
-                    TrialResult::Invalid
-                }
-            };
+            let scalar =
+                absorb_result(&mut archive, &mut best_guide, &mut invalid, &point, &result);
             guide_convergence.push(best_guide);
             scalar_trials.push(Trial { point: point.clone(), result: scalar });
             trials.push(MultiTrial { point, result });
         }
         optimizer.observe_batch(space, &scalar_trials);
         start += round;
+
+        if let Some(hook) = on_round.as_deref_mut() {
+            hook(&ParetoCheckpoint {
+                seed,
+                batch_size,
+                archive: archive.clone(),
+                best_guide,
+                guide_convergence: guide_convergence.clone(),
+                invalid_trials: invalid,
+                trials: trials.clone(),
+                optimizer: optimizer.save_state(),
+            });
+        }
     }
 
     ParetoStudyResult {
@@ -431,6 +617,168 @@ mod tests {
         assert!(res.invalid_trials > 0);
         assert!(res.frontier.iter().all(|fp| fp.point[0] <= 3));
         assert_eq!(res.trials.len(), 100);
+    }
+
+    /// The durability contract: checkpoint after any round, resume with a
+    /// *fresh* optimizer, and the study ends bit-identical to an
+    /// uninterrupted run — for every built-in algorithm (state restore)
+    /// and for an Opaque-state optimizer (replay path).
+    #[test]
+    fn resumed_study_is_bit_identical_to_uninterrupted() {
+        use crate::algorithms::{LcsSwarm, Tpe};
+        use crate::snapshot::ParetoCheckpoint;
+
+        let s = space();
+        let dirs = [Maximize, Minimize];
+        let objective = |pts: &[Vec<usize>]| -> Vec<MultiObjective> {
+            pts.iter()
+                .map(|p| {
+                    if p[0] == 0 && p[1] == 0 {
+                        MultiObjective::Invalid
+                    } else {
+                        let (x, y) = (p[0] as f64, p[1] as f64);
+                        MultiObjective::valid(vec![x, x + y], x / (y + 1.0))
+                    }
+                })
+                .collect()
+        };
+
+        type MkOpt = fn() -> Box<dyn Optimizer>;
+        let makers: [MkOpt; 3] = [
+            || Box::new(RandomSearch::new()),
+            || Box::new(LcsSwarm::default()),
+            || Box::new(Tpe::new()),
+        ];
+        for mk in makers {
+            let mut straight_opt = mk();
+            let straight =
+                run_study_pareto_batched(&s, straight_opt.as_mut(), 60, 8, 11, &dirs, objective);
+
+            // Capture checkpoints at every round boundary, then resume from
+            // a mid-study one with a fresh optimizer.
+            let mut checkpoints: Vec<ParetoCheckpoint> = Vec::new();
+            let mut first_opt = mk();
+            let _ = run_study_pareto_resumable(
+                &s,
+                first_opt.as_mut(),
+                32,
+                8,
+                11,
+                &dirs,
+                None,
+                objective,
+                |ck| checkpoints.push(ck.clone()),
+            );
+            assert_eq!(checkpoints.len(), 4, "{}: one checkpoint per round", first_opt.name());
+            let ck = checkpoints[2].clone(); // killed after 24 of 60 trials
+            assert_eq!(ck.trials_done(), 24);
+
+            let mut resumed_opt = mk();
+            let resumed = run_study_pareto_resumable(
+                &s,
+                resumed_opt.as_mut(),
+                60,
+                8,
+                11,
+                &dirs,
+                Some(ck),
+                objective,
+                |_| {},
+            );
+
+            let name = resumed_opt.name();
+            assert_eq!(resumed.frontier, straight.frontier, "{name}: frontier");
+            assert_eq!(
+                resumed.guide_convergence.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                straight.guide_convergence.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "{name}: convergence"
+            );
+            assert_eq!(resumed.trials, straight.trials, "{name}: trial sequence");
+            assert_eq!(resumed.invalid_trials, straight.invalid_trials, "{name}");
+        }
+    }
+
+    /// An optimizer whose `save_state` stays `Opaque` exercises the replay
+    /// fallback: resume must still be bit-identical.
+    #[test]
+    fn opaque_optimizer_resumes_via_replay() {
+        use crate::algorithms::LcsSwarm;
+
+        /// LCS with snapshotting hidden — forces the replay path.
+        struct NoSnapshot(LcsSwarm);
+        impl Optimizer for NoSnapshot {
+            fn name(&self) -> &'static str {
+                "no-snapshot LCS"
+            }
+            fn propose(&mut self, space: &ParamSpace, rng: &mut StdRng) -> Vec<usize> {
+                self.0.propose(space, rng)
+            }
+            fn observe(&mut self, space: &ParamSpace, trial: &Trial) {
+                self.0.observe(space, trial);
+            }
+        }
+
+        let s = space();
+        let dirs = [Maximize, Minimize];
+        let objective = |pts: &[Vec<usize>]| -> Vec<MultiObjective> {
+            pts.iter()
+                .map(|p| MultiObjective::valid(vec![p[0] as f64, p[1] as f64], p[0] as f64))
+                .collect()
+        };
+
+        let mut straight_opt = NoSnapshot(LcsSwarm::default());
+        let straight = run_study_pareto_batched(&s, &mut straight_opt, 48, 6, 3, &dirs, objective);
+
+        let mut checkpoints = Vec::new();
+        let mut first = NoSnapshot(LcsSwarm::default());
+        let _ =
+            run_study_pareto_resumable(&s, &mut first, 24, 6, 3, &dirs, None, objective, |ck| {
+                checkpoints.push(ck.clone());
+            });
+        let ck = checkpoints.last().unwrap().clone();
+        assert_eq!(ck.optimizer, crate::snapshot::OptimizerState::Opaque);
+
+        let mut resumed_opt = NoSnapshot(LcsSwarm::default());
+        let resumed = run_study_pareto_resumable(
+            &s,
+            &mut resumed_opt,
+            48,
+            6,
+            3,
+            &dirs,
+            Some(ck),
+            objective,
+            |_| {},
+        );
+        assert_eq!(resumed.frontier, straight.frontier);
+        assert_eq!(resumed.trials, straight.trials);
+    }
+
+    #[test]
+    #[should_panic(expected = "seed mismatch")]
+    fn resume_rejects_checkpoint_from_a_different_seed() {
+        let s = space();
+        let dirs = [Maximize, Minimize];
+        let objective = |pts: &[Vec<usize>]| -> Vec<MultiObjective> {
+            pts.iter().map(|p| MultiObjective::valid(vec![p[0] as f64, 0.0], 0.0)).collect()
+        };
+        let mut checkpoints = Vec::new();
+        let mut opt = RandomSearch::new();
+        let _ = run_study_pareto_resumable(&s, &mut opt, 8, 4, 1, &dirs, None, objective, |ck| {
+            checkpoints.push(ck.clone());
+        });
+        let mut opt2 = RandomSearch::new();
+        let _ = run_study_pareto_resumable(
+            &s,
+            &mut opt2,
+            8,
+            4,
+            2, // different seed
+            &dirs,
+            Some(checkpoints.pop().unwrap()),
+            objective,
+            |_| {},
+        );
     }
 
     #[test]

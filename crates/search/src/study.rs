@@ -2,6 +2,7 @@
 //! budget, recording best-so-far convergence curves (Figure 11).
 
 use crate::optimizer::{Optimizer, Trial, TrialResult};
+use crate::snapshot::StudyCheckpoint;
 use crate::space::ParamSpace;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -105,18 +106,104 @@ pub fn run_study_batched<F>(
     n_trials: usize,
     batch_size: usize,
     seed: u64,
-    mut evaluate_batch: F,
+    evaluate_batch: F,
 ) -> StudyResult
 where
     F: FnMut(&[Vec<usize>]) -> Vec<TrialResult>,
 {
+    let mut evaluate_batch = evaluate_batch;
+    run_study_batched_inner(
+        space,
+        optimizer,
+        n_trials,
+        batch_size,
+        seed,
+        None,
+        &mut |points| evaluate_batch(points),
+        None,
+    )
+}
+
+/// The durable sibling of [`run_study_batched`]: `resume_from` continues a
+/// study from a [`StudyCheckpoint`], and `on_round` receives a fresh
+/// checkpoint after every evaluated round. Interrupted-then-resumed equals
+/// uninterrupted, bit for bit — see
+/// [`crate::run_study_pareto_resumable`] for the contract and the
+/// restore-or-replay mechanics, which are identical here.
+///
+/// # Panics
+/// Panics if the checkpoint disagrees with the study configuration (seed,
+/// batch size, a trial count that is neither a round boundary nor a
+/// completed study, or more trials recorded than `n_trials`), if a
+/// replayed optimizer re-proposes a different point than the record, or on
+/// the [`run_study_batched`] arity contracts.
+#[allow(clippy::too_many_arguments)] // the durable superset of the batched driver
+pub fn run_study_batched_resumable<F, C>(
+    space: &ParamSpace,
+    optimizer: &mut dyn Optimizer,
+    n_trials: usize,
+    batch_size: usize,
+    seed: u64,
+    resume_from: Option<StudyCheckpoint>,
+    mut evaluate_batch: F,
+    mut on_round: C,
+) -> StudyResult
+where
+    F: FnMut(&[Vec<usize>]) -> Vec<TrialResult>,
+    C: FnMut(&StudyCheckpoint),
+{
+    run_study_batched_inner(
+        space,
+        optimizer,
+        n_trials,
+        batch_size,
+        seed,
+        resume_from,
+        &mut |points| evaluate_batch(points),
+        Some(&mut |ck: &StudyCheckpoint| on_round(ck)),
+    )
+}
+
+/// Monomorphization-free core of the scalar study drivers. Checkpoints are
+/// only constructed when a round hook is installed — the plain batched
+/// driver pays nothing for durability it does not use.
+#[allow(clippy::too_many_arguments)]
+fn run_study_batched_inner(
+    space: &ParamSpace,
+    optimizer: &mut dyn Optimizer,
+    n_trials: usize,
+    batch_size: usize,
+    seed: u64,
+    resume_from: Option<StudyCheckpoint>,
+    evaluate_batch: &mut dyn FnMut(&[Vec<usize>]) -> Vec<TrialResult>,
+    mut on_round: Option<&mut dyn FnMut(&StudyCheckpoint)>,
+) -> StudyResult {
     let batch_size = batch_size.max(1);
     let mut best: Option<(Vec<usize>, f64)> = None;
     let mut convergence = Vec::with_capacity(n_trials);
     let mut invalid = 0;
-    let mut trials = Vec::with_capacity(n_trials);
+    let mut trials: Vec<Trial> = Vec::with_capacity(n_trials);
 
-    let mut start = 0;
+    if let Some(ck) = resume_from {
+        crate::snapshot::validate_and_restore(
+            space,
+            optimizer,
+            n_trials,
+            batch_size,
+            seed,
+            ck.seed,
+            ck.batch_size,
+            ck.convergence.len(),
+            &ck.optimizer,
+            &ck.trials,
+        );
+        best = ck.best;
+        convergence = ck.convergence;
+        invalid = ck.invalid_trials;
+        trials = ck.trials;
+    }
+
+    let mut start = trials.len();
     while start < n_trials {
         let round = batch_size.min(n_trials - start);
         let mut rngs: Vec<StdRng> = (start..start + round).map(|i| trial_rng(seed, i)).collect();
@@ -146,6 +233,18 @@ where
         optimizer.observe_batch(space, &round_trials);
         trials.extend(round_trials);
         start += round;
+
+        if let Some(hook) = on_round.as_deref_mut() {
+            hook(&StudyCheckpoint {
+                seed,
+                batch_size,
+                best: best.clone(),
+                convergence: convergence.clone(),
+                invalid_trials: invalid,
+                trials: trials.clone(),
+                optimizer: optimizer.save_state(),
+            });
+        }
     }
 
     StudyResult {
@@ -340,6 +439,75 @@ mod tests {
         let b = run();
         assert_eq!(a.best_objective, b.best_objective);
         assert_eq!(a.convergence, b.convergence);
+    }
+
+    /// Scalar counterpart of the Pareto durability contract: checkpoint,
+    /// resume with a fresh optimizer, end bit-identical.
+    #[test]
+    fn scalar_resumed_study_matches_uninterrupted() {
+        use crate::snapshot::StudyCheckpoint;
+        let s = space();
+        let objective = |pts: &[Vec<usize>]| -> Vec<TrialResult> {
+            pts.iter()
+                .map(|p| {
+                    if p[0] > 512 {
+                        TrialResult::Invalid
+                    } else {
+                        TrialResult::Valid((p[0] + 2 * p[1]) as f64)
+                    }
+                })
+                .collect()
+        };
+        let mut straight_opt = LcsSwarm::default();
+        let straight = run_study_batched(&s, &mut straight_opt, 50, 5, 17, objective);
+
+        let mut checkpoints: Vec<StudyCheckpoint> = Vec::new();
+        let mut first = LcsSwarm::default();
+        let _ = run_study_batched_resumable(&s, &mut first, 25, 5, 17, None, objective, |ck| {
+            checkpoints.push(ck.clone());
+        });
+        let ck = checkpoints.last().unwrap().clone();
+        assert_eq!(ck.trials_done(), 25);
+
+        let mut resumed_opt = LcsSwarm::default();
+        let resumed = run_study_batched_resumable(
+            &s,
+            &mut resumed_opt,
+            50,
+            5,
+            17,
+            Some(ck),
+            objective,
+            |_| {},
+        );
+        assert_eq!(resumed.best_point, straight.best_point);
+        assert_eq!(resumed.convergence, straight.convergence);
+        assert_eq!(resumed.trials, straight.trials);
+        assert_eq!(resumed.invalid_trials, straight.invalid_trials);
+    }
+
+    /// Extending a study whose final round was partial would regroup the
+    /// remaining trials into different rounds than an uninterrupted longer
+    /// run — the driver must refuse rather than silently diverge.
+    #[test]
+    #[should_panic(expected = "not a round boundary")]
+    fn resume_rejects_checkpoints_off_the_round_grid() {
+        use crate::snapshot::StudyCheckpoint;
+        let s = space();
+        let objective =
+            |pts: &[Vec<usize>]| -> Vec<TrialResult> { vec![TrialResult::Invalid; pts.len()] };
+        // 10 trials in rounds of 4: the final checkpoint sits at 10, which
+        // is a completed study but not a multiple of 4.
+        let mut checkpoints: Vec<StudyCheckpoint> = Vec::new();
+        let mut opt = RandomSearch::new();
+        let _ = run_study_batched_resumable(&s, &mut opt, 10, 4, 3, None, objective, |ck| {
+            checkpoints.push(ck.clone());
+        });
+        let ck = checkpoints.pop().unwrap();
+        assert_eq!(ck.trials_done(), 10);
+        // Extending the budget to 20 from that checkpoint must panic.
+        let mut opt2 = RandomSearch::new();
+        let _ = run_study_batched_resumable(&s, &mut opt2, 20, 4, 3, Some(ck), objective, |_| {});
     }
 
     #[test]

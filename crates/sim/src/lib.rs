@@ -30,6 +30,7 @@
 pub mod engine;
 pub mod error;
 pub mod mapper;
+mod persist;
 pub mod power;
 pub mod softmax;
 pub mod vector;

@@ -1,0 +1,79 @@
+//! Binary-codec impls for the scheduling options that appear in durable
+//! snapshots (the evaluation-cache key). Hand-written because the vendored
+//! serde derives generate no code; every enum uses an explicit one-byte
+//! tag so unknown values from a damaged or future-format file are decode
+//! errors, never misread options.
+
+use crate::engine::{ScheduleQuality, SimOptions};
+use crate::mapper::{DataflowSet, PaddingMode};
+use crate::vector::SoftmaxMode;
+use serde::bin::{Decode, DecodeError, Encode, Reader, Writer};
+
+macro_rules! impl_two_variant_codec {
+    ($t:ty, $a:path, $b:path) => {
+        impl Encode for $t {
+            fn encode(&self, w: &mut Writer) {
+                w.put_u8(match self {
+                    $a => 0,
+                    $b => 1,
+                });
+            }
+        }
+        impl Decode for $t {
+            fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+                match r.get_u8()? {
+                    0 => Ok($a),
+                    1 => Ok($b),
+                    t => Err(DecodeError {
+                        offset: 0,
+                        what: format!("invalid {} tag {t}", stringify!($t)),
+                    }),
+                }
+            }
+        }
+    };
+}
+
+impl_two_variant_codec!(PaddingMode, PaddingMode::Pad, PaddingMode::Exact);
+impl_two_variant_codec!(SoftmaxMode, SoftmaxMode::ThreePass, SoftmaxMode::TwoPass);
+impl_two_variant_codec!(DataflowSet, DataflowSet::All, DataflowSet::WeightStationaryOnly);
+impl_two_variant_codec!(ScheduleQuality, ScheduleQuality::Searched, ScheduleQuality::XlaDefault);
+
+impl Encode for SimOptions {
+    fn encode(&self, w: &mut Writer) {
+        let SimOptions { padding, softmax, dataflows, schedule_quality } = *self;
+        padding.encode(w);
+        softmax.encode(w);
+        dataflows.encode(w);
+        schedule_quality.encode(w);
+    }
+}
+
+impl Decode for SimOptions {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(SimOptions {
+            padding: Decode::decode(r)?,
+            softmax: Decode::decode(r)?,
+            dataflows: Decode::decode(r)?,
+            schedule_quality: Decode::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_options_round_trip() {
+        for opts in [SimOptions::default(), SimOptions::tpu_baseline()] {
+            assert_eq!(SimOptions::from_bytes(&opts.to_bytes()).unwrap(), opts);
+        }
+    }
+
+    #[test]
+    fn unknown_tags_are_rejected() {
+        assert!(PaddingMode::from_bytes(&[2]).is_err());
+        assert!(SimOptions::from_bytes(&[0, 0, 0, 7]).is_err());
+    }
+}

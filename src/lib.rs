@@ -57,9 +57,9 @@ pub mod prelude {
     pub use fast_arch::{presets, Budget, DatapathConfig};
     pub use fast_core::{
         ablation_study, component_breakdown, design_report, relative_to_tpu, run_fast_search,
-        run_fast_search_parallel, BudgetLevel, CacheStats, DesignEval, Evaluator, FastSpace,
-        Objective, OptimizerKind, ScenarioMatrix, SearchConfig, SweepConfig, SweepResult,
-        SweepRunner,
+        run_fast_search_parallel, BudgetLevel, CacheStats, Checkpointer, DesignEval, Evaluator,
+        FastSpace, Objective, OptimizerKind, ScenarioMatrix, SearchConfig, SweepConfig,
+        SweepResult, SweepRunner,
     };
     pub use fast_fusion::{fuse_workload, FusionOptions};
     pub use fast_ir::{DType, FusionStrategy, Graph, GraphStats};

@@ -1,0 +1,618 @@
+//! A compact, versioned binary codec — the functional half of the shim.
+//!
+//! The marker traits in the crate root keep `#[derive(Serialize,
+//! Deserialize)]` compiling; this module is what the workspace's durable
+//! state (checkpoints, evaluation-cache snapshots) actually serializes
+//! through. It is deliberately tiny and fully explicit:
+//!
+//! * [`Encode`] / [`Decode`] — hand-implemented (the no-op derives cannot
+//!   generate code), little-endian, fixed layout per type;
+//! * [`Writer`] / [`Reader`] — bounds-checked byte cursors;
+//! * [`write_envelope`] / [`read_envelope`] — a magic + version + length +
+//!   FNV-1a-checksum container, so corrupt, truncated, foreign-endian or
+//!   version-skewed files are *detected* and rejected as a whole rather
+//!   than decoded into garbage.
+//!
+//! Floats are encoded via [`f64::to_bits`], so round-trips are
+//! bit-identical — the property the resume-equals-uninterrupted contract
+//! of the checkpoint subsystem rests on.
+//!
+//! ```
+//! use serde::bin::{Decode, Encode, Reader, Writer};
+//!
+//! let mut w = Writer::new();
+//! (vec![1u64, 2, 3], Some("frontier".to_string())).encode(&mut w);
+//! let bytes = w.into_bytes();
+//!
+//! let mut r = Reader::new(&bytes);
+//! let back: (Vec<u64>, Option<String>) = Decode::decode(&mut r).unwrap();
+//! assert_eq!(back.0, [1, 2, 3]);
+//! assert_eq!(back.1.as_deref(), Some("frontier"));
+//! ```
+
+use std::fmt;
+
+/// Why a byte stream failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Byte offset the failure was detected at (0 for envelope-level
+    /// failures).
+    pub offset: usize,
+    /// Human-readable cause.
+    pub what: String,
+}
+
+impl DecodeError {
+    fn new(offset: usize, what: impl Into<String>) -> Self {
+        DecodeError { offset, what: what.into() }
+    }
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "decode error at byte {}: {}", self.offset, self.what)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// An append-only byte sink all encodes go through.
+#[derive(Debug, Default, Clone)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Creates an empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    /// The bytes written so far.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Number of bytes written so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its IEEE-754 bit pattern (exact round-trip).
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends raw bytes with no length prefix.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a UTF-8 string with a `u64` length prefix.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_u64(v.len() as u64);
+        self.put_bytes(v.as_bytes());
+    }
+}
+
+/// A bounds-checked read cursor over a byte slice.
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over `buf`.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether every byte has been consumed.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::new(
+                self.pos,
+                format!("wanted {n} bytes, {} remain", self.remaining()),
+            ));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    /// Fails when the buffer is exhausted.
+    pub fn get_u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    /// Fails when fewer than 4 bytes remain.
+    pub fn get_u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    /// Fails when fewer than 8 bytes remain.
+    pub fn get_u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Reads an `f64` from its bit pattern.
+    ///
+    /// # Errors
+    /// Fails when fewer than 8 bytes remain.
+    pub fn get_f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    /// Fails on exhaustion, an over-long claimed length, or invalid UTF-8.
+    pub fn get_str(&mut self) -> Result<String, DecodeError> {
+        let len = self.get_len()?;
+        let start = self.pos;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| DecodeError::new(start, format!("invalid utf-8: {e}")))
+    }
+
+    /// Reads a `u64` length prefix, rejecting claims larger than the bytes
+    /// that actually remain — the guard that keeps corrupt input from
+    /// triggering huge allocations.
+    ///
+    /// # Errors
+    /// Fails on exhaustion or an impossible length claim.
+    pub fn get_len(&mut self) -> Result<usize, DecodeError> {
+        let at = self.pos;
+        let len = self.get_u64()?;
+        if len > self.remaining() as u64 {
+            return Err(DecodeError::new(
+                at,
+                format!("length {len} exceeds {} remaining bytes", self.remaining()),
+            ));
+        }
+        Ok(len as usize)
+    }
+}
+
+/// A value with a defined binary layout.
+pub trait Encode {
+    /// Appends this value's encoding to `w`.
+    fn encode(&self, w: &mut Writer);
+
+    /// Convenience: encodes into a fresh byte vector.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        self.encode(&mut w);
+        w.into_bytes()
+    }
+}
+
+/// A value reconstructible from its [`Encode`] layout.
+pub trait Decode: Sized {
+    /// Reads one value from `r`.
+    ///
+    /// # Errors
+    /// Fails on exhausted input, unknown enum tags, or any structural
+    /// mismatch — decoders never guess.
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError>;
+
+    /// Convenience: decodes a value that must span exactly `bytes`.
+    ///
+    /// # Errors
+    /// Fails if decoding fails or trailing bytes remain.
+    fn from_bytes(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader::new(bytes);
+        let v = Self::decode(&mut r)?;
+        if !r.is_done() {
+            return Err(DecodeError::new(r.pos, format!("{} trailing bytes", r.remaining())));
+        }
+        Ok(v)
+    }
+}
+
+macro_rules! impl_codec_uint {
+    ($($t:ty),*) => {$(
+        impl Encode for $t {
+            fn encode(&self, w: &mut Writer) {
+                w.put_u64(u64::from(*self));
+            }
+        }
+        impl Decode for $t {
+            fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+                let at = r.pos;
+                let v = r.get_u64()?;
+                <$t>::try_from(v).map_err(|_| {
+                    DecodeError::new(at, format!("{v} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_codec_uint!(u8, u16, u32, u64);
+
+impl Encode for usize {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(*self as u64);
+    }
+}
+
+impl Decode for usize {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let at = r.pos;
+        let v = r.get_u64()?;
+        usize::try_from(v).map_err(|_| DecodeError::new(at, format!("{v} out of usize range")))
+    }
+}
+
+impl Encode for bool {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(u8::from(*self));
+    }
+}
+
+impl Decode for bool {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let at = r.pos;
+        match r.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(DecodeError::new(at, format!("invalid bool byte {b}"))),
+        }
+    }
+}
+
+impl Encode for f64 {
+    fn encode(&self, w: &mut Writer) {
+        w.put_f64(*self);
+    }
+}
+
+impl Decode for f64 {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        r.get_f64()
+    }
+}
+
+impl Encode for String {
+    fn encode(&self, w: &mut Writer) {
+        w.put_str(self);
+    }
+}
+
+impl Decode for String {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        r.get_str()
+    }
+}
+
+impl<T: Encode> Encode for Vec<T> {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.len() as u64);
+        for v in self {
+            v.encode(w);
+        }
+    }
+}
+
+impl<T: Decode> Decode for Vec<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let at = r.pos;
+        let len = r.get_u64()?;
+        // Every element occupies at least one byte, so a claimed count above
+        // the remaining byte count is corruption, not data.
+        if len > r.remaining() as u64 {
+            return Err(DecodeError::new(
+                at,
+                format!("vec length {len} exceeds {} remaining bytes", r.remaining()),
+            ));
+        }
+        let mut out = Vec::with_capacity(len as usize);
+        for _ in 0..len {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            None => w.put_u8(0),
+            Some(v) => {
+                w.put_u8(1);
+                v.encode(w);
+            }
+        }
+    }
+}
+
+impl<T: Decode> Decode for Option<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let at = r.pos;
+        match r.get_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            b => Err(DecodeError::new(at, format!("invalid option tag {b}"))),
+        }
+    }
+}
+
+impl<A: Encode, B: Encode> Encode for (A, B) {
+    fn encode(&self, w: &mut Writer) {
+        self.0.encode(w);
+        self.1.encode(w);
+    }
+}
+
+impl<A: Decode, B: Decode> Decode for (A, B) {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+impl<A: Encode, B: Encode, C: Encode> Encode for (A, B, C) {
+    fn encode(&self, w: &mut Writer) {
+        self.0.encode(w);
+        self.1.encode(w);
+        self.2.encode(w);
+    }
+}
+
+impl<A: Decode, B: Decode, C: Decode> Decode for (A, B, C) {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok((A::decode(r)?, B::decode(r)?, C::decode(r)?))
+    }
+}
+
+impl<T: Encode, E: Encode> Encode for Result<T, E> {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Ok(v) => {
+                w.put_u8(0);
+                v.encode(w);
+            }
+            Err(e) => {
+                w.put_u8(1);
+                e.encode(w);
+            }
+        }
+    }
+}
+
+impl<T: Decode, E: Decode> Decode for Result<T, E> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let at = r.pos;
+        match r.get_u8()? {
+            0 => Ok(Ok(T::decode(r)?)),
+            1 => Ok(Err(E::decode(r)?)),
+            b => Err(DecodeError::new(at, format!("invalid result tag {b}"))),
+        }
+    }
+}
+
+/// FNV-1a over `bytes` — the envelope checksum. Not cryptographic; it
+/// detects truncation, bit rot and byte-order damage, which is the threat
+/// model of a local snapshot file.
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Byte length of the envelope header preceding the payload.
+pub const ENVELOPE_HEADER_LEN: usize = 8 + 4 + 8 + 8;
+
+/// Wraps `payload` in the on-disk container: an 8-byte magic, a `u32`
+/// format version, the payload length, the payload's FNV-1a checksum, then
+/// the payload itself (everything little-endian).
+#[must_use]
+pub fn write_envelope(magic: [u8; 8], version: u32, payload: &[u8]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_bytes(&magic);
+    w.put_u32(version);
+    w.put_u64(payload.len() as u64);
+    w.put_u64(fnv1a(payload));
+    w.put_bytes(payload);
+    w.into_bytes()
+}
+
+/// Validates an envelope and returns its payload slice.
+///
+/// Rejects — with a descriptive error, never a partial payload — files that
+/// are too short, carry the wrong magic, a different format version, an
+/// inconsistent length (truncation or trailing garbage), or a checksum
+/// mismatch (bit rot, endian-swapped writes).
+///
+/// # Errors
+/// See above; callers are expected to treat any error as "no snapshot".
+pub fn read_envelope(magic: [u8; 8], version: u32, bytes: &[u8]) -> Result<&[u8], DecodeError> {
+    if bytes.len() < ENVELOPE_HEADER_LEN {
+        return Err(DecodeError::new(
+            0,
+            format!("file too short for header: {} bytes", bytes.len()),
+        ));
+    }
+    let mut r = Reader::new(bytes);
+    let got_magic = r.take(8).expect("checked above");
+    if got_magic != magic {
+        return Err(DecodeError::new(0, format!("bad magic {got_magic:02x?}")));
+    }
+    let got_version = r.get_u32().expect("checked above");
+    if got_version != version {
+        return Err(DecodeError::new(
+            8,
+            format!("format version {got_version}, expected {version}"),
+        ));
+    }
+    let len = r.get_u64().expect("checked above");
+    let sum = r.get_u64().expect("checked above");
+    let payload = &bytes[ENVELOPE_HEADER_LEN..];
+    if len != payload.len() as u64 {
+        return Err(DecodeError::new(
+            12,
+            format!("payload length {len} but {} bytes follow the header", payload.len()),
+        ));
+    }
+    if fnv1a(payload) != sum {
+        return Err(DecodeError::new(20, "checksum mismatch".to_string()));
+    }
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = Writer::new();
+        42u8.encode(&mut w);
+        7u32.encode(&mut w);
+        u64::MAX.encode(&mut w);
+        123usize.encode(&mut w);
+        true.encode(&mut w);
+        (-0.0f64).encode(&mut w);
+        f64::NAN.encode(&mut w);
+        "héllo".to_string().encode(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut r = Reader::new(&bytes);
+        assert_eq!(u8::decode(&mut r).unwrap(), 42);
+        assert_eq!(u32::decode(&mut r).unwrap(), 7);
+        assert_eq!(u64::decode(&mut r).unwrap(), u64::MAX);
+        assert_eq!(usize::decode(&mut r).unwrap(), 123);
+        assert!(bool::decode(&mut r).unwrap());
+        assert_eq!(f64::decode(&mut r).unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(f64::decode(&mut r).unwrap().is_nan());
+        assert_eq!(String::decode(&mut r).unwrap(), "héllo");
+        assert!(r.is_done());
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v =
+            (vec![vec![1usize, 2], vec![]], Some((3u64, "x".to_string())), Ok::<f64, String>(2.5));
+        let bytes = v.to_bytes();
+        let back =
+            <(Vec<Vec<usize>>, Option<(u64, String)>, Result<f64, String>)>::from_bytes(&bytes)
+                .unwrap();
+        assert_eq!(back.0, v.0);
+        assert_eq!(back.1, v.1);
+        assert_eq!(back.2, v.2);
+    }
+
+    #[test]
+    fn truncated_input_errors_instead_of_panicking() {
+        let bytes = vec![vec![1u64; 10]; 3].to_bytes();
+        for cut in 0..bytes.len() {
+            let _ = <Vec<Vec<u64>>>::from_bytes(&bytes[..cut]).unwrap_err();
+        }
+    }
+
+    #[test]
+    fn hostile_length_claims_are_rejected() {
+        // A vec claiming u64::MAX elements must not allocate.
+        let mut w = Writer::new();
+        w.put_u64(u64::MAX);
+        let err = <Vec<u8>>::from_bytes(&w.into_bytes()).unwrap_err();
+        assert!(err.what.contains("exceeds"), "{err}");
+    }
+
+    #[test]
+    fn invalid_tags_are_rejected() {
+        assert!(bool::from_bytes(&[2]).is_err());
+        assert!(<Option<u8>>::from_bytes(&[9]).is_err());
+        assert!(<Result<u8, u8>>::from_bytes(&[7]).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected_by_from_bytes() {
+        let mut bytes = 1u64.to_bytes();
+        bytes.push(0);
+        assert!(u64::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn envelope_round_trips_and_detects_damage() {
+        const MAGIC: [u8; 8] = *b"FASTTEST";
+        let payload = b"hello snapshot".to_vec();
+        let file = write_envelope(MAGIC, 3, &payload);
+        assert_eq!(read_envelope(MAGIC, 3, &file).unwrap(), &payload[..]);
+
+        // Wrong magic.
+        assert!(read_envelope(*b"XXXXXXXX", 3, &file).is_err());
+        // Version skew.
+        assert!(read_envelope(MAGIC, 4, &file).is_err());
+        // Truncation — every prefix must fail.
+        for cut in 0..file.len() {
+            assert!(read_envelope(MAGIC, 3, &file[..cut]).is_err(), "cut {cut}");
+        }
+        // Flipped payload bit: checksum catches it.
+        let mut flipped = file.clone();
+        *flipped.last_mut().unwrap() ^= 0x01;
+        assert!(read_envelope(MAGIC, 3, &flipped).is_err());
+        // Foreign-endian damage: byte-swapping the whole file breaks the
+        // magic; byte-swapping just the payload breaks the checksum.
+        let mut swapped = file.clone();
+        swapped[ENVELOPE_HEADER_LEN..].reverse();
+        assert!(read_envelope(MAGIC, 3, &swapped).is_err());
+    }
+
+    #[test]
+    fn fnv1a_reference_values() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

@@ -1,11 +1,20 @@
 //! Offline shim for `serde`.
 //!
-//! The repo only uses serde as `#[derive(Serialize, Deserialize)]` markers —
-//! nothing actually serializes (there is no `serde_json` in the tree). The
-//! shim therefore exposes the two trait names with blanket impls plus no-op
-//! derive macros, which is the entire surface the codebase touches. Swap the
-//! `[workspace.dependencies]` path entries for registry versions to restore
-//! real serialization.
+//! Two halves:
+//!
+//! * **Marker traits** ([`Serialize`] / [`Deserialize`]) with blanket impls
+//!   plus no-op derive macros — the surface the `#[derive(Serialize,
+//!   Deserialize)]` attributes across the workspace touch. Swap the
+//!   `[workspace.dependencies]` path entries for registry versions to
+//!   restore real serde-data-model serialization for those types.
+//! * **The [`bin`] module** — a real (if minimal) binary codec with
+//!   versioned, checksummed envelopes. Because the derives above generate
+//!   no code, every durable artifact in the workspace (checkpoints, the
+//!   evaluation-cache snapshot) implements [`bin::Encode`] /
+//!   [`bin::Decode`] by hand; the explicit field-by-field impls double as
+//!   the format specification.
+
+pub mod bin;
 
 pub use serde_derive::{Deserialize, Serialize};
 
