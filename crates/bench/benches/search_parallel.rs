@@ -7,19 +7,27 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fast_arch::Budget;
-use fast_core::{
-    run_fast_search, run_fast_search_parallel, Evaluator, Objective, OptimizerKind, SearchConfig,
-};
+use fast_core::{Evaluator, Execution, FastStudy, Objective, OptimizerKind, SearchReport};
 use fast_models::{EfficientNet, Workload};
 
-fn study_config() -> SearchConfig {
-    SearchConfig {
-        trials: 64,
-        optimizer: OptimizerKind::Random,
-        seed: 2024,
-        batch: 16,
-        ..SearchConfig::default()
-    }
+/// Round size shared by the sequential and parallel studies.
+const BATCH: usize = 16;
+
+fn run_search(e: &Evaluator, execution: Execution) -> SearchReport {
+    FastStudy::new(e, 64)
+        .optimizer(OptimizerKind::Random)
+        .seed(2024)
+        .execution(execution)
+        .run()
+        .expect("valid study configuration")
+}
+
+fn sequential(e: &Evaluator) -> SearchReport {
+    run_search(e, Execution::Batched { batch_size: BATCH })
+}
+
+fn parallel(e: &Evaluator) -> SearchReport {
+    run_search(e, Execution::Parallel { threads: BATCH })
 }
 
 fn evaluator() -> Evaluator {
@@ -41,7 +49,7 @@ fn evaluator() -> Evaluator {
 /// skips with a notice, and `FAST_ASSERT_SPEEDUP_STRICT=1` turns the skip
 /// into a failure so a pinned multi-core CI runner can't quietly degrade
 /// into never measuring (a 2-vCPU runner would otherwise stay green).
-fn assert_speedup_if_requested(e: &Evaluator, cfg: &SearchConfig) {
+fn assert_speedup_if_requested(e: &Evaluator) {
     let Ok(spec) = std::env::var("FAST_ASSERT_SPEEDUP") else { return };
     let need: f64 = spec.parse().expect("FAST_ASSERT_SPEEDUP must be a number like 2.0");
     let threads = rayon::current_num_threads();
@@ -63,10 +71,10 @@ fn assert_speedup_if_requested(e: &Evaluator, cfg: &SearchConfig) {
             .fold(f64::INFINITY, f64::min)
     };
     let seq = best_of(&|| {
-        let _ = run_fast_search(&e.fresh_eval_cache(), cfg);
+        let _ = sequential(&e.fresh_eval_cache());
     });
     let par = best_of(&|| {
-        let _ = run_fast_search_parallel(&e.fresh_eval_cache(), cfg);
+        let _ = parallel(&e.fresh_eval_cache());
     });
     let speedup = seq / par;
     println!(
@@ -80,17 +88,16 @@ fn assert_speedup_if_requested(e: &Evaluator, cfg: &SearchConfig) {
 
 fn bench_search(c: &mut Criterion) {
     let e = evaluator();
-    let cfg = study_config();
 
     // Warm the immutable workload-graph cache so both sides time trials, not
     // graph construction, then pin down the determinism guarantee.
-    let seq = run_fast_search(&e.fresh_eval_cache(), &cfg);
-    let par = run_fast_search_parallel(&e.fresh_eval_cache(), &cfg);
+    let seq = sequential(&e.fresh_eval_cache());
+    let par = parallel(&e.fresh_eval_cache());
     assert_eq!(
         seq.study.best_objective, par.study.best_objective,
         "sequential and parallel drivers diverged — determinism contract broken"
     );
-    assert_speedup_if_requested(&e, &cfg);
+    assert_speedup_if_requested(&e);
     if std::env::var("FAST_SPEEDUP_ONLY").is_ok() {
         // CI gate mode: the two assertions above are the point; skip the
         // criterion sampling suite (~10 more studies per group).
@@ -102,17 +109,17 @@ fn bench_search(c: &mut Criterion) {
     // Each iteration gets a fresh evaluation cache: we are measuring the
     // driver, not the memoization table.
     group.bench_with_input(BenchmarkId::from_parameter("sequential"), &e, |b, e| {
-        b.iter(|| run_fast_search(&e.fresh_eval_cache(), &cfg))
+        b.iter(|| sequential(&e.fresh_eval_cache()))
     });
     group.bench_with_input(BenchmarkId::from_parameter("parallel"), &e, |b, e| {
-        b.iter(|| run_fast_search_parallel(&e.fresh_eval_cache(), &cfg))
+        b.iter(|| parallel(&e.fresh_eval_cache()))
     });
     // And the memoized steady state: the same study re-run against a warm
     // shared cache (every trial a hit).
     let warm = e.fresh_eval_cache();
-    let _ = run_fast_search_parallel(&warm, &cfg);
+    let _ = parallel(&warm);
     group.bench_with_input(BenchmarkId::from_parameter("parallel_warm_cache"), &warm, |b, warm| {
-        b.iter(|| run_fast_search_parallel(warm, &cfg))
+        b.iter(|| parallel(warm))
     });
     group.finish();
 }

@@ -2,9 +2,11 @@
 //! report (the source of EXPERIMENTS.md). Search-driven figures honor the
 //! `FAST_TRIALS` environment variable. The closing budget sweep — the
 //! longest section — is durable: `--checkpoint DIR` persists its progress
-//! and `--resume` replays a killed run from the snapshot.
+//! and `--resume` replays a killed run from the snapshot. Unknown flags
+//! exit non-zero with the usage message.
 
-use fast_bench::pareto_figs::{sweep_budget_frontiers_with, SweepRunOptions};
+use fast_bench::cli::{parse_sweep_cli, SweepCli};
+use fast_bench::pareto_figs::sweep_budget_frontiers_with;
 
 type Section = (&'static str, Box<dyn Fn() -> String>);
 
@@ -13,32 +15,17 @@ const USAGE: &str = "usage: repro_all [--checkpoint DIR] [--resume]
   --resume           resume the budget sweep from DIR (requires --checkpoint)";
 
 fn main() {
-    let mut sweep_opts = SweepRunOptions::default();
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--checkpoint" => match args.next() {
-                Some(dir) => sweep_opts.checkpoint = Some(dir.into()),
-                None => {
-                    eprintln!("--checkpoint needs a directory\n{USAGE}");
-                    std::process::exit(2);
-                }
-            },
-            "--resume" => sweep_opts.resume = true,
-            "--help" | "-h" => {
-                println!("{USAGE}");
-                return;
-            }
-            other => {
-                eprintln!("unknown argument {other:?}\n{USAGE}");
-                std::process::exit(2);
-            }
+    let sweep_opts = match parse_sweep_cli(std::env::args().skip(1), false) {
+        Ok(SweepCli::Help) => {
+            println!("{USAGE}");
+            return;
         }
-    }
-    if sweep_opts.resume && sweep_opts.checkpoint.is_none() {
-        eprintln!("--resume requires --checkpoint DIR\n{USAGE}");
-        std::process::exit(2);
-    }
+        Ok(SweepCli::Run(opts)) => opts,
+        Err(message) => {
+            eprintln!("{message}\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
 
     let sections: Vec<Section> = vec![
         ("tab01", Box::new(fast_bench::tables::tab01_working_sets)),

@@ -2,8 +2,10 @@
 //! durable: `--checkpoint DIR` persists progress, `--resume` continues a
 //! killed run bit-identically, `--frontiers-only` prints only the
 //! deterministic tables (what the CI kill-and-resume smoke diffs).
+//! Unknown flags exit non-zero with this usage message.
 
-use fast_bench::pareto_figs::{sweep_budget_frontiers_with, SweepRunOptions};
+use fast_bench::cli::{parse_sweep_cli, SweepCli};
+use fast_bench::pareto_figs::sweep_budget_frontiers_with;
 
 const USAGE: &str = "usage: sweep_frontiers [--checkpoint DIR] [--resume] [--frontiers-only]
   --checkpoint DIR   save the evaluation cache + scenario ledger under DIR
@@ -11,32 +13,12 @@ const USAGE: &str = "usage: sweep_frontiers [--checkpoint DIR] [--resume] [--fro
   --frontiers-only   print only the deterministic frontier tables";
 
 fn main() {
-    let mut opts = SweepRunOptions::default();
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--checkpoint" => match args.next() {
-                Some(dir) => opts.checkpoint = Some(dir.into()),
-                None => {
-                    eprintln!("--checkpoint needs a directory\n{USAGE}");
-                    std::process::exit(2);
-                }
-            },
-            "--resume" => opts.resume = true,
-            "--frontiers-only" => opts.frontiers_only = true,
-            "--help" | "-h" => {
-                println!("{USAGE}");
-                return;
-            }
-            other => {
-                eprintln!("unknown argument {other:?}\n{USAGE}");
-                std::process::exit(2);
-            }
+    match parse_sweep_cli(std::env::args().skip(1), true) {
+        Ok(SweepCli::Help) => println!("{USAGE}"),
+        Ok(SweepCli::Run(opts)) => println!("{}", sweep_budget_frontiers_with(&opts)),
+        Err(message) => {
+            eprintln!("{message}\n{USAGE}");
+            std::process::exit(2);
         }
     }
-    if opts.resume && opts.checkpoint.is_none() {
-        eprintln!("--resume requires --checkpoint DIR\n{USAGE}");
-        std::process::exit(2);
-    }
-    println!("{}", sweep_budget_frontiers_with(&opts));
 }

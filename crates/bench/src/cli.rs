@@ -1,0 +1,126 @@
+//! Flag parsing shared by the durable bench binaries (`sweep_frontiers`,
+//! `repro_all`), factored out so the reject-unknown-flag behavior is unit
+//! tested instead of living duplicated (and untested) in each `main`.
+//!
+//! Contract: unknown flags, missing flag values, and inconsistent
+//! combinations (`--resume` without `--checkpoint`) are **errors** — the
+//! binaries print the message plus their usage string and exit non-zero
+//! rather than silently ignoring arguments.
+
+use crate::pareto_figs::SweepRunOptions;
+
+/// Outcome of parsing a durable-sweep command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SweepCli {
+    /// Run with the parsed options.
+    Run(SweepRunOptions),
+    /// `--help`/`-h`: print usage and exit successfully.
+    Help,
+}
+
+/// Parses the `--checkpoint DIR` / `--resume` (and, when
+/// `accept_frontiers_only`, `--frontiers-only`) flag set.
+///
+/// # Errors
+/// Returns a one-line message for an unknown argument, a flag missing its
+/// value, a `--frontiers-only` where it is not accepted, or `--resume`
+/// without `--checkpoint`. Callers print it with their usage string and
+/// exit non-zero.
+pub fn parse_sweep_cli(
+    args: impl IntoIterator<Item = String>,
+    accept_frontiers_only: bool,
+) -> Result<SweepCli, String> {
+    let mut opts = SweepRunOptions::default();
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--checkpoint" => match args.next() {
+                // A flag in the value slot means the directory was
+                // forgotten — running a sweep into a directory named
+                // "--resume" is not what anyone meant.
+                Some(dir) if !dir.starts_with('-') => opts.checkpoint = Some(dir.into()),
+                _ => return Err("--checkpoint needs a directory".to_string()),
+            },
+            "--resume" => opts.resume = true,
+            "--frontiers-only" if accept_frontiers_only => opts.frontiers_only = true,
+            "--help" | "-h" => return Ok(SweepCli::Help),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if opts.resume && opts.checkpoint.is_none() {
+        return Err("--resume requires --checkpoint DIR".to_string());
+    }
+    Ok(SweepCli::Run(opts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn parse(args: &[&str], frontiers: bool) -> Result<SweepCli, String> {
+        parse_sweep_cli(args.iter().map(ToString::to_string), frontiers)
+    }
+
+    #[test]
+    fn empty_args_run_with_defaults() {
+        assert_eq!(parse(&[], true), Ok(SweepCli::Run(SweepRunOptions::default())));
+    }
+
+    #[test]
+    fn full_flag_set_parses() {
+        let got = parse(&["--checkpoint", "ck", "--resume", "--frontiers-only"], true).unwrap();
+        let SweepCli::Run(opts) = got else { panic!("expected Run") };
+        assert_eq!(opts.checkpoint, Some(PathBuf::from("ck")));
+        assert!(opts.resume);
+        assert!(opts.frontiers_only);
+    }
+
+    #[test]
+    fn unknown_flags_are_errors_not_ignored() {
+        for bad in ["--frontier-only", "-x", "extra", "--checkpoint=ck"] {
+            let got = parse(&[bad], true);
+            assert_eq!(got, Err(format!("unknown argument {bad:?}")), "{bad}");
+        }
+        // A typo after valid flags must still fail, not run a sweep with
+        // the typo silently dropped.
+        assert!(parse(&["--checkpoint", "ck", "--resum"], true).is_err());
+    }
+
+    #[test]
+    fn frontiers_only_is_rejected_where_unsupported() {
+        assert_eq!(
+            parse(&["--frontiers-only"], false),
+            Err("unknown argument \"--frontiers-only\"".to_string())
+        );
+    }
+
+    #[test]
+    fn missing_checkpoint_value_is_an_error() {
+        assert_eq!(
+            parse(&["--checkpoint"], true),
+            Err("--checkpoint needs a directory".to_string())
+        );
+        // A following flag must not be swallowed as the directory value:
+        // `--checkpoint --resume` would otherwise run a cold sweep into a
+        // directory literally named "--resume".
+        assert_eq!(
+            parse(&["--checkpoint", "--resume"], true),
+            Err("--checkpoint needs a directory".to_string())
+        );
+    }
+
+    #[test]
+    fn resume_requires_checkpoint() {
+        assert_eq!(
+            parse(&["--resume"], true),
+            Err("--resume requires --checkpoint DIR".to_string())
+        );
+    }
+
+    #[test]
+    fn help_wins() {
+        assert_eq!(parse(&["--help"], true), Ok(SweepCli::Help));
+        assert_eq!(parse(&["-h"], false), Ok(SweepCli::Help));
+    }
+}

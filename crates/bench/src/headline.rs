@@ -13,10 +13,7 @@
 
 use crate::{trial_budget, Table};
 use fast_arch::{presets, Budget};
-use fast_core::{
-    relative_to_tpu, run_fast_search, Evaluator, Objective, OptimizerKind, RelativePerf,
-    SearchConfig,
-};
+use fast_core::{relative_to_tpu, Evaluator, FastStudy, Objective, OptimizerKind, RelativePerf};
 use fast_models::Workload;
 use fast_sim::{engine::ScheduleQuality, mapper::DataflowSet, SimOptions};
 use std::fmt::Write as _;
@@ -51,9 +48,11 @@ pub fn headline_results(objective: Objective, trials: usize) -> Vec<HeadlineRow>
 
     // One multi-workload search shared by all member rows.
     let multi_eval = Evaluator::new(suite5.clone(), objective, budget);
-    let multi_cfg =
-        SearchConfig { trials, optimizer: OptimizerKind::Lcs, seed: 11, ..SearchConfig::default() };
-    let multi_best = run_fast_search(&multi_eval, &multi_cfg)
+    let multi_best = FastStudy::new(&multi_eval, trials)
+        .optimizer(OptimizerKind::Lcs)
+        .seed(11)
+        .run()
+        .expect("valid study configuration")
         .best
         .expect("seeded search always yields a design");
 
@@ -63,13 +62,13 @@ pub fn headline_results(objective: Objective, trials: usize) -> Vec<HeadlineRow>
             relative_to_tpu(&presets::tpu_v3(), &tpu_sched_sim, w, &budget).expect("evaluates");
 
         let single_eval = Evaluator::new(vec![w], objective, budget);
-        let single_cfg = SearchConfig {
-            trials,
-            optimizer: OptimizerKind::Lcs,
-            seed: 5,
-            ..SearchConfig::default()
-        };
-        let single_best = run_fast_search(&single_eval, &single_cfg).best.expect("seeded search");
+        let single_best = FastStudy::new(&single_eval, trials)
+            .optimizer(OptimizerKind::Lcs)
+            .seed(5)
+            .run()
+            .expect("valid study configuration")
+            .best
+            .expect("seeded search");
         let single =
             relative_to_tpu(&single_best.config, &single_best.sim, w, &budget).expect("evaluates");
 

@@ -41,6 +41,7 @@
 //! assert_eq!(rendered.lines().count(), 3); // header, rule, one row
 //! ```
 
+pub mod cli;
 pub mod figures;
 pub mod headline;
 pub mod pareto_figs;

@@ -4,7 +4,7 @@ use crate::{trial_budget, Table};
 use fast_arch::Budget;
 use fast_core::{Evaluator, FastSpace, Objective, OptimizerKind};
 use fast_models::{EfficientNet, Workload};
-use fast_search::{convergence_band, run_study, TrialResult};
+use fast_search::{convergence_band, MultiObjective, Study, StudyEval, TrialResult};
 use std::fmt::Write as _;
 
 /// Figure 11: convergence of the Bayesian (TPE), LCS and random heuristics
@@ -44,12 +44,14 @@ pub fn fig11_convergence() -> String {
         let mut invalid = 0usize;
         for seed in 0..runs {
             let mut opt = kind.build();
-            let res = run_study(space.space(), opt.as_mut(), trials, seed as u64, |p| {
-                match evaluator.evaluate_point(&space, p) {
-                    Ok(e) => TrialResult::Valid(e.objective_value),
-                    Err(_) => TrialResult::Invalid,
-                }
-            });
+            let mut eval = |p: &[usize]| match evaluator.evaluate_point(&space, p) {
+                Ok(e) => TrialResult::Valid(e.objective_value).into(),
+                Err(_) => MultiObjective::Invalid,
+            };
+            let res = Study::new(space.space(), trials)
+                .seed(seed as u64)
+                .run(opt.as_mut(), StudyEval::points(&mut eval))
+                .expect("valid study configuration");
             invalid += res.invalid_trials;
             curves.push(res.convergence);
         }
@@ -96,21 +98,22 @@ pub fn fig12_pareto() -> String {
     let mut points: Vec<(f64, f64, f64)> = Vec::new();
     for seed in [0u64, 1, 2] {
         let mut opt = OptimizerKind::Lcs.build();
-        // Seed via encoded presets by observing them first.
-        let _ = run_study(space.space(), opt.as_mut(), trials, seed, |p| {
-            match evaluator.evaluate_point(&space, p) {
-                Ok(e) => {
-                    let step_ms = e.workloads[0].step_seconds * 1e3;
-                    points.push((
-                        step_ms,
-                        budget.normalized_tdp(&e.config),
-                        budget.normalized_area(&e.config),
-                    ));
-                    TrialResult::Valid(e.objective_value)
-                }
-                Err(_) => TrialResult::Invalid,
+        let mut eval = |p: &[usize]| match evaluator.evaluate_point(&space, p) {
+            Ok(e) => {
+                let step_ms = e.workloads[0].step_seconds * 1e3;
+                points.push((
+                    step_ms,
+                    budget.normalized_tdp(&e.config),
+                    budget.normalized_area(&e.config),
+                ));
+                TrialResult::Valid(e.objective_value).into()
             }
-        });
+            Err(_) => MultiObjective::Invalid,
+        };
+        let _ = Study::new(space.space(), trials)
+            .seed(seed)
+            .run(opt.as_mut(), StudyEval::points(&mut eval))
+            .expect("valid study configuration");
     }
     for cfg in [fast_arch::presets::fast_large(), fast_arch::presets::fast_small()] {
         if let Ok(e) = evaluator.evaluate(&cfg, &fast_sim::SimOptions::default()) {

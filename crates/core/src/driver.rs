@@ -1,11 +1,19 @@
 //! The FAST search driver: black-box optimization over the full-stack space
 //! (Figure 1's outer loop).
+//!
+//! [`FastStudy`] is the one entry point: it binds an [`Evaluator`] to the
+//! unified [`fast_search::Study`] builder, so objective scoring, execution
+//! strategy ([`Execution`]), durability ([`Durability`]) and seeding are
+//! orthogonal axes instead of separate driver functions. The historical
+//! `run_fast_search` / `run_fast_search_parallel` free functions remain as
+//! deprecated wrappers.
 
-use crate::evaluate::{DesignEval, Evaluator};
+use crate::evaluate::{CacheStats, DesignEval, Evaluator};
 use crate::search_space::FastSpace;
 use fast_arch::DatapathConfig;
 use fast_search::{
-    run_study_batched, LcsSwarm, Optimizer, RandomSearch, StudyResult, Tpe, Trial, TrialResult,
+    Durability, Execution, LcsSwarm, Optimizer, OptimizerState, RandomSearch, Study,
+    StudyConfigError, StudyEval, StudyReport, StudyResult, Tpe, Trial, TrialResult,
 };
 use fast_sim::SimOptions;
 use rayon::prelude::*;
@@ -87,6 +95,26 @@ impl Optimizer for SeededOptimizer {
     fn observe(&mut self, space: &fast_search::ParamSpace, trial: &Trial) {
         self.inner.observe(space, trial);
     }
+
+    fn save_state(&self) -> OptimizerState {
+        OptimizerState::Seeded {
+            seeds: self.seeds.clone(),
+            next: self.next,
+            inner: Box::new(self.inner.save_state()),
+        }
+    }
+
+    fn load_state(&mut self, state: &OptimizerState) -> bool {
+        let OptimizerState::Seeded { seeds, next, inner } = state else {
+            return false;
+        };
+        if *next > seeds.len() || !self.inner.load_state(inner) {
+            return false;
+        }
+        self.seeds = seeds.clone();
+        self.next = *next;
+        true
+    }
 }
 
 /// Configuration of one FAST search run.
@@ -103,7 +131,7 @@ pub struct SearchConfig {
     /// Trials proposed and evaluated per round. The default of `1` is the
     /// classic propose→evaluate→observe loop (per-trial observation,
     /// matching the paper's sequential Vizier methodology); larger batches
-    /// let [`run_fast_search_parallel`] fan a round out across cores at the
+    /// let [`Execution::Parallel`] fan a round out across cores at the
     /// cost of optimizers observing a whole round at once. The study outcome
     /// depends on the batch size but never on how a round's evaluations are
     /// executed.
@@ -125,7 +153,8 @@ impl Default for SearchConfig {
     }
 }
 
-/// Outcome of a FAST search.
+/// Outcome of a FAST search through the deprecated free-function drivers.
+/// [`FastStudy::run`] returns the richer [`SearchReport`] instead.
 #[derive(Debug, Clone)]
 pub struct SearchOutcome {
     /// The raw study (convergence curve, trials, invalid count).
@@ -136,71 +165,243 @@ pub struct SearchOutcome {
     pub space_log10: f64,
 }
 
-/// Shared study loop of both drivers: proposes rounds of `config.batch`
-/// points and scores them with `evaluate_round`.
-fn run_search_with<F>(
-    evaluator: &Evaluator,
-    config: &SearchConfig,
-    evaluate_round: F,
-) -> SearchOutcome
-where
-    F: FnMut(&Evaluator, &FastSpace, &[Vec<usize>]) -> Vec<TrialResult>,
-{
-    let mut evaluate_round = evaluate_round;
-    let space = FastSpace::table3();
-    let seeds: Vec<Vec<usize>> =
-        config.seeds.iter().map(|(cfg, sim)| space.encode(cfg, sim)).collect();
-    let mut opt = SeededOptimizer::new(config.optimizer.build(), seeds);
-
-    let study = run_study_batched(
-        space.space(),
-        &mut opt,
-        config.trials,
-        config.batch,
-        config.seed,
-        |points| evaluate_round(evaluator, &space, points),
-    );
-
-    let best = study.best_point.as_ref().and_then(|p| evaluator.evaluate_point(&space, p).ok());
-    SearchOutcome { study, best, space_log10: space.space().log10_size() }
+/// Outcome of a [`FastStudy`] run: the unified [`StudyReport`] (trials,
+/// convergence, optional frontier, checkpoint info) plus the decoded best
+/// design, the explored-space size, and this run's evaluation-cache share.
+#[derive(Debug, Clone)]
+pub struct SearchReport {
+    /// The unified study report.
+    pub study: StudyReport,
+    /// Full evaluation of the best design, if any trial was valid.
+    pub best: Option<DesignEval>,
+    /// log10 of the datapath search-space size explored by the optimizer.
+    pub space_log10: f64,
+    /// Evaluation-cache traffic attributable to this run (hit/miss delta
+    /// across it, including the final best-point decode).
+    pub cache: CacheStats,
 }
 
-/// Scores one encoded point as a safe-search trial outcome.
-fn score_point(evaluator: &Evaluator, space: &FastSpace, point: &[usize]) -> TrialResult {
-    match evaluator.evaluate_point(space, point) {
-        Ok(eval) => TrialResult::Valid(eval.objective_value),
-        Err(_) => TrialResult::Invalid,
+/// One FAST search over the Table-3 space, configured axis by axis.
+///
+/// ```no_run
+/// use fast_core::{Evaluator, FastStudy, Objective};
+/// use fast_arch::Budget;
+/// use fast_models::Workload;
+/// use fast_search::Execution;
+///
+/// let evaluator = Evaluator::new(
+///     vec![Workload::ResNet50],
+///     Objective::PerfPerTdp,
+///     Budget::paper_default(),
+/// );
+/// let report = FastStudy::new(&evaluator, 400)
+///     .seed(7)
+///     .execution(Execution::Parallel { threads: 16 })
+///     .run()
+///     .expect("valid study configuration");
+/// println!("best objective: {:?}", report.study.best_objective);
+/// ```
+///
+/// **Determinism:** [`Execution::Parallel`] is bit-identical to
+/// [`Execution::Batched`] at the same round size — per-trial RNGs derive
+/// from `(seed, trial index)`, the evaluation cache stores pure functions
+/// of its key, and round results are collected in proposal order before
+/// the optimizer observes them, so thread scheduling cannot leak into the
+/// trial sequence. Worker threads share the evaluator's memoization table,
+/// so duplicate proposals within or across rounds cost one simulation
+/// total. (The guarantee assumes the evaluation pipeline is deterministic:
+/// true for the default heuristic fusion; see [`Evaluator::with_fusion`]
+/// for the wall-clock-bounded exact-ILP caveat.)
+///
+/// **Durability:** [`Durability::Checkpointed`] persists both the study
+/// checkpoint (`study.bin`) and the evaluator's cache (`eval_cache.bin`)
+/// under the directory, so a killed search resumes bit-identically and
+/// re-pays at most the rounds since the last save.
+#[derive(Clone)]
+pub struct FastStudy<'e> {
+    evaluator: &'e Evaluator,
+    trials: usize,
+    optimizer: OptimizerKind,
+    seed: u64,
+    seed_designs: Vec<(DatapathConfig, SimOptions)>,
+    execution: Execution,
+    durability: Durability,
+}
+
+impl<'e> FastStudy<'e> {
+    /// A study of `trials` evaluations scored by `evaluator`, with the
+    /// historical driver defaults: LCS, seed 0, the published presets as
+    /// seed designs, `Batched { batch_size: 1 }`, ephemeral.
+    #[must_use]
+    pub fn new(evaluator: &'e Evaluator, trials: usize) -> Self {
+        let defaults = SearchConfig::default();
+        FastStudy {
+            evaluator,
+            trials,
+            optimizer: defaults.optimizer,
+            seed: defaults.seed,
+            seed_designs: defaults.seeds,
+            execution: Execution::Batched { batch_size: defaults.batch },
+            durability: Durability::Ephemeral,
+        }
+    }
+
+    /// Sets the optimizer (Figure 11 compares the three kinds).
+    #[must_use]
+    pub fn optimizer(mut self, optimizer: OptimizerKind) -> Self {
+        self.optimizer = optimizer;
+        self
+    }
+
+    /// Sets the reproducibility seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the known-good designs proposed first (may be empty). Seeding
+    /// stands in for Vizier transfer learning and keeps short searches out
+    /// of the all-invalid regime.
+    #[must_use]
+    pub fn seed_designs(mut self, seed_designs: Vec<(DatapathConfig, SimOptions)>) -> Self {
+        self.seed_designs = seed_designs;
+        self
+    }
+
+    /// Sets the execution axis (round size and parallelism).
+    #[must_use]
+    pub fn execution(mut self, execution: Execution) -> Self {
+        self.execution = execution;
+        self
+    }
+
+    /// Sets the durability axis.
+    #[must_use]
+    pub fn durability(mut self, durability: Durability) -> Self {
+        self.durability = durability;
+        self
+    }
+
+    /// Runs the study.
+    ///
+    /// # Errors
+    /// Returns a [`StudyConfigError`] for invalid axes (zero batch/threads,
+    /// unusable checkpoint directory) before any trial runs.
+    pub fn run(&self) -> Result<SearchReport, StudyConfigError> {
+        let space = FastSpace::table3();
+        let seeds: Vec<Vec<usize>> =
+            self.seed_designs.iter().map(|(cfg, sim)| space.encode(cfg, sim)).collect();
+        let mut opt = SeededOptimizer::new(self.optimizer.build(), seeds);
+
+        let cache_path = match &self.durability {
+            Durability::Checkpointed { dir, .. } => Some(dir.join("eval_cache.bin")),
+            Durability::Ephemeral => None,
+        };
+        if let Some(path) = &cache_path {
+            // Warm the shared cache from a prior run's snapshot; a missing
+            // or damaged file degrades to a cold cache.
+            let _ = self.evaluator.load_eval_cache(path);
+        }
+        let before = self.evaluator.cache_stats();
+        // Misses already represented in the on-disk snapshot; rounds that
+        // add none skip the (whole-cache) re-save.
+        let mut saved_misses = before.misses;
+        // Persist the cache on the same round cadence as the study
+        // checkpoint — a per-trial round size must not rewrite the whole
+        // cache every trial.
+        let save_every = match &self.durability {
+            Durability::Checkpointed { every, .. } => (*every).max(1),
+            Durability::Ephemeral => 1,
+        };
+        let mut rounds = 0usize;
+        let parallel = matches!(self.execution, Execution::Parallel { .. });
+        let score = |p: &Vec<usize>| match self.evaluator.evaluate_point(&space, p) {
+            Ok(eval) => TrialResult::Valid(eval.objective_value).into(),
+            Err(_) => fast_search::MultiObjective::Invalid,
+        };
+        let mut eval_round = |points: &[Vec<usize>]| {
+            let scored: Vec<fast_search::MultiObjective> = if parallel {
+                points.par_iter().map(score).collect()
+            } else {
+                points.iter().map(score).collect()
+            };
+            // Round boundary: persist newly-simulated results so a kill
+            // mid-search only re-pays the rounds since the last save.
+            if let Some(path) = &cache_path {
+                rounds += 1;
+                if rounds.is_multiple_of(save_every) {
+                    self.evaluator.save_eval_cache_if_new(path, &mut saved_misses);
+                }
+            }
+            scored
+        };
+        let study = Study::new(space.space(), self.trials)
+            .seed(self.seed)
+            .execution(self.execution)
+            .durability(self.durability.clone())
+            .run(&mut opt, StudyEval::batch(&mut eval_round))?;
+
+        let best =
+            study.best_point.as_ref().and_then(|p| self.evaluator.evaluate_point(&space, p).ok());
+        if let Some(path) = &cache_path {
+            // Completion save: the thinned cadence above may have skipped
+            // the final rounds' simulations (the study checkpoint gets the
+            // same forced final save).
+            self.evaluator.save_eval_cache_if_new(path, &mut saved_misses);
+        }
+        let after = self.evaluator.cache_stats();
+        Ok(SearchReport {
+            study,
+            best,
+            space_log10: space.space().log10_size(),
+            cache: CacheStats {
+                hits: after.hits - before.hits,
+                misses: after.misses - before.misses,
+            },
+        })
     }
 }
 
 /// Runs a FAST search with `evaluator` scoring each proposed design, one
-/// trial at a time on the calling thread.
+/// round of `config.batch` trials at a time on the calling thread.
+#[deprecated(note = "use `FastStudy::new(evaluator, trials)…run()`")]
 #[must_use]
 pub fn run_fast_search(evaluator: &Evaluator, config: &SearchConfig) -> SearchOutcome {
-    run_search_with(evaluator, config, |evaluator, space, points| {
-        points.iter().map(|p| score_point(evaluator, space, p)).collect()
-    })
+    let report = FastStudy::new(evaluator, config.trials)
+        .optimizer(config.optimizer)
+        .seed(config.seed)
+        .seed_designs(config.seeds.clone())
+        .execution(Execution::Batched { batch_size: config.batch.max(1) })
+        .run()
+        .expect("an ephemeral batched search is always a valid configuration");
+    SearchOutcome {
+        best: report.best,
+        space_log10: report.space_log10,
+        study: report.study.into_study_result(),
+    }
 }
 
 /// Runs a FAST search evaluating each round of `config.batch` proposals in
-/// parallel across the rayon thread pool.
-///
-/// **Determinism:** bit-identical to [`run_fast_search`] with the same
-/// config. Per-trial RNGs are derived from `(config.seed, trial index)`, the
-/// evaluation cache stores pure functions of its key, and round results are
-/// collected in proposal order before the optimizer observes them — so
-/// thread scheduling cannot leak into the trial sequence. Worker threads
-/// share the evaluator's memoization table, so duplicate proposals within or
-/// across rounds cost one simulation total.
-///
-/// The guarantee assumes the evaluator's pipeline is itself deterministic:
-/// true for the default heuristic fusion; see [`Evaluator::with_fusion`] for
-/// the wall-clock-bounded exact-ILP caveat.
+/// parallel across the rayon thread pool. Bit-identical to
+/// [`run_fast_search`] with the same config (see [`FastStudy`] for the
+/// contract).
+#[deprecated(note = "use `FastStudy::new(evaluator, trials)\
+            .execution(Execution::Parallel { threads })…run()`")]
 #[must_use]
 pub fn run_fast_search_parallel(evaluator: &Evaluator, config: &SearchConfig) -> SearchOutcome {
-    run_search_with(evaluator, config, |evaluator, space, points| {
-        points.par_iter().map(|p| score_point(evaluator, space, p)).collect()
-    })
+    let report = FastStudy::new(evaluator, config.trials)
+        .optimizer(config.optimizer)
+        .seed(config.seed)
+        .seed_designs(config.seeds.clone())
+        .execution(Execution::Parallel { threads: config.batch.max(1) })
+        .run()
+        .expect("an ephemeral parallel search is always a valid configuration");
+    SearchOutcome {
+        best: report.best,
+        space_log10: report.space_log10,
+        study: report.study.into_study_result(),
+    }
 }
 
 #[cfg(test)]
@@ -221,12 +422,13 @@ mod tests {
     #[test]
     fn seeded_search_finds_valid_designs() {
         let e = quick_evaluator();
-        let cfg = SearchConfig { trials: 30, seed: 1, ..SearchConfig::default() };
-        let out = run_fast_search(&e, &cfg);
+        let out = FastStudy::new(&e, 30).seed(1).run().expect("valid configuration");
         let best = out.best.expect("seeds guarantee at least one valid design");
         assert!(best.objective_value > 0.0);
         assert!(out.study.invalid_trials < 30);
         assert!(out.space_log10 > 12.0);
+        assert!(out.study.frontier.is_none(), "single-objective search tracks no frontier");
+        assert!(out.study.checkpoint.is_none(), "ephemeral search writes nothing");
     }
 
     #[test]
@@ -234,13 +436,11 @@ mod tests {
         let e = quick_evaluator();
         let seed_eval =
             e.evaluate(&fast_arch::presets::fast_large(), &SimOptions::default()).unwrap();
-        let cfg = SearchConfig {
-            trials: 60,
-            seed: 7,
-            optimizer: OptimizerKind::Lcs,
-            ..SearchConfig::default()
-        };
-        let out = run_fast_search(&e, &cfg);
+        let out = FastStudy::new(&e, 60)
+            .seed(7)
+            .optimizer(OptimizerKind::Lcs)
+            .run()
+            .expect("valid configuration");
         let best = out.best.unwrap();
         assert!(
             best.objective_value >= seed_eval.objective_value * (1.0 - 1e-9),
@@ -253,14 +453,12 @@ mod tests {
     #[test]
     fn unseeded_random_search_mostly_invalid_but_runs() {
         let e = quick_evaluator();
-        let cfg = SearchConfig {
-            trials: 40,
-            seed: 3,
-            optimizer: OptimizerKind::Random,
-            seeds: Vec::new(),
-            ..SearchConfig::default()
-        };
-        let out = run_fast_search(&e, &cfg);
+        let out = FastStudy::new(&e, 40)
+            .seed(3)
+            .optimizer(OptimizerKind::Random)
+            .seed_designs(Vec::new())
+            .run()
+            .expect("valid configuration");
         // With a 1e13 space most random points are invalid; the run must
         // still complete and report counts consistently.
         assert_eq!(out.study.convergence.len(), 40);
@@ -268,18 +466,20 @@ mod tests {
     }
 
     #[test]
-    fn parallel_search_reproduces_sequential_search() {
+    fn parallel_execution_reproduces_batched_execution() {
         let e = quick_evaluator();
         for kind in OptimizerKind::ALL {
-            let cfg = SearchConfig {
-                trials: 48,
-                seed: 13,
-                optimizer: kind,
-                batch: 8,
-                ..SearchConfig::default()
+            let run = |execution: Execution| {
+                let e = e.fresh_eval_cache();
+                FastStudy::new(&e, 48)
+                    .seed(13)
+                    .optimizer(kind)
+                    .execution(execution)
+                    .run()
+                    .expect("valid configuration")
             };
-            let seq = run_fast_search(&e.fresh_eval_cache(), &cfg);
-            let par = run_fast_search_parallel(&e.fresh_eval_cache(), &cfg);
+            let seq = run(Execution::Batched { batch_size: 8 });
+            let par = run(Execution::Parallel { threads: 8 });
             assert_eq!(
                 seq.study.best_objective, par.study.best_objective,
                 "{kind:?}: best objective must not depend on parallelism"
@@ -294,11 +494,45 @@ mod tests {
         }
     }
 
+    /// The deprecated free functions must stay bit-identical to the builder
+    /// they wrap (they are kept one release for migration).
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_drivers_delegate_to_the_builder() {
+        let e = quick_evaluator();
+        let cfg = SearchConfig { trials: 36, seed: 5, batch: 6, ..SearchConfig::default() };
+        let legacy_seq = run_fast_search(&e.fresh_eval_cache(), &cfg);
+        let legacy_par = run_fast_search_parallel(&e.fresh_eval_cache(), &cfg);
+        let builder = |execution: Execution| {
+            let fresh = e.fresh_eval_cache();
+            FastStudy::new(&fresh, cfg.trials)
+                .seed(cfg.seed)
+                .optimizer(cfg.optimizer)
+                .execution(execution)
+                .run()
+                .expect("valid configuration")
+        };
+        let via_batched = builder(Execution::Batched { batch_size: cfg.batch });
+        let via_parallel = builder(Execution::Parallel { threads: cfg.batch });
+        for (legacy, report) in [(&legacy_seq, &via_batched), (&legacy_par, &via_parallel)] {
+            assert_eq!(legacy.study.best_point, report.study.best_point);
+            assert_eq!(legacy.study.convergence, report.study.convergence);
+            assert_eq!(legacy.study.invalid_trials, report.study.invalid_trials);
+            assert_eq!(
+                legacy.best.as_ref().map(|b| b.objective_value.to_bits()),
+                report.best.as_ref().map(|b| b.objective_value.to_bits())
+            );
+        }
+    }
+
     #[test]
     fn parallel_search_shares_the_evaluation_cache() {
         let e = quick_evaluator().fresh_eval_cache();
-        let cfg = SearchConfig { trials: 40, seed: 2, batch: 8, ..SearchConfig::default() };
-        let out = run_fast_search_parallel(&e, &cfg);
+        let out = FastStudy::new(&e, 40)
+            .seed(2)
+            .execution(Execution::Parallel { threads: 8 })
+            .run()
+            .expect("valid configuration");
         assert!(out.best.is_some());
         let stats = e.cache_stats();
         // Seeded LCS re-proposes incumbent-adjacent points constantly; the
@@ -312,6 +546,54 @@ mod tests {
             stats.misses <= distinct.len() as u64 + 1,
             "duplicate proposals re-ran the simulator: {stats:?}, {} distinct points",
             distinct.len()
+        );
+        // The report's cache delta covers exactly this run's traffic.
+        assert_eq!(out.cache.hits + out.cache.misses, stats.hits + stats.misses);
+    }
+
+    /// A checkpointed search killed mid-way resumes bit-identically and
+    /// answers replayed rounds from the persisted evaluation cache.
+    #[test]
+    fn checkpointed_search_resumes_with_warm_cache() {
+        let scratch = std::env::temp_dir().join(format!("fast-core-study-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&scratch);
+        let durable = Durability::Checkpointed { dir: scratch.clone(), every: 1 };
+
+        let e1 = quick_evaluator().fresh_eval_cache();
+        let straight = FastStudy::new(&e1, 32)
+            .seed(11)
+            .execution(Execution::Batched { batch_size: 8 })
+            .run()
+            .expect("valid configuration");
+
+        // "Kill" after 16 trials, then rerun the full budget from the dir.
+        let e2 = quick_evaluator().fresh_eval_cache();
+        let _ = FastStudy::new(&e2, 16)
+            .seed(11)
+            .execution(Execution::Batched { batch_size: 8 })
+            .durability(durable.clone())
+            .run()
+            .expect("valid configuration");
+
+        let e3 = quick_evaluator().fresh_eval_cache();
+        let resumed = FastStudy::new(&e3, 32)
+            .seed(11)
+            .execution(Execution::Batched { batch_size: 8 })
+            .durability(durable)
+            .run()
+            .expect("valid configuration");
+        let info = resumed.study.checkpoint.as_ref().expect("durable run reports checkpoints");
+        assert_eq!(info.resumed_trials, 16);
+        assert_eq!(resumed.study.best_point, straight.study.best_point);
+        assert_eq!(resumed.study.convergence, straight.study.convergence);
+        assert_eq!(resumed.study.trials, straight.study.trials);
+        // The restored trials were never re-simulated: the only cache
+        // traffic is the resumed half plus the final best-point decode.
+        assert!(
+            resumed.cache.misses <= straight.cache.misses,
+            "resume must not re-simulate the replayed prefix: {:?} vs {:?}",
+            resumed.cache,
+            straight.cache
         );
     }
 

@@ -511,6 +511,25 @@ impl Evaluator {
         Ok(encoded.len())
     }
 
+    /// [`Evaluator::save_eval_cache`], but only when the cache holds
+    /// simulations not yet represented on disk: `saved_misses` is the miss
+    /// count at the last successful save and is advanced on success, so
+    /// rounds that simulated nothing new skip the (whole-cache) rewrite.
+    /// Failures warn and leave `saved_misses` unchanged — the next
+    /// boundary retries. Shared by the checkpointed drivers
+    /// ([`crate::FastStudy`], [`crate::SweepRunner`]).
+    pub fn save_eval_cache_if_new(&self, path: &Path, saved_misses: &mut u64) {
+        let misses = self.cache_stats().misses;
+        if misses > *saved_misses {
+            match self.save_eval_cache(path) {
+                Ok(_) => *saved_misses = misses,
+                Err(e) => {
+                    eprintln!("warning: could not write cache snapshot {}: {e}", path.display());
+                }
+            }
+        }
+    }
+
     /// Loads a [`Evaluator::save_eval_cache`] snapshot from `path` and
     /// merges it into this evaluator's (shared) cache.
     ///

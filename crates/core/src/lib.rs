@@ -22,7 +22,7 @@
 //! [`Evaluator::load_eval_cache`].
 //!
 //! ```no_run
-//! use fast_core::{Evaluator, Objective, SearchConfig, run_fast_search};
+//! use fast_core::{Evaluator, FastStudy, Objective};
 //! use fast_arch::Budget;
 //! use fast_models::Workload;
 //!
@@ -31,8 +31,8 @@
 //!     Objective::PerfPerTdp,
 //!     Budget::paper_default(),
 //! );
-//! let outcome = run_fast_search(&evaluator, &SearchConfig::default());
-//! println!("best objective: {:?}", outcome.study.best_objective);
+//! let report = FastStudy::new(&evaluator, 400).run().expect("valid configuration");
+//! println!("best objective: {:?}", report.study.best_objective);
 //! ```
 
 pub mod analysis;
@@ -46,12 +46,14 @@ pub use analysis::{
     ablation_study, ablation_variants, ablation_workloads, component_breakdown, AblationRow,
     BreakdownRow,
 };
-pub use driver::{
-    run_fast_search, run_fast_search_parallel, OptimizerKind, SearchConfig, SearchOutcome,
-};
+#[allow(deprecated)] // re-exported for one release of migration
+pub use driver::{run_fast_search, run_fast_search_parallel};
+pub use driver::{FastStudy, OptimizerKind, SearchConfig, SearchOutcome, SearchReport};
+// The unified study axes, re-exported so driver callers need one import.
 pub use evaluate::{
     CacheLoadReport, CacheStats, DesignEval, EvalError, Evaluator, Objective, WorkloadEval,
 };
+pub use fast_search::{Durability, Execution, StudyConfigError, StudyObjective, StudyReport};
 pub use report::{design_report, relative_to_tpu, DesignReport, RelativePerf};
 pub use search_space::{combined_search_space_log10, FastSpace, SpaceDims};
 pub use sweep::{

@@ -21,7 +21,9 @@ use crate::evaluate::{CacheStats, Evaluator, Objective};
 use crate::search_space::FastSpace;
 use fast_arch::{Budget, DatapathConfig};
 use fast_models::WorkloadDomain;
-use fast_search::{run_study_pareto_batched, FrontierPoint, MetricDirection, MultiObjective};
+use fast_search::{
+    Execution, FrontierPoint, MetricDirection, MultiObjective, Study, StudyEval, StudyObjective,
+};
 use fast_sim::SimOptions;
 use rayon::prelude::*;
 use serde::bin::{self, Decode, Encode, Reader, Writer};
@@ -199,7 +201,7 @@ pub struct ScenarioResult {
     /// Number of safe-search rejections.
     pub invalid_trials: usize,
     /// Evaluation-cache traffic attributable to this scenario's study
-    /// (hits/misses delta across its `run_study_pareto_batched` call).
+    /// (hits/misses delta across its Pareto study).
     pub cache: CacheStats,
 }
 
@@ -528,51 +530,41 @@ impl SweepRunner {
             );
             let before = evaluator.cache_stats();
             let mut opt = SeededOptimizer::new(self.config.optimizer.build(), seeds.clone());
-            let study = run_study_pareto_batched(
-                space.space(),
-                &mut opt,
-                self.config.trials,
-                self.config.batch,
-                self.config.seed,
-                &DIRECTIONS,
-                |points| {
-                    // Score each *unique* point once, in parallel, then fan
-                    // results back out to the proposal order.
-                    let mut unique: Vec<&Vec<usize>> = Vec::new();
-                    let mut index_of: HashMap<&Vec<usize>, usize> = HashMap::new();
-                    for p in points {
-                        index_of.entry(p).or_insert_with(|| {
-                            unique.push(p);
-                            unique.len() - 1
-                        });
-                    }
-                    let scored: Vec<MultiObjective> = unique
-                        .par_iter()
-                        .map(|p| match evaluator.evaluate_point(&space, p) {
-                            Ok(e) => MultiObjective::valid(
-                                vec![e.objective_value, e.tdp_w, e.area_mm2],
-                                e.objective_value,
-                            ),
-                            Err(_) => MultiObjective::Invalid,
-                        })
-                        .collect();
-                    // Round boundary: persist newly-simulated results so a
-                    // kill mid-scenario only re-pays this round's proposals.
-                    if let Some(ck) = ck {
-                        let misses = evaluator.cache_stats().misses;
-                        if misses > saved_misses {
-                            match evaluator.save_eval_cache(&ck.cache_path()) {
-                                Ok(_) => saved_misses = misses,
-                                Err(e) => eprintln!(
-                                    "warning: could not write cache snapshot {}: {e}",
-                                    ck.cache_path().display()
-                                ),
-                            }
-                        }
-                    }
-                    points.iter().map(|p| scored[index_of[p]].clone()).collect()
-                },
-            );
+            let mut evaluate_round = |points: &[Vec<usize>]| {
+                // Score each *unique* point once, in parallel, then fan
+                // results back out to the proposal order.
+                let mut unique: Vec<&Vec<usize>> = Vec::new();
+                let mut index_of: HashMap<&Vec<usize>, usize> = HashMap::new();
+                for p in points {
+                    index_of.entry(p).or_insert_with(|| {
+                        unique.push(p);
+                        unique.len() - 1
+                    });
+                }
+                let scored: Vec<MultiObjective> = unique
+                    .par_iter()
+                    .map(|p| match evaluator.evaluate_point(&space, p) {
+                        Ok(e) => MultiObjective::valid(
+                            vec![e.objective_value, e.tdp_w, e.area_mm2],
+                            e.objective_value,
+                        ),
+                        Err(_) => MultiObjective::Invalid,
+                    })
+                    .collect();
+                // Round boundary: persist newly-simulated results so a
+                // kill mid-scenario only re-pays this round's proposals.
+                if let Some(ck) = ck {
+                    evaluator.save_eval_cache_if_new(&ck.cache_path(), &mut saved_misses);
+                }
+                points.iter().map(|p| scored[index_of[p]].clone()).collect::<Vec<_>>()
+            };
+            let study = Study::new(space.space(), self.config.trials)
+                .seed(self.config.seed)
+                .objective(StudyObjective::pareto(&DIRECTIONS))
+                .execution(Execution::Batched { batch_size: self.config.batch.max(1) })
+                .run(&mut opt, StudyEval::batch(&mut evaluate_round))
+                .expect("the sweep's study axes are always valid")
+                .into_pareto_result();
             let after = evaluator.cache_stats();
             let cache =
                 CacheStats { hits: after.hits - before.hits, misses: after.misses - before.misses };

@@ -1,0 +1,1377 @@
+//! The unified study driver: one builder, one `run`, every axis.
+//!
+//! The paper's methodology is a single loop — propose, evaluate, observe —
+//! parameterized by objective, execution strategy, and durability. Earlier
+//! revisions of this crate exposed that loop through a cross-product of free
+//! functions (`run_study`, `run_study_batched`, `run_study_pareto_batched`,
+//! `run_study_*_resumable`, …) that doubled with every new axis. [`Study`]
+//! replaces them with orthogonal, independently-settable axes:
+//!
+//! * [`Study::objective`] — [`StudyObjective::Single`] (the scalar incumbent
+//!   study) or [`StudyObjective::Pareto`] (a [`ParetoArchive`] over ≥ 2
+//!   metric directions);
+//! * [`Study::execution`] — [`Execution::Sequential`] (one shared RNG, the
+//!   classic propose→evaluate→observe loop), [`Execution::Batched`] (rounds
+//!   of per-trial [`trial_rng`] proposals) or [`Execution::Parallel`]
+//!   (batched rounds evaluated concurrently);
+//! * [`Study::durability`] — [`Durability::Ephemeral`] or
+//!   [`Durability::Checkpointed`] (a checkpoint file per round interval;
+//!   re-running the same study against the same directory resumes it
+//!   bit-identically);
+//! * [`Study::seed`] — the reproducibility seed.
+//!
+//! Configurations are validated at [`Study::run`] time with a typed
+//! [`StudyConfigError`] instead of scattered panics, and every run returns
+//! one [`StudyReport`].
+//!
+//! ```
+//! use fast_search::{Execution, ParamDomain, ParamSpace, RandomSearch};
+//! use fast_search::{Study, StudyEval, TrialResult};
+//!
+//! let mut space = ParamSpace::new();
+//! space.add("pe_count", ParamDomain::Pow2 { min: 1, max: 64 });
+//! let mut opt = RandomSearch::new();
+//! let mut eval = |p: &[usize]| TrialResult::Valid(space.value(p, 0) as f64).into();
+//! let report = Study::new(&space, 50)
+//!     .execution(Execution::Batched { batch_size: 8 })
+//!     .seed(0)
+//!     .run(&mut opt, StudyEval::points(&mut eval))
+//!     .expect("valid configuration");
+//! assert_eq!(report.best_objective, Some(64.0));
+//! ```
+//!
+//! # Determinism
+//!
+//! [`Execution::Batched`] and [`Execution::Parallel`] derive trial `i`'s
+//! randomness from [`trial_rng`]`(seed, i)`, so a study depends only on
+//! `(seed, round size, optimizer, objective function)` — never on thread
+//! scheduling. `Parallel { threads: n }` is *defined* as `Batched
+//! { batch_size: n }` with the round's points scored concurrently, so the
+//! two produce bit-identical reports for equal round sizes.
+//! [`Execution::Sequential`] instead threads one `StdRng` through every
+//! proposal (the historical `run_study` semantics): reproducible per seed,
+//! but a different proposal stream than `Batched { batch_size: 1 }`.
+
+use crate::optimizer::{Optimizer, Trial, TrialResult};
+use crate::pareto::{
+    FrontierPoint, MetricDirection, MultiObjective, MultiTrial, ParetoArchive, ParetoStudyResult,
+};
+use crate::snapshot::{validate_and_restore, OptimizerState, ParetoCheckpoint, StudyCheckpoint};
+use crate::space::ParamSpace;
+use crate::study::{trial_rng, StudyResult};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use serde::bin::{self, Decode, Encode, Reader, Writer};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// What the study optimizes: one scalar, or a Pareto frontier over several
+/// metrics (the optimizer still climbs each trial's scalar *guide*).
+#[derive(Debug, Clone, PartialEq)]
+pub enum StudyObjective {
+    /// Track a single scalar incumbent (the guide of each valid trial);
+    /// metric vectors returned by the evaluator are ignored.
+    Single,
+    /// Maintain a [`ParetoArchive`] over the given metric directions while
+    /// the optimizer maximizes the per-trial guide. Needs ≥ 2 directions.
+    Pareto {
+        /// One direction per tracked metric, in metric order.
+        directions: Vec<MetricDirection>,
+    },
+}
+
+impl StudyObjective {
+    /// Convenience constructor for the Pareto variant.
+    #[must_use]
+    pub fn pareto(directions: &[MetricDirection]) -> Self {
+        StudyObjective::Pareto { directions: directions.to_vec() }
+    }
+}
+
+/// How trials are grouped and evaluated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Execution {
+    /// The classic loop: one shared RNG threaded through every proposal,
+    /// one evaluation at a time, per-trial observation.
+    Sequential,
+    /// Rounds of `batch_size` proposals with per-trial [`trial_rng`]
+    /// generators; the evaluator scores a whole round before the optimizer
+    /// observes it.
+    Batched {
+        /// Trials proposed and evaluated per round (≥ 1).
+        batch_size: usize,
+    },
+    /// [`Execution::Batched`] with rounds of `threads` points scored
+    /// concurrently across the rayon pool. Requires a thread-safe
+    /// [`StudyEval::shared`] evaluator (or [`StudyEval::batch`], which owns
+    /// its parallelism). Bit-identical to `Batched { batch_size: threads }`.
+    Parallel {
+        /// Round size == maximum evaluations in flight (≥ 1).
+        threads: usize,
+    },
+}
+
+/// Whether (and where) the study persists round checkpoints.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum Durability {
+    /// Nothing is persisted; an interrupted study starts over.
+    #[default]
+    Ephemeral,
+    /// Write a checkpoint file (`study.bin` under `dir`) every `every`
+    /// rounds (and at study completion). Running the same configuration
+    /// against the same directory resumes from the file bit-identically;
+    /// a missing, damaged, or differently-configured file — including one
+    /// written by a different optimizer — degrades to a cold start with a
+    /// logged warning, never a wrong result. (Custom optimizers without
+    /// snapshot support all save [`OptimizerState::Opaque`] and so cannot
+    /// be told apart: resuming one with a differently-configured optimizer
+    /// panics when its replayed proposals diverge from the record.)
+    Checkpointed {
+        /// Checkpoint directory (created if absent; must be writable).
+        dir: PathBuf,
+        /// Rounds between saves (≥ 1). `1` saves every round.
+        every: usize,
+    },
+}
+
+/// A [`Study`] configuration rejected at [`Study::run`] time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StudyConfigError {
+    /// `Batched { batch_size: 0 }`.
+    EmptyBatch,
+    /// `Parallel { threads: 0 }`.
+    NoThreads,
+    /// A Pareto objective with fewer than two metric directions.
+    TooFewMetrics {
+        /// Number of directions supplied.
+        got: usize,
+    },
+    /// `Checkpointed { every: 0, .. }`.
+    ZeroCheckpointInterval,
+    /// The checkpoint directory cannot be created or written.
+    CheckpointDirUnwritable {
+        /// The offending directory.
+        dir: PathBuf,
+        /// The underlying I/O error.
+        reason: String,
+    },
+    /// [`Execution::Parallel`] with a serial-only [`StudyEval::points`]
+    /// evaluator.
+    SerialEvalUnderParallelExecution,
+}
+
+impl fmt::Display for StudyConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StudyConfigError::EmptyBatch => {
+                write!(f, "Batched execution needs batch_size >= 1")
+            }
+            StudyConfigError::NoThreads => write!(f, "Parallel execution needs threads >= 1"),
+            StudyConfigError::TooFewMetrics { got } => {
+                write!(f, "a Pareto objective needs >= 2 metric directions, got {got}")
+            }
+            StudyConfigError::ZeroCheckpointInterval => {
+                write!(f, "Checkpointed durability needs every >= 1 (rounds between saves)")
+            }
+            StudyConfigError::CheckpointDirUnwritable { dir, reason } => {
+                write!(f, "checkpoint directory {} is not writable: {reason}", dir.display())
+            }
+            StudyConfigError::SerialEvalUnderParallelExecution => write!(
+                f,
+                "Parallel execution needs StudyEval::shared (scored across threads) or \
+                 StudyEval::batch (the closure owns its parallelism); StudyEval::points \
+                 is serial-only"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StudyConfigError {}
+
+/// The evaluation function handed to [`Study::run`] — one design point in,
+/// one [`MultiObjective`] out. Three shapes cover every caller:
+///
+/// * [`StudyEval::points`] — a per-point `FnMut` closure (may capture
+///   mutable state); scored one point at a time on the calling thread.
+/// * [`StudyEval::batch`] — a whole-round `FnMut` closure; the study hands
+///   it each round and trusts it to return one result per point *in
+///   proposal order* (it may parallelize internally).
+/// * [`StudyEval::shared`] — a thread-safe per-point `Fn`; the only shape
+///   [`Execution::Parallel`] can fan out itself.
+///
+/// Single-objective evaluators can return [`TrialResult`] and convert with
+/// `.into()` ([`MultiObjective`] implements `From<TrialResult>`).
+pub enum StudyEval<'a> {
+    /// Serial per-point evaluation.
+    Points(&'a mut dyn FnMut(&[usize]) -> MultiObjective),
+    /// Whole-round evaluation; must return one result per point, in order.
+    Batch(&'a mut dyn FnMut(&[Vec<usize>]) -> Vec<MultiObjective>),
+    /// Thread-safe per-point evaluation.
+    Shared(&'a (dyn Fn(&[usize]) -> MultiObjective + Sync)),
+}
+
+impl<'a> StudyEval<'a> {
+    /// Wraps a serial per-point closure.
+    pub fn points<F: FnMut(&[usize]) -> MultiObjective>(f: &'a mut F) -> Self {
+        StudyEval::Points(f)
+    }
+
+    /// Wraps a whole-round closure (one result per point, proposal order).
+    pub fn batch<F: FnMut(&[Vec<usize>]) -> Vec<MultiObjective>>(f: &'a mut F) -> Self {
+        StudyEval::Batch(f)
+    }
+
+    /// Wraps a thread-safe per-point function.
+    pub fn shared<F: Fn(&[usize]) -> MultiObjective + Sync>(f: &'a F) -> Self {
+        StudyEval::Shared(f)
+    }
+
+    /// Scores one round. `parallel` only affects [`StudyEval::Shared`],
+    /// which then fans the round out across the rayon pool (results are
+    /// collected in proposal order either way).
+    fn eval(&mut self, points: &[Vec<usize>], parallel: bool) -> Vec<MultiObjective> {
+        match self {
+            StudyEval::Points(f) => points.iter().map(|p| f(p)).collect(),
+            StudyEval::Batch(f) => f(points),
+            StudyEval::Shared(f) => {
+                if parallel {
+                    points.par_iter().map(|p| f(p)).collect()
+                } else {
+                    points.iter().map(|p| f(p)).collect()
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Debug for StudyEval<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            StudyEval::Points(_) => "StudyEval::Points(..)",
+            StudyEval::Batch(_) => "StudyEval::Batch(..)",
+            StudyEval::Shared(_) => "StudyEval::Shared(..)",
+        })
+    }
+}
+
+/// What [`Durability::Checkpointed`] did during a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointInfo {
+    /// The checkpoint file.
+    pub path: PathBuf,
+    /// Trials restored from the file before the first round (0 on a cold
+    /// start).
+    pub resumed_trials: usize,
+    /// Checkpoints written during this run.
+    pub saves: usize,
+}
+
+/// The one result type of [`Study::run`]: scalar incumbent, convergence,
+/// trials, the Pareto frontier (when tracked), and checkpoint info (when
+/// durable).
+#[derive(Debug, Clone)]
+pub struct StudyReport {
+    /// Optimizer name.
+    pub optimizer: String,
+    /// Best point found (index encoding), if any trial was valid.
+    pub best_point: Option<Vec<usize>>,
+    /// Best guide objective found.
+    pub best_objective: Option<f64>,
+    /// Best-so-far guide after each trial (`NaN` until the first valid
+    /// trial).
+    pub convergence: Vec<f64>,
+    /// Number of invalid (rejected) trials.
+    pub invalid_trials: usize,
+    /// All trials in proposal order. Single-objective studies record an
+    /// empty metric vector per valid trial (only the guide is tracked).
+    pub trials: Vec<MultiTrial>,
+    /// The non-dominated set in canonical order — `Some` iff the study ran
+    /// with [`StudyObjective::Pareto`].
+    pub frontier: Option<Vec<FrontierPoint>>,
+    /// Checkpoint activity — `Some` iff the study ran with
+    /// [`Durability::Checkpointed`].
+    pub checkpoint: Option<CheckpointInfo>,
+}
+
+impl StudyReport {
+    /// Converts into the scalar [`StudyResult`] shape (metric vectors are
+    /// dropped; each trial keeps its guide).
+    #[must_use]
+    pub fn into_study_result(self) -> StudyResult {
+        StudyResult {
+            optimizer: self.optimizer,
+            best_point: self.best_point,
+            best_objective: self.best_objective,
+            convergence: self.convergence,
+            invalid_trials: self.invalid_trials,
+            trials: self
+                .trials
+                .into_iter()
+                .map(|t| Trial { result: scalar_of(&t.result), point: t.point })
+                .collect(),
+        }
+    }
+
+    /// Converts into the multi-objective [`ParetoStudyResult`] shape.
+    ///
+    /// # Panics
+    /// Panics if the study did not run with [`StudyObjective::Pareto`]
+    /// (there is no frontier to report).
+    #[must_use]
+    pub fn into_pareto_result(self) -> ParetoStudyResult {
+        ParetoStudyResult {
+            optimizer: self.optimizer,
+            frontier: self.frontier.expect("into_pareto_result on a single-objective study"),
+            guide_convergence: self.convergence,
+            invalid_trials: self.invalid_trials,
+            trials: self.trials,
+        }
+    }
+}
+
+/// The guide scalar of a stored trial outcome.
+fn scalar_of(result: &MultiObjective) -> TrialResult {
+    match result {
+        MultiObjective::Valid { guide, .. } => TrialResult::Valid(*guide),
+        MultiObjective::Invalid => TrialResult::Invalid,
+    }
+}
+
+/// A study checkpoint at a round boundary, in whichever shape the objective
+/// axis produces. The legacy `*_resumable` drivers thread these through
+/// in-memory hooks; [`Durability::Checkpointed`] persists them to disk.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum RoundSnapshot {
+    /// A [`StudyObjective::Single`] study's checkpoint.
+    Scalar(StudyCheckpoint),
+    /// A [`StudyObjective::Pareto`] study's checkpoint.
+    Pareto(ParetoCheckpoint),
+}
+
+impl RoundSnapshot {
+    /// Completed trials at the snapshot.
+    pub(crate) fn trials_done(&self) -> usize {
+        match self {
+            RoundSnapshot::Scalar(ck) => ck.trials_done(),
+            RoundSnapshot::Pareto(ck) => ck.trials_done(),
+        }
+    }
+
+    /// The optimizer state recorded at the snapshot.
+    fn optimizer_state(&self) -> &OptimizerState {
+        match self {
+            RoundSnapshot::Scalar(ck) => &ck.optimizer,
+            RoundSnapshot::Pareto(ck) => &ck.optimizer,
+        }
+    }
+}
+
+/// A round hook: called after every evaluated round with the number of
+/// completed trials and a thunk building that round's snapshot. The thunk
+/// clones the full accumulated state (trials, convergence, archive,
+/// optimizer), so hooks that thin their save cadence only call it on the
+/// rounds they actually persist.
+pub(crate) type RoundHook<'h> = &'h mut dyn FnMut(usize, &dyn Fn() -> RoundSnapshot);
+
+/// Whether a checkpoint's optimizer state (`ck`, mid-run) was produced by
+/// an optimizer configured like `fresh` (a just-built optimizer's state):
+/// same algorithm *and* same hyperparameters/seed designs, ignoring the
+/// run-accumulated fields (history, particles, cursors). Used to reject a
+/// checkpoint file written by a different or differently-configured
+/// algorithm before the resume path silently continues the old
+/// configuration or panics on a diverging replay. Two
+/// [`OptimizerState::Opaque`] states are indistinguishable — custom
+/// optimizers without snapshot support are the caller's responsibility.
+fn same_optimizer_config(ck: &OptimizerState, fresh: &OptimizerState) -> bool {
+    match (ck, fresh) {
+        (OptimizerState::Random, OptimizerState::Random)
+        | (OptimizerState::Opaque, OptimizerState::Opaque) => true,
+        (
+            OptimizerState::Lcs { population: pa, pull_global: ga, mutate: ma, .. },
+            OptimizerState::Lcs { population: pb, pull_global: gb, mutate: mb, .. },
+        ) => pa == pb && ga.to_bits() == gb.to_bits() && ma.to_bits() == mb.to_bits(),
+        (
+            OptimizerState::Tpe { gamma: ga, candidates: ca, startup: sa, .. },
+            OptimizerState::Tpe { gamma: gb, candidates: cb, startup: sb, .. },
+        ) => ga.to_bits() == gb.to_bits() && ca == cb && sa == sb,
+        (
+            OptimizerState::Seeded { seeds: sa, inner: ia, .. },
+            OptimizerState::Seeded { seeds: sb, inner: ib, .. },
+        ) => sa == sb && same_optimizer_config(ia, ib),
+        _ => false,
+    }
+}
+
+/// `batch_size` recorded in checkpoints of [`Execution::Sequential`]
+/// studies. The shared-RNG loop has no rounds, and the legacy batched
+/// drivers clamp their batch size to ≥ 1, so `0` is unambiguous.
+const SEQUENTIAL_MARKER: usize = 0;
+
+/// Checkpoint file name under [`Durability::Checkpointed`]'s directory.
+const STUDY_FILE_NAME: &str = "study.bin";
+/// Magic prefix of study checkpoint files.
+const STUDY_MAGIC: [u8; 8] = *b"FASTSTU1";
+/// Checkpoint file format version; bump on layout changes.
+const STUDY_VERSION: u32 = 1;
+
+/// The unified study driver. See the [module docs](self) for the axis
+/// semantics and a runnable example.
+#[derive(Debug, Clone)]
+pub struct Study<'s> {
+    space: &'s ParamSpace,
+    trials: usize,
+    objective: StudyObjective,
+    execution: Execution,
+    durability: Durability,
+    seed: u64,
+}
+
+impl<'s> Study<'s> {
+    /// A study of `trials` evaluations over `space`, with default axes:
+    /// [`StudyObjective::Single`], [`Execution::Sequential`],
+    /// [`Durability::Ephemeral`], seed 0.
+    #[must_use]
+    pub fn new(space: &'s ParamSpace, trials: usize) -> Self {
+        Study {
+            space,
+            trials,
+            objective: StudyObjective::Single,
+            execution: Execution::Sequential,
+            durability: Durability::Ephemeral,
+            seed: 0,
+        }
+    }
+
+    /// Sets the objective axis.
+    #[must_use]
+    pub fn objective(mut self, objective: StudyObjective) -> Self {
+        self.objective = objective;
+        self
+    }
+
+    /// Sets the execution axis.
+    #[must_use]
+    pub fn execution(mut self, execution: Execution) -> Self {
+        self.execution = execution;
+        self
+    }
+
+    /// Sets the durability axis.
+    #[must_use]
+    pub fn durability(mut self, durability: Durability) -> Self {
+        self.durability = durability;
+        self
+    }
+
+    /// Sets the reproducibility seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// `(round_size, parallel, sequential)` of the execution axis.
+    fn shape(&self) -> (usize, bool, bool) {
+        match self.execution {
+            Execution::Sequential => (1, false, true),
+            Execution::Batched { batch_size } => (batch_size.max(1), false, false),
+            Execution::Parallel { threads } => (threads.max(1), true, false),
+        }
+    }
+
+    /// Validates the configuration against the evaluator shape.
+    fn validate(&self, eval: &StudyEval<'_>) -> Result<(), StudyConfigError> {
+        match self.execution {
+            Execution::Batched { batch_size: 0 } => return Err(StudyConfigError::EmptyBatch),
+            Execution::Parallel { threads: 0 } => return Err(StudyConfigError::NoThreads),
+            Execution::Parallel { .. } => {
+                if matches!(eval, StudyEval::Points(_)) {
+                    return Err(StudyConfigError::SerialEvalUnderParallelExecution);
+                }
+            }
+            Execution::Sequential | Execution::Batched { .. } => {}
+        }
+        if let StudyObjective::Pareto { directions } = &self.objective {
+            if directions.len() < 2 {
+                return Err(StudyConfigError::TooFewMetrics { got: directions.len() });
+            }
+        }
+        if let Durability::Checkpointed { dir, every } = &self.durability {
+            if *every == 0 {
+                return Err(StudyConfigError::ZeroCheckpointInterval);
+            }
+            let unwritable = |e: std::io::Error| StudyConfigError::CheckpointDirUnwritable {
+                dir: dir.clone(),
+                reason: e.to_string(),
+            };
+            std::fs::create_dir_all(dir).map_err(unwritable)?;
+            let probe = dir.join(".study_write_probe");
+            std::fs::write(&probe, b"probe").map_err(unwritable)?;
+            let _ = std::fs::remove_file(&probe);
+        }
+        Ok(())
+    }
+
+    /// Runs the study.
+    ///
+    /// # Errors
+    /// Returns a [`StudyConfigError`] when the configured axes are invalid
+    /// (zero batch/threads, < 2 Pareto metrics, an unusable checkpoint
+    /// directory, or a serial evaluator under parallel execution) — before
+    /// any trial runs.
+    ///
+    /// # Panics
+    /// Panics on evaluator-contract violations (wrong result count per
+    /// round, wrong metric arity, NaN metrics offered to the archive) —
+    /// caller bugs, exactly as the drivers this API absorbed did.
+    pub fn run(
+        &self,
+        optimizer: &mut dyn Optimizer,
+        eval: StudyEval<'_>,
+    ) -> Result<StudyReport, StudyConfigError> {
+        self.validate(&eval)?;
+        match &self.durability {
+            Durability::Ephemeral => Ok(self.run_hooked(optimizer, eval, None, None)),
+            Durability::Checkpointed { dir, every } => {
+                let path = dir.join(STUDY_FILE_NAME);
+                let (round_size, _, sequential) = self.shape();
+                let resume = match load_snapshot(&path, self, &*optimizer, round_size, sequential) {
+                    SnapshotLoad::Loaded(snap) => Some(*snap),
+                    SnapshotLoad::Missing => None,
+                    // Transiently unreadable: the file may hold real
+                    // progress a later rerun can resume from, so neither
+                    // overwrite it with this run's saves nor quarantine
+                    // it — run undurably and leave it in place.
+                    SnapshotLoad::Unreadable => {
+                        eprintln!(
+                            "warning: checkpoint {} is unreadable right now; running without \
+                             saves so the file is preserved",
+                            path.display()
+                        );
+                        let mut report = self.run_hooked(optimizer, eval, None, None);
+                        report.checkpoint =
+                            Some(CheckpointInfo { path, resumed_trials: 0, saves: 0 });
+                        return Ok(report);
+                    }
+                    SnapshotLoad::Rejected => {
+                        // The file was read but is damaged or belongs to a
+                        // different configuration. The cold run's first
+                        // save would overwrite it — quarantine it instead
+                        // so whatever progress it holds survives a
+                        // mis-typed rerun.
+                        quarantine_rejected(&path);
+                        None
+                    }
+                };
+                let resumed_trials = resume.as_ref().map_or(0, RoundSnapshot::trials_done);
+                let every = *every;
+                let n_trials = self.trials;
+                let mut rounds = 0usize;
+                let mut saves = 0usize;
+                let mut report = {
+                    // Off-cadence rounds never call `make`, so they skip
+                    // the full-state snapshot clone entirely.
+                    let mut hook = |done: usize, make: &dyn Fn() -> RoundSnapshot| {
+                        rounds += 1;
+                        if rounds.is_multiple_of(every) || done == n_trials {
+                            saves += usize::from(save_snapshot(&path, &make()));
+                        }
+                    };
+                    self.run_hooked(optimizer, eval, resume, Some(&mut hook))
+                };
+                report.checkpoint = Some(CheckpointInfo { path, resumed_trials, saves });
+                Ok(report)
+            }
+        }
+    }
+
+    /// The engine behind [`Study::run`] and the deprecated driver wrappers:
+    /// optionally restores an in-memory snapshot before the first round and
+    /// calls `on_round` after every evaluated round (per-trial under
+    /// [`Execution::Sequential`]) with the trial count and a lazy snapshot
+    /// builder.
+    ///
+    /// Unlike the disk path (which degrades to a cold start on any
+    /// mismatch), a programmatic `resume` snapshot that disagrees with the
+    /// study configuration panics — it is a caller bug, and silently
+    /// diverging from the bit-identity contract would be worse.
+    pub(crate) fn run_hooked(
+        &self,
+        optimizer: &mut dyn Optimizer,
+        mut eval: StudyEval<'_>,
+        resume: Option<RoundSnapshot>,
+        mut on_round: Option<RoundHook<'_>>,
+    ) -> StudyReport {
+        let (round_size, parallel, sequential) = self.shape();
+        let mut st = EngineState::new(&self.objective);
+        if sequential {
+            let mut rng = StdRng::seed_from_u64(self.seed);
+            if let Some(snap) = resume {
+                self.restore_sequential(&mut st, optimizer, &mut rng, snap);
+            }
+            while st.trials.len() < self.trials {
+                let point = optimizer.propose(self.space, &mut rng);
+                debug_assert!(self.space.contains(&point));
+                let results = eval.eval(std::slice::from_ref(&point), false);
+                assert_eq!(results.len(), 1, "evaluator must score every proposed point");
+                let result = results.into_iter().next().expect("length asserted");
+                let scalar = st.absorb(&point, &result);
+                let trial = Trial { point: point.clone(), result: scalar };
+                optimizer.observe(self.space, &trial);
+                st.push_trial(point, result);
+                if let Some(hook) = on_round.as_deref_mut() {
+                    let opt_ref: &dyn Optimizer = optimizer;
+                    hook(st.trials.len(), &|| self.snapshot(&st, SEQUENTIAL_MARKER, opt_ref));
+                }
+            }
+        } else {
+            if let Some(snap) = resume {
+                self.restore_batched(&mut st, optimizer, round_size, snap);
+            }
+            let mut start = st.trials.len();
+            while start < self.trials {
+                let round = round_size.min(self.trials - start);
+                let mut rngs: Vec<StdRng> =
+                    (start..start + round).map(|i| trial_rng(self.seed, i)).collect();
+                let points = optimizer.propose_batch(self.space, &mut rngs);
+                assert_eq!(points.len(), round, "optimizer must propose one point per RNG");
+                debug_assert!(points.iter().all(|p| self.space.contains(p)));
+
+                let results = eval.eval(&points, parallel);
+                assert_eq!(results.len(), round, "evaluator must score every proposed point");
+
+                let mut scalar_trials = Vec::with_capacity(round);
+                for (point, result) in points.into_iter().zip(results) {
+                    let scalar = st.absorb(&point, &result);
+                    scalar_trials.push(Trial { point: point.clone(), result: scalar });
+                    st.push_trial(point, result);
+                }
+                optimizer.observe_batch(self.space, &scalar_trials);
+                start += round;
+
+                if let Some(hook) = on_round.as_deref_mut() {
+                    let opt_ref: &dyn Optimizer = optimizer;
+                    hook(st.trials.len(), &|| self.snapshot(&st, round_size, opt_ref));
+                }
+            }
+        }
+
+        StudyReport {
+            optimizer: optimizer.name().to_string(),
+            best_point: st.best.as_ref().map(|(p, _)| p.clone()),
+            best_objective: st.best.as_ref().map(|(_, g)| *g),
+            convergence: st.convergence,
+            invalid_trials: st.invalid,
+            trials: st.trials,
+            frontier: st.archive.as_ref().map(ParetoArchive::frontier),
+            checkpoint: None,
+        }
+    }
+
+    /// Builds the round snapshot matching the objective axis.
+    fn snapshot(
+        &self,
+        st: &EngineState,
+        batch_marker: usize,
+        opt: &dyn Optimizer,
+    ) -> RoundSnapshot {
+        match &self.objective {
+            StudyObjective::Single => RoundSnapshot::Scalar(StudyCheckpoint {
+                seed: self.seed,
+                batch_size: batch_marker,
+                best: st.best.clone(),
+                convergence: st.convergence.clone(),
+                invalid_trials: st.invalid,
+                trials: scalar_trials(&st.trials),
+                optimizer: opt.save_state(),
+            }),
+            StudyObjective::Pareto { .. } => RoundSnapshot::Pareto(ParetoCheckpoint {
+                seed: self.seed,
+                batch_size: batch_marker,
+                archive: st.archive.clone().expect("Pareto study keeps an archive"),
+                best_guide: st.best.as_ref().map_or(f64::NAN, |(_, g)| *g),
+                guide_convergence: st.convergence.clone(),
+                invalid_trials: st.invalid,
+                trials: st.trials.clone(),
+                optimizer: opt.save_state(),
+            }),
+        }
+    }
+
+    /// Loads a snapshot's accumulated state into `st`, returning the
+    /// checkpoint's `(seed, batch marker, convergence length, scalar trial
+    /// stream)` for validation and optimizer restoration.
+    ///
+    /// # Panics
+    /// Panics when the snapshot's objective shape (or its Pareto
+    /// directions) disagrees with the study's — for programmatic resumes
+    /// that is a caller bug; the disk loader filters such files out before
+    /// they reach here.
+    fn load_state(
+        &self,
+        st: &mut EngineState,
+        snap: RoundSnapshot,
+    ) -> (u64, usize, usize, Vec<Trial>) {
+        match (snap, &self.objective) {
+            (RoundSnapshot::Scalar(ck), StudyObjective::Single) => {
+                let scalar = ck.trials.clone();
+                st.best = ck.best;
+                st.convergence = ck.convergence;
+                st.invalid = ck.invalid_trials;
+                st.trials = ck
+                    .trials
+                    .into_iter()
+                    .map(|t| MultiTrial { point: t.point, result: MultiObjective::from(t.result) })
+                    .collect();
+                (ck.seed, ck.batch_size, st.convergence.len(), scalar)
+            }
+            (RoundSnapshot::Pareto(ck), StudyObjective::Pareto { directions }) => {
+                assert_eq!(
+                    ck.archive.directions(),
+                    &directions[..],
+                    "checkpoint direction mismatch"
+                );
+                let scalar = scalar_trials(&ck.trials);
+                st.best = rebuild_pareto_best(&ck.trials);
+                debug_assert_eq!(
+                    st.best.as_ref().map_or(f64::NAN, |(_, g)| *g).to_bits(),
+                    ck.best_guide.to_bits(),
+                    "checkpoint best_guide disagrees with its own trial record — \
+                     rebuild_pareto_best drifted from EngineState::absorb"
+                );
+                st.archive = Some(ck.archive);
+                st.convergence = ck.guide_convergence;
+                st.invalid = ck.invalid_trials;
+                st.trials = ck.trials;
+                (ck.seed, ck.batch_size, st.convergence.len(), scalar)
+            }
+            (RoundSnapshot::Scalar(_), StudyObjective::Pareto { .. }) => {
+                panic!("checkpoint objective mismatch: scalar checkpoint for a Pareto study")
+            }
+            (RoundSnapshot::Pareto(_), StudyObjective::Single) => {
+                panic!("checkpoint objective mismatch: Pareto checkpoint for a scalar study")
+            }
+        }
+    }
+
+    /// Restores a batched/parallel study from a snapshot (state restore or
+    /// [`trial_rng`] replay, via [`validate_and_restore`]).
+    fn restore_batched(
+        &self,
+        st: &mut EngineState,
+        optimizer: &mut dyn Optimizer,
+        round_size: usize,
+        snap: RoundSnapshot,
+    ) {
+        let opt_state = snap.optimizer_state().clone();
+        let (seed, marker, conv_len, scalar) = self.load_state(st, snap);
+        validate_and_restore(
+            self.space,
+            optimizer,
+            self.trials,
+            round_size,
+            self.seed,
+            seed,
+            marker,
+            conv_len,
+            &opt_state,
+            &scalar,
+        );
+    }
+
+    /// Restores a sequential study by replaying the recorded trials through
+    /// both the optimizer and the shared RNG. There is no state-restore
+    /// shortcut here: the shared generator's state is a function of every
+    /// proposal made so far, so replay *is* the cursor.
+    fn restore_sequential(
+        &self,
+        st: &mut EngineState,
+        optimizer: &mut dyn Optimizer,
+        rng: &mut StdRng,
+        snap: RoundSnapshot,
+    ) {
+        let (seed, marker, conv_len, scalar) = self.load_state(st, snap);
+        crate::snapshot::validate_checkpoint_header(
+            self.trials,
+            SEQUENTIAL_MARKER,
+            self.seed,
+            seed,
+            marker,
+            conv_len,
+            scalar.len(),
+        );
+        for t in &scalar {
+            let p = optimizer.propose(self.space, rng);
+            assert_eq!(p, t.point, "{}", crate::snapshot::REPLAY_DIVERGED);
+            optimizer.observe(self.space, t);
+        }
+    }
+}
+
+/// Accumulated study state shared by every (objective × execution) cell.
+struct EngineState {
+    /// Single-objective mode (metric vectors dropped, sticky-NaN incumbent).
+    scalar: bool,
+    best: Option<(Vec<usize>, f64)>,
+    convergence: Vec<f64>,
+    invalid: usize,
+    trials: Vec<MultiTrial>,
+    archive: Option<ParetoArchive>,
+}
+
+impl EngineState {
+    fn new(objective: &StudyObjective) -> Self {
+        let archive = match objective {
+            StudyObjective::Single => None,
+            StudyObjective::Pareto { directions } => Some(ParetoArchive::new(directions)),
+        };
+        EngineState {
+            scalar: archive.is_none(),
+            best: None,
+            convergence: Vec::new(),
+            invalid: 0,
+            trials: Vec::new(),
+            archive,
+        }
+    }
+
+    /// Feeds one outcome into the archive/incumbent/counters and returns
+    /// the scalar trial the optimizer observes.
+    fn absorb(&mut self, point: &[usize], result: &MultiObjective) -> TrialResult {
+        let scalar = match result {
+            MultiObjective::Valid { metrics, guide } => {
+                if let Some(archive) = self.archive.as_mut() {
+                    archive.insert(point.to_vec(), metrics.clone());
+                }
+                // Incumbent rule, bit-compatible with the drivers this
+                // engine absorbed: a scalar study's NaN incumbent sticks
+                // (`obj > NaN` is false); a Pareto study's guide incumbent
+                // recovers from NaN (it mirrored a bare `f64` that began
+                // life as NaN).
+                let replace = self
+                    .best
+                    .as_ref()
+                    .is_none_or(|(_, b)| *guide > *b || (!self.scalar && b.is_nan()));
+                if replace {
+                    self.best = Some((point.to_vec(), *guide));
+                }
+                TrialResult::Valid(*guide)
+            }
+            MultiObjective::Invalid => {
+                self.invalid += 1;
+                TrialResult::Invalid
+            }
+        };
+        self.convergence.push(self.best.as_ref().map_or(f64::NAN, |(_, b)| *b));
+        scalar
+    }
+
+    /// Records a completed trial. Single-objective studies drop the metric
+    /// vector so a checkpointed-and-resumed study is indistinguishable from
+    /// an uninterrupted one (scalar checkpoints cannot carry metrics).
+    fn push_trial(&mut self, point: Vec<usize>, result: MultiObjective) {
+        let result = if self.scalar {
+            match result {
+                MultiObjective::Valid { guide, .. } => {
+                    MultiObjective::Valid { metrics: Vec::new(), guide }
+                }
+                MultiObjective::Invalid => MultiObjective::Invalid,
+            }
+        } else {
+            result
+        };
+        self.trials.push(MultiTrial { point, result });
+    }
+}
+
+/// Projects stored trials down to the scalar stream the optimizer observed.
+fn scalar_trials(trials: &[MultiTrial]) -> Vec<Trial> {
+    trials.iter().map(|t| Trial { point: t.point.clone(), result: scalar_of(&t.result) }).collect()
+}
+
+/// Rebuilds the tracked `(point, guide)` incumbent from a recorded trial
+/// stream with the Pareto update rule (a NaN incumbent is replaced) —
+/// Pareto checkpoints store only the guide value, not its point. Must stay
+/// in lockstep with [`EngineState::absorb`]'s non-scalar branch.
+fn rebuild_pareto_best(trials: &[MultiTrial]) -> Option<(Vec<usize>, f64)> {
+    let mut best: Option<(Vec<usize>, f64)> = None;
+    for t in trials {
+        if let MultiObjective::Valid { guide, .. } = &t.result {
+            if best.as_ref().is_none_or(|(_, b)| *guide > *b || b.is_nan()) {
+                best = Some((t.point.clone(), *guide));
+            }
+        }
+    }
+    best
+}
+
+/// Moves a rejected checkpoint file aside under the first free
+/// `study.bin.rejected[.N]` name, so neither the new run's saves nor an
+/// earlier quarantined file clobber the progress it may hold.
+fn quarantine_rejected(path: &Path) {
+    let fresh = (0..)
+        .map(|i| {
+            let name = if i == 0 {
+                format!("{STUDY_FILE_NAME}.rejected")
+            } else {
+                format!("{STUDY_FILE_NAME}.rejected.{i}")
+            };
+            path.with_file_name(name)
+        })
+        .find(|p| !p.exists())
+        .expect("some rejected-checkpoint name is free");
+    match std::fs::rename(path, &fresh) {
+        Ok(()) => eprintln!("note: preserved the rejected checkpoint as {}", fresh.display()),
+        Err(e) => {
+            eprintln!("warning: could not preserve rejected checkpoint {}: {e}", path.display());
+        }
+    }
+}
+
+/// Atomically writes a snapshot file (temp + rename). Returns whether the
+/// write succeeded; failures warn and the study continues undurably.
+fn save_snapshot(path: &Path, snap: &RoundSnapshot) -> bool {
+    let mut payload = Writer::new();
+    match snap {
+        RoundSnapshot::Scalar(ck) => {
+            payload.put_u8(0);
+            ck.encode(&mut payload);
+        }
+        RoundSnapshot::Pareto(ck) => {
+            payload.put_u8(1);
+            ck.encode(&mut payload);
+        }
+    }
+    let file = bin::write_envelope(STUDY_MAGIC, STUDY_VERSION, &payload.into_bytes());
+    let tmp = path.with_extension("tmp");
+    match std::fs::write(&tmp, &file).and_then(|()| std::fs::rename(&tmp, path)) {
+        Ok(()) => true,
+        Err(e) => {
+            eprintln!("warning: could not write study checkpoint {}: {e}", path.display());
+            false
+        }
+    }
+}
+
+/// Loads and validates a snapshot file against the study configuration
+/// (including the optimizer: a file written by a different algorithm must
+/// not be adopted — its replay would diverge and panic). A missing file is
+/// a silent cold start; damage or a configuration mismatch warns and
+/// degrades to a cold start — resuming can cost re-evaluation, never
+/// correctness.
+/// Outcome of reading a checkpoint file: only [`SnapshotLoad::Rejected`]
+/// files are quarantined — an unreadable file may be transiently so and is
+/// left in place for a later rerun.
+enum SnapshotLoad {
+    /// No file: a plain cold start.
+    Missing,
+    /// The file exists but could not be read right now (transient I/O).
+    Unreadable,
+    /// The file was read but is damaged or belongs to another study.
+    Rejected,
+    /// A snapshot matching this study's configuration.
+    Loaded(Box<RoundSnapshot>),
+}
+
+fn load_snapshot(
+    path: &Path,
+    study: &Study<'_>,
+    optimizer: &dyn Optimizer,
+    round_size: usize,
+    sequential: bool,
+) -> SnapshotLoad {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return SnapshotLoad::Missing,
+        Err(e) => {
+            eprintln!("warning: study checkpoint ignored — reading {}: {e}", path.display());
+            return SnapshotLoad::Unreadable;
+        }
+    };
+    let reject = |what: &str| {
+        eprintln!("warning: study checkpoint ignored — {}: {what}", path.display());
+    };
+    let payload = match bin::read_envelope(STUDY_MAGIC, STUDY_VERSION, &bytes) {
+        Ok(p) => p,
+        Err(e) => {
+            reject(&e.to_string());
+            return SnapshotLoad::Rejected;
+        }
+    };
+    let mut r = Reader::new(payload);
+    let decoded = r.get_u8().and_then(|tag| match tag {
+        0 => StudyCheckpoint::decode(&mut r).map(RoundSnapshot::Scalar),
+        1 => ParetoCheckpoint::decode(&mut r).map(RoundSnapshot::Pareto),
+        t => Err(bin::DecodeError { offset: 0, what: format!("invalid snapshot tag {t}") }),
+    });
+    let snap = match decoded {
+        Ok(s) if r.is_done() => s,
+        Ok(_) => {
+            reject("trailing bytes");
+            return SnapshotLoad::Rejected;
+        }
+        Err(e) => {
+            reject(&e.to_string());
+            return SnapshotLoad::Rejected;
+        }
+    };
+
+    let (seed, marker, done, conv_len) = match &snap {
+        RoundSnapshot::Scalar(ck) => {
+            (ck.seed, ck.batch_size, ck.trials_done(), ck.convergence.len())
+        }
+        RoundSnapshot::Pareto(ck) => {
+            (ck.seed, ck.batch_size, ck.trials_done(), ck.guide_convergence.len())
+        }
+    };
+    let mode_matches = match (&snap, &study.objective) {
+        (RoundSnapshot::Scalar(_), StudyObjective::Single) => true,
+        (RoundSnapshot::Pareto(ck), StudyObjective::Pareto { directions }) => {
+            ck.archive.directions() == &directions[..]
+        }
+        _ => false,
+    };
+    let expected_marker = if sequential { SEQUENTIAL_MARKER } else { round_size };
+    let on_grid =
+        if sequential { true } else { done.is_multiple_of(round_size) || done == study.trials };
+    if !mode_matches
+        || seed != study.seed
+        || marker != expected_marker
+        || done > study.trials
+        || conv_len != done
+        || !on_grid
+    {
+        reject("checkpoint belongs to a different study configuration");
+        return SnapshotLoad::Rejected;
+    }
+    if !same_optimizer_config(snap.optimizer_state(), &optimizer.save_state()) {
+        reject("checkpoint was written by a different or differently-configured optimizer");
+        return SnapshotLoad::Rejected;
+    }
+    SnapshotLoad::Loaded(Box::new(snap))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{LcsSwarm, RandomSearch, Tpe};
+    use crate::space::ParamDomain;
+
+    fn space() -> ParamSpace {
+        let mut s = ParamSpace::new();
+        s.add("x", ParamDomain::Pow2 { min: 1, max: 256 });
+        s.add("y", ParamDomain::Categorical { n: 6 });
+        s
+    }
+
+    fn scratch_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("fast-study-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn score(p: &[usize]) -> MultiObjective {
+        if p[1] == 5 {
+            MultiObjective::Invalid
+        } else {
+            MultiObjective::valid(
+                vec![(p[0] * (p[1] + 1)) as f64, (p[0] + 3 * p[1]) as f64],
+                (p[0] * 2 + p[1]) as f64,
+            )
+        }
+    }
+
+    #[test]
+    fn config_errors_are_typed_not_panics() {
+        let s = space();
+        let mut opt = RandomSearch::new();
+        let run = |study: Study<'_>, opt: &mut RandomSearch| {
+            let mut eval = |p: &[usize]| score(p);
+            study.run(opt, StudyEval::points(&mut eval)).map(|_| ())
+        };
+        assert_eq!(
+            run(Study::new(&s, 4).execution(Execution::Batched { batch_size: 0 }), &mut opt),
+            Err(StudyConfigError::EmptyBatch)
+        );
+        assert_eq!(
+            run(Study::new(&s, 4).execution(Execution::Parallel { threads: 0 }), &mut opt),
+            Err(StudyConfigError::NoThreads)
+        );
+        assert_eq!(
+            run(
+                Study::new(&s, 4).objective(StudyObjective::pareto(&[MetricDirection::Maximize])),
+                &mut opt
+            ),
+            Err(StudyConfigError::TooFewMetrics { got: 1 })
+        );
+        assert_eq!(
+            run(
+                Study::new(&s, 4)
+                    .durability(Durability::Checkpointed { dir: scratch_dir("every0"), every: 0 }),
+                &mut opt
+            ),
+            Err(StudyConfigError::ZeroCheckpointInterval)
+        );
+        // A file where the checkpoint directory should be is unwritable.
+        let blocked = scratch_dir("blocked");
+        std::fs::write(&blocked, b"not a directory").unwrap();
+        let err = run(
+            Study::new(&s, 4)
+                .durability(Durability::Checkpointed { dir: blocked.clone(), every: 1 }),
+            &mut opt,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, StudyConfigError::CheckpointDirUnwritable { ref dir, .. } if *dir == blocked),
+            "{err:?}"
+        );
+        // Parallel execution cannot fan out a serial-only points closure.
+        let mut eval = |p: &[usize]| score(p);
+        let got = Study::new(&s, 4)
+            .execution(Execution::Parallel { threads: 2 })
+            .run(&mut opt, StudyEval::points(&mut eval));
+        assert_eq!(got.map(|_| ()), Err(StudyConfigError::SerialEvalUnderParallelExecution));
+        // Each error renders a non-empty human-readable message.
+        for e in [
+            StudyConfigError::EmptyBatch,
+            StudyConfigError::NoThreads,
+            StudyConfigError::TooFewMetrics { got: 1 },
+            StudyConfigError::ZeroCheckpointInterval,
+            StudyConfigError::CheckpointDirUnwritable {
+                dir: PathBuf::from("/x"),
+                reason: "denied".into(),
+            },
+            StudyConfigError::SerialEvalUnderParallelExecution,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn parallel_equals_batched_bitwise() {
+        let s = space();
+        let eval = |p: &[usize]| score(p);
+        let run = |execution: Execution| {
+            let mut opt = LcsSwarm::default();
+            Study::new(&s, 48)
+                .seed(9)
+                .execution(execution)
+                .run(&mut opt, StudyEval::shared(&eval))
+                .expect("valid configuration")
+        };
+        let batched = run(Execution::Batched { batch_size: 6 });
+        let parallel = run(Execution::Parallel { threads: 6 });
+        assert_eq!(batched.best_point, parallel.best_point);
+        assert_eq!(
+            batched.convergence.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            parallel.convergence.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        assert_eq!(batched.trials, parallel.trials);
+    }
+
+    /// Kill-and-rerun through the file checkpoint: running the same
+    /// configuration against the same directory resumes and finishes
+    /// bit-identically to an uninterrupted study — for the scalar, Pareto,
+    /// and sequential (shared-RNG replay) paths.
+    #[test]
+    fn checkpointed_rerun_is_bit_identical_for_every_axis_combination() {
+        let s = space();
+        let dirs = [MetricDirection::Maximize, MetricDirection::Minimize];
+        type MkOpt = fn() -> Box<dyn Optimizer>;
+        let makers: [MkOpt; 3] = [
+            || Box::new(RandomSearch::new()),
+            || Box::new(LcsSwarm::default()),
+            || Box::new(Tpe::new()),
+        ];
+        let objectives =
+            [StudyObjective::Single, StudyObjective::Pareto { directions: dirs.to_vec() }];
+        let executions = [
+            Execution::Sequential,
+            Execution::Batched { batch_size: 8 },
+            Execution::Parallel { threads: 8 },
+        ];
+        for (mi, mk) in makers.iter().enumerate() {
+            for (oi, objective) in objectives.iter().enumerate() {
+                for (ei, execution) in executions.iter().enumerate() {
+                    let eval = |p: &[usize]| score(p);
+                    let run = |trials: usize, durability: Durability, opt: &mut dyn Optimizer| {
+                        Study::new(&s, trials)
+                            .seed(7)
+                            .objective(objective.clone())
+                            .execution(*execution)
+                            .durability(durability)
+                            .run(opt, StudyEval::shared(&eval))
+                            .expect("valid configuration")
+                    };
+                    let mut straight_opt = mk();
+                    let straight = run(40, Durability::Ephemeral, straight_opt.as_mut());
+
+                    let dir = scratch_dir(&format!("axis-{mi}-{oi}-{ei}"));
+                    let durable = || Durability::Checkpointed { dir: dir.clone(), every: 1 };
+                    // "Kill" at trial 24 (a round boundary of every
+                    // execution mode here), then rerun the full budget.
+                    let mut first = mk();
+                    let partial = run(24, durable(), first.as_mut());
+                    assert!(partial.checkpoint.as_ref().unwrap().saves > 0);
+
+                    let mut resumed_opt = mk();
+                    let resumed = run(40, durable(), resumed_opt.as_mut());
+                    let label = format!("{objective:?}/{execution:?}/{}", straight.optimizer);
+                    assert_eq!(
+                        resumed.checkpoint.as_ref().unwrap().resumed_trials,
+                        24,
+                        "{label}: must resume from the partial run's file"
+                    );
+                    assert_eq!(resumed.best_point, straight.best_point, "{label}");
+                    assert_eq!(
+                        resumed.convergence.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        straight.convergence.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        "{label}"
+                    );
+                    assert_eq!(resumed.trials, straight.trials, "{label}");
+                    assert_eq!(resumed.invalid_trials, straight.invalid_trials, "{label}");
+                    assert_eq!(resumed.frontier, straight.frontier, "{label}");
+                }
+            }
+        }
+    }
+
+    /// A damaged or differently-configured checkpoint file degrades to a
+    /// cold (but correct) run instead of panicking or poisoning results.
+    #[test]
+    fn damaged_or_mismatched_checkpoint_degrades_to_cold_run() {
+        let s = space();
+        let eval = |p: &[usize]| score(p);
+        let run = |seed: u64, durability: Durability| {
+            let mut opt = LcsSwarm::default();
+            Study::new(&s, 24)
+                .seed(seed)
+                .execution(Execution::Batched { batch_size: 4 })
+                .durability(durability)
+                .run(&mut opt, StudyEval::shared(&eval))
+                .expect("valid configuration")
+        };
+        let straight = run(3, Durability::Ephemeral);
+
+        for (name, damage) in [
+            ("garbage", vec![0xA5u8; 128]),
+            ("truncated", STUDY_MAGIC.to_vec()),
+            ("empty", Vec::new()),
+        ] {
+            let dir = scratch_dir(&format!("damage-{name}"));
+            std::fs::create_dir_all(&dir).unwrap();
+            std::fs::write(dir.join(STUDY_FILE_NAME), &damage).unwrap();
+            let got = run(3, Durability::Checkpointed { dir, every: 1 });
+            assert_eq!(got.checkpoint.as_ref().unwrap().resumed_trials, 0, "{name}");
+            assert_eq!(got.trials, straight.trials, "{name}");
+        }
+
+        // A checkpoint from a different seed is ignored, not adopted —
+        // and quarantined, not overwritten: its progress survives the
+        // mismatched rerun's saves.
+        let dir = scratch_dir("seed-mismatch");
+        let _ = run(99, Durability::Checkpointed { dir: dir.clone(), every: 1 });
+        let got = run(3, Durability::Checkpointed { dir: dir.clone(), every: 1 });
+        assert_eq!(got.checkpoint.as_ref().unwrap().resumed_trials, 0);
+        assert_eq!(got.trials, straight.trials);
+        assert!(
+            dir.join("study.bin.rejected").exists(),
+            "the rejected checkpoint must be preserved, not overwritten"
+        );
+    }
+
+    /// A checkpoint written by one optimizer must not be adopted by a run
+    /// with a different one (e.g. comparing LCS vs TPE against the same
+    /// directory): without the state-kind check, TPE would reject the LCS
+    /// state, fall back to replay, propose different points, and panic —
+    /// instead the file is ignored and the run starts cold.
+    #[test]
+    fn checkpoint_from_a_different_optimizer_degrades_to_cold_run() {
+        let s = space();
+        let eval = |p: &[usize]| score(p);
+        let dir = scratch_dir("optimizer-mismatch");
+        let run = |opt: &mut dyn Optimizer, trials: usize| {
+            Study::new(&s, trials)
+                .seed(7)
+                .execution(Execution::Batched { batch_size: 4 })
+                .durability(Durability::Checkpointed { dir: dir.clone(), every: 1 })
+                .run(opt, StudyEval::shared(&eval))
+                .expect("valid configuration")
+        };
+        let _ = run(&mut LcsSwarm::default(), 16);
+        let mut straight_opt = Tpe::new();
+        let straight = Study::new(&s, 24)
+            .seed(7)
+            .execution(Execution::Batched { batch_size: 4 })
+            .run(&mut straight_opt, StudyEval::shared(&eval))
+            .expect("valid configuration");
+        let got = run(&mut Tpe::new(), 24);
+        assert_eq!(
+            got.checkpoint.as_ref().unwrap().resumed_trials,
+            0,
+            "an LCS-written checkpoint must not resume a TPE study"
+        );
+        assert_eq!(got.trials, straight.trials);
+
+        // Same algorithm, different configuration (swarm size): also a
+        // cold start, not a silent continuation of the old configuration.
+        let _ = run(&mut LcsSwarm::default(), 16); // refresh the file with a default-LCS state
+        let got = run(&mut LcsSwarm::new(3), 24);
+        assert_eq!(
+            got.checkpoint.as_ref().unwrap().resumed_trials,
+            0,
+            "a default-swarm checkpoint must not resume a 3-particle study"
+        );
+    }
+
+    /// `every` thins the saves; the completed study is always persisted.
+    #[test]
+    fn checkpoint_interval_thins_saves_but_keeps_the_final_state() {
+        let s = space();
+        let eval = |p: &[usize]| score(p);
+        let dir = scratch_dir("every3");
+        let mut opt = RandomSearch::new();
+        // 24 trials in rounds of 4 = 6 rounds; every=4 saves at round 4
+        // plus the forced final-round save.
+        let report = Study::new(&s, 24)
+            .seed(1)
+            .execution(Execution::Batched { batch_size: 4 })
+            .durability(Durability::Checkpointed { dir: dir.clone(), every: 4 })
+            .run(&mut opt, StudyEval::shared(&eval))
+            .expect("valid configuration");
+        assert_eq!(report.checkpoint.as_ref().unwrap().saves, 2);
+        // The persisted state is the completed study: a rerun is a no-op
+        // resume that reproduces it without re-evaluating anything.
+        let mut evals = 0usize;
+        let mut counting = |p: &[usize]| {
+            evals += 1;
+            score(p)
+        };
+        let mut opt2 = RandomSearch::new();
+        let rerun = Study::new(&s, 24)
+            .seed(1)
+            .execution(Execution::Batched { batch_size: 4 })
+            .durability(Durability::Checkpointed { dir, every: 4 })
+            .run(&mut opt2, StudyEval::points(&mut counting))
+            .expect("valid configuration");
+        assert_eq!(evals, 0, "a completed checkpoint resumes without re-evaluation");
+        assert_eq!(rerun.trials, report.trials);
+        assert_eq!(rerun.checkpoint.as_ref().unwrap().resumed_trials, 24);
+    }
+
+    /// Single-objective reports carry no frontier; Pareto reports do, and
+    /// `into_pareto_result` refuses the former.
+    #[test]
+    #[should_panic(expected = "single-objective study")]
+    fn into_pareto_result_rejects_single_objective_reports() {
+        let s = space();
+        let mut opt = RandomSearch::new();
+        let mut eval = |p: &[usize]| score(p);
+        let report = Study::new(&s, 4)
+            .run(&mut opt, StudyEval::points(&mut eval))
+            .expect("valid configuration");
+        assert!(report.frontier.is_none());
+        let _ = report.into_pareto_result();
+    }
+}

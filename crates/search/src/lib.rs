@@ -10,31 +10,44 @@
 //! * [`Optimizer`] implementations: [`RandomSearch`], [`LcsSwarm`] (linear
 //!   combination swarm) and [`Tpe`] (a Parzen-estimator Bayesian optimizer
 //!   standing in for Vizier's default);
-//! * [`run_study`] — a reproducible, seeded trial loop with best-so-far
-//!   convergence tracking and invalid-trial accounting;
+//! * [`Study`] — the **unified study builder**: one driver whose orthogonal
+//!   axes replace the old `run_study_*` function family — objective
+//!   ([`StudyObjective::Single`] incumbent or [`StudyObjective::Pareto`]
+//!   frontier over a [`ParetoArchive`]), execution
+//!   ([`Execution::Sequential`] / [`Execution::Batched`] /
+//!   [`Execution::Parallel`]), durability ([`Durability::Ephemeral`] or
+//!   [`Durability::Checkpointed`]) and seed, validated at
+//!   [`Study::run`] time with a typed [`StudyConfigError`] and returning
+//!   one [`StudyReport`];
 //! * [`convergence_band`] — multi-run mean/CI aggregation for Figure 11;
-//! * [`ParetoArchive`] / [`run_study_pareto`] — the multi-objective path:
-//!   order-invariant non-dominated sets over ≥ 2 metrics and deterministic
-//!   (batched or sequential) Pareto studies for the paper's budget sweeps;
-//! * [`snapshot`] — durable studies: [`StudyCheckpoint`] /
+//! * [`snapshot`] — the durable-study substrate: [`StudyCheckpoint`] /
 //!   [`ParetoCheckpoint`] capture a study at a round boundary (archive,
 //!   convergence, trials, [`OptimizerState`], and the `trial_rng` cursor as
-//!   `(seed, trials_done)`), and the `*_resumable` drivers continue one
-//!   bit-identically — interrupted-then-resumed equals uninterrupted.
+//!   `(seed, trials_done)`); [`Durability::Checkpointed`] persists one per
+//!   round interval and resumes it bit-identically —
+//!   interrupted-then-resumed equals uninterrupted.
 //!
 //! ```
-//! use fast_search::{ParamSpace, ParamDomain, RandomSearch, run_study, TrialResult};
+//! use fast_search::{ParamSpace, ParamDomain, RandomSearch, Study, StudyEval, TrialResult};
 //!
 //! let mut space = ParamSpace::new();
 //! space.add("pe_count", ParamDomain::Pow2 { min: 1, max: 64 });
 //! let mut opt = RandomSearch::new();
-//! let result = run_study(&space, &mut opt, 50, 0, |point| {
-//!     TrialResult::Valid(space.value(point, 0) as f64)
-//! });
-//! assert_eq!(result.best_objective, Some(64.0));
+//! let mut eval = |point: &[usize]| TrialResult::Valid(space.value(point, 0) as f64).into();
+//! let report = Study::new(&space, 50)
+//!     .seed(0)
+//!     .run(&mut opt, StudyEval::points(&mut eval))
+//!     .expect("valid configuration");
+//! assert_eq!(report.best_objective, Some(64.0));
 //! ```
+//!
+//! The legacy free functions (`run_study`, `run_study_batched`,
+//! `run_study_batched_resumable`, `run_study_pareto{,_batched,_resumable}`)
+//! are deprecated thin wrappers over [`Study`], kept for one release for
+//! migration; each wrapper's note names the equivalent builder call.
 
 pub mod algorithms;
+pub mod builder;
 pub mod optimizer;
 pub mod pareto;
 pub mod snapshot;
@@ -42,17 +55,21 @@ pub mod space;
 pub mod study;
 
 pub use algorithms::{LcsSwarm, RandomSearch, Tpe};
+pub use builder::{
+    CheckpointInfo, Durability, Execution, Study, StudyConfigError, StudyEval, StudyObjective,
+    StudyReport,
+};
 pub use optimizer::{Optimizer, Trial, TrialResult};
+#[allow(deprecated)] // re-exported for one release of migration
+pub use pareto::{run_study_pareto, run_study_pareto_batched, run_study_pareto_resumable};
 pub use pareto::{
-    run_study_pareto, run_study_pareto_batched, run_study_pareto_resumable, FrontierPoint,
-    MetricDirection, MultiObjective, MultiTrial, ParetoArchive, ParetoStudyResult,
+    FrontierPoint, MetricDirection, MultiObjective, MultiTrial, ParetoArchive, ParetoStudyResult,
 };
 pub use snapshot::{OptimizerState, ParetoCheckpoint, StudyCheckpoint};
 pub use space::{ParamDef, ParamDomain, ParamSpace};
-pub use study::{
-    convergence_band, run_study, run_study_batched, run_study_batched_resumable, trial_rng,
-    ConvergenceBand, StudyResult,
-};
+pub use study::{convergence_band, trial_rng, ConvergenceBand, StudyResult};
+#[allow(deprecated)] // re-exported for one release of migration
+pub use study::{run_study, run_study_batched, run_study_batched_resumable};
 
 #[cfg(test)]
 mod proptests {
@@ -115,11 +132,10 @@ mod proptests {
             prop_assert_eq!(&build(&shuffled), &reference);
         }
 
-        /// `run_study_pareto` equals `run_study_pareto_batched` at any batch
-        /// size for random search: the frontier is bit-identical, so a
-        /// caller evaluating rounds in parallel reproduces the sequential
-        /// study (the evaluator returns results in proposal order either
-        /// way).
+        /// A batch-1 Pareto study equals any other batch size for random
+        /// search: the frontier is bit-identical, so a caller evaluating
+        /// rounds in parallel reproduces the sequential study (the
+        /// evaluator returns results in proposal order either way).
         #[test]
         fn pareto_batched_matches_sequential(seed in 0u64..200, batch in 1usize..24) {
             let mut space = ParamSpace::new();
@@ -136,11 +152,19 @@ mod proptests {
                     )
                 }
             };
-            let mut seq_opt = RandomSearch::new();
-            let seq = run_study_pareto(&space, &mut seq_opt, 60, seed, &dirs, score);
-            let mut bat_opt = RandomSearch::new();
-            let bat = run_study_pareto_batched(&space, &mut bat_opt, 60, batch, seed, &dirs,
-                |pts| pts.iter().map(|p| score(p)).collect());
+            let run = |batch_size: usize| {
+                let mut opt = RandomSearch::new();
+                let mut eval = |p: &[usize]| score(p);
+                Study::new(&space, 60)
+                    .seed(seed)
+                    .objective(StudyObjective::pareto(&dirs))
+                    .execution(Execution::Batched { batch_size })
+                    .run(&mut opt, StudyEval::points(&mut eval))
+                    .expect("valid configuration")
+                    .into_pareto_result()
+            };
+            let seq = run(1);
+            let bat = run(batch);
             prop_assert_eq!(&seq.frontier, &bat.frontier);
             // Bitwise: the convergence prefix is NaN until the first valid
             // trial, and NaN != NaN under PartialEq.
@@ -161,13 +185,17 @@ mod proptests {
                 Box::new(LcsSwarm::new(6)),
                 Box::new(Tpe::new()),
             ] {
-                let res = run_study(&space, opt.as_mut(), 60, seed, |p| {
+                let mut eval = |p: &[usize]| {
                     if p[1] == 4 {
-                        TrialResult::Invalid
+                        MultiObjective::Invalid
                     } else {
-                        TrialResult::Valid((p[0] * (p[1] + 1)) as f64)
+                        MultiObjective::from(TrialResult::Valid((p[0] * (p[1] + 1)) as f64))
                     }
-                });
+                };
+                let res = Study::new(&space, 60)
+                    .seed(seed)
+                    .run(opt.as_mut(), StudyEval::points(&mut eval))
+                    .expect("valid configuration");
                 let mut last = f64::NEG_INFINITY;
                 for v in res.convergence.iter().filter(|v| v.is_finite()) {
                     prop_assert!(*v >= last);

@@ -9,16 +9,18 @@
 //!   metric plus the scalar *guide* the black-box optimizer climbs;
 //! * [`ParetoArchive`] — an order-invariant non-dominated set over two or
 //!   more metrics with per-metric [`MetricDirection`]s;
-//! * [`run_study_pareto`] / [`run_study_pareto_batched`] — study drivers
-//!   that keep the scalar drivers' `trial_rng(seed, index)` determinism
-//!   contract, so batched/parallel evaluation reproduces the sequential
-//!   study frontier bit for bit.
+//! * the multi-objective study itself now runs through the unified
+//!   [`Study`] builder
+//!   (`.objective(StudyObjective::Pareto { .. })`), which keeps the scalar
+//!   drivers' `trial_rng(seed, index)` determinism contract, so
+//!   batched/parallel evaluation reproduces the sequential study frontier
+//!   bit for bit. The `run_study_pareto*` functions remain as deprecated
+//!   wrappers.
 
-use crate::optimizer::{Optimizer, Trial, TrialResult};
+use crate::builder::{Execution, RoundSnapshot, Study, StudyEval, StudyObjective};
+use crate::optimizer::{Optimizer, TrialResult};
 use crate::snapshot::ParetoCheckpoint;
 use crate::space::ParamSpace;
-use crate::study::trial_rng;
-use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 
 /// Whether larger or smaller values of a metric are preferred.
@@ -64,6 +66,18 @@ impl MultiObjective {
     #[must_use]
     pub fn valid(metrics: Vec<f64>, guide: f64) -> Self {
         MultiObjective::Valid { metrics, guide }
+    }
+}
+
+/// A scalar outcome is a multi-objective outcome with no tracked metrics —
+/// the bridge that lets single-objective evaluators feed the unified
+/// [`Study`] driver with `.into()`.
+impl From<TrialResult> for MultiObjective {
+    fn from(result: TrialResult) -> Self {
+        match result {
+            TrialResult::Valid(guide) => MultiObjective::Valid { metrics: Vec::new(), guide },
+            TrialResult::Invalid => MultiObjective::Invalid,
+        }
     }
 }
 
@@ -266,8 +280,15 @@ pub struct ParetoStudyResult {
 ///
 /// Determinism: identical to [`run_study_pareto_batched`] with
 /// `batch_size == 1` — every trial draws its RNG from
-/// [`trial_rng`]`(seed, index)`, so the frontier depends only on the seed,
-/// the optimizer, and the objective function.
+/// [`crate::trial_rng`]`(seed, index)`, so the frontier depends only on the
+/// seed, the optimizer, and the objective function.
+///
+/// # Panics
+/// Panics if fewer than two metric directions are given.
+#[deprecated(
+    note = "use `Study::new(space, n_trials).objective(StudyObjective::pareto(directions))\
+            .execution(Execution::Batched { batch_size: 1 }).seed(seed).run(..)`"
+)]
 pub fn run_study_pareto<F>(
     space: &ParamSpace,
     optimizer: &mut dyn Optimizer,
@@ -279,9 +300,15 @@ pub fn run_study_pareto<F>(
 where
     F: FnMut(&[usize]) -> MultiObjective,
 {
-    run_study_pareto_batched(space, optimizer, n_trials, 1, seed, directions, |points| {
-        points.iter().map(|p| objective(p)).collect()
-    })
+    assert!(directions.len() >= 2, "a Pareto archive needs >= 2 metrics");
+    let mut eval = |p: &[usize]| objective(p);
+    Study::new(space, n_trials)
+        .seed(seed)
+        .objective(StudyObjective::pareto(directions))
+        .execution(Execution::Batched { batch_size: 1 })
+        .run(optimizer, StudyEval::points(&mut eval))
+        .expect("axes validated above")
+        .into_pareto_result()
 }
 
 /// Runs `optimizer` for `n_trials` multi-objective evaluations in rounds of
@@ -290,7 +317,7 @@ where
 ///
 /// This is the multi-objective sibling of [`crate::run_study_batched`] and
 /// keeps its determinism contract: trial `i` draws its randomness from
-/// [`trial_rng`]`(seed, i)`, rounds are observed in proposal order, and
+/// [`crate::trial_rng`]`(seed, i)`, rounds are observed in proposal order, and
 /// `evaluate_batch` must return one [`MultiObjective`] per point in proposal
 /// order — so the caller may evaluate a round's points concurrently (or
 /// serially) and obtain a bit-identical [`ParetoStudyResult::frontier`].
@@ -300,7 +327,12 @@ where
 ///
 /// # Panics
 /// Panics if `evaluate_batch` returns the wrong number of results or a
-/// metric vector of the wrong arity.
+/// metric vector of the wrong arity, or if fewer than two metric
+/// directions are given.
+#[deprecated(
+    note = "use `Study::new(space, n_trials).objective(StudyObjective::pareto(directions))\
+            .execution(Execution::Batched { batch_size }).seed(seed).run(..)`"
+)]
 pub fn run_study_pareto_batched<F>(
     space: &ParamSpace,
     optimizer: &mut dyn Optimizer,
@@ -308,47 +340,20 @@ pub fn run_study_pareto_batched<F>(
     batch_size: usize,
     seed: u64,
     directions: &[MetricDirection],
-    evaluate_batch: F,
+    mut evaluate_batch: F,
 ) -> ParetoStudyResult
 where
     F: FnMut(&[Vec<usize>]) -> Vec<MultiObjective>,
 {
-    let mut evaluate_batch = evaluate_batch;
-    run_study_pareto_inner(
-        space,
-        optimizer,
-        n_trials,
-        batch_size,
-        seed,
-        directions,
-        None,
-        &mut |points| evaluate_batch(points),
-        None,
-    )
-}
-
-/// Converts one multi-objective outcome into the scalar trial the optimizer
-/// observes, updating the archive, incumbent guide and counters.
-fn absorb_result(
-    archive: &mut ParetoArchive,
-    best_guide: &mut f64,
-    invalid: &mut usize,
-    point: &[usize],
-    result: &MultiObjective,
-) -> TrialResult {
-    match result {
-        MultiObjective::Valid { metrics, guide } => {
-            archive.insert(point.to_vec(), metrics.clone());
-            if best_guide.is_nan() || *guide > *best_guide {
-                *best_guide = *guide;
-            }
-            TrialResult::Valid(*guide)
-        }
-        MultiObjective::Invalid => {
-            *invalid += 1;
-            TrialResult::Invalid
-        }
-    }
+    assert!(directions.len() >= 2, "a Pareto archive needs >= 2 metrics");
+    let mut eval = |points: &[Vec<usize>]| evaluate_batch(points);
+    Study::new(space, n_trials)
+        .seed(seed)
+        .objective(StudyObjective::pareto(directions))
+        .execution(Execution::Batched { batch_size: batch_size.max(1) })
+        .run(optimizer, StudyEval::batch(&mut eval))
+        .expect("axes validated above")
+        .into_pareto_result()
 }
 
 /// The full-featured Pareto study driver: [`run_study_pareto_batched`]
@@ -374,6 +379,12 @@ fn absorb_result(
 /// differently-configured optimizer), or on the [`run_study_pareto_batched`]
 /// arity contracts.
 #[allow(clippy::too_many_arguments)] // the durable superset of the batched driver
+#[deprecated(
+    note = "use `Study::new(space, n_trials).objective(StudyObjective::pareto(directions))\
+            .execution(Execution::Batched { batch_size })\
+            .durability(Durability::Checkpointed { .. }).run(..)` — the builder loads and \
+            saves the checkpoint file itself"
+)]
 pub fn run_study_pareto_resumable<F, C>(
     space: &ParamSpace,
     optimizer: &mut dyn Optimizer,
@@ -389,125 +400,38 @@ where
     F: FnMut(&[Vec<usize>]) -> Vec<MultiObjective>,
     C: FnMut(&ParetoCheckpoint),
 {
-    run_study_pareto_inner(
-        space,
-        optimizer,
-        n_trials,
-        batch_size,
-        seed,
-        directions,
-        resume_from,
-        &mut |points| evaluate_batch(points),
-        Some(&mut |ck: &ParetoCheckpoint| on_round(ck)),
-    )
-}
-
-/// Monomorphization-free core of the Pareto study drivers. Checkpoints are
-/// only constructed when a round hook is installed — the plain batched
-/// driver pays nothing for durability it does not use.
-#[allow(clippy::too_many_arguments)]
-fn run_study_pareto_inner(
-    space: &ParamSpace,
-    optimizer: &mut dyn Optimizer,
-    n_trials: usize,
-    batch_size: usize,
-    seed: u64,
-    directions: &[MetricDirection],
-    resume_from: Option<ParetoCheckpoint>,
-    evaluate_batch: &mut dyn FnMut(&[Vec<usize>]) -> Vec<MultiObjective>,
-    mut on_round: Option<&mut dyn FnMut(&ParetoCheckpoint)>,
-) -> ParetoStudyResult {
-    let batch_size = batch_size.max(1);
-    let mut archive = ParetoArchive::new(directions);
-    let mut best_guide = f64::NAN;
-    let mut guide_convergence = Vec::with_capacity(n_trials);
-    let mut invalid = 0;
-    let mut trials: Vec<MultiTrial> = Vec::with_capacity(n_trials);
-
-    if let Some(ck) = resume_from {
-        assert_eq!(ck.archive.directions(), directions, "checkpoint direction mismatch");
-        // The optimizer observed each trial's scalar guide, not the full
-        // metric vector — replay (if needed) feeds it the same stream.
-        let scalar: Vec<Trial> = ck
-            .trials
-            .iter()
-            .map(|t| Trial {
-                point: t.point.clone(),
-                result: match &t.result {
-                    MultiObjective::Valid { guide, .. } => TrialResult::Valid(*guide),
-                    MultiObjective::Invalid => TrialResult::Invalid,
-                },
-            })
-            .collect();
-        crate::snapshot::validate_and_restore(
-            space,
+    assert!(directions.len() >= 2, "a Pareto archive needs >= 2 metrics");
+    let mut eval = |points: &[Vec<usize>]| evaluate_batch(points);
+    let mut hook = |_done: usize, make: &dyn Fn() -> RoundSnapshot| {
+        let RoundSnapshot::Pareto(ck) = make() else {
+            unreachable!("a Pareto study emits Pareto snapshots")
+        };
+        on_round(&ck);
+    };
+    Study::new(space, n_trials)
+        .seed(seed)
+        .objective(StudyObjective::pareto(directions))
+        .execution(Execution::Batched { batch_size: batch_size.max(1) })
+        .run_hooked(
             optimizer,
-            n_trials,
-            batch_size,
-            seed,
-            ck.seed,
-            ck.batch_size,
-            ck.guide_convergence.len(),
-            &ck.optimizer,
-            &scalar,
-        );
-        archive = ck.archive;
-        best_guide = ck.best_guide;
-        guide_convergence = ck.guide_convergence;
-        invalid = ck.invalid_trials;
-        trials = ck.trials;
-    }
-
-    let mut start = trials.len();
-    while start < n_trials {
-        let round = batch_size.min(n_trials - start);
-        let mut rngs: Vec<StdRng> = (start..start + round).map(|i| trial_rng(seed, i)).collect();
-        let points = optimizer.propose_batch(space, &mut rngs);
-        assert_eq!(points.len(), round, "optimizer must propose one point per RNG");
-        debug_assert!(points.iter().all(|p| space.contains(p)));
-
-        let results = evaluate_batch(&points);
-        assert_eq!(results.len(), round, "evaluator must score every proposed point");
-
-        let mut scalar_trials = Vec::with_capacity(round);
-        for (point, result) in points.into_iter().zip(results) {
-            let scalar =
-                absorb_result(&mut archive, &mut best_guide, &mut invalid, &point, &result);
-            guide_convergence.push(best_guide);
-            scalar_trials.push(Trial { point: point.clone(), result: scalar });
-            trials.push(MultiTrial { point, result });
-        }
-        optimizer.observe_batch(space, &scalar_trials);
-        start += round;
-
-        if let Some(hook) = on_round.as_deref_mut() {
-            hook(&ParetoCheckpoint {
-                seed,
-                batch_size,
-                archive: archive.clone(),
-                best_guide,
-                guide_convergence: guide_convergence.clone(),
-                invalid_trials: invalid,
-                trials: trials.clone(),
-                optimizer: optimizer.save_state(),
-            });
-        }
-    }
-
-    ParetoStudyResult {
-        optimizer: optimizer.name().to_string(),
-        frontier: archive.frontier(),
-        guide_convergence,
-        invalid_trials: invalid,
-        trials,
-    }
+            StudyEval::batch(&mut eval),
+            resume_from.map(RoundSnapshot::Pareto),
+            Some(&mut hook),
+        )
+        .into_pareto_result()
 }
 
 #[cfg(test)]
 mod tests {
+    // The deprecated drivers stay covered until their removal PR: they are
+    // the bit-identity reference the builder is tested against.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::algorithms::RandomSearch;
+    use crate::optimizer::Trial;
     use crate::space::ParamDomain;
+    use rand::rngs::StdRng;
     use MetricDirection::{Maximize, Minimize};
 
     fn space() -> ParamSpace {

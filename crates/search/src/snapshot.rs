@@ -54,17 +54,14 @@ pub(crate) fn validate_and_restore(
     state: &OptimizerState,
     scalar_trials: &[Trial],
 ) {
-    assert_eq!(ck_seed, seed, "checkpoint seed mismatch");
-    assert_eq!(ck_batch_size, batch_size, "checkpoint batch-size mismatch");
-    assert!(
-        scalar_trials.len() <= n_trials,
-        "checkpoint holds {} trials but the study budget is {n_trials}",
-        scalar_trials.len()
-    );
-    assert_eq!(
+    validate_checkpoint_header(
+        n_trials,
+        batch_size,
+        seed,
+        ck_seed,
+        ck_batch_size,
         convergence_len,
         scalar_trials.len(),
-        "checkpoint convergence/trial length mismatch"
     );
     assert!(
         scalar_trials.len().is_multiple_of(batch_size) || scalar_trials.len() == n_trials,
@@ -83,16 +80,41 @@ pub(crate) fn validate_and_restore(
                 (start..start + round).map(|i| trial_rng(seed, i)).collect();
             let points = optimizer.propose_batch(space, &mut rngs);
             let recorded = &scalar_trials[start..start + round];
-            assert!(
-                points.iter().zip(recorded).all(|(p, t)| *p == t.point),
-                "replayed optimizer diverged from the checkpoint's proposal record \
-                 (was the optimizer configured differently?)"
-            );
+            assert!(points.iter().zip(recorded).all(|(p, t)| *p == t.point), "{REPLAY_DIVERGED}");
             optimizer.observe_batch(space, recorded);
             start += round;
         }
     }
 }
+
+/// The header checks shared by every resume path — seed, batch marker,
+/// trial budget, convergence/trial pairing. The batched drivers add the
+/// round-grid check on top; the sequential path replays per trial, so any
+/// count is a boundary for it.
+pub(crate) fn validate_checkpoint_header(
+    n_trials: usize,
+    batch_size: usize,
+    seed: u64,
+    ck_seed: u64,
+    ck_batch_size: usize,
+    convergence_len: usize,
+    trials_len: usize,
+) {
+    assert_eq!(ck_seed, seed, "checkpoint seed mismatch");
+    assert_eq!(ck_batch_size, batch_size, "checkpoint batch-size mismatch");
+    assert!(
+        trials_len <= n_trials,
+        "checkpoint holds {trials_len} trials but the study budget is {n_trials}"
+    );
+    assert_eq!(convergence_len, trials_len, "checkpoint convergence/trial length mismatch");
+}
+
+/// Panic message of a resume whose replayed proposals do not match the
+/// checkpoint's record — shared so the batched and sequential replay paths
+/// cannot drift apart.
+pub(crate) const REPLAY_DIVERGED: &str =
+    "replayed optimizer diverged from the checkpoint's proposal record \
+     (was the optimizer configured differently?)";
 
 /// Snapshot of a built-in optimizer's internal state.
 ///

@@ -1,7 +1,14 @@
-//! The study driver: runs an optimizer against an objective for a trial
-//! budget, recording best-so-far convergence curves (Figure 11).
+//! The scalar study types: [`StudyResult`], the [`trial_rng`] determinism
+//! contract, and convergence-band aggregation (Figure 11).
+//!
+//! The driver functions that used to live here (`run_study`,
+//! `run_study_batched`, `run_study_batched_resumable`) are deprecated thin
+//! wrappers over the unified [`Study`] builder — see
+//! [`crate::builder`] for the replacement API.
 
+use crate::builder::{Execution, RoundSnapshot, Study, StudyEval};
 use crate::optimizer::{Optimizer, Trial, TrialResult};
+use crate::pareto::MultiObjective;
 use crate::snapshot::StudyCheckpoint;
 use crate::space::ParamSpace;
 use rand::rngs::StdRng;
@@ -43,6 +50,10 @@ pub fn trial_rng(seed: u64, trial_index: usize) -> StdRng {
 
 /// Runs `optimizer` for `n_trials` evaluations of `objective`, seeded for
 /// reproducibility.
+#[deprecated(
+    note = "use `Study::new(space, n_trials).seed(seed).run(optimizer, StudyEval::points(..))` \
+            (the default Sequential execution reproduces this driver bit for bit)"
+)]
 pub fn run_study<F>(
     space: &ParamSpace,
     optimizer: &mut dyn Optimizer,
@@ -53,38 +64,12 @@ pub fn run_study<F>(
 where
     F: FnMut(&[usize]) -> TrialResult,
 {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut best: Option<(Vec<usize>, f64)> = None;
-    let mut convergence = Vec::with_capacity(n_trials);
-    let mut invalid = 0;
-    let mut trials = Vec::with_capacity(n_trials);
-
-    for _ in 0..n_trials {
-        let point = optimizer.propose(space, &mut rng);
-        debug_assert!(space.contains(&point));
-        let result = objective(&point);
-        match result {
-            TrialResult::Valid(obj) => {
-                if best.as_ref().is_none_or(|(_, b)| obj > *b) {
-                    best = Some((point.clone(), obj));
-                }
-            }
-            TrialResult::Invalid => invalid += 1,
-        }
-        convergence.push(best.as_ref().map_or(f64::NAN, |(_, b)| *b));
-        let trial = Trial { point, result };
-        optimizer.observe(space, &trial);
-        trials.push(trial);
-    }
-
-    StudyResult {
-        optimizer: optimizer.name().to_string(),
-        best_point: best.as_ref().map(|(p, _)| p.clone()),
-        best_objective: best.map(|(_, b)| b),
-        convergence,
-        invalid_trials: invalid,
-        trials,
-    }
+    let mut eval = |p: &[usize]| MultiObjective::from(objective(p));
+    Study::new(space, n_trials)
+        .seed(seed)
+        .run(optimizer, StudyEval::points(&mut eval))
+        .expect("a sequential ephemeral study is always a valid configuration")
+        .into_study_result()
 }
 
 /// Runs `optimizer` for `n_trials` evaluations in rounds of `batch_size`
@@ -100,28 +85,30 @@ where
 /// observation freshness (the optimizer observes a whole round at once) for
 /// evaluation parallelism, which is the standard batched black-box-search
 /// compromise.
+#[deprecated(
+    note = "use `Study::new(space, n_trials).execution(Execution::Batched { batch_size })\
+            .seed(seed).run(optimizer, StudyEval::batch(..))`"
+)]
 pub fn run_study_batched<F>(
     space: &ParamSpace,
     optimizer: &mut dyn Optimizer,
     n_trials: usize,
     batch_size: usize,
     seed: u64,
-    evaluate_batch: F,
+    mut evaluate_batch: F,
 ) -> StudyResult
 where
     F: FnMut(&[Vec<usize>]) -> Vec<TrialResult>,
 {
-    let mut evaluate_batch = evaluate_batch;
-    run_study_batched_inner(
-        space,
-        optimizer,
-        n_trials,
-        batch_size,
-        seed,
-        None,
-        &mut |points| evaluate_batch(points),
-        None,
-    )
+    let mut eval = |points: &[Vec<usize>]| {
+        evaluate_batch(points).into_iter().map(MultiObjective::from).collect::<Vec<_>>()
+    };
+    Study::new(space, n_trials)
+        .seed(seed)
+        .execution(Execution::Batched { batch_size: batch_size.max(1) })
+        .run(optimizer, StudyEval::batch(&mut eval))
+        .expect("a batched ephemeral study with batch_size >= 1 is always valid")
+        .into_study_result()
 }
 
 /// The durable sibling of [`run_study_batched`]: `resume_from` continues a
@@ -138,6 +125,11 @@ where
 /// replayed optimizer re-proposes a different point than the record, or on
 /// the [`run_study_batched`] arity contracts.
 #[allow(clippy::too_many_arguments)] // the durable superset of the batched driver
+#[deprecated(
+    note = "use `Study::new(space, n_trials).execution(Execution::Batched { batch_size })\
+            .durability(Durability::Checkpointed { .. }).run(..)` — the builder loads and \
+            saves the checkpoint file itself"
+)]
 pub fn run_study_batched_resumable<F, C>(
     space: &ParamSpace,
     optimizer: &mut dyn Optimizer,
@@ -152,109 +144,25 @@ where
     F: FnMut(&[Vec<usize>]) -> Vec<TrialResult>,
     C: FnMut(&StudyCheckpoint),
 {
-    run_study_batched_inner(
-        space,
-        optimizer,
-        n_trials,
-        batch_size,
-        seed,
-        resume_from,
-        &mut |points| evaluate_batch(points),
-        Some(&mut |ck: &StudyCheckpoint| on_round(ck)),
-    )
-}
-
-/// Monomorphization-free core of the scalar study drivers. Checkpoints are
-/// only constructed when a round hook is installed — the plain batched
-/// driver pays nothing for durability it does not use.
-#[allow(clippy::too_many_arguments)]
-fn run_study_batched_inner(
-    space: &ParamSpace,
-    optimizer: &mut dyn Optimizer,
-    n_trials: usize,
-    batch_size: usize,
-    seed: u64,
-    resume_from: Option<StudyCheckpoint>,
-    evaluate_batch: &mut dyn FnMut(&[Vec<usize>]) -> Vec<TrialResult>,
-    mut on_round: Option<&mut dyn FnMut(&StudyCheckpoint)>,
-) -> StudyResult {
-    let batch_size = batch_size.max(1);
-    let mut best: Option<(Vec<usize>, f64)> = None;
-    let mut convergence = Vec::with_capacity(n_trials);
-    let mut invalid = 0;
-    let mut trials: Vec<Trial> = Vec::with_capacity(n_trials);
-
-    if let Some(ck) = resume_from {
-        crate::snapshot::validate_and_restore(
-            space,
+    let mut eval = |points: &[Vec<usize>]| {
+        evaluate_batch(points).into_iter().map(MultiObjective::from).collect::<Vec<_>>()
+    };
+    let mut hook = |_done: usize, make: &dyn Fn() -> RoundSnapshot| {
+        let RoundSnapshot::Scalar(ck) = make() else {
+            unreachable!("a single-objective study emits scalar snapshots")
+        };
+        on_round(&ck);
+    };
+    Study::new(space, n_trials)
+        .seed(seed)
+        .execution(Execution::Batched { batch_size: batch_size.max(1) })
+        .run_hooked(
             optimizer,
-            n_trials,
-            batch_size,
-            seed,
-            ck.seed,
-            ck.batch_size,
-            ck.convergence.len(),
-            &ck.optimizer,
-            &ck.trials,
-        );
-        best = ck.best;
-        convergence = ck.convergence;
-        invalid = ck.invalid_trials;
-        trials = ck.trials;
-    }
-
-    let mut start = trials.len();
-    while start < n_trials {
-        let round = batch_size.min(n_trials - start);
-        let mut rngs: Vec<StdRng> = (start..start + round).map(|i| trial_rng(seed, i)).collect();
-        let points = optimizer.propose_batch(space, &mut rngs);
-        assert_eq!(points.len(), round, "optimizer must propose one point per RNG");
-        debug_assert!(points.iter().all(|p| space.contains(p)));
-
-        let results = evaluate_batch(&points);
-        assert_eq!(results.len(), round, "evaluator must score every proposed point");
-
-        let round_trials: Vec<Trial> = points
-            .into_iter()
-            .zip(results)
-            .map(|(point, result)| Trial { point, result })
-            .collect();
-        for trial in &round_trials {
-            match trial.result {
-                TrialResult::Valid(obj) => {
-                    if best.as_ref().is_none_or(|(_, b)| obj > *b) {
-                        best = Some((trial.point.clone(), obj));
-                    }
-                }
-                TrialResult::Invalid => invalid += 1,
-            }
-            convergence.push(best.as_ref().map_or(f64::NAN, |(_, b)| *b));
-        }
-        optimizer.observe_batch(space, &round_trials);
-        trials.extend(round_trials);
-        start += round;
-
-        if let Some(hook) = on_round.as_deref_mut() {
-            hook(&StudyCheckpoint {
-                seed,
-                batch_size,
-                best: best.clone(),
-                convergence: convergence.clone(),
-                invalid_trials: invalid,
-                trials: trials.clone(),
-                optimizer: optimizer.save_state(),
-            });
-        }
-    }
-
-    StudyResult {
-        optimizer: optimizer.name().to_string(),
-        best_point: best.as_ref().map(|(p, _)| p.clone()),
-        best_objective: best.map(|(_, b)| b),
-        convergence,
-        invalid_trials: invalid,
-        trials,
-    }
+            StudyEval::batch(&mut eval),
+            resume_from.map(RoundSnapshot::Scalar),
+            Some(&mut hook),
+        )
+        .into_study_result()
 }
 
 /// Aggregates convergence curves from repeated runs: per-trial mean and a
@@ -311,6 +219,10 @@ pub fn convergence_band(curves: &[Vec<f64>], z: f64) -> ConvergenceBand {
 
 #[cfg(test)]
 mod tests {
+    // The deprecated drivers stay covered until their removal PR: they are
+    // the bit-identity reference the builder is tested against.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::algorithms::{LcsSwarm, RandomSearch};
     use crate::space::ParamDomain;

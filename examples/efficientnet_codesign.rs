@@ -15,20 +15,19 @@ fn main() {
     let budget = Budget::paper_default();
     let evaluator = Evaluator::new(vec![workload], Objective::PerfPerTdp, budget);
 
-    let config = SearchConfig {
-        trials: 250,
-        optimizer: OptimizerKind::Lcs,
-        seed: 42,
-        batch: 16,
-        ..SearchConfig::default()
-    };
-    println!("searching {} trials over a 10^{:.0} datapath space ...", config.trials, 13.3);
-    let outcome = run_fast_search_parallel(&evaluator, &config);
+    let trials = 250;
+    println!("searching {trials} trials over a 10^{:.0} datapath space ...", 13.3);
+    let outcome = FastStudy::new(&evaluator, trials)
+        .optimizer(OptimizerKind::Lcs)
+        .seed(42)
+        .execution(Execution::Parallel { threads: 16 })
+        .run()
+        .expect("valid study configuration");
 
     let best = outcome.best.expect("seeded search always finds a valid design");
     println!(
         "valid trials: {}, invalid (rejected): {}",
-        config.trials - outcome.study.invalid_trials,
+        trials - outcome.study.invalid_trials,
         outcome.study.invalid_trials
     );
 
@@ -58,7 +57,7 @@ fn main() {
 
     // Convergence summary: best-so-far at a few checkpoints.
     print!("\nconvergence (best Perf/TDP objective): ");
-    for t in [10, 50, 100, 200, config.trials - 1] {
+    for t in [10, 50, 100, 200, trials - 1] {
         if let Some(v) = outcome.study.convergence.get(t) {
             print!("t={t}: {v:.4}  ");
         }

@@ -12,20 +12,17 @@ fn main() {
     let budget = Budget::paper_default();
     let evaluator = Evaluator::new(suite.clone(), Objective::PerfPerTdp, budget);
 
-    let config = SearchConfig {
-        trials: 120,
-        optimizer: OptimizerKind::Lcs,
-        seed: 7,
-        batch: 16,
-        ..SearchConfig::default()
-    };
+    let (trials, batch) = (120, 16);
     println!(
-        "searching a single design for {} workloads ({} trials, batches of {})...\n",
+        "searching a single design for {} workloads ({trials} trials, batches of {batch})...\n",
         suite.len(),
-        config.trials,
-        config.batch
     );
-    let outcome = run_fast_search_parallel(&evaluator, &config);
+    let outcome = FastStudy::new(&evaluator, trials)
+        .optimizer(OptimizerKind::Lcs)
+        .seed(7)
+        .execution(Execution::Parallel { threads: batch })
+        .run()
+        .expect("valid study configuration");
     let best = outcome.best.expect("seeded search finds a valid design");
     let stats = evaluator.cache_stats();
     println!("evaluation cache: {} simulations, {} memoized re-scores\n", stats.misses, stats.hits);

@@ -56,18 +56,24 @@ pub use fast_sim as sim;
 pub mod prelude {
     pub use fast_arch::{presets, Budget, DatapathConfig};
     pub use fast_core::{
-        ablation_study, component_breakdown, design_report, relative_to_tpu, run_fast_search,
-        run_fast_search_parallel, BudgetLevel, CacheStats, Checkpointer, DesignEval, Evaluator,
-        FastSpace, Objective, OptimizerKind, ScenarioMatrix, SearchConfig, SweepConfig,
-        SweepResult, SweepRunner,
+        ablation_study, component_breakdown, design_report, relative_to_tpu, BudgetLevel,
+        CacheStats, Checkpointer, DesignEval, Evaluator, FastSpace, FastStudy, Objective,
+        OptimizerKind, ScenarioMatrix, SearchConfig, SearchReport, SweepConfig, SweepResult,
+        SweepRunner,
     };
+    #[allow(deprecated)] // legacy drivers, re-exported for one release of migration
+    pub use fast_core::{run_fast_search, run_fast_search_parallel};
     pub use fast_fusion::{fuse_workload, FusionOptions};
     pub use fast_ir::{DType, FusionStrategy, Graph, GraphStats};
     pub use fast_models::{BertConfig, EfficientNet, Workload, WorkloadDomain};
     pub use fast_roi::RoiModel;
+    #[allow(deprecated)] // legacy drivers, re-exported for one release of migration
     pub use fast_search::{
-        run_study, run_study_batched, run_study_pareto, run_study_pareto_batched, trial_rng,
-        MetricDirection, MultiObjective, ParetoArchive, TrialResult,
+        run_study, run_study_batched, run_study_pareto, run_study_pareto_batched,
+    };
+    pub use fast_search::{
+        trial_rng, Durability, Execution, MetricDirection, MultiObjective, ParetoArchive, Study,
+        StudyConfigError, StudyEval, StudyObjective, StudyReport, TrialResult,
     };
     pub use fast_sim::{simulate, SimOptions, SoftmaxMode};
 }

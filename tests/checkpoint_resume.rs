@@ -4,15 +4,14 @@
 //! * a sweep killed after scenario `k` and resumed from its checkpoint
 //!   produces bit-identical per-scenario frontiers to an uninterrupted run,
 //!   with >90 % cache hits on the replayed scenarios;
-//! * the contract holds under both the sequential and the rayon-parallel
-//!   study drivers (the sweep evaluates rounds across the rayon pool; the
-//!   study-level checkpoint is exercised against both closures directly);
+//! * the contract holds under both batched and rayon-parallel execution
+//!   (the sweep evaluates rounds across the rayon pool; the study-level
+//!   checkpoint is exercised through the `Study` builder's file-based
+//!   durability in both modes);
 //! * damaged checkpoint files degrade to a cold — but still correct — run.
 
 use fast::core::{BudgetLevel, Checkpointer, Objective, ScenarioMatrix, SweepConfig, SweepRunner};
 use fast::prelude::*;
-use fast::search::{run_study_pareto_resumable, MultiObjective, ParetoCheckpoint};
-use rayon::prelude::*;
 use std::path::PathBuf;
 
 fn scratch_dir(name: &str) -> PathBuf {
@@ -99,7 +98,10 @@ fn mid_scenario_kill_loses_at_most_one_round() {
 
 /// The study-level checkpoint contract holds whether a round is evaluated
 /// serially or across the rayon pool — the resumed frontier is
-/// bit-identical to the uninterrupted one either way.
+/// bit-identical to the uninterrupted one either way. This drives the
+/// unified `Study` builder's file-based durability end to end: run 16 of 32
+/// trials checkpointed ("the kill"), then rerun the full budget against the
+/// same directory ("the resume").
 #[test]
 fn study_checkpoint_contract_holds_for_sequential_and_parallel_drivers() {
     let dirs = [MetricDirection::Maximize, MetricDirection::Minimize, MetricDirection::Minimize];
@@ -114,65 +116,40 @@ fn study_checkpoint_contract_holds_for_sequential_and_parallel_drivers() {
         space.encode(&fast::arch::presets::fast_small(), &SimOptions::default()),
     ];
 
-    let score = |e: &Evaluator, p: &Vec<usize>| match e.evaluate_point(&space, p) {
-        Ok(ev) => MultiObjective::valid(
-            vec![ev.objective_value, ev.tdp_w, ev.area_mm2],
-            ev.objective_value,
-        ),
-        Err(_) => MultiObjective::Invalid,
-    };
-
     for parallel in [false, true] {
-        let eval_round = |e: &Evaluator, points: &[Vec<usize>]| -> Vec<MultiObjective> {
-            if parallel {
-                points.par_iter().map(|p| score(e, p)).collect()
-            } else {
-                points.iter().map(|p| score(e, p)).collect()
-            }
+        let execution = if parallel {
+            Execution::Parallel { threads: 8 }
+        } else {
+            Execution::Batched { batch_size: 8 }
+        };
+        let run = |trials: usize, durability: Durability, e: &Evaluator| {
+            let score = |p: &[usize]| match e.evaluate_point(&space, p) {
+                Ok(ev) => MultiObjective::valid(
+                    vec![ev.objective_value, ev.tdp_w, ev.area_mm2],
+                    ev.objective_value,
+                ),
+                Err(_) => MultiObjective::Invalid,
+            };
+            let mut opt = make_seeded(&seed_points);
+            Study::new(space.space(), trials)
+                .seed(5)
+                .objective(StudyObjective::pareto(&dirs))
+                .execution(execution)
+                .durability(durability)
+                .run(opt.as_mut(), StudyEval::shared(&score))
+                .expect("valid study configuration")
+                .into_pareto_result()
         };
 
         // Uninterrupted run, fresh cache.
         let e1 = evaluator.fresh_eval_cache();
-        let mut opt = make_seeded(&seed_points);
-        let straight = run_study_pareto_resumable(
-            space.space(),
-            opt.as_mut(),
-            32,
-            8,
-            5,
-            &dirs,
-            None,
-            |pts| eval_round(&e1, pts),
-            |_| {},
-        );
+        let straight = run(32, Durability::Ephemeral, &e1);
 
-        // Interrupted after round 2 (16 trials), resumed.
+        // Interrupted after round 2 (16 trials), then resumed from disk.
+        let dir = scratch_dir(&format!("study-level-{parallel}"));
         let e2 = evaluator.fresh_eval_cache();
-        let mut checkpoints: Vec<ParetoCheckpoint> = Vec::new();
-        let mut opt2 = make_seeded(&seed_points);
-        let _ = run_study_pareto_resumable(
-            space.space(),
-            opt2.as_mut(),
-            16,
-            8,
-            5,
-            &dirs,
-            None,
-            |pts| eval_round(&e2, pts),
-            |ck| checkpoints.push(ck.clone()),
-        );
-        let mut opt3 = make_seeded(&seed_points);
-        let resumed = run_study_pareto_resumable(
-            space.space(),
-            opt3.as_mut(),
-            32,
-            8,
-            5,
-            &dirs,
-            checkpoints.pop(),
-            |pts| eval_round(&e2, pts),
-            |_| {},
-        );
+        let _ = run(16, Durability::Checkpointed { dir: dir.clone(), every: 1 }, &e2);
+        let resumed = run(32, Durability::Checkpointed { dir, every: 1 }, &e2);
 
         assert_eq!(resumed.frontier, straight.frontier, "parallel={parallel}");
         assert_eq!(

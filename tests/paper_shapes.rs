@@ -131,10 +131,7 @@ fn search_respects_budget_and_improves() {
     );
     let seed_obj =
         evaluator.evaluate(&presets::fast_large(), &SimOptions::default()).unwrap().objective_value;
-    let outcome = run_fast_search(
-        &evaluator,
-        &SearchConfig { trials: 150, seed: 3, ..SearchConfig::default() },
-    );
+    let outcome = FastStudy::new(&evaluator, 150).seed(3).run().expect("valid configuration");
     let best = outcome.best.unwrap();
     assert!(best.objective_value >= seed_obj);
     assert!(budget.admits(&best.config));

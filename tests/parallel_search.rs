@@ -2,7 +2,6 @@
 //! the evaluation cache must be invisible (bit-identical results) and a
 //! parallel study must reproduce the sequential study trial for trial.
 
-use fast::core::{run_fast_search, run_fast_search_parallel, SearchConfig};
 use fast::prelude::*;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -10,6 +9,11 @@ use rand::SeedableRng;
 
 fn evaluator(w: Workload) -> Evaluator {
     Evaluator::new(vec![w], Objective::PerfPerTdp, Budget::paper_default())
+}
+
+/// One FastStudy run with the execution axis as the only variable.
+fn run_search(e: &Evaluator, seed: u64, execution: Execution) -> SearchReport {
+    FastStudy::new(e, 24).seed(seed).execution(execution).run().expect("valid configuration")
 }
 
 proptest! {
@@ -76,16 +80,19 @@ proptest! {
     #[test]
     fn parallel_study_reproduces_sequential_trials(s in 0u64..200) {
         let e = evaluator(Workload::EfficientNet(EfficientNet::B0));
-        let cfg = SearchConfig { trials: 24, seed: s, batch: 6, ..SearchConfig::default() };
-        let seq = run_fast_search(&e.fresh_eval_cache(), &cfg);
-        let par = run_fast_search_parallel(&e.fresh_eval_cache(), &cfg);
+        let seq = run_search(&e.fresh_eval_cache(), s, Execution::Batched { batch_size: 6 });
+        let par = run_search(&e.fresh_eval_cache(), s, Execution::Parallel { threads: 6 });
 
         prop_assert_eq!(seq.study.trials.len(), par.study.trials.len());
         for (i, (a, b)) in seq.study.trials.iter().zip(&par.study.trials).enumerate() {
             prop_assert_eq!(&a.point, &b.point, "trial {} proposed different points", i);
+            let guide = |r: &MultiObjective| match r {
+                MultiObjective::Valid { guide, .. } => Some(guide.to_bits()),
+                MultiObjective::Invalid => None,
+            };
             prop_assert_eq!(
-                a.result.objective().map(f64::to_bits),
-                b.result.objective().map(f64::to_bits),
+                guide(&a.result),
+                guide(&b.result),
                 "trial {} scored differently", i
             );
         }
@@ -102,10 +109,16 @@ proptest! {
 #[test]
 fn second_study_runs_entirely_from_cache() {
     let e = evaluator(Workload::EfficientNet(EfficientNet::B0)).fresh_eval_cache();
-    let cfg = SearchConfig { trials: 30, seed: 4, batch: 8, ..SearchConfig::default() };
-    let first = run_fast_search_parallel(&e, &cfg);
+    let run = || {
+        FastStudy::new(&e, 30)
+            .seed(4)
+            .execution(Execution::Parallel { threads: 8 })
+            .run()
+            .expect("valid configuration")
+    };
+    let first = run();
     let misses_after_first = e.cache_stats().misses;
-    let second = run_fast_search_parallel(&e, &cfg);
+    let second = run();
     assert_eq!(
         e.cache_stats().misses,
         misses_after_first,

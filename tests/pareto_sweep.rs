@@ -47,35 +47,34 @@ proptest! {
             let mut opt = kind.build();
             let queue = seeds.to_vec();
             let mut propose_count = 0usize;
-            fast::search::run_study_pareto_batched(
-                space.space(),
-                opt.as_mut(),
-                32,
-                8,
-                seed,
-                &directions(),
-                |points| {
-                    // Replace the first proposals with the seed designs,
-                    // mirroring SeededOptimizer (private to fast-core).
-                    let points: Vec<Vec<usize>> = points
-                        .iter()
-                        .map(|p| {
-                            let q = if propose_count < queue.len() {
-                                queue[propose_count].clone()
-                            } else {
-                                p.clone()
-                            };
-                            propose_count += 1;
-                            q
-                        })
-                        .collect();
-                    if parallel {
-                        points.par_iter().map(|p| score(&evaluator, &space, p)).collect()
-                    } else {
-                        points.iter().map(|p| score(&evaluator, &space, p)).collect()
-                    }
-                },
-            )
+            let mut eval = |points: &[Vec<usize>]| {
+                // Replace the first proposals with the seed designs,
+                // mirroring SeededOptimizer (private to fast-core).
+                let points: Vec<Vec<usize>> = points
+                    .iter()
+                    .map(|p| {
+                        let q = if propose_count < queue.len() {
+                            queue[propose_count].clone()
+                        } else {
+                            p.clone()
+                        };
+                        propose_count += 1;
+                        q
+                    })
+                    .collect();
+                if parallel {
+                    points.par_iter().map(|p| score(&evaluator, &space, p)).collect()
+                } else {
+                    points.iter().map(|p| score(&evaluator, &space, p)).collect()
+                }
+            };
+            Study::new(space.space(), 32)
+                .seed(seed)
+                .objective(StudyObjective::pareto(&directions()))
+                .execution(Execution::Batched { batch_size: 8 })
+                .run(opt.as_mut(), StudyEval::batch(&mut eval))
+                .expect("valid study configuration")
+                .into_pareto_result()
         };
         let seq = run(false);
         let par = run(true);

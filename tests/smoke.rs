@@ -5,7 +5,6 @@
 //! stage: graph build → simulate → fuse → score → ROI, plus one tiny cached
 //! parallel search.
 
-use fast::core::{run_fast_search_parallel, SearchConfig};
 use fast::prelude::*;
 
 #[test]
@@ -51,10 +50,11 @@ fn tiny_parallel_search_smokes() {
         Objective::PerfPerTdp,
         Budget::paper_default(),
     );
-    let out = run_fast_search_parallel(
-        &evaluator,
-        &SearchConfig { trials: 12, seed: 0, batch: 4, ..SearchConfig::default() },
-    );
+    let out = FastStudy::new(&evaluator, 12)
+        .seed(0)
+        .execution(Execution::Parallel { threads: 4 })
+        .run()
+        .expect("valid study configuration");
     assert_eq!(out.study.convergence.len(), 12);
     let best = out.best.expect("seed designs guarantee a valid trial");
     assert!(best.objective_value > 0.0);
