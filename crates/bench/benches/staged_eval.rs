@@ -1,0 +1,177 @@
+//! Criterion bench: the staged evaluation pipeline vs the monolithic
+//! simulate→fuse path on a **cold-mapper fusion-options sweep** — the
+//! workload the staging exists for. Sweeping `FusionOptions` over a fixed
+//! datapath re-solves Stage C per option; the monolithic path re-runs the
+//! mapper and the whole per-node assembly every time, the staged path maps
+//! once and answers Stages A+B from its tiers.
+//!
+//! Before timing anything it asserts the determinism contract (staged ==
+//! monolithic objective values, bit for bit), then times one sweep each
+//! way and writes `BENCH_eval.json` — staged vs monolithic seconds, the
+//! speedup, and per-stage hit/miss rates — so CI can archive the perf
+//! trajectory per PR. With `FAST_ASSERT_STAGED=<factor>` set, the run
+//! fails unless the staged sweep is at least `<factor>`× faster.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fast_arch::Budget;
+use fast_core::{Evaluator, Objective, StagedCacheStats};
+use fast_fusion::FusionOptions;
+use fast_models::{EfficientNet, Workload};
+use fast_sim::SimOptions;
+
+/// The swept fusion configurations: residency windows, strict Figure-8
+/// adjacency, and the disabled ablation — all heuristic-only, so the
+/// pipeline stays a pure function and the comparison is deterministic.
+fn fusion_sweep() -> Vec<FusionOptions> {
+    let mut sweep: Vec<FusionOptions> = (1..=15)
+        .map(|residency_window| FusionOptions {
+            residency_window,
+            ..FusionOptions::heuristic_only()
+        })
+        .collect();
+    sweep.push(FusionOptions { disabled: true, ..FusionOptions::heuristic_only() });
+    sweep
+}
+
+fn evaluator() -> Evaluator {
+    Evaluator::new(
+        vec![
+            Workload::EfficientNet(EfficientNet::B0),
+            Workload::EfficientNet(EfficientNet::B4),
+            Workload::ResNet50,
+            Workload::Bert { seq_len: 128 },
+            Workload::Bert { seq_len: 512 },
+        ],
+        Objective::PerfPerTdp,
+        Budget::paper_default(),
+    )
+}
+
+/// Runs the whole fusion-options sweep on one evaluator (clones share the
+/// cache tiers), returning an objective checksum so the work cannot be
+/// optimized away.
+fn run_sweep(e: &Evaluator) -> f64 {
+    let cfg = fast_arch::presets::fast_large();
+    let sim = SimOptions::default();
+    fusion_sweep()
+        .into_iter()
+        .map(|opts| {
+            e.clone()
+                .with_fusion(opts)
+                .evaluate(&cfg, &sim)
+                .expect("the preset is schedulable")
+                .objective_value
+        })
+        .sum()
+}
+
+fn time_best_of<T>(runs: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..runs {
+        let start = std::time::Instant::now();
+        let value = f();
+        best = best.min(start.elapsed().as_secs_f64());
+        last = Some(value);
+    }
+    (best, last.expect("runs >= 1"))
+}
+
+fn rate(hits: u64, misses: u64) -> f64 {
+    if hits + misses == 0 {
+        0.0
+    } else {
+        hits as f64 / (hits + misses) as f64
+    }
+}
+
+fn write_report(monolithic_s: f64, staged_s: f64, stages: &StagedCacheStats) {
+    let speedup = monolithic_s / staged_s;
+    let json = format!(
+        "{{\n  \"bench\": \"staged_eval\",\n  \"sweep\": \"cold-mapper fusion-options sweep, {} options × 5 workloads\",\n  \"monolithic_seconds\": {monolithic_s:.6},\n  \"staged_seconds\": {staged_s:.6},\n  \"speedup\": {speedup:.3},\n  \"stages\": {{\n    \"op\":   {{ \"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4} }},\n    \"sim\":  {{ \"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4} }},\n    \"fuse\": {{ \"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4} }}\n  }}\n}}\n",
+        fusion_sweep().len(),
+        stages.op.hits,
+        stages.op.misses,
+        rate(stages.op.hits, stages.op.misses),
+        stages.sim.hits,
+        stages.sim.misses,
+        rate(stages.sim.hits, stages.sim.misses),
+        stages.fuse.hits,
+        stages.fuse.misses,
+        rate(stages.fuse.hits, stages.fuse.misses),
+    );
+    let path = std::env::var("FAST_BENCH_JSON").unwrap_or_else(|_| "BENCH_eval.json".to_string());
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        println!("staged_eval: report written to {path}");
+    }
+    println!(
+        "staged_eval: monolithic {:.1} ms, staged {:.1} ms -> {speedup:.2}x \
+         (op hit rate {:.0}%, sim {:.0}%, fuse {:.0}%)",
+        monolithic_s * 1e3,
+        staged_s * 1e3,
+        100.0 * rate(stages.op.hits, stages.op.misses),
+        100.0 * rate(stages.sim.hits, stages.sim.misses),
+        100.0 * rate(stages.fuse.hits, stages.fuse.misses),
+    );
+}
+
+fn bench_staged_eval(c: &mut Criterion) {
+    let proto = evaluator();
+
+    // Determinism first: the staged sweep must reproduce the monolithic
+    // sweep bit for bit (the checksum is a sum of exact f64s).
+    let staged_checksum = run_sweep(&proto.fresh_eval_cache());
+    let mono_checksum = run_sweep(&proto.clone().monolithic());
+    assert_eq!(
+        staged_checksum.to_bits(),
+        mono_checksum.to_bits(),
+        "staged and monolithic sweeps diverged — determinism contract broken"
+    );
+
+    // One timed sweep each way: every staged repetition starts with a cold
+    // mapper (fresh tiers), exactly the acceptance scenario.
+    let (mono_s, _) = time_best_of(3, || run_sweep(&proto.clone().monolithic()));
+    let fresh = proto.fresh_eval_cache();
+    let (staged_s, _) = {
+        let mut holder = None;
+        let (t, v) = time_best_of(3, || {
+            let e = fresh.fresh_eval_cache();
+            let v = run_sweep(&e);
+            holder = Some(e.staged_cache_stats());
+            v
+        });
+        write_report(mono_s, t, &holder.expect("ran at least once"));
+        (t, v)
+    };
+    let _ = staged_s;
+
+    if let Ok(spec) = std::env::var("FAST_ASSERT_STAGED") {
+        let need: f64 = spec.parse().expect("FAST_ASSERT_STAGED must be a number like 3.0");
+        let speedup = mono_s / staged_s;
+        assert!(
+            speedup >= need,
+            "staged pipeline too slow on the fusion-options sweep: \
+             {speedup:.2}x < required {need:.2}x"
+        );
+    }
+    if std::env::var("FAST_STAGED_ONLY").is_ok() {
+        // CI gate mode: the assertions and the JSON report are the point;
+        // skip the criterion sampling suite.
+        return;
+    }
+
+    let mut group = c.benchmark_group("staged_eval_fusion_sweep");
+    group.sample_size(10);
+    group.bench_function("monolithic", |b| b.iter(|| run_sweep(&proto.clone().monolithic())));
+    group.bench_function("staged_cold_mapper", |b| b.iter(|| run_sweep(&proto.fresh_eval_cache())));
+    // Steady state: tiers already warm from a previous sweep.
+    let warm = proto.fresh_eval_cache();
+    let _ = run_sweep(&warm);
+    group.bench_function("staged_warm", |b| b.iter(|| run_sweep(&warm)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_staged_eval);
+criterion_main!(benches);

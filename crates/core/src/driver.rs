@@ -8,7 +8,7 @@
 //! `run_fast_search` / `run_fast_search_parallel` free functions remain as
 //! deprecated wrappers.
 
-use crate::evaluate::{CacheStats, DesignEval, Evaluator};
+use crate::evaluate::{CacheStats, DesignEval, Evaluator, StagedCacheStats};
 use crate::search_space::FastSpace;
 use fast_arch::DatapathConfig;
 use fast_search::{
@@ -176,9 +176,12 @@ pub struct SearchReport {
     pub best: Option<DesignEval>,
     /// log10 of the datapath search-space size explored by the optimizer.
     pub space_log10: f64,
-    /// Evaluation-cache traffic attributable to this run (hit/miss delta
-    /// across it, including the final best-point decode).
+    /// Fuse-tier traffic attributable to this run (hit/miss delta across
+    /// it, including the final best-point decode) — one lookup per
+    /// successful per-workload evaluation.
     pub cache: CacheStats,
+    /// Per-stage (op/sim/fuse) hit/miss deltas across this run.
+    pub staged: StagedCacheStats,
 }
 
 /// One FAST search over the Table-3 space, configured axis by axis.
@@ -304,9 +307,10 @@ impl<'e> FastStudy<'e> {
             let _ = self.evaluator.load_eval_cache(path);
         }
         let before = self.evaluator.cache_stats();
-        // Misses already represented in the on-disk snapshot; rounds that
-        // add none skip the (whole-cache) re-save.
-        let mut saved_misses = before.misses;
+        let staged_before = self.evaluator.staged_cache_stats();
+        // Misses already represented in the on-disk snapshots; rounds that
+        // add nothing to a tier skip that tier's re-save.
+        let mut marks = self.evaluator.save_marks();
         // Persist the cache on the same round cadence as the study
         // checkpoint — a per-trial round size must not rewrite the whole
         // cache every trial.
@@ -331,7 +335,7 @@ impl<'e> FastStudy<'e> {
             if let Some(path) = &cache_path {
                 rounds += 1;
                 if rounds.is_multiple_of(save_every) {
-                    self.evaluator.save_eval_cache_if_new(path, &mut saved_misses);
+                    self.evaluator.save_eval_cache_if_new(path, &mut marks);
                 }
             }
             scored
@@ -348,7 +352,7 @@ impl<'e> FastStudy<'e> {
             // Completion save: the thinned cadence above may have skipped
             // the final rounds' simulations (the study checkpoint gets the
             // same forced final save).
-            self.evaluator.save_eval_cache_if_new(path, &mut saved_misses);
+            self.evaluator.save_eval_cache_if_new(path, &mut marks);
         }
         let after = self.evaluator.cache_stats();
         Ok(SearchReport {
@@ -359,6 +363,7 @@ impl<'e> FastStudy<'e> {
                 hits: after.hits - before.hits,
                 misses: after.misses - before.misses,
             },
+            staged: self.evaluator.staged_cache_stats().since(&staged_before),
         })
     }
 }

@@ -1,24 +1,47 @@
-//! Trial evaluation: the three-phase pipeline of Figure 1.
+//! Trial evaluation: the three-phase pipeline of Figure 1, staged and
+//! memoized per stage.
 //!
 //! For a candidate design the evaluator (1) validates the datapath and its
 //! area/TDP against the budget (Eq. 4), (2) schedules every op of every
 //! workload through the Timeloop-style mapper (rejecting on schedule
 //! failures, Eq. 5), (3) runs the FAST-fusion ILP, and finally scores the
-//! objective. Workload graphs are cached by `(workload, batch)` since the
+//! objective. The paper's own decomposition — map each op, assemble
+//! workload perf, solve the Figure-8 fusion ILP — is mirrored by three
+//! caches:
+//!
+//! * **Stage A (op tier)** — the shared [`fast_sim::MapperCache`], keyed by
+//!   [`fast_sim::OpKey`] (canonical loop nest + exactly the config/option
+//!   fields the mapper reads). Identical shapes across workloads, batches
+//!   and neighboring search points map once; GM/clock/DRAM/L2/fusion sweeps
+//!   re-map nothing.
+//! * **Stage B (sim tier)** — per-workload perf assembly, memoized in
+//!   memory per `(workload, datapath, schedule)` as slim region statistics
+//!   plus summary scalars (no per-node detail). Schedule failures live
+//!   here too.
+//! * **Stage C (fuse tier)** — fusion results keyed by a
+//!   [`fast_fusion::StatsFingerprint`] of the region stats + the
+//!   Global-Memory capacity + the [`FusionOptions`]. Sweeping fusion
+//!   options or objectives re-solves at most the ILP, never the mapper.
+//!
+//! The op and fuse tiers persist to disk ([`Evaluator::save_eval_cache`]);
+//! the sim tier is cheap to rebuild from a warm op tier and stays in
+//! memory. Workload graphs are cached by `(workload, batch)` since the
 //! model zoo is immutable across trials.
 
 use crate::search_space::FastSpace;
 use fast_arch::{cost, Budget, DatapathConfig};
-use fast_fusion::{fuse_workload, FusionOptions, FusionResult};
+use fast_fusion::{fuse_workload, FusionOptions, FusionResult, StatsFingerprint};
 use fast_models::Workload;
-use fast_sim::{simulate, SimOptions, WorkloadPerf};
+use fast_sim::{
+    simulate_staged, MapFailure, MapperCache, Mapping, OpKey, RegionPerf, SimError, SimOptions,
+    Tier, WorkloadPerf,
+};
 use serde::bin::{self, Decode, Encode, Reader, Writer};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
 /// The optimization objective `f` (§5.2). Higher is better in all cases.
@@ -44,8 +67,11 @@ pub enum EvalError {
         /// Normalized TDP (1.0 = at budget).
         tdp: f64,
     },
-    /// A workload could not be scheduled (Eq. 5).
-    ScheduleFailure(String),
+    /// A workload could not be scheduled (Eq. 5). Carries the structured
+    /// [`SimError`] — callers can match on [`SimError::cause`] to react to
+    /// the failure kind; `Display` remains the historical
+    /// `schedule failure: …` line.
+    ScheduleFailure(SimError),
 }
 
 impl fmt::Display for EvalError {
@@ -104,22 +130,6 @@ pub struct DesignEval {
     pub objective_value: f64,
 }
 
-/// Canonical cache identity of one `(workload, datapath, schedule, fusion)`
-/// simulation — the unit of work [`Evaluator::evaluate`] repeats per trial.
-///
-/// [`DatapathConfig`] is float-bearing (`clock_ghz`), so it cannot derive
-/// `Eq`/`Hash`; the key canonicalizes the clock through `f64::to_bits`.
-/// Configs only reach the cache after `validate()` accepts them, which
-/// excludes NaN clocks, so bitwise equality is exact equality here. Fusion
-/// options are part of the key because `with_fusion` clones share one cache.
-#[derive(Debug, Clone)]
-struct SimKey {
-    workload: Workload,
-    config: DatapathConfig,
-    sim: SimOptions,
-    fusion: FusionOptions,
-}
-
 /// The fully canonicalized, hashable form of a [`DatapathConfig`]: every
 /// field, floats as `to_bits`.
 type ConfigKey = (
@@ -130,14 +140,28 @@ type ConfigKey = (
     (u64, u64),
 );
 
-impl SimKey {
-    /// The single source of truth for key identity: every [`DatapathConfig`]
-    /// field, floats canonicalized through `to_bits`. The exhaustive
-    /// destructuring (no `..`) makes adding a config field a compile error
-    /// here, so the cache key can never silently ignore one; a new float
-    /// field must be converted with `to_bits` to satisfy [`ConfigKey`]'s
-    /// `Eq`/`Hash`.
-    fn canonical(&self) -> (Workload, SimOptions, &FusionOptions, ConfigKey) {
+/// Canonical identity of one Stage-B assembly: `(workload, datapath,
+/// schedule)` — the inputs of [`fast_sim::simulate_staged`]. Fusion options
+/// are deliberately absent (they belong to [`FuseKey`]); budgets and
+/// objectives enter scoring only after the cached stages.
+#[derive(Debug, Clone)]
+struct SimTierKey {
+    workload: Workload,
+    config: DatapathConfig,
+    sim: SimOptions,
+}
+
+impl SimTierKey {
+    /// The single source of truth for Stage-B key identity: every
+    /// [`DatapathConfig`] field, floats canonicalized through `to_bits`.
+    /// The exhaustive destructuring (no `..`) makes adding a config field a
+    /// compile error here, so the cache key can never silently ignore one;
+    /// a new float field must be converted with `to_bits` to satisfy
+    /// [`ConfigKey`]'s `Eq`/`Hash`. ([`DatapathConfig`] is float-bearing
+    /// (`clock_ghz`), so it cannot derive `Eq`/`Hash`; configs only reach
+    /// the cache after `validate()` accepts them, which excludes NaN
+    /// clocks, so bitwise equality is exact equality here.)
+    fn canonical(&self) -> (Workload, SimOptions, ConfigKey) {
         let DatapathConfig {
             pes_x,
             pes_y,
@@ -162,7 +186,6 @@ impl SimKey {
         (
             self.workload,
             self.sim,
-            &self.fusion,
             (
                 (pes_x, pes_y, sa_x, sa_y, vector_multiplier),
                 (l1_config, l1_input_kib, l1_weight_kib, l1_output_kib),
@@ -174,40 +197,156 @@ impl SimKey {
     }
 }
 
-impl PartialEq for SimKey {
+impl PartialEq for SimTierKey {
     fn eq(&self, other: &Self) -> bool {
         self.canonical() == other.canonical()
     }
 }
 
-impl Eq for SimKey {}
+impl Eq for SimTierKey {}
 
-impl Hash for SimKey {
+impl Hash for SimTierKey {
     fn hash<H: Hasher>(&self, state: &mut H) {
         self.canonical().hash(state);
     }
 }
 
-/// Hit/miss counters of the evaluation cache (monotonic totals).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct CacheStats {
-    /// Evaluations answered from the cache.
-    pub hits: u64,
-    /// Evaluations that ran the simulator + fusion pipeline.
-    pub misses: u64,
+/// Stage C cache identity: fingerprinted fusion inputs + the Global-Memory
+/// capacity + the fusion options. Everything else about the datapath is
+/// invisible to the fusion pass, so datapaths with identical region stats
+/// and GM share one ILP solve.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct FuseKey {
+    stats: StatsFingerprint,
+    gm_bytes: u64,
+    fusion: FusionOptions,
 }
 
-/// The per-workload evaluation cache shared by every clone of an
-/// [`Evaluator`] (and thus by every thread of a parallel study).
-///
-/// Both successful evaluations and schedule failures are cached: a design
-/// that failed to schedule once will fail identically forever, and repeated
-/// proposals of near-duplicate points are common in swarm/TPE searches.
-#[derive(Default)]
-struct EvalCache {
-    entries: Mutex<HashMap<SimKey, Arc<Result<WorkloadEval, EvalError>>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+impl Encode for FuseKey {
+    fn encode(&self, w: &mut Writer) {
+        let FuseKey { stats, gm_bytes, fusion } = self;
+        stats.encode(w);
+        gm_bytes.encode(w);
+        fusion.encode(w);
+    }
+}
+
+impl Decode for FuseKey {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, bin::DecodeError> {
+        Ok(FuseKey {
+            stats: Decode::decode(r)?,
+            gm_bytes: Decode::decode(r)?,
+            fusion: Decode::decode(r)?,
+        })
+    }
+}
+
+/// The slim Stage-B product: exactly what Stage C and the final
+/// [`WorkloadEval`] assembly read — region statistics plus summary scalars,
+/// no per-node detail (use [`Evaluator::simulate_workload`] for that).
+#[derive(Debug)]
+struct SimStats {
+    /// Workload display name (labels the ILP problem; never keys anything).
+    workload: String,
+    regions: Vec<RegionPerf>,
+    compute_seconds: f64,
+    prefusion_seconds: f64,
+    batch_per_core: u64,
+    cores: u64,
+    matrix_flops: u64,
+    peak_flops_per_core: f64,
+    total_flops: u64,
+    prefusion_dram_bytes: u64,
+    /// Precomputed Stage-C fingerprint of `(regions, compute_seconds)`.
+    fingerprint: StatsFingerprint,
+}
+
+impl SimStats {
+    fn from_perf(perf: WorkloadPerf) -> SimStats {
+        let fingerprint = fast_fusion::stats_fingerprint(&perf.regions, perf.compute_seconds);
+        SimStats {
+            workload: perf.workload,
+            regions: perf.regions,
+            compute_seconds: perf.compute_seconds,
+            prefusion_seconds: perf.prefusion_seconds,
+            batch_per_core: perf.batch_per_core,
+            cores: perf.cores,
+            matrix_flops: perf.matrix_flops,
+            peak_flops_per_core: perf.peak_flops_per_core,
+            total_flops: perf.total_flops,
+            prefusion_dram_bytes: perf.prefusion_dram_bytes,
+            fingerprint,
+        }
+    }
+}
+
+/// The Stage-C product persisted in the fuse tier: the fusion outputs the
+/// final summary needs. Everything else in [`WorkloadEval`] derives from
+/// the (in-hand) [`SimStats`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct FusedSummary {
+    total_seconds: f64,
+    pinned_weight_bytes: u64,
+    dram_bytes: u64,
+}
+
+impl FusedSummary {
+    fn of(fused: &FusionResult) -> FusedSummary {
+        FusedSummary {
+            total_seconds: fused.total_seconds,
+            pinned_weight_bytes: fused.pinned_weight_bytes,
+            dram_bytes: fused.dram_bytes,
+        }
+    }
+}
+
+impl Encode for FusedSummary {
+    fn encode(&self, w: &mut Writer) {
+        let FusedSummary { total_seconds, pinned_weight_bytes, dram_bytes } = *self;
+        total_seconds.encode(w);
+        pinned_weight_bytes.encode(w);
+        dram_bytes.encode(w);
+    }
+}
+
+impl Decode for FusedSummary {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, bin::DecodeError> {
+        Ok(FusedSummary {
+            total_seconds: Decode::decode(r)?,
+            pinned_weight_bytes: Decode::decode(r)?,
+            dram_bytes: Decode::decode(r)?,
+        })
+    }
+}
+
+pub use fast_sim::CacheStats;
+
+/// Per-stage hit/miss counters of the staged evaluation pipeline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StagedCacheStats {
+    /// Stage A: per-op mapper lookups (shared [`fast_sim::MapperCache`]).
+    pub op: CacheStats,
+    /// Stage B: per-workload perf assemblies (in-memory sim tier).
+    pub sim: CacheStats,
+    /// Stage C: fusion solves (fuse tier).
+    pub fuse: CacheStats,
+}
+
+impl StagedCacheStats {
+    /// Per-stage delta `self - before` (both from one evaluator, `before`
+    /// sampled earlier).
+    #[must_use]
+    pub fn since(&self, before: &StagedCacheStats) -> StagedCacheStats {
+        let delta = |a: CacheStats, b: CacheStats| CacheStats {
+            hits: a.hits - b.hits,
+            misses: a.misses - b.misses,
+        };
+        StagedCacheStats {
+            op: delta(self.op, before.op),
+            sim: delta(self.sim, before.sim),
+            fuse: delta(self.fuse, before.fuse),
+        }
+    }
 }
 
 // Worker threads score trials through a shared `&Evaluator`.
@@ -223,9 +362,34 @@ type GraphCache = Mutex<HashMap<(Workload, u64), Arc<fast_ir::Graph>>>;
 
 /// Evaluates design points for a fixed workload set, objective and budget.
 ///
-/// Clone-cheap: the graph and evaluation caches are shared behind `Arc`s, so
-/// clones handed to worker threads by the parallel driver all feed one
-/// memoization table.
+/// Clone-cheap: the graph cache and all three pipeline tiers are shared
+/// behind `Arc`s, so clones handed to worker threads by the parallel driver
+/// all feed one set of memoization tables.
+///
+/// ```
+/// use fast_core::{CacheStats, Evaluator, Objective};
+/// use fast_arch::{presets, Budget};
+/// use fast_fusion::FusionOptions;
+/// use fast_models::Workload;
+/// use fast_sim::SimOptions;
+///
+/// let e = Evaluator::new(vec![Workload::ResNet50], Objective::Qps, Budget::paper_default());
+/// let first = e.evaluate(&presets::fast_large(), &SimOptions::default()).unwrap();
+///
+/// // A repeat evaluation hits every stage: no mapping, no assembly, no
+/// // fusion solve.
+/// let again = e.evaluate(&presets::fast_large(), &SimOptions::default()).unwrap();
+/// assert_eq!(again.objective_value.to_bits(), first.objective_value.to_bits());
+/// assert_eq!(e.cache_stats(), CacheStats { hits: 1, misses: 1 });
+///
+/// // Sweeping fusion options re-solves Stage C only — the op tier
+/// // (mapper) is untouched, so the sweep never re-maps an op.
+/// let op_before = e.staged_cache_stats().op;
+/// let strict = e.clone().with_fusion(FusionOptions::strict_adjacency());
+/// let _ = strict.evaluate(&presets::fast_large(), &SimOptions::default()).unwrap();
+/// assert_eq!(e.staged_cache_stats().op, op_before);
+/// assert_eq!(e.staged_cache_stats().fuse.misses, 2);
+/// ```
 #[derive(Clone)]
 pub struct Evaluator {
     workloads: Vec<Workload>,
@@ -233,7 +397,12 @@ pub struct Evaluator {
     budget: Budget,
     fusion: FusionOptions,
     graphs: Arc<GraphCache>,
-    cache: Arc<EvalCache>,
+    mapper: Arc<MapperCache>,
+    sims: Arc<Tier<SimTierKey, Result<Arc<SimStats>, SimError>>>,
+    fuses: Arc<Tier<FuseKey, FusedSummary>>,
+    /// `false` routes [`Evaluator::evaluate`] through the uncached
+    /// monolithic simulate→fuse reference path.
+    staged: bool,
 }
 
 impl Evaluator {
@@ -246,13 +415,17 @@ impl Evaluator {
             budget,
             fusion: FusionOptions::heuristic_only(),
             graphs: Arc::new(Mutex::new(HashMap::new())),
-            cache: Arc::new(EvalCache::default()),
+            mapper: Arc::new(MapperCache::new()),
+            sims: Arc::new(Tier::default()),
+            fuses: Arc::new(Tier::default()),
+            staged: true,
         }
     }
 
     /// Uses a custom fusion configuration (e.g. the exact ILP path for
     /// one-off reports). Safe to combine with a shared cache: fusion options
-    /// are part of the cache key.
+    /// are part of the fuse-tier key, and sweeping them re-solves at most
+    /// the fusion stage — the op and sim tiers are shared untouched.
     ///
     /// **Determinism caveat:** the exact-ILP path (`exact_binary_limit > 0`)
     /// is bounded by a wall-clock `time_limit`, so its incumbent can depend
@@ -260,25 +433,35 @@ impl Evaluator {
     /// pipeline is a pure function of its inputs; prefer it (or an
     /// effectively unlimited `time_limit` with a `max_nodes` bound, which is
     /// deterministic) whenever reproducibility across runs matters — e.g.
-    /// under `run_fast_search_parallel`, whose sequential-equivalence
-    /// guarantee assumes a deterministic evaluation pipeline. Within one
-    /// run the cache is always self-consistent (first insert wins).
+    /// under `Execution::Parallel`, whose sequential-equivalence guarantee
+    /// assumes a deterministic evaluation pipeline. Within one run the
+    /// cache is always self-consistent (first compute wins).
     #[must_use]
     pub fn with_fusion(mut self, fusion: FusionOptions) -> Self {
         self.fusion = fusion;
         self
     }
 
+    /// Disables the staged pipeline: every evaluation runs the raw,
+    /// uncached simulate→fuse path. This is the reference implementation
+    /// the staged pipeline is property-tested against (bit-identical
+    /// results), and is only useful for such equivalence checks and
+    /// cache-free timing baselines.
+    #[must_use]
+    pub fn monolithic(mut self) -> Self {
+        self.staged = false;
+        self
+    }
+
     /// A clone re-targeted at a different scenario — workload set, objective
-    /// and budget — while *sharing* this evaluator's graph and evaluation
-    /// caches.
+    /// and budget — while *sharing* this evaluator's caches.
     ///
-    /// This is the scenario-sweep engine's re-scoring path: the cache is
-    /// keyed per `(workload, datapath, schedule, fusion)` simulation, and
-    /// budgets/objectives only enter scoring *after* the cached stage — so
-    /// re-scoring a design under a second objective or a tighter budget is a
-    /// cache hit, never a re-simulation, and a domain whose workloads were
-    /// simulated under another domain reuses those simulations wholesale.
+    /// This is the scenario-sweep engine's re-scoring path: budgets and
+    /// objectives only enter scoring *after* the cached stages — so
+    /// re-scoring a design under a second objective or a tighter budget is
+    /// a fuse-tier hit, never a re-simulation, and a domain whose workloads
+    /// were simulated under another domain reuses those simulations
+    /// wholesale.
     #[must_use]
     pub fn for_scenario(
         &self,
@@ -294,21 +477,34 @@ impl Evaluator {
     }
 
     /// A clone sharing the (immutable) workload-graph cache but starting
-    /// from an empty evaluation cache — for benchmarks and tests that must
+    /// from empty pipeline tiers — for benchmarks and tests that must
     /// measure or observe uncached evaluation.
     #[must_use]
     pub fn fresh_eval_cache(&self) -> Self {
         let mut e = self.clone();
-        e.cache = Arc::new(EvalCache::default());
+        e.mapper = Arc::new(MapperCache::new());
+        e.sims = Arc::new(Tier::default());
+        e.fuses = Arc::new(Tier::default());
         e
     }
 
-    /// Evaluation-cache hit/miss totals since this cache was created.
+    /// Fuse-tier (Stage C) hit/miss totals since this cache was created —
+    /// one lookup per *successful* per-workload evaluation, so this is the
+    /// evaluation-level reuse signal (schedule failures never reach the
+    /// fuse tier; see [`Evaluator::staged_cache_stats`] for those).
     #[must_use]
     pub fn cache_stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.cache.hits.load(Ordering::Relaxed),
-            misses: self.cache.misses.load(Ordering::Relaxed),
+        self.fuses.stats()
+    }
+
+    /// Per-stage hit/miss totals: op tier (Stage A), sim tier (Stage B),
+    /// fuse tier (Stage C).
+    #[must_use]
+    pub fn staged_cache_stats(&self) -> StagedCacheStats {
+        StagedCacheStats {
+            op: self.mapper.stats(),
+            sim: self.sims.stats(),
+            fuse: self.fuses.stats(),
         }
     }
 
@@ -339,7 +535,10 @@ impl Evaluator {
     }
 
     /// Simulates one workload on a config (pre-fusion detail), without budget
-    /// checks — used by report/breakdown code as well as `evaluate`.
+    /// checks — used by report/breakdown code as well as equivalence tests.
+    /// Op scheduling is answered from the shared Stage-A mapper cache; the
+    /// full per-node [`WorkloadPerf`] is recomputed per call (the sim tier
+    /// stores only the slim region stats).
     ///
     /// # Errors
     /// Propagates schedule failures.
@@ -350,23 +549,25 @@ impl Evaluator {
         sim: &SimOptions,
     ) -> Result<WorkloadPerf, EvalError> {
         let graph = self.graph(w, cfg.native_batch);
-        simulate(&graph, cfg, sim).map_err(|e| EvalError::ScheduleFailure(e.to_string()))
+        simulate_staged(&graph, cfg, sim, &self.mapper).map_err(EvalError::ScheduleFailure)
     }
 
-    /// Runs fusion for a simulated workload.
+    /// Runs fusion for a simulated workload (uncached).
     #[must_use]
     pub fn fuse(&self, perf: &WorkloadPerf, cfg: &DatapathConfig) -> FusionResult {
         fuse_workload(perf, cfg, &self.fusion)
     }
 
-    /// The uncached simulate→fuse→summarize pipeline for one workload.
+    /// The uncached, monolithic simulate→fuse→summarize pipeline for one
+    /// workload — the reference the staged path must reproduce bit for bit.
     fn compute_workload_eval(
         &self,
         w: Workload,
         cfg: &DatapathConfig,
         sim: &SimOptions,
     ) -> Result<WorkloadEval, EvalError> {
-        let perf = self.simulate_workload(w, cfg, sim)?;
+        let graph = self.graph(w, cfg.native_batch);
+        let perf = fast_sim::simulate(&graph, cfg, sim).map_err(EvalError::ScheduleFailure)?;
         let fused = self.fuse(&perf, cfg);
         let step = fused.total_seconds;
         let qps = (perf.batch_per_core * perf.cores) as f64 / step;
@@ -383,38 +584,71 @@ impl Evaluator {
         })
     }
 
-    /// Memoized per-workload evaluation: answers from the shared cache when
-    /// the exact `(workload, datapath, schedule, fusion)` combination has
-    /// been scored before — by any clone, on any thread — and otherwise runs
-    /// the simulator + fusion pipeline and records the outcome (schedule
-    /// failures included; they are deterministic too).
+    /// Stage A+B: the memoized per-workload assembly. Answers from the sim
+    /// tier when the exact `(workload, datapath, schedule)` combination has
+    /// been assembled before — by any clone, on any thread — and otherwise
+    /// simulates through the shared op-tier mapper cache and records the
+    /// outcome (schedule failures included; they are deterministic too).
+    fn sim_stats(
+        &self,
+        w: Workload,
+        cfg: &DatapathConfig,
+        sim: &SimOptions,
+    ) -> Result<Arc<SimStats>, SimError> {
+        let key = SimTierKey { workload: w, config: *cfg, sim: *sim };
+        self.sims.get_or_compute(key, || {
+            let graph = self.graph(w, cfg.native_batch);
+            simulate_staged(&graph, cfg, sim, &self.mapper)
+                .map(|perf| Arc::new(SimStats::from_perf(perf)))
+        })
+    }
+
+    /// Stage C: the memoized fusion solve for one assembled workload.
+    fn fused_summary(&self, stats: &SimStats, cfg: &DatapathConfig) -> FusedSummary {
+        let gm_bytes = cfg.global_memory_bytes();
+        let key = FuseKey { stats: stats.fingerprint, gm_bytes, fusion: self.fusion.clone() };
+        self.fuses.get_or_compute(key, || {
+            let fused = fast_fusion::fuse_regions(
+                &stats.regions,
+                stats.compute_seconds,
+                gm_bytes,
+                &self.fusion,
+                &stats.workload,
+            );
+            FusedSummary::of(&fused)
+        })
+    }
+
+    /// The staged per-workload evaluation: Stage A+B then Stage C, then the
+    /// summary assembly (pure arithmetic over the two cached products).
     fn workload_eval(
         &self,
         w: Workload,
         cfg: &DatapathConfig,
         sim: &SimOptions,
     ) -> Result<WorkloadEval, EvalError> {
-        let key = SimKey { workload: w, config: *cfg, sim: *sim, fusion: self.fusion.clone() };
-        if let Some(cached) = self.cache.entries.lock().expect("eval cache poisoned").get(&key) {
-            self.cache.hits.fetch_add(1, Ordering::Relaxed);
-            return (**cached).clone();
+        if !self.staged {
+            return self.compute_workload_eval(w, cfg, sim);
         }
-        // Compute outside the lock: simulation is the hot path and may run
-        // concurrently for distinct keys. Two threads racing on the same key
-        // duplicate work once; first insert wins (`or_insert_with`) and the
-        // loser adopts the cached value, so every reader of a key observes
-        // one single result for the whole run.
-        self.cache.misses.fetch_add(1, Ordering::Relaxed);
-        let result = self.compute_workload_eval(w, cfg, sim);
-        let entry = self
-            .cache
-            .entries
-            .lock()
-            .expect("eval cache poisoned")
-            .entry(key)
-            .or_insert_with(|| Arc::new(result))
-            .clone();
-        (*entry).clone()
+        let stats = self.sim_stats(w, cfg, sim).map_err(EvalError::ScheduleFailure)?;
+        let fused = self.fused_summary(&stats, cfg);
+        let step = fused.total_seconds;
+        let qps = (stats.batch_per_core * stats.cores) as f64 / step;
+        Ok(WorkloadEval {
+            workload: w,
+            step_seconds: step,
+            qps,
+            utilization: stats.matrix_flops as f64 / (step * stats.peak_flops_per_core),
+            prefusion_stall: (1.0 - stats.compute_seconds / stats.prefusion_seconds).max(0.0),
+            postfusion_stall: (1.0 - stats.compute_seconds / step).max(0.0),
+            op_intensity_pre: stats.total_flops as f64 / stats.prefusion_dram_bytes as f64,
+            op_intensity_post: if fused.dram_bytes == 0 {
+                f64::INFINITY
+            } else {
+                stats.total_flops as f64 / fused.dram_bytes as f64
+            },
+            pinned_weight_bytes: fused.pinned_weight_bytes,
+        })
     }
 
     /// Full Figure-1 evaluation of one design point.
@@ -473,56 +707,73 @@ impl Evaluator {
         self.evaluate(&cfg, &sim)
     }
 
-    /// Number of `(workload, datapath, schedule, fusion)` results currently
-    /// memoized.
+    /// Number of per-op mapper results currently memoized (Stage A).
     #[must_use]
-    pub fn eval_cache_len(&self) -> usize {
-        self.cache.entries.lock().expect("eval cache poisoned").len()
+    pub fn op_cache_len(&self) -> usize {
+        self.mapper.len()
     }
 
-    /// Writes the evaluation cache to `path` as a versioned, checksummed
-    /// snapshot; returns the number of entries written.
+    /// Number of per-workload assemblies currently memoized (Stage B).
+    #[must_use]
+    pub fn sim_cache_len(&self) -> usize {
+        self.sims.len()
+    }
+
+    /// Number of fusion solves currently memoized (Stage C).
+    #[must_use]
+    pub fn fuse_cache_len(&self) -> usize {
+        self.fuses.len()
+    }
+
+    /// The op-tier snapshot file that rides along with a fuse-tier snapshot
+    /// at `path` (`eval_cache.bin` → `eval_cache.op.bin`).
+    #[must_use]
+    pub fn op_tier_path(path: &Path) -> PathBuf {
+        path.with_extension("op.bin")
+    }
+
+    /// Writes the persistent cache tiers as versioned, checksummed
+    /// snapshots — the fuse tier at `path`, the (much larger) op tier at
+    /// [`Evaluator::op_tier_path`] — and returns the entry counts written
+    /// as `(op, fuse)`.
     ///
-    /// The write is atomic (temp file + rename), so a process killed
+    /// Each write is atomic (temp file + rename), so a process killed
     /// mid-save leaves either the previous snapshot or a temp file the
     /// loader never looks at — never a torn snapshot. Entries are sorted by
-    /// encoded key, so equal caches produce byte-identical files.
+    /// encoded key, so equal caches produce byte-identical files. The sim
+    /// tier is not persisted: it rebuilds from a warm op tier at assembly
+    /// speed, without re-running the mapper.
     ///
     /// # Errors
     /// Propagates filesystem errors.
-    pub fn save_eval_cache(&self, path: &Path) -> std::io::Result<usize> {
-        let encoded: Vec<(Vec<u8>, Vec<u8>)> = {
-            let entries = self.cache.entries.lock().expect("eval cache poisoned");
-            let mut pairs: Vec<(Vec<u8>, Vec<u8>)> =
-                entries.iter().map(|(k, v)| (k.to_bytes(), v.as_ref().to_bytes())).collect();
-            pairs.sort();
-            pairs
-        };
-        let mut payload = Writer::new();
-        payload.put_u64(encoded.len() as u64);
-        for (k, v) in &encoded {
-            payload.put_bytes(k);
-            payload.put_bytes(v);
-        }
-        let file = bin::write_envelope(CACHE_MAGIC, CACHE_VERSION, &payload.into_bytes());
-        let tmp = path.with_extension("tmp");
-        std::fs::write(&tmp, &file)?;
-        std::fs::rename(&tmp, path)?;
-        Ok(encoded.len())
+    pub fn save_eval_cache(&self, path: &Path) -> std::io::Result<(usize, usize)> {
+        let op = write_tier(&Self::op_tier_path(path), OP_MAGIC, OP_VERSION, self.mapper.export())?;
+        let fuse = write_tier(path, FUSE_MAGIC, FUSE_VERSION, self.fuses.export())?;
+        Ok((op, fuse))
     }
 
-    /// [`Evaluator::save_eval_cache`], but only when the cache holds
-    /// simulations not yet represented on disk: `saved_misses` is the miss
-    /// count at the last successful save and is advanced on success, so
-    /// rounds that simulated nothing new skip the (whole-cache) rewrite.
-    /// Failures warn and leave `saved_misses` unchanged — the next
-    /// boundary retries. Shared by the checkpointed drivers
-    /// ([`crate::FastStudy`], [`crate::SweepRunner`]).
-    pub fn save_eval_cache_if_new(&self, path: &Path, saved_misses: &mut u64) {
-        let misses = self.cache_stats().misses;
-        if misses > *saved_misses {
-            match self.save_eval_cache(path) {
-                Ok(_) => *saved_misses = misses,
+    /// [`Evaluator::save_eval_cache`], but per tier and only when that tier
+    /// holds results not yet represented on disk: `marks` carries the miss
+    /// counts at the last successful save and is advanced on success. A
+    /// fusion-only round (new fuse solves, no new mapper work) rewrites
+    /// only the small fuse file, never the op tier; rounds that computed
+    /// nothing new write nothing. Failures warn and leave the mark
+    /// unchanged — the next boundary retries. Shared by the checkpointed
+    /// drivers ([`crate::FastStudy`], [`crate::SweepRunner`]).
+    pub fn save_eval_cache_if_new(&self, path: &Path, marks: &mut SavedCacheMarks) {
+        let stats = self.staged_cache_stats();
+        if stats.op.misses > marks.op_misses {
+            let op_path = Self::op_tier_path(path);
+            match write_tier(&op_path, OP_MAGIC, OP_VERSION, self.mapper.export()) {
+                Ok(_) => marks.op_misses = stats.op.misses,
+                Err(e) => {
+                    eprintln!("warning: could not write cache snapshot {}: {e}", op_path.display());
+                }
+            }
+        }
+        if stats.fuse.misses > marks.fuse_misses {
+            match write_tier(path, FUSE_MAGIC, FUSE_VERSION, self.fuses.export()) {
+                Ok(_) => marks.fuse_misses = stats.fuse.misses,
                 Err(e) => {
                     eprintln!("warning: could not write cache snapshot {}: {e}", path.display());
                 }
@@ -530,82 +781,147 @@ impl Evaluator {
         }
     }
 
-    /// Loads a [`Evaluator::save_eval_cache`] snapshot from `path` and
-    /// merges it into this evaluator's (shared) cache.
+    /// Current per-tier miss counts, as the starting [`SavedCacheMarks`]
+    /// for [`Evaluator::save_eval_cache_if_new`] — "everything computed so
+    /// far is already represented on disk".
+    #[must_use]
+    pub fn save_marks(&self) -> SavedCacheMarks {
+        let stats = self.staged_cache_stats();
+        SavedCacheMarks { op_misses: stats.op.misses, fuse_misses: stats.fuse.misses }
+    }
+
+    /// Loads a [`Evaluator::save_eval_cache`] snapshot pair from `path` and
+    /// merges both tiers into this evaluator's (shared) caches.
     ///
     /// **Never fails and never poisons results:** a missing file is simply
-    /// a cold cache, and any damage — truncation, a wrong version byte,
-    /// endian-swapped or otherwise corrupt bytes — is detected by the
-    /// envelope (magic/version/length/checksum) or the decoders, logged to
-    /// stderr, and degrades to a cold cache. Existing in-memory entries
-    /// always win over loaded ones. Loaded entries count as neither hits
-    /// nor misses until they answer an evaluation.
+    /// a cold tier, and any damage — truncation, a wrong version byte
+    /// (including pre-split `eval_cache.bin` files, whose version no longer
+    /// matches), endian-swapped or otherwise corrupt bytes — is detected by
+    /// the envelope (magic/version/length/checksum) or the decoders, logged
+    /// to stderr, and degrades that tier to cold. Existing in-memory
+    /// entries always win over loaded ones. Loaded entries count as neither
+    /// hits nor misses until they answer an evaluation.
     pub fn load_eval_cache(&self, path: &Path) -> CacheLoadReport {
-        let bytes = match std::fs::read(path) {
-            Ok(b) => b,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                return CacheLoadReport { loaded: 0, warning: None };
-            }
-            Err(e) => return CacheLoadReport::cold(format!("reading {}: {e}", path.display())),
-        };
-        let payload = match bin::read_envelope(CACHE_MAGIC, CACHE_VERSION, &bytes) {
-            Ok(p) => p,
-            Err(e) => {
-                return CacheLoadReport::cold(format!("snapshot {}: {e}", path.display()));
-            }
-        };
-        // Decode everything before touching the shared cache: a snapshot is
-        // adopted whole or not at all.
-        let mut decoded: Vec<(SimKey, Result<WorkloadEval, EvalError>)> = Vec::new();
-        let mut r = Reader::new(payload);
-        let count = match r.get_u64() {
-            Ok(c) => c,
-            Err(e) => return CacheLoadReport::cold(format!("snapshot {}: {e}", path.display())),
-        };
-        for _ in 0..count {
-            match <(SimKey, Result<WorkloadEval, EvalError>)>::decode(&mut r) {
-                Ok(pair) => decoded.push(pair),
-                Err(e) => {
-                    return CacheLoadReport::cold(format!("snapshot {}: {e}", path.display()));
-                }
-            }
+        let mut warnings: Vec<String> = Vec::new();
+        let op_entries: Vec<(OpKey, Result<Mapping, MapFailure>)> =
+            read_tier(&Self::op_tier_path(path), OP_MAGIC, OP_VERSION, &mut warnings);
+        let op_loaded = op_entries.len();
+        self.mapper.merge(op_entries);
+        let fuse_entries: Vec<(FuseKey, FusedSummary)> =
+            read_tier(path, FUSE_MAGIC, FUSE_VERSION, &mut warnings);
+        let fuse_loaded = fuse_entries.len();
+        self.fuses.merge(fuse_entries);
+        CacheLoadReport {
+            op_loaded,
+            fuse_loaded,
+            warning: if warnings.is_empty() { None } else { Some(warnings.join("; ")) },
         }
-        if !r.is_done() {
-            return CacheLoadReport::cold(format!(
-                "snapshot {}: {} trailing bytes",
-                path.display(),
-                r.remaining()
-            ));
-        }
-        let loaded = decoded.len();
-        let mut entries = self.cache.entries.lock().expect("eval cache poisoned");
-        for (key, value) in decoded {
-            entries.entry(key).or_insert_with(|| Arc::new(value));
-        }
-        CacheLoadReport { loaded, warning: None }
     }
 }
 
-/// Magic prefix of evaluation-cache snapshot files.
-const CACHE_MAGIC: [u8; 8] = *b"FASTEVC1";
-/// Snapshot format version; bump on any layout change so old files degrade
-/// to a cold cache instead of being misread.
-const CACHE_VERSION: u32 = 1;
+/// Magic prefix of fuse-tier snapshot files (`eval_cache.bin`).
+const FUSE_MAGIC: [u8; 8] = *b"FASTEVC1";
+/// Fuse-tier format version; bump on any layout change so old files degrade
+/// to a cold cache instead of being misread. Version 1 was the pre-split
+/// monolithic `(workload, datapath, schedule, fusion) → WorkloadEval`
+/// cache; those files are rejected with a version warning.
+const FUSE_VERSION: u32 = 2;
+/// Magic prefix of op-tier snapshot files (`…op.bin`).
+const OP_MAGIC: [u8; 8] = *b"FASTOPC1";
+/// Op-tier format version.
+const OP_VERSION: u32 = 1;
+
+/// Atomically writes one tier snapshot; returns the entry count.
+fn write_tier<K: Encode, V: Encode>(
+    path: &Path,
+    magic: [u8; 8],
+    version: u32,
+    entries: Vec<(K, V)>,
+) -> std::io::Result<usize> {
+    let mut encoded: Vec<(Vec<u8>, Vec<u8>)> =
+        entries.iter().map(|(k, v)| (k.to_bytes(), v.to_bytes())).collect();
+    encoded.sort();
+    let mut payload = Writer::new();
+    payload.put_u64(encoded.len() as u64);
+    for (k, v) in &encoded {
+        payload.put_bytes(k);
+        payload.put_bytes(v);
+    }
+    let file = bin::write_envelope(magic, version, &payload.into_bytes());
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, &file)?;
+    std::fs::rename(&tmp, path)?;
+    Ok(encoded.len())
+}
+
+/// Reads one tier snapshot, degrading to an empty entry list (with a
+/// recorded warning) on any damage. A snapshot is adopted whole or not at
+/// all: everything decodes before anything is returned.
+fn read_tier<K: Decode, V: Decode>(
+    path: &Path,
+    magic: [u8; 8],
+    version: u32,
+    warnings: &mut Vec<String>,
+) -> Vec<(K, V)> {
+    let mut reject = |what: String| {
+        eprintln!("warning: evaluation-cache snapshot ignored — {what}");
+        warnings.push(what);
+        Vec::new()
+    };
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Vec::new(),
+        Err(e) => return reject(format!("reading {}: {e}", path.display())),
+    };
+    let payload = match bin::read_envelope(magic, version, &bytes) {
+        Ok(p) => p,
+        Err(e) => return reject(format!("snapshot {}: {e}", path.display())),
+    };
+    let mut r = Reader::new(payload);
+    let count = match r.get_u64() {
+        Ok(c) => c,
+        Err(e) => return reject(format!("snapshot {}: {e}", path.display())),
+    };
+    let mut decoded = Vec::new();
+    for _ in 0..count {
+        match <(K, V)>::decode(&mut r) {
+            Ok(pair) => decoded.push(pair),
+            Err(e) => return reject(format!("snapshot {}: {e}", path.display())),
+        }
+    }
+    if !r.is_done() {
+        return reject(format!("snapshot {}: {} trailing bytes", path.display(), r.remaining()));
+    }
+    decoded
+}
+
+/// Per-tier miss counts at the last successful snapshot save — the
+/// "what is already on disk" cursor of [`Evaluator::save_eval_cache_if_new`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SavedCacheMarks {
+    /// Op-tier (Stage A) miss count at the last op-file save.
+    pub op_misses: u64,
+    /// Fuse-tier (Stage C) miss count at the last fuse-file save.
+    pub fuse_misses: u64,
+}
 
 /// Outcome of [`Evaluator::load_eval_cache`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CacheLoadReport {
-    /// Entries merged into the cache (0 when cold).
-    pub loaded: usize,
-    /// Why the snapshot was rejected, if it was (also logged to stderr).
+    /// Op-tier entries merged (0 when that tier was cold).
+    pub op_loaded: usize,
+    /// Fuse-tier entries merged (0 when that tier was cold).
+    pub fuse_loaded: usize,
+    /// Why a snapshot file was rejected, if one was (also logged to
+    /// stderr); `None` when both tiers loaded (or were simply absent).
     pub warning: Option<String>,
 }
 
 impl CacheLoadReport {
-    /// A cold-cache outcome carrying (and logging) a warning.
-    fn cold(warning: String) -> Self {
-        eprintln!("warning: evaluation-cache snapshot ignored — {warning}");
-        CacheLoadReport { loaded: 0, warning: Some(warning) }
+    /// Total entries merged across both tiers.
+    #[must_use]
+    pub fn loaded(&self) -> usize {
+        self.op_loaded + self.fuse_loaded
     }
 }
 
@@ -628,99 +944,6 @@ impl Decode for Objective {
     }
 }
 
-impl Encode for SimKey {
-    fn encode(&self, w: &mut Writer) {
-        let SimKey { workload, config, sim, fusion } = self;
-        workload.encode(w);
-        config.encode(w);
-        sim.encode(w);
-        fusion.encode(w);
-    }
-}
-
-impl Decode for SimKey {
-    fn decode(r: &mut Reader<'_>) -> Result<Self, bin::DecodeError> {
-        Ok(SimKey {
-            workload: Decode::decode(r)?,
-            config: Decode::decode(r)?,
-            sim: Decode::decode(r)?,
-            fusion: Decode::decode(r)?,
-        })
-    }
-}
-
-impl Encode for WorkloadEval {
-    fn encode(&self, w: &mut Writer) {
-        let WorkloadEval {
-            workload,
-            step_seconds,
-            qps,
-            utilization,
-            prefusion_stall,
-            postfusion_stall,
-            op_intensity_pre,
-            op_intensity_post,
-            pinned_weight_bytes,
-        } = self;
-        workload.encode(w);
-        step_seconds.encode(w);
-        qps.encode(w);
-        utilization.encode(w);
-        prefusion_stall.encode(w);
-        postfusion_stall.encode(w);
-        op_intensity_pre.encode(w);
-        op_intensity_post.encode(w);
-        pinned_weight_bytes.encode(w);
-    }
-}
-
-impl Decode for WorkloadEval {
-    fn decode(r: &mut Reader<'_>) -> Result<Self, bin::DecodeError> {
-        Ok(WorkloadEval {
-            workload: Decode::decode(r)?,
-            step_seconds: Decode::decode(r)?,
-            qps: Decode::decode(r)?,
-            utilization: Decode::decode(r)?,
-            prefusion_stall: Decode::decode(r)?,
-            postfusion_stall: Decode::decode(r)?,
-            op_intensity_pre: Decode::decode(r)?,
-            op_intensity_post: Decode::decode(r)?,
-            pinned_weight_bytes: Decode::decode(r)?,
-        })
-    }
-}
-
-impl Encode for EvalError {
-    fn encode(&self, w: &mut Writer) {
-        match self {
-            EvalError::InvalidConfig(e) => {
-                w.put_u8(0);
-                e.encode(w);
-            }
-            EvalError::OverBudget { area, tdp } => {
-                w.put_u8(1);
-                area.encode(w);
-                tdp.encode(w);
-            }
-            EvalError::ScheduleFailure(e) => {
-                w.put_u8(2);
-                e.encode(w);
-            }
-        }
-    }
-}
-
-impl Decode for EvalError {
-    fn decode(r: &mut Reader<'_>) -> Result<Self, bin::DecodeError> {
-        match r.get_u8()? {
-            0 => Ok(EvalError::InvalidConfig(Decode::decode(r)?)),
-            1 => Ok(EvalError::OverBudget { area: Decode::decode(r)?, tdp: Decode::decode(r)? }),
-            2 => Ok(EvalError::ScheduleFailure(Decode::decode(r)?)),
-            t => Err(bin::DecodeError { offset: 0, what: format!("invalid EvalError tag {t}") }),
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -733,6 +956,16 @@ mod tests {
             objective,
             Budget::paper_default(),
         )
+    }
+
+    /// The `128×128` arrays / tiny-L1 config no schedule can map.
+    fn unschedulable() -> DatapathConfig {
+        let mut cfg = presets::fast_large();
+        cfg.sa_x = 128;
+        cfg.sa_y = 128;
+        cfg.pes_x = 2;
+        cfg.pes_y = 1;
+        cfg
     }
 
     #[test]
@@ -756,16 +989,18 @@ mod tests {
     }
 
     #[test]
-    fn rejects_schedule_failures() {
+    fn rejects_schedule_failures_with_structured_cause() {
         let e = evaluator(Objective::Qps);
-        let mut cfg = presets::fast_large();
-        cfg.sa_x = 128;
-        cfg.sa_y = 128;
-        cfg.pes_x = 2;
-        cfg.pes_y = 1;
         // 128×128 weight tiles (32 KiB) cannot fit in 8 KiB shared L1.
-        let err = e.evaluate(&cfg, &SimOptions::default()).unwrap_err();
-        assert!(matches!(err, EvalError::ScheduleFailure(_)), "{err:?}");
+        let err = e.evaluate(&unschedulable(), &SimOptions::default()).unwrap_err();
+        let EvalError::ScheduleFailure(sim_err) = &err else {
+            panic!("expected a schedule failure, got {err:?}");
+        };
+        // The cause is matchable without string inspection…
+        assert!(matches!(sim_err.cause, MapFailure::WeightTileDoesNotFit { .. }));
+        assert!(!sim_err.op.is_empty());
+        // …and Display keeps the historical log line shape.
+        assert!(err.to_string().starts_with("schedule failure: op `"));
     }
 
     #[test]
@@ -796,8 +1031,6 @@ mod tests {
         let e = evaluator(Objective::Qps);
         let e2 = e.clone();
         let _ = e.evaluate(&presets::fast_large(), &SimOptions::default()).unwrap();
-        // Second evaluation through the clone hits the cache (smoke test —
-        // correctness, not timing).
         let _ = e2.evaluate(&presets::fast_large(), &SimOptions::default()).unwrap();
         assert_eq!(e.graphs.lock().unwrap().len(), 1);
     }
@@ -809,13 +1042,28 @@ mod tests {
         assert_eq!(e.cache_stats(), CacheStats { hits: 0, misses: 1 });
         let _ = e.evaluate(&presets::fast_large(), &SimOptions::default()).unwrap();
         assert_eq!(e.cache_stats(), CacheStats { hits: 1, misses: 1 });
-        // Clones share the cache; fresh_eval_cache severs it.
+        // Clones share the tiers; fresh_eval_cache severs them.
         let _ = e.clone().evaluate(&presets::fast_large(), &SimOptions::default()).unwrap();
         assert_eq!(e.cache_stats().hits, 2);
         let fresh = e.fresh_eval_cache();
         let _ = fresh.evaluate(&presets::fast_large(), &SimOptions::default()).unwrap();
         assert_eq!(fresh.cache_stats(), CacheStats { hits: 0, misses: 1 });
         assert_eq!(e.cache_stats().hits, 2, "fresh clone must not touch the original");
+    }
+
+    #[test]
+    fn repeat_evaluation_is_a_hit_at_every_stage() {
+        let e = evaluator(Objective::Qps);
+        let _ = e.evaluate(&presets::fast_large(), &SimOptions::default()).unwrap();
+        let cold = e.staged_cache_stats();
+        assert_eq!(cold.sim, CacheStats { hits: 0, misses: 1 });
+        assert_eq!(cold.fuse, CacheStats { hits: 0, misses: 1 });
+        assert!(cold.op.misses > 0, "the mapper ran for every unique nest");
+        let _ = e.evaluate(&presets::fast_large(), &SimOptions::default()).unwrap();
+        let warm = e.staged_cache_stats();
+        assert_eq!(warm.sim, CacheStats { hits: 1, misses: 1 });
+        assert_eq!(warm.fuse, CacheStats { hits: 1, misses: 1 });
+        assert_eq!(warm.op, cold.op, "a sim-tier hit re-runs no mapper at all");
     }
 
     #[test]
@@ -834,35 +1082,92 @@ mod tests {
         assert_eq!(first.workloads[0].pinned_weight_bytes, cached.workloads[0].pinned_weight_bytes);
     }
 
+    /// Unit-level check of the acceptance criterion: the staged pipeline is
+    /// bit-identical to the monolithic reference path, success and failure
+    /// alike (`tests/staged_pipeline.rs` drives the full study matrix).
     #[test]
-    fn eval_cache_caches_schedule_failures() {
-        let e = evaluator(Objective::Qps);
-        let mut cfg = presets::fast_large();
-        cfg.sa_x = 128;
-        cfg.sa_y = 128;
-        cfg.pes_x = 2;
-        cfg.pes_y = 1;
-        let a = e.evaluate(&cfg, &SimOptions::default()).unwrap_err();
-        let b = e.evaluate(&cfg, &SimOptions::default()).unwrap_err();
-        assert_eq!(a, b);
-        assert_eq!(e.cache_stats(), CacheStats { hits: 1, misses: 1 });
+    fn staged_evaluation_is_bit_identical_to_monolithic() {
+        let staged = evaluator(Objective::PerfPerTdp);
+        let mono = evaluator(Objective::PerfPerTdp).monolithic();
+        let sim = SimOptions::default();
+        for cfg in [presets::fast_large(), presets::fast_small(), presets::tpu_v3()] {
+            let a = staged.evaluate(&cfg, &sim).unwrap();
+            let b = mono.evaluate(&cfg, &sim).unwrap();
+            assert_eq!(a.objective_value.to_bits(), b.objective_value.to_bits());
+            assert_eq!(a.geomean_qps.to_bits(), b.geomean_qps.to_bits());
+            for (x, y) in a.workloads.iter().zip(&b.workloads) {
+                assert_eq!(x.step_seconds.to_bits(), y.step_seconds.to_bits());
+                assert_eq!(x.qps.to_bits(), y.qps.to_bits());
+                assert_eq!(x.utilization.to_bits(), y.utilization.to_bits());
+                assert_eq!(x.prefusion_stall.to_bits(), y.prefusion_stall.to_bits());
+                assert_eq!(x.postfusion_stall.to_bits(), y.postfusion_stall.to_bits());
+                assert_eq!(x.op_intensity_pre.to_bits(), y.op_intensity_pre.to_bits());
+                assert_eq!(x.op_intensity_post.to_bits(), y.op_intensity_post.to_bits());
+                assert_eq!(x.pinned_weight_bytes, y.pinned_weight_bytes);
+            }
+        }
+        assert_eq!(
+            staged.evaluate(&unschedulable(), &sim).unwrap_err(),
+            mono.evaluate(&unschedulable(), &sim).unwrap_err(),
+            "failures must match, op name and cause included"
+        );
+        assert_eq!(mono.cache_stats(), CacheStats::default(), "monolithic touches no cache");
     }
 
     #[test]
-    fn eval_cache_distinguishes_fusion_options() {
+    fn schedule_failures_are_cached_in_the_sim_tier() {
+        let e = evaluator(Objective::Qps);
+        let cfg = unschedulable();
+        let a = e.evaluate(&cfg, &SimOptions::default()).unwrap_err();
+        let b = e.evaluate(&cfg, &SimOptions::default()).unwrap_err();
+        assert_eq!(a, b);
+        let stats = e.staged_cache_stats();
+        assert_eq!(stats.sim, CacheStats { hits: 1, misses: 1 });
+        assert_eq!(stats.fuse, CacheStats { hits: 0, misses: 0 }, "failures never reach fusion");
+    }
+
+    #[test]
+    fn eval_cache_distinguishes_fusion_options_without_remapping() {
         let base = evaluator(Objective::Qps);
         let cfg = presets::fast_large();
         let sim = SimOptions::default();
         let with_fusion =
             base.clone().with_fusion(FusionOptions { disabled: true, ..FusionOptions::default() });
         let fused = base.evaluate(&cfg, &sim).unwrap();
-        // Shares the cache Arc but must not share entries: fusion options differ.
+        let after_first = base.staged_cache_stats();
+        // Shares the tiers but must not share fuse entries: options differ.
         let unfused = with_fusion.evaluate(&cfg, &sim).unwrap();
         assert_eq!(base.cache_stats(), CacheStats { hits: 0, misses: 2 });
         assert!(
             unfused.workloads[0].step_seconds >= fused.workloads[0].step_seconds,
             "disabling fusion cannot speed the workload up"
         );
+        // The fusion-options sweep re-ran Stage C only: the assembly was a
+        // sim-tier hit and the mapper was not consulted at all.
+        let after_second = base.staged_cache_stats();
+        assert_eq!(after_second.sim, CacheStats { hits: 1, misses: 1 });
+        assert_eq!(after_second.op, after_first.op, "fusion sweeps must never re-map");
+    }
+
+    #[test]
+    fn op_tier_is_shared_across_workloads_and_batches() {
+        // B0 and B1 (and different batches of each) share conv shapes: the
+        // mapper must see cross-workload hits.
+        let e = Evaluator::new(
+            vec![
+                Workload::EfficientNet(EfficientNet::B0),
+                Workload::EfficientNet(EfficientNet::B1),
+            ],
+            Objective::Qps,
+            Budget::paper_default(),
+        );
+        let _ = e.evaluate(&presets::fast_large(), &SimOptions::default()).unwrap();
+        let stats = e.staged_cache_stats();
+        assert!(
+            stats.op.hits > 0,
+            "B0/B1 share op shapes; expected cross-workload mapper hits, got {stats:?}"
+        );
+        assert_eq!(e.op_cache_len() as u64, stats.op.misses, "one miss per unique shape");
     }
 
     #[test]
@@ -874,7 +1179,7 @@ mod tests {
         let _ = base.evaluate(&cfg, &sim).unwrap();
         assert_eq!(base.cache_stats(), CacheStats { hits: 0, misses: 1 });
         // Different objective and a tighter (still admitting) budget: the
-        // simulation is a cache hit.
+        // whole pipeline is a cache hit.
         let tighter = Budget {
             max_area_mm2: Budget::paper_default().max_area_mm2 * 0.9,
             max_tdp_w: Budget::paper_default().max_tdp_w * 0.9,
@@ -900,146 +1205,6 @@ mod tests {
         assert_eq!(base.cache_stats(), CacheStats { hits: 2, misses: 2 });
     }
 
-    /// A per-test scratch path under the target-adjacent temp dir.
-    fn scratch(name: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir().join(format!("fast-evc-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        dir.join(name)
-    }
-
-    #[test]
-    fn cache_snapshot_round_trips_bit_identically() {
-        let e = evaluator(Objective::PerfPerTdp);
-        let sim = SimOptions::default();
-        let first = e.evaluate(&presets::fast_large(), &sim).unwrap();
-        // A cached schedule failure rides along.
-        let mut bad = presets::fast_large();
-        bad.sa_x = 128;
-        bad.sa_y = 128;
-        bad.pes_x = 2;
-        bad.pes_y = 1;
-        let _ = e.evaluate(&bad, &sim).unwrap_err();
-        assert_eq!(e.eval_cache_len(), 2);
-
-        let path = scratch("roundtrip.bin");
-        assert_eq!(e.save_eval_cache(&path).unwrap(), 2);
-
-        let fresh = e.fresh_eval_cache();
-        let report = fresh.load_eval_cache(&path);
-        assert_eq!(report, CacheLoadReport { loaded: 2, warning: None });
-        assert_eq!(fresh.eval_cache_len(), 2);
-        // Warm: both lookups are hits, and the success is bit-identical.
-        let warm = fresh.evaluate(&presets::fast_large(), &sim).unwrap();
-        let bad_again = fresh.evaluate(&bad, &sim).unwrap_err();
-        assert_eq!(fresh.cache_stats(), CacheStats { hits: 2, misses: 0 });
-        assert_eq!(warm.objective_value.to_bits(), first.objective_value.to_bits());
-        assert_eq!(
-            warm.workloads[0].step_seconds.to_bits(),
-            first.workloads[0].step_seconds.to_bits()
-        );
-        assert!(matches!(bad_again, EvalError::ScheduleFailure(_)));
-    }
-
-    #[test]
-    fn cache_snapshot_missing_file_is_silently_cold() {
-        let e = evaluator(Objective::Qps);
-        let report = e.load_eval_cache(&scratch("never-written.bin"));
-        assert_eq!(report, CacheLoadReport { loaded: 0, warning: None });
-    }
-
-    #[test]
-    fn cache_snapshot_rejects_truncation_at_every_length() {
-        let e = evaluator(Objective::Qps);
-        let _ = e.evaluate(&presets::fast_large(), &SimOptions::default()).unwrap();
-        let path = scratch("truncate.bin");
-        e.save_eval_cache(&path).unwrap();
-        let bytes = std::fs::read(&path).unwrap();
-
-        for cut in [0, 1, bin::ENVELOPE_HEADER_LEN - 1, bin::ENVELOPE_HEADER_LEN, bytes.len() - 1] {
-            let cut_path = scratch("truncated.bin");
-            std::fs::write(&cut_path, &bytes[..cut]).unwrap();
-            let fresh = e.fresh_eval_cache();
-            let report = fresh.load_eval_cache(&cut_path);
-            assert_eq!(report.loaded, 0, "cut at {cut}");
-            assert!(report.warning.is_some(), "cut at {cut}");
-            assert_eq!(fresh.eval_cache_len(), 0, "cut at {cut}: cold means cold");
-        }
-    }
-
-    #[test]
-    fn cache_snapshot_rejects_version_skew() {
-        let e = evaluator(Objective::Qps);
-        let _ = e.evaluate(&presets::fast_large(), &SimOptions::default()).unwrap();
-        let path = scratch("version.bin");
-        e.save_eval_cache(&path).unwrap();
-        let mut bytes = std::fs::read(&path).unwrap();
-        bytes[8] = bytes[8].wrapping_add(1); // version u32's low byte
-        std::fs::write(&path, &bytes).unwrap();
-        let fresh = e.fresh_eval_cache();
-        let report = fresh.load_eval_cache(&path);
-        assert_eq!(report.loaded, 0);
-        assert!(report.warning.unwrap().contains("version"), "must name the version skew");
-    }
-
-    #[test]
-    fn cache_snapshot_rejects_foreign_endian_garbage() {
-        let e = evaluator(Objective::Qps);
-        let _ = e.evaluate(&presets::fast_large(), &SimOptions::default()).unwrap();
-        let path = scratch("endian.bin");
-        e.save_eval_cache(&path).unwrap();
-        let bytes = std::fs::read(&path).unwrap();
-
-        // Byte-swap the payload as a big-endian writer would have produced
-        // it: the checksum (computed over the little-endian payload) fails.
-        let mut swapped = bytes.clone();
-        swapped[bin::ENVELOPE_HEADER_LEN..].reverse();
-        std::fs::write(&path, &swapped).unwrap();
-        let fresh = e.fresh_eval_cache();
-        let report = fresh.load_eval_cache(&path);
-        assert_eq!(report.loaded, 0);
-        assert!(report.warning.is_some());
-
-        // Arbitrary garbage of plausible size: bad magic.
-        std::fs::write(&path, vec![0xA5u8; 256]).unwrap();
-        let report = fresh.load_eval_cache(&path);
-        assert_eq!(report.loaded, 0);
-        assert!(report.warning.unwrap().contains("magic"));
-        assert_eq!(fresh.eval_cache_len(), 0);
-    }
-
-    #[test]
-    fn cache_snapshot_checksum_catches_flipped_payload_bits() {
-        let e = evaluator(Objective::Qps);
-        let _ = e.evaluate(&presets::fast_large(), &SimOptions::default()).unwrap();
-        let path = scratch("bitflip.bin");
-        e.save_eval_cache(&path).unwrap();
-        let mut bytes = std::fs::read(&path).unwrap();
-        let last = bytes.len() - 1;
-        bytes[last] ^= 0x10;
-        std::fs::write(&path, &bytes).unwrap();
-        let fresh = e.fresh_eval_cache();
-        let report = fresh.load_eval_cache(&path);
-        assert_eq!(report.loaded, 0);
-        assert!(report.warning.unwrap().contains("checksum"));
-    }
-
-    #[test]
-    fn cache_snapshot_merge_keeps_existing_entries() {
-        let e = evaluator(Objective::Qps);
-        let sim = SimOptions::default();
-        let _ = e.evaluate(&presets::fast_large(), &sim).unwrap();
-        let path = scratch("merge.bin");
-        e.save_eval_cache(&path).unwrap();
-
-        // An evaluator that already simulated one of the snapshot's keys
-        // keeps its own entry and gains nothing new for it.
-        let other = e.fresh_eval_cache();
-        let _ = other.evaluate(&presets::fast_large(), &sim).unwrap();
-        let report = other.load_eval_cache(&path);
-        assert_eq!(report.loaded, 1);
-        assert_eq!(other.eval_cache_len(), 1);
-    }
-
     #[test]
     fn eval_cache_distinguishes_objectives_without_resimulating() {
         // Multi-objective re-scoring: same design under QPS and Perf/TDP
@@ -1053,5 +1218,239 @@ mod tests {
         assert_eq!(qps_eval.cache_stats(), CacheStats { hits: 1, misses: 1 });
         assert_eq!(a.geomean_qps.to_bits(), b.geomean_qps.to_bits());
         assert!(b.objective_value < a.objective_value);
+    }
+
+    /// A per-test scratch path under the target-adjacent temp dir.
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("fast-evc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn cache_snapshot_round_trips_both_tiers_bit_identically() {
+        let e = evaluator(Objective::PerfPerTdp);
+        let sim = SimOptions::default();
+        let first = e.evaluate(&presets::fast_large(), &sim).unwrap();
+        // A cached schedule failure rides along in the op tier.
+        let bad = unschedulable();
+        let _ = e.evaluate(&bad, &sim).unwrap_err();
+
+        let path = scratch("roundtrip.bin");
+        let (op_written, fuse_written) = e.save_eval_cache(&path).unwrap();
+        assert_eq!(op_written, e.op_cache_len());
+        assert_eq!(fuse_written, 1, "one successful fusion solve");
+        assert!(Evaluator::op_tier_path(&path).exists());
+
+        let fresh = e.fresh_eval_cache();
+        let report = fresh.load_eval_cache(&path);
+        assert_eq!(report.op_loaded, op_written);
+        assert_eq!(report.fuse_loaded, 1);
+        assert_eq!(report.warning, None);
+        assert_eq!(report.loaded(), op_written + 1);
+        // Warm: the success re-assembles from the op tier and answers
+        // fusion from the fuse tier, bit-identically; the failure replays
+        // from the cached op-tier failure without ever running the mapper.
+        let warm = fresh.evaluate(&presets::fast_large(), &sim).unwrap();
+        let bad_again = fresh.evaluate(&bad, &sim).unwrap_err();
+        let stats = fresh.staged_cache_stats();
+        assert_eq!(stats.fuse, CacheStats { hits: 1, misses: 0 });
+        assert_eq!(stats.op.misses, 0, "a loaded op tier re-maps nothing");
+        assert!(stats.op.hits > 0);
+        assert_eq!(warm.objective_value.to_bits(), first.objective_value.to_bits());
+        assert_eq!(
+            warm.workloads[0].step_seconds.to_bits(),
+            first.workloads[0].step_seconds.to_bits()
+        );
+        assert!(matches!(bad_again, EvalError::ScheduleFailure(_)));
+    }
+
+    #[test]
+    fn cache_snapshot_missing_files_are_silently_cold() {
+        let e = evaluator(Objective::Qps);
+        let report = e.load_eval_cache(&scratch("never-written.bin"));
+        assert_eq!(report, CacheLoadReport { op_loaded: 0, fuse_loaded: 0, warning: None });
+    }
+
+    #[test]
+    fn old_format_eval_cache_degrades_to_a_warned_cold_cache() {
+        // A version-1 file is what the pre-split monolithic cache wrote;
+        // its payload layout is unreadable now, so the version gate must
+        // reject it before any decoding is attempted.
+        let path = scratch("old-format.bin");
+        let old = bin::write_envelope(FUSE_MAGIC, 1, b"pre-split cache payload");
+        std::fs::write(&path, &old).unwrap();
+        let e = evaluator(Objective::Qps);
+        let report = e.load_eval_cache(&path);
+        assert_eq!(report.fuse_loaded, 0);
+        assert!(report.warning.unwrap().contains("version"), "must name the version skew");
+        assert_eq!(e.fuse_cache_len(), 0, "cold means cold");
+    }
+
+    /// Writes both tier files for corruption tests, returning `(op, fuse)`
+    /// paths.
+    fn saved_snapshot(e: &Evaluator, name: &str) -> (std::path::PathBuf, std::path::PathBuf) {
+        let path = scratch(name);
+        e.save_eval_cache(&path).unwrap();
+        (Evaluator::op_tier_path(&path), path)
+    }
+
+    #[test]
+    fn cache_snapshot_rejects_truncation_at_every_length_in_both_tiers() {
+        let e = evaluator(Objective::Qps);
+        let _ = e.evaluate(&presets::fast_large(), &SimOptions::default()).unwrap();
+        let (op_path, fuse_path) = saved_snapshot(&e, "truncate.bin");
+
+        for (tier, source) in [("op", &op_path), ("fuse", &fuse_path)] {
+            let bytes = std::fs::read(source).unwrap();
+            for cut in
+                [0, 1, bin::ENVELOPE_HEADER_LEN - 1, bin::ENVELOPE_HEADER_LEN, bytes.len() - 1]
+            {
+                let target = scratch("truncated.bin");
+                // Rebuild the pair: one tier intact, the other truncated.
+                e.save_eval_cache(&target).unwrap();
+                let cut_path =
+                    if tier == "op" { Evaluator::op_tier_path(&target) } else { target.clone() };
+                std::fs::write(&cut_path, &bytes[..cut]).unwrap();
+                let fresh = e.fresh_eval_cache();
+                let report = fresh.load_eval_cache(&target);
+                if tier == "op" {
+                    assert_eq!(report.op_loaded, 0, "{tier} cut at {cut}");
+                    assert_eq!(fresh.op_cache_len(), 0, "{tier} cut at {cut}: cold means cold");
+                } else {
+                    assert_eq!(report.fuse_loaded, 0, "{tier} cut at {cut}");
+                    assert_eq!(fresh.fuse_cache_len(), 0, "{tier} cut at {cut}: cold means cold");
+                }
+                assert!(report.warning.is_some(), "{tier} cut at {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn cache_snapshot_rejects_version_skew_per_tier() {
+        let e = evaluator(Objective::Qps);
+        let _ = e.evaluate(&presets::fast_large(), &SimOptions::default()).unwrap();
+        for tier in ["op", "fuse"] {
+            let (op_path, fuse_path) = saved_snapshot(&e, &format!("version-{tier}.bin"));
+            let skewed = if tier == "op" { &op_path } else { &fuse_path };
+            let mut bytes = std::fs::read(skewed).unwrap();
+            bytes[8] = bytes[8].wrapping_add(1); // version u32's low byte
+            std::fs::write(skewed, &bytes).unwrap();
+            let fresh = e.fresh_eval_cache();
+            let report = fresh.load_eval_cache(&fuse_path);
+            if tier == "op" {
+                assert_eq!(report.op_loaded, 0);
+                assert!(report.fuse_loaded > 0, "the intact tier still loads");
+            } else {
+                assert_eq!(report.fuse_loaded, 0);
+                assert!(report.op_loaded > 0, "the intact tier still loads");
+            }
+            assert!(report.warning.unwrap().contains("version"), "must name the version skew");
+        }
+    }
+
+    #[test]
+    fn cache_snapshot_rejects_foreign_endian_garbage() {
+        let e = evaluator(Objective::Qps);
+        let _ = e.evaluate(&presets::fast_large(), &SimOptions::default()).unwrap();
+        let (op_path, fuse_path) = saved_snapshot(&e, "endian.bin");
+
+        // Byte-swap both payloads as a big-endian writer would have
+        // produced them: the checksums (computed over the little-endian
+        // payloads) fail.
+        for path in [&op_path, &fuse_path] {
+            let mut swapped = std::fs::read(path).unwrap();
+            swapped[bin::ENVELOPE_HEADER_LEN..].reverse();
+            std::fs::write(path, &swapped).unwrap();
+        }
+        let fresh = e.fresh_eval_cache();
+        let report = fresh.load_eval_cache(&fuse_path);
+        assert_eq!(report.loaded(), 0);
+        assert!(report.warning.is_some());
+
+        // Arbitrary garbage of plausible size: bad magic, both tiers.
+        std::fs::write(&op_path, vec![0xA5u8; 256]).unwrap();
+        std::fs::write(&fuse_path, vec![0xA5u8; 256]).unwrap();
+        let report = fresh.load_eval_cache(&fuse_path);
+        assert_eq!(report.loaded(), 0);
+        assert!(report.warning.unwrap().contains("magic"));
+        assert_eq!(fresh.op_cache_len(), 0);
+        assert_eq!(fresh.fuse_cache_len(), 0);
+    }
+
+    #[test]
+    fn cache_snapshot_checksum_catches_flipped_payload_bits_in_both_tiers() {
+        let e = evaluator(Objective::Qps);
+        let _ = e.evaluate(&presets::fast_large(), &SimOptions::default()).unwrap();
+        for tier in ["op", "fuse"] {
+            let (op_path, fuse_path) = saved_snapshot(&e, &format!("bitflip-{tier}.bin"));
+            let flipped = if tier == "op" { &op_path } else { &fuse_path };
+            let mut bytes = std::fs::read(flipped).unwrap();
+            let last = bytes.len() - 1;
+            bytes[last] ^= 0x10;
+            std::fs::write(flipped, &bytes).unwrap();
+            let fresh = e.fresh_eval_cache();
+            let report = fresh.load_eval_cache(&fuse_path);
+            if tier == "op" {
+                assert_eq!(report.op_loaded, 0, "flipped op bit must void the op tier");
+            } else {
+                assert_eq!(report.fuse_loaded, 0, "flipped fuse bit must void the fuse tier");
+            }
+            assert!(report.warning.unwrap().contains("checksum"));
+        }
+    }
+
+    #[test]
+    fn cache_snapshot_merge_keeps_existing_entries() {
+        let e = evaluator(Objective::Qps);
+        let sim = SimOptions::default();
+        let _ = e.evaluate(&presets::fast_large(), &sim).unwrap();
+        let path = scratch("merge.bin");
+        e.save_eval_cache(&path).unwrap();
+
+        // An evaluator that already computed the snapshot's keys keeps its
+        // own entries and gains nothing new for them.
+        let other = e.fresh_eval_cache();
+        let _ = other.evaluate(&presets::fast_large(), &sim).unwrap();
+        let report = other.load_eval_cache(&path);
+        assert_eq!(report.fuse_loaded, 1);
+        assert_eq!(other.fuse_cache_len(), 1);
+        assert_eq!(other.op_cache_len() as u64, other.staged_cache_stats().op.misses);
+    }
+
+    #[test]
+    fn fusion_only_rounds_rewrite_only_the_fuse_file() {
+        let e = evaluator(Objective::Qps);
+        let path = scratch("marks.bin");
+        let mut marks = e.save_marks();
+        assert_eq!(marks, SavedCacheMarks::default());
+
+        // Round 1: fresh simulation — both files written.
+        let _ = e.evaluate(&presets::fast_large(), &SimOptions::default()).unwrap();
+        e.save_eval_cache_if_new(&path, &mut marks);
+        let op_path = Evaluator::op_tier_path(&path);
+        let op_mtime = |p: &Path| std::fs::metadata(p).unwrap().modified().unwrap();
+        assert!(path.exists() && op_path.exists());
+        let op_written = std::fs::read(&op_path).unwrap();
+        let t0 = op_mtime(&op_path);
+
+        // Round 2: a fusion-only change (same datapath, new options) — the
+        // op tier gained nothing, so only the fuse file may be rewritten.
+        let sweep = e
+            .clone()
+            .with_fusion(FusionOptions { residency_window: 1, ..FusionOptions::default() });
+        let _ = sweep.evaluate(&presets::fast_large(), &SimOptions::default()).unwrap();
+        let fuse_before = std::fs::read(&path).unwrap();
+        sweep.save_eval_cache_if_new(&path, &mut marks);
+        assert_eq!(std::fs::read(&op_path).unwrap(), op_written, "op tier must not be rewritten");
+        assert_eq!(op_mtime(&op_path), t0, "op tier file untouched by a fusion-only round");
+        assert_ne!(std::fs::read(&path).unwrap(), fuse_before, "fuse tier gained an entry");
+
+        // Round 3: nothing new — neither file is rewritten.
+        let fuse_now = std::fs::read(&path).unwrap();
+        let _ = sweep.evaluate(&presets::fast_large(), &SimOptions::default()).unwrap();
+        sweep.save_eval_cache_if_new(&path, &mut marks);
+        assert_eq!(std::fs::read(&path).unwrap(), fuse_now);
+        assert_eq!(std::fs::read(&op_path).unwrap(), op_written);
     }
 }

@@ -51,7 +51,8 @@ pub use driver::{run_fast_search, run_fast_search_parallel};
 pub use driver::{FastStudy, OptimizerKind, SearchConfig, SearchOutcome, SearchReport};
 // The unified study axes, re-exported so driver callers need one import.
 pub use evaluate::{
-    CacheLoadReport, CacheStats, DesignEval, EvalError, Evaluator, Objective, WorkloadEval,
+    CacheLoadReport, CacheStats, DesignEval, EvalError, Evaluator, Objective, SavedCacheMarks,
+    StagedCacheStats, WorkloadEval,
 };
 pub use fast_search::{Durability, Execution, StudyConfigError, StudyObjective, StudyReport};
 pub use report::{design_report, relative_to_tpu, DesignReport, RelativePerf};

@@ -17,7 +17,7 @@
 //! any frontier.
 
 use crate::driver::{OptimizerKind, SeededOptimizer};
-use crate::evaluate::{CacheStats, Evaluator, Objective};
+use crate::evaluate::{CacheStats, Evaluator, Objective, StagedCacheStats};
 use crate::search_space::FastSpace;
 use fast_arch::{Budget, DatapathConfig};
 use fast_models::WorkloadDomain;
@@ -200,9 +200,12 @@ pub struct ScenarioResult {
     pub best_objective: Option<f64>,
     /// Number of safe-search rejections.
     pub invalid_trials: usize,
-    /// Evaluation-cache traffic attributable to this scenario's study
-    /// (hits/misses delta across its Pareto study).
+    /// Fuse-tier traffic attributable to this scenario's study (hit/miss
+    /// delta across its Pareto study) — one lookup per successful
+    /// per-workload evaluation.
     pub cache: CacheStats,
+    /// Per-stage (op/sim/fuse) hit/miss deltas across this scenario.
+    pub staged: StagedCacheStats,
 }
 
 impl ScenarioResult {
@@ -224,8 +227,10 @@ impl ScenarioResult {
 pub struct SweepResult {
     /// Per-scenario results, in matrix expansion order.
     pub scenarios: Vec<ScenarioResult>,
-    /// Total cache traffic across the sweep.
+    /// Total fuse-tier traffic across the sweep.
     pub total_cache: CacheStats,
+    /// Total per-stage (op/sim/fuse) traffic across the sweep.
+    pub total_staged: StagedCacheStats,
 }
 
 impl SweepResult {
@@ -502,20 +507,23 @@ impl SweepRunner {
         if resume {
             if let Some(ck) = ck {
                 let report = proto.load_eval_cache(&ck.cache_path());
-                if report.loaded > 0 {
+                if report.loaded() > 0 {
                     eprintln!(
-                        "resuming: {} cached evaluations loaded from {}",
-                        report.loaded,
-                        ck.cache_path().display()
+                        "resuming: {} cached results loaded from {} ({} op-tier, {} fuse-tier)",
+                        report.loaded(),
+                        ck.cache_path().display(),
+                        report.op_loaded,
+                        report.fuse_loaded,
                     );
                 }
                 ledger =
                     ck.load_ledger(fingerprint).into_iter().map(|c| (c.name.clone(), c)).collect();
             }
         }
-        // Misses already represented in the on-disk cache snapshot; rounds
-        // that add none skip the (whole-cache) re-save.
-        let mut saved_misses = proto.cache_stats().misses;
+        // Misses already represented in the on-disk snapshots; rounds that
+        // add nothing to a tier skip that tier's re-save (a fusion-only
+        // round rewrites only the small fuse file).
+        let mut marks = proto.save_marks();
         let mut completed: Vec<CompletedScenario> = Vec::new();
 
         let all = self.matrix.scenarios();
@@ -529,6 +537,7 @@ impl SweepRunner {
                 scenario.budget,
             );
             let before = evaluator.cache_stats();
+            let staged_before = evaluator.staged_cache_stats();
             let mut opt = SeededOptimizer::new(self.config.optimizer.build(), seeds.clone());
             let mut evaluate_round = |points: &[Vec<usize>]| {
                 // Score each *unique* point once, in parallel, then fan
@@ -554,7 +563,7 @@ impl SweepRunner {
                 // Round boundary: persist newly-simulated results so a
                 // kill mid-scenario only re-pays this round's proposals.
                 if let Some(ck) = ck {
-                    evaluator.save_eval_cache_if_new(&ck.cache_path(), &mut saved_misses);
+                    evaluator.save_eval_cache_if_new(&ck.cache_path(), &mut marks);
                 }
                 points.iter().map(|p| scored[index_of[p]].clone()).collect::<Vec<_>>()
             };
@@ -568,6 +577,7 @@ impl SweepRunner {
             let after = evaluator.cache_stats();
             let cache =
                 CacheStats { hits: after.hits - before.hits, misses: after.misses - before.misses };
+            let staged = evaluator.staged_cache_stats().since(&staged_before);
 
             // Decode the frontier into design summaries; re-evaluation is a
             // cache hit by construction (every frontier point was valid).
@@ -619,10 +629,15 @@ impl SweepRunner {
                 best_objective,
                 invalid_trials: study.invalid_trials,
                 cache,
+                staged,
             });
         }
 
-        SweepResult { scenarios, total_cache: proto.cache_stats() }
+        SweepResult {
+            scenarios,
+            total_cache: proto.cache_stats(),
+            total_staged: proto.staged_cache_stats(),
+        }
     }
 }
 

@@ -40,9 +40,124 @@
 
 use fast_arch::DatapathConfig;
 use fast_ilp::{solve_milp, MilpStatus, Problem, Sense, SolveOptions, VarId};
-use fast_sim::WorkloadPerf;
+use fast_sim::{RegionPerf, WorkloadPerf};
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
+
+/// A collision-resistant fingerprint of the fusion inputs: everything
+/// [`fuse_regions`] reads from the region statistics, canonically encoded
+/// and hashed twice (independent FNV-1a streams) together with the encoded
+/// length. Two identical fingerprints identify identical fusion problems
+/// for all practical purposes (a collision needs two stat blocks agreeing
+/// on both 64-bit digests *and* their length).
+///
+/// This is the `FuseKey` ingredient evaluation caches key Stage C on:
+/// datapaths that differ only in mapper-invisible *and* fusion-invisible
+/// ways (or distinct workloads with identical region statistics) share one
+/// fusion solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StatsFingerprint {
+    /// FNV-1a over the canonical encoding (standard offset basis).
+    pub hash_a: u64,
+    /// FNV-1a over the same bytes from an independent seed.
+    pub hash_b: u64,
+    /// Length of the canonical encoding in bytes.
+    pub len: u64,
+}
+
+impl serde::bin::Encode for StatsFingerprint {
+    fn encode(&self, w: &mut serde::bin::Writer) {
+        let StatsFingerprint { hash_a, hash_b, len } = *self;
+        hash_a.encode(w);
+        hash_b.encode(w);
+        len.encode(w);
+    }
+}
+
+impl serde::bin::Decode for StatsFingerprint {
+    fn decode(r: &mut serde::bin::Reader<'_>) -> Result<Self, serde::bin::DecodeError> {
+        Ok(StatsFingerprint {
+            hash_a: u64::decode(r)?,
+            hash_b: u64::decode(r)?,
+            len: u64::decode(r)?,
+        })
+    }
+}
+
+/// FNV-1a with a caller-chosen initial state (the second, independent
+/// digest of [`StatsFingerprint`]).
+fn fnv1a_seeded(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = seed;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Fingerprints the inputs of [`fuse_regions`] (minus the Global-Memory
+/// capacity and the options, which cache keys carry verbatim).
+///
+/// Every [`RegionPerf`] field the pass reads is encoded — floats as raw
+/// bits — via an exhaustive destructure, so adding a field without
+/// classifying it here is a compile error. Three fields are deliberately
+/// *excluded* as identity/display-only: the region id and the name (node
+/// names and graph ids never influence placements — only `primary_input`,
+/// the positional linkage the ILP consumes, does) and the group tag.
+#[must_use]
+pub fn stats_fingerprint(regions: &[RegionPerf], compute_seconds: f64) -> StatsFingerprint {
+    use serde::bin::Encode as _;
+    let mut w = serde::bin::Writer::new();
+    compute_seconds.encode(&mut w);
+    (regions.len() as u64).encode(&mut w);
+    for r in regions {
+        let RegionPerf {
+            region: _, // graph id: identity-only, never read by fusion
+            name: _,   // display-only
+            group: _,  // display-only
+            compute_seconds,
+            flops,
+            in_bytes,
+            primary_in_bytes,
+            out_bytes,
+            weight_bytes,
+            weight_store_bytes,
+            spill_bytes,
+            t_min,
+            t_max,
+            t_in,
+            t_fixed,
+            t_out,
+            t_weight,
+            resident_buffer_bytes,
+            primary_input,
+            row_streamable,
+        } = r;
+        compute_seconds.encode(&mut w);
+        flops.encode(&mut w);
+        in_bytes.encode(&mut w);
+        primary_in_bytes.encode(&mut w);
+        out_bytes.encode(&mut w);
+        weight_bytes.encode(&mut w);
+        weight_store_bytes.encode(&mut w);
+        spill_bytes.encode(&mut w);
+        t_min.encode(&mut w);
+        t_max.encode(&mut w);
+        t_in.encode(&mut w);
+        t_fixed.encode(&mut w);
+        t_out.encode(&mut w);
+        t_weight.encode(&mut w);
+        resident_buffer_bytes.encode(&mut w);
+        primary_input.encode(&mut w);
+        row_streamable.encode(&mut w);
+    }
+    let bytes = w.into_bytes();
+    StatsFingerprint {
+        hash_a: serde::bin::fnv1a(&bytes),
+        hash_b: fnv1a_seeded(0x8422_2325_CBF2_9CE4, &bytes),
+        len: bytes.len() as u64,
+    }
+}
 
 /// Per-region tensor placement decided by FAST fusion.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -196,11 +311,11 @@ struct Eligibility {
 }
 
 /// Computes which placements can possibly help (the variable pruning pass).
-fn eligibility(perf: &WorkloadPerf, window: usize) -> Vec<Eligibility> {
-    let n = perf.regions.len();
+fn eligibility(regions: &[RegionPerf], window: usize) -> Vec<Eligibility> {
+    let n = regions.len();
     let mut elig: Vec<Eligibility> =
         (0..n).map(|_| Eligibility { input: false, output: false, weight: false }).collect();
-    for (i, r) in perf.regions.iter().enumerate() {
+    for (i, r) in regions.iter().enumerate() {
         // Input from GM only if the producer ran within the residency window.
         if let Some(j) = r.primary_input {
             if j < i && i - j <= window && r.primary_in_bytes > 0 {
@@ -214,13 +329,13 @@ fn eligibility(perf: &WorkloadPerf, window: usize) -> Vec<Eligibility> {
     // Output to GM only if some in-window successor consumes it.
     for i in 0..n {
         let consumer_ok = (i + 1..n.min(i + window + 1))
-            .any(|k| elig[k].input && perf.regions[k].primary_input == Some(i));
-        elig[i].output = consumer_ok && perf.regions[i].out_bytes > 0;
+            .any(|k| elig[k].input && regions[k].primary_input == Some(i));
+        elig[i].output = consumer_ok && regions[i].out_bytes > 0;
     }
     // Inputs whose producer cannot store: disable.
     for i in 0..n {
         if elig[i].input {
-            let j = perf.regions[i].primary_input.expect("checked above");
+            let j = regions[i].primary_input.expect("checked above");
             if !elig[j].output {
                 elig[i].input = false;
             }
@@ -232,10 +347,10 @@ fn eligibility(perf: &WorkloadPerf, window: usize) -> Vec<Eligibility> {
 /// Global-Memory bytes a fused input tensor occupies: whole tensors in
 /// general, but adjacent row-streamable chains (attention einsum → softmax →
 /// einsum) are inter-op blocked and only hold a streaming tile (§5.5).
-fn fused_input_charge(perf: &WorkloadPerf, i: usize, gm_bytes: u64) -> u64 {
-    let r = &perf.regions[i];
+fn fused_input_charge(regions: &[RegionPerf], i: usize, gm_bytes: u64) -> u64 {
+    let r = &regions[i];
     let blockable = r.row_streamable
-        && r.primary_input.is_some_and(|j| j + 1 == i && perf.regions[j].row_streamable);
+        && r.primary_input.is_some_and(|j| j + 1 == i && regions[j].row_streamable);
     if blockable {
         r.primary_in_bytes.min(gm_bytes / 4)
     } else {
@@ -246,20 +361,18 @@ fn fused_input_charge(perf: &WorkloadPerf, i: usize, gm_bytes: u64) -> u64 {
 /// Per-layer Global-Memory usage rows for a placement vector: streaming
 /// buffers + pinned weights + every fused activation resident across its
 /// producer→consumer span.
-fn capacity_rows(perf: &WorkloadPerf, gm_bytes: u64, placements: &[Placement]) -> Vec<u64> {
-    let pinned: u64 = perf
-        .regions
+fn capacity_rows(regions: &[RegionPerf], gm_bytes: u64, placements: &[Placement]) -> Vec<u64> {
+    let pinned: u64 = regions
         .iter()
         .zip(placements)
         .filter(|(_, p)| p.weight_gm)
         .map(|(r, _)| r.weight_store_bytes)
         .sum();
-    let mut rows: Vec<u64> =
-        perf.regions.iter().map(|r| r.resident_buffer_bytes + pinned).collect();
-    for (i, (r, p)) in perf.regions.iter().zip(placements).enumerate() {
+    let mut rows: Vec<u64> = regions.iter().map(|r| r.resident_buffer_bytes + pinned).collect();
+    for (i, (r, p)) in regions.iter().zip(placements).enumerate() {
         if p.input_gm {
             if let Some(j) = r.primary_input {
-                let charge = fused_input_charge(perf, i, gm_bytes);
+                let charge = fused_input_charge(regions, i, gm_bytes);
                 for row in rows.iter_mut().take(i + 1).skip(j) {
                     *row += charge;
                 }
@@ -279,19 +392,23 @@ struct Evaluation {
     dram: u64,
 }
 
-fn evaluate(perf: &WorkloadPerf, gm_bytes: u64, placements: &[Placement]) -> Evaluation {
-    let pinned: u64 = perf
-        .regions
+fn evaluate(
+    regions: &[RegionPerf],
+    compute_seconds: f64,
+    gm_bytes: u64,
+    placements: &[Placement],
+) -> Evaluation {
+    let pinned: u64 = regions
         .iter()
         .zip(placements)
         .filter(|(_, p)| p.weight_gm)
         .map(|(r, _)| r.weight_store_bytes)
         .sum();
-    let mut times = Vec::with_capacity(perf.regions.len());
+    let mut times = Vec::with_capacity(regions.len());
     let mut sum_times = 0.0;
     let mut dram = 0u64;
     let mut dram_seconds = 0.0;
-    for (r, p) in perf.regions.iter().zip(placements) {
+    for (r, p) in regions.iter().zip(placements) {
         let t = r.time_with_placements(p.input_gm, p.output_gm, p.weight_gm);
         times.push(t);
         sum_times += t;
@@ -308,11 +425,11 @@ fn evaluate(perf: &WorkloadPerf, gm_bytes: u64, placements: &[Placement]) -> Eva
         }
         dram_seconds += d;
     }
-    let peak = capacity_rows(perf, gm_bytes, placements).into_iter().max().unwrap_or(0);
+    let peak = capacity_rows(regions, gm_bytes, placements).into_iter().max().unwrap_or(0);
     Evaluation {
         times,
         sum_times,
-        overlapped_total: perf.compute_seconds.max(dram_seconds),
+        overlapped_total: compute_seconds.max(dram_seconds),
         pinned,
         peak,
         dram,
@@ -320,8 +437,40 @@ fn evaluate(perf: &WorkloadPerf, gm_bytes: u64, placements: &[Placement]) -> Eva
 }
 
 /// Checks that `placements` respect the per-layer capacity rows.
-fn feasible(perf: &WorkloadPerf, gm_bytes: u64, placements: &[Placement]) -> bool {
-    capacity_rows(perf, gm_bytes, placements).into_iter().all(|row| row <= gm_bytes)
+fn feasible(regions: &[RegionPerf], gm_bytes: u64, placements: &[Placement]) -> bool {
+    capacity_rows(regions, gm_bytes, placements).into_iter().all(|row| row <= gm_bytes)
+}
+
+/// A greedy candidate in the lazy max-heap: `density` is time saved per
+/// Global-Memory byte; `kind` 0 is "pin weights of region `i`", kind 1 is
+/// "fuse the primary edge into consumer `i`". Ordering reproduces the
+/// historical full-scan argmax exactly: highest density first, ties to the
+/// smaller region index, then to the weight move (the scan evaluated
+/// candidates in `(i, weight-then-fuse)` order and replaced only on a
+/// strict improvement).
+#[derive(Debug, PartialEq)]
+struct GreedyCand {
+    density: f64,
+    i: usize,
+    kind: u8,
+    version: u32,
+}
+
+impl Eq for GreedyCand {}
+
+impl PartialOrd for GreedyCand {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for GreedyCand {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.density
+            .total_cmp(&other.density)
+            .then_with(|| other.i.cmp(&self.i))
+            .then_with(|| other.kind.cmp(&self.kind))
+    }
 }
 
 /// Greedy warm start: repeatedly take the feasible move with the best
@@ -329,99 +478,138 @@ fn feasible(perf: &WorkloadPerf, gm_bytes: u64, placements: &[Placement]) -> boo
 ///
 /// Moves are (a) pin one region's weights, (b) fuse one adjacent
 /// producer→consumer activation edge. Per-move deltas are computed locally
-/// (only the touched regions change time; pinning shrinks every row's slack).
-fn greedy(perf: &WorkloadPerf, gm_bytes: u64, elig: &[Eligibility]) -> Vec<Placement> {
-    let n = perf.regions.len();
+/// (only the touched regions change time; pinning shrinks every row's
+/// slack), and candidates wait in a lazy max-heap: a densities entry is
+/// recomputed only when an accepted move touches one of the regions it
+/// reads, and feasibility — which is *monotone* (pinned bytes and row
+/// residency only grow, so an infeasible move can never become feasible) —
+/// is checked at pop time. This makes the pass `O(moves · log n)`-ish
+/// instead of a full `O(n)` rescan per accepted move, while selecting the
+/// exact same move sequence as the scan did.
+fn greedy(regions: &[RegionPerf], gm_bytes: u64, elig: &[Eligibility]) -> Vec<Placement> {
+    use std::collections::BinaryHeap;
+    let n = regions.len();
     let mut placements = vec![Placement::default(); n];
     let mut pinned: u64 = 0;
-    // Row usage excluding the global pinned term.
-    let mut row_local: Vec<u64> = perf.regions.iter().map(|r| r.resident_buffer_bytes).collect();
-    let max_local = |rows: &[u64]| rows.iter().copied().max().unwrap_or(0);
-
-    #[derive(Clone, Copy)]
-    enum Move {
-        PinWeight(usize),
-        /// Fuse the primary edge into consumer `i` (producer is
-        /// `regions[i].primary_input`).
-        FuseEdge(usize),
+    // Row usage excluding the global pinned term, and its running maximum
+    // (also monotone: fusing only adds residency).
+    let mut row_local: Vec<u64> = regions.iter().map(|r| r.resident_buffer_bytes).collect();
+    let mut local_peak = row_local.iter().copied().max().unwrap_or(0);
+    // Fuse candidates reading region `j` as their producer.
+    let mut consumers_of: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, e) in elig.iter().enumerate() {
+        if e.input {
+            consumers_of[regions[i].primary_input.expect("eligible input has producer")].push(i);
+        }
     }
 
     let time_of = |placements: &[Placement], i: usize| {
-        perf.regions[i].time_with_placements(
+        regions[i].time_with_placements(
             placements[i].input_gm,
             placements[i].output_gm,
             placements[i].weight_gm,
         )
     };
+    // Candidate densities under the *current* placements; `None` when the
+    // move is spent, ineligible, or saves nothing (the scan's
+    // `saved > 1e-15` gate). Feasibility is deliberately not part of this —
+    // it is checked against the monotone capacity state at pop time.
+    let weight_density = |placements: &[Placement], i: usize| -> Option<f64> {
+        if !elig[i].weight || placements[i].weight_gm {
+            return None;
+        }
+        let r = &regions[i];
+        let before = time_of(placements, i);
+        let c = placements[i];
+        let after = r.time_with_placements(c.input_gm, c.output_gm, true);
+        let saved = before - after;
+        (saved > 1e-15).then(|| saved / r.weight_store_bytes.max(1) as f64)
+    };
+    let fuse_density = |placements: &[Placement], i: usize| -> Option<f64> {
+        if !elig[i].input || placements[i].input_gm {
+            return None;
+        }
+        let j = regions[i].primary_input.expect("eligible input has producer");
+        let bytes = fused_input_charge(regions, i, gm_bytes);
+        let mut before = time_of(placements, i);
+        let mut cj = placements[j];
+        if !cj.output_gm {
+            before += time_of(placements, j);
+        }
+        let ci = placements[i];
+        let mut after = regions[i].time_with_placements(true, ci.output_gm, ci.weight_gm);
+        if !cj.output_gm {
+            cj.output_gm = true;
+            after += regions[j].time_with_placements(cj.input_gm, cj.output_gm, cj.weight_gm);
+        }
+        let saved = before - after;
+        (saved > 1e-15).then(|| saved / bytes.max(1) as f64)
+    };
 
-    loop {
-        let mut best: Option<(f64, Move)> = None;
-        for i in 0..n {
-            let r = &perf.regions[i];
-            if elig[i].weight && !placements[i].weight_gm {
-                let w = r.weight_store_bytes;
-                // Pinning must fit under every row (it is globally resident).
-                if pinned + w + max_local(&row_local) <= gm_bytes {
-                    let before = time_of(&placements, i);
-                    let mut cand = placements[i];
-                    cand.weight_gm = true;
-                    let after =
-                        r.time_with_placements(cand.input_gm, cand.output_gm, cand.weight_gm);
-                    let saved = before - after;
-                    let density = saved / w.max(1) as f64;
-                    if saved > 1e-15 && best.is_none_or(|(b, _)| density > b) {
-                        best = Some((density, Move::PinWeight(i)));
-                    }
-                }
+    // `versions[2i + kind]` invalidates stale heap entries; `push` snapshots
+    // the current version with a freshly computed density.
+    let mut versions = vec![0u32; 2 * n];
+    let mut heap: BinaryHeap<GreedyCand> = BinaryHeap::with_capacity(2 * n);
+    let push = |heap: &mut BinaryHeap<GreedyCand>,
+                versions: &[u32],
+                placements: &[Placement],
+                i: usize,
+                kind: u8| {
+        let density =
+            if kind == 0 { weight_density(placements, i) } else { fuse_density(placements, i) };
+        if let Some(density) = density {
+            heap.push(GreedyCand { density, i, kind, version: versions[2 * i + kind as usize] });
+        }
+    };
+    for i in 0..n {
+        push(&mut heap, &versions, &placements, i, 0);
+        push(&mut heap, &versions, &placements, i, 1);
+    }
+
+    while let Some(cand) = heap.pop() {
+        let GreedyCand { i, kind, version, .. } = cand;
+        if version != versions[2 * i + kind as usize] {
+            continue; // stale: a fresher entry (or none) superseded it
+        }
+        if kind == 0 {
+            // Pinning must fit under every row (it is globally resident).
+            let w = regions[i].weight_store_bytes;
+            if pinned + w + local_peak > gm_bytes {
+                continue; // monotone: can never fit later either
             }
-            if elig[i].input && !placements[i].input_gm {
-                let j = r.primary_input.expect("eligible input has producer");
-                let bytes = fused_input_charge(perf, i, gm_bytes);
-                let fits = (j..=i).all(|k| row_local[k] + bytes + pinned <= gm_bytes);
-                if fits {
-                    let mut before = time_of(&placements, i);
-                    let mut cj = placements[j];
-                    if !cj.output_gm {
-                        before += time_of(&placements, j);
-                    }
-                    let mut ci = placements[i];
-                    ci.input_gm = true;
-                    let mut after = perf.regions[i].time_with_placements(
-                        ci.input_gm,
-                        ci.output_gm,
-                        ci.weight_gm,
-                    );
-                    if !cj.output_gm {
-                        cj.output_gm = true;
-                        after += perf.regions[j].time_with_placements(
-                            cj.input_gm,
-                            cj.output_gm,
-                            cj.weight_gm,
-                        );
-                    }
-                    let saved = before - after;
-                    let density = saved / bytes.max(1) as f64;
-                    if saved > 1e-15 && best.is_none_or(|(b, _)| density > b) {
-                        best = Some((density, Move::FuseEdge(i)));
-                    }
-                }
+            placements[i].weight_gm = true;
+            pinned += w;
+        } else {
+            let j = regions[i].primary_input.expect("checked");
+            let bytes = fused_input_charge(regions, i, gm_bytes);
+            if !(j..=i).all(|k| row_local[k] + bytes + pinned <= gm_bytes) {
+                continue; // monotone: rows and pinned bytes only grow
+            }
+            placements[i].input_gm = true;
+            placements[j].output_gm = true;
+            for row in row_local.iter_mut().take(i + 1).skip(j) {
+                *row += bytes;
+                local_peak = local_peak.max(*row);
             }
         }
-        match best {
-            Some((_, Move::PinWeight(i))) => {
-                placements[i].weight_gm = true;
-                pinned += perf.regions[i].weight_store_bytes;
+        // Re-key every candidate whose density reads a changed region: its
+        // own moves, and the fuse moves of its consumers. (Feasibility
+        // shifts from `pinned`/`row_local` growth need no re-keying — pops
+        // recheck them against the live state.)
+        let bump_region = |heap: &mut BinaryHeap<GreedyCand>,
+                           versions: &mut Vec<u32>,
+                           placements: &[Placement],
+                           r: usize| {
+            for (target, k) in consumers_of[r].iter().map(|&c| (c, 1u8)).chain([(r, 0u8), (r, 1u8)])
+            {
+                versions[2 * target + k as usize] += 1;
+                push(heap, versions, placements, target, k);
             }
-            Some((_, Move::FuseEdge(i))) => {
-                let j = perf.regions[i].primary_input.expect("checked");
-                placements[i].input_gm = true;
-                placements[j].output_gm = true;
-                let bytes = fused_input_charge(perf, i, gm_bytes);
-                for row in row_local.iter_mut().take(i + 1).skip(j) {
-                    *row += bytes;
-                }
-            }
-            None => break,
+        };
+        bump_region(&mut heap, &mut versions, &placements, i);
+        if kind == 1 {
+            let j = regions[i].primary_input.expect("checked");
+            bump_region(&mut heap, &mut versions, &placements, j);
         }
     }
     placements
@@ -435,9 +623,14 @@ struct IlpVars {
     t: Vec<VarId>,
 }
 
-fn build_ilp(perf: &WorkloadPerf, gm_bytes: u64, elig: &[Eligibility]) -> (Problem, IlpVars) {
-    let n = perf.regions.len();
-    let mut prob = Problem::new(format!("fast-fusion:{}", perf.workload));
+fn build_ilp(
+    regions: &[RegionPerf],
+    label: &str,
+    gm_bytes: u64,
+    elig: &[Eligibility],
+) -> (Problem, IlpVars) {
+    let n = regions.len();
+    let mut prob = Problem::new(format!("fast-fusion:{label}"));
     let mut vars = IlpVars {
         p_in: vec![None; n],
         p_out: vec![None; n],
@@ -458,7 +651,7 @@ fn build_ilp(perf: &WorkloadPerf, gm_bytes: u64, elig: &[Eligibility]) -> (Probl
     }
     // Time variables and rows: T_i >= T_min via bound, plus the Figure-8 row
     // T_i + t^I pI + t^O pO + t^W pW >= T_max.
-    for (i, r) in perf.regions.iter().enumerate() {
+    for (i, r) in regions.iter().enumerate() {
         let t_min = r.time_with_placements(true, true, true);
         let t = prob.add_continuous(format!("T_{i}"), t_min, f64::INFINITY, 1.0);
         vars.t.push(t);
@@ -477,17 +670,17 @@ fn build_ilp(perf: &WorkloadPerf, gm_bytes: u64, elig: &[Eligibility]) -> (Probl
     // Capacity row per layer k: B_k + Σ resident activations + Σ_j W_j pW_j
     // <= C. A fused activation read by layer i from producer j is resident on
     // rows j..=i.
-    for (k, rk) in perf.regions.iter().enumerate() {
+    for (k, rk) in regions.iter().enumerate() {
         let mut terms = Vec::new();
-        for (i, r) in perf.regions.iter().enumerate() {
+        for (i, r) in regions.iter().enumerate() {
             if let Some(v) = vars.p_in[i] {
                 let j = r.primary_input.expect("eligible input has producer");
                 if j <= k && k <= i {
-                    terms.push((v, fused_input_charge(perf, i, gm_bytes) as f64));
+                    terms.push((v, fused_input_charge(regions, i, gm_bytes) as f64));
                 }
             }
         }
-        for rj in perf.regions.iter().zip(&vars.p_w) {
+        for rj in regions.iter().zip(&vars.p_w) {
             if let (r, Some(v)) = rj {
                 terms.push((*v, r.weight_store_bytes as f64));
             }
@@ -506,7 +699,7 @@ fn build_ilp(perf: &WorkloadPerf, gm_bytes: u64, elig: &[Eligibility]) -> (Probl
     // output is only stored if its consumer reads it.
     for i in 0..n {
         if let Some(pi) = vars.p_in[i] {
-            let j = perf.regions[i].primary_input.expect("eligible input has producer");
+            let j = regions[i].primary_input.expect("eligible input has producer");
             if let Some(po) = vars.p_out[j] {
                 prob.add_constraint(
                     format!("link_{j}_{i}"),
@@ -519,7 +712,7 @@ fn build_ilp(perf: &WorkloadPerf, gm_bytes: u64, elig: &[Eligibility]) -> (Probl
         if let Some(po) = vars.p_out[i] {
             // Output useful only if some eligible consumer reads it from GM.
             let readers: Vec<(VarId, f64)> = (i + 1..n)
-                .filter(|&k| perf.regions[k].primary_input == Some(i))
+                .filter(|&k| regions[k].primary_input == Some(i))
                 .filter_map(|k| vars.p_in[k].map(|v| (v, 1.0)))
                 .collect();
             if !readers.is_empty() {
@@ -533,17 +726,47 @@ fn build_ilp(perf: &WorkloadPerf, gm_bytes: u64, elig: &[Eligibility]) -> (Probl
 }
 
 /// Runs FAST fusion on a simulated workload.
+///
+/// Thin wrapper over [`fuse_regions`] — the keyed, cacheable entry point
+/// that takes exactly the inputs the pass reads (region statistics,
+/// aggregate compute floor, Global-Memory capacity).
 #[must_use]
 pub fn fuse_workload(
     perf: &WorkloadPerf,
     cfg: &DatapathConfig,
     opts: &FusionOptions,
 ) -> FusionResult {
-    let gm_bytes = cfg.global_memory_bytes();
-    let n = perf.regions.len();
+    fuse_regions(
+        &perf.regions,
+        perf.compute_seconds,
+        cfg.global_memory_bytes(),
+        opts,
+        &perf.workload,
+    )
+}
+
+/// Runs FAST fusion on raw region statistics — Stage C of the staged
+/// evaluation pipeline.
+///
+/// This is a pure function of `(regions, compute_seconds, gm_bytes, opts)`
+/// (given a deterministic solver configuration; see
+/// [`FusionOptions::time_limit`]), which is what makes its results
+/// cacheable under a [`stats_fingerprint`]-based key: sweeping fusion
+/// options, objectives or budgets re-solves the ILP at most, and never
+/// re-runs the mapper. `label` names the ILP problem for logs and has no
+/// effect on the solution.
+#[must_use]
+pub fn fuse_regions(
+    regions: &[RegionPerf],
+    compute_seconds: f64,
+    gm_bytes: u64,
+    opts: &FusionOptions,
+    label: &str,
+) -> FusionResult {
+    let n = regions.len();
     if opts.disabled || gm_bytes == 0 || n == 0 {
         let placements = vec![Placement::default(); n];
-        let ev = evaluate(perf, gm_bytes, &placements);
+        let ev = evaluate(regions, compute_seconds, gm_bytes, &placements);
         return FusionResult {
             placements,
             region_seconds: ev.times,
@@ -556,15 +779,15 @@ pub fn fuse_workload(
         };
     }
 
-    let elig = eligibility(perf, opts.residency_window.max(1));
-    let warm = greedy(perf, gm_bytes, &elig);
+    let elig = eligibility(regions, opts.residency_window.max(1));
+    let warm = greedy(regions, gm_bytes, &elig);
     let n_binaries: usize = elig
         .iter()
         .map(|e| usize::from(e.input) + usize::from(e.output) + usize::from(e.weight))
         .sum();
 
     let (placements, solver) = if n_binaries > 0 && n_binaries <= opts.exact_binary_limit {
-        let (prob, vars) = build_ilp(perf, gm_bytes, &elig);
+        let (prob, vars) = build_ilp(regions, label, gm_bytes, &elig);
         let mut ws = vec![0.0; prob.num_vars()];
         for (i, w) in warm.iter().enumerate() {
             if let Some(v) = vars.p_in[i] {
@@ -577,7 +800,7 @@ pub fn fuse_workload(
                 ws[v.index()] = f64::from(u8::from(w.weight_gm));
             }
         }
-        for (i, r) in perf.regions.iter().enumerate() {
+        for (i, r) in regions.iter().enumerate() {
             ws[vars.t[i].index()] =
                 r.time_with_placements(warm[i].input_gm, warm[i].output_gm, warm[i].weight_gm);
         }
@@ -610,7 +833,7 @@ pub fn fuse_workload(
                     FusionSolver::ExactIncumbent
                 };
                 // Guard against solver tolerance artifacts.
-                if feasible(perf, gm_bytes, &placements) {
+                if feasible(regions, gm_bytes, &placements) {
                     (placements, status)
                 } else {
                     (warm.clone(), FusionSolver::Heuristic)
@@ -622,7 +845,7 @@ pub fn fuse_workload(
         (warm.clone(), FusionSolver::Heuristic)
     };
 
-    let ev = evaluate(perf, gm_bytes, &placements);
+    let ev = evaluate(regions, compute_seconds, gm_bytes, &placements);
     FusionResult {
         placements,
         region_seconds: ev.times,
@@ -713,7 +936,7 @@ mod tests {
         let cfg = presets::fast_large();
         let perf = perf_of(Workload::EfficientNet(EfficientNet::B7), 8, &cfg);
         let fused = fuse_workload(&perf, &cfg, &FusionOptions::default());
-        assert!(feasible(&perf, cfg.global_memory_bytes(), &fused.placements));
+        assert!(feasible(&perf.regions, cfg.global_memory_bytes(), &fused.placements));
         assert!(fused.peak_gm_bytes <= cfg.global_memory_bytes());
     }
 
@@ -752,6 +975,178 @@ mod tests {
             exact.total_seconds,
             heur.total_seconds
         );
+    }
+
+    /// The historical full-scan greedy (pre-heap), kept as the reference
+    /// implementation: the production heap must select the exact same move
+    /// sequence.
+    fn greedy_scan_reference(
+        regions: &[RegionPerf],
+        gm_bytes: u64,
+        elig: &[Eligibility],
+    ) -> Vec<Placement> {
+        let n = regions.len();
+        let mut placements = vec![Placement::default(); n];
+        let mut pinned: u64 = 0;
+        let mut row_local: Vec<u64> = regions.iter().map(|r| r.resident_buffer_bytes).collect();
+        let time_of = |placements: &[Placement], i: usize| {
+            regions[i].time_with_placements(
+                placements[i].input_gm,
+                placements[i].output_gm,
+                placements[i].weight_gm,
+            )
+        };
+        #[derive(Clone, Copy)]
+        enum Move {
+            PinWeight(usize),
+            FuseEdge(usize),
+        }
+        loop {
+            let mut best: Option<(f64, Move)> = None;
+            let local_peak = row_local.iter().copied().max().unwrap_or(0);
+            for i in 0..n {
+                let r = &regions[i];
+                if elig[i].weight && !placements[i].weight_gm {
+                    let w = r.weight_store_bytes;
+                    if pinned + w + local_peak <= gm_bytes {
+                        let before = time_of(&placements, i);
+                        let c = placements[i];
+                        let after = r.time_with_placements(c.input_gm, c.output_gm, true);
+                        let saved = before - after;
+                        let density = saved / w.max(1) as f64;
+                        if saved > 1e-15 && best.is_none_or(|(b, _)| density > b) {
+                            best = Some((density, Move::PinWeight(i)));
+                        }
+                    }
+                }
+                if elig[i].input && !placements[i].input_gm {
+                    let j = r.primary_input.expect("eligible input has producer");
+                    let bytes = fused_input_charge(regions, i, gm_bytes);
+                    if (j..=i).all(|k| row_local[k] + bytes + pinned <= gm_bytes) {
+                        let mut before = time_of(&placements, i);
+                        let mut cj = placements[j];
+                        if !cj.output_gm {
+                            before += time_of(&placements, j);
+                        }
+                        let ci = placements[i];
+                        let mut after =
+                            regions[i].time_with_placements(true, ci.output_gm, ci.weight_gm);
+                        if !cj.output_gm {
+                            cj.output_gm = true;
+                            after += regions[j].time_with_placements(
+                                cj.input_gm,
+                                cj.output_gm,
+                                cj.weight_gm,
+                            );
+                        }
+                        let saved = before - after;
+                        let density = saved / bytes.max(1) as f64;
+                        if saved > 1e-15 && best.is_none_or(|(b, _)| density > b) {
+                            best = Some((density, Move::FuseEdge(i)));
+                        }
+                    }
+                }
+            }
+            match best {
+                Some((_, Move::PinWeight(i))) => {
+                    placements[i].weight_gm = true;
+                    pinned += regions[i].weight_store_bytes;
+                }
+                Some((_, Move::FuseEdge(i))) => {
+                    let j = regions[i].primary_input.expect("checked");
+                    placements[i].input_gm = true;
+                    placements[j].output_gm = true;
+                    let bytes = fused_input_charge(regions, i, gm_bytes);
+                    for row in row_local.iter_mut().take(i + 1).skip(j) {
+                        *row += bytes;
+                    }
+                }
+                None => break,
+            }
+        }
+        placements
+    }
+
+    /// The lazy-heap greedy must reproduce the historical full-scan greedy
+    /// move for move — across the zoo, several Global-Memory capacities
+    /// (feasibility pressure) and residency windows (eligibility shape).
+    #[test]
+    fn heap_greedy_matches_scan_reference_exactly() {
+        for w in [
+            Workload::EfficientNet(EfficientNet::B0),
+            Workload::EfficientNet(EfficientNet::B4),
+            Workload::EfficientNet(EfficientNet::B7),
+            Workload::ResNet50,
+            Workload::Bert { seq_len: 128 },
+        ] {
+            for gm_mib in [4u64, 16, 128] {
+                for window in [1usize, 8] {
+                    let mut cfg = presets::fast_large();
+                    cfg.global_memory_mib = gm_mib;
+                    let perf = perf_of(w, 8, &cfg);
+                    let elig = eligibility(&perf.regions, window);
+                    let fast = greedy(&perf.regions, cfg.global_memory_bytes(), &elig);
+                    let reference =
+                        greedy_scan_reference(&perf.regions, cfg.global_memory_bytes(), &elig);
+                    assert_eq!(
+                        fast, reference,
+                        "{w} gm={gm_mib}MiB window={window}: heap greedy diverged from scan"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn keyed_entry_point_is_bit_identical_to_fuse_workload() {
+        let cfg = presets::fast_large();
+        let perf = perf_of(Workload::EfficientNet(EfficientNet::B2), 8, &cfg);
+        for opts in [
+            FusionOptions::heuristic_only(),
+            FusionOptions::strict_adjacency(),
+            FusionOptions::disabled(),
+        ] {
+            let whole = fuse_workload(&perf, &cfg, &opts);
+            let keyed = fuse_regions(
+                &perf.regions,
+                perf.compute_seconds,
+                cfg.global_memory_bytes(),
+                &opts,
+                "any-label-at-all",
+            );
+            assert_eq!(whole.placements, keyed.placements);
+            assert_eq!(whole.total_seconds.to_bits(), keyed.total_seconds.to_bits());
+            assert_eq!(whole.dram_bytes, keyed.dram_bytes);
+            assert_eq!(whole.pinned_weight_bytes, keyed.pinned_weight_bytes);
+            assert_eq!(whole.solver, keyed.solver);
+        }
+    }
+
+    #[test]
+    fn fingerprint_ignores_names_and_tracks_stats() {
+        let cfg = presets::fast_large();
+        let perf = perf_of(Workload::EfficientNet(EfficientNet::B0), 8, &cfg);
+        let base = stats_fingerprint(&perf.regions, perf.compute_seconds);
+        assert_eq!(base, stats_fingerprint(&perf.regions, perf.compute_seconds));
+
+        // Renaming a region (a node-name artifact) must not change the key.
+        let mut renamed = perf.regions.clone();
+        renamed[0].name = "totally/different/name".to_string();
+        renamed[1].group = Some(99);
+        assert_eq!(base, stats_fingerprint(&renamed, perf.compute_seconds));
+
+        // Any stat the pass reads must change it.
+        let mut bumped = perf.regions.clone();
+        bumped[0].t_weight += 1e-9;
+        assert_ne!(base, stats_fingerprint(&bumped, perf.compute_seconds));
+        let mut linked = perf.regions.clone();
+        linked[3].primary_input = None;
+        assert_ne!(base, stats_fingerprint(&linked, perf.compute_seconds));
+        assert_ne!(base, stats_fingerprint(&perf.regions, perf.compute_seconds * 2.0));
+
+        // And a different workload's stats are (overwhelmingly) distinct.
+        let other = perf_of(Workload::ResNet50, 8, &cfg);
+        assert_ne!(base, stats_fingerprint(&other.regions, other.compute_seconds));
     }
 
     #[test]

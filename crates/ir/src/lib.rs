@@ -40,6 +40,7 @@ pub mod graph;
 pub mod intensity;
 pub mod loop_nest;
 pub mod ops;
+mod persist;
 pub mod shape;
 pub mod stats;
 

@@ -1,0 +1,91 @@
+//! Binary-codec impls for IR types that appear in durable snapshots (the
+//! per-op mapper-cache key). Hand-written because the vendored serde derives
+//! generate no code; the exhaustive destructure makes adding a [`LoopNest`]
+//! field without extending the codec a compile error.
+
+use crate::loop_nest::LoopNest;
+use serde::bin::{Decode, DecodeError, Encode, Reader, Writer};
+
+impl Encode for LoopNest {
+    fn encode(&self, w: &mut Writer) {
+        let LoopNest {
+            b,
+            oh,
+            ow,
+            if_,
+            of,
+            kh,
+            kw,
+            weight_latches,
+            stationary_is_activation,
+            input_reuse,
+        } = *self;
+        b.encode(w);
+        oh.encode(w);
+        ow.encode(w);
+        if_.encode(w);
+        of.encode(w);
+        kh.encode(w);
+        kw.encode(w);
+        weight_latches.encode(w);
+        stationary_is_activation.encode(w);
+        input_reuse.encode(w);
+    }
+}
+
+impl Decode for LoopNest {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(LoopNest {
+            b: Decode::decode(r)?,
+            oh: Decode::decode(r)?,
+            ow: Decode::decode(r)?,
+            if_: Decode::decode(r)?,
+            of: Decode::decode(r)?,
+            kh: Decode::decode(r)?,
+            kw: Decode::decode(r)?,
+            weight_latches: Decode::decode(r)?,
+            stationary_is_activation: Decode::decode(r)?,
+            input_reuse: Decode::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loop_nest_round_trips() {
+        let nest = LoopNest {
+            b: 4,
+            oh: 7,
+            ow: 9,
+            if_: 64,
+            of: 128,
+            kh: 3,
+            kw: 5,
+            weight_latches: 12,
+            stationary_is_activation: true,
+            input_reuse: 9,
+        };
+        assert_eq!(LoopNest::from_bytes(&nest.to_bytes()).unwrap(), nest);
+    }
+
+    #[test]
+    fn truncated_nest_is_a_decode_error() {
+        let nest = LoopNest {
+            b: 1,
+            oh: 1,
+            ow: 1,
+            if_: 1,
+            of: 1,
+            kh: 1,
+            kw: 1,
+            weight_latches: 1,
+            stationary_is_activation: false,
+            input_reuse: 1,
+        };
+        let bytes = nest.to_bytes();
+        assert!(LoopNest::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+    }
+}

@@ -1,0 +1,498 @@
+//! Stage A of the staged evaluation pipeline: the shared, keyed per-op
+//! mapper cache.
+//!
+//! Identical conv/matmul shapes recur across EfficientNet variants, batch
+//! sizes, and neighboring search points, and the mapper is a pure function
+//! of far fewer inputs than a whole [`DatapathConfig`] — so its results are
+//! memoized under [`OpKey`], which canonicalizes exactly the fields the
+//! mapper reads. Sweeping Global Memory, DRAM channels, clock, L2 or fusion
+//! knobs therefore never re-runs the mapper; only changes to the systolic
+//! array, the PE grid, the L1 buffers, or the padding/dataflow options do.
+//!
+//! Cached failures are stored as name-free [`MapFailure`]s: two ops equal
+//! up to node names and graph position share one entry, and the name of the
+//! op that actually trips the failure is re-attached at lookup time.
+
+use crate::engine::SimOptions;
+use crate::error::{MapFailure, SimError};
+use crate::mapper::{map_op, DataflowSet, Mapping, PaddingMode};
+use fast_arch::{BufferSharing, DatapathConfig};
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Canonical cache identity of one mapper invocation: the loop nest plus
+/// every [`DatapathConfig`]/[`SimOptions`] field the mapper actually reads.
+///
+/// Node names and graph position are deliberately absent — mapping is a
+/// function of the *shape*, so equal nests on different nodes (or in
+/// different workloads) share one entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OpKey {
+    /// The canonical 7-D loop nest (plus latch/reuse attributes).
+    pub nest: fast_ir::LoopNest,
+    /// Systolic-array rows per PE.
+    pub sa_x: u64,
+    /// Systolic-array columns per PE.
+    pub sa_y: u64,
+    /// PE grid extent in x.
+    pub pes_x: u64,
+    /// PE grid extent in y.
+    pub pes_y: u64,
+    /// L1 sharing mode.
+    pub l1_config: BufferSharing,
+    /// L1 input buffer per PE, KiB.
+    pub l1_input_kib: u64,
+    /// L1 weight buffer per PE, KiB.
+    pub l1_weight_kib: u64,
+    /// L1 output buffer per PE, KiB.
+    pub l1_output_kib: u64,
+    /// Tensor-padding pre-pass mode.
+    pub padding: PaddingMode,
+    /// Dataflows the schedule search may use.
+    pub dataflows: DataflowSet,
+}
+
+impl OpKey {
+    /// The single source of truth for Stage-A key identity. The exhaustive
+    /// destructuring (no `..`) makes adding a [`DatapathConfig`] or
+    /// [`SimOptions`] field a compile error here, so the key can never
+    /// silently ignore one: a new field must either join the key (the
+    /// mapper reads it) or join the discard list below (it provably does
+    /// not).
+    #[must_use]
+    pub fn of(nest: &fast_ir::LoopNest, cfg: &DatapathConfig, opts: &SimOptions) -> OpKey {
+        let DatapathConfig {
+            pes_x,
+            pes_y,
+            sa_x,
+            sa_y,
+            l1_config,
+            l1_input_kib,
+            l1_weight_kib,
+            l1_output_kib,
+            // Everything below is invisible to the mapper: the VPU width,
+            // L2 and Global Memory levels, the DRAM system, batch (already
+            // folded into the nest), clock (applied by the engine when
+            // converting cycles to seconds) and core count.
+            vector_multiplier: _,
+            l2_config: _,
+            l2_input_mult: _,
+            l2_weight_mult: _,
+            l2_output_mult: _,
+            global_memory_mib: _,
+            dram_channels: _,
+            memory: _,
+            native_batch: _,
+            clock_ghz: _,
+            cores: _,
+        } = *cfg;
+        let SimOptions {
+            padding,
+            dataflows,
+            // Softmax choice is a VPU matter; schedule quality scales the
+            // clock in the engine, not the mapping.
+            softmax: _,
+            schedule_quality: _,
+        } = *opts;
+        OpKey {
+            nest: *nest,
+            sa_x,
+            sa_y,
+            pes_x,
+            pes_y,
+            l1_config,
+            l1_input_kib,
+            l1_weight_kib,
+            l1_output_kib,
+            padding,
+            dataflows,
+        }
+    }
+}
+
+/// Hit/miss counters of one memoization tier (monotonic totals).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that ran the underlying stage.
+    pub misses: u64,
+}
+
+/// A memoization tier whose values are computed at most once per key:
+/// losers of an insertion race block on the winner's `OnceLock` instead of
+/// recomputing, so hit/miss totals are deterministic (first asker per key
+/// is the one miss) regardless of thread scheduling. The building block of
+/// every stage cache in the evaluation pipeline — the op tier here, the
+/// sim and fuse tiers in `fast-core`.
+pub struct Tier<K, V> {
+    entries: Mutex<HashMap<K, Arc<OnceLock<V>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K, V> Default for Tier<K, V> {
+    fn default() -> Self {
+        Tier {
+            entries: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+}
+
+impl<K: Eq + Hash, V: Clone> Tier<K, V> {
+    /// The memoized value for `key`, running `compute` only if this is the
+    /// key's first asker; concurrent askers block until the winner's value
+    /// is ready and adopt it, so every reader of a key observes one single
+    /// result.
+    pub fn get_or_compute(&self, key: K, compute: impl FnOnce() -> V) -> V {
+        let (cell, winner) = {
+            let mut entries = self.entries.lock().expect("cache tier poisoned");
+            match entries.entry(key) {
+                std::collections::hash_map::Entry::Occupied(e) => (e.get().clone(), false),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    (e.insert(Arc::new(OnceLock::new())).clone(), true)
+                }
+            }
+        };
+        if winner {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        cell.get_or_init(compute).clone()
+    }
+
+    /// Hit/miss totals since this tier was created.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of memoized entries (pending ones included).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("cache tier poisoned").len()
+    }
+
+    /// Whether the tier is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Initialized `(key, value)` pairs, for persistence layers (pending
+    /// cells are skipped).
+    #[must_use]
+    pub fn export(&self) -> Vec<(K, V)>
+    where
+        K: Clone,
+    {
+        self.entries
+            .lock()
+            .expect("cache tier poisoned")
+            .iter()
+            .filter_map(|(k, cell)| cell.get().map(|v| (k.clone(), v.clone())))
+            .collect()
+    }
+
+    /// Merges already-computed values (e.g. from a loaded snapshot);
+    /// existing entries win over merged ones.
+    pub fn merge(&self, entries: impl IntoIterator<Item = (K, V)>) {
+        let mut map = self.entries.lock().expect("cache tier poisoned");
+        for (k, v) in entries {
+            map.entry(k).or_insert_with(|| {
+                let cell = OnceLock::new();
+                let _ = cell.set(v);
+                Arc::new(cell)
+            });
+        }
+    }
+}
+
+/// The shared per-op mapper cache (Stage A): a [`Tier`] over [`OpKey`].
+///
+/// Thread-safe and clone-cheap behind an `Arc`: every evaluator clone and
+/// every worker thread of a parallel study feeds one memoization table.
+/// Failures are cached alongside successes — an unmappable nest is
+/// unmappable forever on the same array/L1 geometry.
+#[derive(Default)]
+pub struct MapperCache {
+    tier: Tier<OpKey, Result<Mapping, MapFailure>>,
+}
+
+impl MapperCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        MapperCache::default()
+    }
+
+    /// Memoized [`crate::map_matrix_op`]: answers from the cache when the
+    /// exact [`OpKey`] has been mapped before — for any op name, in any
+    /// workload, by any thread — and otherwise runs the mapper and records
+    /// the outcome.
+    ///
+    /// # Errors
+    /// Returns the (possibly cached) [`MapFailure`] with `op`'s name
+    /// attached.
+    pub fn map(
+        &self,
+        nest: &fast_ir::LoopNest,
+        cfg: &DatapathConfig,
+        opts: &SimOptions,
+        op: &str,
+    ) -> Result<Mapping, SimError> {
+        let key = OpKey::of(nest, cfg, opts);
+        self.tier
+            .get_or_compute(key, || map_op(nest, cfg, opts.padding, opts.dataflows))
+            .map_err(|cause| cause.for_op(op))
+    }
+
+    /// Hit/miss totals since this cache was created.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.tier.stats()
+    }
+
+    /// Number of memoized mapper results.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tier.len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tier.is_empty()
+    }
+
+    /// A snapshot of every entry, for persistence layers.
+    #[must_use]
+    pub fn export(&self) -> Vec<(OpKey, Result<Mapping, MapFailure>)> {
+        self.tier.export()
+    }
+
+    /// Merges entries (e.g. from a loaded snapshot) into the cache.
+    /// Existing in-memory entries win over merged ones.
+    pub fn merge(&self, entries: impl IntoIterator<Item = (OpKey, Result<Mapping, MapFailure>)>) {
+        self.tier.merge(entries);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fast_arch::presets;
+    use fast_ir::LoopNest;
+    use proptest::prelude::*;
+
+    fn nest(b: u64, hw: u64, if_: u64, of: u64) -> LoopNest {
+        LoopNest {
+            b,
+            oh: hw,
+            ow: hw,
+            if_,
+            of,
+            kh: 1,
+            kw: 1,
+            weight_latches: 1,
+            stationary_is_activation: false,
+            input_reuse: 1,
+        }
+    }
+
+    #[test]
+    fn cache_hits_on_repeat_across_op_names() {
+        let cache = MapperCache::new();
+        let cfg = presets::fast_large();
+        let opts = SimOptions::default();
+        let n = nest(8, 28, 256, 256);
+        let a = cache.map(&n, &cfg, &opts, "conv_a").unwrap();
+        let b = cache.map(&n, &cfg, &opts, "conv_b").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn cached_failures_carry_the_asking_ops_name() {
+        let cache = MapperCache::new();
+        let mut cfg = presets::tpu_v3();
+        cfg.l1_input_kib = 1;
+        cfg.l1_weight_kib = 1;
+        cfg.l1_output_kib = 1;
+        let opts = SimOptions::default();
+        let n = nest(1, 28, 256, 256);
+        let first = cache.map(&n, &cfg, &opts, "conv_1").unwrap_err();
+        let second = cache.map(&n, &cfg, &opts, "conv_2").unwrap_err();
+        assert_eq!(first.op, "conv_1");
+        assert_eq!(second.op, "conv_2");
+        assert_eq!(first.cause, second.cause, "the cause is shared; the name is not");
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn cached_mapping_is_identical_to_uncached() {
+        let cache = MapperCache::new();
+        let cfg = presets::fast_large();
+        let opts = SimOptions::default();
+        let n = nest(4, 14, 512, 128);
+        let cached = cache.map(&n, &cfg, &opts, "op").unwrap();
+        let direct = crate::map_matrix_op(&n, &cfg, opts.padding, opts.dataflows, "op").unwrap();
+        assert_eq!(cached, direct);
+    }
+
+    #[test]
+    fn export_merge_round_trips() {
+        let cache = MapperCache::new();
+        let cfg = presets::fast_large();
+        let opts = SimOptions::default();
+        let _ = cache.map(&nest(8, 28, 256, 256), &cfg, &opts, "a").unwrap();
+        let _ = cache.map(&nest(8, 14, 512, 512), &cfg, &opts, "b").unwrap();
+        let other = MapperCache::new();
+        other.merge(cache.export());
+        assert_eq!(other.len(), 2);
+        // Re-asking through the merged cache is a hit, and identical.
+        let m = other.map(&nest(8, 28, 256, 256), &cfg, &opts, "a").unwrap();
+        assert_eq!(m, cache.map(&nest(8, 28, 256, 256), &cfg, &opts, "a").unwrap());
+        assert_eq!(other.stats().misses, 0);
+    }
+
+    /// Strategy over arbitrary-ish loop nests (power-of-two-free on purpose:
+    /// key identity must not depend on mappability).
+    struct AnyNest;
+
+    impl Strategy for AnyNest {
+        type Value = LoopNest;
+        fn sample(&self, rng: &mut rand::rngs::StdRng) -> LoopNest {
+            let ((b, oh, ow, if_), (of, kh, kw, latches), (act, reuse)) = (
+                (1u64..64, 1u64..32, 1u64..32, 1u64..512),
+                (1u64..512, 1u64..4, 1u64..4, 1u64..8),
+                (0u64..2, 1u64..10),
+            )
+                .sample(rng);
+            LoopNest {
+                b,
+                oh,
+                ow,
+                if_,
+                of,
+                kh,
+                kw,
+                weight_latches: latches,
+                stationary_is_activation: act != 0,
+                input_reuse: reuse,
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Two ops equal up to node names and graph position produce the
+        /// same `OpKey` — the key is a function of the nest and the mapper
+        /// inputs only, so the cache holds exactly one entry for them.
+        #[test]
+        fn op_key_ignores_names_and_graph_position(n in AnyNest) {
+            let cfg = presets::fast_large();
+            let opts = SimOptions::default();
+            prop_assert_eq!(OpKey::of(&n, &cfg, &opts), OpKey::of(&n, &cfg, &opts));
+            let cache = MapperCache::new();
+            let a = cache.map(&n, &cfg, &opts, "block_1/conv");
+            let b = cache.map(&n, &cfg, &opts, "block_7/conv");
+            match (a, b) {
+                (Ok(x), Ok(y)) => prop_assert_eq!(x, y),
+                (Err(x), Err(y)) => prop_assert_eq!(x.cause, y.cause),
+                (a, b) => prop_assert!(false, "cache disagreed with itself: {a:?} vs {b:?}"),
+            }
+            prop_assert_eq!(cache.len(), 1, "one shape, one entry");
+        }
+
+        /// Every mapper-relevant `DatapathConfig`/`SimOptions` field change
+        /// produces a different `OpKey`; every mapper-irrelevant change
+        /// produces the same one. (The exhaustive destructure in
+        /// `OpKey::of` makes *new* fields a compile error; this pins the
+        /// classification of the existing ones.)
+        #[test]
+        fn op_key_tracks_exactly_the_mapper_relevant_fields(n in AnyNest, bump in 1u64..4) {
+            let cfg = presets::fast_large();
+            let opts = SimOptions::default();
+            let base = OpKey::of(&n, &cfg, &opts);
+
+            // Relevant config fields: any change must change the key.
+            let relevant: [fn(&mut fast_arch::DatapathConfig, u64); 8] = [
+                |c, b| c.sa_x += b,
+                |c, b| c.sa_y += b,
+                |c, b| c.pes_x += b,
+                |c, b| c.pes_y += b,
+                |c, _| {
+                    c.l1_config = match c.l1_config {
+                        BufferSharing::Shared => BufferSharing::Private,
+                        BufferSharing::Private => BufferSharing::Shared,
+                    }
+                },
+                |c, b| c.l1_input_kib += b,
+                |c, b| c.l1_weight_kib += b,
+                |c, b| c.l1_output_kib += b,
+            ];
+            for (i, change) in relevant.iter().enumerate() {
+                let mut c = cfg;
+                change(&mut c, bump);
+                prop_assert!(OpKey::of(&n, &c, &opts) != base, "relevant field {} ignored", i);
+            }
+            for (i, opt_change) in [
+                |o: &mut SimOptions| o.padding = PaddingMode::Exact,
+                |o: &mut SimOptions| o.dataflows = DataflowSet::WeightStationaryOnly,
+            ]
+            .iter()
+            .enumerate()
+            {
+                let mut o = opts;
+                opt_change(&mut o);
+                prop_assert!(OpKey::of(&n, &cfg, &o) != base, "relevant option {} ignored", i);
+            }
+
+            // Irrelevant config fields: the mapper provably never reads
+            // them, so changing them must *keep* the key (that is the whole
+            // Stage-A reuse story: GM/clock/DRAM sweeps re-map nothing).
+            let irrelevant: [fn(&mut fast_arch::DatapathConfig, u64); 11] = [
+                |c, b| c.vector_multiplier += b,
+                |c, _| c.l2_config = fast_arch::L2Config::Private,
+                |c, b| c.l2_input_mult += b,
+                |c, b| c.l2_weight_mult += b,
+                |c, b| c.l2_output_mult += b,
+                |c, b| c.global_memory_mib += b,
+                |c, b| c.dram_channels += b,
+                |c, _| c.memory = fast_arch::MemoryTech::Hbm2,
+                |c, b| c.native_batch += b,
+                |c, b| c.clock_ghz += b as f64 * 0.1,
+                |c, b| c.cores += b,
+            ];
+            for (i, change) in irrelevant.iter().enumerate() {
+                let mut c = cfg;
+                change(&mut c, bump);
+                prop_assert_eq!(OpKey::of(&n, &c, &opts), base, "irrelevant field {} leaked", i);
+            }
+            for opt_change in [
+                |o: &mut SimOptions| o.softmax = crate::SoftmaxMode::TwoPass,
+                |o: &mut SimOptions| o.schedule_quality = crate::engine::ScheduleQuality::XlaDefault,
+            ] {
+                let mut o = opts;
+                opt_change(&mut o);
+                prop_assert_eq!(OpKey::of(&n, &cfg, &o), base, "irrelevant option leaked");
+            }
+
+            // And a nest change always changes the key.
+            let mut n2 = n;
+            n2.of += 1;
+            prop_assert!(OpKey::of(&n2, &cfg, &opts) != base);
+        }
+    }
+}

@@ -11,11 +11,12 @@
 //! * matrix ops go through the Timeloop-style mapper ([`crate::mapper`]);
 //!   everything else is costed on the VPU ([`crate::vector`]).
 
-use crate::error::ScheduleFailure;
-use crate::mapper::{map_matrix_op, DataflowSet, Mapping, PaddingMode};
+use crate::cache::MapperCache;
+use crate::error::SimError;
+use crate::mapper::{DataflowSet, PaddingMode};
 use crate::vector::{cost_vector_op, SoftmaxMode};
 use fast_arch::DatapathConfig;
-use fast_ir::{build_regions, Graph, LoopNest, NodeId, OpKind, RegionGraph, RegionId};
+use fast_ir::{build_regions, Graph, NodeId, OpKind, RegionGraph, RegionId};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -269,21 +270,41 @@ impl WorkloadPerf {
 
 /// Simulates `graph` on one core of `cfg`.
 ///
+/// Op scheduling is memoized per call (identical nests map once); use
+/// [`simulate_staged`] with a long-lived [`MapperCache`] to reuse mapper
+/// results *across* calls — across workloads, batch sizes and neighboring
+/// search points.
+///
 /// # Errors
-/// Returns the first [`ScheduleFailure`] (constraint Eq. 5); callers treat
-/// the whole design point as invalid.
+/// Returns the first [`SimError`] (constraint Eq. 5); callers treat the
+/// whole design point as invalid.
 pub fn simulate(
     graph: &Graph,
     cfg: &DatapathConfig,
     opts: &SimOptions,
-) -> Result<WorkloadPerf, ScheduleFailure> {
+) -> Result<WorkloadPerf, SimError> {
+    simulate_staged(graph, cfg, opts, &MapperCache::new())
+}
+
+/// [`simulate`] with op scheduling answered from (and recorded into) a
+/// shared per-op [`MapperCache`] — Stage A+B of the staged evaluation
+/// pipeline. Bit-identical to [`simulate`]: the cache stores pure mapper
+/// results keyed by everything the mapper reads.
+///
+/// # Errors
+/// Returns the first [`SimError`] (constraint Eq. 5).
+pub fn simulate_staged(
+    graph: &Graph,
+    cfg: &DatapathConfig,
+    opts: &SimOptions,
+    mapper: &MapperCache,
+) -> Result<WorkloadPerf, SimError> {
     let clock_hz = cfg.clock_ghz * 1e9 * opts.schedule_quality.efficiency();
     let bw = cfg.dram_bytes_per_sec_per_core();
     let on_chip_bytes = cfg.global_memory_bytes()
         + cfg.pes_per_core() * cfg.l1_bytes_per_pe()
         + cfg.pes_per_core() * cfg.l2_bytes_per_pe();
 
-    let mut mapping_cache: HashMap<LoopNest, Mapping> = HashMap::new();
     let mut nodes = Vec::with_capacity(graph.len());
     let mut node_compute = vec![0.0f64; graph.len()];
     let mut node_is_matrix = vec![false; graph.len()];
@@ -292,14 +313,7 @@ pub fn simulate(
     for node in graph.nodes() {
         let id = node.id();
         let (compute_seconds, sa_util, spill) = if let Some(nest) = graph.loop_nest(id) {
-            let mapping = match mapping_cache.get(&nest) {
-                Some(m) => *m,
-                None => {
-                    let m = map_matrix_op(&nest, cfg, opts.padding, opts.dataflows, node.name())?;
-                    mapping_cache.insert(nest, m);
-                    m
-                }
-            };
+            let mapping = mapper.map(&nest, cfg, opts, node.name())?;
             (mapping.compute_cycles as f64 / clock_hz, Some(mapping.utilization), 0u64)
         } else {
             let in_elements: u64 =

@@ -14,19 +14,31 @@
 //! * workload summaries ([`engine::WorkloadPerf`]) — pre-fusion step time,
 //!   QPS, utilization, memory-stall fraction and operational intensity.
 //!
+//! Op scheduling is exposed as a keyed, cacheable stage: a shared
+//! [`MapperCache`] memoizes mapper results under [`OpKey`] — the loop nest
+//! plus exactly the config/option fields the mapper reads — so identical
+//! shapes across workloads, batch sizes and neighboring search points map
+//! once ([`simulate_staged`]).
+//!
 //! ```
-//! use fast_sim::{simulate, SimOptions};
+//! use fast_sim::{simulate_staged, MapperCache, SimOptions};
 //! use fast_arch::presets;
 //! use fast_models::Workload;
 //!
-//! # fn main() -> Result<(), fast_sim::ScheduleFailure> {
+//! # fn main() -> Result<(), fast_sim::SimError> {
+//! let mapper = MapperCache::new();
 //! let graph = Workload::ResNet50.build(8).expect("build");
-//! let perf = simulate(&graph, &presets::tpu_v3(), &SimOptions::default())?;
+//! let perf = simulate_staged(&graph, &presets::tpu_v3(), &SimOptions::default(), &mapper)?;
 //! assert!(perf.prefusion_qps() > 0.0);
+//! // A second simulation re-maps nothing: every op is a Stage-A hit.
+//! let again = simulate_staged(&graph, &presets::tpu_v3(), &SimOptions::default(), &mapper)?;
+//! assert_eq!(perf.prefusion_seconds.to_bits(), again.prefusion_seconds.to_bits());
+//! assert_eq!(mapper.stats().misses, mapper.len() as u64);
 //! # Ok(())
 //! # }
 //! ```
 
+pub mod cache;
 pub mod engine;
 pub mod error;
 pub mod mapper;
@@ -35,7 +47,8 @@ pub mod power;
 pub mod softmax;
 pub mod vector;
 
-pub use engine::{simulate, NodePerf, RegionPerf, SimOptions, WorkloadPerf};
+pub use cache::{CacheStats, MapperCache, OpKey, Tier};
+pub use engine::{simulate, simulate_staged, NodePerf, RegionPerf, SimOptions, WorkloadPerf};
 
 // The parallel search driver hands `simulate` inputs to worker threads and
 // collects its outputs across them; lock that thread-safety in at compile
@@ -46,9 +59,10 @@ const _: () = {
     assert_send_sync::<fast_arch::DatapathConfig>();
     assert_send_sync::<engine::SimOptions>();
     assert_send_sync::<engine::WorkloadPerf>();
-    assert_send_sync::<error::ScheduleFailure>();
+    assert_send_sync::<error::SimError>();
+    assert_send_sync::<cache::MapperCache>();
 };
-pub use error::ScheduleFailure;
+pub use error::{MapFailure, ScheduleFailure, SimError};
 pub use mapper::{map_matrix_op, Dataflow, Mapping, PaddingMode};
 pub use power::{average_power_w, step_activity, step_energy, EnergyBreakdown, StepActivity};
 pub use softmax::{softmax_three_pass, softmax_two_pass};

@@ -27,7 +27,7 @@
 //!   scheduling gains on the TPU datapath (Figure 9, first bar) come
 //!   precisely from lifting this restriction.
 
-use crate::error::ScheduleFailure;
+use crate::error::{MapFailure, SimError};
 use fast_arch::{BufferSharing, DatapathConfig};
 use fast_ir::LoopNest;
 use serde::{Deserialize, Serialize};
@@ -193,7 +193,7 @@ fn parallelize(cycles_one_pe: u64, work_units: u64, per_unit: u64, cfg: &Datapat
 }
 
 /// Checks the L1 capacity preconditions for latching and streaming.
-fn check_l1(cfg: &DatapathConfig, op: &str) -> Result<(), ScheduleFailure> {
+fn check_l1(cfg: &DatapathConfig) -> Result<(), MapFailure> {
     let e = 2u64; // bf16
     let weight_tile = cfg.sa_x * cfg.sa_y * e;
     let input_stream = 2 * cfg.sa_x * e; // double-buffered input column
@@ -203,31 +203,24 @@ fn check_l1(cfg: &DatapathConfig, op: &str) -> Result<(), ScheduleFailure> {
             let total = cfg.l1_bytes_per_pe();
             let need = weight_tile + input_stream + output_tile;
             if need > total {
-                return Err(ScheduleFailure::WeightTileDoesNotFit {
-                    op: op.to_string(),
-                    required: need,
-                    available: total,
-                });
+                return Err(MapFailure::WeightTileDoesNotFit { required: need, available: total });
             }
         }
         BufferSharing::Private => {
             if weight_tile > cfg.l1_weight_kib * 1024 {
-                return Err(ScheduleFailure::WeightTileDoesNotFit {
-                    op: op.to_string(),
+                return Err(MapFailure::WeightTileDoesNotFit {
                     required: weight_tile,
                     available: cfg.l1_weight_kib * 1024,
                 });
             }
             if input_stream > cfg.l1_input_kib * 1024 {
-                return Err(ScheduleFailure::InputStreamDoesNotFit {
-                    op: op.to_string(),
+                return Err(MapFailure::InputStreamDoesNotFit {
                     required: input_stream,
                     available: cfg.l1_input_kib * 1024,
                 });
             }
             if output_tile > cfg.l1_output_kib * 1024 {
-                return Err(ScheduleFailure::OutputTileDoesNotFit {
-                    op: op.to_string(),
+                return Err(MapFailure::OutputTileDoesNotFit {
                     required: output_tile,
                     available: cfg.l1_output_kib * 1024,
                 });
@@ -241,7 +234,7 @@ fn check_l1(cfg: &DatapathConfig, op: &str) -> Result<(), ScheduleFailure> {
 /// allowed dataflow candidates.
 ///
 /// # Errors
-/// Returns a [`ScheduleFailure`] when the buffer preconditions fail, or when
+/// Returns a [`SimError`] when the buffer preconditions fail, or when
 /// `padding` is [`PaddingMode::Exact`] and the nest does not factorize.
 pub fn map_matrix_op(
     nest: &LoopNest,
@@ -249,19 +242,31 @@ pub fn map_matrix_op(
     padding: PaddingMode,
     dataflows: DataflowSet,
     op: &str,
-) -> Result<Mapping, ScheduleFailure> {
-    check_l1(cfg, op)?;
+) -> Result<Mapping, SimError> {
+    map_op(nest, cfg, padding, dataflows).map_err(|cause| cause.for_op(op))
+}
+
+/// The name-free mapping function behind [`map_matrix_op`] — the unit of
+/// work the per-op mapper cache ([`crate::MapperCache`]) memoizes. Its
+/// result depends on exactly the inputs [`crate::OpKey`] canonicalizes:
+/// the loop nest, the array/PE-grid/L1 fields of the config, and the
+/// padding/dataflow options.
+pub(crate) fn map_op(
+    nest: &LoopNest,
+    cfg: &DatapathConfig,
+    padding: PaddingMode,
+    dataflows: DataflowSet,
+) -> Result<Mapping, MapFailure> {
+    check_l1(cfg)?;
     if padding == PaddingMode::Exact {
         let reduction = nest.reduction_extent();
         if !reduction.is_multiple_of(cfg.sa_x) && reduction > cfg.sa_x {
-            return Err(ScheduleFailure::DimensionDoesNotFactorize {
-                op: op.to_string(),
+            return Err(MapFailure::DimensionDoesNotFactorize {
                 dim: format!("reduction {reduction} vs sa_x {}", cfg.sa_x),
             });
         }
         if !nest.of.is_multiple_of(cfg.sa_y) && nest.of > cfg.sa_y {
-            return Err(ScheduleFailure::DimensionDoesNotFactorize {
-                op: op.to_string(),
+            return Err(MapFailure::DimensionDoesNotFactorize {
                 dim: format!("OF {} vs sa_y {}", nest.of, cfg.sa_y),
             });
         }
@@ -431,7 +436,8 @@ mod tests {
         cfg.l1_output_kib = 1;
         let nest = nest_conv(1, 28, 256, 256, 1);
         let err = map_matrix_op(&nest, &cfg, PaddingMode::Pad, DataflowSet::All, "c").unwrap_err();
-        assert!(matches!(err, ScheduleFailure::WeightTileDoesNotFit { .. }));
+        assert_eq!(err.op, "c");
+        assert!(matches!(err.cause, MapFailure::WeightTileDoesNotFit { .. }));
     }
 
     #[test]

@@ -1,11 +1,13 @@
-//! Binary-codec impls for the scheduling options that appear in durable
-//! snapshots (the evaluation-cache key). Hand-written because the vendored
-//! serde derives generate no code; every enum uses an explicit one-byte
-//! tag so unknown values from a damaged or future-format file are decode
-//! errors, never misread options.
+//! Binary-codec impls for the scheduling options and per-op mapper results
+//! that appear in durable snapshots (the op-tier cache file and the fuse
+//! key). Hand-written because the vendored serde derives generate no code;
+//! every enum uses an explicit one-byte tag so unknown values from a
+//! damaged or future-format file are decode errors, never misread options.
 
+use crate::cache::OpKey;
 use crate::engine::{ScheduleQuality, SimOptions};
-use crate::mapper::{DataflowSet, PaddingMode};
+use crate::error::MapFailure;
+use crate::mapper::{Dataflow, DataflowSet, Mapping, PaddingMode};
 use crate::vector::SoftmaxMode;
 use serde::bin::{Decode, DecodeError, Encode, Reader, Writer};
 
@@ -38,6 +40,124 @@ impl_two_variant_codec!(PaddingMode, PaddingMode::Pad, PaddingMode::Exact);
 impl_two_variant_codec!(SoftmaxMode, SoftmaxMode::ThreePass, SoftmaxMode::TwoPass);
 impl_two_variant_codec!(DataflowSet, DataflowSet::All, DataflowSet::WeightStationaryOnly);
 impl_two_variant_codec!(ScheduleQuality, ScheduleQuality::Searched, ScheduleQuality::XlaDefault);
+impl_two_variant_codec!(Dataflow, Dataflow::WeightStationary, Dataflow::OutputStationary);
+
+impl Encode for Mapping {
+    fn encode(&self, w: &mut Writer) {
+        let Mapping { dataflow, compute_cycles, utilization, weight_latches, padded_macs } = *self;
+        dataflow.encode(w);
+        compute_cycles.encode(w);
+        utilization.encode(w);
+        weight_latches.encode(w);
+        padded_macs.encode(w);
+    }
+}
+
+impl Decode for Mapping {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Mapping {
+            dataflow: Decode::decode(r)?,
+            compute_cycles: Decode::decode(r)?,
+            utilization: Decode::decode(r)?,
+            weight_latches: Decode::decode(r)?,
+            padded_macs: Decode::decode(r)?,
+        })
+    }
+}
+
+impl Encode for MapFailure {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            MapFailure::WeightTileDoesNotFit { required, available } => {
+                w.put_u8(0);
+                required.encode(w);
+                available.encode(w);
+            }
+            MapFailure::InputStreamDoesNotFit { required, available } => {
+                w.put_u8(1);
+                required.encode(w);
+                available.encode(w);
+            }
+            MapFailure::OutputTileDoesNotFit { required, available } => {
+                w.put_u8(2);
+                required.encode(w);
+                available.encode(w);
+            }
+            MapFailure::DimensionDoesNotFactorize { dim } => {
+                w.put_u8(3);
+                dim.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for MapFailure {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.get_u8()? {
+            0 => Ok(MapFailure::WeightTileDoesNotFit {
+                required: Decode::decode(r)?,
+                available: Decode::decode(r)?,
+            }),
+            1 => Ok(MapFailure::InputStreamDoesNotFit {
+                required: Decode::decode(r)?,
+                available: Decode::decode(r)?,
+            }),
+            2 => Ok(MapFailure::OutputTileDoesNotFit {
+                required: Decode::decode(r)?,
+                available: Decode::decode(r)?,
+            }),
+            3 => Ok(MapFailure::DimensionDoesNotFactorize { dim: Decode::decode(r)? }),
+            t => Err(DecodeError { offset: 0, what: format!("invalid MapFailure tag {t}") }),
+        }
+    }
+}
+
+impl Encode for OpKey {
+    fn encode(&self, w: &mut Writer) {
+        let OpKey {
+            nest,
+            sa_x,
+            sa_y,
+            pes_x,
+            pes_y,
+            l1_config,
+            l1_input_kib,
+            l1_weight_kib,
+            l1_output_kib,
+            padding,
+            dataflows,
+        } = *self;
+        nest.encode(w);
+        sa_x.encode(w);
+        sa_y.encode(w);
+        pes_x.encode(w);
+        pes_y.encode(w);
+        l1_config.encode(w);
+        l1_input_kib.encode(w);
+        l1_weight_kib.encode(w);
+        l1_output_kib.encode(w);
+        padding.encode(w);
+        dataflows.encode(w);
+    }
+}
+
+impl Decode for OpKey {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(OpKey {
+            nest: Decode::decode(r)?,
+            sa_x: Decode::decode(r)?,
+            sa_y: Decode::decode(r)?,
+            pes_x: Decode::decode(r)?,
+            pes_y: Decode::decode(r)?,
+            l1_config: Decode::decode(r)?,
+            l1_input_kib: Decode::decode(r)?,
+            l1_weight_kib: Decode::decode(r)?,
+            l1_output_kib: Decode::decode(r)?,
+            padding: Decode::decode(r)?,
+            dataflows: Decode::decode(r)?,
+        })
+    }
+}
 
 impl Encode for SimOptions {
     fn encode(&self, w: &mut Writer) {
@@ -75,5 +195,31 @@ mod tests {
     fn unknown_tags_are_rejected() {
         assert!(PaddingMode::from_bytes(&[2]).is_err());
         assert!(SimOptions::from_bytes(&[0, 0, 0, 7]).is_err());
+        assert!(MapFailure::from_bytes(&[4]).is_err());
+    }
+
+    #[test]
+    fn op_tier_entries_round_trip() {
+        use crate::cache::MapperCache;
+        let cache = MapperCache::new();
+        let cfg = fast_arch::presets::fast_large();
+        let nest = fast_ir::LoopNest {
+            b: 8,
+            oh: 28,
+            ow: 28,
+            if_: 256,
+            of: 256,
+            kh: 1,
+            kw: 1,
+            weight_latches: 1,
+            stationary_is_activation: false,
+            input_reuse: 1,
+        };
+        let _ = cache.map(&nest, &cfg, &SimOptions::default(), "op").unwrap();
+        for (key, value) in cache.export() {
+            assert_eq!(OpKey::from_bytes(&key.to_bytes()).unwrap(), key);
+            let bytes = value.clone().to_bytes();
+            assert_eq!(<Result<Mapping, MapFailure>>::from_bytes(&bytes).unwrap(), value);
+        }
     }
 }

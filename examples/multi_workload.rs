@@ -24,8 +24,17 @@ fn main() {
         .run()
         .expect("valid study configuration");
     let best = outcome.best.expect("seeded search finds a valid design");
-    let stats = evaluator.cache_stats();
-    println!("evaluation cache: {} simulations, {} memoized re-scores\n", stats.misses, stats.hits);
+    let staged = evaluator.staged_cache_stats();
+    println!(
+        "evaluation cache: {} fusion solves, {} memoized re-scores \
+         (op tier {}/{} hits/misses, sim tier {}/{})\n",
+        staged.fuse.misses,
+        staged.fuse.hits,
+        staged.op.hits,
+        staged.op.misses,
+        staged.sim.hits,
+        staged.sim.misses,
+    );
 
     println!("multi-workload design:");
     let cfg = best.config;

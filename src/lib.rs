@@ -55,6 +55,7 @@ pub use fast_sim as sim;
 /// Commonly used items, one `use` away.
 pub mod prelude {
     pub use fast_arch::{presets, Budget, DatapathConfig};
+    pub use fast_core::StagedCacheStats;
     pub use fast_core::{
         ablation_study, component_breakdown, design_report, relative_to_tpu, BudgetLevel,
         CacheStats, Checkpointer, DesignEval, Evaluator, FastSpace, FastStudy, Objective,
@@ -75,5 +76,5 @@ pub mod prelude {
         trial_rng, Durability, Execution, MetricDirection, MultiObjective, ParetoArchive, Study,
         StudyConfigError, StudyEval, StudyObjective, StudyReport, TrialResult,
     };
-    pub use fast_sim::{simulate, SimOptions, SoftmaxMode};
+    pub use fast_sim::{simulate, simulate_staged, MapperCache, SimError, SimOptions, SoftmaxMode};
 }
