@@ -1,0 +1,50 @@
+//! Merges `fast-sweep-worker` checkpoint directories into the artifact set
+//! a single-process `sweep_frontiers --checkpoint` run would have left:
+//! byte-identical `eval_cache.bin` / `eval_cache.op.bin` tier snapshots and
+//! a full-matrix `sweep.bin` ledger with every frontier re-validated
+//! through Pareto-archive insertion. The merged directory is directly
+//! resumable: `sweep_frontiers --checkpoint MERGED --resume` replays the
+//! whole sweep from the warm cache and cross-checks it against the ledger.
+//!
+//! Any abnormality — a damaged or missing shard snapshot, a worker killed
+//! mid-shard, shards that do not cover the matrix, or two shards
+//! disagreeing about a scenario or cache entry — is a hard error: silently
+//! dropping shard state would break the merged == single-process contract.
+
+use fast_bench::cli::{parse_merge_cli, MergeCli};
+use fast_core::merge_sweep_checkpoints;
+
+const USAGE: &str = "usage: fast-sweep-merge --out DIR SHARD_DIR...
+  --out DIR    write the merged checkpoint (cache tiers + ledger) under DIR
+  SHARD_DIR    one completed fast-sweep-worker checkpoint directory per shard";
+
+fn main() {
+    match parse_merge_cli(std::env::args().skip(1)) {
+        Ok(MergeCli::Help) => println!("{USAGE}"),
+        Ok(MergeCli::Run { inputs, out }) => match merge_sweep_checkpoints(&inputs, &out) {
+            Ok(report) => {
+                println!(
+                    "merged {} shards -> {}: {} scenarios ({} recorded by more than one \
+                     shard), {} op-tier + {} fuse-tier cache entries ({} + {} shared across \
+                     shards)",
+                    report.shards,
+                    out.display(),
+                    report.scenarios,
+                    report.scenario_duplicates,
+                    report.cache.op_entries,
+                    report.cache.fuse_entries,
+                    report.cache.op_duplicates,
+                    report.cache.fuse_duplicates,
+                );
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        },
+        Err(message) => {
+            eprintln!("{message}\n{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}

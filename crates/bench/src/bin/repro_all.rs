@@ -15,7 +15,7 @@ const USAGE: &str = "usage: repro_all [--checkpoint DIR] [--resume]
   --resume           resume the budget sweep from DIR (requires --checkpoint)";
 
 fn main() {
-    let sweep_opts = match parse_sweep_cli(std::env::args().skip(1), false) {
+    let sweep_opts = match parse_sweep_cli(std::env::args().skip(1), false, false) {
         Ok(SweepCli::Help) => {
             println!("{USAGE}");
             return;

@@ -13,7 +13,7 @@ const USAGE: &str = "usage: sweep_frontiers [--checkpoint DIR] [--resume] [--fro
   --frontiers-only   print only the deterministic frontier tables";
 
 fn main() {
-    match parse_sweep_cli(std::env::args().skip(1), true) {
+    match parse_sweep_cli(std::env::args().skip(1), true, false) {
         Ok(SweepCli::Help) => println!("{USAGE}"),
         Ok(SweepCli::Run(opts)) => println!("{}", sweep_budget_frontiers_with(&opts)),
         Err(message) => {

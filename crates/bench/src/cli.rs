@@ -1,13 +1,16 @@
 //! Flag parsing shared by the durable bench binaries (`sweep_frontiers`,
-//! `repro_all`), factored out so the reject-unknown-flag behavior is unit
-//! tested instead of living duplicated (and untested) in each `main`.
+//! `repro_all`, `fast-sweep-worker`, `fast-sweep-merge`), factored out so
+//! the reject-unknown-flag behavior is unit tested instead of living
+//! duplicated (and untested) in each `main`.
 //!
 //! Contract: unknown flags, missing flag values, and inconsistent
-//! combinations (`--resume` without `--checkpoint`) are **errors** — the
-//! binaries print the message plus their usage string and exit non-zero
-//! rather than silently ignoring arguments.
+//! combinations (`--resume` without `--checkpoint`, `--shard` without
+//! `--checkpoint`) are **errors** — the binaries print the message plus
+//! their usage string and exit non-zero rather than silently ignoring
+//! arguments.
 
 use crate::pareto_figs::SweepRunOptions;
+use std::path::PathBuf;
 
 /// Outcome of parsing a durable-sweep command line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -18,17 +21,34 @@ pub enum SweepCli {
     Help,
 }
 
+/// Parses an `INDEX/COUNT` shard spec (e.g. `0/3`).
+fn parse_shard_spec(value: &str) -> Result<(usize, usize), String> {
+    let bad = || format!("--shard wants INDEX/COUNT (e.g. 0/3), got {value:?}");
+    let (index, count) = value.split_once('/').ok_or_else(bad)?;
+    let index: usize = index.parse().map_err(|_| bad())?;
+    let count: usize = count.parse().map_err(|_| bad())?;
+    if count == 0 {
+        return Err("--shard count must be at least 1".to_string());
+    }
+    if index >= count {
+        return Err(format!("--shard index {index} out of range (shards are 0..{count})"));
+    }
+    Ok((index, count))
+}
+
 /// Parses the `--checkpoint DIR` / `--resume` (and, when
-/// `accept_frontiers_only`, `--frontiers-only`) flag set.
+/// `accept_frontiers_only`, `--frontiers-only`; when `accept_shard`,
+/// `--shard INDEX/COUNT`) flag set.
 ///
 /// # Errors
 /// Returns a one-line message for an unknown argument, a flag missing its
-/// value, a `--frontiers-only` where it is not accepted, or `--resume`
-/// without `--checkpoint`. Callers print it with their usage string and
-/// exit non-zero.
+/// value, a flag where it is not accepted, a malformed shard spec, or
+/// `--resume`/`--shard` without `--checkpoint`. Callers print it with
+/// their usage string and exit non-zero.
 pub fn parse_sweep_cli(
     args: impl IntoIterator<Item = String>,
     accept_frontiers_only: bool,
+    accept_shard: bool,
 ) -> Result<SweepCli, String> {
     let mut opts = SweepRunOptions::default();
     let mut args = args.into_iter();
@@ -43,6 +63,12 @@ pub fn parse_sweep_cli(
             },
             "--resume" => opts.resume = true,
             "--frontiers-only" if accept_frontiers_only => opts.frontiers_only = true,
+            "--shard" if accept_shard => match args.next() {
+                Some(spec) if !spec.starts_with('-') => {
+                    opts.shard = Some(parse_shard_spec(&spec)?);
+                }
+                _ => return Err("--shard needs an INDEX/COUNT value".to_string()),
+            },
             "--help" | "-h" => return Ok(SweepCli::Help),
             other => return Err(format!("unknown argument {other:?}")),
         }
@@ -50,16 +76,70 @@ pub fn parse_sweep_cli(
     if opts.resume && opts.checkpoint.is_none() {
         return Err("--resume requires --checkpoint DIR".to_string());
     }
+    if opts.shard.is_some() && opts.checkpoint.is_none() {
+        return Err("--shard requires --checkpoint DIR (the shard's mergeable state)".to_string());
+    }
     Ok(SweepCli::Run(opts))
+}
+
+/// Outcome of parsing a `fast-sweep-merge` command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MergeCli {
+    /// Merge the shard checkpoint directories into `out`.
+    Run {
+        /// Shard checkpoint directories, in the order given.
+        inputs: Vec<PathBuf>,
+        /// Output directory for the merged artifact set.
+        out: PathBuf,
+    },
+    /// `--help`/`-h`: print usage and exit successfully.
+    Help,
+}
+
+/// Parses the `fast-sweep-merge --out DIR SHARD_DIR...` command line.
+///
+/// # Errors
+/// Returns a one-line message for an unknown flag, a missing `--out`
+/// value, a missing `--out` altogether, or no shard directories. Callers
+/// print it with their usage string and exit non-zero.
+pub fn parse_merge_cli(args: impl IntoIterator<Item = String>) -> Result<MergeCli, String> {
+    let mut out: Option<PathBuf> = None;
+    let mut inputs: Vec<PathBuf> = Vec::new();
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => match args.next() {
+                Some(dir) if !dir.starts_with('-') => out = Some(dir.into()),
+                _ => return Err("--out needs a directory".to_string()),
+            },
+            "--help" | "-h" => return Ok(MergeCli::Help),
+            flag if flag.starts_with('-') => return Err(format!("unknown argument {flag:?}")),
+            dir => inputs.push(dir.into()),
+        }
+    }
+    let Some(out) = out else {
+        return Err("--out DIR is required".to_string());
+    };
+    if inputs.is_empty() {
+        return Err("at least one shard checkpoint directory is required".to_string());
+    }
+    Ok(MergeCli::Run { inputs, out })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::path::PathBuf;
 
     fn parse(args: &[&str], frontiers: bool) -> Result<SweepCli, String> {
-        parse_sweep_cli(args.iter().map(ToString::to_string), frontiers)
+        parse_sweep_cli(args.iter().map(ToString::to_string), frontiers, false)
+    }
+
+    fn parse_shard(args: &[&str]) -> Result<SweepCli, String> {
+        parse_sweep_cli(args.iter().map(ToString::to_string), true, true)
+    }
+
+    fn parse_merge(args: &[&str]) -> Result<MergeCli, String> {
+        parse_merge_cli(args.iter().map(ToString::to_string))
     }
 
     #[test]
@@ -122,5 +202,82 @@ mod tests {
     fn help_wins() {
         assert_eq!(parse(&["--help"], true), Ok(SweepCli::Help));
         assert_eq!(parse(&["-h"], false), Ok(SweepCli::Help));
+    }
+
+    #[test]
+    fn shard_parses_with_checkpoint() {
+        let got = parse_shard(&["--shard", "1/3", "--checkpoint", "ck"]).unwrap();
+        let SweepCli::Run(opts) = got else { panic!("expected Run") };
+        assert_eq!(opts.shard, Some((1, 3)));
+        assert_eq!(opts.checkpoint, Some(PathBuf::from("ck")));
+    }
+
+    #[test]
+    fn shard_requires_checkpoint() {
+        assert_eq!(
+            parse_shard(&["--shard", "0/3"]),
+            Err("--shard requires --checkpoint DIR (the shard's mergeable state)".to_string())
+        );
+    }
+
+    #[test]
+    fn shard_is_rejected_where_unsupported() {
+        assert_eq!(
+            parse(&["--shard", "0/3"], true),
+            Err("unknown argument \"--shard\"".to_string())
+        );
+    }
+
+    #[test]
+    fn malformed_shard_specs_are_errors() {
+        for bad in ["3", "a/b", "1/", "/3", "1/2/3", "-1/3"] {
+            let got = parse_shard(&["--shard", bad, "--checkpoint", "ck"]);
+            assert!(got.is_err(), "{bad}: {got:?}");
+        }
+        assert_eq!(
+            parse_shard(&["--shard", "0/0", "--checkpoint", "ck"]),
+            Err("--shard count must be at least 1".to_string())
+        );
+        assert_eq!(
+            parse_shard(&["--shard", "3/3", "--checkpoint", "ck"]),
+            Err("--shard index 3 out of range (shards are 0..3)".to_string())
+        );
+        // A following flag must not be swallowed as the shard spec.
+        assert_eq!(
+            parse_shard(&["--shard", "--checkpoint"]),
+            Err("--shard needs an INDEX/COUNT value".to_string())
+        );
+    }
+
+    #[test]
+    fn merge_cli_parses_out_and_positional_dirs() {
+        let got = parse_merge(&["--out", "merged", "s0", "s1", "s2"]).unwrap();
+        assert_eq!(
+            got,
+            MergeCli::Run {
+                inputs: vec!["s0".into(), "s1".into(), "s2".into()],
+                out: PathBuf::from("merged"),
+            }
+        );
+        // Flag order does not matter.
+        let got = parse_merge(&["s0", "--out", "merged", "s1"]).unwrap();
+        let MergeCli::Run { inputs, .. } = got else { panic!("expected Run") };
+        assert_eq!(inputs, vec![PathBuf::from("s0"), PathBuf::from("s1")]);
+    }
+
+    #[test]
+    fn merge_cli_rejects_missing_pieces() {
+        assert_eq!(parse_merge(&["s0"]), Err("--out DIR is required".to_string()));
+        assert_eq!(
+            parse_merge(&["--out", "merged"]),
+            Err("at least one shard checkpoint directory is required".to_string())
+        );
+        assert_eq!(parse_merge(&["--out"]), Err("--out needs a directory".to_string()));
+        assert_eq!(parse_merge(&["--out", "--help"]), Err("--out needs a directory".to_string()));
+        assert_eq!(
+            parse_merge(&["--out", "m", "s0", "--bogus"]),
+            Err("unknown argument \"--bogus\"".to_string())
+        );
+        assert_eq!(parse_merge(&["-h"]), Ok(MergeCli::Help));
     }
 }

@@ -216,7 +216,7 @@ impl Hash for SimTierKey {
 /// invisible to the fusion pass, so datapaths with identical region stats
 /// and GM share one ILP solve.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct FuseKey {
+pub(crate) struct FuseKey {
     stats: StatsFingerprint,
     gm_bytes: u64,
     fusion: FusionOptions,
@@ -284,7 +284,7 @@ impl SimStats {
 /// final summary needs. Everything else in [`WorkloadEval`] derives from
 /// the (in-hand) [`SimStats`].
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct FusedSummary {
+pub(crate) struct FusedSummary {
     total_seconds: f64,
     pinned_weight_bytes: u64,
     dram_bytes: u64,
@@ -804,11 +804,11 @@ impl Evaluator {
     pub fn load_eval_cache(&self, path: &Path) -> CacheLoadReport {
         let mut warnings: Vec<String> = Vec::new();
         let op_entries: Vec<(OpKey, Result<Mapping, MapFailure>)> =
-            read_tier(&Self::op_tier_path(path), OP_MAGIC, OP_VERSION, &mut warnings);
+            read_tier(&Self::op_tier_path(path), OP_MAGIC, OP_VERSION, "op", &mut warnings);
         let op_loaded = op_entries.len();
         self.mapper.merge(op_entries);
         let fuse_entries: Vec<(FuseKey, FusedSummary)> =
-            read_tier(path, FUSE_MAGIC, FUSE_VERSION, &mut warnings);
+            read_tier(path, FUSE_MAGIC, FUSE_VERSION, "fuse", &mut warnings);
         let fuse_loaded = fuse_entries.len();
         self.fuses.merge(fuse_entries);
         CacheLoadReport {
@@ -820,19 +820,19 @@ impl Evaluator {
 }
 
 /// Magic prefix of fuse-tier snapshot files (`eval_cache.bin`).
-const FUSE_MAGIC: [u8; 8] = *b"FASTEVC1";
+pub(crate) const FUSE_MAGIC: [u8; 8] = *b"FASTEVC1";
 /// Fuse-tier format version; bump on any layout change so old files degrade
 /// to a cold cache instead of being misread. Version 1 was the pre-split
 /// monolithic `(workload, datapath, schedule, fusion) → WorkloadEval`
 /// cache; those files are rejected with a version warning.
-const FUSE_VERSION: u32 = 2;
+pub(crate) const FUSE_VERSION: u32 = 2;
 /// Magic prefix of op-tier snapshot files (`…op.bin`).
-const OP_MAGIC: [u8; 8] = *b"FASTOPC1";
+pub(crate) const OP_MAGIC: [u8; 8] = *b"FASTOPC1";
 /// Op-tier format version.
-const OP_VERSION: u32 = 1;
+pub(crate) const OP_VERSION: u32 = 1;
 
 /// Atomically writes one tier snapshot; returns the entry count.
-fn write_tier<K: Encode, V: Encode>(
+pub(crate) fn write_tier<K: Encode, V: Encode>(
     path: &Path,
     magic: [u8; 8],
     version: u32,
@@ -854,45 +854,75 @@ fn write_tier<K: Encode, V: Encode>(
     Ok(encoded.len())
 }
 
-/// Reads one tier snapshot, degrading to an empty entry list (with a
-/// recorded warning) on any damage. A snapshot is adopted whole or not at
-/// all: everything decodes before anything is returned.
-fn read_tier<K: Decode, V: Decode>(
+/// Why a tier snapshot could not be adopted.
+#[derive(Debug)]
+pub(crate) enum TierReadError {
+    /// The snapshot file does not exist — a cold tier, not damage.
+    Missing,
+    /// The file exists but is unusable; the message names the tier, the
+    /// file, and the failing byte region (e.g. the checksum's coverage).
+    Damaged(String),
+}
+
+/// Reads one tier snapshot strictly: the caller decides whether damage
+/// degrades (the warm-start loader) or aborts (the merge pipeline, where a
+/// silently dropped shard would break the merged == single-process
+/// bit-identity contract). A snapshot is adopted whole or not at all:
+/// everything decodes before anything is returned.
+pub(crate) fn read_tier_strict<K: Decode, V: Decode>(
     path: &Path,
     magic: [u8; 8],
     version: u32,
-    warnings: &mut Vec<String>,
-) -> Vec<(K, V)> {
-    let mut reject = |what: String| {
-        eprintln!("warning: evaluation-cache snapshot ignored — {what}");
-        warnings.push(what);
-        Vec::new()
-    };
+    tier: &str,
+) -> Result<Vec<(K, V)>, TierReadError> {
+    let damaged =
+        |what: String| Err(TierReadError::Damaged(format!("{tier} tier snapshot {what}")));
     let bytes = match std::fs::read(path) {
         Ok(b) => b,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Vec::new(),
-        Err(e) => return reject(format!("reading {}: {e}", path.display())),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Err(TierReadError::Missing),
+        Err(e) => return damaged(format!("{}: {e}", path.display())),
     };
     let payload = match bin::read_envelope(magic, version, &bytes) {
         Ok(p) => p,
-        Err(e) => return reject(format!("snapshot {}: {e}", path.display())),
+        Err(e) => return damaged(format!("{}: {e}", path.display())),
     };
     let mut r = Reader::new(payload);
     let count = match r.get_u64() {
         Ok(c) => c,
-        Err(e) => return reject(format!("snapshot {}: {e}", path.display())),
+        Err(e) => return damaged(format!("{}: {e}", path.display())),
     };
     let mut decoded = Vec::new();
     for _ in 0..count {
         match <(K, V)>::decode(&mut r) {
             Ok(pair) => decoded.push(pair),
-            Err(e) => return reject(format!("snapshot {}: {e}", path.display())),
+            Err(e) => return damaged(format!("{}: {e}", path.display())),
         }
     }
     if !r.is_done() {
-        return reject(format!("snapshot {}: {} trailing bytes", path.display(), r.remaining()));
+        return damaged(format!("{}: {} trailing bytes", path.display(), r.remaining()));
     }
-    decoded
+    Ok(decoded)
+}
+
+/// [`read_tier_strict`] with the warm-start policy: a missing file is
+/// silently cold, damage is logged (naming the tier file and failing byte
+/// region) and degrades to cold.
+fn read_tier<K: Decode, V: Decode>(
+    path: &Path,
+    magic: [u8; 8],
+    version: u32,
+    tier: &str,
+    warnings: &mut Vec<String>,
+) -> Vec<(K, V)> {
+    match read_tier_strict(path, magic, version, tier) {
+        Ok(entries) => entries,
+        Err(TierReadError::Missing) => Vec::new(),
+        Err(TierReadError::Damaged(what)) => {
+            eprintln!("warning: evaluation-cache snapshot ignored — {what}");
+            warnings.push(what);
+            Vec::new()
+        }
+    }
 }
 
 /// Per-tier miss counts at the last successful snapshot save — the
@@ -1397,6 +1427,43 @@ mod tests {
                 assert_eq!(report.fuse_loaded, 0, "flipped fuse bit must void the fuse tier");
             }
             assert!(report.warning.unwrap().contains("checksum"));
+        }
+    }
+
+    /// Pins the shape of the corrupt-snapshot warning: it must name the
+    /// tier, the exact file, and the byte region whose checksum failed —
+    /// "cold cache" alone is not actionable when the file came out of a
+    /// multi-shard merge.
+    #[test]
+    fn checksum_warning_names_tier_file_and_byte_range() {
+        let e = evaluator(Objective::Qps);
+        let _ = e.evaluate(&presets::fast_large(), &SimOptions::default()).unwrap();
+        for tier in ["op", "fuse"] {
+            let (op_path, fuse_path) = saved_snapshot(&e, &format!("warnshape-{tier}.bin"));
+            let flipped = if tier == "op" { &op_path } else { &fuse_path };
+            let mut bytes = std::fs::read(flipped).unwrap();
+            let last = bytes.len() - 1;
+            bytes[last] ^= 0x40;
+            std::fs::write(flipped, &bytes).unwrap();
+
+            let fresh = e.fresh_eval_cache();
+            let warning = fresh.load_eval_cache(&fuse_path).warning.unwrap();
+            assert!(
+                warning.starts_with(&format!("{tier} tier snapshot {}", flipped.display())),
+                "warning must lead with the tier and file: {warning}"
+            );
+            assert!(
+                warning.contains(&format!(
+                    "checksum mismatch over payload bytes {}..{}",
+                    bin::ENVELOPE_HEADER_LEN,
+                    bytes.len()
+                )),
+                "warning must give the failing byte range: {warning}"
+            );
+            assert!(
+                warning.contains("stored 0x") && warning.contains("computed 0x"),
+                "warning must show both sums: {warning}"
+            );
         }
     }
 

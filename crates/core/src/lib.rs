@@ -38,6 +38,7 @@
 pub mod analysis;
 pub mod driver;
 pub mod evaluate;
+pub mod merge;
 pub mod report;
 pub mod search_space;
 pub mod sweep;
@@ -55,6 +56,9 @@ pub use evaluate::{
     StagedCacheStats, WorkloadEval,
 };
 pub use fast_search::{Durability, Execution, StudyConfigError, StudyObjective, StudyReport};
+pub use merge::{
+    merge_eval_caches, merge_sweep_checkpoints, CacheMergeStats, MergeError, MergeReport,
+};
 pub use report::{design_report, relative_to_tpu, DesignReport, RelativePerf};
 pub use search_space::{combined_search_space_log10, FastSpace, SpaceDims};
 pub use sweep::{

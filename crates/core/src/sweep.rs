@@ -114,6 +114,43 @@ impl ScenarioMatrix {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// The canonical shard partition: the index range of the expanded
+    /// scenario list owned by shard `index` of `count`.
+    ///
+    /// The partition is *stable* (a pure function of `(len, index, count)`),
+    /// *gap-free* (the `count` ranges tile `0..len` exactly, no scenario
+    /// dropped or duplicated), and *order-preserving* (concatenating the
+    /// shards in index order reproduces [`ScenarioMatrix::scenarios`] —
+    /// contiguous chunks, not round-robin — which is what lets the merger
+    /// rebuild the single-process scenario order by concatenation). Shard
+    /// sizes differ by at most one; when `count > len`, trailing shards are
+    /// empty.
+    ///
+    /// # Panics
+    /// Panics when `count` is zero or `index >= count`.
+    #[must_use]
+    pub fn shard_range(&self, index: usize, count: usize) -> std::ops::Range<usize> {
+        assert!(count > 0, "shard count must be at least 1");
+        assert!(index < count, "shard index {index} out of range for {count} shards");
+        let len = self.len();
+        (index * len / count)..((index + 1) * len / count)
+    }
+
+    /// The scenarios of shard `index` of `count` — the expanded list sliced
+    /// by [`ScenarioMatrix::shard_range`].
+    ///
+    /// # Panics
+    /// Panics when `count` is zero, `index >= count`, or (as in
+    /// [`ScenarioMatrix::scenarios`]) any matrix axis is empty.
+    #[must_use]
+    pub fn shard(&self, index: usize, count: usize) -> Vec<Scenario> {
+        let range = self.shard_range(index, count);
+        let mut all = self.scenarios();
+        all.drain(..range.start);
+        all.truncate(range.end - range.start);
+        all
+    }
 }
 
 /// One concrete cell of the scenario matrix.
@@ -263,9 +300,73 @@ pub struct Checkpointer {
 }
 
 /// Magic prefix of sweep-ledger files.
-const SWEEP_MAGIC: [u8; 8] = *b"FASTSWP1";
-/// Ledger format version; bump on layout changes.
-const SWEEP_VERSION: u32 = 1;
+pub(crate) const SWEEP_MAGIC: [u8; 8] = *b"FASTSWP1";
+/// Ledger format version; bump on layout changes. Version 1 had no shard
+/// header — those files degrade to "no checkpoint" via the version gate.
+pub(crate) const SWEEP_VERSION: u32 = 2;
+
+/// The decoded contents of one `sweep.bin` — the fingerprint guarding
+/// reuse, the scenario-index range the writing process *intended* to run
+/// (`start..end` of `total`; a single-process sweep writes `0..total`), and
+/// the scenarios that actually completed. `completed.len() < end - start`
+/// means the process was killed mid-range and must be resumed before its
+/// checkpoint can be merged.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct LedgerFile {
+    pub fingerprint: u64,
+    pub start: u64,
+    pub end: u64,
+    pub total: u64,
+    pub completed: Vec<CompletedScenario>,
+}
+
+impl LedgerFile {
+    pub(crate) fn encode_payload(&self) -> Vec<u8> {
+        let mut payload = Writer::new();
+        payload.put_u64(self.fingerprint);
+        payload.put_u64(self.start);
+        payload.put_u64(self.end);
+        payload.put_u64(self.total);
+        self.completed.encode(&mut payload);
+        payload.into_bytes()
+    }
+}
+
+/// Reads and fully validates a sweep ledger, strictly: any damage —
+/// missing file, truncation, version skew, checksum failure, trailing
+/// bytes — is an error naming the file and cause. The resume path wraps
+/// this with its degrade-to-cold policy; the merge pipeline propagates the
+/// error (a silently dropped shard ledger would un-account its scenarios).
+pub(crate) fn read_ledger_strict(path: &Path) -> Result<LedgerFile, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("sweep ledger {}: {e}", path.display()))?;
+    let payload = bin::read_envelope(SWEEP_MAGIC, SWEEP_VERSION, &bytes)
+        .map_err(|e| format!("sweep ledger {}: {e}", path.display()))?;
+    fn decode_ledger(r: &mut Reader<'_>) -> Result<LedgerFile, bin::DecodeError> {
+        Ok(LedgerFile {
+            fingerprint: r.get_u64()?,
+            start: r.get_u64()?,
+            end: r.get_u64()?,
+            total: r.get_u64()?,
+            completed: Decode::decode(r)?,
+        })
+    }
+    let mut r = Reader::new(payload);
+    let ledger =
+        decode_ledger(&mut r).map_err(|e| format!("sweep ledger {}: {e}", path.display()))?;
+    if !r.is_done() {
+        return Err(format!("sweep ledger {}: {} trailing bytes", path.display(), r.remaining()));
+    }
+    if ledger.start > ledger.end || ledger.end > ledger.total {
+        return Err(format!(
+            "sweep ledger {}: inconsistent shard range {}..{} of {}",
+            path.display(),
+            ledger.start,
+            ledger.end,
+            ledger.total
+        ));
+    }
+    Ok(ledger)
+}
 
 impl Checkpointer {
     /// Creates (or reopens) a checkpoint directory.
@@ -297,11 +398,8 @@ impl Checkpointer {
     }
 
     /// Atomically rewrites the scenario ledger.
-    fn save_ledger(&self, fingerprint: u64, completed: &[CompletedScenario]) {
-        let mut payload = Writer::new();
-        payload.put_u64(fingerprint);
-        completed.to_vec().encode(&mut payload);
-        let file = bin::write_envelope(SWEEP_MAGIC, SWEEP_VERSION, &payload.into_bytes());
+    pub(crate) fn save_ledger(&self, ledger: &LedgerFile) {
+        let file = bin::write_envelope(SWEEP_MAGIC, SWEEP_VERSION, &ledger.encode_payload());
         let path = self.sweep_path();
         let tmp = path.with_extension("tmp");
         if let Err(e) = std::fs::write(&tmp, &file).and_then(|()| std::fs::rename(&tmp, &path)) {
@@ -309,39 +407,49 @@ impl Checkpointer {
         }
     }
 
-    /// Loads the ledger if it exists, is intact, and matches `fingerprint`.
-    /// Anything else — missing file, corruption, a ledger from a different
-    /// matrix/config — yields an empty ledger (with a logged warning when
-    /// the file existed but was unusable).
-    fn load_ledger(&self, fingerprint: u64) -> Vec<CompletedScenario> {
+    /// Loads the ledger if it exists, is intact, and matches `fingerprint`
+    /// and the shard `range` (of `total` scenarios). Anything else — a
+    /// missing file, corruption, a ledger from a different matrix/config,
+    /// or one written by a different shard — yields an empty ledger (with a
+    /// logged warning when the file existed but was unusable).
+    fn load_ledger(
+        &self,
+        fingerprint: u64,
+        range: &std::ops::Range<usize>,
+        total: usize,
+    ) -> Vec<CompletedScenario> {
         let path = self.sweep_path();
-        let bytes = match std::fs::read(&path) {
-            Ok(b) => b,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Vec::new(),
-            Err(e) => {
-                eprintln!("warning: sweep ledger ignored — reading {}: {e}", path.display());
-                return Vec::new();
-            }
-        };
-        let reject = |what: &str| {
-            eprintln!("warning: sweep ledger ignored — {}: {what}", path.display());
+        if !path.exists() {
+            return Vec::new();
+        }
+        let reject = |what: String| {
+            eprintln!("warning: sweep ledger ignored — {what}");
             Vec::new()
         };
-        let payload = match bin::read_envelope(SWEEP_MAGIC, SWEEP_VERSION, &bytes) {
-            Ok(p) => p,
-            Err(e) => return reject(&e.to_string()),
+        let ledger = match read_ledger_strict(&path) {
+            Ok(l) => l,
+            Err(e) => return reject(e),
         };
-        let mut r = Reader::new(payload);
-        let (got_fp, completed): (u64, Vec<CompletedScenario>) =
-            match <(u64, Vec<CompletedScenario>)>::decode(&mut r) {
-                Ok(v) if r.is_done() => v,
-                Ok(_) => return reject("trailing bytes"),
-                Err(e) => return reject(&e.to_string()),
-            };
-        if got_fp != fingerprint {
-            return reject("checkpoint belongs to a different matrix/config");
+        if ledger.fingerprint != fingerprint {
+            return reject(format!(
+                "{}: checkpoint belongs to a different matrix/config",
+                path.display()
+            ));
         }
-        completed
+        if (ledger.start, ledger.end, ledger.total)
+            != (range.start as u64, range.end as u64, total as u64)
+        {
+            return reject(format!(
+                "{}: checkpoint covers shard {}..{} of {}, this process runs {}..{} of {total}",
+                path.display(),
+                ledger.start,
+                ledger.end,
+                ledger.total,
+                range.start,
+                range.end,
+            ));
+        }
+        ledger.completed
     }
 }
 
@@ -389,7 +497,7 @@ pub struct SweepRunner {
 
 /// Archive metric order used by every scenario: scenario objective
 /// (maximize), TDP watts (minimize), die area (minimize).
-const DIRECTIONS: [MetricDirection; 3] =
+pub(crate) const DIRECTIONS: [MetricDirection; 3] =
     [MetricDirection::Maximize, MetricDirection::Minimize, MetricDirection::Minimize];
 
 impl SweepRunner {
@@ -417,7 +525,7 @@ impl SweepRunner {
     /// stats depend on thread scheduling.)
     #[must_use]
     pub fn run(&self) -> SweepResult {
-        self.run_impl(None, false, None)
+        self.run_impl(None, false, None, None)
     }
 
     /// [`SweepRunner::run`], saving checkpoints as it goes: the evaluation
@@ -426,7 +534,7 @@ impl SweepRunner {
     /// [`SweepRunner::run`]'s; the process merely becomes killable.
     #[must_use]
     pub fn run_checkpointed(&self, ck: &Checkpointer) -> SweepResult {
-        self.run_impl(Some(ck), false, None)
+        self.run_impl(Some(ck), false, None, None)
     }
 
     /// Resumes a killed [`SweepRunner::run_checkpointed`] sweep.
@@ -446,7 +554,7 @@ impl SweepRunner {
     /// Checkpointing continues during the resumed run.
     #[must_use]
     pub fn resume(&self, ck: &Checkpointer) -> SweepResult {
-        self.run_impl(Some(ck), true, None)
+        self.run_impl(Some(ck), true, None, None)
     }
 
     /// Runs only the first `limit` scenarios (with checkpointing) and stops
@@ -455,7 +563,38 @@ impl SweepRunner {
     /// checkpoint as if the prefix run had been killed at the boundary.
     #[must_use]
     pub fn run_prefix(&self, ck: &Checkpointer, limit: usize) -> SweepResult {
-        self.run_impl(Some(ck), false, Some(limit))
+        self.run_impl(Some(ck), false, None, Some(limit))
+    }
+
+    /// Runs shard `index` of `count` — the scenarios of
+    /// [`ScenarioMatrix::shard`] — checkpointing under `ck` like
+    /// [`SweepRunner::run_checkpointed`]. Per-scenario results are
+    /// **bit-identical** to the same scenarios of a single-process
+    /// [`SweepRunner::run`]: every scenario's study is self-contained (the
+    /// shared cache accelerates but never alters results), so partitioning
+    /// the matrix across processes cannot change any frontier. The shard's
+    /// checkpoint directory is the unit [`crate::merge_sweep_checkpoints`]
+    /// merges.
+    ///
+    /// # Panics
+    /// Panics when `count` is zero or `index >= count`.
+    #[must_use]
+    pub fn run_shard(&self, ck: &Checkpointer, index: usize, count: usize) -> SweepResult {
+        self.run_impl(Some(ck), false, Some(self.matrix.shard_range(index, count)), None)
+    }
+
+    /// Resumes a killed [`SweepRunner::run_shard`] worker, with the same
+    /// contract as [`SweepRunner::resume`]: completed scenarios replay from
+    /// the warm snapshot, the interrupted one re-pays only what the
+    /// snapshot missed, and the result is bit-identical to an uninterrupted
+    /// shard run. A checkpoint written by a *different* shard (or matrix,
+    /// or config) is rejected and degrades to a cold shard run.
+    ///
+    /// # Panics
+    /// Panics when `count` is zero or `index >= count`.
+    #[must_use]
+    pub fn resume_shard(&self, ck: &Checkpointer, index: usize, count: usize) -> SweepResult {
+        self.run_impl(Some(ck), true, Some(self.matrix.shard_range(index, count)), None)
     }
 
     /// Fingerprint of `(matrix, config)` guarding ledger reuse: resuming
@@ -493,6 +632,7 @@ impl SweepRunner {
         &self,
         ck: Option<&Checkpointer>,
         resume: bool,
+        range: Option<std::ops::Range<usize>>,
         limit: Option<usize>,
     ) -> SweepResult {
         let space = FastSpace::table3();
@@ -501,6 +641,12 @@ impl SweepRunner {
         // The prototype owns the caches every scenario evaluator shares; its
         // own scenario fields are never used to score anything.
         let proto = Evaluator::new(Vec::new(), Objective::Qps, Budget::paper_default());
+
+        let all = self.matrix.scenarios();
+        let total = all.len();
+        // The range this process *owns* (and records in its ledger header);
+        // `limit` additionally time-boxes how far into it this run gets.
+        let range = range.unwrap_or(0..total);
 
         let fingerprint = self.fingerprint();
         let mut ledger: HashMap<String, CompletedScenario> = HashMap::new();
@@ -516,8 +662,11 @@ impl SweepRunner {
                         report.fuse_loaded,
                     );
                 }
-                ledger =
-                    ck.load_ledger(fingerprint).into_iter().map(|c| (c.name.clone(), c)).collect();
+                ledger = ck
+                    .load_ledger(fingerprint, &range, total)
+                    .into_iter()
+                    .map(|c| (c.name.clone(), c))
+                    .collect();
             }
         }
         // Misses already represented in the on-disk snapshots; rounds that
@@ -525,12 +674,26 @@ impl SweepRunner {
         // round rewrites only the small fuse file).
         let mut marks = proto.save_marks();
         let mut completed: Vec<CompletedScenario> = Vec::new();
+        let save_ledger = |completed: &[CompletedScenario]| {
+            if let Some(ck) = ck {
+                ck.save_ledger(&LedgerFile {
+                    fingerprint,
+                    start: range.start as u64,
+                    end: range.end as u64,
+                    total: total as u64,
+                    completed: completed.to_vec(),
+                });
+            }
+        };
+        // Write the (empty) ledger up front so even a shard killed before
+        // its first scenario boundary — or one whose range is empty — leaves
+        // a header attesting which slice of the matrix it owns.
+        save_ledger(&completed);
 
-        let all = self.matrix.scenarios();
-        let n = limit.map_or(all.len(), |l| l.min(all.len()));
+        let n = limit.map_or(range.len(), |l| l.min(range.len()));
 
         let mut scenarios = Vec::new();
-        for scenario in all.into_iter().take(n) {
+        for scenario in all.into_iter().skip(range.start).take(n) {
             let evaluator = proto.for_scenario(
                 scenario.domain.workloads.clone(),
                 scenario.objective,
@@ -617,9 +780,9 @@ impl SweepRunner {
                     );
                 }
             }
-            if let Some(ck) = ck {
+            if ck.is_some() {
                 completed.push(record);
-                ck.save_ledger(fingerprint, &completed);
+                save_ledger(&completed);
             }
 
             scenarios.push(ScenarioResult {

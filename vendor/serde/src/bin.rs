@@ -504,8 +504,21 @@ pub fn read_envelope(magic: [u8; 8], version: u32, bytes: &[u8]) -> Result<&[u8]
             format!("payload length {len} but {} bytes follow the header", payload.len()),
         ));
     }
-    if fnv1a(payload) != sum {
-        return Err(DecodeError::new(20, "checksum mismatch".to_string()));
+    let computed = fnv1a(payload);
+    if computed != sum {
+        // Name the exact byte range the checksum covers (file offsets) and
+        // both sums, so a damaged snapshot in a merge pipeline is
+        // attributable to a specific region of a specific file instead of
+        // surfacing as an anonymous "cold cache".
+        return Err(DecodeError::new(
+            ENVELOPE_HEADER_LEN,
+            format!(
+                "checksum mismatch over payload bytes {}..{} (stored {sum:#018x}, computed \
+                 {computed:#018x})",
+                ENVELOPE_HEADER_LEN,
+                bytes.len(),
+            ),
+        ));
     }
     Ok(payload)
 }
@@ -598,10 +611,20 @@ mod tests {
         for cut in 0..file.len() {
             assert!(read_envelope(MAGIC, 3, &file[..cut]).is_err(), "cut {cut}");
         }
-        // Flipped payload bit: checksum catches it.
+        // Flipped payload bit: checksum catches it, and the error names the
+        // covered byte range plus both sums (debuggable snapshot damage).
         let mut flipped = file.clone();
         *flipped.last_mut().unwrap() ^= 0x01;
-        assert!(read_envelope(MAGIC, 3, &flipped).is_err());
+        let err = read_envelope(MAGIC, 3, &flipped).unwrap_err();
+        assert_eq!(err.offset, ENVELOPE_HEADER_LEN);
+        assert!(
+            err.what.contains(&format!(
+                "checksum mismatch over payload bytes {ENVELOPE_HEADER_LEN}..{}",
+                flipped.len()
+            )),
+            "{err}"
+        );
+        assert!(err.what.contains("stored 0x") && err.what.contains("computed 0x"), "{err}");
         // Foreign-endian damage: byte-swapping the whole file breaks the
         // magic; byte-swapping just the payload breaks the checksum.
         let mut swapped = file.clone();
