@@ -28,6 +28,7 @@ fn main() {
     };
 
     let sections: Vec<Section> = vec![
+        ("zoo", Box::new(fast_bench::zoo::zoo_table)),
         ("tab01", Box::new(fast_bench::tables::tab01_working_sets)),
         ("tab02", Box::new(fast_bench::tables::tab02_b7_op_runtime)),
         ("fig02", Box::new(fast_bench::figures::fig02_family_latency)),

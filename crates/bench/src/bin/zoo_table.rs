@@ -1,0 +1,5 @@
+//! The model-zoo table: per-family graph statistics for the paper suite
+//! and the four modern serving families.
+fn main() {
+    println!("{}", fast_bench::zoo::zoo_table());
+}

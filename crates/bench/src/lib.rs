@@ -7,6 +7,7 @@
 //!
 //! | binary | experiment |
 //! |---|---|
+//! | `zoo_table` | model zoo — per-family graph statistics |
 //! | `tab01_working_sets` | Table 1 — EfficientNet storage requirements |
 //! | `tab02_b7_op_runtime` | Table 2 — B7 FLOP% vs runtime% per op class |
 //! | `fig02_family_latency` | Figure 2 — step time vs ImageNet top-1 |
@@ -47,6 +48,7 @@ pub mod headline;
 pub mod pareto_figs;
 pub mod search_figs;
 pub mod tables;
+pub mod zoo;
 
 use std::fmt::Write as _;
 

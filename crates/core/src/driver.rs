@@ -4,16 +4,14 @@
 //! [`FastStudy`] is the one entry point: it binds an [`Evaluator`] to the
 //! unified [`fast_search::Study`] builder, so objective scoring, execution
 //! strategy ([`Execution`]), durability ([`Durability`]) and seeding are
-//! orthogonal axes instead of separate driver functions. The historical
-//! `run_fast_search` / `run_fast_search_parallel` free functions remain as
-//! deprecated wrappers.
+//! orthogonal axes instead of separate driver functions.
 
 use crate::evaluate::{CacheStats, DesignEval, Evaluator, StagedCacheStats};
 use crate::search_space::FastSpace;
 use fast_arch::DatapathConfig;
 use fast_search::{
     Durability, Execution, LcsSwarm, Optimizer, OptimizerState, RandomSearch, Study,
-    StudyConfigError, StudyEval, StudyReport, StudyResult, Tpe, Trial, TrialResult,
+    StudyConfigError, StudyEval, StudyReport, Tpe, Trial, TrialResult,
 };
 use fast_sim::SimOptions;
 use rayon::prelude::*;
@@ -151,18 +149,6 @@ impl Default for SearchConfig {
             batch: 1,
         }
     }
-}
-
-/// Outcome of a FAST search through the deprecated free-function drivers.
-/// [`FastStudy::run`] returns the richer [`SearchReport`] instead.
-#[derive(Debug, Clone)]
-pub struct SearchOutcome {
-    /// The raw study (convergence curve, trials, invalid count).
-    pub study: StudyResult,
-    /// Full evaluation of the best design, if any trial was valid.
-    pub best: Option<DesignEval>,
-    /// log10 of the datapath search-space size explored by the optimizer.
-    pub space_log10: f64,
 }
 
 /// Outcome of a [`FastStudy`] run: the unified [`StudyReport`] (trials,
@@ -368,47 +354,6 @@ impl<'e> FastStudy<'e> {
     }
 }
 
-/// Runs a FAST search with `evaluator` scoring each proposed design, one
-/// round of `config.batch` trials at a time on the calling thread.
-#[deprecated(note = "use `FastStudy::new(evaluator, trials)…run()`")]
-#[must_use]
-pub fn run_fast_search(evaluator: &Evaluator, config: &SearchConfig) -> SearchOutcome {
-    let report = FastStudy::new(evaluator, config.trials)
-        .optimizer(config.optimizer)
-        .seed(config.seed)
-        .seed_designs(config.seeds.clone())
-        .execution(Execution::Batched { batch_size: config.batch.max(1) })
-        .run()
-        .expect("an ephemeral batched search is always a valid configuration");
-    SearchOutcome {
-        best: report.best,
-        space_log10: report.space_log10,
-        study: report.study.into_study_result(),
-    }
-}
-
-/// Runs a FAST search evaluating each round of `config.batch` proposals in
-/// parallel across the rayon thread pool. Bit-identical to
-/// [`run_fast_search`] with the same config (see [`FastStudy`] for the
-/// contract).
-#[deprecated(note = "use `FastStudy::new(evaluator, trials)\
-            .execution(Execution::Parallel { threads })…run()`")]
-#[must_use]
-pub fn run_fast_search_parallel(evaluator: &Evaluator, config: &SearchConfig) -> SearchOutcome {
-    let report = FastStudy::new(evaluator, config.trials)
-        .optimizer(config.optimizer)
-        .seed(config.seed)
-        .seed_designs(config.seeds.clone())
-        .execution(Execution::Parallel { threads: config.batch.max(1) })
-        .run()
-        .expect("an ephemeral parallel search is always a valid configuration");
-    SearchOutcome {
-        best: report.best,
-        space_log10: report.space_log10,
-        study: report.study.into_study_result(),
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -495,37 +440,6 @@ mod tests {
                 seq.study.trials.iter().map(|t| &t.point).collect::<Vec<_>>(),
                 par.study.trials.iter().map(|t| &t.point).collect::<Vec<_>>(),
                 "{kind:?}: trial-for-trial proposal sequence must match"
-            );
-        }
-    }
-
-    /// The deprecated free functions must stay bit-identical to the builder
-    /// they wrap (they are kept one release for migration).
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_drivers_delegate_to_the_builder() {
-        let e = quick_evaluator();
-        let cfg = SearchConfig { trials: 36, seed: 5, batch: 6, ..SearchConfig::default() };
-        let legacy_seq = run_fast_search(&e.fresh_eval_cache(), &cfg);
-        let legacy_par = run_fast_search_parallel(&e.fresh_eval_cache(), &cfg);
-        let builder = |execution: Execution| {
-            let fresh = e.fresh_eval_cache();
-            FastStudy::new(&fresh, cfg.trials)
-                .seed(cfg.seed)
-                .optimizer(cfg.optimizer)
-                .execution(execution)
-                .run()
-                .expect("valid configuration")
-        };
-        let via_batched = builder(Execution::Batched { batch_size: cfg.batch });
-        let via_parallel = builder(Execution::Parallel { threads: cfg.batch });
-        for (legacy, report) in [(&legacy_seq, &via_batched), (&legacy_par, &via_parallel)] {
-            assert_eq!(legacy.study.best_point, report.study.best_point);
-            assert_eq!(legacy.study.convergence, report.study.convergence);
-            assert_eq!(legacy.study.invalid_trials, report.study.invalid_trials);
-            assert_eq!(
-                legacy.best.as_ref().map(|b| b.objective_value.to_bits()),
-                report.best.as_ref().map(|b| b.objective_value.to_bits())
             );
         }
     }

@@ -47,9 +47,7 @@ pub use analysis::{
     ablation_study, ablation_variants, ablation_workloads, component_breakdown, AblationRow,
     BreakdownRow,
 };
-#[allow(deprecated)] // re-exported for one release of migration
-pub use driver::{run_fast_search, run_fast_search_parallel};
-pub use driver::{FastStudy, OptimizerKind, SearchConfig, SearchOutcome, SearchReport};
+pub use driver::{FastStudy, OptimizerKind, SearchConfig, SearchReport};
 // The unified study axes, re-exported so driver callers need one import.
 pub use evaluate::{
     CacheLoadReport, CacheStats, DesignEval, EvalError, Evaluator, Objective, SavedCacheMarks,

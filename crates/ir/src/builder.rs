@@ -1,0 +1,792 @@
+//! A fluent, validating frontend for constructing [`Graph`]s.
+//!
+//! [`GraphBuilder`] wraps the raw [`Graph`] builder methods with:
+//!
+//! * **typed tensor handles** — [`Tensor`] is a `Copy` token tied to the
+//!   builder that minted it, so wiring a tensor from another graph is a
+//!   typed error instead of silent aliasing;
+//! * **shape-derived geometry** — convolutions, matmuls and pools read
+//!   spatial extents and channel counts off their input tensors, so a new
+//!   workload is ~50 lines of layer calls instead of hand-threaded
+//!   `(h, w, ch)` bookkeeping;
+//! * **broadcast-aware binaries** — numpy-style alignment (trailing dims,
+//!   1 stretches) plus the IR's element-divisibility rule, with typed
+//!   [`IrError`]s naming the offending node;
+//! * **deferred errors** — construction methods never panic and never
+//!   return `Result`; the first error is latched and surfaced by
+//!   [`GraphBuilder::finish`], which also rejects graphs with unconsumed
+//!   (dangling) nodes or no outputs.
+//!
+//! ```
+//! use fast_ir::{DType, GraphBuilder};
+//!
+//! let mut b = GraphBuilder::new("tiny", DType::Bf16);
+//! let x = b.input("images", [1, 56, 56, 64]);
+//! let c = b.conv2d("conv", x, 128, 3, 1);
+//! let r = b.relu("relu", c);
+//! b.output(r);
+//! let g = b.finish().expect("valid graph");
+//! assert_eq!(g.len(), 3);
+//! ```
+
+use crate::graph::{Graph, NodeId};
+use crate::ops::{
+    BatchMatMulGeom, Conv2dGeom, DepthwiseConv2dGeom, EwKind, MatMulGeom, OpKind, PoolGeom,
+    PoolKind,
+};
+use crate::shape::Shape;
+use crate::{DType, IrError};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Distinguishes tensors minted by different builders (see [`Tensor`]).
+static NEXT_BUILDER_TOKEN: AtomicU32 = AtomicU32::new(1);
+
+/// A typed handle to one tensor inside a [`GraphBuilder`].
+///
+/// Handles are `Copy` and only valid with the builder that created them;
+/// passing one to a different builder latches a typed error instead of
+/// silently aliasing an unrelated node with the same index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tensor {
+    id: NodeId,
+    owner: u32,
+    poisoned: bool,
+}
+
+impl Tensor {
+    /// The underlying node id (valid only within the originating builder's
+    /// graph).
+    #[must_use]
+    pub fn id(self) -> NodeId {
+        self.id
+    }
+}
+
+/// Fluent [`Graph`] constructor. See the [module docs](self) for the design.
+///
+/// All construction methods return a [`Tensor`]; errors (shape mismatches,
+/// foreign tensors, bad geometry) are latched internally and reported by
+/// [`GraphBuilder::finish`], after which further construction is a no-op.
+#[derive(Debug)]
+pub struct GraphBuilder {
+    graph: Graph,
+    token: u32,
+    err: Option<IrError>,
+    scopes: Vec<String>,
+    auto_counters: BTreeMap<&'static str, u64>,
+    /// Nodes explicitly allowed to go unconsumed (see [`GraphBuilder::sink`]).
+    sinks: Vec<NodeId>,
+    empty_shape: Shape,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with the given workload name and dtype.
+    #[must_use]
+    pub fn new(name: impl Into<String>, dtype: DType) -> Self {
+        GraphBuilder {
+            graph: Graph::new(name, dtype),
+            token: NEXT_BUILDER_TOKEN.fetch_add(1, Ordering::Relaxed),
+            err: None,
+            scopes: Vec::new(),
+            auto_counters: BTreeMap::new(),
+            sinks: Vec::new(),
+            empty_shape: Shape::scalar(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// The shape of a tensor (the scalar shape for poisoned handles).
+    #[must_use]
+    pub fn shape(&self, t: Tensor) -> &Shape {
+        if t.poisoned || t.owner != self.token {
+            return &self.empty_shape;
+        }
+        self.graph.node(t.id).shape()
+    }
+
+    /// Extent of dimension `i` of `t`, or 0 when out of range.
+    #[must_use]
+    pub fn dim(&self, t: Tensor, i: usize) -> u64 {
+        self.shape(t).dims().get(i).copied().unwrap_or(0)
+    }
+
+    /// The first latched error, if any.
+    #[must_use]
+    pub fn error(&self) -> Option<&IrError> {
+        self.err.as_ref()
+    }
+
+    // ------------------------------------------------------------------
+    // Naming and grouping
+    // ------------------------------------------------------------------
+
+    /// Pushes a name scope: subsequent node names are prefixed
+    /// `"scope.name"`. Scopes nest.
+    pub fn push_scope(&mut self, scope: impl Into<String>) {
+        self.scopes.push(scope.into());
+    }
+
+    /// Pops the innermost name scope.
+    pub fn pop_scope(&mut self) {
+        self.scopes.pop();
+    }
+
+    /// Runs `f` inside a name scope; `b.scoped("l0", |b| ...)` names nodes
+    /// `l0.<name>`.
+    pub fn scoped<R>(&mut self, scope: impl Into<String>, f: impl FnOnce(&mut Self) -> R) -> R {
+        self.push_scope(scope);
+        let r = f(self);
+        self.pop_scope();
+        r
+    }
+
+    /// Begins a named node group (forwarded to [`Graph::begin_group`]).
+    pub fn begin_group(&mut self, name: impl Into<String>) -> u32 {
+        self.graph.begin_group(name)
+    }
+
+    /// Ends the current node group.
+    pub fn end_group(&mut self) {
+        self.graph.end_group();
+    }
+
+    /// Resolves a user-supplied name: empty names auto-number per op class
+    /// (`"matmul0"`, `"conv2d1"`, …), then scope prefixes apply.
+    fn resolve_name(&mut self, name: &str, class: &'static str) -> String {
+        let base = if name.is_empty() {
+            let n = self.auto_counters.entry(class).or_insert(0);
+            let s = format!("{class}{n}");
+            *n += 1;
+            s
+        } else {
+            name.to_string()
+        };
+        if self.scopes.is_empty() {
+            base
+        } else {
+            format!("{}.{base}", self.scopes.join("."))
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Error plumbing
+    // ------------------------------------------------------------------
+
+    fn poison(&self) -> Tensor {
+        Tensor { id: NodeId::from_index(usize::MAX), owner: self.token, poisoned: true }
+    }
+
+    fn latch(&mut self, e: IrError) -> Tensor {
+        if self.err.is_none() {
+            self.err = Some(e);
+        }
+        self.poison()
+    }
+
+    /// Checks a handle belongs to this builder and is not poisoned.
+    fn check(&mut self, t: Tensor) -> Option<NodeId> {
+        if self.err.is_some() || t.poisoned {
+            return None;
+        }
+        if t.owner != self.token {
+            self.latch(IrError::UnknownNode(t.id.index()));
+            return None;
+        }
+        Some(t.id)
+    }
+
+    fn wrap(&mut self, r: Result<NodeId, IrError>) -> Tensor {
+        match r {
+            Ok(id) => Tensor { id, owner: self.token, poisoned: false },
+            Err(e) => self.latch(e),
+        }
+    }
+
+    /// Resolves the inputs of an n-ary op, or latches on the first bad one.
+    fn check_all(&mut self, ts: &[Tensor]) -> Option<Vec<NodeId>> {
+        ts.iter().map(|&t| self.check(t)).collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Primitive ops
+    // ------------------------------------------------------------------
+
+    /// Adds a graph input placeholder.
+    pub fn input(&mut self, name: impl AsRef<str>, shape: impl Into<Shape>) -> Tensor {
+        if self.err.is_some() {
+            return self.poison();
+        }
+        let name = self.resolve_name(name.as_ref(), "input");
+        let id = self.graph.input(name, shape);
+        Tensor { id, owner: self.token, poisoned: false }
+    }
+
+    /// Adds a node with an explicit [`OpKind`] — the escape hatch when no
+    /// shape-deriving wrapper fits (e.g. VALID-padded or non-square convs).
+    pub fn op(&mut self, name: impl AsRef<str>, kind: OpKind, inputs: &[Tensor]) -> Tensor {
+        let class = kind.class_name();
+        let Some(ids) = self.check_all(inputs) else { return self.poison() };
+        let name = self.resolve_name(name.as_ref(), class);
+        let r = self.graph.add(name, kind, &ids);
+        self.wrap(r)
+    }
+
+    /// Adds a SAME-padded square-kernel convolution; spatial extents and
+    /// input channels derive from `x` (which must be `[B,H,W,C]`).
+    pub fn conv2d(
+        &mut self,
+        name: impl AsRef<str>,
+        x: Tensor,
+        out_ch: u64,
+        k: u64,
+        stride: u64,
+    ) -> Tensor {
+        let Some(id) = self.check(x) else { return self.poison() };
+        let name = self.resolve_name(name.as_ref(), "conv2d");
+        let d = self.graph.node(id).shape().dims().to_vec();
+        if d.len() != 4 {
+            return self.latch(IrError::ShapeMismatch {
+                op: name,
+                expected: "[B,H,W,C] input".to_string(),
+                got: Shape::from(d).to_string(),
+            });
+        }
+        let geom = Conv2dGeom::same(d[1], d[2], d[3], out_ch, k, stride);
+        let r = self.graph.conv2d(name, id, geom);
+        self.wrap(r)
+    }
+
+    /// Adds a SAME-padded square-kernel depthwise convolution (channel
+    /// multiplier 1); geometry derives from `x`.
+    pub fn depthwise_conv2d(
+        &mut self,
+        name: impl AsRef<str>,
+        x: Tensor,
+        k: u64,
+        stride: u64,
+    ) -> Tensor {
+        let Some(id) = self.check(x) else { return self.poison() };
+        let name = self.resolve_name(name.as_ref(), "dwconv");
+        let d = self.graph.node(id).shape().dims().to_vec();
+        if d.len() != 4 {
+            return self.latch(IrError::ShapeMismatch {
+                op: name,
+                expected: "[B,H,W,C] input".to_string(),
+                got: Shape::from(d).to_string(),
+            });
+        }
+        let geom = DepthwiseConv2dGeom::same(d[1], d[2], d[3], k, stride);
+        let r = self.graph.depthwise_conv2d(name, id, geom);
+        self.wrap(r)
+    }
+
+    /// Adds an activation × weight matmul to `n` output features; the
+    /// contraction extent is the last dimension of `x` (leading dims stream).
+    pub fn linear(&mut self, name: impl AsRef<str>, x: Tensor, n: u64) -> Tensor {
+        let Some(id) = self.check(x) else { return self.poison() };
+        let name = self.resolve_name(name.as_ref(), "matmul");
+        let dims = self.graph.node(id).shape().dims();
+        let Some(&k) = dims.last() else {
+            let got = self.graph.node(id).shape().to_string();
+            return self.latch(IrError::ShapeMismatch {
+                op: name,
+                expected: "rank >= 1 input".to_string(),
+                got,
+            });
+        };
+        let r = self.graph.matmul(name, id, MatMulGeom { k, n });
+        self.wrap(r)
+    }
+
+    /// Adds an activation × activation batched matmul `[b,m,k] × [b,k,n]`;
+    /// the geometry derives from (and is checked against) both operands.
+    pub fn batch_matmul(&mut self, name: impl AsRef<str>, a: Tensor, b: Tensor) -> Tensor {
+        let Some(ids) = self.check_all(&[a, b]) else { return self.poison() };
+        let name = self.resolve_name(name.as_ref(), "bmm");
+        let da = self.graph.node(ids[0]).shape().dims().to_vec();
+        let db = self.graph.node(ids[1]).shape().dims().to_vec();
+        if da.len() != 3 || db.len() != 3 || da[0] != db[0] || da[2] != db[1] {
+            return self.latch(IrError::ShapeMismatch {
+                op: name,
+                expected: format!("[b,k,n] matching lhs {}", Shape::from(da)),
+                got: Shape::from(db).to_string(),
+            });
+        }
+        let geom = BatchMatMulGeom { batch: da[0], m: da[1], k: da[2], n: db[2] };
+        let r = self.graph.batch_matmul(name, ids[0], ids[1], geom);
+        self.wrap(r)
+    }
+
+    /// Adds a row-wise softmax over the last axis of `x`.
+    pub fn softmax(&mut self, name: impl AsRef<str>, x: Tensor) -> Tensor {
+        let Some(id) = self.check(x) else { return self.poison() };
+        let name = self.resolve_name(name.as_ref(), "softmax");
+        let r = self.graph.softmax(name, id);
+        self.wrap(r)
+    }
+
+    /// Adds a layer normalization over `x`.
+    pub fn layer_norm(&mut self, name: impl AsRef<str>, x: Tensor) -> Tensor {
+        let Some(id) = self.check(x) else { return self.poison() };
+        let name = self.resolve_name(name.as_ref(), "layernorm");
+        let r = self.graph.layer_norm(name, id);
+        self.wrap(r)
+    }
+
+    /// Adds a unary element-wise op.
+    pub fn unary(&mut self, name: impl AsRef<str>, kind: EwKind, x: Tensor) -> Tensor {
+        let Some(id) = self.check(x) else { return self.poison() };
+        let name = self.resolve_name(name.as_ref(), "unary");
+        let r = self.graph.unary(name, kind, id);
+        self.wrap(r)
+    }
+
+    /// Adds a ReLU.
+    pub fn relu(&mut self, name: impl AsRef<str>, x: Tensor) -> Tensor {
+        self.unary(name, EwKind::Relu, x)
+    }
+
+    /// Adds a GELU.
+    pub fn gelu(&mut self, name: impl AsRef<str>, x: Tensor) -> Tensor {
+        self.unary(name, EwKind::Gelu, x)
+    }
+
+    /// Adds a swish (SiLU).
+    pub fn swish(&mut self, name: impl AsRef<str>, x: Tensor) -> Tensor {
+        self.unary(name, EwKind::Swish, x)
+    }
+
+    /// Adds a sigmoid.
+    pub fn sigmoid(&mut self, name: impl AsRef<str>, x: Tensor) -> Tensor {
+        self.unary(name, EwKind::Sigmoid, x)
+    }
+
+    /// Adds a tanh.
+    pub fn tanh(&mut self, name: impl AsRef<str>, x: Tensor) -> Tensor {
+        self.unary(name, EwKind::Tanh, x)
+    }
+
+    /// Adds a binary element-wise op with broadcast-aware validation:
+    /// operands must be numpy-broadcast-compatible with the result equal to
+    /// one of them, or (the IR's looser rule) the smaller element count must
+    /// divide the larger — e.g. a `[B,C]` gate against `[B,H,W,C]`.
+    pub fn binary(&mut self, name: impl AsRef<str>, kind: EwKind, a: Tensor, b: Tensor) -> Tensor {
+        let Some(ids) = self.check_all(&[a, b]) else { return self.poison() };
+        let name = self.resolve_name(name.as_ref(), "binary");
+        let sa = self.graph.node(ids[0]).shape().clone();
+        let sb = self.graph.node(ids[1]).shape().clone();
+        if let Some(bc) = Shape::broadcast(&sa, &sb) {
+            // Two-sided broadcasts ([4,1] × [1,5]) would materialize a shape
+            // the single-output IR node cannot represent.
+            if bc != sa && bc != sb {
+                return self.latch(IrError::ShapeMismatch {
+                    op: name,
+                    expected: format!("one operand already shaped {bc}"),
+                    got: format!("{sa} and {sb}"),
+                });
+            }
+        } else {
+            let (big, small) = if sa.elements() >= sb.elements() { (&sa, &sb) } else { (&sb, &sa) };
+            if small.elements() == 0 || big.elements() % small.elements() != 0 {
+                return self.latch(IrError::ShapeMismatch {
+                    op: name,
+                    expected: format!("shape broadcastable to {big}"),
+                    got: small.to_string(),
+                });
+            }
+        }
+        let r = self.graph.binary(name, kind, ids[0], ids[1]);
+        self.wrap(r)
+    }
+
+    /// Adds a residual addition (broadcast-aware, like all binaries).
+    pub fn residual(&mut self, name: impl AsRef<str>, a: Tensor, b: Tensor) -> Tensor {
+        self.binary(name, EwKind::Add, a, b)
+    }
+
+    /// Adds a SAME-padded max pool; geometry derives from `x` (`[B,H,W,C]`).
+    pub fn max_pool(&mut self, name: impl AsRef<str>, x: Tensor, k: u64, stride: u64) -> Tensor {
+        let Some(id) = self.check(x) else { return self.poison() };
+        let name = self.resolve_name(name.as_ref(), "pool");
+        let d = self.graph.node(id).shape().dims().to_vec();
+        if d.len() != 4 {
+            return self.latch(IrError::ShapeMismatch {
+                op: name,
+                expected: "[B,H,W,C] input".to_string(),
+                got: Shape::from(d).to_string(),
+            });
+        }
+        let geom =
+            PoolGeom { kind: PoolKind::Max, in_h: d[1], in_w: d[2], channels: d[3], k, stride };
+        let r = self.graph.pool(name, id, geom);
+        self.wrap(r)
+    }
+
+    /// Adds a global average pool over `[B,H,W,C]` input.
+    pub fn global_avg_pool(&mut self, name: impl AsRef<str>, x: Tensor) -> Tensor {
+        let Some(id) = self.check(x) else { return self.poison() };
+        let name = self.resolve_name(name.as_ref(), "pool");
+        let r = self.graph.global_avg_pool(name, id);
+        self.wrap(r)
+    }
+
+    /// Adds an embedding-table gather: `[.., dim]` rows from a
+    /// `[vocab, dim]` table indexed by `ids`.
+    pub fn embedding_lookup(
+        &mut self,
+        name: impl AsRef<str>,
+        ids: Tensor,
+        vocab: u64,
+        dim: u64,
+    ) -> Tensor {
+        let Some(id) = self.check(ids) else { return self.poison() };
+        let name = self.resolve_name(name.as_ref(), "embedding");
+        let r = self.graph.embedding(name, id, vocab, dim);
+        self.wrap(r)
+    }
+
+    /// Adds a reshape; element counts must match.
+    pub fn reshape(&mut self, name: impl AsRef<str>, x: Tensor, shape: impl Into<Shape>) -> Tensor {
+        let Some(id) = self.check(x) else { return self.poison() };
+        let name = self.resolve_name(name.as_ref(), "reshape");
+        let r = self.graph.reshape(name, id, shape);
+        self.wrap(r)
+    }
+
+    /// Adds a concatenation along the last axis.
+    pub fn concat(&mut self, name: impl AsRef<str>, inputs: &[Tensor]) -> Tensor {
+        let Some(ids) = self.check_all(inputs) else { return self.poison() };
+        let name = self.resolve_name(name.as_ref(), "concat");
+        let r = self.graph.concat(name, &ids);
+        self.wrap(r)
+    }
+
+    // ------------------------------------------------------------------
+    // Composite layers
+    // ------------------------------------------------------------------
+
+    /// Multi-head self-attention with residual + layernorm, the BERT
+    /// encoder's attention half. `x` must be `[B,S,H]` with `H` divisible by
+    /// `heads`. Node names follow the zoo convention under `prefix`:
+    /// `{prefix}.qkv.{q,k,v}`, `{prefix}.attn.{q_heads,k_heads,v_heads,qk,
+    /// av,merge,out,residual,ln}` and `{prefix}.softmax`.
+    pub fn attention_block(&mut self, prefix: impl AsRef<str>, x: Tensor, heads: u64) -> Tensor {
+        let prefix = prefix.as_ref();
+        let d = self.shape(x).dims().to_vec();
+        if self.check(x).is_none() {
+            return self.poison();
+        }
+        if d.len() != 3 || heads == 0 || !d[2].is_multiple_of(heads) {
+            let name = self.resolve_name(&format!("{prefix}.attn"), "attention");
+            return self.latch(IrError::ShapeMismatch {
+                op: name,
+                expected: format!("[B,S,H] with H divisible by {heads} heads"),
+                got: Shape::from(d).to_string(),
+            });
+        }
+        let (batch, seq, h) = (d[0], d[1], d[2]);
+        let hd = h / heads;
+
+        let q = self.linear(format!("{prefix}.qkv.q"), x, h);
+        let k = self.linear(format!("{prefix}.qkv.k"), x, h);
+        let v = self.linear(format!("{prefix}.qkv.v"), x, h);
+
+        let qh = self.reshape(format!("{prefix}.attn.q_heads"), q, [batch * heads, seq, hd]);
+        let kh = self.reshape(format!("{prefix}.attn.k_heads"), k, [batch * heads, hd, seq]);
+        let vh = self.reshape(format!("{prefix}.attn.v_heads"), v, [batch * heads, seq, hd]);
+
+        let scores = self.batch_matmul(format!("{prefix}.attn.qk"), qh, kh);
+        let probs = self.softmax(format!("{prefix}.softmax"), scores);
+        let ctx = self.batch_matmul(format!("{prefix}.attn.av"), probs, vh);
+        let merged = self.reshape(format!("{prefix}.attn.merge"), ctx, [batch, seq, h]);
+
+        let proj = self.linear(format!("{prefix}.attn.out"), merged, h);
+        let res = self.residual(format!("{prefix}.attn.residual"), proj, x);
+        self.layer_norm(format!("{prefix}.attn.ln"), res)
+    }
+
+    /// Position-wise feed-forward block with residual + layernorm, the BERT
+    /// encoder's MLP half: `{prefix}.fc1` → activation (named after its
+    /// kind, e.g. `{prefix}.gelu`) → `{prefix}.fc2` → `{prefix}.residual` →
+    /// `{prefix}.ln`. The output width matches the input's last dim.
+    pub fn ffn_block(
+        &mut self,
+        prefix: impl AsRef<str>,
+        x: Tensor,
+        inner: u64,
+        act: EwKind,
+    ) -> Tensor {
+        let prefix = prefix.as_ref();
+        let width = self.shape(x).dims().last().copied().unwrap_or(0);
+        let act_name = match act {
+            EwKind::Relu => "relu",
+            EwKind::Gelu => "gelu",
+            EwKind::Swish => "swish",
+            EwKind::Sigmoid => "sigmoid",
+            EwKind::Tanh => "tanh",
+            _ => "act",
+        };
+        let fc1 = self.linear(format!("{prefix}.fc1"), x, inner);
+        let a = self.unary(format!("{prefix}.{act_name}"), act, fc1);
+        let fc2 = self.linear(format!("{prefix}.fc2"), a, width);
+        let res = self.residual(format!("{prefix}.residual"), fc2, x);
+        self.layer_norm(format!("{prefix}.ln"), res)
+    }
+
+    // ------------------------------------------------------------------
+    // Outputs and finishing
+    // ------------------------------------------------------------------
+
+    /// Marks `t` as a graph output.
+    pub fn output(&mut self, t: Tensor) {
+        if let Some(id) = self.check(t) {
+            self.graph.mark_output(id);
+        }
+    }
+
+    /// Declares that `t` is intentionally unconsumed (e.g. a cost-model
+    /// surrogate whose value feeds nothing), exempting it from the dangling
+    /// check in [`GraphBuilder::finish`].
+    pub fn sink(&mut self, t: Tensor) {
+        if let Some(id) = self.check(t) {
+            self.sinks.push(id);
+        }
+    }
+
+    /// Validates and returns the constructed [`Graph`].
+    ///
+    /// # Errors
+    /// Returns the first construction error latched by any builder method,
+    /// [`IrError::NoOutputs`] if nothing was marked as an output, or
+    /// [`IrError::DanglingNode`] if a node (including a graph input) is
+    /// neither consumed nor an output nor a declared [`GraphBuilder::sink`].
+    pub fn finish(self) -> Result<Graph, IrError> {
+        if let Some(e) = self.err {
+            return Err(e);
+        }
+        if self.graph.outputs().is_empty() {
+            return Err(IrError::NoOutputs);
+        }
+        let consumers = self.graph.consumers();
+        for n in self.graph.nodes() {
+            let used = !consumers[n.id().index()].is_empty()
+                || self.graph.outputs().contains(&n.id())
+                || self.sinks.contains(&n.id());
+            if !used {
+                return Err(IrError::DanglingNode { op: n.name().to_string() });
+            }
+        }
+        self.graph.validate()?;
+        Ok(self.graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_a_small_cnn() {
+        let mut b = GraphBuilder::new("t", DType::Bf16);
+        let x = b.input("x", [1, 8, 8, 16]);
+        let c = b.conv2d("c", x, 32, 3, 1);
+        let r = b.relu("r", c);
+        let s = b.residual("skip", r, r);
+        b.output(s);
+        let g = b.finish().unwrap();
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.nodes().last().unwrap().shape().dims(), &[1, 8, 8, 32]);
+    }
+
+    #[test]
+    fn derived_geometry_matches_explicit() {
+        let mut b = GraphBuilder::new("t", DType::Bf16);
+        let x = b.input("x", [2, 56, 56, 64]);
+        let c = b.conv2d("c", x, 128, 3, 2);
+        assert_eq!(b.shape(c).dims(), &[2, 28, 28, 128]);
+        let mut g = Graph::new("t", DType::Bf16);
+        let gx = g.input("x", [2, 56, 56, 64]);
+        let gc = g.conv2d("c", gx, Conv2dGeom::same(56, 56, 64, 128, 3, 2)).unwrap();
+        assert_eq!(g.node(gc).kind(), b.finish_unchecked().node(c.id()).kind());
+    }
+
+    #[test]
+    fn foreign_tensor_is_a_typed_error() {
+        let mut b1 = GraphBuilder::new("a", DType::Bf16);
+        let mut b2 = GraphBuilder::new("b", DType::Bf16);
+        let x1 = b1.input("x", [4, 4]);
+        let y = b2.relu("r", x1);
+        assert!(y.poisoned);
+        assert!(matches!(b2.error(), Some(IrError::UnknownNode(_))));
+    }
+
+    #[test]
+    fn first_error_sticks_and_finish_reports_it() {
+        let mut b = GraphBuilder::new("t", DType::Bf16);
+        let x = b.input("x", [4, 4]);
+        let bad = b.conv2d("needs4d", x, 8, 3, 1); // rank-2 input
+        let worse = b.linear("after", bad, 10);
+        b.output(worse);
+        let err = b.finish().unwrap_err();
+        assert!(matches!(err, IrError::ShapeMismatch { ref op, .. } if op == "needs4d"), "{err}");
+    }
+
+    #[test]
+    fn dangling_nodes_are_rejected_and_sink_exempts() {
+        let mut b = GraphBuilder::new("t", DType::Bf16);
+        let x = b.input("x", [4, 4]);
+        let r = b.relu("r", x);
+        let dead = b.tanh("dead", r);
+        let out = b.relu("out", r);
+        b.output(out);
+        let err = b.finish().unwrap_err();
+        assert_eq!(err, IrError::DanglingNode { op: "dead".to_string() });
+        let _ = dead;
+
+        let mut b = GraphBuilder::new("t", DType::Bf16);
+        let x = b.input("x", [4, 4]);
+        let r = b.relu("r", x);
+        let dead = b.tanh("dead", r);
+        b.sink(dead);
+        let out = b.relu("out", r);
+        b.output(out);
+        b.finish().unwrap();
+    }
+
+    #[test]
+    fn dangling_inputs_are_rejected() {
+        let mut b = GraphBuilder::new("t", DType::Bf16);
+        let _unused = b.input("unused", [4, 4]);
+        let x = b.input("x", [4, 4]);
+        let r = b.relu("r", x);
+        b.output(r);
+        assert_eq!(b.finish().unwrap_err(), IrError::DanglingNode { op: "unused".to_string() });
+    }
+
+    #[test]
+    fn no_outputs_is_an_error() {
+        let mut b = GraphBuilder::new("t", DType::Bf16);
+        let x = b.input("x", [4, 4]);
+        let _ = b.relu("r", x);
+        assert_eq!(b.finish().unwrap_err(), IrError::NoOutputs);
+    }
+
+    #[test]
+    fn broadcast_binary_accepts_one_dims_and_gate_shapes() {
+        let mut b = GraphBuilder::new("t", DType::Bf16);
+        let big = b.input("big", [2, 8, 8, 32]);
+        let ones = b.input("ones", [2, 1, 1, 32]);
+        let gate = b.input("gate", [2, 32]);
+        let m1 = b.binary("m1", EwKind::Mul, big, ones);
+        let m2 = b.binary("m2", EwKind::Mul, m1, gate);
+        assert_eq!(b.shape(m2).dims(), &[2, 8, 8, 32]);
+        b.output(m2);
+        b.finish().unwrap();
+    }
+
+    #[test]
+    fn two_sided_broadcast_is_rejected() {
+        let mut b = GraphBuilder::new("t", DType::Bf16);
+        let a = b.input("a", [4, 1]);
+        let c = b.input("c", [1, 5]);
+        let m = b.binary("m", EwKind::Add, a, c);
+        b.output(m);
+        let err = b.finish().unwrap_err();
+        assert!(matches!(err, IrError::ShapeMismatch { ref op, .. } if op == "m"), "{err}");
+    }
+
+    #[test]
+    fn incompatible_binary_is_rejected_with_node_name() {
+        let mut b = GraphBuilder::new("t", DType::Bf16);
+        let a = b.input("a", [3, 5]);
+        let c = b.input("c", [2, 7]);
+        let m = b.binary("scale", EwKind::Mul, a, c);
+        b.output(m);
+        let err = b.finish().unwrap_err();
+        assert!(matches!(err, IrError::ShapeMismatch { ref op, .. } if op == "scale"), "{err}");
+    }
+
+    #[test]
+    fn auto_naming_and_scopes() {
+        let mut b = GraphBuilder::new("t", DType::Bf16);
+        let x = b.input("", [4, 16]);
+        let (y, z) = b.scoped("blk0", |b| {
+            let y = b.linear("", x, 32);
+            let z = b.linear("proj", y, 8);
+            (y, z)
+        });
+        b.output(z);
+        let g = b.finish().unwrap();
+        let names: Vec<&str> = g.nodes().map(|n| n.name()).collect();
+        assert_eq!(names, ["input0", "blk0.matmul0", "blk0.proj"]);
+        let _ = y;
+    }
+
+    #[test]
+    fn attention_block_matches_bert_layer_shapes() {
+        let mut b = GraphBuilder::new("t", DType::Bf16);
+        let ids = b.input("token_ids", [2, 128]);
+        let x = b.embedding_lookup("embed", ids, 30522, 768);
+        let attn = b.attention_block("l0", x, 12);
+        let out = b.ffn_block("l0.ff", attn, 3072, EwKind::Gelu);
+        b.output(out);
+        let g = b.finish().unwrap();
+        assert_eq!(g.nodes().filter(|n| n.name() == "l0.attn.qk").count(), 1);
+        assert_eq!(g.nodes().filter(|n| n.name() == "l0.ff.gelu").count(), 1);
+        let qk = g.nodes().find(|n| n.name() == "l0.attn.qk").unwrap();
+        assert_eq!(qk.shape().dims(), &[2 * 12, 128, 128]);
+    }
+}
+
+#[cfg(test)]
+impl GraphBuilder {
+    /// Test-only: the graph as built so far, skipping finish-time checks.
+    fn finish_unchecked(self) -> Graph {
+        self.graph
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Broadcast-aware binaries accept any one-sided stretch of a full
+        /// shape (extents replaced by 1, leading dims dropped) and infer the
+        /// full shape — in either operand order — and the finished graph
+        /// validates.
+        #[test]
+        fn binary_accepts_any_one_sided_stretch(
+            dims in prop::collection::vec(1u64..7, 1..5),
+            mask in 0u32..16,
+            drop in 0usize..5,
+            flip in 0u32..2,
+        ) {
+            let mut small: Vec<u64> = dims
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| if mask & (1 << i) != 0 { 1 } else { d })
+                .collect();
+            small.drain(..drop.min(small.len() - 1));
+            let mut b = GraphBuilder::new("t", DType::Bf16);
+            let full_t = b.input("full", dims.clone());
+            let small_t = b.input("small", small);
+            let m = if flip == 0 {
+                b.binary("m", EwKind::Mul, full_t, small_t)
+            } else {
+                b.binary("m", EwKind::Mul, small_t, full_t)
+            };
+            prop_assert_eq!(b.shape(m).dims(), &dims[..]);
+            b.output(m);
+            let g = b.finish().expect("stretched binary builds");
+            prop_assert!(g.validate().is_ok());
+        }
+    }
+}

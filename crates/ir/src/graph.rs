@@ -24,6 +24,12 @@ impl NodeId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Builds an id from a dense index (crate-internal: ids minted outside
+    /// [`Graph::add`] bypass existence checks).
+    pub(crate) fn from_index(i: usize) -> Self {
+        NodeId(i as u32)
+    }
 }
 
 impl fmt::Display for NodeId {
@@ -597,6 +603,53 @@ impl Graph {
         }
     }
 
+    /// A stable structural fingerprint: an FNV-1a hash over every node's
+    /// name, operator kind, output shape, input ids and group tag, plus the
+    /// output list and group names. Equal fingerprints mean the graphs are
+    /// op-for-op identical (same ops in the same order with the same
+    /// geometry), which is what keeps evaluation-cache snapshots warm across
+    /// refactors of the construction code — the model-zoo golden tests pin
+    /// these values.
+    #[must_use]
+    pub fn structural_fingerprint(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write(self.name.as_bytes());
+        h.write(format!("{:?}", self.dtype).as_bytes());
+        for n in &self.nodes {
+            h.write(n.name.as_bytes());
+            h.write(format!("{:?}", n.kind).as_bytes());
+            for &d in n.shape.dims() {
+                h.write(&d.to_le_bytes());
+            }
+            for &i in &n.inputs {
+                h.write(&(i.index() as u64).to_le_bytes());
+            }
+            h.write(&[n.group.map_or(0, |g| g + 1) as u8]);
+        }
+        for &o in &self.outputs {
+            h.write(&(o.index() as u64).to_le_bytes());
+        }
+        for g in &self.groups {
+            h.write(g.as_bytes());
+        }
+        h.finish()
+    }
+
+    /// Fingerprint of the canonical [`LoopNest`] sequence (matrix ops only,
+    /// in topological order). Two graphs with equal loop-nest fingerprints
+    /// present the identical op stream to the mapper, so every `OpKey` the
+    /// evaluation cache derives from them matches.
+    #[must_use]
+    pub fn loop_nest_fingerprint(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        for n in &self.nodes {
+            if let Some(nest) = self.loop_nest(n.id) {
+                h.write(format!("{nest:?}").as_bytes());
+            }
+        }
+        h.finish()
+    }
+
     /// Map from node → consumers, computed on demand.
     #[must_use]
     pub fn consumers(&self) -> Vec<Vec<NodeId>> {
@@ -631,6 +684,31 @@ impl Graph {
             }
         }
         Ok(())
+    }
+}
+
+/// Minimal FNV-1a 64-bit hasher: dependency-free and stable across
+/// platforms and releases (unlike `DefaultHasher`), which fingerprints
+/// require to stay comparable between runs.
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0100_0000_01b3);
+        }
+        // Field separator so ("ab","c") and ("a","bc") hash differently.
+        self.0 ^= 0xff;
+        self.0 = self.0.wrapping_mul(0x0100_0000_01b3);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
     }
 }
 

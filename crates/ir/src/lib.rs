@@ -34,6 +34,7 @@
 //! # }
 //! ```
 
+pub mod builder;
 pub mod dtype;
 pub mod fusion_regions;
 pub mod graph;
@@ -44,6 +45,7 @@ mod persist;
 pub mod shape;
 pub mod stats;
 
+pub use builder::{GraphBuilder, Tensor};
 pub use dtype::DType;
 pub use fusion_regions::{build_regions, Region, RegionGraph, RegionId};
 pub use graph::{Graph, Node, NodeId};
@@ -90,6 +92,14 @@ pub enum IrError {
         /// Description of the invalid parameter.
         reason: String,
     },
+    /// A node's value is neither consumed by another op nor marked as a
+    /// graph output (reported by [`builder::GraphBuilder::finish`]).
+    DanglingNode {
+        /// Name of the dangling node.
+        op: String,
+    },
+    /// The graph has no outputs marked.
+    NoOutputs,
 }
 
 impl fmt::Display for IrError {
@@ -106,6 +116,10 @@ impl fmt::Display for IrError {
             IrError::InvalidGeometry { op, reason } => {
                 write!(f, "invalid geometry for op `{op}`: {reason}")
             }
+            IrError::DanglingNode { op } => {
+                write!(f, "node `{op}` is neither consumed nor marked as an output")
+            }
+            IrError::NoOutputs => write!(f, "graph has no outputs marked"),
         }
     }
 }

@@ -499,6 +499,23 @@ mod validate_geom {
                 }
                 Ok(())
             }
+            OpKind::Pool(g) => {
+                if g.in_h == 0 || g.in_w == 0 || g.channels == 0 {
+                    return Err(IrError::InvalidGeometry {
+                        op: op_name.to_string(),
+                        reason: "pool input dims must be nonzero".to_string(),
+                    });
+                }
+                // GlobalAvg ignores the window; every other flavor divides
+                // by the stride in `out_extent`.
+                if g.kind != PoolKind::GlobalAvg && (g.k == 0 || g.stride == 0) {
+                    return Err(IrError::InvalidGeometry {
+                        op: op_name.to_string(),
+                        reason: "pool window and stride must be nonzero".to_string(),
+                    });
+                }
+                Ok(())
+            }
             _ => Ok(()),
         }
     }
@@ -616,6 +633,10 @@ pub(crate) fn infer_shape(
                 return Err(arity_err(2));
             }
             let first = inputs[0].dims();
+            if first.is_empty() {
+                // Rank-0 tensors have no last axis to concatenate along.
+                return Err(mismatch("rank >= 1".to_string(), inputs[0]));
+            }
             let mut last = 0;
             for s in inputs {
                 let d = s.dims();
@@ -747,11 +768,47 @@ mod tests {
     }
 
     #[test]
+    fn concat_rejects_scalar_inputs() {
+        // Rank-0 tensors have no concat axis; an error, not a panic.
+        let s = Shape::scalar();
+        let err = infer_shape("cat", &OpKind::Concat, &[&s, &s]).unwrap_err();
+        assert!(matches!(err, IrError::ShapeMismatch { .. }), "{err:?}");
+        // Rank mismatch against a rank-0 operand is also an error.
+        let a = Shape::from([4]);
+        assert!(infer_shape("cat", &OpKind::Concat, &[&a, &s]).is_err());
+    }
+
+    #[test]
     fn validate_rejects_zero_dims() {
         let g = Conv2dGeom::same(0, 56, 64, 128, 3, 1);
         assert!(validate("c", &OpKind::Conv2d(g)).is_err());
         let g = MatMulGeom { k: 0, n: 10 };
         assert!(validate("m", &OpKind::MatMul(g)).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_pool_windows() {
+        // A windowed pool with k=0 or stride=0 would divide by zero in
+        // `out_extent`; it must be a typed error, not a panic.
+        let pool = |kind, k, stride| {
+            OpKind::Pool(PoolGeom { kind, in_h: 7, in_w: 7, channels: 32, k, stride })
+        };
+        for bad in [pool(PoolKind::Max, 0, 2), pool(PoolKind::Max, 2, 0), pool(PoolKind::Avg, 0, 0)]
+        {
+            let err = validate("p", &bad).unwrap_err();
+            assert!(matches!(err, IrError::InvalidGeometry { .. }), "{err:?}");
+        }
+        // GlobalAvg ignores the window, and zero input extents never pass.
+        assert!(validate("gap", &pool(PoolKind::GlobalAvg, 0, 0)).is_ok());
+        let zero_ch = OpKind::Pool(PoolGeom {
+            kind: PoolKind::GlobalAvg,
+            in_h: 7,
+            in_w: 7,
+            channels: 0,
+            k: 0,
+            stride: 0,
+        });
+        assert!(validate("gap", &zero_ch).is_err());
     }
 
     #[test]

@@ -62,6 +62,37 @@ impl Shape {
         d[dim] = extent;
         Shape(d)
     }
+
+    /// Numpy-style broadcast of two shapes, or `None` if they are
+    /// incompatible: dimensions align from the trailing end, an extent of 1
+    /// stretches to the other side's extent, and anything else must match.
+    ///
+    /// ```
+    /// use fast_ir::Shape;
+    ///
+    /// let a = Shape::from([4, 1, 1, 64]);
+    /// let b = Shape::from([4, 56, 56, 64]);
+    /// assert_eq!(Shape::broadcast(&a, &b), Some(b.clone()));
+    /// assert_eq!(Shape::broadcast(&Shape::from([64]), &b), Some(b));
+    /// assert_eq!(Shape::broadcast(&Shape::from([3]), &Shape::from([4])), None);
+    /// ```
+    #[must_use]
+    pub fn broadcast(a: &Shape, b: &Shape) -> Option<Shape> {
+        let rank = a.rank().max(b.rank());
+        let mut out = vec![0u64; rank];
+        for i in 0..rank {
+            // Align trailing dimensions; missing leading dims act as 1.
+            let da = if i < a.rank() { a.0[a.rank() - 1 - i] } else { 1 };
+            let db = if i < b.rank() { b.0[b.rank() - 1 - i] } else { 1 };
+            out[rank - 1 - i] = match (da, db) {
+                (x, y) if x == y => x,
+                (1, y) => y,
+                (x, 1) => x,
+                _ => return None,
+            };
+        }
+        Some(Shape(out))
+    }
 }
 
 impl fmt::Display for Shape {
@@ -125,5 +156,76 @@ mod tests {
     fn with_dim_replaces() {
         let s = Shape::from([8, 128]);
         assert_eq!(s.with_dim(0, 16).dims(), &[16, 128]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Broadcast is commutative, and a shape broadcasts with itself and
+        /// with the scalar to itself.
+        #[test]
+        fn broadcast_commutative_with_identities(
+            a in prop::collection::vec(1u64..6, 0..5),
+            b in prop::collection::vec(1u64..6, 0..5),
+        ) {
+            let (sa, sb) = (Shape::new(a), Shape::new(b));
+            prop_assert_eq!(Shape::broadcast(&sa, &sb), Shape::broadcast(&sb, &sa));
+            prop_assert_eq!(Shape::broadcast(&sa, &sa), Some(sa.clone()));
+            prop_assert_eq!(Shape::broadcast(&sa, &Shape::scalar()), Some(sa));
+        }
+
+        /// Stretching: replace any subset of extents with 1 and drop any
+        /// number of leading dims — the result still broadcasts back to the
+        /// original shape (the SE-scale / bias / gate patterns).
+        #[test]
+        fn broadcast_stretches_ones_and_missing_leading_dims(
+            dims in prop::collection::vec(1u64..7, 1..6),
+            mask in 0u32..64,
+            drop in 0usize..6,
+        ) {
+            let full = Shape::new(dims.clone());
+            let mut small: Vec<u64> = dims
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| if mask & (1 << i) != 0 { 1 } else { d })
+                .collect();
+            small.drain(..drop.min(small.len()));
+            let small = Shape::new(small);
+            prop_assert_eq!(Shape::broadcast(&small, &full), Some(full.clone()));
+            prop_assert_eq!(Shape::broadcast(&full, &small), Some(full));
+        }
+
+        /// When broadcast succeeds, the output aligns from the trailing end:
+        /// rank is the max rank and every extent is the max of the aligned
+        /// pair; when any aligned pair disagrees with neither side 1, it
+        /// fails. (The oracle is the numpy rule spelled dimension by
+        /// dimension.)
+        #[test]
+        fn broadcast_matches_numpy_oracle(
+            a in prop::collection::vec(1u64..6, 0..5),
+            b in prop::collection::vec(1u64..6, 0..5),
+        ) {
+            let rank = a.len().max(b.len());
+            let dim = |v: &[u64], i: usize| if i < v.len() { v[v.len() - 1 - i] } else { 1 };
+            let compatible =
+                (0..rank).all(|i| dim(&a, i) == dim(&b, i) || dim(&a, i) == 1 || dim(&b, i) == 1);
+            let got = Shape::broadcast(&Shape::new(a.clone()), &Shape::new(b.clone()));
+            match got {
+                Some(c) => {
+                    prop_assert!(compatible);
+                    prop_assert_eq!(c.rank(), rank);
+                    for i in 0..rank {
+                        prop_assert_eq!(c.dims()[rank - 1 - i], dim(&a, i).max(dim(&b, i)));
+                    }
+                }
+                None => prop_assert!(!compatible),
+            }
+        }
     }
 }

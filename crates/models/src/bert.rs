@@ -7,7 +7,7 @@
 //! length while softmax and self-attention scale quadratically — the §4.3
 //! bottleneck FAST targets.
 
-use fast_ir::{BatchMatMulGeom, DType, Graph, IrError, MatMulGeom, NodeId};
+use fast_ir::{DType, EwKind, Graph, GraphBuilder, IrError};
 use serde::{Deserialize, Serialize};
 
 /// BERT model hyperparameters.
@@ -46,73 +46,25 @@ impl BertConfig {
 
     /// Builds the encoder inference graph at `batch` × `seq_len`.
     ///
+    /// Each encoder layer is one [`GraphBuilder::attention_block`] (Q/K/V
+    /// projection, QKᵀ/AV einsums, softmax, output projection, residual +
+    /// layernorm) followed by one GELU [`GraphBuilder::ffn_block`], grouped
+    /// as `encoder{layer}`.
+    ///
     /// # Errors
     /// Propagates IR construction errors.
     pub fn build(&self, batch: u64, seq_len: u64) -> Result<Graph, IrError> {
-        let mut g = Graph::new(format!("BERT-seq{seq_len}"), DType::Bf16);
-        let ids = g.input("token_ids", [batch, seq_len]);
-        let mut cur = g.embedding("embed", ids, self.vocab, self.hidden)?;
+        let mut b = GraphBuilder::new(format!("BERT-seq{seq_len}"), DType::Bf16);
+        let ids = b.input("token_ids", [batch, seq_len]);
+        let mut cur = b.embedding_lookup("embed", ids, self.vocab, self.hidden);
         for layer in 0..self.layers {
-            g.begin_group(format!("encoder{layer}"));
-            cur = self.encoder_layer(&mut g, layer, cur, batch, seq_len)?;
-            g.end_group();
+            b.begin_group(format!("encoder{layer}"));
+            let attn = b.attention_block(format!("l{layer}"), cur, self.heads);
+            cur = b.ffn_block(format!("l{layer}.ff"), attn, self.ff, EwKind::Gelu);
+            b.end_group();
         }
-        g.mark_output(cur);
-        Ok(g)
-    }
-
-    fn encoder_layer(
-        &self,
-        g: &mut Graph,
-        layer: u64,
-        input: NodeId,
-        batch: u64,
-        seq: u64,
-    ) -> Result<NodeId, IrError> {
-        let h = self.hidden;
-        let heads = self.heads;
-        let d = self.head_dim();
-        let p = |s: &str| format!("l{layer}.{s}");
-
-        // Q/K/V projections (activation × weight).
-        let q = g.matmul(p("qkv.q"), input, MatMulGeom { k: h, n: h })?;
-        let k = g.matmul(p("qkv.k"), input, MatMulGeom { k: h, n: h })?;
-        let v = g.matmul(p("qkv.v"), input, MatMulGeom { k: h, n: h })?;
-
-        // Split heads: [B,S,H] -> [B*heads, S, d].
-        let qh = g.reshape(p("attn.q_heads"), q, [batch * heads, seq, d])?;
-        let kh = g.reshape(p("attn.k_heads"), k, [batch * heads, d, seq])?;
-        let vh = g.reshape(p("attn.v_heads"), v, [batch * heads, seq, d])?;
-
-        // Attention scores QKᵀ (activation × activation) and softmax.
-        let scores = g.batch_matmul(
-            p("attn.qk"),
-            qh,
-            kh,
-            BatchMatMulGeom { batch: batch * heads, m: seq, k: d, n: seq },
-        )?;
-        let probs = g.softmax(p("softmax"), scores)?;
-
-        // Attention output AV (activation × activation).
-        let ctx = g.batch_matmul(
-            p("attn.av"),
-            probs,
-            vh,
-            BatchMatMulGeom { batch: batch * heads, m: seq, k: seq, n: d },
-        )?;
-        let merged = g.reshape(p("attn.merge"), ctx, [batch, seq, h])?;
-
-        // Output projection + residual + layernorm.
-        let proj = g.matmul(p("attn.out"), merged, MatMulGeom { k: h, n: h })?;
-        let res1 = g.residual_add(p("attn.residual"), proj, input)?;
-        let ln1 = g.layer_norm(p("attn.ln"), res1)?;
-
-        // Feed-forward + residual + layernorm.
-        let ff1 = g.matmul(p("ff.fc1"), ln1, MatMulGeom { k: h, n: self.ff })?;
-        let gelu = g.gelu(p("ff.gelu"), ff1)?;
-        let ff2 = g.matmul(p("ff.fc2"), gelu, MatMulGeom { k: self.ff, n: h })?;
-        let res2 = g.residual_add(p("ff.residual"), ff2, ln1)?;
-        g.layer_norm(p("ff.ln"), res2)
+        b.output(cur);
+        b.finish()
     }
 }
 

@@ -1,0 +1,132 @@
+//! Latent-diffusion UNet block workload (Rombach et al., 2022 style).
+//!
+//! Image-generation serving is dominated by repeated UNet evaluations over
+//! a latent grid. This workload models one down/up round trip of a small
+//! latent UNet: two time-conditioned residual conv blocks around a
+//! self-attention stage at the full latent resolution, a strided-conv
+//! downsample, and a pixel-shuffle upsample with a UNet skip connection.
+//!
+//! The mix is what makes it interesting for domain search: large
+//! square-ish convolutions (systolic-friendly), a 1024-token attention
+//! block (the BERT pattern, via [`GraphBuilder::attention_block`]), and
+//! per-channel time-embedding broadcasts (`[B,C]` against `[B,H,W,C]`) —
+//! all in one graph.
+
+use fast_ir::{DType, EwKind, Graph, GraphBuilder, IrError, Tensor};
+
+/// Latent channels throughout the block.
+pub const CHANNELS: u64 = 256;
+/// Latent spatial resolution (`RES × RES`).
+pub const RES: u64 = 32;
+/// Timestep-embedding input width.
+pub const TIME_DIM: u64 = 1024;
+/// Attention heads at the full-resolution stage.
+pub const HEADS: u64 = 8;
+
+/// Builds the UNet block at `batch` latents.
+///
+/// # Errors
+/// Propagates IR construction errors.
+pub fn build_unet_block(batch: u64) -> Result<Graph, IrError> {
+    let mut b = GraphBuilder::new("Diffusion-UNet", DType::Bf16);
+    let latent = b.input("latent", [batch, RES, RES, CHANNELS]);
+
+    // Timestep embedding MLP, shared by both residual blocks.
+    let t_in = b.input("timestep", [batch, TIME_DIM]);
+    let t_fc1 = b.linear("time.fc1", t_in, TIME_DIM);
+    let t_act = b.swish("time.swish", t_fc1);
+    let temb = b.linear("time.fc2", t_act, CHANNELS);
+
+    // Residual block at full resolution, then self-attention over the grid.
+    b.begin_group("res1".to_string());
+    let r1 = res_block(&mut b, "res1", latent, temb);
+    b.end_group();
+
+    b.begin_group("attn".to_string());
+    let tokens = b.reshape("attn.flatten", r1, [batch, RES * RES, CHANNELS]);
+    let attended = b.attention_block("mid", tokens, HEADS);
+    let a1 = b.reshape("attn.unflatten", attended, [batch, RES, RES, CHANNELS]);
+    b.end_group();
+
+    // Down: strided conv halves the grid; second residual block; up:
+    // 1×1 conv to 4C then pixel-shuffle back to full resolution.
+    b.begin_group("down".to_string());
+    let down = b.conv2d("down.conv", a1, CHANNELS, 3, 2);
+    b.end_group();
+
+    b.begin_group("res2".to_string());
+    let r2 = res_block(&mut b, "res2", down, temb);
+    b.end_group();
+
+    b.begin_group("up".to_string());
+    let wide = b.conv2d("up.conv", r2, 4 * CHANNELS, 1, 1);
+    let up = b.reshape("up.shuffle", wide, [batch, RES, RES, CHANNELS]);
+    let skip = b.residual("up.skip", up, a1);
+    b.end_group();
+
+    // Output head.
+    b.begin_group("out".to_string());
+    let on = b.layer_norm("out.norm", skip);
+    let oa = b.swish("out.swish", on);
+    let out = b.conv2d("out.conv", oa, CHANNELS, 3, 1);
+    b.end_group();
+    b.output(out);
+    b.finish()
+}
+
+/// One time-conditioned residual block: norm → swish → 3×3 conv →
+/// `+time` → norm → swish → 3×3 conv → `+input`.
+fn res_block(b: &mut GraphBuilder, name: &str, x: Tensor, temb: Tensor) -> Tensor {
+    let ch = b.dim(x, 3);
+    let n1 = b.layer_norm(format!("{name}.norm1"), x);
+    let a1 = b.swish(format!("{name}.swish1"), n1);
+    let c1 = b.conv2d(format!("{name}.conv1"), a1, ch, 3, 1);
+    // Per-channel conditioning: [B,C] broadcast against [B,H,W,C].
+    let t = b.binary(format!("{name}.temb"), EwKind::Add, c1, temb);
+    let n2 = b.layer_norm(format!("{name}.norm2"), t);
+    let a2 = b.swish(format!("{name}.swish2"), n2);
+    let c2 = b.conv2d(format!("{name}.conv2"), a2, ch, 3, 1);
+    b.residual(format!("{name}.add"), c2, x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fast_ir::GraphStats;
+
+    #[test]
+    fn unet_block_builds_and_mixes_op_classes() {
+        let g = build_unet_block(1).unwrap();
+        g.validate().unwrap();
+        let s = GraphStats::of(&g);
+        // Convs dominate but attention is a real fraction of the work.
+        let conv = s.flop_fraction("Conv2D");
+        let bmm = s.flop_fraction("BatchMatMul");
+        let mm = s.flop_fraction("MatMul");
+        assert!(conv > 0.4, "conv fraction {conv}");
+        assert!(bmm + mm > 0.1, "attention fraction {}", bmm + mm);
+    }
+
+    #[test]
+    fn attention_runs_over_the_full_grid() {
+        let g = build_unet_block(2).unwrap();
+        let qk = g.nodes().find(|n| n.name() == "mid.attn.qk").unwrap();
+        assert_eq!(qk.shape().dims(), &[2 * HEADS, RES * RES, RES * RES]);
+    }
+
+    #[test]
+    fn pixel_shuffle_restores_resolution_for_the_skip() {
+        let g = build_unet_block(1).unwrap();
+        let down = g.nodes().find(|n| n.name() == "down.conv").unwrap();
+        assert_eq!(down.shape().dims(), &[1, RES / 2, RES / 2, CHANNELS]);
+        let skip = g.nodes().find(|n| n.name() == "up.skip").unwrap();
+        assert_eq!(skip.shape().dims(), &[1, RES, RES, CHANNELS]);
+    }
+
+    #[test]
+    fn flops_scale_linearly_with_batch() {
+        let f1 = build_unet_block(1).unwrap().total_flops();
+        let f3 = build_unet_block(3).unwrap().total_flops();
+        assert_eq!(f3, 3 * f1);
+    }
+}

@@ -1,0 +1,130 @@
+//! DLRM-style recommendation workload (Naumov et al., 2019).
+//!
+//! Recommendation serving is the canonical *embedding-bound* datacenter
+//! workload: almost all parameter bytes live in sparse embedding tables
+//! that are gathered (not multiplied), the dense compute is a pair of
+//! small MLPs, and the characteristic op in between is the pairwise
+//! feature-interaction einsum. FLOP-wise the model is tiny; byte-wise it is
+//! enormous — the opposite corner of the roofline from the CNN zoo, which
+//! is exactly why the domain-search literature includes it.
+//!
+//! Structure (one serving pass):
+//! dense features → bottom MLP → `[B,D]`; per-table id gathers → `[B,D]`
+//! each; all `F+1` feature vectors stack to `[B,F+1,D]` and interact as
+//! `X·Xᵀ` (a batched matmul), the upper triangle flattens, concatenates
+//! with the bottom-MLP output and feeds the top MLP ending in a sigmoid
+//! CTR prediction.
+
+use fast_ir::{DType, Graph, GraphBuilder, IrError};
+use serde::{Deserialize, Serialize};
+
+/// DLRM hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DlrmConfig {
+    /// Number of sparse embedding tables.
+    pub tables: u64,
+    /// Rows per embedding table.
+    pub vocab: u64,
+    /// Embedding (and bottom-MLP output) width.
+    pub dim: u64,
+    /// Dense input feature count.
+    pub dense_features: u64,
+}
+
+impl DlrmConfig {
+    /// The serving-benchmark configuration: 8 tables × 1 M rows × 64 wide
+    /// (≈1 GB of embeddings in bf16) with the Criteo-style 13 dense features.
+    #[must_use]
+    pub const fn serving() -> Self {
+        DlrmConfig { tables: 8, vocab: 1_000_000, dim: 64, dense_features: 13 }
+    }
+
+    /// Builds the serving graph at `batch`.
+    ///
+    /// # Errors
+    /// Propagates IR construction errors.
+    pub fn build(&self, batch: u64) -> Result<Graph, IrError> {
+        let mut b = GraphBuilder::new("DLRM", DType::Bf16);
+
+        // Bottom MLP over the dense features, ending at the embedding width.
+        let dense = b.input("dense", [batch, self.dense_features]);
+        b.begin_group("bottom_mlp".to_string());
+        let fc0 = b.linear("bot.fc0", dense, 512);
+        let r0 = b.relu("bot.relu0", fc0);
+        let fc1 = b.linear("bot.fc1", r0, 256);
+        let r1 = b.relu("bot.relu1", fc1);
+        let fc2 = b.linear("bot.fc2", r1, self.dim);
+        let bot = b.relu("bot.relu2", fc2);
+        b.end_group();
+
+        // Sparse features: one id gather per table.
+        let mut features = vec![bot];
+        for t in 0..self.tables {
+            let ids = b.input(format!("emb{t}.ids"), [batch]);
+            features.push(b.embedding_lookup(format!("emb{t}.lookup"), ids, self.vocab, self.dim));
+        }
+
+        // Pairwise interaction: stack to [B,F+1,D], dot every pair (X·Xᵀ).
+        b.begin_group("interaction".to_string());
+        let n_feat = self.tables + 1;
+        let stacked = b.concat("interact.concat", &features);
+        let lhs = b.reshape("interact.lhs", stacked, [batch, n_feat, self.dim]);
+        let rhs = b.reshape("interact.rhs", stacked, [batch, self.dim, n_feat]);
+        let dots = b.batch_matmul("interact.dots", lhs, rhs);
+        let flat = b.reshape("interact.flat", dots, [batch, n_feat * n_feat]);
+        b.end_group();
+
+        // Top MLP over interactions + dense representation, sigmoid CTR head.
+        b.begin_group("top_mlp".to_string());
+        let cat = b.concat("top.concat", &[flat, bot]);
+        let t0 = b.linear("top.fc0", cat, 256);
+        let tr0 = b.relu("top.relu0", t0);
+        let t1 = b.linear("top.fc1", tr0, 128);
+        let tr1 = b.relu("top.relu1", t1);
+        let t2 = b.linear("top.fc2", tr1, 1);
+        let ctr = b.sigmoid("top.ctr", t2);
+        b.end_group();
+        b.output(ctr);
+        b.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fast_ir::GraphStats;
+
+    #[test]
+    fn dlrm_is_embedding_byte_dominated() {
+        let c = DlrmConfig::serving();
+        let g = c.build(4).unwrap();
+        g.validate().unwrap();
+        let s = GraphStats::of(&g);
+        // ≈1 GB of embedding tables dwarfs the ~200 KB of MLP weights.
+        let emb_bytes = 2 * c.tables * c.vocab * c.dim;
+        assert!(s.weight_bytes >= emb_bytes);
+        assert!(s.weight_bytes < emb_bytes + emb_bytes / 10);
+        // FLOP-wise it is tiny: well under a GFLOP at batch 4.
+        assert!(s.flops < 1_000_000_000, "flops {}", s.flops);
+    }
+
+    #[test]
+    fn interaction_is_pairwise() {
+        let c = DlrmConfig::serving();
+        let g = c.build(2).unwrap();
+        let dots = g.nodes().find(|n| n.name() == "interact.dots").unwrap();
+        let f = c.tables + 1;
+        assert_eq!(dots.shape().dims(), &[2, f, f]);
+    }
+
+    #[test]
+    fn one_gather_per_table_and_flops_scale_with_batch() {
+        let c = DlrmConfig::serving();
+        let g = c.build(1).unwrap();
+        let gathers = g.nodes().filter(|n| n.name().ends_with(".lookup")).count();
+        assert_eq!(gathers, c.tables as usize);
+        let f1 = g.total_flops();
+        let f8 = c.build(8).unwrap().total_flops();
+        assert_eq!(f8, 8 * f1);
+    }
+}

@@ -6,8 +6,7 @@
 //! precisely the low-operational-intensity structure §3.2/§4.2 of the FAST
 //! paper analyses.
 
-use fast_ir::ops::DepthwiseConv2dGeom;
-use fast_ir::{Conv2dGeom, DType, Graph, IrError, MatMulGeom, NodeId};
+use fast_ir::{DType, EwKind, Graph, GraphBuilder, IrError, Tensor};
 use serde::{Deserialize, Serialize};
 
 /// An EfficientNet model variant.
@@ -139,16 +138,13 @@ pub fn round_repeats(repeats: u64, depth: f64) -> u64 {
 
 fn build_efficientnet(variant: EfficientNet, batch: u64) -> Result<Graph, IrError> {
     let (width, depth, res) = variant.scaling();
-    let mut g = Graph::new(variant.name(), DType::Bf16);
-    let x = g.input("images", [batch, res, res, 3]);
+    let mut b = GraphBuilder::new(variant.name(), DType::Bf16);
+    let x = b.input("images", [batch, res, res, 3]);
 
     // Stem: 3x3 stride-2 conv + swish.
     let stem_ch = round_channels(STEM_CHANNELS, width);
-    let mut h = res.div_ceil(2);
-    let mut w = res.div_ceil(2);
-    let c = g.conv2d("stem.conv", x, Conv2dGeom::same(res, res, 3, stem_ch, 3, 2))?;
-    let mut cur = g.swish("stem.swish", c)?;
-    let mut in_ch = stem_ch;
+    let c = b.conv2d("stem.conv", x, stem_ch, 3, 2);
+    let mut cur = b.swish("stem.swish", c);
 
     let mut block_idx = 0u64;
     for (stage, &(expand, channels, repeats, stride, kernel)) in B0_STAGES.iter().enumerate() {
@@ -157,92 +153,72 @@ fn build_efficientnet(variant: EfficientNet, batch: u64) -> Result<Graph, IrErro
         for rep in 0..reps {
             let s = if rep == 0 { stride } else { 1 };
             let name = format!("s{stage}b{rep}");
-            g.begin_group(format!("mbconv{block_idx}"));
-            let (next, nh, nw) =
-                mbconv_block(&mut g, &name, cur, batch, h, w, in_ch, out_ch, expand, kernel, s)?;
-            g.end_group();
-            cur = next;
-            h = nh;
-            w = nw;
-            in_ch = out_ch;
+            b.begin_group(format!("mbconv{block_idx}"));
+            cur = mbconv_block(&mut b, &name, cur, out_ch, expand, kernel, s);
+            b.end_group();
             block_idx += 1;
         }
     }
 
     // Head: 1x1 conv to wide features, swish, global pool, classifier.
     let head_ch = round_channels(HEAD_CHANNELS, width);
-    let hc = g.conv2d("head.conv", cur, Conv2dGeom::same(h, w, in_ch, head_ch, 1, 1))?;
-    let hs = g.swish("head.swish", hc)?;
-    let gap = g.global_avg_pool("head.gap", hs)?;
-    let flat = g.reshape("head.flat", gap, [batch, head_ch])?;
-    let logits = g.matmul("head.fc", flat, MatMulGeom { k: head_ch, n: NUM_CLASSES })?;
-    g.mark_output(logits);
-    Ok(g)
+    let hc = b.conv2d("head.conv", cur, head_ch, 1, 1);
+    let hs = b.swish("head.swish", hc);
+    let gap = b.global_avg_pool("head.gap", hs);
+    let flat = b.reshape("head.flat", gap, [batch, head_ch]);
+    let logits = b.linear("head.fc", flat, NUM_CLASSES);
+    b.output(logits);
+    b.finish()
 }
 
-/// Builds one MBConv (inverted-residual) block, returning the output node and
-/// spatial extents.
-#[allow(clippy::too_many_arguments)]
+/// Builds one MBConv (inverted-residual) block.
 fn mbconv_block(
-    g: &mut Graph,
+    b: &mut GraphBuilder,
     name: &str,
-    input: NodeId,
-    batch: u64,
-    h: u64,
-    w: u64,
-    in_ch: u64,
+    input: Tensor,
     out_ch: u64,
     expand: u64,
     kernel: u64,
     stride: u64,
-) -> Result<(NodeId, u64, u64), IrError> {
+) -> Tensor {
+    let batch = b.dim(input, 0);
+    let in_ch = b.dim(input, 3);
     let mid_ch = in_ch * expand;
 
     // Expansion (skipped when expand ratio is 1, as in stage 0).
     let expanded = if expand != 1 {
-        let e =
-            g.conv2d(format!("{name}.expand"), input, Conv2dGeom::same(h, w, in_ch, mid_ch, 1, 1))?;
-        g.swish(format!("{name}.expand_swish"), e)?
+        let e = b.conv2d(format!("{name}.expand"), input, mid_ch, 1, 1);
+        b.swish(format!("{name}.expand_swish"), e)
     } else {
         input
     };
 
     // Depthwise conv.
-    let dw = g.depthwise_conv2d(
-        format!("{name}.dwconv"),
-        expanded,
-        DepthwiseConv2dGeom::same(h, w, mid_ch, kernel, stride),
-    )?;
-    let dws = g.swish(format!("{name}.dw_swish"), dw)?;
-    let oh = h.div_ceil(stride);
-    let ow = w.div_ceil(stride);
+    let dw = b.depthwise_conv2d(format!("{name}.dwconv"), expanded, kernel, stride);
+    let dws = b.swish(format!("{name}.dw_swish"), dw);
 
     // Squeeze-and-excitation: pool -> reduce FC -> swish -> expand FC ->
     // sigmoid -> channel-wise scale. Reduction width derives from the block
-    // *input* channels (reference implementation).
+    // *input* channels (reference implementation). The scale is the model
+    // zoo's divisibility-broadcast case: a [B,C] gate against [B,H,W,C].
     let se_ch = ((in_ch as f64 * SE_RATIO) as u64).max(1);
-    let pooled = g.global_avg_pool(format!("{name}.se_pool"), dws)?;
-    let squeezed = g.reshape(format!("{name}.se_flat"), pooled, [batch, mid_ch])?;
-    let fc1 = g.matmul(format!("{name}.se_fc1"), squeezed, MatMulGeom { k: mid_ch, n: se_ch })?;
-    let fc1a = g.swish(format!("{name}.se_swish"), fc1)?;
-    let fc2 = g.matmul(format!("{name}.se_fc2"), fc1a, MatMulGeom { k: se_ch, n: mid_ch })?;
-    let gate = g.unary(format!("{name}.se_sigmoid"), fast_ir::EwKind::Sigmoid, fc2)?;
-    let scaled = g.binary(format!("{name}.se_scale"), fast_ir::EwKind::Mul, dws, gate)?;
+    let pooled = b.global_avg_pool(format!("{name}.se_pool"), dws);
+    let squeezed = b.reshape(format!("{name}.se_flat"), pooled, [batch, mid_ch]);
+    let fc1 = b.linear(format!("{name}.se_fc1"), squeezed, se_ch);
+    let fc1a = b.swish(format!("{name}.se_swish"), fc1);
+    let fc2 = b.linear(format!("{name}.se_fc2"), fc1a, mid_ch);
+    let gate = b.sigmoid(format!("{name}.se_sigmoid"), fc2);
+    let scaled = b.binary(format!("{name}.se_scale"), EwKind::Mul, dws, gate);
 
     // Projection back to out_ch (linear — no activation).
-    let proj = g.conv2d(
-        format!("{name}.project"),
-        scaled,
-        Conv2dGeom::same(oh, ow, mid_ch, out_ch, 1, 1),
-    )?;
+    let proj = b.conv2d(format!("{name}.project"), scaled, out_ch, 1, 1);
 
     // Residual connection when shapes allow.
-    let out = if stride == 1 && in_ch == out_ch {
-        g.residual_add(format!("{name}.add"), proj, input)?
+    if stride == 1 && in_ch == out_ch {
+        b.residual(format!("{name}.add"), proj, input)
     } else {
         proj
-    };
-    Ok((out, oh, ow))
+    }
 }
 
 #[cfg(test)]

@@ -8,7 +8,14 @@
 //! * ResNet-50v2 ([`resnet::build_resnet50v2`]),
 //! * two synthetic stand-ins for the production OCR pipeline
 //!   ([`ocr::build_ocr_rpn`], [`ocr::build_ocr_recognizer`]) — see the module
-//!   docs for the substitution rationale.
+//!   docs for the substitution rationale,
+//! * four modern serving families beyond the paper's suite: LLM prefill and
+//!   decode ([`LlmConfig`]), DLRM-style recommendation ([`DlrmConfig`]) and
+//!   a latent-diffusion UNet block ([`diffusion::build_unet_block`]).
+//!
+//! All graphs are constructed through [`fast_ir::GraphBuilder`]; adding a
+//! workload is a page of fluent layer calls (see the `custom_workload`
+//! example at the repo root).
 //!
 //! [`Workload`] is the uniform handle the search framework consumes: it can
 //! build a graph at any batch size and names itself consistently across
@@ -25,13 +32,18 @@
 //! ```
 
 pub mod bert;
+pub mod diffusion;
+pub mod dlrm;
 pub mod efficientnet;
+pub mod llm;
 pub mod ocr;
 mod persist;
 pub mod resnet;
 
 pub use bert::{BertComponent, BertConfig};
+pub use dlrm::DlrmConfig;
 pub use efficientnet::EfficientNet;
+pub use llm::LlmConfig;
 
 use fast_ir::{Graph, IrError};
 use serde::{Deserialize, Serialize};
@@ -54,6 +66,22 @@ pub enum Workload {
     OcrRpn,
     /// Synthetic LSTM-based OCR line recognizer.
     OcrRecognizer,
+    /// LLM prompt-processing phase at a given prompt length
+    /// ([`LlmConfig::prefill`]).
+    LlmPrefill {
+        /// Prompt length in tokens.
+        seq_len: u64,
+    },
+    /// LLM token-generation phase against a KV cache of a given length
+    /// ([`LlmConfig::decode`]).
+    LlmDecode {
+        /// KV-cache context length in tokens.
+        context: u64,
+    },
+    /// DLRM-style recommendation model ([`DlrmConfig::build`]).
+    Dlrm,
+    /// Latent-diffusion UNet block ([`diffusion::build_unet_block`]).
+    DiffusionUNet,
 }
 
 impl Workload {
@@ -87,6 +115,19 @@ impl Workload {
         ]
     }
 
+    /// The four modern serving families added on top of the paper's suite:
+    /// LLM prefill (512-token prompt), LLM decode (2048-token KV cache),
+    /// DLRM and a diffusion-UNet block.
+    #[must_use]
+    pub fn serving_suite() -> Vec<Workload> {
+        vec![
+            Workload::LlmPrefill { seq_len: 512 },
+            Workload::LlmDecode { context: 2048 },
+            Workload::Dlrm,
+            Workload::DiffusionUNet,
+        ]
+    }
+
     /// Workload display name matching the paper's figures.
     #[must_use]
     pub fn name(&self) -> String {
@@ -96,6 +137,10 @@ impl Workload {
             Workload::ResNet50 => "ResNet50v2".to_string(),
             Workload::OcrRpn => "OCR-RPN".to_string(),
             Workload::OcrRecognizer => "OCR-Recognizer".to_string(),
+            Workload::LlmPrefill { seq_len } => format!("LLM-prefill-{seq_len}"),
+            Workload::LlmDecode { context } => format!("LLM-decode-{context}"),
+            Workload::Dlrm => "DLRM".to_string(),
+            Workload::DiffusionUNet => "Diffusion-UNet".to_string(),
         }
     }
 
@@ -110,6 +155,10 @@ impl Workload {
             Workload::ResNet50 => resnet::build_resnet50v2(batch, 224),
             Workload::OcrRpn => ocr::build_ocr_rpn(batch),
             Workload::OcrRecognizer => ocr::build_ocr_recognizer(batch),
+            Workload::LlmPrefill { seq_len } => LlmConfig::serving().prefill(batch, *seq_len),
+            Workload::LlmDecode { context } => LlmConfig::serving().decode(batch, *context),
+            Workload::Dlrm => DlrmConfig::serving().build(batch),
+            Workload::DiffusionUNet => diffusion::build_unet_block(batch),
         }
     }
 }
@@ -170,6 +219,32 @@ impl WorkloadDomain {
     pub fn geomean13() -> Self {
         WorkloadDomain::multi_model("GeoMean-13", Workload::suite())
     }
+
+    /// The modern-serving multi-model domain ("Serving-4"): LLM prefill,
+    /// LLM decode, DLRM and the diffusion-UNet block searched together.
+    #[must_use]
+    pub fn serving4() -> Self {
+        WorkloadDomain::multi_model("Serving-4", Workload::serving_suite())
+    }
+
+    /// Every named domain the stack knows: the 13 paper per-model domains,
+    /// the 4 serving per-model domains, and the three multi-model domains
+    /// ("GeoMean-5", "GeoMean-13", "Serving-4").
+    #[must_use]
+    pub fn registry() -> Vec<WorkloadDomain> {
+        let mut v = WorkloadDomain::per_model_suite();
+        v.extend(Workload::serving_suite().into_iter().map(WorkloadDomain::per_model));
+        v.push(WorkloadDomain::geomean5());
+        v.push(WorkloadDomain::geomean13());
+        v.push(WorkloadDomain::serving4());
+        v
+    }
+
+    /// Looks up a domain from [`WorkloadDomain::registry`] by display name.
+    #[must_use]
+    pub fn by_name(name: &str) -> Option<WorkloadDomain> {
+        WorkloadDomain::registry().into_iter().find(|d| d.name == name)
+    }
 }
 
 impl fmt::Display for WorkloadDomain {
@@ -199,13 +274,32 @@ mod tests {
 
     #[test]
     fn all_suite_workloads_build_and_validate() {
-        for w in Workload::suite() {
+        for w in Workload::suite().into_iter().chain(Workload::serving_suite()) {
             let g = w.build(1).unwrap_or_else(|e| panic!("{w}: {e}"));
             g.validate().unwrap_or_else(|e| panic!("{w}: {e}"));
             let stats = GraphStats::of(&g);
             assert!(stats.flops > 0, "{w} has zero flops");
             assert!(stats.matrix_ops > 0, "{w} has no matrix ops");
         }
+    }
+
+    #[test]
+    fn serving_suite_and_registry_cover_new_families() {
+        let s = Workload::serving_suite();
+        assert_eq!(s.len(), 4);
+        assert_eq!(WorkloadDomain::serving4().workloads, s);
+
+        let reg = WorkloadDomain::registry();
+        assert_eq!(reg.len(), 13 + 4 + 3);
+        let names: Vec<&str> = reg.iter().map(|d| d.name.as_str()).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "registry names must be unique");
+
+        assert_eq!(WorkloadDomain::by_name("Serving-4").unwrap(), WorkloadDomain::serving4());
+        assert_eq!(WorkloadDomain::by_name("DLRM").unwrap().workloads, vec![Workload::Dlrm]);
+        assert!(WorkloadDomain::by_name("nope").is_none());
     }
 
     #[test]

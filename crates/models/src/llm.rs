@@ -1,0 +1,185 @@
+//! Decoder-only LLM serving workloads (prefill and decode phases).
+//!
+//! Modern LLM serving splits into two phases with opposite hardware
+//! behaviour, and the domain-search literature treats them as distinct
+//! workloads:
+//!
+//! * **Prefill** processes the whole prompt at once — seq-len-`N`
+//!   attention + MLP stacks that look like BERT and saturate the systolic
+//!   array with large matmuls.
+//! * **Decode** generates one token per step against a KV cache — every
+//!   matmul has a streaming dimension of 1, so the phase is bound by
+//!   weight/KV-cache bandwidth, not FLOPs. The attention einsums latch a
+//!   new stationary operand per batched head ([`fast_ir::LoopNest`]
+//!   `weight_latches`), exactly the latch-bound shape the OCR recognizer's
+//!   LSTM steps exhibit, at much larger widths.
+//!
+//! Both phases are built on [`GraphBuilder`] composites: prefill reuses
+//! [`GraphBuilder::attention_block`] / [`GraphBuilder::ffn_block`]
+//! unchanged; decode hand-wires the attention einsums against KV-cache
+//! graph inputs and emits the per-layer `k`/`v` projections of the new
+//! token as graph outputs (the serving runtime appends them to the cache).
+
+use fast_ir::{DType, EwKind, Graph, GraphBuilder, IrError};
+use serde::{Deserialize, Serialize};
+
+/// Decoder-only transformer hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LlmConfig {
+    /// Decoder layer count.
+    pub layers: u64,
+    /// Hidden width.
+    pub hidden: u64,
+    /// Attention head count.
+    pub heads: u64,
+    /// MLP inner width.
+    pub ff: u64,
+    /// Tokenizer vocabulary size.
+    pub vocab: u64,
+}
+
+impl LlmConfig {
+    /// The serving-benchmark configuration: a 16-layer, 2048-wide decoder
+    /// (≈1 B parameters) — large enough to exhibit LLM serving behaviour,
+    /// small enough to sweep.
+    #[must_use]
+    pub const fn serving() -> Self {
+        LlmConfig { layers: 16, hidden: 2048, heads: 16, ff: 8192, vocab: 32000 }
+    }
+
+    /// Per-head width.
+    #[must_use]
+    pub const fn head_dim(&self) -> u64 {
+        self.hidden / self.heads
+    }
+
+    /// Builds the prefill-phase graph: the full `seq_len`-token prompt in
+    /// one pass through every decoder layer (attention + swish MLP).
+    ///
+    /// # Errors
+    /// Propagates IR construction errors.
+    pub fn prefill(&self, batch: u64, seq_len: u64) -> Result<Graph, IrError> {
+        let mut b = GraphBuilder::new(format!("LLM-prefill-{seq_len}"), DType::Bf16);
+        let ids = b.input("token_ids", [batch, seq_len]);
+        let mut cur = b.embedding_lookup("embed", ids, self.vocab, self.hidden);
+        for layer in 0..self.layers {
+            b.begin_group(format!("block{layer}"));
+            let attn = b.attention_block(format!("l{layer}"), cur, self.heads);
+            cur = b.ffn_block(format!("l{layer}.mlp"), attn, self.ff, EwKind::Swish);
+            b.end_group();
+        }
+        b.output(cur);
+        b.finish()
+    }
+
+    /// Builds the decode-phase graph: one new token attended against a
+    /// `context`-token KV cache.
+    ///
+    /// Per layer, the cached keys `[B·heads, d, context]` and values
+    /// `[B·heads, context, d]` enter as graph inputs; the new token's
+    /// `k`/`v` projections leave as graph outputs for the runtime to append.
+    /// Ends with the `lm_head` vocabulary projection of the single position.
+    ///
+    /// # Errors
+    /// Propagates IR construction errors.
+    pub fn decode(&self, batch: u64, context: u64) -> Result<Graph, IrError> {
+        let (h, heads, hd) = (self.hidden, self.heads, self.head_dim());
+        let mut b = GraphBuilder::new(format!("LLM-decode-{context}"), DType::Bf16);
+        let ids = b.input("token_ids", [batch, 1]);
+        let mut cur = b.embedding_lookup("embed", ids, self.vocab, self.hidden);
+        for layer in 0..self.layers {
+            b.begin_group(format!("block{layer}"));
+            let p = |s: &str| format!("l{layer}.{s}");
+
+            // New-token Q/K/V; K and V also leave the graph (cache append).
+            let q = b.linear(p("qkv.q"), cur, h);
+            let k_new = b.linear(p("qkv.k"), cur, h);
+            let v_new = b.linear(p("qkv.v"), cur, h);
+            b.output(k_new);
+            b.output(v_new);
+
+            // Attention of the single query against the cached context.
+            let qh = b.reshape(p("attn.q_heads"), q, [batch * heads, 1, hd]);
+            let k_cache = b.input(p("kv.k_cache"), [batch * heads, hd, context]);
+            let v_cache = b.input(p("kv.v_cache"), [batch * heads, context, hd]);
+            let scores = b.batch_matmul(p("attn.qk"), qh, k_cache);
+            let probs = b.softmax(p("softmax"), scores);
+            let ctx = b.batch_matmul(p("attn.av"), probs, v_cache);
+            let merged = b.reshape(p("attn.merge"), ctx, [batch, 1, h]);
+            let proj = b.linear(p("attn.out"), merged, h);
+            let res = b.residual(p("attn.residual"), proj, cur);
+            let ln = b.layer_norm(p("attn.ln"), res);
+
+            cur = b.ffn_block(p("mlp"), ln, self.ff, EwKind::Swish);
+            b.end_group();
+        }
+        let logits = b.linear("lm_head", cur, self.vocab);
+        b.output(logits);
+        b.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fast_ir::OpKind;
+
+    #[test]
+    fn prefill_matches_transformer_shapes() {
+        let c = LlmConfig::serving();
+        let g = c.prefill(1, 512).unwrap();
+        g.validate().unwrap();
+        assert_eq!(g.group_names().len(), c.layers as usize);
+        let qk = g.nodes().find(|n| n.name() == "l0.attn.qk").unwrap();
+        assert_eq!(qk.shape().dims(), &[c.heads, 512, 512]);
+        // ≈ 2 * params * tokens FLOPs for the matmul-dominated stack.
+        let params = g.total_weight_bytes() / 2;
+        let flops = g.total_flops();
+        assert!(flops > 2 * params * 512 / 2, "prefill should be FLOP-heavy");
+    }
+
+    #[test]
+    fn prefill_attention_is_quadratic_in_seq() {
+        let c = LlmConfig::serving();
+        let attn_flops = |s: u64| {
+            let g = c.prefill(1, s).unwrap();
+            g.nodes()
+                .filter(|n| n.name().ends_with("attn.qk") || n.name().ends_with("attn.av"))
+                .map(|n| g.node_flops(n.id()))
+                .sum::<u64>()
+        };
+        assert_eq!(attn_flops(1024), 4 * attn_flops(512));
+    }
+
+    #[test]
+    fn decode_is_latch_bound_against_the_cache() {
+        let c = LlmConfig::serving();
+        let g = c.decode(1, 2048).unwrap();
+        g.validate().unwrap();
+        let qk = g.nodes().find(|n| n.name() == "l0.attn.qk").unwrap();
+        assert!(matches!(qk.kind(), OpKind::BatchMatMul(_)));
+        let nest = g.loop_nest(qk.id()).unwrap();
+        // One query row, a stationary latch per batched head: bandwidth-bound.
+        assert_eq!(nest.b, 1);
+        assert_eq!(nest.weight_latches, c.heads);
+        assert!(nest.stationary_is_activation);
+    }
+
+    #[test]
+    fn decode_emits_cache_appends_as_outputs() {
+        let c = LlmConfig::serving();
+        let g = c.decode(4, 1024).unwrap();
+        // Per layer: k_new + v_new, plus the final logits.
+        assert_eq!(g.outputs().len(), 2 * c.layers as usize + 1);
+        let logits = g.node(*g.outputs().last().unwrap());
+        assert_eq!(logits.shape().dims(), &[4, 1, c.vocab]);
+    }
+
+    #[test]
+    fn decode_flops_scale_with_batch_not_context_mlp() {
+        let c = LlmConfig::serving();
+        let f1 = c.decode(1, 1024).unwrap().total_flops();
+        let f4 = c.decode(4, 1024).unwrap().total_flops();
+        assert_eq!(f4, 4 * f1);
+    }
+}

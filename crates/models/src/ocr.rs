@@ -19,7 +19,7 @@
 //! already run efficiently on the baseline gain the least. The substitution
 //! is recorded in `DESIGN.md` §3.
 
-use fast_ir::{Conv2dGeom, DType, EwKind, Graph, IrError, MatMulGeom, NodeId, PoolGeom, PoolKind};
+use fast_ir::{DType, EwKind, Graph, GraphBuilder, IrError, Tensor};
 
 /// Builds the OCR-RPN workload: ResNet-50 backbone + FPN + RPN heads over a
 /// `1024×1024` page image.
@@ -27,105 +27,66 @@ use fast_ir::{Conv2dGeom, DType, EwKind, Graph, IrError, MatMulGeom, NodeId, Poo
 /// # Errors
 /// Propagates IR construction errors.
 pub fn build_ocr_rpn(batch: u64) -> Result<Graph, IrError> {
-    let mut g = Graph::new("OCR-RPN", DType::Bf16);
+    let mut b = GraphBuilder::new("OCR-RPN", DType::Bf16);
     let res = 1024u64;
-    let x = g.input("page", [batch, res, res, 3]);
+    let x = b.input("page", [batch, res, res, 3]);
 
     // --- ResNet-50 backbone (BN folded), capturing C2..C5. ---
-    let mut h = res / 2;
-    let stem = g.conv2d("stem.conv", x, Conv2dGeom::same(res, res, 3, 64, 7, 2))?;
-    let stem_r = g.relu("stem.relu", stem)?;
-    let pool = g.pool(
-        "stem.pool",
-        stem_r,
-        PoolGeom { kind: PoolKind::Max, in_h: h, in_w: h, channels: 64, k: 3, stride: 2 },
-    )?;
-    h /= 2;
+    let stem = b.conv2d("stem.conv", x, 64, 7, 2);
+    let stem_r = b.relu("stem.relu", stem);
+    let mut cur = b.max_pool("stem.pool", stem_r, 3, 2);
 
     let stages: [(u64, u64, u64); 4] = [(64, 3, 1), (128, 4, 2), (256, 6, 2), (512, 3, 2)];
-    let mut cur = pool;
-    let mut in_ch = 64u64;
-    let mut c_feats: Vec<(NodeId, u64, u64)> = Vec::new(); // (node, spatial, channels)
+    let mut c_feats: Vec<Tensor> = Vec::new();
     for (stage, &(width, blocks, stride)) in stages.iter().enumerate() {
         let out_ch = width * 4;
-        for b in 0..blocks {
-            let s = if b == 0 { stride } else { 1 };
-            let name = format!("c{}b{b}", stage + 2);
-            g.begin_group(name.clone());
-            let pre = g.relu(format!("{name}.pre"), cur)?;
-            let c1 =
-                g.conv2d(format!("{name}.conv1"), pre, Conv2dGeom::same(h, h, in_ch, width, 1, 1))?;
-            let r1 = g.relu(format!("{name}.relu1"), c1)?;
-            let c2 =
-                g.conv2d(format!("{name}.conv2"), r1, Conv2dGeom::same(h, h, width, width, 3, s))?;
-            let oh = h.div_ceil(s);
-            let r2 = g.relu(format!("{name}.relu2"), c2)?;
-            let c3 = g.conv2d(
-                format!("{name}.conv3"),
-                r2,
-                Conv2dGeom::same(oh, oh, width, out_ch, 1, 1),
-            )?;
+        for blk in 0..blocks {
+            let s = if blk == 0 { stride } else { 1 };
+            let in_ch = b.dim(cur, 3);
+            let name = format!("c{}b{blk}", stage + 2);
+            b.begin_group(name.clone());
+            let pre = b.relu(format!("{name}.pre"), cur);
+            let c1 = b.conv2d(format!("{name}.conv1"), pre, width, 1, 1);
+            let r1 = b.relu(format!("{name}.relu1"), c1);
+            let c2 = b.conv2d(format!("{name}.conv2"), r1, width, 3, s);
+            let r2 = b.relu(format!("{name}.relu2"), c2);
+            let c3 = b.conv2d(format!("{name}.conv3"), r2, out_ch, 1, 1);
             let shortcut = if s != 1 || in_ch != out_ch {
-                g.conv2d(
-                    format!("{name}.shortcut"),
-                    pre,
-                    Conv2dGeom::same(h, h, in_ch, out_ch, 1, s),
-                )?
+                b.conv2d(format!("{name}.shortcut"), pre, out_ch, 1, s)
             } else {
                 cur
             };
-            cur = g.residual_add(format!("{name}.add"), c3, shortcut)?;
-            g.end_group();
-            h = oh;
-            in_ch = out_ch;
+            cur = b.residual(format!("{name}.add"), c3, shortcut);
+            b.end_group();
         }
-        c_feats.push((cur, h, in_ch));
+        c_feats.push(cur);
     }
 
     // --- FPN neck: 1x1 lateral + 3x3 smoothing at P2..P5, plus pooled P6. ---
     let fpn_ch = 256u64;
-    let mut pyramid: Vec<(NodeId, u64)> = Vec::new();
-    for (level, &(feat, s, ch)) in c_feats.iter().enumerate() {
+    let mut pyramid: Vec<Tensor> = Vec::new();
+    for (level, &feat) in c_feats.iter().enumerate() {
         let name = format!("fpn.p{}", level + 2);
-        let lat =
-            g.conv2d(format!("{name}.lateral"), feat, Conv2dGeom::same(s, s, ch, fpn_ch, 1, 1))?;
-        let smooth =
-            g.conv2d(format!("{name}.smooth"), lat, Conv2dGeom::same(s, s, fpn_ch, fpn_ch, 3, 1))?;
-        pyramid.push((smooth, s));
+        let lat = b.conv2d(format!("{name}.lateral"), feat, fpn_ch, 1, 1);
+        let smooth = b.conv2d(format!("{name}.smooth"), lat, fpn_ch, 3, 1);
+        pyramid.push(smooth);
     }
-    let &(p5, s5) = pyramid.last().expect("pyramid nonempty");
-    let p6 = g.pool(
-        "fpn.p6",
-        p5,
-        PoolGeom { kind: PoolKind::Max, in_h: s5, in_w: s5, channels: fpn_ch, k: 1, stride: 2 },
-    )?;
-    pyramid.push((p6, s5.div_ceil(2)));
+    let &p5 = pyramid.last().expect("pyramid nonempty");
+    let p6 = b.max_pool("fpn.p6", p5, 1, 2);
+    pyramid.push(p6);
 
     // --- RPN head shared across levels: 3x3 conv + objectness/bbox 1x1s. ---
     let anchors = 3u64;
-    let mut outputs = Vec::new();
-    for (i, &(feat, s)) in pyramid.iter().enumerate() {
+    for (i, &feat) in pyramid.iter().enumerate() {
         let name = format!("rpn.l{i}");
-        let t =
-            g.conv2d(format!("{name}.conv"), feat, Conv2dGeom::same(s, s, fpn_ch, fpn_ch, 3, 1))?;
-        let tr = g.relu(format!("{name}.relu"), t)?;
-        let obj = g.conv2d(
-            format!("{name}.objectness"),
-            tr,
-            Conv2dGeom::same(s, s, fpn_ch, anchors, 1, 1),
-        )?;
-        let bbox = g.conv2d(
-            format!("{name}.bbox"),
-            tr,
-            Conv2dGeom::same(s, s, fpn_ch, anchors * 4, 1, 1),
-        )?;
-        outputs.push(obj);
-        outputs.push(bbox);
+        let t = b.conv2d(format!("{name}.conv"), feat, fpn_ch, 3, 1);
+        let tr = b.relu(format!("{name}.relu"), t);
+        let obj = b.conv2d(format!("{name}.objectness"), tr, anchors, 1, 1);
+        let bbox = b.conv2d(format!("{name}.bbox"), tr, anchors * 4, 1, 1);
+        b.output(obj);
+        b.output(bbox);
     }
-    for o in outputs {
-        g.mark_output(o);
-    }
-    Ok(g)
+    b.finish()
 }
 
 /// LSTM hidden width used by the synthetic recognizer.
@@ -147,62 +108,50 @@ pub const CHARSET: u64 = 256;
 /// # Errors
 /// Propagates IR construction errors.
 pub fn build_ocr_recognizer(batch: u64) -> Result<Graph, IrError> {
-    let mut g = Graph::new("OCR-Recognizer", DType::Bf16);
+    let mut b = GraphBuilder::new("OCR-Recognizer", DType::Bf16);
     let (ih, iw) = (32u64, 320u64);
-    let x = g.input("line", [batch, ih, iw, 3]);
+    let x = b.input("line", [batch, ih, iw, 3]);
 
     // Conv encoder: VGG-ish stack pooling height 32 -> 1 and width 320 -> 40.
     // Pool pattern: (2,2), (2,2), (2,2), (2,1), (2,1) across five pool sites.
     let chans = [64u64, 128, 256, 256, 512, 512];
     let pools: [(u64, u64); 6] = [(1, 1), (2, 2), (2, 2), (2, 2), (2, 1), (2, 1)];
     let mut cur = x;
-    let (mut h, mut w, mut c) = (ih, iw, 3u64);
     for (i, (&oc, &(ph, pw))) in chans.iter().zip(pools.iter()).enumerate() {
         let name = format!("enc{i}");
-        let conv = g.conv2d(format!("{name}.conv"), cur, Conv2dGeom::same(h, w, c, oc, 3, 1))?;
-        let r = g.relu(format!("{name}.relu"), conv)?;
+        let conv = b.conv2d(format!("{name}.conv"), cur, oc, 3, 1);
+        let r = b.relu(format!("{name}.relu"), conv);
         cur = if ph > 1 && pw > 1 {
-            let pooled = g.pool(
-                format!("{name}.pool"),
-                r,
-                PoolGeom { kind: PoolKind::Max, in_h: h, in_w: w, channels: oc, k: 2, stride: 2 },
-            )?;
-            h = h.div_ceil(2);
-            w = w.div_ceil(2);
-            pooled
+            b.max_pool(format!("{name}.pool"), r, 2, 2)
         } else if ph > 1 {
             // Height-only downsample: fold two rows into channels, then a 1×1
             // conv projects back (a learned pooling — common in CRNNs).
-            let folded = g.reshape(format!("{name}.fold"), r, [batch, h / 2, w, oc * 2])?;
-            h /= 2;
-            g.conv2d(format!("{name}.proj"), folded, Conv2dGeom::same(h, w, oc * 2, oc, 1, 1))?
+            let (h, w) = (b.dim(r, 1), b.dim(r, 2));
+            let folded = b.reshape(format!("{name}.fold"), r, [batch, h / 2, w, oc * 2]);
+            b.conv2d(format!("{name}.proj"), folded, oc, 1, 1)
         } else {
             r
         };
-        c = oc;
     }
-    // After pools: h = 1? Compute: 32 -> /2/2/2/2/2 = 1; w = 320 -> /2/2/2 = 40.
-    debug_assert_eq!((h, w), (1, SEQ_STEPS));
+    // After pools: h = 32 / 2/2/2/2/2 = 1; w = 320 / 2/2/2 = 40.
+    debug_assert_eq!((b.dim(cur, 1), b.dim(cur, 2)), (1, SEQ_STEPS));
 
     // Collapse to sequence: [B, steps, feat].
-    let feat = h * c;
-    let seq = g.reshape("to_sequence", cur, [batch, w, feat])?;
+    let (w, feat) = (b.dim(cur, 2), b.dim(cur, 1) * b.dim(cur, 3));
+    let seq = b.reshape("to_sequence", cur, [batch, w, feat]);
 
     // Two stacked bidirectional LSTM layers.
     let mut layer_in = seq;
-    let mut in_width = feat;
     for layer in 0..2u64 {
-        let fwd = lstm_direction(&mut g, layer, "fwd", layer_in, batch, in_width)?;
-        let bwd = lstm_direction(&mut g, layer, "bwd", layer_in, batch, in_width)?;
-        let cat = g.concat(format!("lstm{layer}.concat"), &[fwd, bwd])?;
-        layer_in = cat;
-        in_width = 2 * LSTM_HIDDEN;
+        let fwd = lstm_direction(&mut b, layer, "fwd", layer_in, batch);
+        let bwd = lstm_direction(&mut b, layer, "bwd", layer_in, batch);
+        layer_in = b.concat(format!("lstm{layer}.concat"), &[fwd, bwd]);
     }
 
     // CTC-style per-step character projection.
-    let logits = g.matmul("ctc.project", layer_in, MatMulGeom { k: in_width, n: CHARSET })?;
-    g.mark_output(logits);
-    Ok(g)
+    let logits = b.linear("ctc.project", layer_in, CHARSET);
+    b.output(logits);
+    b.finish()
 }
 
 /// One direction of one LSTM layer. Returns `[B, SEQ_STEPS, LSTM_HIDDEN]`.
@@ -212,53 +161,43 @@ pub fn build_ocr_recognizer(batch: u64) -> Result<Graph, IrError> {
 /// `[B,H]` via an average-pool reduction (same arithmetic volume as
 /// `i⊙g + f⊙c`), then produce `h_t` with an element-wise product and tanh.
 fn lstm_direction(
-    g: &mut Graph,
+    b: &mut GraphBuilder,
     layer: u64,
     dir: &str,
-    input: NodeId,
+    input: Tensor,
     batch: u64,
-    in_width: u64,
-) -> Result<NodeId, IrError> {
+) -> Tensor {
     let p = |s: &str| format!("lstm{layer}.{dir}.{s}");
+    let in_width = b.dim(input, 2);
     let gates = 4 * LSTM_HIDDEN;
 
     // Input projection batched over time: [B*T, in] × [in, 4H]. Its output is
     // consumed elementwise by the per-step gate math; we model that as one
-    // activation over the whole tensor (cost-equivalent to 40 per-step adds).
-    let xs = g.reshape(p("x_flat"), input, [batch * SEQ_STEPS, in_width])?;
-    let xproj = g.matmul(p("x_proj"), xs, MatMulGeom { k: in_width, n: gates })?;
-    let _xconsumed = g.unary(p("x_gate_bias"), EwKind::Sigmoid, xproj)?;
+    // activation over the whole tensor (cost-equivalent to 40 per-step adds)
+    // feeding nothing downstream — a declared cost-model sink.
+    let xs = b.reshape(p("x_flat"), input, [batch * SEQ_STEPS, in_width]);
+    let xproj = b.linear(p("x_proj"), xs, gates);
+    let xconsumed = b.sigmoid(p("x_gate_bias"), xproj);
+    b.sink(xconsumed);
 
-    let mut hidden = g.input(p("h0"), [batch, LSTM_HIDDEN]);
+    let mut hidden = b.input(p("h0"), [batch, LSTM_HIDDEN]);
     let mut step_outputs = Vec::with_capacity(SEQ_STEPS as usize);
     for t in 0..SEQ_STEPS {
         let sp = |s: &str| format!("lstm{layer}.{dir}.t{t}.{s}");
         // Recurrent projection [B,H] × [H,4H].
-        let hproj = g.matmul(sp("h_proj"), hidden, MatMulGeom { k: LSTM_HIDDEN, n: gates })?;
+        let hproj = b.linear(sp("h_proj"), hidden, gates);
         // Gate activations.
-        let act = g.unary(sp("gate_act"), EwKind::Sigmoid, hproj)?;
+        let act = b.sigmoid(sp("gate_act"), hproj);
         // Combine the four gates down to [B,H] (cost ≈ i⊙g + f⊙c).
-        let grid = g.reshape(sp("gate_grid"), act, [batch, 2, 2, LSTM_HIDDEN])?;
-        let combined = g.pool(
-            sp("gate_combine"),
-            grid,
-            PoolGeom {
-                kind: PoolKind::GlobalAvg,
-                in_h: 2,
-                in_w: 2,
-                channels: LSTM_HIDDEN,
-                k: 0,
-                stride: 0,
-            },
-        )?;
-        let cell = g.reshape(sp("cell"), combined, [batch, LSTM_HIDDEN])?;
-        let mixed = g.binary(sp("cell_mix"), EwKind::Mul, cell, hidden)?;
-        let h_t = g.unary(sp("h"), EwKind::Tanh, mixed)?;
-        hidden = h_t;
+        let grid = b.reshape(sp("gate_grid"), act, [batch, 2, 2, LSTM_HIDDEN]);
+        let combined = b.global_avg_pool(sp("gate_combine"), grid);
+        let cell = b.reshape(sp("cell"), combined, [batch, LSTM_HIDDEN]);
+        let mixed = b.binary(sp("cell_mix"), EwKind::Mul, cell, hidden);
+        hidden = b.tanh(sp("h"), mixed);
         step_outputs.push(hidden);
     }
-    let cat = g.concat(p("stack"), &step_outputs)?;
-    g.reshape(p("seq_out"), cat, [batch, SEQ_STEPS, LSTM_HIDDEN])
+    let cat = b.concat(p("stack"), &step_outputs);
+    b.reshape(p("seq_out"), cat, [batch, SEQ_STEPS, LSTM_HIDDEN])
 }
 
 #[cfg(test)]

@@ -38,6 +38,16 @@ impl Encode for Workload {
             Workload::ResNet50 => w.put_u8(2),
             Workload::OcrRpn => w.put_u8(3),
             Workload::OcrRecognizer => w.put_u8(4),
+            Workload::LlmPrefill { seq_len } => {
+                w.put_u8(5);
+                seq_len.encode(w);
+            }
+            Workload::LlmDecode { context } => {
+                w.put_u8(6);
+                context.encode(w);
+            }
+            Workload::Dlrm => w.put_u8(7),
+            Workload::DiffusionUNet => w.put_u8(8),
         }
     }
 }
@@ -50,6 +60,10 @@ impl Decode for Workload {
             2 => Ok(Workload::ResNet50),
             3 => Ok(Workload::OcrRpn),
             4 => Ok(Workload::OcrRecognizer),
+            5 => Ok(Workload::LlmPrefill { seq_len: Decode::decode(r)? }),
+            6 => Ok(Workload::LlmDecode { context: Decode::decode(r)? }),
+            7 => Ok(Workload::Dlrm),
+            8 => Ok(Workload::DiffusionUNet),
             t => Err(DecodeError { offset: 0, what: format!("invalid Workload tag {t}") }),
         }
     }
@@ -83,7 +97,7 @@ mod tests {
 
     #[test]
     fn every_suite_workload_round_trips() {
-        for w in Workload::suite() {
+        for w in Workload::suite().into_iter().chain(Workload::serving_suite()) {
             assert_eq!(Workload::from_bytes(&w.to_bytes()).unwrap(), w);
         }
     }
@@ -100,5 +114,14 @@ mod tests {
     fn garbage_tags_are_rejected() {
         assert!(Workload::from_bytes(&[9]).is_err());
         assert!(EfficientNet::from_bytes(&[8]).is_err());
+    }
+
+    #[test]
+    fn serving_tags_are_stable() {
+        // Checkpoints persist these tags; renumbering breaks resume.
+        assert_eq!(Workload::Dlrm.to_bytes()[0], 7);
+        assert_eq!(Workload::DiffusionUNet.to_bytes()[0], 8);
+        assert_eq!(Workload::LlmPrefill { seq_len: 512 }.to_bytes()[0], 5);
+        assert_eq!(Workload::LlmDecode { context: 2048 }.to_bytes()[0], 6);
     }
 }

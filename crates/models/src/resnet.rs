@@ -6,7 +6,7 @@
 //! (inference-time standard), and the v2 pre-activation ReLUs are kept as
 //! explicit element-wise ops.
 
-use fast_ir::{Conv2dGeom, DType, Graph, IrError, MatMulGeom, NodeId, PoolGeom, PoolKind};
+use fast_ir::{DType, Graph, GraphBuilder, IrError, Tensor};
 
 /// Stage configuration: `(bottleneck width, blocks, first-block stride)`.
 const STAGES: [(u64, u64, u64); 4] = [(64, 3, 1), (128, 4, 2), (256, 6, 2), (512, 3, 2)];
@@ -17,79 +17,57 @@ const STAGES: [(u64, u64, u64); 4] = [(64, 3, 1), (128, 4, 2), (256, 6, 2), (512
 /// # Errors
 /// Propagates IR construction errors.
 pub fn build_resnet50v2(batch: u64, resolution: u64) -> Result<Graph, IrError> {
-    let mut g = Graph::new("ResNet50v2", DType::Bf16);
-    let x = g.input("images", [batch, resolution, resolution, 3]);
+    let mut b = GraphBuilder::new("ResNet50v2", DType::Bf16);
+    let x = b.input("images", [batch, resolution, resolution, 3]);
 
     // Stem: 7x7/2 conv + 3x3/2 max pool.
-    let mut h = resolution.div_ceil(2);
-    let mut w = h;
-    let stem = g.conv2d("stem.conv", x, Conv2dGeom::same(resolution, resolution, 3, 64, 7, 2))?;
-    let stem_relu = g.relu("stem.relu", stem)?;
-    let pool = g.pool(
-        "stem.pool",
-        stem_relu,
-        PoolGeom { kind: PoolKind::Max, in_h: h, in_w: w, channels: 64, k: 3, stride: 2 },
-    )?;
-    h = h.div_ceil(2);
-    w = w.div_ceil(2);
+    let stem = b.conv2d("stem.conv", x, 64, 7, 2);
+    let stem_relu = b.relu("stem.relu", stem);
+    let mut cur = b.max_pool("stem.pool", stem_relu, 3, 2);
 
-    let mut cur = pool;
-    let mut in_ch = 64;
     for (stage, &(width, blocks, stride)) in STAGES.iter().enumerate() {
-        let out_ch = width * 4;
-        for b in 0..blocks {
-            let s = if b == 0 { stride } else { 1 };
-            let name = format!("s{stage}b{b}");
-            g.begin_group(name.clone());
-            let (next, nh, nw) = bottleneck_v2(&mut g, &name, cur, h, w, in_ch, width, out_ch, s)?;
-            g.end_group();
-            cur = next;
-            h = nh;
-            w = nw;
-            in_ch = out_ch;
+        for blk in 0..blocks {
+            let s = if blk == 0 { stride } else { 1 };
+            let name = format!("s{stage}b{blk}");
+            b.begin_group(name.clone());
+            cur = bottleneck_v2(&mut b, &name, cur, width, width * 4, s);
+            b.end_group();
         }
     }
 
-    let final_relu = g.relu("post.relu", cur)?;
-    let gap = g.global_avg_pool("post.gap", final_relu)?;
-    let flat = g.reshape("post.flat", gap, [batch, in_ch])?;
-    let logits = g.matmul("post.fc", flat, MatMulGeom { k: in_ch, n: 1000 })?;
-    g.mark_output(logits);
-    Ok(g)
+    let final_relu = b.relu("post.relu", cur);
+    let gap = b.global_avg_pool("post.gap", final_relu);
+    let channels = b.dim(gap, 3);
+    let flat = b.reshape("post.flat", gap, [batch, channels]);
+    let logits = b.linear("post.fc", flat, 1000);
+    b.output(logits);
+    b.finish()
 }
 
 /// Pre-activation bottleneck: relu → 1×1 reduce → relu → 3×3 → relu →
 /// 1×1 expand, plus identity or 1×1-projection shortcut.
-#[allow(clippy::too_many_arguments)]
 fn bottleneck_v2(
-    g: &mut Graph,
+    b: &mut GraphBuilder,
     name: &str,
-    input: NodeId,
-    h: u64,
-    w: u64,
-    in_ch: u64,
+    input: Tensor,
     width: u64,
     out_ch: u64,
     stride: u64,
-) -> Result<(NodeId, u64, u64), IrError> {
-    let pre = g.relu(format!("{name}.preact"), input)?;
-    let c1 = g.conv2d(format!("{name}.conv1"), pre, Conv2dGeom::same(h, w, in_ch, width, 1, 1))?;
-    let r1 = g.relu(format!("{name}.relu1"), c1)?;
-    let c2 =
-        g.conv2d(format!("{name}.conv2"), r1, Conv2dGeom::same(h, w, width, width, 3, stride))?;
-    let oh = h.div_ceil(stride);
-    let ow = w.div_ceil(stride);
-    let r2 = g.relu(format!("{name}.relu2"), c2)?;
-    let c3 =
-        g.conv2d(format!("{name}.conv3"), r2, Conv2dGeom::same(oh, ow, width, out_ch, 1, 1))?;
+) -> Tensor {
+    let in_ch = b.dim(input, 3);
+    let pre = b.relu(format!("{name}.preact"), input);
+    let c1 = b.conv2d(format!("{name}.conv1"), pre, width, 1, 1);
+    let r1 = b.relu(format!("{name}.relu1"), c1);
+    let c2 = b.conv2d(format!("{name}.conv2"), r1, width, 3, stride);
+    let r2 = b.relu(format!("{name}.relu2"), c2);
+    let c3 = b.conv2d(format!("{name}.conv3"), r2, out_ch, 1, 1);
 
     let shortcut = if stride != 1 || in_ch != out_ch {
-        g.conv2d(format!("{name}.shortcut"), pre, Conv2dGeom::same(h, w, in_ch, out_ch, 1, stride))?
+        b.conv2d(format!("{name}.shortcut"), pre, out_ch, 1, stride)
     } else {
         input
     };
-    let out = g.residual_add(format!("{name}.add"), c3, shortcut)?;
-    Ok((out, oh, ow))
+    b.residual(format!("{name}.add"), c3, shortcut)
 }
 
 #[cfg(test)]

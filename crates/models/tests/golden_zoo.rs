@@ -1,0 +1,81 @@
+//! Golden op-for-op identity tests for the model zoo.
+//!
+//! The fingerprints below were captured from the hand-coded graph
+//! construction that predates `fast_ir::builder`. The builder-based rewrite
+//! must reproduce every graph bit-for-bit — same node names, ops, geometry,
+//! groups and outputs (`structural_fingerprint`) and the same `LoopNest`
+//! stream presented to the mapper (`loop_nest_fingerprint`) — so existing
+//! evaluation-cache snapshots replay warm: `OpKey`s derive from the loop
+//! nests, not from how the construction code happens to be factored.
+
+use fast_models::Workload;
+
+/// `(workload name, batch, structural fingerprint, loop-nest fingerprint)`
+/// captured from the pre-builder hand-coded constructors.
+const GOLDEN: &[(&str, u64, u64, u64)] = &[
+    ("EfficientNet-B0", 1, 0x737c_dae5_921b_e68b, 0x0ba9_dc48_e6fa_d25d),
+    ("EfficientNet-B0", 4, 0x112b_940b_3bca_6e80, 0xa8b0_e9da_3082_ad63),
+    ("EfficientNet-B1", 1, 0x9530_905a_e7bf_e764, 0xd003_a61d_2a8a_a4e4),
+    ("EfficientNet-B1", 4, 0xbef5_ff47_6b2b_68b6, 0x3822_73db_f0a5_421e),
+    ("EfficientNet-B2", 1, 0x12d1_2020_0d63_de89, 0x94f6_3f3a_9432_8372),
+    ("EfficientNet-B2", 4, 0x9fba_4d14_e878_36b3, 0x2263_acc2_3dd7_a6fc),
+    ("EfficientNet-B3", 1, 0x1221_62b5_c5ad_4628, 0xf331_a737_6b15_f1e7),
+    ("EfficientNet-B3", 4, 0x45c2_7fc1_96a3_3665, 0xeb64_8580_bea9_a416),
+    ("EfficientNet-B4", 1, 0x9a7c_acb6_72ba_4c3a, 0x0183_cc75_85a9_4b1f),
+    ("EfficientNet-B4", 4, 0xfb45_7d28_997c_9509, 0x19e7_9ef9_a02c_6bb2),
+    ("EfficientNet-B5", 1, 0x052a_44fb_dcb5_d184, 0xab01_124e_d72c_dfef),
+    ("EfficientNet-B5", 4, 0xe500_8b01_9a42_f7d8, 0x13f4_6378_4fd8_b6fe),
+    ("EfficientNet-B6", 1, 0x41b1_ca9f_805d_d95e, 0x0827_15cb_167b_befc),
+    ("EfficientNet-B6", 4, 0x055e_486c_34b4_d07c, 0x5d46_4fd9_a888_c2d1),
+    ("EfficientNet-B7", 1, 0xf730_7caf_ce0e_5378, 0x0d81_730e_f95d_e320),
+    ("EfficientNet-B7", 4, 0xc0c6_9386_dc92_36a6, 0x05ab_1bae_15f8_5d3e),
+    ("ResNet50v2", 1, 0x0ae5_cb59_ba9e_a250, 0x29a4_4894_5246_62c2),
+    ("ResNet50v2", 4, 0xef21_5c3c_3b65_f5a0, 0x1de6_39fd_3253_d6a8),
+    ("OCR-RPN", 1, 0x8cbe_3675_8ded_9b97, 0x5db4_658e_49ce_e131),
+    ("OCR-RPN", 4, 0x80ec_9d0c_9ede_30e0, 0x2cad_2215_87ae_2efd),
+    ("OCR-Recognizer", 1, 0xd652_bf22_d09c_8aa6, 0x7afc_28bd_3f47_b360),
+    ("OCR-Recognizer", 4, 0x8161_55c4_a383_ca0a, 0xa73e_7100_82ef_57e9),
+    ("BERT-128", 1, 0x13bf_b7e0_1de4_c34f, 0x87b9_fe9f_5e98_1115),
+    ("BERT-128", 4, 0x42f2_38f9_69fb_dd61, 0x9252_bb3f_04ec_0fc5),
+    ("BERT-1024", 1, 0xd940_6bb0_5847_abc1, 0x098b_7a69_e607_0515),
+    ("BERT-1024", 4, 0x95bf_f999_cc6e_a7a3, 0x16fc_1bbd_0b7f_f935),
+];
+
+fn workload_by_name(name: &str) -> Workload {
+    Workload::suite()
+        .into_iter()
+        .find(|w| w.name() == name)
+        .unwrap_or_else(|| panic!("unknown golden workload {name}"))
+}
+
+/// Every rebuilt graph matches its pre-refactor fingerprint exactly.
+#[test]
+fn rebuilt_graphs_match_hand_coded_fingerprints() {
+    for &(name, batch, structural, nests) in GOLDEN {
+        let g = workload_by_name(name).build(batch).unwrap();
+        assert_eq!(
+            g.structural_fingerprint(),
+            structural,
+            "{name} (batch {batch}): node stream diverged from the hand-coded graph",
+        );
+        assert_eq!(
+            g.loop_nest_fingerprint(),
+            nests,
+            "{name} (batch {batch}): LoopNest stream diverged — OpKeys would go cold",
+        );
+    }
+}
+
+/// The golden table covers the whole 13-workload suite at both batches.
+#[test]
+fn golden_table_covers_the_suite() {
+    for w in Workload::suite() {
+        for batch in [1, 4] {
+            assert!(
+                GOLDEN.iter().any(|&(n, b, _, _)| n == w.name() && b == batch),
+                "no golden fingerprint for {} at batch {batch}",
+                w.name(),
+            );
+        }
+    }
+}

@@ -586,7 +586,7 @@ impl<'s> Study<'s> {
         }
     }
 
-    /// The engine behind [`Study::run`] and the deprecated driver wrappers:
+    /// The engine behind [`Study::run`]:
     /// optionally restores an in-memory snapshot before the first round and
     /// calls `on_round` after every evaluated round (per-trial under
     /// [`Execution::Sequential`]) with the trial count and a lazy snapshot

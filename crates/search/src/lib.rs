@@ -41,11 +41,6 @@
 //! assert_eq!(report.best_objective, Some(64.0));
 //! ```
 //!
-//! The legacy free functions (`run_study`, `run_study_batched`,
-//! `run_study_batched_resumable`, `run_study_pareto{,_batched,_resumable}`)
-//! are deprecated thin wrappers over [`Study`], kept for one release for
-//! migration; each wrapper's note names the equivalent builder call.
-
 pub mod algorithms;
 pub mod builder;
 pub mod optimizer;
@@ -60,16 +55,12 @@ pub use builder::{
     StudyReport,
 };
 pub use optimizer::{Optimizer, Trial, TrialResult};
-#[allow(deprecated)] // re-exported for one release of migration
-pub use pareto::{run_study_pareto, run_study_pareto_batched, run_study_pareto_resumable};
 pub use pareto::{
     FrontierPoint, MetricDirection, MultiObjective, MultiTrial, ParetoArchive, ParetoStudyResult,
 };
 pub use snapshot::{OptimizerState, ParetoCheckpoint, StudyCheckpoint};
 pub use space::{ParamDef, ParamDomain, ParamSpace};
 pub use study::{convergence_band, trial_rng, ConvergenceBand, StudyResult};
-#[allow(deprecated)] // re-exported for one release of migration
-pub use study::{run_study, run_study_batched, run_study_batched_resumable};
 
 #[cfg(test)]
 mod proptests {

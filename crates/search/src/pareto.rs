@@ -10,17 +10,13 @@
 //! * [`ParetoArchive`] — an order-invariant non-dominated set over two or
 //!   more metrics with per-metric [`MetricDirection`]s;
 //! * the multi-objective study itself now runs through the unified
-//!   [`Study`] builder
+//!   [`crate::Study`] builder
 //!   (`.objective(StudyObjective::Pareto { .. })`), which keeps the scalar
 //!   drivers' `trial_rng(seed, index)` determinism contract, so
 //!   batched/parallel evaluation reproduces the sequential study frontier
-//!   bit for bit. The `run_study_pareto*` functions remain as deprecated
-//!   wrappers.
+//!   bit for bit.
 
-use crate::builder::{Execution, RoundSnapshot, Study, StudyEval, StudyObjective};
-use crate::optimizer::{Optimizer, TrialResult};
-use crate::snapshot::ParetoCheckpoint;
-use crate::space::ParamSpace;
+use crate::optimizer::TrialResult;
 use serde::{Deserialize, Serialize};
 
 /// Whether larger or smaller values of a metric are preferred.
@@ -71,7 +67,7 @@ impl MultiObjective {
 
 /// A scalar outcome is a multi-objective outcome with no tracked metrics —
 /// the bridge that lets single-objective evaluators feed the unified
-/// [`Study`] driver with `.into()`.
+/// [`crate::Study`] driver with `.into()`.
 impl From<TrialResult> for MultiObjective {
     fn from(result: TrialResult) -> Self {
         match result {
@@ -120,7 +116,8 @@ impl ParetoArchive {
     ///
     /// # Panics
     /// Panics if fewer than two metrics are given — a single metric is a
-    /// scalar study; use [`crate::run_study`] instead.
+    /// scalar study; use a [`crate::Study`] with the default
+    /// [`crate::StudyObjective::Single`] objective instead.
     #[must_use]
     pub fn new(directions: &[MetricDirection]) -> Self {
         assert!(directions.len() >= 2, "a Pareto archive needs >= 2 metrics");
@@ -275,162 +272,14 @@ pub struct ParetoStudyResult {
     pub trials: Vec<MultiTrial>,
 }
 
-/// Runs `optimizer` for `n_trials` multi-objective evaluations, one point at
-/// a time, maintaining a [`ParetoArchive`] over `directions`.
-///
-/// Determinism: identical to [`run_study_pareto_batched`] with
-/// `batch_size == 1` — every trial draws its RNG from
-/// [`crate::trial_rng`]`(seed, index)`, so the frontier depends only on the
-/// seed, the optimizer, and the objective function.
-///
-/// # Panics
-/// Panics if fewer than two metric directions are given.
-#[deprecated(
-    note = "use `Study::new(space, n_trials).objective(StudyObjective::pareto(directions))\
-            .execution(Execution::Batched { batch_size: 1 }).seed(seed).run(..)`"
-)]
-pub fn run_study_pareto<F>(
-    space: &ParamSpace,
-    optimizer: &mut dyn Optimizer,
-    n_trials: usize,
-    seed: u64,
-    directions: &[MetricDirection],
-    mut objective: F,
-) -> ParetoStudyResult
-where
-    F: FnMut(&[usize]) -> MultiObjective,
-{
-    assert!(directions.len() >= 2, "a Pareto archive needs >= 2 metrics");
-    let mut eval = |p: &[usize]| objective(p);
-    Study::new(space, n_trials)
-        .seed(seed)
-        .objective(StudyObjective::pareto(directions))
-        .execution(Execution::Batched { batch_size: 1 })
-        .run(optimizer, StudyEval::points(&mut eval))
-        .expect("axes validated above")
-        .into_pareto_result()
-}
-
-/// Runs `optimizer` for `n_trials` multi-objective evaluations in rounds of
-/// `batch_size` proposals, handing each round to `evaluate_batch` as a
-/// slice.
-///
-/// This is the multi-objective sibling of [`crate::run_study_batched`] and
-/// keeps its determinism contract: trial `i` draws its randomness from
-/// [`crate::trial_rng`]`(seed, i)`, rounds are observed in proposal order, and
-/// `evaluate_batch` must return one [`MultiObjective`] per point in proposal
-/// order — so the caller may evaluate a round's points concurrently (or
-/// serially) and obtain a bit-identical [`ParetoStudyResult::frontier`].
-/// The optimizer itself observes the scalar `guide` of each valid trial
-/// (as [`TrialResult::Valid`]) while the archive tracks the full metric
-/// vectors.
-///
-/// # Panics
-/// Panics if `evaluate_batch` returns the wrong number of results or a
-/// metric vector of the wrong arity, or if fewer than two metric
-/// directions are given.
-#[deprecated(
-    note = "use `Study::new(space, n_trials).objective(StudyObjective::pareto(directions))\
-            .execution(Execution::Batched { batch_size }).seed(seed).run(..)`"
-)]
-pub fn run_study_pareto_batched<F>(
-    space: &ParamSpace,
-    optimizer: &mut dyn Optimizer,
-    n_trials: usize,
-    batch_size: usize,
-    seed: u64,
-    directions: &[MetricDirection],
-    mut evaluate_batch: F,
-) -> ParetoStudyResult
-where
-    F: FnMut(&[Vec<usize>]) -> Vec<MultiObjective>,
-{
-    assert!(directions.len() >= 2, "a Pareto archive needs >= 2 metrics");
-    let mut eval = |points: &[Vec<usize>]| evaluate_batch(points);
-    Study::new(space, n_trials)
-        .seed(seed)
-        .objective(StudyObjective::pareto(directions))
-        .execution(Execution::Batched { batch_size: batch_size.max(1) })
-        .run(optimizer, StudyEval::batch(&mut eval))
-        .expect("axes validated above")
-        .into_pareto_result()
-}
-
-/// The full-featured Pareto study driver: [`run_study_pareto_batched`]
-/// plus durability. `resume_from` continues a study from a
-/// [`ParetoCheckpoint`]; `on_round` receives a fresh checkpoint after every
-/// evaluated round (round boundaries are the only consistent snapshot
-/// points — mid-round there are proposals without observations).
-///
-/// **Bit-identity contract:** for any round boundary `k`, running
-/// `n_trials` straight equals running `k` trials, checkpointing, and
-/// resuming the checkpoint with a fresh optimizer of the same
-/// configuration — same frontier, same convergence, same trial sequence.
-/// Restoration uses [`Optimizer::load_state`] when the optimizer accepts
-/// the snapshot, and otherwise *replays* the recorded proposal/observation
-/// stream (exact, because proposals depend only on `(seed, trial index,
-/// observation history)` — the `trial_rng` determinism contract).
-///
-/// # Panics
-/// Panics if the checkpoint disagrees with the study configuration (seed,
-/// batch size, directions, a trial count that is neither a round boundary
-/// nor a completed study, or more trials recorded than `n_trials`), if a
-/// replayed optimizer re-proposes a different point than the record (a
-/// differently-configured optimizer), or on the [`run_study_pareto_batched`]
-/// arity contracts.
-#[allow(clippy::too_many_arguments)] // the durable superset of the batched driver
-#[deprecated(
-    note = "use `Study::new(space, n_trials).objective(StudyObjective::pareto(directions))\
-            .execution(Execution::Batched { batch_size })\
-            .durability(Durability::Checkpointed { .. }).run(..)` — the builder loads and \
-            saves the checkpoint file itself"
-)]
-pub fn run_study_pareto_resumable<F, C>(
-    space: &ParamSpace,
-    optimizer: &mut dyn Optimizer,
-    n_trials: usize,
-    batch_size: usize,
-    seed: u64,
-    directions: &[MetricDirection],
-    resume_from: Option<ParetoCheckpoint>,
-    mut evaluate_batch: F,
-    mut on_round: C,
-) -> ParetoStudyResult
-where
-    F: FnMut(&[Vec<usize>]) -> Vec<MultiObjective>,
-    C: FnMut(&ParetoCheckpoint),
-{
-    assert!(directions.len() >= 2, "a Pareto archive needs >= 2 metrics");
-    let mut eval = |points: &[Vec<usize>]| evaluate_batch(points);
-    let mut hook = |_done: usize, make: &dyn Fn() -> RoundSnapshot| {
-        let RoundSnapshot::Pareto(ck) = make() else {
-            unreachable!("a Pareto study emits Pareto snapshots")
-        };
-        on_round(&ck);
-    };
-    Study::new(space, n_trials)
-        .seed(seed)
-        .objective(StudyObjective::pareto(directions))
-        .execution(Execution::Batched { batch_size: batch_size.max(1) })
-        .run_hooked(
-            optimizer,
-            StudyEval::batch(&mut eval),
-            resume_from.map(RoundSnapshot::Pareto),
-            Some(&mut hook),
-        )
-        .into_pareto_result()
-}
-
 #[cfg(test)]
 mod tests {
-    // The deprecated drivers stay covered until their removal PR: they are
-    // the bit-identity reference the builder is tested against.
-    #![allow(deprecated)]
-
     use super::*;
     use crate::algorithms::RandomSearch;
-    use crate::optimizer::Trial;
-    use crate::space::ParamDomain;
+    use crate::builder::{Execution, RoundSnapshot, Study, StudyEval, StudyObjective};
+    use crate::optimizer::{Optimizer, Trial};
+    use crate::snapshot::ParetoCheckpoint;
+    use crate::space::{ParamDomain, ParamSpace};
     use rand::rngs::StdRng;
     use MetricDirection::{Maximize, Minimize};
 
@@ -439,6 +288,79 @@ mod tests {
         s.add("x", ParamDomain::Pow2 { min: 1, max: 64 });
         s.add("y", ParamDomain::Pow2 { min: 1, max: 64 });
         s
+    }
+
+    /// Sequential (batch-1) Pareto study in the one modern spelling.
+    fn run_pareto(
+        space: &ParamSpace,
+        optimizer: &mut dyn Optimizer,
+        n_trials: usize,
+        seed: u64,
+        directions: &[MetricDirection],
+        mut objective: impl FnMut(&[usize]) -> MultiObjective,
+    ) -> ParetoStudyResult {
+        let mut eval = |p: &[usize]| objective(p);
+        Study::new(space, n_trials)
+            .seed(seed)
+            .objective(StudyObjective::pareto(directions))
+            .execution(Execution::Batched { batch_size: 1 })
+            .run(optimizer, StudyEval::points(&mut eval))
+            .expect("valid study configuration")
+            .into_pareto_result()
+    }
+
+    /// Batched Pareto study in the one modern spelling.
+    fn run_pareto_batched(
+        space: &ParamSpace,
+        optimizer: &mut dyn Optimizer,
+        n_trials: usize,
+        batch_size: usize,
+        seed: u64,
+        directions: &[MetricDirection],
+        mut evaluate_batch: impl FnMut(&[Vec<usize>]) -> Vec<MultiObjective>,
+    ) -> ParetoStudyResult {
+        let mut eval = |points: &[Vec<usize>]| evaluate_batch(points);
+        Study::new(space, n_trials)
+            .seed(seed)
+            .objective(StudyObjective::pareto(directions))
+            .execution(Execution::Batched { batch_size })
+            .run(optimizer, StudyEval::batch(&mut eval))
+            .expect("valid study configuration")
+            .into_pareto_result()
+    }
+
+    /// Batched Pareto study with programmatic round snapshots — the
+    /// in-memory counterpart of `Durability::Checkpointed`.
+    #[allow(clippy::too_many_arguments)] // the durable superset of the batched helper
+    fn run_pareto_resumable(
+        space: &ParamSpace,
+        optimizer: &mut dyn Optimizer,
+        n_trials: usize,
+        batch_size: usize,
+        seed: u64,
+        directions: &[MetricDirection],
+        resume_from: Option<ParetoCheckpoint>,
+        mut evaluate_batch: impl FnMut(&[Vec<usize>]) -> Vec<MultiObjective>,
+        mut on_round: impl FnMut(&ParetoCheckpoint),
+    ) -> ParetoStudyResult {
+        let mut eval = |points: &[Vec<usize>]| evaluate_batch(points);
+        let mut hook = |_done: usize, make: &dyn Fn() -> RoundSnapshot| {
+            let RoundSnapshot::Pareto(ck) = make() else {
+                unreachable!("a Pareto study emits Pareto snapshots")
+            };
+            on_round(&ck);
+        };
+        Study::new(space, n_trials)
+            .seed(seed)
+            .objective(StudyObjective::pareto(directions))
+            .execution(Execution::Batched { batch_size })
+            .run_hooked(
+                optimizer,
+                StudyEval::batch(&mut eval),
+                resume_from.map(RoundSnapshot::Pareto),
+                Some(&mut hook),
+            )
+            .into_pareto_result()
     }
 
     #[test]
@@ -507,7 +429,7 @@ mod tests {
     fn pareto_study_tracks_frontier_and_guide() {
         let s = space();
         let mut opt = RandomSearch::new();
-        let res = run_study_pareto(&s, &mut opt, 200, 7, &[Maximize, Minimize], |p| {
+        let res = run_pareto(&s, &mut opt, 200, 7, &[Maximize, Minimize], |p| {
             // qps grows with x, "tdp" grows with x + y: the frontier is the
             // set of y == 0 points (any extra y costs tdp, gains nothing).
             let (x, y) = (p[0] as f64, p[1] as f64);
@@ -531,7 +453,7 @@ mod tests {
     fn pareto_study_counts_invalid_trials() {
         let s = space();
         let mut opt = RandomSearch::new();
-        let res = run_study_pareto(&s, &mut opt, 100, 3, &[Maximize, Minimize], |p| {
+        let res = run_pareto(&s, &mut opt, 100, 3, &[Maximize, Minimize], |p| {
             if p[0] > 3 {
                 MultiObjective::Invalid
             } else {
@@ -576,13 +498,13 @@ mod tests {
         for mk in makers {
             let mut straight_opt = mk();
             let straight =
-                run_study_pareto_batched(&s, straight_opt.as_mut(), 60, 8, 11, &dirs, objective);
+                run_pareto_batched(&s, straight_opt.as_mut(), 60, 8, 11, &dirs, objective);
 
             // Capture checkpoints at every round boundary, then resume from
             // a mid-study one with a fresh optimizer.
             let mut checkpoints: Vec<ParetoCheckpoint> = Vec::new();
             let mut first_opt = mk();
-            let _ = run_study_pareto_resumable(
+            let _ = run_pareto_resumable(
                 &s,
                 first_opt.as_mut(),
                 32,
@@ -598,7 +520,7 @@ mod tests {
             assert_eq!(ck.trials_done(), 24);
 
             let mut resumed_opt = mk();
-            let resumed = run_study_pareto_resumable(
+            let resumed = run_pareto_resumable(
                 &s,
                 resumed_opt.as_mut(),
                 60,
@@ -651,19 +573,18 @@ mod tests {
         };
 
         let mut straight_opt = NoSnapshot(LcsSwarm::default());
-        let straight = run_study_pareto_batched(&s, &mut straight_opt, 48, 6, 3, &dirs, objective);
+        let straight = run_pareto_batched(&s, &mut straight_opt, 48, 6, 3, &dirs, objective);
 
         let mut checkpoints = Vec::new();
         let mut first = NoSnapshot(LcsSwarm::default());
-        let _ =
-            run_study_pareto_resumable(&s, &mut first, 24, 6, 3, &dirs, None, objective, |ck| {
-                checkpoints.push(ck.clone());
-            });
+        let _ = run_pareto_resumable(&s, &mut first, 24, 6, 3, &dirs, None, objective, |ck| {
+            checkpoints.push(ck.clone());
+        });
         let ck = checkpoints.last().unwrap().clone();
         assert_eq!(ck.optimizer, crate::snapshot::OptimizerState::Opaque);
 
         let mut resumed_opt = NoSnapshot(LcsSwarm::default());
-        let resumed = run_study_pareto_resumable(
+        let resumed = run_pareto_resumable(
             &s,
             &mut resumed_opt,
             48,
@@ -688,11 +609,11 @@ mod tests {
         };
         let mut checkpoints = Vec::new();
         let mut opt = RandomSearch::new();
-        let _ = run_study_pareto_resumable(&s, &mut opt, 8, 4, 1, &dirs, None, objective, |ck| {
+        let _ = run_pareto_resumable(&s, &mut opt, 8, 4, 1, &dirs, None, objective, |ck| {
             checkpoints.push(ck.clone());
         });
         let mut opt2 = RandomSearch::new();
-        let _ = run_study_pareto_resumable(
+        let _ = run_pareto_resumable(
             &s,
             &mut opt2,
             8,
@@ -710,7 +631,7 @@ mod tests {
         let s = space();
         let run = |batch| {
             let mut opt = RandomSearch::new();
-            run_study_pareto_batched(&s, &mut opt, 93, batch, 5, &[Maximize, Minimize], |pts| {
+            run_pareto_batched(&s, &mut opt, 93, batch, 5, &[Maximize, Minimize], |pts| {
                 pts.iter()
                     .map(|p| {
                         MultiObjective::valid(

@@ -27,8 +27,8 @@ use crate::study::trial_rng;
 use rand::rngs::StdRng;
 use serde::bin::{Decode, DecodeError, Encode, Reader, Writer};
 
-/// Shared checkpoint validation + optimizer restoration for the resumable
-/// study drivers (`run_study_batched_resumable` and its Pareto sibling).
+/// Shared checkpoint validation + optimizer restoration for resumable
+/// studies (`Durability::Checkpointed`, scalar and Pareto alike).
 ///
 /// `scalar_trials` is the checkpoint's recorded trial stream in the form
 /// the optimizer observed it (Pareto callers map each `MultiTrial`'s guide
@@ -362,8 +362,8 @@ impl Decode for ParetoArchive {
     }
 }
 
-/// Progress of a scalar [`crate::run_study_batched`] study at a round
-/// boundary — everything needed to resume it bit-identically.
+/// Progress of a scalar batched [`crate::Study`] at a round boundary —
+/// everything needed to resume it bit-identically.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StudyCheckpoint {
     /// Study seed (with [`StudyCheckpoint::trials_done`], the whole
@@ -427,8 +427,8 @@ impl Decode for StudyCheckpoint {
     }
 }
 
-/// Progress of a [`crate::run_study_pareto_batched`] study at a round
-/// boundary — everything needed to resume it bit-identically.
+/// Progress of a Pareto batched [`crate::Study`] at a round boundary —
+/// everything needed to resume it bit-identically.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParetoCheckpoint {
     /// Study seed (with [`ParetoCheckpoint::trials_done`], the whole

@@ -2,15 +2,13 @@
 //! contract, and convergence-band aggregation (Figure 11).
 //!
 //! The driver functions that used to live here (`run_study`,
-//! `run_study_batched`, `run_study_batched_resumable`) are deprecated thin
-//! wrappers over the unified [`Study`] builder — see
-//! [`crate::builder`] for the replacement API.
+//! `run_study_batched`, `run_study_batched_resumable`) are gone — the
+//! unified [`crate::builder::Study`] builder is the one spelling of a
+//! study (`Study::new(space, n).seed(s).run(optimizer, eval)`, with
+//! [`crate::builder::Execution`] and [`crate::builder::Durability`] as the
+//! orthogonal axes).
 
-use crate::builder::{Execution, RoundSnapshot, Study, StudyEval};
-use crate::optimizer::{Optimizer, Trial, TrialResult};
-use crate::pareto::MultiObjective;
-use crate::snapshot::StudyCheckpoint;
-use crate::space::ParamSpace;
+use crate::optimizer::Trial;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -48,123 +46,6 @@ pub fn trial_rng(seed: u64, trial_index: usize) -> StdRng {
     StdRng::seed_from_u64(x ^ (x >> 31))
 }
 
-/// Runs `optimizer` for `n_trials` evaluations of `objective`, seeded for
-/// reproducibility.
-#[deprecated(
-    note = "use `Study::new(space, n_trials).seed(seed).run(optimizer, StudyEval::points(..))` \
-            (the default Sequential execution reproduces this driver bit for bit)"
-)]
-pub fn run_study<F>(
-    space: &ParamSpace,
-    optimizer: &mut dyn Optimizer,
-    n_trials: usize,
-    seed: u64,
-    mut objective: F,
-) -> StudyResult
-where
-    F: FnMut(&[usize]) -> TrialResult,
-{
-    let mut eval = |p: &[usize]| MultiObjective::from(objective(p));
-    Study::new(space, n_trials)
-        .seed(seed)
-        .run(optimizer, StudyEval::points(&mut eval))
-        .expect("a sequential ephemeral study is always a valid configuration")
-        .into_study_result()
-}
-
-/// Runs `optimizer` for `n_trials` evaluations in rounds of `batch_size`
-/// proposals, handing each round to `evaluate_batch` as a slice.
-///
-/// Unlike [`run_study`] (one shared RNG threaded through every proposal),
-/// every trial gets its own generator from [`trial_rng`], so the caller may
-/// evaluate a round's points concurrently — or serially — and obtain
-/// bit-identical results: `evaluate_batch` must return one [`TrialResult`]
-/// per point, in proposal order, and everything else is sequenced here.
-/// With `batch_size == 1` the observation stream the optimizer sees is
-/// identical to a sequential per-trial-RNG study; larger batches trade
-/// observation freshness (the optimizer observes a whole round at once) for
-/// evaluation parallelism, which is the standard batched black-box-search
-/// compromise.
-#[deprecated(
-    note = "use `Study::new(space, n_trials).execution(Execution::Batched { batch_size })\
-            .seed(seed).run(optimizer, StudyEval::batch(..))`"
-)]
-pub fn run_study_batched<F>(
-    space: &ParamSpace,
-    optimizer: &mut dyn Optimizer,
-    n_trials: usize,
-    batch_size: usize,
-    seed: u64,
-    mut evaluate_batch: F,
-) -> StudyResult
-where
-    F: FnMut(&[Vec<usize>]) -> Vec<TrialResult>,
-{
-    let mut eval = |points: &[Vec<usize>]| {
-        evaluate_batch(points).into_iter().map(MultiObjective::from).collect::<Vec<_>>()
-    };
-    Study::new(space, n_trials)
-        .seed(seed)
-        .execution(Execution::Batched { batch_size: batch_size.max(1) })
-        .run(optimizer, StudyEval::batch(&mut eval))
-        .expect("a batched ephemeral study with batch_size >= 1 is always valid")
-        .into_study_result()
-}
-
-/// The durable sibling of [`run_study_batched`]: `resume_from` continues a
-/// study from a [`StudyCheckpoint`], and `on_round` receives a fresh
-/// checkpoint after every evaluated round. Interrupted-then-resumed equals
-/// uninterrupted, bit for bit — see
-/// [`crate::run_study_pareto_resumable`] for the contract and the
-/// restore-or-replay mechanics, which are identical here.
-///
-/// # Panics
-/// Panics if the checkpoint disagrees with the study configuration (seed,
-/// batch size, a trial count that is neither a round boundary nor a
-/// completed study, or more trials recorded than `n_trials`), if a
-/// replayed optimizer re-proposes a different point than the record, or on
-/// the [`run_study_batched`] arity contracts.
-#[allow(clippy::too_many_arguments)] // the durable superset of the batched driver
-#[deprecated(
-    note = "use `Study::new(space, n_trials).execution(Execution::Batched { batch_size })\
-            .durability(Durability::Checkpointed { .. }).run(..)` — the builder loads and \
-            saves the checkpoint file itself"
-)]
-pub fn run_study_batched_resumable<F, C>(
-    space: &ParamSpace,
-    optimizer: &mut dyn Optimizer,
-    n_trials: usize,
-    batch_size: usize,
-    seed: u64,
-    resume_from: Option<StudyCheckpoint>,
-    mut evaluate_batch: F,
-    mut on_round: C,
-) -> StudyResult
-where
-    F: FnMut(&[Vec<usize>]) -> Vec<TrialResult>,
-    C: FnMut(&StudyCheckpoint),
-{
-    let mut eval = |points: &[Vec<usize>]| {
-        evaluate_batch(points).into_iter().map(MultiObjective::from).collect::<Vec<_>>()
-    };
-    let mut hook = |_done: usize, make: &dyn Fn() -> RoundSnapshot| {
-        let RoundSnapshot::Scalar(ck) = make() else {
-            unreachable!("a single-objective study emits scalar snapshots")
-        };
-        on_round(&ck);
-    };
-    Study::new(space, n_trials)
-        .seed(seed)
-        .execution(Execution::Batched { batch_size: batch_size.max(1) })
-        .run_hooked(
-            optimizer,
-            StudyEval::batch(&mut eval),
-            resume_from.map(RoundSnapshot::Scalar),
-            Some(&mut hook),
-        )
-        .into_study_result()
-}
-
 /// Aggregates convergence curves from repeated runs: per-trial mean and a
 /// normal-approximation confidence interval (Figure 11 plots mean and the
 /// 90 % CI across 5 runs).
@@ -189,8 +70,8 @@ pub struct ConvergenceBand {
 /// widens accordingly (smaller `n` in the standard error), and the mean can
 /// step when a short run drops out. Callers comparing optimizers on equal
 /// footing should pass equal-length curves (one per seed at a fixed trial
-/// budget, as [`run_study`] produces); the ragged behavior exists for
-/// aggregating runs truncated by external budgets.
+/// budget, as [`crate::builder::Study`] produces); the ragged behavior
+/// exists for aggregating runs truncated by external budgets.
 #[must_use]
 pub fn convergence_band(curves: &[Vec<f64>], z: f64) -> ConvergenceBand {
     let len = curves.iter().map(Vec::len).max().unwrap_or(0);
@@ -219,13 +100,13 @@ pub fn convergence_band(curves: &[Vec<f64>], z: f64) -> ConvergenceBand {
 
 #[cfg(test)]
 mod tests {
-    // The deprecated drivers stay covered until their removal PR: they are
-    // the bit-identity reference the builder is tested against.
-    #![allow(deprecated)]
-
     use super::*;
     use crate::algorithms::{LcsSwarm, RandomSearch};
-    use crate::space::ParamDomain;
+    use crate::builder::{Execution, RoundSnapshot, Study, StudyEval};
+    use crate::optimizer::{Optimizer, TrialResult};
+    use crate::pareto::MultiObjective;
+    use crate::snapshot::StudyCheckpoint;
+    use crate::space::{ParamDomain, ParamSpace};
 
     fn space() -> ParamSpace {
         let mut s = ParamSpace::new();
@@ -234,11 +115,81 @@ mod tests {
         s
     }
 
+    /// Sequential scalar study in the one modern spelling.
+    fn run_scalar(
+        space: &ParamSpace,
+        optimizer: &mut dyn Optimizer,
+        n_trials: usize,
+        seed: u64,
+        mut objective: impl FnMut(&[usize]) -> TrialResult,
+    ) -> StudyResult {
+        let mut eval = |p: &[usize]| MultiObjective::from(objective(p));
+        Study::new(space, n_trials)
+            .seed(seed)
+            .run(optimizer, StudyEval::points(&mut eval))
+            .expect("valid study configuration")
+            .into_study_result()
+    }
+
+    /// Batched scalar study in the one modern spelling.
+    fn run_batched(
+        space: &ParamSpace,
+        optimizer: &mut dyn Optimizer,
+        n_trials: usize,
+        batch_size: usize,
+        seed: u64,
+        mut evaluate_batch: impl FnMut(&[Vec<usize>]) -> Vec<TrialResult>,
+    ) -> StudyResult {
+        let mut eval = |points: &[Vec<usize>]| {
+            evaluate_batch(points).into_iter().map(MultiObjective::from).collect::<Vec<_>>()
+        };
+        Study::new(space, n_trials)
+            .seed(seed)
+            .execution(Execution::Batched { batch_size })
+            .run(optimizer, StudyEval::batch(&mut eval))
+            .expect("valid study configuration")
+            .into_study_result()
+    }
+
+    /// Batched scalar study with programmatic round snapshots — the
+    /// in-memory counterpart of `Durability::Checkpointed`.
+    #[allow(clippy::too_many_arguments)]
+    fn run_resumable(
+        space: &ParamSpace,
+        optimizer: &mut dyn Optimizer,
+        n_trials: usize,
+        batch_size: usize,
+        seed: u64,
+        resume_from: Option<StudyCheckpoint>,
+        mut evaluate_batch: impl FnMut(&[Vec<usize>]) -> Vec<TrialResult>,
+        mut on_round: impl FnMut(&StudyCheckpoint),
+    ) -> StudyResult {
+        let mut eval = |points: &[Vec<usize>]| {
+            evaluate_batch(points).into_iter().map(MultiObjective::from).collect::<Vec<_>>()
+        };
+        let mut hook = |_done: usize, make: &dyn Fn() -> RoundSnapshot| {
+            let RoundSnapshot::Scalar(ck) = make() else {
+                unreachable!("a single-objective study emits scalar snapshots")
+            };
+            on_round(&ck);
+        };
+        Study::new(space, n_trials)
+            .seed(seed)
+            .execution(Execution::Batched { batch_size })
+            .run_hooked(
+                optimizer,
+                StudyEval::batch(&mut eval),
+                resume_from.map(RoundSnapshot::Scalar),
+                Some(&mut hook),
+            )
+            .into_study_result()
+    }
+
     #[test]
     fn study_tracks_best_so_far_monotonically() {
         let s = space();
         let mut opt = RandomSearch::new();
-        let res = run_study(&s, &mut opt, 2000, 42, |p| TrialResult::Valid((p[0] + p[1]) as f64));
+        let res = run_scalar(&s, &mut opt, 2000, 42, |p| TrialResult::Valid((p[0] + p[1]) as f64));
         assert_eq!(res.convergence.len(), 2000);
         for w in res.convergence.windows(2) {
             assert!(w[1] >= w[0]);
@@ -251,7 +202,7 @@ mod tests {
     fn study_counts_invalid_trials() {
         let s = space();
         let mut opt = RandomSearch::new();
-        let res = run_study(&s, &mut opt, 100, 1, |p| {
+        let res = run_scalar(&s, &mut opt, 100, 1, |p| {
             if p[0] > 5 {
                 TrialResult::Invalid
             } else {
@@ -267,7 +218,7 @@ mod tests {
         let s = space();
         let run = |seed| {
             let mut opt = LcsSwarm::default();
-            run_study(&s, &mut opt, 100, seed, |p| TrialResult::Valid(p[0] as f64)).best_objective
+            run_scalar(&s, &mut opt, 100, seed, |p| TrialResult::Valid(p[0] as f64)).best_objective
         };
         assert_eq!(run(9), run(9));
     }
@@ -288,7 +239,7 @@ mod tests {
         let s = space();
         let run = |batch| {
             let mut opt = RandomSearch::new();
-            run_study_batched(&s, &mut opt, 97, batch, 5, |points| {
+            run_batched(&s, &mut opt, 97, batch, 5, |points| {
                 points.iter().map(|p| TrialResult::Valid((p[0] * 3 + p[1]) as f64)).collect()
             })
         };
@@ -325,7 +276,7 @@ mod tests {
         }
         let s = space();
         let mut opt = Counting { observed: 0, proposed: 0 };
-        let res = run_study_batched(&s, &mut opt, 23, 4, 0, |points| {
+        let res = run_batched(&s, &mut opt, 23, 4, 0, |points| {
             points.iter().map(|_| TrialResult::Invalid).collect()
         });
         assert_eq!(opt.proposed, 23);
@@ -343,7 +294,7 @@ mod tests {
         let s = space();
         let run = || {
             let mut opt = LcsSwarm::default();
-            run_study_batched(&s, &mut opt, 80, 8, 11, |points| {
+            run_batched(&s, &mut opt, 80, 8, 11, |points| {
                 points.iter().map(|p| TrialResult::Valid((p[0] + p[1]) as f64)).collect()
             })
         };
@@ -371,27 +322,18 @@ mod tests {
                 .collect()
         };
         let mut straight_opt = LcsSwarm::default();
-        let straight = run_study_batched(&s, &mut straight_opt, 50, 5, 17, objective);
+        let straight = run_batched(&s, &mut straight_opt, 50, 5, 17, objective);
 
         let mut checkpoints: Vec<StudyCheckpoint> = Vec::new();
         let mut first = LcsSwarm::default();
-        let _ = run_study_batched_resumable(&s, &mut first, 25, 5, 17, None, objective, |ck| {
+        let _ = run_resumable(&s, &mut first, 25, 5, 17, None, objective, |ck| {
             checkpoints.push(ck.clone());
         });
         let ck = checkpoints.last().unwrap().clone();
         assert_eq!(ck.trials_done(), 25);
 
         let mut resumed_opt = LcsSwarm::default();
-        let resumed = run_study_batched_resumable(
-            &s,
-            &mut resumed_opt,
-            50,
-            5,
-            17,
-            Some(ck),
-            objective,
-            |_| {},
-        );
+        let resumed = run_resumable(&s, &mut resumed_opt, 50, 5, 17, Some(ck), objective, |_| {});
         assert_eq!(resumed.best_point, straight.best_point);
         assert_eq!(resumed.convergence, straight.convergence);
         assert_eq!(resumed.trials, straight.trials);
@@ -412,14 +354,14 @@ mod tests {
         // is a completed study but not a multiple of 4.
         let mut checkpoints: Vec<StudyCheckpoint> = Vec::new();
         let mut opt = RandomSearch::new();
-        let _ = run_study_batched_resumable(&s, &mut opt, 10, 4, 3, None, objective, |ck| {
+        let _ = run_resumable(&s, &mut opt, 10, 4, 3, None, objective, |ck| {
             checkpoints.push(ck.clone());
         });
         let ck = checkpoints.pop().unwrap();
         assert_eq!(ck.trials_done(), 10);
         // Extending the budget to 20 from that checkpoint must panic.
         let mut opt2 = RandomSearch::new();
-        let _ = run_study_batched_resumable(&s, &mut opt2, 20, 4, 3, Some(ck), objective, |_| {});
+        let _ = run_resumable(&s, &mut opt2, 20, 4, 3, Some(ck), objective, |_| {});
     }
 
     #[test]

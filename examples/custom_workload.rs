@@ -1,0 +1,36 @@
+//! Adding your own workload on the `GraphBuilder` frontend — a tiny
+//! ViT-style classifier, built, validated and summarized in ~20 lines.
+//!
+//! Run with: `cargo run --example custom_workload`
+
+use fast::ir::{DType, EwKind, GraphBuilder, GraphStats, IrError};
+
+fn main() -> Result<(), IrError> {
+    let mut b = GraphBuilder::new("tiny-vit", DType::Bf16);
+    let images = b.input("images", [1, 224, 224, 3]);
+    // Patchify: a 16x16 stride-16 conv makes 14*14 = 196 tokens of width 384.
+    let patches = b.conv2d("patchify", images, 384, 16, 16);
+    let mut x = b.reshape("tokens", patches, [1, 196, 384]);
+    for layer in 0..4 {
+        x = b.scoped(format!("l{layer}"), |b| {
+            let attn = b.attention_block("attn", x, 6);
+            b.ffn_block("ffn", attn, 1536, EwKind::Gelu)
+        });
+    }
+    let grid = b.reshape("grid", x, [1, 14, 14, 384]);
+    let pooled = b.global_avg_pool("pool", grid);
+    let logits = b.linear("head", pooled, 1000);
+    b.output(logits);
+    let graph = b.finish()?; // all validation surfaces here, typed
+
+    let s = GraphStats::of(&graph);
+    println!(
+        "{}: {} nodes, {} matrix ops, {:.2} GFLOPs, {:.1} MiB weights",
+        s.name,
+        s.nodes,
+        s.matrix_ops,
+        s.flops as f64 / 1e9,
+        s.weight_bytes as f64 / (1024.0 * 1024.0),
+    );
+    Ok(())
+}

@@ -62,16 +62,10 @@ pub mod prelude {
         OptimizerKind, ScenarioMatrix, SearchConfig, SearchReport, SweepConfig, SweepResult,
         SweepRunner,
     };
-    #[allow(deprecated)] // legacy drivers, re-exported for one release of migration
-    pub use fast_core::{run_fast_search, run_fast_search_parallel};
     pub use fast_fusion::{fuse_workload, FusionOptions};
     pub use fast_ir::{DType, FusionStrategy, Graph, GraphStats};
     pub use fast_models::{BertConfig, EfficientNet, Workload, WorkloadDomain};
     pub use fast_roi::RoiModel;
-    #[allow(deprecated)] // legacy drivers, re-exported for one release of migration
-    pub use fast_search::{
-        run_study, run_study_batched, run_study_pareto, run_study_pareto_batched,
-    };
     pub use fast_search::{
         trial_rng, Durability, Execution, MetricDirection, MultiObjective, ParetoArchive, Study,
         StudyConfigError, StudyEval, StudyObjective, StudyReport, TrialResult,

@@ -1,21 +1,16 @@
-//! The `Study` builder's acceptance suite: for every (objective × execution
-//! × durability) axis combination that has a deprecated legacy driver, the
-//! builder's output is **bit-identical** to that driver — best point,
-//! convergence curve (bitwise, NaN prefixes included), trial sequence,
-//! invalid count, and (for Pareto) the frontier. Plus a resume-mid-run case
-//! through the builder's file durability, and the core-level equivalence of
-//! `FastStudy` with `run_fast_search{,_parallel}`.
-//!
-//! The legacy drivers are deliberately called here: they are kept one
-//! release as deprecated wrappers, and this suite is the proof that
-//! migrating to the builder changes nothing.
-#![allow(deprecated)]
+//! The `Study` builder's acceptance suite: the axes that used to be
+//! separate driver functions must stay interchangeable spellings of the
+//! same study. Fanning a round across threads (`Execution::Parallel`)
+//! is **bit-identical** to scoring it serially (`Execution::Batched`) at
+//! the same round size — best point, convergence curve (bitwise, NaN
+//! prefixes included), trial sequence, invalid count, and (for Pareto)
+//! the frontier. Checkpointed durability resumes a killed study into the
+//! same bits as an uninterrupted one, for every objective × execution
+//! combination, and `FastStudy` carries the guarantee through the real
+//! evaluator pipeline.
 
 use fast::prelude::*;
-use fast::search::{
-    run_study_batched_resumable, run_study_pareto_resumable, LcsSwarm, Optimizer, ParamDomain,
-    ParamSpace, RandomSearch, StudyCheckpoint, StudyResult, Tpe,
-};
+use fast::search::{LcsSwarm, Optimizer, ParamDomain, ParamSpace, RandomSearch, Tpe};
 use proptest::prelude::*;
 use std::path::PathBuf;
 
@@ -60,16 +55,13 @@ fn bits(c: &[f64]) -> Vec<u64> {
     c.iter().map(|v| v.to_bits()).collect()
 }
 
-fn assert_scalar_eq(legacy: &StudyResult, report: &StudyReport) -> Result<(), TestCaseError> {
-    prop_assert_eq!(&legacy.best_point, &report.best_point);
-    prop_assert_eq!(
-        legacy.best_objective.map(f64::to_bits),
-        report.best_objective.map(f64::to_bits)
-    );
-    prop_assert_eq!(bits(&legacy.convergence), bits(&report.convergence));
-    prop_assert_eq!(legacy.invalid_trials, report.invalid_trials);
-    let report_scalar = report.clone().into_study_result();
-    prop_assert_eq!(&legacy.trials, &report_scalar.trials);
+fn assert_report_eq(a: &StudyReport, b: &StudyReport) -> Result<(), TestCaseError> {
+    prop_assert_eq!(&a.best_point, &b.best_point);
+    prop_assert_eq!(a.best_objective.map(f64::to_bits), b.best_objective.map(f64::to_bits));
+    prop_assert_eq!(bits(&a.convergence), bits(&b.convergence));
+    prop_assert_eq!(a.invalid_trials, b.invalid_trials);
+    prop_assert_eq!(&a.trials, &b.trials);
+    prop_assert_eq!(&a.frontier, &b.frontier);
     Ok(())
 }
 
@@ -82,198 +74,117 @@ fn scratch_dir(name: &str) -> PathBuf {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
-    /// Single + Sequential == `run_study` (the shared-RNG classic loop),
-    /// for every optimizer kind.
+    /// Single + Sequential (the shared-RNG classic loop) is reproducible
+    /// per seed, for every optimizer kind.
     #[test]
-    fn single_sequential_matches_run_study(seed in 0u64..500, opt_ix in 0usize..3) {
+    fn single_sequential_is_reproducible(seed in 0u64..500, opt_ix in 0usize..3) {
         let s = space();
-        let legacy = run_study(&s, make_opt(opt_ix).as_mut(), 60, seed, scalar_score);
-        let mut eval = |p: &[usize]| scalar_score(p).into();
-        let report = Study::new(&s, 60)
-            .seed(seed)
-            .run(make_opt(opt_ix).as_mut(), StudyEval::points(&mut eval))
-            .expect("valid configuration");
-        assert_scalar_eq(&legacy, &report)?;
+        let run = || {
+            let mut eval = |p: &[usize]| scalar_score(p).into();
+            Study::new(&s, 60)
+                .seed(seed)
+                .run(make_opt(opt_ix).as_mut(), StudyEval::points(&mut eval))
+                .expect("valid configuration")
+        };
+        assert_report_eq(&run(), &run())?;
     }
 
-    /// Single + Batched == `run_study_batched`, for every optimizer kind
-    /// and round size.
+    /// Single + Parallel == Single + Batched at the same round size:
+    /// fanning a round across threads must not change a bit, for every
+    /// optimizer kind and round size.
     #[test]
-    fn single_batched_matches_run_study_batched(
+    fn single_parallel_matches_batched(
         seed in 0u64..500,
         batch in 1usize..16,
         opt_ix in 0usize..3,
     ) {
         let s = space();
-        let legacy = run_study_batched(&s, make_opt(opt_ix).as_mut(), 60, batch, seed, |pts| {
-            pts.iter().map(|p| scalar_score(p)).collect()
-        });
         let mut eval = |pts: &[Vec<usize>]| {
             pts.iter().map(|p| scalar_score(p).into()).collect::<Vec<_>>()
         };
-        let report = Study::new(&s, 60)
+        let batched = Study::new(&s, 60)
             .seed(seed)
             .execution(Execution::Batched { batch_size: batch })
             .run(make_opt(opt_ix).as_mut(), StudyEval::batch(&mut eval))
             .expect("valid configuration");
-        assert_scalar_eq(&legacy, &report)?;
-    }
-
-    /// Single + Parallel == `run_study_batched` at the same round size:
-    /// fanning a round across threads must not change a bit.
-    #[test]
-    fn single_parallel_matches_run_study_batched(
-        seed in 0u64..500,
-        batch in 1usize..16,
-        opt_ix in 0usize..3,
-    ) {
-        let s = space();
-        let legacy = run_study_batched(&s, make_opt(opt_ix).as_mut(), 60, batch, seed, |pts| {
-            pts.iter().map(|p| scalar_score(p)).collect()
-        });
-        let eval = |p: &[usize]| scalar_score(p).into();
-        let report = Study::new(&s, 60)
+        let shared = |p: &[usize]| scalar_score(p).into();
+        let parallel = Study::new(&s, 60)
             .seed(seed)
             .execution(Execution::Parallel { threads: batch })
-            .run(make_opt(opt_ix).as_mut(), StudyEval::shared(&eval))
+            .run(make_opt(opt_ix).as_mut(), StudyEval::shared(&shared))
             .expect("valid configuration");
-        assert_scalar_eq(&legacy, &report)?;
+        assert_report_eq(&batched, &parallel)?;
     }
 
-    /// Pareto + Batched{1} == `run_study_pareto`, and Pareto + Batched{b}
-    /// == `run_study_pareto_batched`, for every optimizer kind.
+    /// Pareto + Parallel == Pareto + Batched at the same round size: the
+    /// frontier, guide convergence and trial sequence must not depend on
+    /// how a round's points are scored.
     #[test]
-    fn pareto_matches_legacy_pareto_drivers(
+    fn pareto_parallel_matches_batched(
         seed in 0u64..500,
         batch in 1usize..16,
         opt_ix in 0usize..3,
     ) {
         let s = space();
         let dirs = [MetricDirection::Maximize, MetricDirection::Minimize];
-        for batch_size in [1, batch] {
-            let legacy = run_study_pareto_batched(
-                &s,
-                make_opt(opt_ix).as_mut(),
-                48,
-                batch_size,
-                seed,
-                &dirs,
-                |pts| pts.iter().map(|p| multi_score(p)).collect(),
-            );
-            let eval = |p: &[usize]| multi_score(p);
-            let report = Study::new(&s, 48)
+        let eval = |p: &[usize]| multi_score(p);
+        let run = |execution: Execution| {
+            Study::new(&s, 48)
                 .seed(seed)
                 .objective(StudyObjective::pareto(&dirs))
-                .execution(Execution::Batched { batch_size })
+                .execution(execution)
                 .run(make_opt(opt_ix).as_mut(), StudyEval::shared(&eval))
-                .expect("valid configuration");
-            prop_assert_eq!(&legacy.frontier, report.frontier.as_ref().unwrap());
-            prop_assert_eq!(bits(&legacy.guide_convergence), bits(&report.convergence));
-            prop_assert_eq!(legacy.invalid_trials, report.invalid_trials);
-            prop_assert_eq!(&legacy.trials, &report.trials);
-        }
-        // The single-point legacy driver is itself batch-1.
-        let legacy_seq =
-            run_study_pareto(&s, make_opt(opt_ix).as_mut(), 48, seed, &dirs, multi_score);
-        let eval = |p: &[usize]| multi_score(p);
-        let report = Study::new(&s, 48)
-            .seed(seed)
-            .objective(StudyObjective::pareto(&dirs))
-            .execution(Execution::Batched { batch_size: 1 })
-            .run(make_opt(opt_ix).as_mut(), StudyEval::shared(&eval))
-            .expect("valid configuration");
-        prop_assert_eq!(&legacy_seq.frontier, report.frontier.as_ref().unwrap());
-        prop_assert_eq!(bits(&legacy_seq.guide_convergence), bits(&report.convergence));
+                .expect("valid configuration")
+        };
+        let batched = run(Execution::Batched { batch_size: batch });
+        let parallel = run(Execution::Parallel { threads: batch });
+        prop_assert!(batched.frontier.is_some(), "a Pareto study reports a frontier");
+        assert_report_eq(&batched, &parallel)?;
     }
 
-    /// Checkpointed durability == the legacy `*_resumable` drivers: a
-    /// builder study killed at a round boundary and rerun from its
-    /// directory equals both the uninterrupted legacy run and a legacy
-    /// checkpoint-and-resume, scalar and Pareto alike.
+    /// Checkpointed durability: a builder study killed at a round boundary
+    /// and rerun from its directory equals the uninterrupted run, scalar
+    /// and Pareto alike.
     #[test]
-    fn checkpointed_matches_legacy_resumable(seed in 0u64..200, opt_ix in 0usize..3) {
+    fn checkpointed_resumes_bit_identically(seed in 0u64..200, opt_ix in 0usize..3) {
         let s = space();
         let (n_trials, batch, stop) = (40, 8, 24);
 
         // --- scalar ---
-        let straight = run_study_batched(&s, make_opt(opt_ix).as_mut(), n_trials, batch, seed, |pts| {
-            pts.iter().map(|p| scalar_score(p)).collect()
-        });
-        // Legacy resumable: capture the checkpoint at `stop`, resume it.
-        let mut checkpoints: Vec<StudyCheckpoint> = Vec::new();
-        let _ = run_study_batched_resumable(
-            &s,
-            make_opt(opt_ix).as_mut(),
-            stop,
-            batch,
-            seed,
-            None,
-            |pts| pts.iter().map(|p| scalar_score(p)).collect(),
-            |ck| checkpoints.push(ck.clone()),
-        );
-        let legacy_resumed = run_study_batched_resumable(
-            &s,
-            make_opt(opt_ix).as_mut(),
-            n_trials,
-            batch,
-            seed,
-            checkpoints.pop(),
-            |pts| pts.iter().map(|p| scalar_score(p)).collect(),
-            |_| {},
-        );
-        // Builder: kill at `stop` via a short budget, rerun the full one.
+        let mut eval = |pts: &[Vec<usize>]| {
+            pts.iter().map(|p| scalar_score(p).into()).collect::<Vec<_>>()
+        };
+        let straight = Study::new(&s, n_trials)
+            .seed(seed)
+            .execution(Execution::Batched { batch_size: batch })
+            .run(make_opt(opt_ix).as_mut(), StudyEval::batch(&mut eval))
+            .expect("valid configuration");
+        // Kill at `stop` via a short budget, rerun the full one from disk.
         let dir = scratch_dir(&format!("scalar-{seed}-{opt_ix}"));
-        let eval = |p: &[usize]| scalar_score(p).into();
+        let shared = |p: &[usize]| scalar_score(p).into();
         let run = |trials: usize| {
             Study::new(&s, trials)
                 .seed(seed)
                 .execution(Execution::Batched { batch_size: batch })
                 .durability(Durability::Checkpointed { dir: dir.clone(), every: 1 })
-                .run(make_opt(opt_ix).as_mut(), StudyEval::shared(&eval))
+                .run(make_opt(opt_ix).as_mut(), StudyEval::shared(&shared))
                 .expect("valid configuration")
         };
         let _ = run(stop);
         let resumed = run(n_trials);
         prop_assert_eq!(resumed.checkpoint.as_ref().unwrap().resumed_trials, stop);
-        assert_scalar_eq(&straight, &resumed)?;
-        assert_scalar_eq(&legacy_resumed, &resumed)?;
+        assert_report_eq(&straight, &resumed)?;
 
         // --- Pareto ---
         let dirs = [MetricDirection::Maximize, MetricDirection::Minimize];
-        let straight_p = run_study_pareto_batched(
-            &s,
-            make_opt(opt_ix).as_mut(),
-            n_trials,
-            batch,
-            seed,
-            &dirs,
-            |pts| pts.iter().map(|p| multi_score(p)).collect(),
-        );
-        let mut p_checkpoints = Vec::new();
-        let _ = run_study_pareto_resumable(
-            &s,
-            make_opt(opt_ix).as_mut(),
-            stop,
-            batch,
-            seed,
-            &dirs,
-            None,
-            |pts| pts.iter().map(|p| multi_score(p)).collect(),
-            |ck| p_checkpoints.push(ck.clone()),
-        );
-        let legacy_resumed_p = run_study_pareto_resumable(
-            &s,
-            make_opt(opt_ix).as_mut(),
-            n_trials,
-            batch,
-            seed,
-            &dirs,
-            p_checkpoints.pop(),
-            |pts| pts.iter().map(|p| multi_score(p)).collect(),
-            |_| {},
-        );
-        let p_dir = scratch_dir(&format!("pareto-{seed}-{opt_ix}"));
         let p_eval = |p: &[usize]| multi_score(p);
+        let straight_p = Study::new(&s, n_trials)
+            .seed(seed)
+            .objective(StudyObjective::pareto(&dirs))
+            .execution(Execution::Batched { batch_size: batch })
+            .run(make_opt(opt_ix).as_mut(), StudyEval::shared(&p_eval))
+            .expect("valid configuration");
+        let p_dir = scratch_dir(&format!("pareto-{seed}-{opt_ix}"));
         let p_run = |trials: usize| {
             Study::new(&s, trials)
                 .seed(seed)
@@ -285,70 +196,68 @@ proptest! {
         };
         let _ = p_run(stop);
         let resumed_p = p_run(n_trials);
-        for reference in [&straight_p, &legacy_resumed_p] {
-            prop_assert_eq!(&reference.frontier, resumed_p.frontier.as_ref().unwrap());
-            prop_assert_eq!(bits(&reference.guide_convergence), bits(&resumed_p.convergence));
-            prop_assert_eq!(&reference.trials, &resumed_p.trials);
-            prop_assert_eq!(reference.invalid_trials, resumed_p.invalid_trials);
-        }
+        prop_assert!(resumed_p.frontier.is_some(), "a Pareto study reports a frontier");
+        assert_report_eq(&straight_p, &resumed_p)?;
     }
 
-    /// Sequential + Checkpointed — a combination the legacy API never had:
-    /// the shared-RNG loop resumes by replay and still ends bit-identical
-    /// to an uninterrupted sequential study.
+    /// Sequential + Checkpointed — a combination the pre-builder API never
+    /// had: the shared-RNG loop resumes by replay and still ends
+    /// bit-identical to an uninterrupted sequential study.
     #[test]
     fn sequential_checkpointed_resumes_bit_identically(seed in 0u64..200, opt_ix in 0usize..3) {
         let s = space();
-        let straight = run_study(&s, make_opt(opt_ix).as_mut(), 40, seed, scalar_score);
+        let mut eval = |p: &[usize]| scalar_score(p).into();
+        let straight = Study::new(&s, 40)
+            .seed(seed)
+            .run(make_opt(opt_ix).as_mut(), StudyEval::points(&mut eval))
+            .expect("valid configuration");
         let dir = scratch_dir(&format!("seq-{seed}-{opt_ix}"));
-        let eval = |p: &[usize]| scalar_score(p).into();
+        let shared = |p: &[usize]| scalar_score(p).into();
         let run = |trials: usize| {
             Study::new(&s, trials)
                 .seed(seed)
                 .durability(Durability::Checkpointed { dir: dir.clone(), every: 1 })
-                .run(make_opt(opt_ix).as_mut(), StudyEval::shared(&eval))
+                .run(make_opt(opt_ix).as_mut(), StudyEval::shared(&shared))
                 .expect("valid configuration")
         };
         let _ = run(17); // any trial count is a boundary for sequential
         let resumed = run(40);
         prop_assert_eq!(resumed.checkpoint.as_ref().unwrap().resumed_trials, 17);
-        assert_scalar_eq(&straight, &resumed)?;
+        assert_report_eq(&straight, &resumed)?;
     }
 }
 
-/// Core-level equivalence: `FastStudy` reproduces the deprecated
-/// `run_fast_search` / `run_fast_search_parallel` drivers bit for bit
-/// against the real evaluator pipeline (a few seeds — each run simulates).
+/// Core-level equivalence: `FastStudy`'s parallel execution reproduces its
+/// batched execution bit for bit against the real evaluator pipeline (a
+/// few seeds — each run simulates).
 #[test]
-fn fast_study_matches_deprecated_core_drivers() {
+fn fast_study_parallel_matches_batched() {
     let evaluator = Evaluator::new(
         vec![Workload::EfficientNet(EfficientNet::B0)],
         Objective::PerfPerTdp,
         Budget::paper_default(),
     );
     for seed in [0u64, 9] {
-        let cfg = SearchConfig { trials: 24, seed, batch: 6, ..SearchConfig::default() };
-        let legacy_seq = run_fast_search(&evaluator.fresh_eval_cache(), &cfg);
-        let legacy_par = run_fast_search_parallel(&evaluator.fresh_eval_cache(), &cfg);
         let builder = |execution: Execution| {
             let fresh = evaluator.fresh_eval_cache();
-            FastStudy::new(&fresh, cfg.trials)
+            FastStudy::new(&fresh, 24)
                 .seed(seed)
                 .execution(execution)
                 .run()
                 .expect("valid configuration")
         };
-        let via_batched = builder(Execution::Batched { batch_size: cfg.batch });
-        let via_parallel = builder(Execution::Parallel { threads: cfg.batch });
-        for (legacy, report) in [(&legacy_seq, &via_batched), (&legacy_par, &via_parallel)] {
-            assert_eq!(legacy.study.best_point, report.study.best_point, "seed {seed}");
-            assert_eq!(legacy.study.convergence, report.study.convergence, "seed {seed}");
-            assert_eq!(legacy.study.invalid_trials, report.study.invalid_trials, "seed {seed}");
-            assert_eq!(
-                legacy.best.as_ref().map(|b| b.objective_value.to_bits()),
-                report.best.as_ref().map(|b| b.objective_value.to_bits()),
-                "seed {seed}"
-            );
-        }
+        let via_batched = builder(Execution::Batched { batch_size: 6 });
+        let via_parallel = builder(Execution::Parallel { threads: 6 });
+        assert_eq!(via_batched.study.best_point, via_parallel.study.best_point, "seed {seed}");
+        assert_eq!(via_batched.study.convergence, via_parallel.study.convergence, "seed {seed}");
+        assert_eq!(
+            via_batched.study.invalid_trials, via_parallel.study.invalid_trials,
+            "seed {seed}"
+        );
+        assert_eq!(
+            via_batched.best.as_ref().map(|b| b.objective_value.to_bits()),
+            via_parallel.best.as_ref().map(|b| b.objective_value.to_bits()),
+            "seed {seed}"
+        );
     }
 }
