@@ -7,15 +7,27 @@
 use fast_bench::cli::{parse_sweep_cli, SweepCli};
 use fast_bench::pareto_figs::sweep_budget_frontiers_with;
 
-const USAGE: &str = "usage: sweep_frontiers [--checkpoint DIR] [--resume] [--frontiers-only]
+const USAGE: &str =
+    "usage: sweep_frontiers [--checkpoint DIR] [--resume] [--frontiers-only] [--points]
   --checkpoint DIR   save the evaluation cache + scenario ledger under DIR
   --resume           continue a killed run from DIR (requires --checkpoint)
-  --frontiers-only   print only the deterministic frontier tables";
+  --frontiers-only   print only the deterministic frontier tables
+  --points           print only the frontier-points table (bit patterns;
+                     byte-identical iff the frontiers are bit-identical)";
 
 fn main() {
     match parse_sweep_cli(std::env::args().skip(1), true, false) {
         Ok(SweepCli::Help) => println!("{USAGE}"),
-        Ok(SweepCli::Run(opts)) => println!("{}", sweep_budget_frontiers_with(&opts)),
+        Ok(SweepCli::Run(opts)) => {
+            // `print!`, not `println!`: the tables end in '\n' already, and
+            // a doubled trailing newline would make `--points` output differ
+            // from a served client's byte-for-byte (the CI smoke diffs them).
+            let report = sweep_budget_frontiers_with(&opts);
+            print!("{report}");
+            if !report.ends_with('\n') {
+                println!();
+            }
+        }
         Err(message) => {
             eprintln!("{message}\n{USAGE}");
             std::process::exit(2);

@@ -37,8 +37,8 @@ fn parse_shard_spec(value: &str) -> Result<(usize, usize), String> {
 }
 
 /// Parses the `--checkpoint DIR` / `--resume` (and, when
-/// `accept_frontiers_only`, `--frontiers-only`; when `accept_shard`,
-/// `--shard INDEX/COUNT`) flag set.
+/// `accept_frontiers_only`, `--frontiers-only` and `--points`; when
+/// `accept_shard`, `--shard INDEX/COUNT`) flag set.
 ///
 /// # Errors
 /// Returns a one-line message for an unknown argument, a flag missing its
@@ -63,6 +63,7 @@ pub fn parse_sweep_cli(
             },
             "--resume" => opts.resume = true,
             "--frontiers-only" if accept_frontiers_only => opts.frontiers_only = true,
+            "--points" if accept_frontiers_only => opts.points = true,
             "--shard" if accept_shard => match args.next() {
                 Some(spec) if !spec.starts_with('-') => {
                     opts.shard = Some(parse_shard_spec(&spec)?);
@@ -80,6 +81,139 @@ pub fn parse_sweep_cli(
         return Err("--shard requires --checkpoint DIR (the shard's mergeable state)".to_string());
     }
     Ok(SweepCli::Run(opts))
+}
+
+/// What a `fast-serve-client` invocation asks the daemon to do.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeAction {
+    /// Liveness probe.
+    Ping,
+    /// Submit the bench matrix (or a domain shard of it) and, unless
+    /// `watch` is off, stream progress and print the frontier-points table.
+    Submit {
+        /// `--domain I/N`: submit only domain shard `I` of `N` (contiguous
+        /// slice of the matrix's domain axis; concatenating shard outputs
+        /// in index order reproduces the full matrix order).
+        domain_shard: Option<(usize, usize)>,
+        /// Job display name.
+        name: String,
+        /// Stream events and wait for the result.
+        watch: bool,
+    },
+    /// Attach to job `id` and wait for its result.
+    Watch(u64),
+    /// One-shot phase query for job `id`.
+    Status(u64),
+    /// List every journaled job.
+    List,
+    /// Drain the queue and stop the daemon.
+    Shutdown,
+}
+
+/// Outcome of parsing a `fast-serve-client` command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeClientCli {
+    /// Talk to the daemon at `addr`.
+    Run {
+        /// `tcp:HOST:PORT` or `unix:PATH` (parsed downstream).
+        addr: String,
+        /// What to do.
+        action: ServeAction,
+    },
+    /// `--help`/`-h`: print usage and exit successfully.
+    Help,
+}
+
+/// Parses the `fast-serve-client --addr ADDR [ACTION]` command line.
+/// The default action is a watched bench-matrix submission.
+///
+/// # Errors
+/// Returns a one-line message for an unknown flag, a flag missing its
+/// value, conflicting actions, a malformed `--domain` spec, or a missing
+/// `--addr`.
+pub fn parse_serve_client_cli(
+    args: impl IntoIterator<Item = String>,
+) -> Result<ServeClientCli, String> {
+    let mut addr: Option<String> = None;
+    let mut action: Option<ServeAction> = None;
+    let mut domain_shard: Option<(usize, usize)> = None;
+    let mut name: Option<String> = None;
+    let mut watch = true;
+    let set = |slot: &mut Option<ServeAction>, a: ServeAction| match slot {
+        Some(prior) => Err(format!("conflicting actions: {prior:?} then {a:?}")),
+        None => {
+            *slot = Some(a);
+            Ok(())
+        }
+    };
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| match args.next() {
+            Some(v) if !v.starts_with('-') => Ok(v),
+            _ => Err(format!("{arg} needs {what}")),
+        };
+        match arg.as_str() {
+            "--addr" => addr = Some(value("tcp:HOST:PORT or unix:PATH")?),
+            "--ping" => set(&mut action, ServeAction::Ping)?,
+            "--submit" => set(
+                &mut action,
+                ServeAction::Submit { domain_shard: None, name: String::new(), watch: true },
+            )?,
+            "--domain" => {
+                let spec = value("an INDEX/COUNT value")?;
+                let bad = || format!("--domain wants INDEX/COUNT (e.g. 0/3), got {spec:?}");
+                let (i, n) = spec.split_once('/').ok_or_else(bad)?;
+                let i: usize = i.parse().map_err(|_| bad())?;
+                let n: usize = n.parse().map_err(|_| bad())?;
+                if n == 0 {
+                    return Err("--domain count must be at least 1".to_string());
+                }
+                if i >= n {
+                    return Err(format!("--domain index {i} out of range (shards are 0..{n})"));
+                }
+                domain_shard = Some((i, n));
+            }
+            "--name" => name = Some(value("a job name")?),
+            "--no-watch" => watch = false,
+            "--watch" => {
+                let id = value("a job id")?;
+                let id = id.parse().map_err(|_| format!("--watch wants a job id, got {id:?}"))?;
+                set(&mut action, ServeAction::Watch(id))?;
+            }
+            "--status" => {
+                let id = value("a job id")?;
+                let id = id.parse().map_err(|_| format!("--status wants a job id, got {id:?}"))?;
+                set(&mut action, ServeAction::Status(id))?;
+            }
+            "--list" => set(&mut action, ServeAction::List)?,
+            "--shutdown" => set(&mut action, ServeAction::Shutdown)?,
+            "--help" | "-h" => return Ok(ServeClientCli::Help),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    let Some(addr) = addr else {
+        return Err("--addr ADDR is required".to_string());
+    };
+    let action = match action.unwrap_or(ServeAction::Submit {
+        domain_shard: None,
+        name: String::new(),
+        watch: true,
+    }) {
+        ServeAction::Submit { .. } => {
+            let name = name.unwrap_or_else(|| match domain_shard {
+                Some((i, n)) => format!("bench-matrix[{i}/{n}]"),
+                None => "bench-matrix".to_string(),
+            });
+            ServeAction::Submit { domain_shard, name, watch }
+        }
+        other => {
+            if domain_shard.is_some() || name.is_some() || !watch {
+                return Err("--domain/--name/--no-watch only apply to a submission".to_string());
+            }
+            other
+        }
+    };
+    Ok(ServeClientCli::Run { addr, action })
 }
 
 /// Outcome of parsing a `fast-sweep-merge` command line.
@@ -247,6 +381,81 @@ mod tests {
             parse_shard(&["--shard", "--checkpoint"]),
             Err("--shard needs an INDEX/COUNT value".to_string())
         );
+    }
+
+    fn parse_serve(args: &[&str]) -> Result<ServeClientCli, String> {
+        parse_serve_client_cli(args.iter().map(ToString::to_string))
+    }
+
+    #[test]
+    fn points_parses_where_frontiers_only_does() {
+        let got = parse(&["--points"], true).unwrap();
+        let SweepCli::Run(opts) = got else { panic!("expected Run") };
+        assert!(opts.points);
+        assert_eq!(parse(&["--points"], false), Err("unknown argument \"--points\"".to_string()));
+    }
+
+    #[test]
+    fn serve_client_defaults_to_a_watched_submission() {
+        let got = parse_serve(&["--addr", "tcp:127.0.0.1:4114"]).unwrap();
+        assert_eq!(
+            got,
+            ServeClientCli::Run {
+                addr: "tcp:127.0.0.1:4114".to_string(),
+                action: ServeAction::Submit {
+                    domain_shard: None,
+                    name: "bench-matrix".to_string(),
+                    watch: true,
+                },
+            }
+        );
+    }
+
+    #[test]
+    fn serve_client_domain_shard_names_itself() {
+        let got = parse_serve(&["--addr", "unix:/tmp/s.sock", "--domain", "1/3"]).unwrap();
+        let ServeClientCli::Run { action, .. } = got else { panic!("expected Run") };
+        assert_eq!(
+            action,
+            ServeAction::Submit {
+                domain_shard: Some((1, 3)),
+                name: "bench-matrix[1/3]".to_string(),
+                watch: true,
+            }
+        );
+    }
+
+    #[test]
+    fn serve_client_parses_every_action() {
+        let addr = ["--addr", "tcp:h:1"];
+        let run = |extra: &[&str]| {
+            let args: Vec<&str> = addr.iter().chain(extra).copied().collect();
+            let ServeClientCli::Run { action, .. } = parse_serve(&args).unwrap() else {
+                panic!("expected Run");
+            };
+            action
+        };
+        assert_eq!(run(&["--ping"]), ServeAction::Ping);
+        assert_eq!(run(&["--watch", "7"]), ServeAction::Watch(7));
+        assert_eq!(run(&["--status", "2"]), ServeAction::Status(2));
+        assert_eq!(run(&["--list"]), ServeAction::List);
+        assert_eq!(run(&["--shutdown"]), ServeAction::Shutdown);
+        assert_eq!(
+            run(&["--submit", "--name", "n", "--no-watch"]),
+            ServeAction::Submit { domain_shard: None, name: "n".to_string(), watch: false }
+        );
+    }
+
+    #[test]
+    fn serve_client_rejects_misuse() {
+        assert_eq!(parse_serve(&["--ping"]), Err("--addr ADDR is required".to_string()));
+        assert!(parse_serve(&["--addr", "a", "--ping", "--list"]).is_err());
+        assert!(parse_serve(&["--addr", "a", "--list", "--domain", "0/3"]).is_err());
+        assert!(parse_serve(&["--addr", "a", "--domain", "3/3"]).is_err());
+        assert!(parse_serve(&["--addr", "a", "--domain", "x/y"]).is_err());
+        assert!(parse_serve(&["--addr", "a", "--watch", "nope"]).is_err());
+        assert!(parse_serve(&["--addr", "a", "--bogus"]).is_err());
+        assert_eq!(parse_serve(&["-h"]), Ok(ServeClientCli::Help));
     }
 
     #[test]

@@ -53,6 +53,44 @@ impl OptimizerKind {
             OptimizerKind::Tpe => "bayesian (TPE)",
         }
     }
+
+    /// The kind named `name` (the lowercase CLI spelling: `random`, `lcs`,
+    /// `tpe`), if any.
+    #[must_use]
+    pub fn by_name(name: &str) -> Option<OptimizerKind> {
+        match name {
+            "random" => Some(OptimizerKind::Random),
+            "lcs" => Some(OptimizerKind::Lcs),
+            "tpe" => Some(OptimizerKind::Tpe),
+            _ => None,
+        }
+    }
+}
+
+// Tags match `SweepRunner::fingerprint`'s historical encoding of the
+// optimizer axis, so the two stay mutually consistent.
+impl serde::bin::Encode for OptimizerKind {
+    fn encode(&self, w: &mut serde::bin::Writer) {
+        w.put_u8(match self {
+            OptimizerKind::Random => 0,
+            OptimizerKind::Lcs => 1,
+            OptimizerKind::Tpe => 2,
+        });
+    }
+}
+
+impl serde::bin::Decode for OptimizerKind {
+    fn decode(r: &mut serde::bin::Reader<'_>) -> Result<Self, serde::bin::DecodeError> {
+        match r.get_u8()? {
+            0 => Ok(OptimizerKind::Random),
+            1 => Ok(OptimizerKind::Lcs),
+            2 => Ok(OptimizerKind::Tpe),
+            tag => Err(serde::bin::DecodeError {
+                offset: 0,
+                what: format!("invalid OptimizerKind tag {tag}"),
+            }),
+        }
+    }
 }
 
 /// Wraps an optimizer so the first proposals are fixed seed points (known

@@ -767,7 +767,10 @@ impl Evaluator {
             match write_tier(&op_path, OP_MAGIC, OP_VERSION, self.mapper.export()) {
                 Ok(_) => marks.op_misses = stats.op.misses,
                 Err(e) => {
-                    eprintln!("warning: could not write cache snapshot {}: {e}", op_path.display());
+                    crate::warn::warning(format_args!(
+                        "could not write cache snapshot {}: {e}",
+                        op_path.display()
+                    ));
                 }
             }
         }
@@ -775,7 +778,10 @@ impl Evaluator {
             match write_tier(path, FUSE_MAGIC, FUSE_VERSION, self.fuses.export()) {
                 Ok(_) => marks.fuse_misses = stats.fuse.misses,
                 Err(e) => {
-                    eprintln!("warning: could not write cache snapshot {}: {e}", path.display());
+                    crate::warn::warning(format_args!(
+                        "could not write cache snapshot {}: {e}",
+                        path.display()
+                    ));
                 }
             }
         }
@@ -797,8 +803,9 @@ impl Evaluator {
     /// a cold tier, and any damage — truncation, a wrong version byte
     /// (including pre-split `eval_cache.bin` files, whose version no longer
     /// matches), endian-swapped or otherwise corrupt bytes — is detected by
-    /// the envelope (magic/version/length/checksum) or the decoders, logged
-    /// to stderr, and degrades that tier to cold. Existing in-memory
+    /// the envelope (magic/version/length/checksum) or the decoders,
+    /// reported through the [`crate::warn`] sink (stderr unless routed),
+    /// and degrades that tier to cold. Existing in-memory
     /// entries always win over loaded ones. Loaded entries count as neither
     /// hits nor misses until they answer an evaluation.
     pub fn load_eval_cache(&self, path: &Path) -> CacheLoadReport {
@@ -918,7 +925,7 @@ fn read_tier<K: Decode, V: Decode>(
         Ok(entries) => entries,
         Err(TierReadError::Missing) => Vec::new(),
         Err(TierReadError::Damaged(what)) => {
-            eprintln!("warning: evaluation-cache snapshot ignored — {what}");
+            crate::warn::warning(format_args!("evaluation-cache snapshot ignored — {what}"));
             warnings.push(what);
             Vec::new()
         }
@@ -1300,6 +1307,28 @@ mod tests {
         let e = evaluator(Objective::Qps);
         let report = e.load_eval_cache(&scratch("never-written.bin"));
         assert_eq!(report, CacheLoadReport { op_loaded: 0, fuse_loaded: 0, warning: None });
+    }
+
+    #[test]
+    fn degrade_to_cold_warnings_route_through_the_warn_sink() {
+        // The serving path: a routed sink captures the degradation warning
+        // per job, so a client sees *its* study's snapshot damage in its
+        // stream instead of the line landing in the daemon's stderr.
+        let path = scratch("warn-routed.bin");
+        std::fs::write(&path, b"definitely not a snapshot").unwrap();
+        let e = evaluator(Objective::Qps);
+        let (report, lines) = crate::warn::capture(|| e.load_eval_cache(&path));
+        assert!(report.warning.is_some(), "the report still carries the cause");
+        assert_eq!(lines.len(), 1, "exactly one warning line: {lines:?}");
+        assert!(
+            lines[0].starts_with("warning: evaluation-cache snapshot ignored — "),
+            "{}",
+            lines[0]
+        );
+        // Outside the capture the sink is uninstalled again; loading the
+        // same damaged file must not send anywhere (it prints to stderr).
+        let ((), after) = crate::warn::capture(|| ());
+        assert!(after.is_empty());
     }
 
     #[test]

@@ -38,10 +38,12 @@
 pub mod analysis;
 pub mod driver;
 pub mod evaluate;
+pub mod journal;
 pub mod merge;
 pub mod report;
 pub mod search_space;
 pub mod sweep;
+pub mod warn;
 
 pub use analysis::{
     ablation_study, ablation_variants, ablation_workloads, component_breakdown, AblationRow,
@@ -54,12 +56,14 @@ pub use evaluate::{
     StagedCacheStats, WorkloadEval,
 };
 pub use fast_search::{Durability, Execution, StudyConfigError, StudyObjective, StudyReport};
+pub use journal::{JobEntry, JobId, JobJournal, JobSpec, JobState};
 pub use merge::{
     merge_eval_caches, merge_sweep_checkpoints, CacheMergeStats, MergeError, MergeReport,
 };
 pub use report::{design_report, relative_to_tpu, DesignReport, RelativePerf};
 pub use search_space::{combined_search_space_log10, FastSpace, SpaceDims};
 pub use sweep::{
-    BudgetLevel, Checkpointer, CompletedScenario, FrontierDesign, Scenario, ScenarioMatrix,
-    ScenarioResult, SweepConfig, SweepResult, SweepRunner,
+    points_table, BudgetLevel, Checkpointer, CompletedScenario, FrontierDesign, Scenario,
+    ScenarioMatrix, ScenarioResult, SweepConfig, SweepEvent, SweepObserver, SweepResult,
+    SweepRunner, SweepSession,
 };

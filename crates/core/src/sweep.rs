@@ -29,6 +29,7 @@ use rayon::prelude::*;
 use serde::bin::{self, Decode, Encode, Reader, Writer};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
 /// A named area/TDP budget level of the sweep (e.g. `"1.00x"` for the paper
@@ -63,7 +64,7 @@ impl BudgetLevel {
 /// innermost. Cache reuse is maximized by listing budgets loosest-first
 /// (designs admitted by a tight budget are a subset of those admitted by a
 /// loose one) and superset domains before their sub-domains.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioMatrix {
     /// Budget levels, ideally loosest first.
     pub budgets: Vec<BudgetLevel>,
@@ -169,7 +170,7 @@ pub struct Scenario {
 }
 
 /// Search settings shared by every scenario of a sweep.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SweepConfig {
     /// Trial budget per scenario.
     pub trials: usize,
@@ -203,6 +204,62 @@ impl Default for SweepConfig {
                 (fast_arch::presets::fast_small(), SimOptions::default()),
             ],
         }
+    }
+}
+
+impl Encode for BudgetLevel {
+    fn encode(&self, w: &mut Writer) {
+        let BudgetLevel { name, budget } = self;
+        name.encode(w);
+        budget.encode(w);
+    }
+}
+
+impl Decode for BudgetLevel {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, bin::DecodeError> {
+        Ok(BudgetLevel { name: Decode::decode(r)?, budget: Decode::decode(r)? })
+    }
+}
+
+impl Encode for ScenarioMatrix {
+    fn encode(&self, w: &mut Writer) {
+        let ScenarioMatrix { budgets, objectives, domains } = self;
+        budgets.encode(w);
+        objectives.encode(w);
+        domains.encode(w);
+    }
+}
+
+impl Decode for ScenarioMatrix {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, bin::DecodeError> {
+        Ok(ScenarioMatrix {
+            budgets: Decode::decode(r)?,
+            objectives: Decode::decode(r)?,
+            domains: Decode::decode(r)?,
+        })
+    }
+}
+
+impl Encode for SweepConfig {
+    fn encode(&self, w: &mut Writer) {
+        let SweepConfig { trials, optimizer, seed, batch, seeds } = self;
+        trials.encode(w);
+        optimizer.encode(w);
+        seed.encode(w);
+        batch.encode(w);
+        seeds.encode(w);
+    }
+}
+
+impl Decode for SweepConfig {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, bin::DecodeError> {
+        Ok(SweepConfig {
+            trials: Decode::decode(r)?,
+            optimizer: Decode::decode(r)?,
+            seed: Decode::decode(r)?,
+            batch: Decode::decode(r)?,
+            seeds: Decode::decode(r)?,
+        })
     }
 }
 
@@ -246,6 +303,18 @@ pub struct ScenarioResult {
 }
 
 impl ScenarioResult {
+    /// The durable [`CompletedScenario`] record of this result — what the
+    /// ledger stores and [`points_table`] renders.
+    #[must_use]
+    pub fn record(&self) -> CompletedScenario {
+        CompletedScenario {
+            name: self.scenario.name.clone(),
+            frontier_points: self.frontier_points.clone(),
+            invalid_trials: self.invalid_trials,
+            best_objective: self.best_objective,
+        }
+    }
+
     /// Fraction of this scenario's per-workload evaluations answered from
     /// the shared cache (0 when the scenario touched the cache not at all).
     #[must_use]
@@ -403,7 +472,10 @@ impl Checkpointer {
         let path = self.sweep_path();
         let tmp = path.with_extension("tmp");
         if let Err(e) = std::fs::write(&tmp, &file).and_then(|()| std::fs::rename(&tmp, &path)) {
-            eprintln!("warning: could not write sweep ledger {}: {e}", path.display());
+            crate::warn::warning(format_args!(
+                "could not write sweep ledger {}: {e}",
+                path.display()
+            ));
         }
     }
 
@@ -423,7 +495,7 @@ impl Checkpointer {
             return Vec::new();
         }
         let reject = |what: String| {
-            eprintln!("warning: sweep ledger ignored — {what}");
+            crate::warn::warning(format_args!("sweep ledger ignored — {what}"));
             Vec::new()
         };
         let ledger = match read_ledger_strict(&path) {
@@ -487,6 +559,113 @@ impl Decode for CompletedScenario {
     }
 }
 
+/// Renders completed scenarios as the canonical frontier-points table: one
+/// header line per scenario, one line per frontier point carrying the index
+/// encoding and every metric as its exact IEEE-754 bit pattern. Two runs
+/// print byte-identical tables **iff** their frontiers are bit-identical —
+/// this is the artifact the serve smoke test diffs between a daemon-streamed
+/// campaign and a single-process `sweep_frontiers --points` run.
+#[must_use]
+pub fn points_table(records: &[CompletedScenario]) -> String {
+    let mut out = String::new();
+    for rec in records {
+        let best =
+            rec.best_objective.map_or_else(|| "-".to_string(), |v| format!("{:016x}", v.to_bits()));
+        let _ = writeln!(
+            out,
+            "scenario {} frontier={} invalid={} best={best}",
+            rec.name,
+            rec.frontier_points.len(),
+            rec.invalid_trials,
+        );
+        for fp in &rec.frontier_points {
+            let point: Vec<String> = fp.point.iter().map(ToString::to_string).collect();
+            let metrics: Vec<String> =
+                fp.metrics.iter().map(|m| format!("{:016x}", m.to_bits())).collect();
+            let _ = writeln!(out, "  [{}] {}", point.join(","), metrics.join(" "));
+        }
+    }
+    out
+}
+
+/// Progress events emitted by an observed sweep ([`SweepRunner::run_session`]
+/// with an observer) — the stream a `fast-serve` client watches.
+#[derive(Debug, Clone)]
+pub enum SweepEvent {
+    /// A scenario's Pareto study is about to run. `index` counts the
+    /// scenarios this run processes (0-based), `total` is how many it will.
+    ScenarioStarted {
+        /// Position within this run.
+        index: usize,
+        /// Scenarios this run will process.
+        total: usize,
+        /// `"{domain}/{budget}/{objective}"`.
+        name: String,
+    },
+    /// A study round finished (every `config.batch` trials).
+    Round {
+        /// Position of the running scenario within this run.
+        index: usize,
+        /// The running scenario's name.
+        name: String,
+        /// Trials evaluated so far in this scenario.
+        trials_done: usize,
+        /// The scenario's trial budget.
+        total_trials: usize,
+        /// Best objective observed so far (`None` while all-invalid).
+        best_objective: Option<f64>,
+        /// Size of the non-dominated set so far.
+        frontier_size: usize,
+    },
+    /// A scenario finished; its durable record and cache traffic.
+    ScenarioFinished {
+        /// Position within this run.
+        index: usize,
+        /// The finished scenario's ledger record (name, frontier, counts).
+        record: CompletedScenario,
+        /// Fuse-tier hit/miss delta attributable to this scenario.
+        cache: CacheStats,
+        /// Per-stage hit/miss delta attributable to this scenario.
+        staged: StagedCacheStats,
+    },
+}
+
+/// An observer receiving [`SweepEvent`]s as the sweep runs.
+pub type SweepObserver<'o> = &'o mut dyn FnMut(&SweepEvent);
+
+/// How [`SweepRunner::run_session`] runs: which evaluator owns the caches,
+/// whether and where to checkpoint, whether to resume, and who observes
+/// progress. The plain entry points ([`SweepRunner::run`],
+/// [`SweepRunner::resume`], …) are shorthands for common shapes of this.
+#[derive(Default)]
+pub struct SweepSession<'a> {
+    /// Evaluator whose (shared) caches the sweep reads and populates — the
+    /// cross-request warm cache when many sweeps serve from one process.
+    /// `None` builds a private evaluator, as [`SweepRunner::run`] does.
+    /// Sharing never changes any result: caches accelerate, the determinism
+    /// contract fixes what is computed.
+    pub evaluator: Option<&'a Evaluator>,
+    /// Checkpoint directory manager; `None` runs ephemerally.
+    pub checkpointer: Option<&'a Checkpointer>,
+    /// Load the checkpoint before running (replaying completed scenarios
+    /// from the warm snapshot). With no usable checkpoint this degrades to
+    /// a cold run, so a fresh directory may simply always pass `true`.
+    pub resume: bool,
+    /// Progress observer; `None` runs silently.
+    pub observer: Option<SweepObserver<'a>>,
+}
+
+impl std::fmt::Debug for SweepSession<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepSession")
+            .field("evaluator", &self.evaluator.is_some())
+            .field("checkpointer", &self.checkpointer)
+            .field("resume", &self.resume)
+            .field("observer", &self.observer.is_some())
+            .finish()
+    }
+}
+
 /// Runs a [`ScenarioMatrix`] as a sequence of Pareto studies over one shared
 /// evaluation cache.
 #[derive(Debug, Clone)]
@@ -525,7 +704,26 @@ impl SweepRunner {
     /// stats depend on thread scheduling.)
     #[must_use]
     pub fn run(&self) -> SweepResult {
-        self.run_impl(None, false, None, None)
+        self.run_impl(None, None, false, None, None, None)
+    }
+
+    /// The fully-general entry point: runs the matrix under `session` —
+    /// optionally against a caller-owned (shared) evaluator, optionally
+    /// checkpointed/resumed, optionally observed. This is what a serving
+    /// process uses to run many requests' sweeps over **one** warm
+    /// `MapperCache`/sim/fuse tier while streaming progress to each
+    /// client; results are bit-identical to [`SweepRunner::run`] no matter
+    /// how warm the shared caches are.
+    #[must_use]
+    pub fn run_session(&self, session: SweepSession<'_>) -> SweepResult {
+        self.run_impl(
+            session.evaluator,
+            session.checkpointer,
+            session.resume,
+            None,
+            None,
+            session.observer,
+        )
     }
 
     /// [`SweepRunner::run`], saving checkpoints as it goes: the evaluation
@@ -534,7 +732,7 @@ impl SweepRunner {
     /// [`SweepRunner::run`]'s; the process merely becomes killable.
     #[must_use]
     pub fn run_checkpointed(&self, ck: &Checkpointer) -> SweepResult {
-        self.run_impl(Some(ck), false, None, None)
+        self.run_impl(None, Some(ck), false, None, None, None)
     }
 
     /// Resumes a killed [`SweepRunner::run_checkpointed`] sweep.
@@ -554,7 +752,7 @@ impl SweepRunner {
     /// Checkpointing continues during the resumed run.
     #[must_use]
     pub fn resume(&self, ck: &Checkpointer) -> SweepResult {
-        self.run_impl(Some(ck), true, None, None)
+        self.run_impl(None, Some(ck), true, None, None, None)
     }
 
     /// Runs only the first `limit` scenarios (with checkpointing) and stops
@@ -563,7 +761,7 @@ impl SweepRunner {
     /// checkpoint as if the prefix run had been killed at the boundary.
     #[must_use]
     pub fn run_prefix(&self, ck: &Checkpointer, limit: usize) -> SweepResult {
-        self.run_impl(Some(ck), false, None, Some(limit))
+        self.run_impl(None, Some(ck), false, None, Some(limit), None)
     }
 
     /// Runs shard `index` of `count` — the scenarios of
@@ -580,7 +778,14 @@ impl SweepRunner {
     /// Panics when `count` is zero or `index >= count`.
     #[must_use]
     pub fn run_shard(&self, ck: &Checkpointer, index: usize, count: usize) -> SweepResult {
-        self.run_impl(Some(ck), false, Some(self.matrix.shard_range(index, count)), None)
+        self.run_impl(
+            None,
+            Some(ck),
+            false,
+            Some(self.matrix.shard_range(index, count)),
+            None,
+            None,
+        )
     }
 
     /// Resumes a killed [`SweepRunner::run_shard`] worker, with the same
@@ -594,7 +799,7 @@ impl SweepRunner {
     /// Panics when `count` is zero or `index >= count`.
     #[must_use]
     pub fn resume_shard(&self, ck: &Checkpointer, index: usize, count: usize) -> SweepResult {
-        self.run_impl(Some(ck), true, Some(self.matrix.shard_range(index, count)), None)
+        self.run_impl(None, Some(ck), true, Some(self.matrix.shard_range(index, count)), None, None)
     }
 
     /// Fingerprint of `(matrix, config)` guarding ledger reuse: resuming
@@ -630,17 +835,33 @@ impl SweepRunner {
 
     fn run_impl(
         &self,
+        shared: Option<&Evaluator>,
         ck: Option<&Checkpointer>,
         resume: bool,
         range: Option<std::ops::Range<usize>>,
         limit: Option<usize>,
+        mut observer: Option<SweepObserver<'_>>,
     ) -> SweepResult {
         let space = FastSpace::table3();
         let seeds: Vec<Vec<usize>> =
             self.config.seeds.iter().map(|(cfg, sim)| space.encode(cfg, sim)).collect();
         // The prototype owns the caches every scenario evaluator shares; its
-        // own scenario fields are never used to score anything.
-        let proto = Evaluator::new(Vec::new(), Objective::Qps, Budget::paper_default());
+        // own scenario fields are never used to score anything. A session
+        // may lend one in (clone-cheap, Arc-shared tiers) so many sweeps
+        // serve from the same warm caches.
+        let private;
+        let proto = match shared {
+            Some(p) => p,
+            None => {
+                private = Evaluator::new(Vec::new(), Objective::Qps, Budget::paper_default());
+                &private
+            }
+        };
+        // Sweep-level traffic is reported as a delta so a shared evaluator's
+        // history from earlier sweeps never pollutes this result. (For a
+        // private evaluator the delta equals the absolute counts.)
+        let total_before = proto.cache_stats();
+        let total_staged_before = proto.staged_cache_stats();
 
         let all = self.matrix.scenarios();
         let total = all.len();
@@ -654,13 +875,13 @@ impl SweepRunner {
             if let Some(ck) = ck {
                 let report = proto.load_eval_cache(&ck.cache_path());
                 if report.loaded() > 0 {
-                    eprintln!(
+                    crate::warn::note(format_args!(
                         "resuming: {} cached results loaded from {} ({} op-tier, {} fuse-tier)",
                         report.loaded(),
                         ck.cache_path().display(),
                         report.op_loaded,
                         report.fuse_loaded,
-                    );
+                    ));
                 }
                 ledger = ck
                     .load_ledger(fingerprint, &range, total)
@@ -693,7 +914,10 @@ impl SweepRunner {
         let n = limit.map_or(range.len(), |l| l.min(range.len()));
 
         let mut scenarios = Vec::new();
-        for scenario in all.into_iter().skip(range.start).take(n) {
+        for (index, scenario) in all.into_iter().skip(range.start).take(n).enumerate() {
+            if let Some(obs) = observer.as_deref_mut() {
+                obs(&SweepEvent::ScenarioStarted { index, total: n, name: scenario.name.clone() });
+            }
             let evaluator = proto.for_scenario(
                 scenario.domain.workloads.clone(),
                 scenario.objective,
@@ -730,13 +954,33 @@ impl SweepRunner {
                 }
                 points.iter().map(|p| scored[index_of[p]].clone()).collect::<Vec<_>>()
             };
+            let scenario_name = scenario.name.clone();
             let study = Study::new(space.space(), self.config.trials)
                 .seed(self.config.seed)
                 .objective(StudyObjective::pareto(&DIRECTIONS))
-                .execution(Execution::Batched { batch_size: self.config.batch.max(1) })
-                .run(&mut opt, StudyEval::batch(&mut evaluate_round))
-                .expect("the sweep's study axes are always valid")
-                .into_pareto_result();
+                .execution(Execution::Batched { batch_size: self.config.batch.max(1) });
+            let report = match observer.as_deref_mut() {
+                Some(obs) => {
+                    let mut on_round = |p: &fast_search::StudyProgress| {
+                        obs(&SweepEvent::Round {
+                            index,
+                            name: scenario_name.clone(),
+                            trials_done: p.trials_done,
+                            total_trials: p.total_trials,
+                            best_objective: p.best_objective,
+                            frontier_size: p.frontier_size.unwrap_or(0),
+                        });
+                    };
+                    study.run_observed(
+                        &mut opt,
+                        StudyEval::batch(&mut evaluate_round),
+                        &mut on_round,
+                    )
+                }
+                None => study.run(&mut opt, StudyEval::batch(&mut evaluate_round)),
+            };
+            let study =
+                report.expect("the sweep's study axes are always valid").into_pareto_result();
             let after = evaluator.cache_stats();
             let cache =
                 CacheStats { hits: after.hits - before.hits, misses: after.misses - before.misses };
@@ -773,12 +1017,15 @@ impl SweepRunner {
                 // fingerprint cannot see) changed between runs. The fresh
                 // computation wins either way.
                 if *prior != record {
-                    eprintln!(
-                        "warning: resumed scenario {} diverged from its checkpoint record \
+                    crate::warn::warning(format_args!(
+                        "resumed scenario {} diverged from its checkpoint record \
                          (recomputed result kept)",
                         record.name
-                    );
+                    ));
                 }
+            }
+            if let Some(obs) = observer.as_deref_mut() {
+                obs(&SweepEvent::ScenarioFinished { index, record: record.clone(), cache, staged });
             }
             if ck.is_some() {
                 completed.push(record);
@@ -796,10 +1043,14 @@ impl SweepRunner {
             });
         }
 
+        let total_after = proto.cache_stats();
         SweepResult {
             scenarios,
-            total_cache: proto.cache_stats(),
-            total_staged: proto.staged_cache_stats(),
+            total_cache: CacheStats {
+                hits: total_after.hits - total_before.hits,
+                misses: total_after.misses - total_before.misses,
+            },
+            total_staged: proto.staged_cache_stats().since(&total_staged_before),
         }
     }
 }

@@ -1,0 +1,143 @@
+//! A routable sink for degradation warnings.
+//!
+//! Durability code degrades rather than fails — a damaged cache snapshot or
+//! sweep ledger becomes a cold start, never an error — and reports the
+//! degradation as a warning. Historically those warnings went to stderr
+//! unconditionally, which is right for a CLI but wrong for a server: a
+//! `fast-serve` client should see *its* study's degradation warnings in its
+//! own event stream, not buried in the daemon's log.
+//!
+//! [`route_to`] installs an [`mpsc::Sender`] as the warning sink for the
+//! **current thread** until the returned guard drops; while installed, every
+//! [`warning`]/[`note`] raised on that thread is sent there instead of
+//! printed. The sink is thread-local on purpose: a server runs one job per
+//! worker thread, and a job's warnings must not leak into another job's
+//! stream. (All sweep-durability warnings — snapshot loads, ledger loads,
+//! checkpoint writes — are raised on the thread driving the sweep, never on
+//! rayon evaluation workers.)
+//!
+//! Uninstalled (the default everywhere outside a server), both functions
+//! print to stderr exactly as before, so CLI behaviour is unchanged.
+//!
+//! ```
+//! let ((), lines) = fast_core::warn::capture(|| {
+//!     fast_core::warn::warning("snapshot ignored — checksum mismatch");
+//! });
+//! assert_eq!(lines, ["warning: snapshot ignored — checksum mismatch"]);
+//! ```
+
+use std::cell::RefCell;
+use std::sync::mpsc;
+
+thread_local! {
+    /// Innermost-wins stack of installed sinks for this thread.
+    static SINKS: RefCell<Vec<mpsc::Sender<String>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Uninstalls the sink installed by the matching [`route_to`] when dropped.
+#[derive(Debug)]
+pub struct SinkGuard {
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for SinkGuard {
+    fn drop(&mut self) {
+        SINKS.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
+}
+
+/// Routes this thread's [`warning`]/[`note`] lines to `tx` until the
+/// returned guard drops. Nested installs stack — the innermost sink wins —
+/// so a scoped capture inside a routed job does not leak lines to the job's
+/// client.
+#[must_use]
+pub fn route_to(tx: mpsc::Sender<String>) -> SinkGuard {
+    SINKS.with(|s| s.borrow_mut().push(tx));
+    SinkGuard { _not_send: std::marker::PhantomData }
+}
+
+/// Delivers one line: to the innermost installed sink, else to stderr. A
+/// sink whose receiver hung up degrades to stderr rather than losing the
+/// line.
+fn deliver(line: String) {
+    let routed = SINKS.with(|s| match s.borrow().last() {
+        Some(tx) => tx.send(line.clone()).is_ok(),
+        None => false,
+    });
+    if !routed {
+        eprintln!("{line}");
+    }
+}
+
+/// Emits a degradation warning (prefixed `warning: `) through the sink.
+pub fn warning(msg: impl std::fmt::Display) {
+    deliver(format!("warning: {msg}"));
+}
+
+/// Emits an informational line (e.g. resume progress) through the sink.
+pub fn note(msg: impl std::fmt::Display) {
+    deliver(msg.to_string());
+}
+
+/// Runs `f` with a capturing sink installed and returns its result plus
+/// every line it emitted — the unit-test (and single-job) form of
+/// [`route_to`].
+pub fn capture<R>(f: impl FnOnce() -> R) -> (R, Vec<String>) {
+    let (tx, rx) = mpsc::channel();
+    let guard = route_to(tx);
+    let result = f();
+    drop(guard);
+    (result, rx.try_iter().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_collects_in_order_and_uninstalls() {
+        let ((), lines) = capture(|| {
+            warning("first");
+            note("second");
+        });
+        assert_eq!(lines, ["warning: first", "second"]);
+        // After the guard dropped, emitting again must not panic (it goes
+        // to stderr) — the stack is empty.
+        warning("outside any capture");
+    }
+
+    #[test]
+    fn inner_capture_shadows_outer() {
+        let ((), outer) = capture(|| {
+            warning("outer-1");
+            let ((), inner) = capture(|| warning("inner"));
+            assert_eq!(inner, ["warning: inner"]);
+            warning("outer-2");
+        });
+        assert_eq!(outer, ["warning: outer-1", "warning: outer-2"]);
+    }
+
+    #[test]
+    fn sinks_are_per_thread() {
+        let ((), lines) = capture(|| {
+            std::thread::scope(|s| {
+                // A warning on another thread does not reach this thread's
+                // sink.
+                s.spawn(|| warning("from another thread")).join().unwrap();
+            });
+            warning("from this thread");
+        });
+        assert_eq!(lines, ["warning: from this thread"]);
+    }
+
+    #[test]
+    fn hung_up_receiver_degrades_to_stderr() {
+        let (tx, rx) = mpsc::channel();
+        drop(rx);
+        let guard = route_to(tx);
+        warning("receiver is gone"); // must not panic
+        drop(guard);
+    }
+}

@@ -367,12 +367,33 @@ impl RoundSnapshot {
     }
 }
 
-/// A round hook: called after every evaluated round with the number of
-/// completed trials and a thunk building that round's snapshot. The thunk
-/// clones the full accumulated state (trials, convergence, archive,
-/// optimizer), so hooks that thin their save cadence only call it on the
-/// rounds they actually persist.
-pub(crate) type RoundHook<'h> = &'h mut dyn FnMut(usize, &dyn Fn() -> RoundSnapshot);
+/// Cheap per-round progress, handed to observers after every evaluated
+/// round (per trial under [`Execution::Sequential`]). Everything here is
+/// O(1) to produce — no trial history, no archive clone — so observing a
+/// study costs nothing measurable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StudyProgress {
+    /// Trials evaluated so far (monotone; starts at the restored count on a
+    /// resumed study).
+    pub trials_done: usize,
+    /// The study's trial budget.
+    pub total_trials: usize,
+    /// Best guide objective observed so far (`None` while all trials were
+    /// invalid).
+    pub best_objective: Option<f64>,
+    /// Safe-search rejections so far.
+    pub invalid_trials: usize,
+    /// Current non-dominated-set size (`None` for single-objective
+    /// studies).
+    pub frontier_size: Option<usize>,
+}
+
+/// A round hook: called after every evaluated round with that round's
+/// progress and a thunk building its snapshot. The thunk clones the full
+/// accumulated state (trials, convergence, archive, optimizer), so hooks
+/// that thin their save cadence only call it on the rounds they actually
+/// persist.
+pub(crate) type RoundHook<'h> = &'h mut dyn FnMut(&StudyProgress, &dyn Fn() -> RoundSnapshot);
 
 /// Whether a checkpoint's optimizer state (`ck`, mid-run) was produced by
 /// an optimizer configured like `fresh` (a just-built optimizer's state):
@@ -530,9 +551,42 @@ impl<'s> Study<'s> {
         optimizer: &mut dyn Optimizer,
         eval: StudyEval<'_>,
     ) -> Result<StudyReport, StudyConfigError> {
+        self.run_with(optimizer, eval, None)
+    }
+
+    /// [`Study::run`], additionally calling `observer` with a
+    /// [`StudyProgress`] after every evaluated round (per trial under
+    /// [`Execution::Sequential`]) — the live-progress feed a serving
+    /// process streams to its clients. Works under every durability axis: a
+    /// resumed checkpointed study reports progress from its restored trial
+    /// count onward. Observation never changes what is computed.
+    ///
+    /// # Errors
+    /// As [`Study::run`].
+    pub fn run_observed(
+        &self,
+        optimizer: &mut dyn Optimizer,
+        eval: StudyEval<'_>,
+        observer: &mut dyn FnMut(&StudyProgress),
+    ) -> Result<StudyReport, StudyConfigError> {
+        self.run_with(optimizer, eval, Some(observer))
+    }
+
+    fn run_with(
+        &self,
+        optimizer: &mut dyn Optimizer,
+        eval: StudyEval<'_>,
+        mut observer: Option<&mut dyn FnMut(&StudyProgress)>,
+    ) -> Result<StudyReport, StudyConfigError> {
         self.validate(&eval)?;
         match &self.durability {
-            Durability::Ephemeral => Ok(self.run_hooked(optimizer, eval, None, None)),
+            Durability::Ephemeral => match observer {
+                None => Ok(self.run_hooked(optimizer, eval, None, None)),
+                Some(obs) => {
+                    let mut hook = |p: &StudyProgress, _make: &dyn Fn() -> RoundSnapshot| obs(p);
+                    Ok(self.run_hooked(optimizer, eval, None, Some(&mut hook)))
+                }
+            },
             Durability::Checkpointed { dir, every } => {
                 let path = dir.join(STUDY_FILE_NAME);
                 let (round_size, _, sequential) = self.shape();
@@ -549,7 +603,12 @@ impl<'s> Study<'s> {
                              saves so the file is preserved",
                             path.display()
                         );
-                        let mut report = self.run_hooked(optimizer, eval, None, None);
+                        let mut hook = |p: &StudyProgress, _make: &dyn Fn() -> RoundSnapshot| {
+                            if let Some(obs) = observer.as_deref_mut() {
+                                obs(p);
+                            }
+                        };
+                        let mut report = self.run_hooked(optimizer, eval, None, Some(&mut hook));
                         report.checkpoint =
                             Some(CheckpointInfo { path, resumed_trials: 0, saves: 0 });
                         return Ok(report);
@@ -572,9 +631,12 @@ impl<'s> Study<'s> {
                 let mut report = {
                     // Off-cadence rounds never call `make`, so they skip
                     // the full-state snapshot clone entirely.
-                    let mut hook = |done: usize, make: &dyn Fn() -> RoundSnapshot| {
+                    let mut hook = |p: &StudyProgress, make: &dyn Fn() -> RoundSnapshot| {
+                        if let Some(obs) = observer.as_deref_mut() {
+                            obs(p);
+                        }
                         rounds += 1;
-                        if rounds.is_multiple_of(every) || done == n_trials {
+                        if rounds.is_multiple_of(every) || p.trials_done == n_trials {
                             saves += usize::from(save_snapshot(&path, &make()));
                         }
                     };
@@ -622,7 +684,8 @@ impl<'s> Study<'s> {
                 st.push_trial(point, result);
                 if let Some(hook) = on_round.as_deref_mut() {
                     let opt_ref: &dyn Optimizer = optimizer;
-                    hook(st.trials.len(), &|| self.snapshot(&st, SEQUENTIAL_MARKER, opt_ref));
+                    let progress = self.progress(&st);
+                    hook(&progress, &|| self.snapshot(&st, SEQUENTIAL_MARKER, opt_ref));
                 }
             }
         } else {
@@ -652,7 +715,8 @@ impl<'s> Study<'s> {
 
                 if let Some(hook) = on_round.as_deref_mut() {
                     let opt_ref: &dyn Optimizer = optimizer;
-                    hook(st.trials.len(), &|| self.snapshot(&st, round_size, opt_ref));
+                    let progress = self.progress(&st);
+                    hook(&progress, &|| self.snapshot(&st, round_size, opt_ref));
                 }
             }
         }
@@ -666,6 +730,17 @@ impl<'s> Study<'s> {
             trials: st.trials,
             frontier: st.archive.as_ref().map(ParetoArchive::frontier),
             checkpoint: None,
+        }
+    }
+
+    /// Cheap progress summary of the engine state, for round observers.
+    fn progress(&self, st: &EngineState) -> StudyProgress {
+        StudyProgress {
+            trials_done: st.trials.len(),
+            total_trials: self.trials,
+            best_objective: st.best.as_ref().map(|(_, g)| *g),
+            invalid_trials: st.invalid,
+            frontier_size: st.archive.as_ref().map(ParetoArchive::len),
         }
     }
 

@@ -52,7 +52,7 @@ pub mod study;
 pub use algorithms::{LcsSwarm, RandomSearch, Tpe};
 pub use builder::{
     CheckpointInfo, Durability, Execution, Study, StudyConfigError, StudyEval, StudyObjective,
-    StudyReport,
+    StudyProgress, StudyReport,
 };
 pub use optimizer::{Optimizer, Trial, TrialResult};
 pub use pareto::{

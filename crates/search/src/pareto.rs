@@ -344,7 +344,7 @@ mod tests {
         mut on_round: impl FnMut(&ParetoCheckpoint),
     ) -> ParetoStudyResult {
         let mut eval = |points: &[Vec<usize>]| evaluate_batch(points);
-        let mut hook = |_done: usize, make: &dyn Fn() -> RoundSnapshot| {
+        let mut hook = |_p: &crate::StudyProgress, make: &dyn Fn() -> RoundSnapshot| {
             let RoundSnapshot::Pareto(ck) = make() else {
                 unreachable!("a Pareto study emits Pareto snapshots")
             };

@@ -167,7 +167,7 @@ mod tests {
         let mut eval = |points: &[Vec<usize>]| {
             evaluate_batch(points).into_iter().map(MultiObjective::from).collect::<Vec<_>>()
         };
-        let mut hook = |_done: usize, make: &dyn Fn() -> RoundSnapshot| {
+        let mut hook = |_p: &crate::StudyProgress, make: &dyn Fn() -> RoundSnapshot| {
             let RoundSnapshot::Scalar(ck) = make() else {
                 unreachable!("a single-objective study emits scalar snapshots")
             };

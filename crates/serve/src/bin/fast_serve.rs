@@ -1,0 +1,78 @@
+//! The `fast-serve` daemon binary.
+//!
+//! ```text
+//! fast-serve --journal DIR [--listen tcp:HOST:PORT|unix:PATH]
+//!            [--max-inflight N] [--queue N] [--read-timeout-ms N]
+//! ```
+//!
+//! On startup the daemon prints exactly one line to stdout —
+//! `fast-serve listening on {addr}` — carrying the resolved address
+//! (`tcp:127.0.0.1:0` resolves to the OS-picked port), then serves until a
+//! `Shutdown` request drains the queue. Jobs and their checkpoints live
+//! under `DIR/jobs/`; restarting with the same `--journal` resumes
+//! unfinished jobs bit-identically.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use fast_serve::{serve, ListenAddr, ServerConfig};
+
+const USAGE: &str = "usage: fast-serve --journal DIR [--listen tcp:HOST:PORT|unix:PATH] \
+                     [--max-inflight N] [--queue N] [--read-timeout-ms N]";
+
+fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
+    let mut journal: Option<PathBuf> = None;
+    let mut listen = ListenAddr::Tcp("127.0.0.1:0".to_string());
+    let mut max_inflight = 2usize;
+    let mut queue_capacity = 16usize;
+    let mut read_timeout = Some(Duration::from_secs(30));
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| {
+            it.next().map(String::as_str).ok_or_else(|| format!("{flag} needs {what}"))
+        };
+        match flag.as_str() {
+            "--journal" => journal = Some(PathBuf::from(value("a directory")?)),
+            "--listen" => listen = ListenAddr::parse(value("an address")?)?,
+            "--max-inflight" => {
+                max_inflight =
+                    value("a count")?.parse().map_err(|e| format!("--max-inflight: {e}"))?;
+            }
+            "--queue" => {
+                queue_capacity =
+                    value("a capacity")?.parse().map_err(|e| format!("--queue: {e}"))?;
+            }
+            "--read-timeout-ms" => {
+                let ms: u64 = value("milliseconds")?
+                    .parse()
+                    .map_err(|e| format!("--read-timeout-ms: {e}"))?;
+                read_timeout = (ms > 0).then(|| Duration::from_millis(ms));
+            }
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    let journal = journal.ok_or_else(|| format!("--journal is required\n{USAGE}"))?;
+    Ok(ServerConfig { listen, journal, max_inflight, queue_capacity, read_timeout })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let config = match parse_args(&args) {
+        Ok(config) => config,
+        Err(e) => {
+            eprintln!("fast-serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match serve(config) {
+        // `serve` only returns on a fatal startup/accept error; a drained
+        // shutdown exits 0 from inside.
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fast-serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! Transport: the server listens on (and clients dial) either a TCP
+//! address or a Unix-domain socket, spelled uniformly as `tcp:HOST:PORT`
+//! or `unix:PATH`.
+//!
+//! Both transports behave identically above this module — [`Conn`] erases
+//! the difference behind `Read + Write`, so the framing layer
+//! ([`crate::protocol`]) and the server never branch on transport.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Where the server listens / the client dials.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ListenAddr {
+    /// `tcp:HOST:PORT` — `PORT` may be `0` to let the OS pick (the server
+    /// prints the bound address on startup).
+    Tcp(String),
+    /// `unix:PATH` — a Unix-domain socket at `PATH` (created on bind,
+    /// removed first if a stale one exists).
+    Unix(PathBuf),
+}
+
+impl ListenAddr {
+    /// Parses the uniform spelling.
+    ///
+    /// # Errors
+    /// Returns a description of the expected syntax on anything else.
+    pub fn parse(s: &str) -> Result<ListenAddr, String> {
+        if let Some(addr) = s.strip_prefix("tcp:") {
+            if addr.rsplit_once(':').is_none() {
+                return Err(format!("tcp address {addr:?} has no :PORT"));
+            }
+            Ok(ListenAddr::Tcp(addr.to_string()))
+        } else if let Some(path) = s.strip_prefix("unix:") {
+            if path.is_empty() {
+                return Err("unix: needs a socket path".to_string());
+            }
+            Ok(ListenAddr::Unix(PathBuf::from(path)))
+        } else {
+            Err(format!("listen address {s:?} must be tcp:HOST:PORT or unix:PATH"))
+        }
+    }
+}
+
+/// `Display` writes the parseable spelling back out, so the server's
+/// startup line round-trips through [`ListenAddr::parse`].
+impl fmt::Display for ListenAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ListenAddr::Tcp(a) => write!(f, "tcp:{a}"),
+            ListenAddr::Unix(p) => write!(f, "unix:{}", p.display()),
+        }
+    }
+}
+
+/// A bound listening socket of either transport.
+#[derive(Debug)]
+pub enum Listener {
+    /// TCP.
+    Tcp(TcpListener),
+    /// Unix-domain.
+    Unix(UnixListener),
+}
+
+impl Listener {
+    /// Binds `addr`. A stale Unix socket file at the path is removed first
+    /// (the daemon owns its socket path the way it owns its journal dir).
+    ///
+    /// # Errors
+    /// Propagates bind failures.
+    pub fn bind(addr: &ListenAddr) -> io::Result<Listener> {
+        match addr {
+            ListenAddr::Tcp(a) => Ok(Listener::Tcp(TcpListener::bind(a)?)),
+            ListenAddr::Unix(p) => {
+                if p.exists() {
+                    std::fs::remove_file(p)?;
+                }
+                Ok(Listener::Unix(UnixListener::bind(p)?))
+            }
+        }
+    }
+
+    /// The bound address in parseable spelling — for TCP this is the
+    /// *actual* address (resolving a `:0` port request).
+    ///
+    /// # Errors
+    /// Propagates `local_addr` failures.
+    pub fn local_addr(&self) -> io::Result<ListenAddr> {
+        match self {
+            Listener::Tcp(l) => Ok(ListenAddr::Tcp(l.local_addr()?.to_string())),
+            Listener::Unix(l) => {
+                let path = l
+                    .local_addr()?
+                    .as_pathname()
+                    .map(PathBuf::from)
+                    .ok_or_else(|| io::Error::other("unix listener has no pathname"))?;
+                Ok(ListenAddr::Unix(path))
+            }
+        }
+    }
+
+    /// Blocks for the next connection.
+    ///
+    /// # Errors
+    /// Propagates accept failures.
+    pub fn accept(&self) -> io::Result<Conn> {
+        match self {
+            Listener::Tcp(l) => Ok(Conn::Tcp(l.accept()?.0)),
+            Listener::Unix(l) => Ok(Conn::Unix(l.accept()?.0)),
+        }
+    }
+}
+
+/// One accepted or dialed connection, transport-erased.
+#[derive(Debug)]
+pub enum Conn {
+    /// TCP.
+    Tcp(TcpStream),
+    /// Unix-domain.
+    Unix(UnixStream),
+}
+
+impl Conn {
+    /// Dials `addr`.
+    ///
+    /// # Errors
+    /// Propagates connect failures.
+    pub fn connect(addr: &ListenAddr) -> io::Result<Conn> {
+        match addr {
+            ListenAddr::Tcp(a) => Ok(Conn::Tcp(TcpStream::connect(a)?)),
+            ListenAddr::Unix(p) => Ok(Conn::Unix(UnixStream::connect(p)?)),
+        }
+    }
+
+    /// Clones the underlying socket handle (reads and writes can then run
+    /// on separate threads).
+    ///
+    /// # Errors
+    /// Propagates `try_clone` failures.
+    pub fn try_clone(&self) -> io::Result<Conn> {
+        match self {
+            Conn::Tcp(s) => Ok(Conn::Tcp(s.try_clone()?)),
+            Conn::Unix(s) => Ok(Conn::Unix(s.try_clone()?)),
+        }
+    }
+
+    /// Bounds how long a blocking read waits (`None` = forever).
+    ///
+    /// # Errors
+    /// Propagates setsockopt failures.
+    pub fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_read_timeout(dur),
+            Conn::Unix(s) => s.set_read_timeout(dur),
+        }
+    }
+
+    /// Closes the write half, signalling EOF to the peer while reads stay
+    /// open.
+    ///
+    /// # Errors
+    /// Propagates shutdown failures.
+    pub fn shutdown_write(&self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.shutdown(std::net::Shutdown::Write),
+            Conn::Unix(s) => s.shutdown(std::net::Shutdown::Write),
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_both_transports() {
+        for s in ["tcp:127.0.0.1:0", "tcp:localhost:4114", "unix:/tmp/fast-serve.sock"] {
+            let addr = ListenAddr::parse(s).expect("valid spelling");
+            assert_eq!(addr.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_spellings() {
+        for s in ["", "127.0.0.1:80", "tcp:nohostport", "unix:", "http:foo"] {
+            assert!(ListenAddr::parse(s).is_err(), "{s:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn tcp_listener_reports_the_resolved_port() {
+        let l = Listener::bind(&ListenAddr::parse("tcp:127.0.0.1:0").expect("spelling"))
+            .expect("bind ephemeral");
+        match l.local_addr().expect("local addr") {
+            ListenAddr::Tcp(a) => {
+                let port: u16 = a.rsplit_once(':').expect("host:port").1.parse().expect("port");
+                assert_ne!(port, 0, "OS must have picked a real port");
+            }
+            other => panic!("expected tcp, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unix_socket_round_trips_bytes() {
+        let dir = std::env::temp_dir().join(format!("fast-serve-net-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("t.sock");
+        let addr = ListenAddr::Unix(path.clone());
+        let listener = Listener::bind(&addr).expect("bind");
+        let handle = std::thread::spawn(move || {
+            let mut conn = listener.accept().expect("accept");
+            let mut buf = [0u8; 4];
+            conn.read_exact(&mut buf).expect("read");
+            conn.write_all(&buf).expect("echo");
+        });
+        let mut client = Conn::connect(&addr).expect("connect");
+        client.write_all(b"fast").expect("write");
+        let mut back = [0u8; 4];
+        client.read_exact(&mut back).expect("read back");
+        assert_eq!(&back, b"fast");
+        handle.join().expect("server thread");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
