@@ -62,11 +62,13 @@ fn render_event(id: u64, event: &JobEvent) -> String {
             total_trials,
             best_objective,
             frontier_size,
+            full_evals,
         } => {
             let best = best_objective.map_or("-".to_string(), |v| format!("{v:.4}"));
+            let sims = full_evals.map_or(String::new(), |n| format!(", {n} full sims"));
             format!(
                 "job {id}: {name} {trials_done}/{total_trials} trials, best {best}, \
-                 frontier {frontier_size}"
+                 frontier {frontier_size}{sims}"
             )
         }
         JobEvent::ScenarioFinished {
@@ -77,11 +79,19 @@ fn render_event(id: u64, event: &JobEvent) -> String {
             invalid_trials,
             cache,
             staged: _,
+            fidelity,
         } => {
             let best = best_objective.map_or("-".to_string(), |v| format!("{v:.4}"));
+            let screen = fidelity.as_ref().map_or(String::new(), |f| {
+                let rho = f.spearman.map_or("-".to_string(), |v| format!("{v:.3}"));
+                format!(
+                    ", {} full sims / {} screened out, spearman {rho}",
+                    f.full_evals, f.screened_out
+                )
+            });
             format!(
                 "job {id}: finished {name}: frontier {frontier_size}, best {best}, \
-                 invalid {invalid_trials}, cache {}/{} hits/misses",
+                 invalid {invalid_trials}, cache {}/{} hits/misses{screen}",
                 cache.hits, cache.misses
             )
         }

@@ -1,0 +1,11 @@
+//! Exact-vs-screened comparison of the same Table-3 scenarios: full-sim
+//! savings, surrogate-vs-true rank correlation, and retained frontier
+//! hypervolume. With `FAST_ASSERT_SURROGATE=<factor>` set the run *fails*
+//! unless every scenario meets the savings factor, the Spearman floor
+//! (`FAST_ASSERT_SURROGATE_RHO`, default 0.8) and the hypervolume floor
+//! (`FAST_ASSERT_SURROGATE_HV`, default 0.5) — the CI surrogate-smoke
+//! gate.
+
+fn main() {
+    println!("{}", fast_bench::surrogate_smoke::surrogate_smoke());
+}

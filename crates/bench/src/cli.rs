@@ -10,10 +10,11 @@
 //! arguments.
 
 use crate::pareto_figs::SweepRunOptions;
+use fast_core::{Fidelity, SurrogateTier};
 use std::path::PathBuf;
 
 /// Outcome of parsing a durable-sweep command line.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum SweepCli {
     /// Run with the parsed options.
     Run(SweepRunOptions),
@@ -38,22 +39,58 @@ fn parse_shard_spec(value: &str) -> Result<(usize, usize), String> {
 
 /// Parses the `--checkpoint DIR` / `--resume` (and, when
 /// `accept_frontiers_only`, `--frontiers-only` and `--points`; when
-/// `accept_shard`, `--shard INDEX/COUNT`) flag set.
+/// `accept_shard`, `--shard INDEX/COUNT`) flag set, plus the fidelity
+/// axis: `--fidelity exact|s0|s1` with optional `--keep-fraction F`
+/// (default 0.25) and `--min-full N` (default 2) refinements.
 ///
 /// # Errors
 /// Returns a one-line message for an unknown argument, a flag missing its
-/// value, a flag where it is not accepted, a malformed shard spec, or
-/// `--resume`/`--shard` without `--checkpoint`. Callers print it with
-/// their usage string and exit non-zero.
+/// value, a flag where it is not accepted, a malformed shard spec,
+/// `--resume`/`--shard` without `--checkpoint`, a keep fraction outside
+/// (0, 1], or `--keep-fraction`/`--min-full` without a screened
+/// `--fidelity`. Callers print it with their usage string and exit
+/// non-zero.
 pub fn parse_sweep_cli(
     args: impl IntoIterator<Item = String>,
     accept_frontiers_only: bool,
     accept_shard: bool,
 ) -> Result<SweepCli, String> {
     let mut opts = SweepRunOptions::default();
+    let mut tier: Option<Option<SurrogateTier>> = None;
+    let mut keep_fraction: Option<f64> = None;
+    let mut min_full: Option<usize> = None;
     let mut args = args.into_iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--fidelity" => match args.next().as_deref() {
+                Some("exact") => tier = Some(None),
+                Some("s0") => tier = Some(Some(SurrogateTier::S0)),
+                Some("s1") => tier = Some(Some(SurrogateTier::S1)),
+                Some(other) => {
+                    return Err(format!("--fidelity wants exact, s0 or s1, got {other:?}"))
+                }
+                None => return Err("--fidelity needs exact, s0 or s1".to_string()),
+            },
+            "--keep-fraction" => match args.next() {
+                Some(v) if !v.starts_with('-') => {
+                    let f: f64 = v
+                        .parse()
+                        .map_err(|_| format!("--keep-fraction wants a number, got {v:?}"))?;
+                    if !(f > 0.0 && f <= 1.0) {
+                        return Err(format!("--keep-fraction must be in (0, 1], got {f}"));
+                    }
+                    keep_fraction = Some(f);
+                }
+                _ => return Err("--keep-fraction needs a fraction in (0, 1]".to_string()),
+            },
+            "--min-full" => match args.next() {
+                Some(v) if !v.starts_with('-') => {
+                    min_full = Some(
+                        v.parse().map_err(|_| format!("--min-full wants a count, got {v:?}"))?,
+                    );
+                }
+                _ => return Err("--min-full needs a per-round count".to_string()),
+            },
             "--checkpoint" => match args.next() {
                 // A flag in the value slot means the directory was
                 // forgotten — running a sweep into a directory named
@@ -79,6 +116,22 @@ pub fn parse_sweep_cli(
     }
     if opts.shard.is_some() && opts.checkpoint.is_none() {
         return Err("--shard requires --checkpoint DIR (the shard's mergeable state)".to_string());
+    }
+    match tier {
+        Some(Some(tier)) => {
+            opts.fidelity = Fidelity::Screened {
+                keep_fraction: keep_fraction.unwrap_or(0.25),
+                min_full: min_full.unwrap_or(2),
+                tier,
+            };
+        }
+        // `--fidelity exact` (or no flag at all): the refinements have
+        // nothing to refine, so passing them is a mistake, not a no-op.
+        Some(None) | None => {
+            if keep_fraction.is_some() || min_full.is_some() {
+                return Err("--keep-fraction/--min-full require --fidelity s0 or s1".to_string());
+            }
+        }
     }
     Ok(SweepCli::Run(opts))
 }
@@ -385,6 +438,55 @@ mod tests {
 
     fn parse_serve(args: &[&str]) -> Result<ServeClientCli, String> {
         parse_serve_client_cli(args.iter().map(ToString::to_string))
+    }
+
+    #[test]
+    fn fidelity_flags_parse_with_defaults_and_overrides() {
+        let SweepCli::Run(opts) = parse(&["--fidelity", "s0"], true).unwrap() else {
+            panic!("expected Run");
+        };
+        assert_eq!(
+            opts.fidelity,
+            Fidelity::Screened { keep_fraction: 0.25, min_full: 2, tier: SurrogateTier::S0 }
+        );
+
+        let SweepCli::Run(opts) =
+            parse(&["--fidelity", "s1", "--keep-fraction", "0.125", "--min-full", "4"], true)
+                .unwrap()
+        else {
+            panic!("expected Run");
+        };
+        assert_eq!(
+            opts.fidelity,
+            Fidelity::Screened { keep_fraction: 0.125, min_full: 4, tier: SurrogateTier::S1 }
+        );
+
+        let SweepCli::Run(opts) = parse(&["--fidelity", "exact"], true).unwrap() else {
+            panic!("expected Run");
+        };
+        assert_eq!(opts.fidelity, Fidelity::Exact);
+    }
+
+    #[test]
+    fn fidelity_misuse_is_rejected() {
+        assert!(parse(&["--fidelity"], true).is_err());
+        assert!(parse(&["--fidelity", "s2"], true).is_err());
+        // Refinements without a screened tier are mistakes, not no-ops.
+        assert_eq!(
+            parse(&["--keep-fraction", "0.5"], true),
+            Err("--keep-fraction/--min-full require --fidelity s0 or s1".to_string())
+        );
+        assert_eq!(
+            parse(&["--fidelity", "exact", "--min-full", "3"], true),
+            Err("--keep-fraction/--min-full require --fidelity s0 or s1".to_string())
+        );
+        // The fraction must be a usable probability mass.
+        assert!(parse(&["--fidelity", "s0", "--keep-fraction", "0"], true).is_err());
+        assert!(parse(&["--fidelity", "s0", "--keep-fraction", "1.5"], true).is_err());
+        assert!(parse(&["--fidelity", "s0", "--keep-fraction", "nan"], true).is_err());
+        assert!(parse(&["--fidelity", "s0", "--min-full", "x"], true).is_err());
+        // A following flag must not be swallowed as a value.
+        assert!(parse(&["--fidelity", "s0", "--keep-fraction", "--resume"], true).is_err());
     }
 
     #[test]

@@ -26,6 +26,7 @@
 //! | `tab05_example_designs` | Table 5 — example designs |
 //! | `tab06_ablation` | Table 6 — FAST-Large ablation |
 //! | `sweep_frontiers` | budget sweep — per-scenario Pareto frontiers + ROI |
+//! | `surrogate_smoke` | exact vs surrogate-screened sweep: savings, ρ, hypervolume |
 //! | `repro_all` | everything above, in order |
 //!
 //! The `sweep_frontiers` and `repro_all` binaries are *durable*: pass
@@ -47,6 +48,7 @@ pub mod figures;
 pub mod headline;
 pub mod pareto_figs;
 pub mod search_figs;
+pub mod surrogate_smoke;
 pub mod tables;
 pub mod zoo;
 

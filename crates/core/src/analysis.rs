@@ -1,9 +1,15 @@
-//! Component breakdown (Figure 15) and the FAST-Large ablation (Table 6).
+//! Component breakdown (Figure 15), the FAST-Large ablation (Table 6), and
+//! frontier-quality metrics (hypervolume, rank correlations) used to compare
+//! screened sweeps against exact ones.
 
 use crate::evaluate::{EvalError, Evaluator, Objective};
 use fast_arch::{presets, Budget, DatapathConfig};
 use fast_fusion::FusionOptions;
 use fast_models::{EfficientNet, Workload};
+use fast_search::FrontierPoint;
+// Rank-correlation utilities (surrogate-vs-true agreement in fidelity
+// reports) — re-exported here so analysis code has one import site.
+pub use fast_search::{kendall_tau, spearman_rank};
 use fast_sim::{mapper::DataflowSet, SimOptions};
 use serde::{Deserialize, Serialize};
 
@@ -193,9 +199,123 @@ pub fn ablation_study() -> Result<Vec<AblationRow>, EvalError> {
     Ok(rows)
 }
 
+/// Hypervolume (in maximize space) of a 3-D point set against a reference
+/// point: the volume of the union of boxes `[reference, p]` over all points
+/// `p` that strictly improve on `reference` in every dimension.
+///
+/// Exact sweep-line computation: points are processed in descending first
+/// coordinate; each slab's contribution is its width times the 2-D staircase
+/// hypervolume of the points seen so far. `O(n² log n)`, plenty for frontier
+/// sizes (tens of points).
+#[must_use]
+pub fn hypervolume_3d(points: &[[f64; 3]], reference: [f64; 3]) -> f64 {
+    let mut pts: Vec<[f64; 3]> =
+        points.iter().copied().filter(|p| p.iter().zip(&reference).all(|(a, r)| a > r)).collect();
+    if pts.is_empty() {
+        return 0.0;
+    }
+    pts.sort_by(|a, b| b[0].total_cmp(&a[0]).then(b[1].total_cmp(&a[1])));
+    let mut volume = 0.0;
+    for i in 0..pts.len() {
+        // Slab between this point's first coordinate and the next one's
+        // (the reference plane for the last): within it, exactly the first
+        // i+1 points are "alive" in the remaining two dimensions.
+        let width = pts[i][0] - if i + 1 < pts.len() { pts[i + 1][0] } else { reference[0] };
+        if width <= 0.0 {
+            continue;
+        }
+        // 2-D staircase hypervolume of the alive points' (y, z) projections.
+        let mut proj: Vec<[f64; 2]> = pts[..=i].iter().map(|p| [p[1], p[2]]).collect();
+        proj.sort_by(|a, b| b[0].total_cmp(&a[0]));
+        let mut area = 0.0;
+        let mut z_best = reference[2];
+        for q in proj {
+            if q[1] > z_best {
+                area += (q[0] - reference[1]) * (q[1] - z_best);
+                z_best = q[1];
+            }
+        }
+        volume += width * area;
+    }
+    volume
+}
+
+/// Hypervolume of a sweep frontier (objective ↑, TDP ↓, area ↓ — the
+/// [`crate::SweepRunner`] metric order) against a reference design
+/// `(objective, tdp_w, area_mm2)`. Minimized metrics are negated into
+/// maximize space, so the reference should be a *pessimistic* design:
+/// objective at or below every frontier point's, TDP/area at or above.
+///
+/// This is the scalar the surrogate smoke test compares between screened
+/// and exact sweeps: matched frontier quality means matched hypervolume.
+#[must_use]
+pub fn frontier_hypervolume(frontier: &[FrontierPoint], reference: [f64; 3]) -> f64 {
+    let points: Vec<[f64; 3]> = frontier
+        .iter()
+        .filter(|fp| fp.metrics.len() == 3)
+        .map(|fp| [fp.metrics[0], -fp.metrics[1], -fp.metrics[2]])
+        .collect();
+    hypervolume_3d(&points, [reference[0], -reference[1], -reference[2]])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn hypervolume_of_hand_checked_boxes() {
+        let reference = [0.0, 0.0, 0.0];
+        // One unit cube.
+        assert!((hypervolume_3d(&[[1.0, 1.0, 1.0]], reference) - 1.0).abs() < 1e-12);
+        // Two overlapping boxes: 2·1·1 ∪ 1·2·2 = 2 + 4 − 1 = 5.
+        let hv = hypervolume_3d(&[[2.0, 1.0, 1.0], [1.0, 2.0, 2.0]], reference);
+        assert!((hv - 5.0).abs() < 1e-12, "{hv}");
+        // A dominated point adds nothing.
+        let hv2 = hypervolume_3d(&[[2.0, 1.0, 1.0], [1.0, 2.0, 2.0], [0.5, 0.5, 0.5]], reference);
+        assert!((hv2 - 5.0).abs() < 1e-12, "{hv2}");
+        // Duplicates add nothing either.
+        let hv3 = hypervolume_3d(&[[1.0, 1.0, 1.0], [1.0, 1.0, 1.0]], reference);
+        assert!((hv3 - 1.0).abs() < 1e-12, "{hv3}");
+    }
+
+    #[test]
+    fn hypervolume_ignores_points_outside_the_reference() {
+        let hv = hypervolume_3d(&[[1.0, 1.0, -0.5], [0.0, 1.0, 1.0]], [0.0, 0.0, 0.0]);
+        assert_eq!(hv, 0.0);
+        assert_eq!(hypervolume_3d(&[], [0.0, 0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn hypervolume_is_monotone_in_the_point_set() {
+        let reference = [0.0, 0.0, 0.0];
+        let a = vec![[3.0, 1.0, 2.0], [1.0, 4.0, 1.0]];
+        let base = hypervolume_3d(&a, reference);
+        let mut more = a.clone();
+        more.push([2.0, 2.0, 2.0]);
+        assert!(hypervolume_3d(&more, reference) >= base);
+    }
+
+    #[test]
+    fn frontier_hypervolume_maps_minimized_metrics() {
+        // Sweep metrics: objective ↑, TDP ↓, area ↓. A point with objective
+        // 2, TDP 3, area 4 against reference (1, 5, 6) spans
+        // (2−1)·(5−3)·(6−4) = 4.
+        let frontier = vec![FrontierPoint { point: vec![0], metrics: vec![2.0, 3.0, 4.0] }];
+        let hv = frontier_hypervolume(&frontier, [1.0, 5.0, 6.0]);
+        assert!((hv - 4.0).abs() < 1e-12, "{hv}");
+        // A frontier point worse than the reference in any axis contributes
+        // nothing.
+        let worse = vec![FrontierPoint { point: vec![0], metrics: vec![0.5, 3.0, 4.0] }];
+        assert_eq!(frontier_hypervolume(&worse, [1.0, 5.0, 6.0]), 0.0);
+    }
+
+    #[test]
+    fn rank_correlations_are_reexported() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(spearman_rank(&xs, &ys), Some(1.0));
+        assert_eq!(kendall_tau(&xs, &ys), Some(1.0));
+    }
 
     #[test]
     fn breakdown_components_are_cumulative_for_b7() {

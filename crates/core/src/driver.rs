@@ -6,14 +6,15 @@
 //! strategy ([`Execution`]), durability ([`Durability`]) and seeding are
 //! orthogonal axes instead of separate driver functions.
 
-use crate::evaluate::{CacheStats, DesignEval, Evaluator, StagedCacheStats};
+use crate::evaluate::{CacheStats, DesignEval, Evaluator, Objective, StagedCacheStats};
 use crate::search_space::FastSpace;
 use fast_arch::DatapathConfig;
 use fast_search::{
-    Durability, Execution, LcsSwarm, Optimizer, OptimizerState, RandomSearch, Study,
+    Durability, Execution, Fidelity, LcsSwarm, Optimizer, OptimizerState, RandomSearch, Study,
     StudyConfigError, StudyEval, StudyReport, Tpe, Trial, TrialResult,
 };
 use fast_sim::SimOptions;
+use fast_surrogate::{GuideMetric, SurrogateScreener};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -253,6 +254,7 @@ pub struct FastStudy<'e> {
     seed_designs: Vec<(DatapathConfig, SimOptions)>,
     execution: Execution,
     durability: Durability,
+    fidelity: Fidelity,
 }
 
 impl<'e> FastStudy<'e> {
@@ -270,6 +272,7 @@ impl<'e> FastStudy<'e> {
             seed_designs: defaults.seeds,
             execution: Execution::Batched { batch_size: defaults.batch },
             durability: Durability::Ephemeral,
+            fidelity: Fidelity::Exact,
         }
     }
 
@@ -307,6 +310,20 @@ impl<'e> FastStudy<'e> {
     #[must_use]
     pub fn durability(mut self, durability: Durability) -> Self {
         self.durability = durability;
+        self
+    }
+
+    /// Sets the fidelity axis. [`Fidelity::Exact`] (the default) fully
+    /// simulates every proposal — bit-identical to a study built before
+    /// this axis existed. [`Fidelity::Screened`] builds a
+    /// [`SurrogateScreener`] from the evaluator's workloads, objective and
+    /// budget; each round is ranked by the surrogate and only the top
+    /// fraction pays for simulation. The report's
+    /// [`StudyReport::fidelity`] then carries the full-simulation count and
+    /// the surrogate-vs-true rank correlations.
+    #[must_use]
+    pub fn fidelity(mut self, fidelity: Fidelity) -> Self {
+        self.fidelity = fidelity;
         self
     }
 
@@ -364,11 +381,40 @@ impl<'e> FastStudy<'e> {
             }
             scored
         };
-        let study = Study::new(space.space(), self.trials)
+        // Under Fidelity::Screened the surrogate tier mirrors this study's
+        // evaluator exactly: same workloads, same objective, and a decode
+        // closure applying the same validity + budget gate, so surrogate
+        // ranks compare the population the simulator would see.
+        let mut screener = match self.fidelity {
+            Fidelity::Exact => None,
+            Fidelity::Screened { tier, .. } => {
+                let decode_space = space.clone();
+                let budget = *self.evaluator.budget();
+                let metric = match self.evaluator.objective() {
+                    Objective::Qps => GuideMetric::Qps,
+                    Objective::PerfPerTdp => GuideMetric::PerfPerTdp,
+                };
+                Some(SurrogateScreener::new(
+                    tier,
+                    metric,
+                    self.evaluator.workloads().to_vec(),
+                    Box::new(move |p: &[usize]| {
+                        let (cfg, _sim) = decode_space.decode(p);
+                        cfg.validate().ok()?;
+                        budget.admits(&cfg).then_some(cfg)
+                    }),
+                ))
+            }
+        };
+        let builder = Study::new(space.space(), self.trials)
             .seed(self.seed)
+            .fidelity(self.fidelity)
             .execution(self.execution)
-            .durability(self.durability.clone())
-            .run(&mut opt, StudyEval::batch(&mut eval_round))?;
+            .durability(self.durability.clone());
+        let study = match screener.as_mut() {
+            Some(sc) => builder.run_screened(&mut opt, StudyEval::batch(&mut eval_round), sc)?,
+            None => builder.run(&mut opt, StudyEval::batch(&mut eval_round))?,
+        };
 
         let best =
             study.best_point.as_ref().and_then(|p| self.evaluator.evaluate_point(&space, p).ok());
@@ -551,6 +597,47 @@ mod tests {
             "resume must not re-simulate the replayed prefix: {:?} vs {:?}",
             resumed.cache,
             straight.cache
+        );
+    }
+
+    #[test]
+    fn screened_study_thins_simulation_and_reports_fidelity() {
+        use fast_search::SurrogateTier;
+        let exact_e = quick_evaluator().fresh_eval_cache();
+        let exact = FastStudy::new(&exact_e, 48)
+            .seed(5)
+            .execution(Execution::Batched { batch_size: 8 })
+            .run()
+            .expect("valid configuration");
+        assert!(exact.study.fidelity.is_none(), "exact studies report no fidelity block");
+
+        let e = quick_evaluator().fresh_eval_cache();
+        let screened = FastStudy::new(&e, 48)
+            .seed(5)
+            .execution(Execution::Batched { batch_size: 8 })
+            .fidelity(Fidelity::Screened {
+                keep_fraction: 0.25,
+                min_full: 2,
+                tier: SurrogateTier::S0,
+            })
+            .run()
+            .expect("valid configuration");
+        let fid = screened.study.fidelity.as_ref().expect("screened studies report fidelity");
+        assert_eq!(fid.full_evals + fid.screened_out, 48, "every trial is accounted");
+        assert!(
+            fid.savings_factor() >= 2.0,
+            "keep 0.25 must at least halve simulation: {} full of 48",
+            fid.full_evals
+        );
+        // The seed designs anchor the screened run too: the surrogate ranks
+        // them far above the mostly-infeasible random proposals.
+        let best = screened.best.expect("screened search still finds valid designs");
+        assert!(best.objective_value > 0.0);
+        // Only fully evaluated trials may miss the cache (+1 best decode).
+        assert!(
+            screened.cache.misses <= fid.full_evals as u64 + 1,
+            "screened-out trials must never reach the simulator: {:?}",
+            screened.cache
         );
     }
 

@@ -320,6 +320,16 @@ mod tests {
             }],
             invalid_trials: 2,
             best_objective: Some(4.0),
+            fidelity: Some(fast_search::FidelityReport {
+                tier: fast_search::SurrogateTier::S0,
+                keep_fraction: 0.25,
+                min_full: 2,
+                full_evals: 6,
+                screened_out: 18,
+                pairs: 6,
+                spearman: Some(1.0),
+                kendall: Some(1.0),
+            }),
         }];
         j.record_result(id, &records).unwrap();
         assert!(j.has_result(id));

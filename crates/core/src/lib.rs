@@ -46,8 +46,8 @@ pub mod sweep;
 pub mod warn;
 
 pub use analysis::{
-    ablation_study, ablation_variants, ablation_workloads, component_breakdown, AblationRow,
-    BreakdownRow,
+    ablation_study, ablation_variants, ablation_workloads, component_breakdown,
+    frontier_hypervolume, hypervolume_3d, kendall_tau, spearman_rank, AblationRow, BreakdownRow,
 };
 pub use driver::{FastStudy, OptimizerKind, SearchConfig, SearchReport};
 // The unified study axes, re-exported so driver callers need one import.
@@ -55,7 +55,11 @@ pub use evaluate::{
     CacheLoadReport, CacheStats, DesignEval, EvalError, Evaluator, Objective, SavedCacheMarks,
     StagedCacheStats, WorkloadEval,
 };
-pub use fast_search::{Durability, Execution, StudyConfigError, StudyObjective, StudyReport};
+pub use fast_search::{
+    Durability, Execution, Fidelity, FidelityReport, StudyConfigError, StudyObjective, StudyReport,
+    SurrogateTier,
+};
+pub use fast_surrogate::{GuideMetric, SurrogateScreener};
 pub use journal::{JobEntry, JobId, JobJournal, JobSpec, JobState};
 pub use merge::{
     merge_eval_caches, merge_sweep_checkpoints, CacheMergeStats, MergeError, MergeReport,

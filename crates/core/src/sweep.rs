@@ -22,9 +22,11 @@ use crate::search_space::FastSpace;
 use fast_arch::{Budget, DatapathConfig};
 use fast_models::WorkloadDomain;
 use fast_search::{
-    Execution, FrontierPoint, MetricDirection, MultiObjective, Study, StudyEval, StudyObjective,
+    Execution, Fidelity, FidelityReport, FrontierPoint, MetricDirection, MultiObjective, Study,
+    StudyEval, StudyObjective,
 };
 use fast_sim::SimOptions;
+use fast_surrogate::{GuideMetric, SurrogateScreener};
 use rayon::prelude::*;
 use serde::bin::{self, Decode, Encode, Reader, Writer};
 use serde::{Deserialize, Serialize};
@@ -190,6 +192,14 @@ pub struct SweepConfig {
     /// Known-good designs proposed first in every scenario (keeps short
     /// sweeps out of the all-invalid regime and anchors every frontier).
     pub seeds: Vec<(DatapathConfig, SimOptions)>,
+    /// Evaluation fidelity of every scenario's study. [`Fidelity::Exact`]
+    /// (the default) fully simulates every proposal — bit-identical to a
+    /// sweep built before this axis existed. [`Fidelity::Screened`] ranks
+    /// each round with a per-scenario [`SurrogateScreener`] (built from the
+    /// scenario's workloads, objective and budget) and only the top
+    /// fraction reaches the simulator; frontiers still contain only fully
+    /// simulated points.
+    pub fidelity: Fidelity,
 }
 
 impl Default for SweepConfig {
@@ -203,6 +213,7 @@ impl Default for SweepConfig {
                 (fast_arch::presets::fast_large(), SimOptions::default()),
                 (fast_arch::presets::fast_small(), SimOptions::default()),
             ],
+            fidelity: Fidelity::Exact,
         }
     }
 }
@@ -242,12 +253,13 @@ impl Decode for ScenarioMatrix {
 
 impl Encode for SweepConfig {
     fn encode(&self, w: &mut Writer) {
-        let SweepConfig { trials, optimizer, seed, batch, seeds } = self;
+        let SweepConfig { trials, optimizer, seed, batch, seeds, fidelity } = self;
         trials.encode(w);
         optimizer.encode(w);
         seed.encode(w);
         batch.encode(w);
         seeds.encode(w);
+        fidelity.encode(w);
     }
 }
 
@@ -259,6 +271,7 @@ impl Decode for SweepConfig {
             seed: Decode::decode(r)?,
             batch: Decode::decode(r)?,
             seeds: Decode::decode(r)?,
+            fidelity: Decode::decode(r)?,
         })
     }
 }
@@ -300,6 +313,10 @@ pub struct ScenarioResult {
     pub cache: CacheStats,
     /// Per-stage (op/sim/fuse) hit/miss deltas across this scenario.
     pub staged: StagedCacheStats,
+    /// Fidelity accounting of the scenario's study — full-simulation count,
+    /// screened-out count and surrogate-vs-true rank correlations. `Some`
+    /// iff the sweep ran with [`Fidelity::Screened`].
+    pub fidelity: Option<FidelityReport>,
 }
 
 impl ScenarioResult {
@@ -312,6 +329,7 @@ impl ScenarioResult {
             frontier_points: self.frontier_points.clone(),
             invalid_trials: self.invalid_trials,
             best_objective: self.best_objective,
+            fidelity: self.fidelity.clone(),
         }
     }
 
@@ -371,8 +389,9 @@ pub struct Checkpointer {
 /// Magic prefix of sweep-ledger files.
 pub(crate) const SWEEP_MAGIC: [u8; 8] = *b"FASTSWP1";
 /// Ledger format version; bump on layout changes. Version 1 had no shard
-/// header — those files degrade to "no checkpoint" via the version gate.
-pub(crate) const SWEEP_VERSION: u32 = 2;
+/// header, version 2 no per-scenario fidelity record — files of either
+/// vintage degrade to "no checkpoint" via the version gate.
+pub(crate) const SWEEP_VERSION: u32 = 3;
 
 /// The decoded contents of one `sweep.bin` — the fingerprint guarding
 /// reuse, the scenario-index range the writing process *intended* to run
@@ -536,15 +555,20 @@ pub struct CompletedScenario {
     pub invalid_trials: usize,
     /// Best objective value observed.
     pub best_objective: Option<f64>,
+    /// Fidelity accounting of its study — `Some` iff the sweep ran with
+    /// [`Fidelity::Screened`].
+    pub fidelity: Option<FidelityReport>,
 }
 
 impl Encode for CompletedScenario {
     fn encode(&self, w: &mut Writer) {
-        let CompletedScenario { name, frontier_points, invalid_trials, best_objective } = self;
+        let CompletedScenario { name, frontier_points, invalid_trials, best_objective, fidelity } =
+            self;
         name.encode(w);
         frontier_points.encode(w);
         invalid_trials.encode(w);
         best_objective.encode(w);
+        fidelity.encode(w);
     }
 }
 
@@ -555,6 +579,7 @@ impl Decode for CompletedScenario {
             frontier_points: Decode::decode(r)?,
             invalid_trials: Decode::decode(r)?,
             best_objective: Decode::decode(r)?,
+            fidelity: Decode::decode(r)?,
         })
     }
 }
@@ -616,6 +641,10 @@ pub enum SweepEvent {
         best_objective: Option<f64>,
         /// Size of the non-dominated set so far.
         frontier_size: usize,
+        /// Trials that reached the real evaluator so far — `Some` iff the
+        /// sweep runs with [`Fidelity::Screened`] (equals `trials_done`
+        /// under [`Fidelity::Exact`], so exact studies report `None`).
+        full_evals: Option<usize>,
     },
     /// A scenario finished; its durable record and cache traffic.
     ScenarioFinished {
@@ -804,8 +833,8 @@ impl SweepRunner {
 
     /// Fingerprint of `(matrix, config)` guarding ledger reuse: resuming
     /// under any other matrix, budget set, objective set, domain content,
-    /// trial budget, optimizer, seed set or batch size must not adopt this
-    /// checkpoint's ledger.
+    /// trial budget, optimizer, seed set, batch size or fidelity must not
+    /// adopt this checkpoint's ledger.
     fn fingerprint(&self) -> u64 {
         let mut w = Writer::new();
         for level in &self.matrix.budgets {
@@ -830,6 +859,7 @@ impl SweepRunner {
             cfg.encode(&mut w);
             sim.encode(&mut w);
         }
+        self.config.fidelity.encode(&mut w);
         bin::fnv1a(&w.into_bytes())
     }
 
@@ -954,11 +984,37 @@ impl SweepRunner {
                 }
                 points.iter().map(|p| scored[index_of[p]].clone()).collect::<Vec<_>>()
             };
+            // Under Fidelity::Screened every scenario gets its own surrogate
+            // tier, built from *its* workloads, objective and budget — the
+            // S1 model of one scenario must never leak into another's.
+            let mut screener = match self.config.fidelity {
+                Fidelity::Exact => None,
+                Fidelity::Screened { tier, .. } => {
+                    let decode_space = space.clone();
+                    let budget = scenario.budget;
+                    let metric = match scenario.objective {
+                        Objective::Qps => GuideMetric::Qps,
+                        Objective::PerfPerTdp => GuideMetric::PerfPerTdp,
+                    };
+                    Some(SurrogateScreener::new(
+                        tier,
+                        metric,
+                        scenario.domain.workloads.clone(),
+                        Box::new(move |p: &[usize]| {
+                            let (cfg, _sim) = decode_space.decode(p);
+                            cfg.validate().ok()?;
+                            budget.admits(&cfg).then_some(cfg)
+                        }),
+                    ))
+                }
+            };
             let scenario_name = scenario.name.clone();
             let study = Study::new(space.space(), self.config.trials)
                 .seed(self.config.seed)
                 .objective(StudyObjective::pareto(&DIRECTIONS))
+                .fidelity(self.config.fidelity)
                 .execution(Execution::Batched { batch_size: self.config.batch.max(1) });
+            let eval = StudyEval::batch(&mut evaluate_round);
             let report = match observer.as_deref_mut() {
                 Some(obs) => {
                     let mut on_round = |p: &fast_search::StudyProgress| {
@@ -969,18 +1025,22 @@ impl SweepRunner {
                             total_trials: p.total_trials,
                             best_objective: p.best_objective,
                             frontier_size: p.frontier_size.unwrap_or(0),
+                            full_evals: p.full_evals,
                         });
                     };
-                    study.run_observed(
-                        &mut opt,
-                        StudyEval::batch(&mut evaluate_round),
-                        &mut on_round,
-                    )
+                    match screener.as_mut() {
+                        Some(sc) => study.run_screened_observed(&mut opt, eval, sc, &mut on_round),
+                        None => study.run_observed(&mut opt, eval, &mut on_round),
+                    }
                 }
-                None => study.run(&mut opt, StudyEval::batch(&mut evaluate_round)),
+                None => match screener.as_mut() {
+                    Some(sc) => study.run_screened(&mut opt, eval, sc),
+                    None => study.run(&mut opt, eval),
+                },
             };
-            let study =
-                report.expect("the sweep's study axes are always valid").into_pareto_result();
+            let report = report.expect("the sweep's study axes are always valid");
+            let fidelity = report.fidelity.clone();
+            let study = report.into_pareto_result();
             let after = evaluator.cache_stats();
             let cache =
                 CacheStats { hits: after.hits - before.hits, misses: after.misses - before.misses };
@@ -1010,6 +1070,7 @@ impl SweepRunner {
                 frontier_points: study.frontier.clone(),
                 invalid_trials: study.invalid_trials,
                 best_objective,
+                fidelity: fidelity.clone(),
             };
             if let Some(prior) = ledger.get(&record.name) {
                 // A replayed scenario must reproduce its pre-kill result
@@ -1040,6 +1101,7 @@ impl SweepRunner {
                 invalid_trials: study.invalid_trials,
                 cache,
                 staged,
+                fidelity,
             });
         }
 
@@ -1259,8 +1321,79 @@ mod tests {
         );
         assert_ne!(
             fp(&base),
+            fp(&SweepRunner::new(
+                tiny_matrix(),
+                SweepConfig {
+                    fidelity: Fidelity::Screened {
+                        keep_fraction: 0.25,
+                        min_full: 2,
+                        tier: fast_search::SurrogateTier::S0,
+                    },
+                    ..config.clone()
+                }
+            ))
+        );
+        assert_ne!(
+            fp(&base),
             fp(&SweepRunner::new(tiny_matrix(), SweepConfig { seeds: Vec::new(), ..config }))
         );
+    }
+
+    #[test]
+    fn screened_sweep_thins_simulation_and_is_deterministic() {
+        use fast_search::SurrogateTier;
+        let config = SweepConfig {
+            trials: 24,
+            batch: 8,
+            fidelity: Fidelity::Screened {
+                keep_fraction: 0.25,
+                min_full: 2,
+                tier: SurrogateTier::S0,
+            },
+            ..SweepConfig::default()
+        };
+        let a = SweepRunner::new(tiny_matrix(), config.clone()).run();
+        let b = SweepRunner::new(tiny_matrix(), config).run();
+        assert_eq!(a.scenarios.len(), 4);
+        for (x, y) in a.scenarios.iter().zip(&b.scenarios) {
+            assert_eq!(x.frontier_points, y.frontier_points, "{}", x.scenario.name);
+            assert_eq!(x.fidelity, y.fidelity, "{}", x.scenario.name);
+            let fid = x.fidelity.as_ref().expect("screened sweeps report fidelity");
+            assert_eq!(fid.full_evals + fid.screened_out, 24, "{}", x.scenario.name);
+            assert!(
+                fid.savings_factor() >= 2.0,
+                "{}: keep 0.25 must at least halve simulation ({} full of 24)",
+                x.scenario.name,
+                fid.full_evals
+            );
+            // Every frontier point was fully simulated: each decodes via the
+            // evaluator (surrogate-only trials can never enter the archive).
+            assert_eq!(x.frontier.len(), x.frontier_points.len(), "{}", x.scenario.name);
+            assert!(!x.frontier.is_empty(), "{}: seeds anchor the frontier", x.scenario.name);
+        }
+    }
+
+    #[test]
+    fn screened_ledger_round_trips_fidelity_records() {
+        use fast_search::SurrogateTier;
+        let config = SweepConfig {
+            trials: 16,
+            batch: 8,
+            fidelity: Fidelity::Screened {
+                keep_fraction: 0.25,
+                min_full: 2,
+                tier: SurrogateTier::S1,
+            },
+            ..SweepConfig::default()
+        };
+        let ck = Checkpointer::new(scratch_dir("screened-ledger")).unwrap();
+        let result = SweepRunner::new(tiny_matrix(), config).run_checkpointed(&ck);
+        let ledger = read_ledger_strict(&ck.sweep_path()).expect("intact ledger");
+        assert_eq!(ledger.completed.len(), result.scenarios.len());
+        for (rec, s) in ledger.completed.iter().zip(&result.scenarios) {
+            assert_eq!(*rec, s.record(), "{}", s.scenario.name);
+            assert!(rec.fidelity.is_some(), "{}", s.scenario.name);
+        }
     }
 
     #[test]

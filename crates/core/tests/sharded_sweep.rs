@@ -85,6 +85,23 @@ fn poison_last_value(path: &Path) {
     std::fs::write(path, bytes).unwrap();
 }
 
+/// Flips a ledger record's trailing `best_objective` f64 and repairs the
+/// checksum. An exact-fidelity ledger record ends with
+/// `[best_objective: Some tag + 8 bytes][fidelity: None tag]`, so the 8
+/// bytes before the final tag byte are the value — flipping them keeps the
+/// file *validly decoding* while disagreeing with every honest copy.
+fn poison_ledger_best_objective(path: &Path) {
+    let mut bytes = std::fs::read(path).unwrap();
+    let n = bytes.len();
+    assert!(n > ENVELOPE_HEADER_LEN + 9, "nothing to poison in {}", path.display());
+    for b in &mut bytes[n - 9..n - 1] {
+        *b ^= 0xFF;
+    }
+    let sum = fnv1a(&bytes[ENVELOPE_HEADER_LEN..]);
+    bytes[20..28].copy_from_slice(&sum.to_le_bytes());
+    std::fs::write(path, bytes).unwrap();
+}
+
 /// Patches the version field (bytes 8..12) of an envelope file — a snapshot
 /// from a future (or past) format revision.
 fn skew_version(path: &Path) {
@@ -422,7 +439,7 @@ fn poisoned_conflicting_scenario_record_is_a_hard_error() {
     let _ = SweepRunner::new(matrix.clone(), config.clone()).run_checkpointed(&ck);
     let (dirs, _) = run_shards(&matrix, &config, 2, "poisonledger");
 
-    poison_last_value(&dirs[1].join("sweep.bin"));
+    poison_ledger_best_objective(&dirs[1].join("sweep.bin"));
     let inputs = vec![single_dir, dirs[1].clone()];
     let err = merge_sweep_checkpoints(&inputs, &scratch("poisonledger-out")).unwrap_err();
     assert!(matches!(err, MergeError::ScenarioConflict(_)), "got {err:?}");

@@ -56,7 +56,10 @@ use crate::optimizer::{Optimizer, Trial, TrialResult};
 use crate::pareto::{
     FrontierPoint, MetricDirection, MultiObjective, MultiTrial, ParetoArchive, ParetoStudyResult,
 };
-use crate::snapshot::{validate_and_restore, OptimizerState, ParetoCheckpoint, StudyCheckpoint};
+use crate::screen::{Fidelity, FidelityReport, ScreenEngine, Screener};
+use crate::snapshot::{
+    validate_and_restore, FidelityCheckpoint, OptimizerState, ParetoCheckpoint, StudyCheckpoint,
+};
 use crate::space::ParamSpace;
 use crate::study::{trial_rng, StudyResult};
 use rand::rngs::StdRng;
@@ -159,6 +162,15 @@ pub enum StudyConfigError {
     /// [`Execution::Parallel`] with a serial-only [`StudyEval::points`]
     /// evaluator.
     SerialEvalUnderParallelExecution,
+    /// [`Fidelity::Screened`] with a `keep_fraction` outside `(0, 1]`.
+    KeepFractionOutOfRange,
+    /// [`Fidelity::Screened`] passed to [`Study::run`] /
+    /// [`Study::run_observed`], which have no screener to rank rounds with
+    /// — use [`Study::run_screened`].
+    ScreenedWithoutScreener,
+    /// [`Fidelity::Screened`] under [`Execution::Sequential`]: rounds of
+    /// one always keep their single candidate, so screening cannot apply.
+    ScreenedSequentialExecution,
 }
 
 impl fmt::Display for StudyConfigError {
@@ -182,6 +194,17 @@ impl fmt::Display for StudyConfigError {
                 "Parallel execution needs StudyEval::shared (scored across threads) or \
                  StudyEval::batch (the closure owns its parallelism); StudyEval::points \
                  is serial-only"
+            ),
+            StudyConfigError::KeepFractionOutOfRange => {
+                write!(f, "Screened fidelity needs keep_fraction in (0, 1]")
+            }
+            StudyConfigError::ScreenedWithoutScreener => {
+                write!(f, "Screened fidelity needs a screener; use Study::run_screened")
+            }
+            StudyConfigError::ScreenedSequentialExecution => write!(
+                f,
+                "Screened fidelity needs Batched or Parallel execution (sequential \
+                 rounds of one trial always keep their candidate)"
             ),
         }
     }
@@ -292,6 +315,9 @@ pub struct StudyReport {
     /// Checkpoint activity — `Some` iff the study ran with
     /// [`Durability::Checkpointed`].
     pub checkpoint: Option<CheckpointInfo>,
+    /// Screening activity — `Some` iff the study ran with
+    /// [`Fidelity::Screened`] (via [`Study::run_screened`]).
+    pub fidelity: Option<FidelityReport>,
 }
 
 impl StudyReport {
@@ -330,11 +356,13 @@ impl StudyReport {
     }
 }
 
-/// The guide scalar of a stored trial outcome.
+/// The guide scalar of a stored trial outcome. Screened-out trials project
+/// to [`TrialResult::Invalid`]: the optimizer must not climb surrogate
+/// scores as if they had been simulated, so it sees them as rejections.
 fn scalar_of(result: &MultiObjective) -> TrialResult {
     match result {
         MultiObjective::Valid { guide, .. } => TrialResult::Valid(*guide),
-        MultiObjective::Invalid => TrialResult::Invalid,
+        MultiObjective::Invalid | MultiObjective::Surrogate { .. } => TrialResult::Invalid,
     }
 }
 
@@ -386,6 +414,9 @@ pub struct StudyProgress {
     /// Current non-dominated-set size (`None` for single-objective
     /// studies).
     pub frontier_size: Option<usize>,
+    /// Trials that reached the real evaluator so far (`None` for
+    /// [`Fidelity::Exact`] studies, where it would equal `trials_done`).
+    pub full_evals: Option<usize>,
 }
 
 /// A round hook: called after every evaluated round with that round's
@@ -434,7 +465,17 @@ const STUDY_FILE_NAME: &str = "study.bin";
 /// Magic prefix of study checkpoint files.
 const STUDY_MAGIC: [u8; 8] = *b"FASTSTU1";
 /// Checkpoint file format version; bump on layout changes.
-const STUDY_VERSION: u32 = 1;
+/// v2: checkpoints carry an optional [`FidelityCheckpoint`] (screener
+/// state, correlation pairs, screened-out trial markings).
+const STUDY_VERSION: u32 = 2;
+
+/// Seed salt of the screening exploration RNG. Each screened round draws
+/// its exploration pick from `trial_rng(seed ^ SCREEN_SEED_SALT,
+/// round_start)` — a pure function of the study seed and the round's first
+/// trial index, so the "screening RNG cursor" is the completed-trial count
+/// the checkpoint already records, and a resumed study re-derives the
+/// exact generator a straight-through run would have used.
+const SCREEN_SEED_SALT: u64 = 0x5c3e_e21d_0b5c_a17e;
 
 /// The unified study driver. See the [module docs](self) for the axis
 /// semantics and a runnable example.
@@ -445,6 +486,7 @@ pub struct Study<'s> {
     objective: StudyObjective,
     execution: Execution,
     durability: Durability,
+    fidelity: Fidelity,
     seed: u64,
 }
 
@@ -460,6 +502,7 @@ impl<'s> Study<'s> {
             objective: StudyObjective::Single,
             execution: Execution::Sequential,
             durability: Durability::Ephemeral,
+            fidelity: Fidelity::Exact,
             seed: 0,
         }
     }
@@ -482,6 +525,14 @@ impl<'s> Study<'s> {
     #[must_use]
     pub fn durability(mut self, durability: Durability) -> Self {
         self.durability = durability;
+        self
+    }
+
+    /// Sets the fidelity axis. [`Fidelity::Screened`] studies must run
+    /// through [`Study::run_screened`] (they need a [`Screener`]).
+    #[must_use]
+    pub fn fidelity(mut self, fidelity: Fidelity) -> Self {
+        self.fidelity = fidelity;
         self
     }
 
@@ -518,6 +569,15 @@ impl<'s> Study<'s> {
                 return Err(StudyConfigError::TooFewMetrics { got: directions.len() });
             }
         }
+        if let Fidelity::Screened { keep_fraction, .. } = self.fidelity {
+            // NaN fails the first comparison and lands here too.
+            if !(keep_fraction > 0.0 && keep_fraction <= 1.0) {
+                return Err(StudyConfigError::KeepFractionOutOfRange);
+            }
+            if self.execution == Execution::Sequential {
+                return Err(StudyConfigError::ScreenedSequentialExecution);
+            }
+        }
         if let Durability::Checkpointed { dir, every } = &self.durability {
             if *every == 0 {
                 return Err(StudyConfigError::ZeroCheckpointInterval);
@@ -551,7 +611,36 @@ impl<'s> Study<'s> {
         optimizer: &mut dyn Optimizer,
         eval: StudyEval<'_>,
     ) -> Result<StudyReport, StudyConfigError> {
-        self.run_with(optimizer, eval, None)
+        self.run_with(optimizer, eval, None, None)
+    }
+
+    /// [`Study::run`] with a [`Screener`] ranking each proposal round —
+    /// required by [`Fidelity::Screened`]. Under [`Fidelity::Exact`] the
+    /// screener is ignored and the run is bit-identical to [`Study::run`].
+    ///
+    /// # Errors
+    /// As [`Study::run`].
+    pub fn run_screened(
+        &self,
+        optimizer: &mut dyn Optimizer,
+        eval: StudyEval<'_>,
+        screener: &mut dyn Screener,
+    ) -> Result<StudyReport, StudyConfigError> {
+        self.run_with(optimizer, eval, Some(screener), None)
+    }
+
+    /// [`Study::run_screened`] + the [`Study::run_observed`] progress feed.
+    ///
+    /// # Errors
+    /// As [`Study::run`].
+    pub fn run_screened_observed(
+        &self,
+        optimizer: &mut dyn Optimizer,
+        eval: StudyEval<'_>,
+        screener: &mut dyn Screener,
+        observer: &mut dyn FnMut(&StudyProgress),
+    ) -> Result<StudyReport, StudyConfigError> {
+        self.run_with(optimizer, eval, Some(screener), Some(observer))
     }
 
     /// [`Study::run`], additionally calling `observer` with a
@@ -569,22 +658,30 @@ impl<'s> Study<'s> {
         eval: StudyEval<'_>,
         observer: &mut dyn FnMut(&StudyProgress),
     ) -> Result<StudyReport, StudyConfigError> {
-        self.run_with(optimizer, eval, Some(observer))
+        self.run_with(optimizer, eval, None, Some(observer))
     }
 
     fn run_with(
         &self,
         optimizer: &mut dyn Optimizer,
         eval: StudyEval<'_>,
+        screener: Option<&mut dyn Screener>,
         mut observer: Option<&mut dyn FnMut(&StudyProgress)>,
     ) -> Result<StudyReport, StudyConfigError> {
         self.validate(&eval)?;
+        let screen = match (self.fidelity, screener) {
+            (Fidelity::Screened { .. }, Some(sc)) => Some(ScreenEngine::new(sc, self.fidelity)),
+            (Fidelity::Screened { .. }, None) => {
+                return Err(StudyConfigError::ScreenedWithoutScreener)
+            }
+            (Fidelity::Exact, _) => None,
+        };
         match &self.durability {
             Durability::Ephemeral => match observer {
-                None => Ok(self.run_hooked(optimizer, eval, None, None)),
+                None => Ok(self.run_hooked(optimizer, eval, screen, None, None)),
                 Some(obs) => {
                     let mut hook = |p: &StudyProgress, _make: &dyn Fn() -> RoundSnapshot| obs(p);
-                    Ok(self.run_hooked(optimizer, eval, None, Some(&mut hook)))
+                    Ok(self.run_hooked(optimizer, eval, screen, None, Some(&mut hook)))
                 }
             },
             Durability::Checkpointed { dir, every } => {
@@ -608,7 +705,8 @@ impl<'s> Study<'s> {
                                 obs(p);
                             }
                         };
-                        let mut report = self.run_hooked(optimizer, eval, None, Some(&mut hook));
+                        let mut report =
+                            self.run_hooked(optimizer, eval, screen, None, Some(&mut hook));
                         report.checkpoint =
                             Some(CheckpointInfo { path, resumed_trials: 0, saves: 0 });
                         return Ok(report);
@@ -640,7 +738,7 @@ impl<'s> Study<'s> {
                             saves += usize::from(save_snapshot(&path, &make()));
                         }
                     };
-                    self.run_hooked(optimizer, eval, resume, Some(&mut hook))
+                    self.run_hooked(optimizer, eval, screen, resume, Some(&mut hook))
                 };
                 report.checkpoint = Some(CheckpointInfo { path, resumed_trials, saves });
                 Ok(report)
@@ -662,12 +760,14 @@ impl<'s> Study<'s> {
         &self,
         optimizer: &mut dyn Optimizer,
         mut eval: StudyEval<'_>,
+        mut screen: Option<ScreenEngine<'_>>,
         resume: Option<RoundSnapshot>,
         mut on_round: Option<RoundHook<'_>>,
     ) -> StudyReport {
         let (round_size, parallel, sequential) = self.shape();
         let mut st = EngineState::new(&self.objective);
         if sequential {
+            assert!(screen.is_none(), "validate rejects Screened + Sequential");
             let mut rng = StdRng::seed_from_u64(self.seed);
             if let Some(snap) = resume {
                 self.restore_sequential(&mut st, optimizer, &mut rng, snap);
@@ -684,13 +784,13 @@ impl<'s> Study<'s> {
                 st.push_trial(point, result);
                 if let Some(hook) = on_round.as_deref_mut() {
                     let opt_ref: &dyn Optimizer = optimizer;
-                    let progress = self.progress(&st);
-                    hook(&progress, &|| self.snapshot(&st, SEQUENTIAL_MARKER, opt_ref));
+                    let progress = self.progress(&st, None);
+                    hook(&progress, &|| self.snapshot(&st, SEQUENTIAL_MARKER, opt_ref, None));
                 }
             }
         } else {
             if let Some(snap) = resume {
-                self.restore_batched(&mut st, optimizer, round_size, snap);
+                self.restore_batched(&mut st, optimizer, round_size, snap, screen.as_mut());
             }
             let mut start = st.trials.len();
             while start < self.trials {
@@ -701,8 +801,18 @@ impl<'s> Study<'s> {
                 assert_eq!(points.len(), round, "optimizer must propose one point per RNG");
                 debug_assert!(points.iter().all(|p| self.space.contains(p)));
 
-                let results = eval.eval(&points, parallel);
-                assert_eq!(results.len(), round, "evaluator must score every proposed point");
+                let results = match screen.as_mut() {
+                    Some(eng) => self.screen_round(eng, &points, &mut eval, parallel, start),
+                    None => {
+                        let results = eval.eval(&points, parallel);
+                        assert_eq!(
+                            results.len(),
+                            round,
+                            "evaluator must score every proposed point"
+                        );
+                        results
+                    }
+                };
 
                 let mut scalar_trials = Vec::with_capacity(round);
                 for (point, result) in points.into_iter().zip(results) {
@@ -715,8 +825,9 @@ impl<'s> Study<'s> {
 
                 if let Some(hook) = on_round.as_deref_mut() {
                     let opt_ref: &dyn Optimizer = optimizer;
-                    let progress = self.progress(&st);
-                    hook(&progress, &|| self.snapshot(&st, round_size, opt_ref));
+                    let sc_ref = screen.as_ref();
+                    let progress = self.progress(&st, sc_ref);
+                    hook(&progress, &|| self.snapshot(&st, round_size, opt_ref, sc_ref));
                 }
             }
         }
@@ -730,17 +841,83 @@ impl<'s> Study<'s> {
             trials: st.trials,
             frontier: st.archive.as_ref().map(ParetoArchive::frontier),
             checkpoint: None,
+            fidelity: screen.as_ref().map(ScreenEngine::report),
         }
     }
 
+    /// Scores one screened round: ranks `points` with the screener, fully
+    /// evaluates the kept subset, and fills the rest with
+    /// [`MultiObjective::Surrogate`] outcomes. Rounds proposed while the
+    /// screener is still warming up keep everything (that is how an online
+    /// tier earns its training set). One kept slot per screened round is an
+    /// exploration pick — a uniformly random screened-out candidate drawn
+    /// from [`trial_rng`]`(seed ^ `[`SCREEN_SEED_SALT`]`, round_start)` —
+    /// so a systematically wrong surrogate keeps receiving corrective
+    /// observations instead of locking the search into its own bias.
+    fn screen_round(
+        &self,
+        eng: &mut ScreenEngine<'_>,
+        points: &[Vec<usize>],
+        eval: &mut StudyEval<'_>,
+        parallel: bool,
+        start: usize,
+    ) -> Vec<MultiObjective> {
+        use rand::Rng;
+        let round = points.len();
+        let ready = eng.screener.ready();
+        let scores: Option<Vec<f64>> =
+            ready.then(|| points.iter().map(|p| eng.screener.score(p)).collect());
+        let keep = if ready { eng.fidelity.keep_of_round(round) } else { round };
+        let kept: Vec<usize> = if keep >= round {
+            (0..round).collect()
+        } else {
+            let scores = scores.as_ref().expect("partial rounds only happen when ready");
+            let mut order: Vec<usize> = (0..round).collect();
+            order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
+            let mut kept = order[..keep].to_vec();
+            if keep >= 2 {
+                // Sacrifice the weakest kept slot, never the top pick.
+                let mut rng = trial_rng(self.seed ^ SCREEN_SEED_SALT, start);
+                kept[keep - 1] = order[keep + rng.gen_range(0..round - keep)];
+            }
+            kept.sort_unstable();
+            kept
+        };
+        let kept_points: Vec<Vec<usize>> = kept.iter().map(|&i| points[i].clone()).collect();
+        let kept_results = eval.eval(&kept_points, parallel);
+        assert_eq!(kept_results.len(), kept.len(), "evaluator must score every kept point");
+        let mut merged: Vec<MultiObjective> = match &scores {
+            Some(sc) => sc.iter().map(|&s| MultiObjective::Surrogate { guide: s }).collect(),
+            // Warm-up round: every slot is overwritten below.
+            None => vec![MultiObjective::Invalid; round],
+        };
+        for (&i, result) in kept.iter().zip(kept_results) {
+            if let MultiObjective::Valid { guide, .. } = &result {
+                if let Some(sc) = &scores {
+                    eng.pairs.push((sc[i], *guide));
+                }
+            }
+            let guide = match &result {
+                MultiObjective::Valid { guide, .. } => Some(*guide),
+                MultiObjective::Invalid | MultiObjective::Surrogate { .. } => None,
+            };
+            eng.screener.observe(&points[i], guide);
+            merged[i] = result;
+        }
+        eng.full_evals += kept.len();
+        eng.screened_out += round - kept.len();
+        merged
+    }
+
     /// Cheap progress summary of the engine state, for round observers.
-    fn progress(&self, st: &EngineState) -> StudyProgress {
+    fn progress(&self, st: &EngineState, screen: Option<&ScreenEngine<'_>>) -> StudyProgress {
         StudyProgress {
             trials_done: st.trials.len(),
             total_trials: self.trials,
             best_objective: st.best.as_ref().map(|(_, g)| *g),
             invalid_trials: st.invalid,
             frontier_size: st.archive.as_ref().map(ParetoArchive::len),
+            full_evals: screen.map(|eng| eng.full_evals),
         }
     }
 
@@ -750,7 +927,9 @@ impl<'s> Study<'s> {
         st: &EngineState,
         batch_marker: usize,
         opt: &dyn Optimizer,
+        screen: Option<&ScreenEngine<'_>>,
     ) -> RoundSnapshot {
+        let fidelity = screen.map(|eng| fidelity_checkpoint(eng, &st.trials));
         match &self.objective {
             StudyObjective::Single => RoundSnapshot::Scalar(StudyCheckpoint {
                 seed: self.seed,
@@ -760,6 +939,7 @@ impl<'s> Study<'s> {
                 invalid_trials: st.invalid,
                 trials: scalar_trials(&st.trials),
                 optimizer: opt.save_state(),
+                fidelity,
             }),
             StudyObjective::Pareto { .. } => RoundSnapshot::Pareto(ParetoCheckpoint {
                 seed: self.seed,
@@ -770,6 +950,7 @@ impl<'s> Study<'s> {
                 invalid_trials: st.invalid,
                 trials: st.trials.clone(),
                 optimizer: opt.save_state(),
+                fidelity,
             }),
         }
     }
@@ -787,7 +968,7 @@ impl<'s> Study<'s> {
         &self,
         st: &mut EngineState,
         snap: RoundSnapshot,
-    ) -> (u64, usize, usize, Vec<Trial>) {
+    ) -> (u64, usize, usize, Vec<Trial>, Option<FidelityCheckpoint>) {
         match (snap, &self.objective) {
             (RoundSnapshot::Scalar(ck), StudyObjective::Single) => {
                 let scalar = ck.trials.clone();
@@ -799,7 +980,16 @@ impl<'s> Study<'s> {
                     .into_iter()
                     .map(|t| MultiTrial { point: t.point, result: MultiObjective::from(t.result) })
                     .collect();
-                (ck.seed, ck.batch_size, st.convergence.len(), scalar)
+                // The scalar trial stream is lossy (a screened-out trial
+                // records the same `Invalid` the optimizer observed), so
+                // the Surrogate markings are reapplied from the fidelity
+                // sidecar.
+                if let Some(fid) = &ck.fidelity {
+                    for &(i, guide) in &fid.screened {
+                        st.trials[i].result = MultiObjective::Surrogate { guide };
+                    }
+                }
+                (ck.seed, ck.batch_size, st.convergence.len(), scalar, ck.fidelity)
             }
             (RoundSnapshot::Pareto(ck), StudyObjective::Pareto { directions }) => {
                 assert_eq!(
@@ -819,7 +1009,7 @@ impl<'s> Study<'s> {
                 st.convergence = ck.guide_convergence;
                 st.invalid = ck.invalid_trials;
                 st.trials = ck.trials;
-                (ck.seed, ck.batch_size, st.convergence.len(), scalar)
+                (ck.seed, ck.batch_size, st.convergence.len(), scalar, ck.fidelity)
             }
             (RoundSnapshot::Scalar(_), StudyObjective::Pareto { .. }) => {
                 panic!("checkpoint objective mismatch: scalar checkpoint for a Pareto study")
@@ -838,9 +1028,10 @@ impl<'s> Study<'s> {
         optimizer: &mut dyn Optimizer,
         round_size: usize,
         snap: RoundSnapshot,
+        screen: Option<&mut ScreenEngine<'_>>,
     ) {
         let opt_state = snap.optimizer_state().clone();
-        let (seed, marker, conv_len, scalar) = self.load_state(st, snap);
+        let (seed, marker, conv_len, scalar, fidelity) = self.load_state(st, snap);
         validate_and_restore(
             self.space,
             optimizer,
@@ -853,6 +1044,16 @@ impl<'s> Study<'s> {
             &opt_state,
             &scalar,
         );
+        match (screen, fidelity) {
+            (Some(eng), Some(fid)) => restore_screen(eng, fid, &st.trials),
+            (None, None) => {}
+            // The disk loader rejects such files before they get here, so
+            // a mismatch is a programmatic-resume caller bug.
+            (Some(_), None) => {
+                panic!("checkpoint carries no fidelity state for a screened study")
+            }
+            (None, Some(_)) => panic!("fidelity checkpoint offered to an unscreened study"),
+        }
     }
 
     /// Restores a sequential study by replaying the recorded trials through
@@ -866,7 +1067,8 @@ impl<'s> Study<'s> {
         rng: &mut StdRng,
         snap: RoundSnapshot,
     ) {
-        let (seed, marker, conv_len, scalar) = self.load_state(st, snap);
+        let (seed, marker, conv_len, scalar, fidelity) = self.load_state(st, snap);
+        assert!(fidelity.is_none(), "sequential studies are never screened");
         crate::snapshot::validate_checkpoint_header(
             self.trials,
             SEQUENTIAL_MARKER,
@@ -937,6 +1139,11 @@ impl EngineState {
                 self.invalid += 1;
                 TrialResult::Invalid
             }
+            // Screened-out: no archive insert, no incumbent update — a
+            // surrogate score must never masquerade as a simulated result —
+            // and not a safe-search rejection either (the screening
+            // counters live in the `ScreenEngine`).
+            MultiObjective::Surrogate { .. } => TrialResult::Invalid,
         };
         self.convergence.push(self.best.as_ref().map_or(f64::NAN, |(_, b)| *b));
         scalar
@@ -952,6 +1159,7 @@ impl EngineState {
                     MultiObjective::Valid { metrics: Vec::new(), guide }
                 }
                 MultiObjective::Invalid => MultiObjective::Invalid,
+                MultiObjective::Surrogate { guide } => MultiObjective::Surrogate { guide },
             }
         } else {
             result
@@ -963,6 +1171,52 @@ impl EngineState {
 /// Projects stored trials down to the scalar stream the optimizer observed.
 fn scalar_trials(trials: &[MultiTrial]) -> Vec<Trial> {
     trials.iter().map(|t| Trial { point: t.point.clone(), result: scalar_of(&t.result) }).collect()
+}
+
+/// Serializes a [`ScreenEngine`]'s state (plus the screened-out markings of
+/// the trial record, which scalar checkpoints cannot carry themselves) into
+/// the checkpoint sidecar.
+fn fidelity_checkpoint(eng: &ScreenEngine<'_>, trials: &[MultiTrial]) -> FidelityCheckpoint {
+    let Fidelity::Screened { keep_fraction, min_full, tier } = eng.fidelity else {
+        unreachable!("ScreenEngine only exists for screened studies")
+    };
+    FidelityCheckpoint {
+        keep_fraction,
+        min_full,
+        tier,
+        full_evals: eng.full_evals,
+        screened_out: eng.screened_out,
+        pairs: eng.pairs.clone(),
+        screener: eng.screener.save_state(),
+        screened: trials
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| match t.result {
+                MultiObjective::Surrogate { guide } => Some((i, guide)),
+                _ => None,
+            })
+            .collect(),
+    }
+}
+
+/// Rebuilds a [`ScreenEngine`]'s state from a checkpoint sidecar. The
+/// screener restores its serialized state directly; a screener that refuses
+/// the bytes is retrained by replaying every fully evaluated trial through
+/// [`Screener::observe`] — the same observations the original run fed it,
+/// in the same order, so both paths land on the same state.
+fn restore_screen(eng: &mut ScreenEngine<'_>, fid: FidelityCheckpoint, trials: &[MultiTrial]) {
+    eng.full_evals = fid.full_evals;
+    eng.screened_out = fid.screened_out;
+    eng.pairs = fid.pairs;
+    if !eng.screener.load_state(&fid.screener) {
+        for t in trials {
+            match &t.result {
+                MultiObjective::Valid { guide, .. } => eng.screener.observe(&t.point, Some(*guide)),
+                MultiObjective::Invalid => eng.screener.observe(&t.point, None),
+                MultiObjective::Surrogate { .. } => {}
+            }
+        }
+    }
 }
 
 /// Rebuilds the tracked `(point, guide)` incumbent from a recorded trial
@@ -1107,10 +1361,27 @@ fn load_snapshot(
         }
         _ => false,
     };
+    let fid = match &snap {
+        RoundSnapshot::Scalar(ck) => ck.fidelity.as_ref(),
+        RoundSnapshot::Pareto(ck) => ck.fidelity.as_ref(),
+    };
+    // The fidelity axis must match exactly: adopting an exact study's file
+    // into a screened rerun (or a differently-screened one) would splice
+    // two different kept-trial sequences into one record.
+    let fidelity_matches = match (study.fidelity, fid) {
+        (Fidelity::Exact, None) => true,
+        (Fidelity::Screened { keep_fraction, min_full, tier }, Some(f)) => {
+            f.keep_fraction.to_bits() == keep_fraction.to_bits()
+                && f.min_full == min_full
+                && f.tier == tier
+        }
+        _ => false,
+    };
     let expected_marker = if sequential { SEQUENTIAL_MARKER } else { round_size };
     let on_grid =
         if sequential { true } else { done.is_multiple_of(round_size) || done == study.trials };
     if !mode_matches
+        || !fidelity_matches
         || seed != study.seed
         || marker != expected_marker
         || done > study.trials
@@ -1433,6 +1704,259 @@ mod tests {
         assert_eq!(evals, 0, "a completed checkpoint resumes without re-evaluation");
         assert_eq!(rerun.trials, report.trials);
         assert_eq!(rerun.checkpoint.as_ref().unwrap().resumed_trials, 24);
+    }
+
+    /// Deterministic test screener: scores with the same formula `score`
+    /// uses for the guide (a perfect surrogate), becomes ready after
+    /// `warmup` observations, and (when `restorable`) checkpoints its
+    /// observation count.
+    struct ToyScreener {
+        warmup: usize,
+        seen: usize,
+        restorable: bool,
+    }
+
+    impl ToyScreener {
+        fn new(warmup: usize) -> Self {
+            ToyScreener { warmup, seen: 0, restorable: true }
+        }
+    }
+
+    impl Screener for ToyScreener {
+        fn ready(&self) -> bool {
+            self.seen >= self.warmup
+        }
+
+        fn score(&self, p: &[usize]) -> f64 {
+            (p[0] * 2 + p[1]) as f64
+        }
+
+        fn observe(&mut self, _point: &[usize], _guide: Option<f64>) {
+            self.seen += 1;
+        }
+
+        fn save_state(&self) -> Vec<u8> {
+            (self.seen as u64).to_le_bytes().to_vec()
+        }
+
+        fn load_state(&mut self, bytes: &[u8]) -> bool {
+            let Ok(raw) = <[u8; 8]>::try_from(bytes) else { return false };
+            if !self.restorable {
+                return false;
+            }
+            self.seen = u64::from_le_bytes(raw) as usize;
+            true
+        }
+    }
+
+    fn screened(keep_fraction: f64, min_full: usize) -> Fidelity {
+        Fidelity::Screened { keep_fraction, min_full, tier: crate::SurrogateTier::S0 }
+    }
+
+    #[test]
+    fn screened_config_errors_are_typed() {
+        let s = space();
+        let mut opt = RandomSearch::new();
+        let mut eval = |p: &[usize]| score(p);
+        // Screened fidelity without a screener: run() has none to offer.
+        let got = Study::new(&s, 8)
+            .execution(Execution::Batched { batch_size: 4 })
+            .fidelity(screened(0.5, 1))
+            .run(&mut opt, StudyEval::points(&mut eval));
+        assert_eq!(got.map(|_| ()), Err(StudyConfigError::ScreenedWithoutScreener));
+        // Screened fidelity under sequential execution.
+        let mut sc = ToyScreener::new(0);
+        let got = Study::new(&s, 8).fidelity(screened(0.5, 1)).run_screened(
+            &mut opt,
+            StudyEval::points(&mut eval),
+            &mut sc,
+        );
+        assert_eq!(got.map(|_| ()), Err(StudyConfigError::ScreenedSequentialExecution));
+        // keep_fraction outside (0, 1] — including NaN.
+        for bad in [0.0, -0.25, 1.5, f64::NAN] {
+            let got = Study::new(&s, 8)
+                .execution(Execution::Batched { batch_size: 4 })
+                .fidelity(screened(bad, 1))
+                .run_screened(&mut opt, StudyEval::points(&mut eval), &mut sc);
+            assert_eq!(got.map(|_| ()), Err(StudyConfigError::KeepFractionOutOfRange), "{bad}");
+        }
+    }
+
+    /// `Screened { keep_fraction: 1.0 }` keeps every proposal: the trial
+    /// record, convergence curve, and frontier are bit-identical to the
+    /// same study under `Fidelity::Exact` — only the fidelity report is
+    /// added. An exact study run through `run_screened` ignores the
+    /// screener entirely.
+    #[test]
+    fn keep_everything_screening_degenerates_to_exact() {
+        let s = space();
+        let eval = |p: &[usize]| score(p);
+        let dirs = [MetricDirection::Maximize, MetricDirection::Minimize];
+        let base = || {
+            Study::new(&s, 48)
+                .seed(5)
+                .objective(StudyObjective::pareto(&dirs))
+                .execution(Execution::Batched { batch_size: 8 })
+        };
+        let mut opt = LcsSwarm::default();
+        let exact = base().run(&mut opt, StudyEval::shared(&eval)).unwrap();
+
+        let mut opt = LcsSwarm::default();
+        let mut sc = ToyScreener::new(0);
+        let kept_all = base()
+            .fidelity(screened(1.0, 0))
+            .run_screened(&mut opt, StudyEval::shared(&eval), &mut sc)
+            .unwrap();
+        assert_eq!(kept_all.trials, exact.trials);
+        assert_eq!(
+            kept_all.convergence.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            exact.convergence.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        assert_eq!(kept_all.frontier, exact.frontier);
+        let fid = kept_all.fidelity.expect("screened studies report fidelity");
+        assert_eq!(fid.full_evals, 48);
+        assert_eq!(fid.screened_out, 0);
+
+        let mut opt = LcsSwarm::default();
+        let mut sc = ToyScreener::new(0);
+        let ignored = base().run_screened(&mut opt, StudyEval::shared(&eval), &mut sc).unwrap();
+        assert_eq!(ignored.trials, exact.trials);
+        assert!(ignored.fidelity.is_none(), "Exact fidelity reports no screening");
+        assert_eq!(sc.seen, 0, "Exact fidelity never touches the screener");
+    }
+
+    /// Partial screening: only the kept fraction reaches the evaluator,
+    /// screened-out trials are recorded as Surrogate outcomes, the frontier
+    /// only ever contains fully simulated points, and a perfect surrogate
+    /// reports Spearman 1.
+    #[test]
+    fn screened_run_thins_full_evaluations_and_reports_fidelity() {
+        let s = space();
+        let dirs = [MetricDirection::Maximize, MetricDirection::Minimize];
+        let mut evals = 0usize;
+        let mut eval = |points: &[Vec<usize>]| {
+            evals += points.len();
+            points.iter().map(|p| score(p)).collect::<Vec<_>>()
+        };
+        let mut opt = RandomSearch::new();
+        // Warmup of 8 = exactly the first round: round 1 is fully
+        // evaluated, every later round keeps 2 of 8.
+        let mut sc = ToyScreener::new(8);
+        let report = Study::new(&s, 64)
+            .seed(3)
+            .objective(StudyObjective::pareto(&dirs))
+            .execution(Execution::Batched { batch_size: 8 })
+            .fidelity(screened(0.25, 2))
+            .run_screened(&mut opt, StudyEval::batch(&mut eval), &mut sc)
+            .unwrap();
+        let fid = report.fidelity.expect("screened studies report fidelity");
+        assert_eq!(fid.full_evals, 8 + 7 * 2);
+        assert_eq!(fid.screened_out, 64 - fid.full_evals);
+        assert_eq!(evals, fid.full_evals, "only kept trials reach the evaluator");
+        assert!(fid.savings_factor() > 2.5, "factor = {}", fid.savings_factor());
+        // The perfect surrogate ranks exactly like the simulator.
+        assert_eq!(fid.spearman, Some(1.0));
+        assert_eq!(fid.kendall, Some(1.0));
+        assert!(fid.pairs > 0);
+        // The full trial record is kept, with screened-out trials marked.
+        assert_eq!(report.trials.len(), 64);
+        let surrogates = report.trials.iter().filter(|t| !t.result.fully_evaluated()).count();
+        assert_eq!(surrogates, fid.screened_out);
+        // Every frontier point was fully simulated: its point must appear
+        // among the fully evaluated trials.
+        for fp in report.frontier.as_ref().unwrap() {
+            assert!(report
+                .trials
+                .iter()
+                .any(|t| t.point == fp.point && t.result.fully_evaluated()));
+        }
+    }
+
+    /// Kill-and-rerun bit-identity holds on the screened axis too — both
+    /// when the screener restores its serialized state and when it refuses
+    /// the bytes and is retrained by observation replay.
+    #[test]
+    fn screened_checkpointed_rerun_is_bit_identical() {
+        let s = space();
+        let dirs = [MetricDirection::Maximize, MetricDirection::Minimize];
+        let eval = |p: &[usize]| score(p);
+        for restorable in [true, false] {
+            let mk_sc = || ToyScreener { warmup: 8, seen: 0, restorable };
+            let run = |trials: usize, durability: Durability, sc: &mut ToyScreener| {
+                let mut opt = LcsSwarm::default();
+                Study::new(&s, trials)
+                    .seed(11)
+                    .objective(StudyObjective::pareto(&dirs))
+                    .execution(Execution::Batched { batch_size: 8 })
+                    .fidelity(screened(0.25, 2))
+                    .durability(durability)
+                    .run_screened(&mut opt, StudyEval::shared(&eval), sc)
+                    .unwrap()
+            };
+            let straight = run(64, Durability::Ephemeral, &mut mk_sc());
+
+            let dir = scratch_dir(&format!("screened-{restorable}"));
+            let durable = || Durability::Checkpointed { dir: dir.clone(), every: 1 };
+            let partial = run(24, durable(), &mut mk_sc());
+            assert!(partial.checkpoint.as_ref().unwrap().saves > 0);
+
+            let resumed = run(64, durable(), &mut mk_sc());
+            let label = format!("restorable={restorable}");
+            assert_eq!(resumed.checkpoint.as_ref().unwrap().resumed_trials, 24, "{label}");
+            assert_eq!(resumed.trials, straight.trials, "{label}");
+            assert_eq!(
+                resumed.convergence.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                straight.convergence.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "{label}"
+            );
+            assert_eq!(resumed.frontier, straight.frontier, "{label}");
+            assert_eq!(resumed.fidelity, straight.fidelity, "{label}");
+        }
+    }
+
+    /// A checkpoint written under one fidelity configuration must not be
+    /// adopted by a run with another (exact file → screened rerun and
+    /// vice versa): both degrade to a quarantined cold start.
+    #[test]
+    fn fidelity_mismatched_checkpoint_degrades_to_cold_run() {
+        let s = space();
+        let eval = |p: &[usize]| score(p);
+        let dir = scratch_dir("fidelity-mismatch");
+        let run_exact = |trials: usize| {
+            let mut opt = RandomSearch::new();
+            Study::new(&s, trials)
+                .seed(2)
+                .execution(Execution::Batched { batch_size: 4 })
+                .durability(Durability::Checkpointed { dir: dir.clone(), every: 1 })
+                .run(&mut opt, StudyEval::shared(&eval))
+                .unwrap()
+        };
+        let run_screened = |trials: usize| {
+            let mut opt = RandomSearch::new();
+            let mut sc = ToyScreener::new(4);
+            Study::new(&s, trials)
+                .seed(2)
+                .execution(Execution::Batched { batch_size: 4 })
+                .fidelity(screened(0.5, 1))
+                .durability(Durability::Checkpointed { dir: dir.clone(), every: 1 })
+                .run_screened(&mut opt, StudyEval::shared(&eval), &mut sc)
+                .unwrap()
+        };
+        let _ = run_exact(16);
+        let got = run_screened(16);
+        assert_eq!(
+            got.checkpoint.as_ref().unwrap().resumed_trials,
+            0,
+            "an exact-mode checkpoint must not resume a screened study"
+        );
+        // The screened rerun's own file now sits there; an exact rerun
+        // must reject it in turn.
+        let got = run_exact(16);
+        assert_eq!(
+            got.checkpoint.as_ref().unwrap().resumed_trials,
+            0,
+            "a screened checkpoint must not resume an exact study"
+        );
     }
 
     /// Single-objective reports carry no frontier; Pareto reports do, and

@@ -45,8 +45,10 @@ pub mod algorithms;
 pub mod builder;
 pub mod optimizer;
 pub mod pareto;
+pub mod screen;
 pub mod snapshot;
 pub mod space;
+pub mod stats;
 pub mod study;
 
 pub use algorithms::{LcsSwarm, RandomSearch, Tpe};
@@ -58,8 +60,10 @@ pub use optimizer::{Optimizer, Trial, TrialResult};
 pub use pareto::{
     FrontierPoint, MetricDirection, MultiObjective, MultiTrial, ParetoArchive, ParetoStudyResult,
 };
-pub use snapshot::{OptimizerState, ParetoCheckpoint, StudyCheckpoint};
+pub use screen::{Fidelity, FidelityReport, Screener, SurrogateTier};
+pub use snapshot::{FidelityCheckpoint, OptimizerState, ParetoCheckpoint, StudyCheckpoint};
 pub use space::{ParamDef, ParamDomain, ParamSpace};
+pub use stats::{kendall_tau, spearman_rank};
 pub use study::{convergence_band, trial_rng, ConvergenceBand, StudyResult};
 
 #[cfg(test)]
@@ -68,6 +72,65 @@ mod proptests {
     use proptest::prelude::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    /// The toy study shared by the fidelity properties: two Table-3-shaped
+    /// axes, one categorical level rejected as invalid, and a two-metric
+    /// Pareto objective so the frontier is exercised too.
+    fn fidelity_fixture(
+    ) -> (ParamSpace, [MetricDirection; 2], impl Fn(&[usize]) -> MultiObjective + Sync) {
+        let mut space = ParamSpace::new();
+        space.add("a", ParamDomain::Pow2 { min: 1, max: 256 });
+        space.add("b", ParamDomain::Categorical { n: 7 });
+        let dirs = [MetricDirection::Maximize, MetricDirection::Minimize];
+        let eval = |p: &[usize]| {
+            if p[1] == 6 {
+                MultiObjective::Invalid
+            } else {
+                MultiObjective::valid(
+                    vec![(p[0] * (p[1] + 1)) as f64, (p[0] + 3 * p[1]) as f64],
+                    (p[0] * (p[1] + 1)) as f64,
+                )
+            }
+        };
+        (space, dirs, eval)
+    }
+
+    /// One fresh optimizer of each kind the paper sweeps (Figure 11).
+    fn make_opt(ix: usize) -> Box<dyn Optimizer> {
+        match ix {
+            0 => Box::new(RandomSearch::new()),
+            1 => Box::new(LcsSwarm::new(6)),
+            _ => Box::new(Tpe::new()),
+        }
+    }
+
+    /// A screener that counts calls; the fidelity properties only ever hand
+    /// it to studies that must ignore it or keep every proposal.
+    struct OracleScreener {
+        seen: usize,
+    }
+
+    impl Screener for OracleScreener {
+        fn ready(&self) -> bool {
+            true
+        }
+
+        fn score(&self, p: &[usize]) -> f64 {
+            (p[0] * 2 + p[1]) as f64
+        }
+
+        fn observe(&mut self, _point: &[usize], _guide: Option<f64>) {
+            self.seen += 1;
+        }
+
+        fn save_state(&self) -> Vec<u8> {
+            Vec::new()
+        }
+
+        fn load_state(&mut self, _bytes: &[u8]) -> bool {
+            true
+        }
+    }
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(32))]
@@ -162,6 +225,106 @@ mod proptests {
             let bits = |c: &[f64]| c.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
             prop_assert_eq!(bits(&seq.guide_convergence), bits(&bat.guide_convergence));
             prop_assert_eq!(seq.invalid_trials, bat.invalid_trials);
+        }
+
+        /// The fidelity axis is inert for exact studies: a study built
+        /// without touching the axis, one with an explicit
+        /// [`Fidelity::Exact`], and one handed a screener through
+        /// `run_screened` all produce bit-identical reports — across every
+        /// optimizer and execution shape — and the ignored screener is
+        /// never called.
+        #[test]
+        fn exact_fidelity_is_bit_identical_to_pre_axis_study(
+            seed in 0u64..200,
+            batch_size in 1usize..12,
+            threads in 1usize..8,
+            opt_ix in 0usize..3,
+        ) {
+            let (space, dirs, eval) = fidelity_fixture();
+            for execution in [
+                Execution::Sequential,
+                Execution::Batched { batch_size },
+                Execution::Parallel { threads },
+            ] {
+                let base = || {
+                    Study::new(&space, 40)
+                        .seed(seed)
+                        .objective(StudyObjective::pareto(&dirs))
+                        .execution(execution)
+                };
+                let pre_axis = base()
+                    .run(make_opt(opt_ix).as_mut(), StudyEval::shared(&eval))
+                    .expect("valid configuration");
+                let explicit = base()
+                    .fidelity(Fidelity::Exact)
+                    .run(make_opt(opt_ix).as_mut(), StudyEval::shared(&eval))
+                    .expect("valid configuration");
+                let mut sc = OracleScreener { seen: 0 };
+                let handed = base()
+                    .fidelity(Fidelity::Exact)
+                    .run_screened(make_opt(opt_ix).as_mut(), StudyEval::shared(&eval), &mut sc)
+                    .expect("valid configuration");
+                prop_assert_eq!(sc.seen, 0, "Exact fidelity must never touch the screener");
+                for report in [&explicit, &handed] {
+                    prop_assert_eq!(&report.trials, &pre_axis.trials);
+                    prop_assert_eq!(&report.frontier, &pre_axis.frontier);
+                    prop_assert_eq!(&report.best_point, &pre_axis.best_point);
+                    prop_assert_eq!(
+                        report.best_objective.map(f64::to_bits),
+                        pre_axis.best_objective.map(f64::to_bits)
+                    );
+                    let bits = |c: &[f64]| c.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+                    prop_assert_eq!(bits(&report.convergence), bits(&pre_axis.convergence));
+                    prop_assert_eq!(report.invalid_trials, pre_axis.invalid_trials);
+                    prop_assert!(report.fidelity.is_none());
+                }
+            }
+        }
+
+        /// `Screened { keep_fraction: 1.0 }` degenerates to exact: every
+        /// proposal is fully evaluated, so the trial record, convergence
+        /// curve and frontier are bit-identical to the exact study — only
+        /// the [`FidelityReport`] is added, and it records zero screening.
+        #[test]
+        fn keep_everything_screened_study_is_exact_plus_a_report(
+            seed in 0u64..200,
+            batch_size in 1usize..12,
+            threads in 1usize..8,
+            opt_ix in 0usize..3,
+            min_full in 0usize..4,
+        ) {
+            let (space, dirs, eval) = fidelity_fixture();
+            for execution in
+                [Execution::Batched { batch_size }, Execution::Parallel { threads }]
+            {
+                let base = || {
+                    Study::new(&space, 40)
+                        .seed(seed)
+                        .objective(StudyObjective::pareto(&dirs))
+                        .execution(execution)
+                };
+                let exact = base()
+                    .run(make_opt(opt_ix).as_mut(), StudyEval::shared(&eval))
+                    .expect("valid configuration");
+                let mut sc = OracleScreener { seen: 0 };
+                let screened = base()
+                    .fidelity(Fidelity::Screened {
+                        keep_fraction: 1.0,
+                        min_full,
+                        tier: SurrogateTier::S0,
+                    })
+                    .run_screened(make_opt(opt_ix).as_mut(), StudyEval::shared(&eval), &mut sc)
+                    .expect("valid configuration");
+                prop_assert_eq!(&screened.trials, &exact.trials);
+                prop_assert_eq!(&screened.frontier, &exact.frontier);
+                let bits = |c: &[f64]| c.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+                prop_assert_eq!(bits(&screened.convergence), bits(&exact.convergence));
+                prop_assert_eq!(screened.invalid_trials, exact.invalid_trials);
+                let fid = screened.fidelity.expect("screened studies report fidelity");
+                prop_assert_eq!(fid.full_evals, 40);
+                prop_assert_eq!(fid.screened_out, 0);
+                prop_assert!((fid.savings_factor() - 1.0).abs() < 1e-12);
+            }
         }
 
         /// Convergence curves are monotone non-decreasing past the first

@@ -55,6 +55,16 @@ pub enum MultiObjective {
     /// An infeasible design (safe-search rejection), counted but never
     /// archived.
     Invalid,
+    /// A low-fidelity outcome: the point was screened out by a surrogate
+    /// ([`crate::Fidelity::Screened`]) and never reached the real
+    /// evaluator. `guide` is the surrogate's predicted objective
+    /// ([`f64::NEG_INFINITY`] for predicted-infeasible points). Never
+    /// archived and never an incumbent: frontiers and best points are built
+    /// only from fully evaluated trials.
+    Surrogate {
+        /// The surrogate score the point was ranked (and rejected) with.
+        guide: f64,
+    },
 }
 
 impl MultiObjective {
@@ -62,6 +72,13 @@ impl MultiObjective {
     #[must_use]
     pub fn valid(metrics: Vec<f64>, guide: f64) -> Self {
         MultiObjective::Valid { metrics, guide }
+    }
+
+    /// Whether this outcome came from a full evaluation (valid or
+    /// rejected), as opposed to a surrogate screen.
+    #[must_use]
+    pub fn fully_evaluated(&self) -> bool {
+        !matches!(self, MultiObjective::Surrogate { .. })
     }
 }
 
@@ -357,6 +374,7 @@ mod tests {
             .run_hooked(
                 optimizer,
                 StudyEval::batch(&mut eval),
+                None,
                 resume_from.map(RoundSnapshot::Pareto),
                 Some(&mut hook),
             )

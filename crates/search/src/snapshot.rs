@@ -22,6 +22,7 @@
 
 use crate::optimizer::{Optimizer, Trial, TrialResult};
 use crate::pareto::{FrontierPoint, MetricDirection, MultiObjective, MultiTrial, ParetoArchive};
+use crate::screen::{Fidelity, FidelityReport, SurrogateTier};
 use crate::space::ParamSpace;
 use crate::study::trial_rng;
 use rand::rngs::StdRng;
@@ -316,6 +317,10 @@ impl Encode for MultiObjective {
                 guide.encode(w);
             }
             MultiObjective::Invalid => w.put_u8(1),
+            MultiObjective::Surrogate { guide } => {
+                w.put_u8(2);
+                guide.encode(w);
+            }
         }
     }
 }
@@ -327,8 +332,94 @@ impl Decode for MultiObjective {
                 Ok(MultiObjective::Valid { metrics: Decode::decode(r)?, guide: Decode::decode(r)? })
             }
             1 => Ok(MultiObjective::Invalid),
+            2 => Ok(MultiObjective::Surrogate { guide: Decode::decode(r)? }),
             t => Err(DecodeError { offset: 0, what: format!("invalid MultiObjective tag {t}") }),
         }
+    }
+}
+
+impl Encode for SurrogateTier {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(match self {
+            SurrogateTier::S0 => 0,
+            SurrogateTier::S1 => 1,
+        });
+    }
+}
+
+impl Decode for SurrogateTier {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.get_u8()? {
+            0 => Ok(SurrogateTier::S0),
+            1 => Ok(SurrogateTier::S1),
+            t => Err(DecodeError { offset: 0, what: format!("invalid SurrogateTier tag {t}") }),
+        }
+    }
+}
+
+impl Encode for Fidelity {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Fidelity::Exact => w.put_u8(0),
+            Fidelity::Screened { keep_fraction, min_full, tier } => {
+                w.put_u8(1);
+                keep_fraction.encode(w);
+                min_full.encode(w);
+                tier.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for Fidelity {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.get_u8()? {
+            0 => Ok(Fidelity::Exact),
+            1 => Ok(Fidelity::Screened {
+                keep_fraction: Decode::decode(r)?,
+                min_full: Decode::decode(r)?,
+                tier: Decode::decode(r)?,
+            }),
+            t => Err(DecodeError { offset: 0, what: format!("invalid Fidelity tag {t}") }),
+        }
+    }
+}
+
+impl Encode for FidelityReport {
+    fn encode(&self, w: &mut Writer) {
+        let FidelityReport {
+            tier,
+            keep_fraction,
+            min_full,
+            full_evals,
+            screened_out,
+            pairs,
+            spearman,
+            kendall,
+        } = self;
+        tier.encode(w);
+        keep_fraction.encode(w);
+        min_full.encode(w);
+        full_evals.encode(w);
+        screened_out.encode(w);
+        pairs.encode(w);
+        spearman.encode(w);
+        kendall.encode(w);
+    }
+}
+
+impl Decode for FidelityReport {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(FidelityReport {
+            tier: Decode::decode(r)?,
+            keep_fraction: Decode::decode(r)?,
+            min_full: Decode::decode(r)?,
+            full_evals: Decode::decode(r)?,
+            screened_out: Decode::decode(r)?,
+            pairs: Decode::decode(r)?,
+            spearman: Decode::decode(r)?,
+            kendall: Decode::decode(r)?,
+        })
     }
 }
 
@@ -362,6 +453,73 @@ impl Decode for ParetoArchive {
     }
 }
 
+/// Screening state at a round boundary — the sidecar a
+/// [`crate::Fidelity::Screened`] study adds to its checkpoint so a resumed
+/// run screens exactly as the uninterrupted one would have. The screening
+/// *RNG* needs no cursor of its own: each round's exploration pick is drawn
+/// from a pure function of `(study seed, round start index)`, so the
+/// trial count the checkpoint already records is the cursor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FidelityCheckpoint {
+    /// Configured keep fraction (identity-checked on resume).
+    pub keep_fraction: f64,
+    /// Configured per-round full-evaluation floor.
+    pub min_full: usize,
+    /// Configured surrogate tier.
+    pub tier: SurrogateTier,
+    /// Trials that reached the real evaluator so far.
+    pub full_evals: usize,
+    /// Trials screened out so far.
+    pub screened_out: usize,
+    /// Accumulated `(surrogate score, true guide)` correlation pairs.
+    pub pairs: Vec<(f64, f64)>,
+    /// The screener's serialized state ([`crate::Screener::save_state`]).
+    pub screener: Vec<u8>,
+    /// `(trial index, surrogate score)` of every screened-out trial. Scalar
+    /// checkpoints store the lossy stream the optimizer observed (where a
+    /// screened-out trial is a plain `Invalid`), so the Surrogate markings
+    /// are reconstructed from this list on restore.
+    pub screened: Vec<(usize, f64)>,
+}
+
+impl Encode for FidelityCheckpoint {
+    fn encode(&self, w: &mut Writer) {
+        let FidelityCheckpoint {
+            keep_fraction,
+            min_full,
+            tier,
+            full_evals,
+            screened_out,
+            pairs,
+            screener,
+            screened,
+        } = self;
+        keep_fraction.encode(w);
+        min_full.encode(w);
+        tier.encode(w);
+        full_evals.encode(w);
+        screened_out.encode(w);
+        pairs.encode(w);
+        screener.encode(w);
+        screened.encode(w);
+    }
+}
+
+impl Decode for FidelityCheckpoint {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(FidelityCheckpoint {
+            keep_fraction: Decode::decode(r)?,
+            min_full: Decode::decode(r)?,
+            tier: Decode::decode(r)?,
+            full_evals: Decode::decode(r)?,
+            screened_out: Decode::decode(r)?,
+            pairs: Decode::decode(r)?,
+            screener: Decode::decode(r)?,
+            screened: Decode::decode(r)?,
+        })
+    }
+}
+
 /// Progress of a scalar batched [`crate::Study`] at a round boundary —
 /// everything needed to resume it bit-identically.
 #[derive(Debug, Clone, PartialEq)]
@@ -381,6 +539,9 @@ pub struct StudyCheckpoint {
     pub trials: Vec<Trial>,
     /// Optimizer state at the boundary.
     pub optimizer: OptimizerState,
+    /// Screening state — `Some` iff the study ran with
+    /// [`crate::Fidelity::Screened`].
+    pub fidelity: Option<FidelityCheckpoint>,
 }
 
 impl StudyCheckpoint {
@@ -402,6 +563,7 @@ impl Encode for StudyCheckpoint {
             invalid_trials,
             trials,
             optimizer,
+            fidelity,
         } = self;
         seed.encode(w);
         batch_size.encode(w);
@@ -410,6 +572,7 @@ impl Encode for StudyCheckpoint {
         invalid_trials.encode(w);
         trials.encode(w);
         optimizer.encode(w);
+        fidelity.encode(w);
     }
 }
 
@@ -423,6 +586,7 @@ impl Decode for StudyCheckpoint {
             invalid_trials: Decode::decode(r)?,
             trials: Decode::decode(r)?,
             optimizer: Decode::decode(r)?,
+            fidelity: Decode::decode(r)?,
         })
     }
 }
@@ -448,6 +612,9 @@ pub struct ParetoCheckpoint {
     pub trials: Vec<MultiTrial>,
     /// Optimizer state at the boundary.
     pub optimizer: OptimizerState,
+    /// Screening state — `Some` iff the study ran with
+    /// [`crate::Fidelity::Screened`].
+    pub fidelity: Option<FidelityCheckpoint>,
 }
 
 impl ParetoCheckpoint {
@@ -469,6 +636,7 @@ impl Encode for ParetoCheckpoint {
             invalid_trials,
             trials,
             optimizer,
+            fidelity,
         } = self;
         seed.encode(w);
         batch_size.encode(w);
@@ -478,6 +646,7 @@ impl Encode for ParetoCheckpoint {
         invalid_trials.encode(w);
         trials.encode(w);
         optimizer.encode(w);
+        fidelity.encode(w);
     }
 }
 
@@ -492,6 +661,7 @@ impl Decode for ParetoCheckpoint {
             invalid_trials: Decode::decode(r)?,
             trials: Decode::decode(r)?,
             optimizer: Decode::decode(r)?,
+            fidelity: Decode::decode(r)?,
         })
     }
 }
@@ -575,6 +745,7 @@ mod tests {
                 MultiTrial { point: vec![3], result: MultiObjective::valid(vec![1.0, 2.0], 0.5) },
             ],
             optimizer: OptimizerState::Random,
+            fidelity: None,
         };
         let back = ParetoCheckpoint::from_bytes(&ck.to_bytes()).unwrap();
         assert_eq!(back.seed, ck.seed);
@@ -601,7 +772,93 @@ mod tests {
                 candidates: 24,
                 startup: 16,
             },
+            fidelity: None,
         };
         assert_eq!(StudyCheckpoint::from_bytes(&ck.to_bytes()).unwrap(), ck);
+    }
+
+    #[test]
+    fn fidelity_checkpoint_round_trips_inside_a_scalar_checkpoint() {
+        let fid = FidelityCheckpoint {
+            keep_fraction: 0.25,
+            min_full: 2,
+            tier: SurrogateTier::S1,
+            full_evals: 6,
+            screened_out: 2,
+            pairs: vec![(1.5, 2.5), (f64::NEG_INFINITY, 0.0)],
+            screener: vec![1, 2, 3],
+            screened: vec![(3, 0.75), (5, f64::NEG_INFINITY)],
+        };
+        let ck = StudyCheckpoint {
+            seed: 11,
+            batch_size: 4,
+            best: Some((vec![0], 1.0)),
+            convergence: vec![1.0],
+            invalid_trials: 0,
+            trials: vec![Trial { point: vec![0], result: TrialResult::Valid(1.0) }],
+            optimizer: OptimizerState::Random,
+            fidelity: Some(fid),
+        };
+        assert_eq!(StudyCheckpoint::from_bytes(&ck.to_bytes()).unwrap(), ck);
+    }
+
+    #[test]
+    fn surrogate_outcomes_and_fidelity_configs_round_trip() {
+        for result in [
+            MultiObjective::Surrogate { guide: 2.5 },
+            MultiObjective::Surrogate { guide: f64::NEG_INFINITY },
+        ] {
+            let mut w = Writer::new();
+            result.encode(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = Reader::new(&bytes);
+            assert_eq!(MultiObjective::decode(&mut r).unwrap(), result);
+            assert!(r.is_done());
+        }
+        for fidelity in [
+            Fidelity::Exact,
+            Fidelity::Screened { keep_fraction: 0.125, min_full: 2, tier: SurrogateTier::S0 },
+            Fidelity::Screened { keep_fraction: 1.0, min_full: 0, tier: SurrogateTier::S1 },
+        ] {
+            let mut w = Writer::new();
+            fidelity.encode(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = Reader::new(&bytes);
+            assert_eq!(Fidelity::decode(&mut r).unwrap(), fidelity);
+            assert!(r.is_done());
+        }
+    }
+
+    #[test]
+    fn fidelity_report_round_trips() {
+        for report in [
+            FidelityReport {
+                tier: SurrogateTier::S0,
+                keep_fraction: 0.25,
+                min_full: 2,
+                full_evals: 12,
+                screened_out: 36,
+                pairs: 12,
+                spearman: Some(0.93),
+                kendall: Some(0.81),
+            },
+            FidelityReport {
+                tier: SurrogateTier::S1,
+                keep_fraction: 1.0,
+                min_full: 0,
+                full_evals: 48,
+                screened_out: 0,
+                pairs: 0,
+                spearman: None,
+                kendall: None,
+            },
+        ] {
+            let mut w = Writer::new();
+            report.encode(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = Reader::new(&bytes);
+            assert_eq!(FidelityReport::decode(&mut r).unwrap(), report);
+            assert!(r.is_done());
+        }
     }
 }

@@ -1,0 +1,180 @@
+//! Rank-correlation statistics for surrogate-vs-true fidelity reporting.
+//!
+//! A screened study ([`crate::Fidelity::Screened`]) predicts every
+//! proposal's objective with a cheap surrogate and fully simulates only the
+//! top-ranked fraction. Whether that is safe is a *rank* question — the
+//! surrogate need not predict absolute values, only order candidates the
+//! way the simulator would — so the study reports Spearman's ρ (and
+//! Kendall's τ-b as the tie-robust cross-check) over the (surrogate score,
+//! true objective) pairs it accumulated, rather than hand-rolling the
+//! statistics inline at each report site.
+
+/// Fractional (average) ranks of `xs`: ties share the mean of the ranks
+/// they span, the convention under which Spearman's ρ reduces to Pearson
+/// on ranks.
+fn average_ranks(xs: &[f64]) -> Vec<f64> {
+    let mut order: Vec<usize> = (0..xs.len()).collect();
+    order.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]));
+    let mut ranks = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && xs[order[j + 1]].total_cmp(&xs[order[i]]).is_eq() {
+            j += 1;
+        }
+        // Ranks are 1-based; the tied block [i, j] shares the average.
+        let shared = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &order[i..=j] {
+            ranks[k] = shared;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Pearson correlation, `None` when either side has zero variance.
+fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    let n = xs.len() as f64;
+    let (mx, my) = (xs.iter().sum::<f64>() / n, ys.iter().sum::<f64>() / n);
+    let (mut sxx, mut syy, mut sxy) = (0.0, 0.0, 0.0);
+    for (&x, &y) in xs.iter().zip(ys) {
+        let (dx, dy) = (x - mx, y - my);
+        sxx += dx * dx;
+        syy += dy * dy;
+        sxy += dx * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+/// Spearman rank correlation of two paired samples, with average ranks for
+/// ties. Returns `None` when there are fewer than two pairs or either side
+/// is constant (the correlation is undefined, not zero).
+///
+/// # Panics
+/// Panics if the slices differ in length — pairing is the caller's
+/// contract, not a runtime condition.
+#[must_use]
+pub fn spearman_rank(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    assert_eq!(xs.len(), ys.len(), "spearman_rank wants paired samples");
+    if xs.len() < 2 {
+        return None;
+    }
+    pearson(&average_ranks(xs), &average_ranks(ys))
+}
+
+/// Kendall's τ-b (tie-corrected) of two paired samples. Returns `None`
+/// when there are fewer than two pairs or either side is constant.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+#[must_use]
+pub fn kendall_tau(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    assert_eq!(xs.len(), ys.len(), "kendall_tau wants paired samples");
+    let n = xs.len();
+    if n < 2 {
+        return None;
+    }
+    // O(n²) concordance count — fidelity reports pair at most one sample
+    // per trial, far below where a merge-sort count would matter.
+    let (mut concordant, mut discordant) = (0i64, 0i64);
+    let (mut ties_x, mut ties_y) = (0i64, 0i64);
+    for i in 0..n {
+        for j in i + 1..n {
+            let cx = xs[i].total_cmp(&xs[j]);
+            let cy = ys[i].total_cmp(&ys[j]);
+            match (cx.is_eq(), cy.is_eq()) {
+                (true, true) => {
+                    ties_x += 1;
+                    ties_y += 1;
+                }
+                (true, false) => ties_x += 1,
+                (false, true) => ties_y += 1,
+                (false, false) => {
+                    if cx == cy {
+                        concordant += 1;
+                    } else {
+                        discordant += 1;
+                    }
+                }
+            }
+        }
+    }
+    let total = (n * (n - 1) / 2) as i64;
+    let (nx, ny) = (total - ties_x, total - ties_y);
+    if nx == 0 || ny == 0 {
+        return None;
+    }
+    Some((concordant - discordant) as f64 / ((nx as f64) * (ny as f64)).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_agreement_is_one() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(spearman_rank(&xs, &ys), Some(1.0));
+        assert_eq!(kendall_tau(&xs, &ys), Some(1.0));
+        // Any monotone transform preserves the ranks.
+        let warped: Vec<f64> = xs.iter().map(|x| x.exp()).collect();
+        assert_eq!(spearman_rank(&xs, &warped), Some(1.0));
+        assert_eq!(kendall_tau(&xs, &warped), Some(1.0));
+    }
+
+    #[test]
+    fn reversed_order_is_minus_one() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys = [9.0, 7.0, 5.0, 3.0, 1.0];
+        assert_eq!(spearman_rank(&xs, &ys), Some(-1.0));
+        assert_eq!(kendall_tau(&xs, &ys), Some(-1.0));
+    }
+
+    #[test]
+    fn constant_inputs_are_undefined_not_zero() {
+        let xs = [2.0, 2.0, 2.0];
+        let ys = [1.0, 5.0, 3.0];
+        assert_eq!(spearman_rank(&xs, &ys), None);
+        assert_eq!(spearman_rank(&ys, &xs), None);
+        assert_eq!(kendall_tau(&xs, &ys), None);
+        assert_eq!(kendall_tau(&ys, &xs), None);
+        assert_eq!(spearman_rank(&[], &[]), None);
+        assert_eq!(spearman_rank(&[1.0], &[2.0]), None);
+        assert_eq!(kendall_tau(&[1.0], &[2.0]), None);
+    }
+
+    #[test]
+    fn ties_take_average_ranks() {
+        assert_eq!(average_ranks(&[10.0, 20.0, 20.0, 30.0]), vec![1.0, 2.5, 2.5, 4.0]);
+        // Tied xs against strictly increasing ys: still positive, below 1.
+        let xs = [1.0, 2.0, 2.0, 3.0];
+        let ys = [1.0, 2.0, 3.0, 4.0];
+        let rho = spearman_rank(&xs, &ys).unwrap();
+        assert!(rho > 0.9 && rho < 1.0, "rho = {rho}");
+        let tau = kendall_tau(&xs, &ys).unwrap();
+        assert!(tau > 0.8 && tau < 1.0, "tau = {tau}");
+    }
+
+    #[test]
+    fn correlations_are_symmetric_and_bounded() {
+        let xs = [3.0, 1.0, 4.0, 1.5, 5.0, 9.0, 2.0, 6.0];
+        let ys = [2.0, 7.0, 1.0, 8.0, 2.5, 0.5, 9.0, 3.0];
+        let rho = spearman_rank(&xs, &ys).unwrap();
+        let tau = kendall_tau(&xs, &ys).unwrap();
+        assert_eq!(spearman_rank(&ys, &xs), Some(rho));
+        assert_eq!(kendall_tau(&ys, &xs), Some(tau));
+        assert!(rho.abs() <= 1.0 && tau.abs() <= 1.0);
+        // Both agree on the sign for this clearly anti-correlated sample.
+        assert!(rho < 0.0 && tau < 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "paired samples")]
+    fn mismatched_lengths_panic() {
+        let _ = spearman_rank(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -179,6 +179,7 @@ mod tests {
             .run_hooked(
                 optimizer,
                 StudyEval::batch(&mut eval),
+                None,
                 resume_from.map(RoundSnapshot::Scalar),
                 Some(&mut hook),
             )

@@ -27,14 +27,16 @@
 
 use std::io::{self, Read, Write};
 
-use fast_core::{CacheStats, CompletedScenario, JobSpec, StagedCacheStats};
+use fast_core::{CacheStats, CompletedScenario, FidelityReport, JobSpec, StagedCacheStats};
 use serde::bin::{self, Decode, DecodeError, Encode, Reader, Writer};
 
 /// Frame magic: the protocol's on-wire name.
 pub const MAGIC: [u8; 8] = *b"FASTSRV1";
 
-/// Protocol version; both sides must agree exactly.
-pub const VERSION: u32 = 1;
+/// Protocol version; both sides must agree exactly. Version 2 added the
+/// multi-fidelity fields: [`JobEvent::Round::full_evals`] and
+/// [`JobEvent::ScenarioFinished::fidelity`].
+pub const VERSION: u32 = 2;
 
 /// Hard ceiling on a frame payload. A header claiming more is rejected
 /// before any payload byte is read or allocated.
@@ -398,6 +400,10 @@ pub enum JobEvent {
         best_objective: Option<f64>,
         /// Size of the non-dominated set so far.
         frontier_size: usize,
+        /// Trials fully simulated so far — `Some` iff the job runs with
+        /// [`fast_core::Fidelity::Screened`], where it lags `trials_done`
+        /// by the surrogate-screened-out count.
+        full_evals: Option<usize>,
     },
     /// A scenario finished; counts plus the cache traffic it caused.
     ScenarioFinished {
@@ -415,6 +421,10 @@ pub enum JobEvent {
         cache: Traffic,
         /// Per-stage traffic attributable to this scenario.
         staged: StagedTraffic,
+        /// Surrogate-screening accounting (full-sim count, screened-out
+        /// count, surrogate-vs-true rank correlations) — `Some` iff the
+        /// job ran with [`fast_core::Fidelity::Screened`].
+        fidelity: Option<FidelityReport>,
     },
     /// A warning the evaluation stack raised while this job ran (e.g. a
     /// cache snapshot degraded to cold), captured via the
@@ -449,6 +459,7 @@ impl Encode for JobEvent {
                 total_trials,
                 best_objective,
                 frontier_size,
+                full_evals,
             } => {
                 w.put_u8(3);
                 index.encode(w);
@@ -457,6 +468,7 @@ impl Encode for JobEvent {
                 total_trials.encode(w);
                 best_objective.encode(w);
                 frontier_size.encode(w);
+                full_evals.encode(w);
             }
             JobEvent::ScenarioFinished {
                 index,
@@ -466,6 +478,7 @@ impl Encode for JobEvent {
                 invalid_trials,
                 cache,
                 staged,
+                fidelity,
             } => {
                 w.put_u8(4);
                 index.encode(w);
@@ -475,6 +488,7 @@ impl Encode for JobEvent {
                 invalid_trials.encode(w);
                 cache.encode(w);
                 staged.encode(w);
+                fidelity.encode(w);
             }
             JobEvent::Warning { line } => {
                 w.put_u8(5);
@@ -501,6 +515,7 @@ impl Decode for JobEvent {
                 total_trials: Decode::decode(r)?,
                 best_objective: Decode::decode(r)?,
                 frontier_size: Decode::decode(r)?,
+                full_evals: Decode::decode(r)?,
             },
             4 => JobEvent::ScenarioFinished {
                 index: Decode::decode(r)?,
@@ -510,6 +525,7 @@ impl Decode for JobEvent {
                 invalid_trials: Decode::decode(r)?,
                 cache: Decode::decode(r)?,
                 staged: Decode::decode(r)?,
+                fidelity: Decode::decode(r)?,
             },
             5 => JobEvent::Warning { line: Decode::decode(r)? },
             tag => {
@@ -813,7 +829,9 @@ pub fn read_frame<T: Decode>(stream: &mut impl Read) -> Result<T, FrameError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fast_core::{BudgetLevel, Objective, OptimizerKind, ScenarioMatrix, SweepConfig};
+    use fast_core::{
+        BudgetLevel, Fidelity, Objective, OptimizerKind, ScenarioMatrix, SurrogateTier, SweepConfig,
+    };
     use fast_models::WorkloadDomain;
 
     fn sample_spec() -> JobSpec {
@@ -830,6 +848,11 @@ mod tests {
                 seed: 7,
                 batch: 4,
                 seeds: Vec::new(),
+                fidelity: Fidelity::Screened {
+                    keep_fraction: 0.25,
+                    min_full: 2,
+                    tier: SurrogateTier::S1,
+                },
             },
         }
     }
@@ -881,6 +904,41 @@ mod tests {
                     total_trials: 32,
                     best_objective: Some(123.5),
                     frontier_size: 3,
+                    full_evals: None,
+                },
+            },
+            Response::Event {
+                id: 4,
+                event: JobEvent::Round {
+                    index: 1,
+                    name: "d/1.00x/qps".to_string(),
+                    trials_done: 16,
+                    total_trials: 32,
+                    best_objective: Some(123.5),
+                    frontier_size: 3,
+                    full_evals: Some(5),
+                },
+            },
+            Response::Event {
+                id: 4,
+                event: JobEvent::ScenarioFinished {
+                    index: 1,
+                    name: "d/1.00x/qps".to_string(),
+                    frontier_size: 3,
+                    best_objective: Some(123.5),
+                    invalid_trials: 2,
+                    cache: Traffic { hits: 4, misses: 9 },
+                    staged: StagedTraffic::default(),
+                    fidelity: Some(fast_core::FidelityReport {
+                        tier: SurrogateTier::S0,
+                        keep_fraction: 0.25,
+                        min_full: 2,
+                        full_evals: 9,
+                        screened_out: 23,
+                        pairs: 9,
+                        spearman: Some(0.9),
+                        kendall: Some(0.8),
+                    }),
                 },
             },
             Response::Done {

@@ -271,6 +271,7 @@ fn wire_event(ev: &SweepEvent) -> JobEvent {
             total_trials,
             best_objective,
             frontier_size,
+            full_evals,
         } => JobEvent::Round {
             index: *index,
             name: name.clone(),
@@ -278,6 +279,7 @@ fn wire_event(ev: &SweepEvent) -> JobEvent {
             total_trials: *total_trials,
             best_objective: *best_objective,
             frontier_size: *frontier_size,
+            full_evals: *full_evals,
         },
         SweepEvent::ScenarioFinished { index, record, cache, staged } => {
             JobEvent::ScenarioFinished {
@@ -288,6 +290,7 @@ fn wire_event(ev: &SweepEvent) -> JobEvent {
                 invalid_trials: record.invalid_trials,
                 cache: (*cache).into(),
                 staged: (*staged).into(),
+                fidelity: record.fidelity.clone(),
             }
         }
     }
@@ -616,7 +619,7 @@ fn drain(shared: &Shared) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fast_core::{BudgetLevel, OptimizerKind, ScenarioMatrix, SweepConfig};
+    use fast_core::{BudgetLevel, Fidelity, OptimizerKind, ScenarioMatrix, SweepConfig};
     use fast_models::WorkloadDomain;
 
     fn spec(trials: usize) -> JobSpec {
@@ -633,6 +636,7 @@ mod tests {
                 seed: 1,
                 batch: 4,
                 seeds: Vec::new(),
+                fidelity: Fidelity::Exact,
             },
         }
     }

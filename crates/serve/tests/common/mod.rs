@@ -12,8 +12,8 @@ use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use fast_core::{
-    points_table, BudgetLevel, JobSpec, Objective, OptimizerKind, ScenarioMatrix, SweepConfig,
-    SweepRunner,
+    points_table, BudgetLevel, Fidelity, JobSpec, Objective, OptimizerKind, ScenarioMatrix,
+    SweepConfig, SweepRunner,
 };
 use fast_models::{EfficientNet, Workload, WorkloadDomain};
 use fast_serve::{Client, ListenAddr};
@@ -107,6 +107,7 @@ pub fn spec_one(name: &str, domain: WorkloadDomain, trials: usize, batch: usize)
             seed: 0x5EED,
             batch,
             seeds: Vec::new(),
+            fidelity: Fidelity::Exact,
         },
     }
 }

@@ -1,0 +1,247 @@
+//! Tier **S1**: an online ridge regressor over log-domain features.
+//!
+//! The model is ordinary ridge regression fitted incrementally: each true
+//! evaluation contributes a rank-one update to the normal equations
+//! (`XᵀX += x xᵀ`, `Xᵀy += y·x`), and the weights are re-solved by Gaussian
+//! elimination after every observation — the feature dimension is tiny
+//! (~a dozen), so a full solve is microseconds. Because the sufficient
+//! statistics are exact sums, the fitted weights depend only on the
+//! *multiset* of observations, never on when checkpoints happened — which
+//! is what makes kill/resume bit-identical.
+
+use serde::bin::{Reader, Writer};
+
+/// Incremental ridge regression on fixed-dimension feature vectors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ridge {
+    dim: usize,
+    lambda: f64,
+    samples: u64,
+    /// Row-major `dim × dim` Gram matrix XᵀX.
+    xtx: Vec<f64>,
+    /// Moment vector Xᵀy.
+    xty: Vec<f64>,
+    /// Cached solution of `(XᵀX + λI) w = Xᵀy`; refreshed on observe.
+    weights: Option<Vec<f64>>,
+}
+
+impl Ridge {
+    /// A fresh model for `dim`-dimensional features with ridge strength
+    /// `lambda` (callers include their own bias feature).
+    #[must_use]
+    pub fn new(dim: usize, lambda: f64) -> Self {
+        assert!(dim > 0, "ridge wants at least one feature");
+        assert!(lambda > 0.0, "ridge strength must be positive");
+        Ridge {
+            dim,
+            lambda,
+            samples: 0,
+            xtx: vec![0.0; dim * dim],
+            xty: vec![0.0; dim],
+            weights: None,
+        }
+    }
+
+    /// Feature dimension.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of observations absorbed so far.
+    #[must_use]
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Absorb one `(features, target)` pair and refresh the weights.
+    pub fn observe(&mut self, x: &[f64], y: f64) {
+        assert_eq!(x.len(), self.dim, "feature dimension mismatch");
+        for (i, &xi) in x.iter().enumerate() {
+            for (j, &xj) in x.iter().enumerate() {
+                self.xtx[i * self.dim + j] += xi * xj;
+            }
+            self.xty[i] += y * xi;
+        }
+        self.samples += 1;
+        self.weights = self.solve();
+    }
+
+    /// Predict the target for `x`; `None` until at least one observation
+    /// has produced a solvable system.
+    #[must_use]
+    pub fn predict(&self, x: &[f64]) -> Option<f64> {
+        assert_eq!(x.len(), self.dim, "feature dimension mismatch");
+        let w = self.weights.as_ref()?;
+        Some(x.iter().zip(w).map(|(a, b)| a * b).sum())
+    }
+
+    /// Solve `(XᵀX + λI) w = Xᵀy` by Gaussian elimination with partial
+    /// pivoting. The λI ridge makes the system well-posed long before the
+    /// Gram matrix itself has full rank.
+    fn solve(&self) -> Option<Vec<f64>> {
+        if self.samples == 0 {
+            return None;
+        }
+        let d = self.dim;
+        let mut a = self.xtx.clone();
+        for i in 0..d {
+            a[i * d + i] += self.lambda;
+        }
+        let mut b = self.xty.clone();
+        for col in 0..d {
+            let pivot = (col..d)
+                .max_by(|&r, &s| a[r * d + col].abs().total_cmp(&a[s * d + col].abs()))
+                .expect("non-empty pivot range");
+            if a[pivot * d + col].abs() < 1e-12 {
+                return None;
+            }
+            if pivot != col {
+                for j in 0..d {
+                    a.swap(col * d + j, pivot * d + j);
+                }
+                b.swap(col, pivot);
+            }
+            for row in (col + 1)..d {
+                let f = a[row * d + col] / a[col * d + col];
+                if f == 0.0 {
+                    continue;
+                }
+                for j in col..d {
+                    a[row * d + j] -= f * a[col * d + j];
+                }
+                b[row] -= f * b[col];
+            }
+        }
+        let mut w = vec![0.0; d];
+        for row in (0..d).rev() {
+            let mut acc = b[row];
+            for j in (row + 1)..d {
+                acc -= a[row * d + j] * w[j];
+            }
+            w[row] = acc / a[row * d + row];
+        }
+        Some(w)
+    }
+
+    /// Serialize the sufficient statistics (not the cached weights — they
+    /// are re-derived on load, so save/load is exactly observation-order
+    /// independent).
+    pub fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.dim as u64);
+        w.put_f64(self.lambda);
+        w.put_u64(self.samples);
+        for v in &self.xtx {
+            w.put_f64(*v);
+        }
+        for v in &self.xty {
+            w.put_f64(*v);
+        }
+    }
+
+    /// Restore a model saved by [`Ridge::encode`]. Returns `None` on any
+    /// truncation or dimension disagreement with `expect_dim`.
+    #[must_use]
+    pub fn decode(r: &mut Reader<'_>, expect_dim: usize) -> Option<Self> {
+        let dim = usize::try_from(r.get_u64().ok()?).ok()?;
+        if dim != expect_dim {
+            return None;
+        }
+        let lambda = r.get_f64().ok()?;
+        // NaN-rejecting: anything not strictly positive (including NaN)
+        // is a corrupt or foreign blob.
+        if lambda.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return None;
+        }
+        let samples = r.get_u64().ok()?;
+        let mut xtx = Vec::with_capacity(dim * dim);
+        for _ in 0..dim * dim {
+            xtx.push(r.get_f64().ok()?);
+        }
+        let mut xty = Vec::with_capacity(dim);
+        for _ in 0..dim {
+            xty.push(r.get_f64().ok()?);
+        }
+        let mut model = Ridge { dim, lambda, samples, xtx, xty, weights: None };
+        model.weights = model.solve();
+        Some(model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_a_linear_function() {
+        let mut m = Ridge::new(3, 1e-9);
+        // y = 4 + 2*x1 - 3*x2 on a small grid.
+        for x1 in 0..6 {
+            for x2 in 0..6 {
+                let x = [1.0, f64::from(x1), f64::from(x2)];
+                m.observe(&x, 4.0 + 2.0 * x[1] - 3.0 * x[2]);
+            }
+        }
+        let p = m.predict(&[1.0, 10.0, -2.0]).expect("fitted");
+        assert!((p - 30.0).abs() < 1e-6, "predicted {p}");
+    }
+
+    #[test]
+    fn unfitted_model_predicts_none() {
+        let m = Ridge::new(2, 1e-3);
+        assert_eq!(m.predict(&[1.0, 2.0]), None);
+        assert_eq!(m.samples(), 0);
+    }
+
+    #[test]
+    fn encode_decode_round_trips_bit_identically() {
+        let mut m = Ridge::new(4, 1e-3);
+        for i in 0..20 {
+            let t = f64::from(i);
+            m.observe(&[1.0, t, t * t, (t + 1.0).ln()], 3.0 * t - 1.0);
+        }
+        let mut w = Writer::new();
+        m.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let back = Ridge::decode(&mut r, 4).expect("decodes");
+        assert!(r.is_done());
+        assert_eq!(back, m);
+        let x = [1.0, 7.5, 56.25, 2.14];
+        assert_eq!(
+            back.predict(&x).expect("fitted").to_bits(),
+            m.predict(&x).expect("fitted").to_bits()
+        );
+    }
+
+    #[test]
+    fn decode_rejects_dimension_mismatch_and_truncation() {
+        let mut m = Ridge::new(3, 1e-3);
+        m.observe(&[1.0, 2.0, 3.0], 5.0);
+        let mut w = Writer::new();
+        m.encode(&mut w);
+        let bytes = w.into_bytes();
+        assert!(Ridge::decode(&mut Reader::new(&bytes), 5).is_none());
+        assert!(Ridge::decode(&mut Reader::new(&bytes[..bytes.len() - 3]), 3).is_none());
+    }
+
+    #[test]
+    fn fit_depends_only_on_the_observation_multiset() {
+        let obs: Vec<([f64; 2], f64)> =
+            (0..10).map(|i| ([1.0, f64::from(i)], f64::from(i) * 0.5 + 1.0)).collect();
+        let mut fwd = Ridge::new(2, 1e-3);
+        let mut rev = Ridge::new(2, 1e-3);
+        for (x, y) in &obs {
+            fwd.observe(x, *y);
+        }
+        for (x, y) in obs.iter().rev() {
+            rev.observe(x, *y);
+        }
+        let probe = [1.0, 3.25];
+        // Sums of the same terms in a different order can differ in the
+        // last ulp; the fits must agree to fp tolerance.
+        let a = fwd.predict(&probe).unwrap();
+        let b = rev.predict(&probe).unwrap();
+        assert!((a - b).abs() < 1e-9);
+    }
+}

@@ -8,9 +8,14 @@
 //!   (the sweep evaluates rounds across the rayon pool; the study-level
 //!   checkpoint is exercised through the `Study` builder's file-based
 //!   durability in both modes);
+//! * the contract extends to [`Fidelity::Screened`] sweeps: the resumed
+//!   run reproduces the exact surrogate accounting, not just the frontier;
 //! * damaged checkpoint files degrade to a cold — but still correct — run.
 
-use fast::core::{BudgetLevel, Checkpointer, Objective, ScenarioMatrix, SweepConfig, SweepRunner};
+use fast::core::{
+    BudgetLevel, Checkpointer, Fidelity, Objective, ScenarioMatrix, SurrogateTier, SweepConfig,
+    SweepRunner,
+};
 use fast::prelude::*;
 use std::path::PathBuf;
 
@@ -94,6 +99,44 @@ fn mid_scenario_kill_loses_at_most_one_round() {
         "rounds finished before the kill must replay from the snapshot: {:?}",
         resumed.scenarios[0].cache
     );
+}
+
+/// The interrupted-equals-uninterrupted contract holds on the fidelity
+/// axis too: a *screened* sweep (tier S1, so the checkpoint carries a
+/// fitted ridge model and burn-in progress) killed after scenario k and
+/// resumed from a fresh runner replays bit-identically — frontiers,
+/// trial records, and the full [`fast::core::FidelityReport`] accounting
+/// (counts and rank-correlation floats included).
+#[test]
+fn interrupted_screened_sweep_resumes_bit_identically() {
+    let screened = |mut config: SweepConfig| {
+        config.fidelity =
+            Fidelity::Screened { keep_fraction: 0.25, min_full: 2, tier: SurrogateTier::S1 };
+        config
+    };
+    let uninterrupted = SweepRunner::new(matrix(), screened(config())).run();
+    assert_eq!(uninterrupted.scenarios.len(), 4);
+    for s in &uninterrupted.scenarios {
+        let fid = s.fidelity.as_ref().expect("screened scenarios carry fidelity");
+        assert_eq!(fid.full_evals + fid.screened_out, config().trials, "{}", s.scenario.name);
+    }
+
+    let ck = Checkpointer::new(scratch_dir("screened-kill")).unwrap();
+    let killed = SweepRunner::new(matrix(), screened(config())).run_prefix(&ck, 2);
+    assert_eq!(killed.scenarios.len(), 2);
+
+    let resumed = SweepRunner::new(matrix(), screened(config())).resume(&ck);
+    assert_eq!(resumed.scenarios.len(), uninterrupted.scenarios.len());
+    for (a, b) in uninterrupted.scenarios.iter().zip(&resumed.scenarios) {
+        assert_eq!(a.scenario.name, b.scenario.name);
+        assert_eq!(a.frontier_points, b.frontier_points, "{}", a.scenario.name);
+        assert_eq!(a.invalid_trials, b.invalid_trials, "{}", a.scenario.name);
+        assert_eq!(a.best_objective.map(f64::to_bits), b.best_objective.map(f64::to_bits));
+        // FidelityReport equality is exact f64 equality on the correlation
+        // statistics — the resumed surrogate must have reproduced the same
+        // kept sets, pair sets, and therefore the same spearman/kendall.
+        assert_eq!(a.fidelity, b.fidelity, "{}", a.scenario.name);
+    }
 }
 
 /// The study-level checkpoint contract holds whether a round is evaluated

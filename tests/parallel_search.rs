@@ -88,7 +88,7 @@ proptest! {
             prop_assert_eq!(&a.point, &b.point, "trial {} proposed different points", i);
             let guide = |r: &MultiObjective| match r {
                 MultiObjective::Valid { guide, .. } => Some(guide.to_bits()),
-                MultiObjective::Invalid => None,
+                MultiObjective::Invalid | MultiObjective::Surrogate { .. } => None,
             };
             prop_assert_eq!(
                 guide(&a.result),
