@@ -1,0 +1,222 @@
+//! Per-PR performance trajectory from the archived bench artifacts.
+//!
+//! Reads every `BENCH_pr<N>.json` in the given directory (default `.`) and
+//! prints a markdown trajectory table — staged-sweep speedup per PR, plus
+//! the solver columns (branch-and-bound node ratio, cross-point warm-start
+//! hit rate) once an artifact carries them. Two check modes gate CI:
+//!
+//! ```text
+//! bench_trend [--dir D]                 # print the trajectory table
+//! bench_trend --check                   # newest archive vs the previous one
+//! bench_trend --check-fresh FILE        # a fresh BENCH_eval.json vs newest archive
+//! ```
+//!
+//! Both checks fail (exit 1) when the staged speedup regresses by more
+//! than 25% against the comparison artifact. Artifacts are flat JSON
+//! written by the benches themselves; fields are extracted with a string
+//! scanner so the tool needs no JSON dependency.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Maximum tolerated staged-speedup regression between artifacts.
+const MAX_REGRESSION: f64 = 0.25;
+
+/// Extracts the number following the first `"key":` in `json`.
+fn field(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+struct Artifact {
+    pr: u32,
+    path: PathBuf,
+    speedup: Option<f64>,
+    staged_ms: Option<f64>,
+    node_ratio: Option<f64>,
+    warm_hit_rate: Option<f64>,
+}
+
+fn load(pr: u32, path: PathBuf) -> std::io::Result<Artifact> {
+    let json = std::fs::read_to_string(&path)?;
+    Ok(Artifact {
+        pr,
+        path,
+        speedup: field(&json, "speedup"),
+        staged_ms: field(&json, "staged_seconds").map(|s| s * 1e3),
+        node_ratio: field(&json, "node_ratio"),
+        warm_hit_rate: field(&json, "warm_hit_rate"),
+    })
+}
+
+/// All `BENCH_pr<N>.json` artifacts in `dir`, sorted by PR number.
+fn artifacts(dir: &Path) -> std::io::Result<Vec<Artifact>> {
+    let mut found = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if let Some(num) = name.strip_prefix("BENCH_pr").and_then(|n| n.strip_suffix(".json")) {
+            if let Ok(pr) = num.parse::<u32>() {
+                found.push(load(pr, path)?);
+            }
+        }
+    }
+    found.sort_by_key(|a| a.pr);
+    Ok(found)
+}
+
+fn fmt(v: Option<f64>, spec: impl Fn(f64) -> String) -> String {
+    v.map_or_else(|| "—".to_string(), spec)
+}
+
+fn table(rows: &[Artifact]) -> String {
+    let mut out = String::new();
+    out.push_str("| PR | staged sweep speedup | staged sweep (ms) | B&B node ratio | warm-start hit rate |\n");
+    out.push_str("|---:|---:|---:|---:|---:|\n");
+    for a in rows {
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {} |\n",
+            a.pr,
+            fmt(a.speedup, |v| format!("{v:.2}×")),
+            fmt(a.staged_ms, |v| format!("{v:.1}")),
+            fmt(a.node_ratio, |v| format!("{v:.1}× fewer")),
+            fmt(a.warm_hit_rate, |v| format!("{:.0}%", v * 100.0)),
+        ));
+    }
+    out
+}
+
+/// Fails when `fresh` regresses the staged speedup by more than 25%
+/// against `base`.
+fn check(base: &Artifact, fresh_name: &str, fresh_speedup: f64) -> ExitCode {
+    let Some(base_speedup) = base.speedup else {
+        eprintln!("bench_trend: {} has no staged speedup to compare against", base.path.display());
+        return ExitCode::SUCCESS;
+    };
+    let floor = base_speedup * (1.0 - MAX_REGRESSION);
+    if fresh_speedup < floor {
+        eprintln!(
+            "bench_trend: staged speedup regressed >25%: {fresh_name} {fresh_speedup:.2}x \
+             vs BENCH_pr{} {base_speedup:.2}x (floor {floor:.2}x)",
+            base.pr
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "bench_trend: {fresh_name} {fresh_speedup:.2}x vs BENCH_pr{} {base_speedup:.2}x — \
+         within the 25% regression budget",
+        base.pr
+    );
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut dir = PathBuf::from(".");
+    let mut mode_check = false;
+    let mut fresh: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--dir" => dir = PathBuf::from(args.next().expect("--dir takes a path")),
+            "--check" => mode_check = true,
+            "--check-fresh" => {
+                fresh = Some(PathBuf::from(args.next().expect("--check-fresh takes a file")));
+            }
+            other => {
+                eprintln!("bench_trend: unknown argument {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let rows = match artifacts(&dir) {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("bench_trend: cannot read {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    if rows.is_empty() {
+        eprintln!("bench_trend: no BENCH_pr*.json artifacts in {}", dir.display());
+        return ExitCode::FAILURE;
+    }
+
+    if let Some(fresh_path) = fresh {
+        let json = match std::fs::read_to_string(&fresh_path) {
+            Ok(json) => json,
+            Err(e) => {
+                eprintln!("bench_trend: cannot read {}: {e}", fresh_path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let Some(speedup) = field(&json, "speedup") else {
+            eprintln!("bench_trend: {} has no \"speedup\" field", fresh_path.display());
+            return ExitCode::FAILURE;
+        };
+        let newest = rows.last().expect("nonempty");
+        return check(newest, &fresh_path.display().to_string(), speedup);
+    }
+    if mode_check {
+        let with_speedup: Vec<&Artifact> = rows.iter().filter(|a| a.speedup.is_some()).collect();
+        if with_speedup.len() < 2 {
+            println!("bench_trend: fewer than two artifacts with a speedup; nothing to check");
+            return ExitCode::SUCCESS;
+        }
+        let newest = with_speedup[with_speedup.len() - 1];
+        let prev = with_speedup[with_speedup.len() - 2];
+        return check(
+            prev,
+            &format!("BENCH_pr{}", newest.pr),
+            newest.speedup.expect("filtered on speedup"),
+        );
+    }
+
+    print!("{}", table(&rows));
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_scanner_reads_nested_and_scientific_numbers() {
+        let json = r#"{ "speedup": 3.774, "stages": { "op": { "hit_rate": 0.7280 } },
+                        "solver": { "node_ratio": 12.5, "warm_hit_rate": 1e0 } }"#;
+        assert_eq!(field(json, "speedup"), Some(3.774));
+        assert_eq!(field(json, "hit_rate"), Some(0.728));
+        assert_eq!(field(json, "node_ratio"), Some(12.5));
+        assert_eq!(field(json, "warm_hit_rate"), Some(1.0));
+        assert_eq!(field(json, "absent"), None);
+    }
+
+    #[test]
+    fn table_renders_missing_columns_as_dashes() {
+        let rows = vec![
+            Artifact {
+                pr: 6,
+                path: PathBuf::from("BENCH_pr6.json"),
+                speedup: Some(3.05),
+                staged_ms: Some(6.6),
+                node_ratio: None,
+                warm_hit_rate: None,
+            },
+            Artifact {
+                pr: 10,
+                path: PathBuf::from("BENCH_pr10.json"),
+                speedup: Some(4.0),
+                staged_ms: Some(5.0),
+                node_ratio: Some(11.0),
+                warm_hit_rate: Some(1.0),
+            },
+        ];
+        let t = table(&rows);
+        assert!(t.contains("| 6 | 3.05× | 6.6 | — | — |"));
+        assert!(t.contains("| 10 | 4.00× | 5.0 | 11.0× fewer | 100% |"));
+    }
+}

@@ -30,7 +30,10 @@
 
 use crate::search_space::FastSpace;
 use fast_arch::{cost, Budget, DatapathConfig};
-use fast_fusion::{fuse_workload, FusionOptions, FusionResult, StatsFingerprint};
+use fast_fusion::{
+    fuse_workload, FusionOptions, FusionResult, Placement, StatsFingerprint, StructureKey,
+    WarmStartTier,
+};
 use fast_models::Workload;
 use fast_sim::{
     simulate_staged, MapFailure, MapperCache, Mapping, OpKey, RegionPerf, SimError, SimOptions,
@@ -319,6 +322,7 @@ impl Decode for FusedSummary {
     }
 }
 
+pub use fast_fusion::SolverStats;
 pub use fast_sim::CacheStats;
 
 /// Per-stage hit/miss counters of the staged evaluation pipeline.
@@ -330,6 +334,10 @@ pub struct StagedCacheStats {
     pub sim: CacheStats,
     /// Stage C: fusion solves (fuse tier).
     pub fuse: CacheStats,
+    /// Stage C detail: exact-solver work and cross-point warm-start reuse
+    /// (all zero on the default heuristic-only fusion path, where the
+    /// branch-and-bound never runs).
+    pub solver: SolverStats,
 }
 
 impl StagedCacheStats {
@@ -345,6 +353,7 @@ impl StagedCacheStats {
             op: delta(self.op, before.op),
             sim: delta(self.sim, before.sim),
             fuse: delta(self.fuse, before.fuse),
+            solver: self.solver.since(&before.solver),
         }
     }
 }
@@ -400,6 +409,10 @@ pub struct Evaluator {
     mapper: Arc<MapperCache>,
     sims: Arc<Tier<SimTierKey, Result<Arc<SimStats>, SimError>>>,
     fuses: Arc<Tier<FuseKey, FusedSummary>>,
+    /// Cross-point warm-start incumbents for the exact fusion solver.
+    /// Strictly a performance hint — fusion answers are bit-identical with
+    /// or without it — shared across clones like the tiers above.
+    warm: Arc<WarmStartTier>,
     /// `false` routes [`Evaluator::evaluate`] through the uncached
     /// monolithic simulate→fuse reference path.
     staged: bool,
@@ -418,6 +431,7 @@ impl Evaluator {
             mapper: Arc::new(MapperCache::new()),
             sims: Arc::new(Tier::default()),
             fuses: Arc::new(Tier::default()),
+            warm: Arc::new(WarmStartTier::new()),
             staged: true,
         }
     }
@@ -485,6 +499,7 @@ impl Evaluator {
         e.mapper = Arc::new(MapperCache::new());
         e.sims = Arc::new(Tier::default());
         e.fuses = Arc::new(Tier::default());
+        e.warm = Arc::new(WarmStartTier::new());
         e
     }
 
@@ -505,6 +520,7 @@ impl Evaluator {
             op: self.mapper.stats(),
             sim: self.sims.stats(),
             fuse: self.fuses.stats(),
+            solver: self.warm.stats(),
         }
     }
 
@@ -603,17 +619,22 @@ impl Evaluator {
         })
     }
 
-    /// Stage C: the memoized fusion solve for one assembled workload.
+    /// Stage C: the memoized fusion solve for one assembled workload. Fuse
+    /// misses solve through the cross-point warm-start tier, which seeds
+    /// the exact solver with a neighboring point's incumbent — results stay
+    /// bit-identical (see [`fast_fusion::fuse_regions_warm`]); only node
+    /// counts shrink.
     fn fused_summary(&self, stats: &SimStats, cfg: &DatapathConfig) -> FusedSummary {
         let gm_bytes = cfg.global_memory_bytes();
         let key = FuseKey { stats: stats.fingerprint, gm_bytes, fusion: self.fusion.clone() };
         self.fuses.get_or_compute(key, || {
-            let fused = fast_fusion::fuse_regions(
+            let fused = fast_fusion::fuse_regions_warm(
                 &stats.regions,
                 stats.compute_seconds,
                 gm_bytes,
                 &self.fusion,
                 &stats.workload,
+                Some(&self.warm),
             );
             FusedSummary::of(&fused)
         })
@@ -732,6 +753,18 @@ impl Evaluator {
         path.with_extension("op.bin")
     }
 
+    /// The warm-start-tier snapshot file that rides along with a fuse-tier
+    /// snapshot at `path` (`eval_cache.bin` → `eval_cache.warm.bin`). Only
+    /// written when the tier is non-empty — the default heuristic-only
+    /// fusion path never populates it, so most studies produce no warm
+    /// file. The snapshot is a pure solver hint: loading (or losing) it
+    /// changes node counts, never results, which is why the shard-merge
+    /// pipeline ignores warm files entirely.
+    #[must_use]
+    pub fn warm_tier_path(path: &Path) -> PathBuf {
+        path.with_extension("warm.bin")
+    }
+
     /// Writes the persistent cache tiers as versioned, checksummed
     /// snapshots — the fuse tier at `path`, the (much larger) op tier at
     /// [`Evaluator::op_tier_path`] — and returns the entry counts written
@@ -749,6 +782,12 @@ impl Evaluator {
     pub fn save_eval_cache(&self, path: &Path) -> std::io::Result<(usize, usize)> {
         let op = write_tier(&Self::op_tier_path(path), OP_MAGIC, OP_VERSION, self.mapper.export())?;
         let fuse = write_tier(path, FUSE_MAGIC, FUSE_VERSION, self.fuses.export())?;
+        // The warm tier rides along only when the exact solver actually ran
+        // (see `warm_tier_path`); its entry count is deliberately not part
+        // of the return contract.
+        if !self.warm.is_empty() {
+            write_tier(&Self::warm_tier_path(path), WARM_MAGIC, WARM_VERSION, self.warm.export())?;
+        }
         Ok((op, fuse))
     }
 
@@ -785,6 +824,19 @@ impl Evaluator {
                 }
             }
         }
+        let warm_entries = self.warm.len() as u64;
+        if warm_entries > marks.warm_entries {
+            let warm_path = Self::warm_tier_path(path);
+            match write_tier(&warm_path, WARM_MAGIC, WARM_VERSION, self.warm.export()) {
+                Ok(_) => marks.warm_entries = warm_entries,
+                Err(e) => {
+                    crate::warn::warning(format_args!(
+                        "could not write cache snapshot {}: {e}",
+                        warm_path.display()
+                    ));
+                }
+            }
+        }
     }
 
     /// Current per-tier miss counts, as the starting [`SavedCacheMarks`]
@@ -793,7 +845,11 @@ impl Evaluator {
     #[must_use]
     pub fn save_marks(&self) -> SavedCacheMarks {
         let stats = self.staged_cache_stats();
-        SavedCacheMarks { op_misses: stats.op.misses, fuse_misses: stats.fuse.misses }
+        SavedCacheMarks {
+            op_misses: stats.op.misses,
+            fuse_misses: stats.fuse.misses,
+            warm_entries: self.warm.len() as u64,
+        }
     }
 
     /// Loads a [`Evaluator::save_eval_cache`] snapshot pair from `path` and
@@ -818,9 +874,14 @@ impl Evaluator {
             read_tier(path, FUSE_MAGIC, FUSE_VERSION, "fuse", &mut warnings);
         let fuse_loaded = fuse_entries.len();
         self.fuses.merge(fuse_entries);
+        let warm_entries: Vec<(StructureKey, Vec<Placement>)> =
+            read_tier(&Self::warm_tier_path(path), WARM_MAGIC, WARM_VERSION, "warm", &mut warnings);
+        let warm_loaded = warm_entries.len();
+        self.warm.merge(warm_entries);
         CacheLoadReport {
             op_loaded,
             fuse_loaded,
+            warm_loaded,
             warning: if warnings.is_empty() { None } else { Some(warnings.join("; ")) },
         }
     }
@@ -837,6 +898,10 @@ pub(crate) const FUSE_VERSION: u32 = 2;
 pub(crate) const OP_MAGIC: [u8; 8] = *b"FASTOPC1";
 /// Op-tier format version.
 pub(crate) const OP_VERSION: u32 = 1;
+/// Magic prefix of warm-start-tier snapshot files (`…warm.bin`).
+pub(crate) const WARM_MAGIC: [u8; 8] = *b"FASTWRM1";
+/// Warm-start-tier format version.
+pub(crate) const WARM_VERSION: u32 = 1;
 
 /// Atomically writes one tier snapshot; returns the entry count.
 pub(crate) fn write_tier<K: Encode, V: Encode>(
@@ -940,6 +1005,8 @@ pub struct SavedCacheMarks {
     pub op_misses: u64,
     /// Fuse-tier (Stage C) miss count at the last fuse-file save.
     pub fuse_misses: u64,
+    /// Warm-tier incumbent count at the last warm-file save.
+    pub warm_entries: u64,
 }
 
 /// Outcome of [`Evaluator::load_eval_cache`].
@@ -949,16 +1016,19 @@ pub struct CacheLoadReport {
     pub op_loaded: usize,
     /// Fuse-tier entries merged (0 when that tier was cold).
     pub fuse_loaded: usize,
+    /// Warm-tier incumbents merged (0 when that tier was cold — the usual
+    /// case: only exact-fusion studies write warm files).
+    pub warm_loaded: usize,
     /// Why a snapshot file was rejected, if one was (also logged to
-    /// stderr); `None` when both tiers loaded (or were simply absent).
+    /// stderr); `None` when every tier loaded (or was simply absent).
     pub warning: Option<String>,
 }
 
 impl CacheLoadReport {
-    /// Total entries merged across both tiers.
+    /// Total entries merged across all tiers.
     #[must_use]
     pub fn loaded(&self) -> usize {
-        self.op_loaded + self.fuse_loaded
+        self.op_loaded + self.fuse_loaded + self.warm_loaded
     }
 }
 
@@ -1303,10 +1373,48 @@ mod tests {
     }
 
     #[test]
+    fn warm_tier_snapshot_rides_along_under_exact_fusion() {
+        let exact = FusionOptions {
+            exact_binary_limit: 10_000,
+            max_nodes: 4_000,
+            ..FusionOptions::default()
+        };
+        let e = evaluator(Objective::PerfPerTdp).with_fusion(exact.clone());
+        let sim = SimOptions::default();
+        let first = e.evaluate(&presets::fast_large(), &sim).unwrap();
+        assert!(!e.warm.is_empty(), "the exact solver must populate the warm tier");
+        assert_eq!(e.staged_cache_stats().solver.warm_misses, 1, "one cold structure");
+
+        let path = scratch("warm-rides-along.bin");
+        e.save_eval_cache(&path).unwrap();
+        assert!(Evaluator::warm_tier_path(&path).exists());
+
+        let fresh = e.fresh_eval_cache();
+        let report = fresh.load_eval_cache(&path);
+        assert_eq!(report.warm_loaded, e.warm.len());
+        assert_eq!(report.warning, None);
+        // A loaded tier is a pure hint: re-evaluating answers from the fuse
+        // tier, and a fresh structure variant solved through the loaded
+        // incumbents stays bit-identical to a tier-less solve.
+        let again = fresh.evaluate(&presets::fast_large(), &sim).unwrap();
+        assert_eq!(again.objective_value.to_bits(), first.objective_value.to_bits());
+
+        // The heuristic-only default path writes no warm file at all.
+        let heuristic = evaluator(Objective::PerfPerTdp);
+        let _ = heuristic.evaluate(&presets::fast_large(), &sim).unwrap();
+        let hpath = scratch("no-warm-file.bin");
+        heuristic.save_eval_cache(&hpath).unwrap();
+        assert!(!Evaluator::warm_tier_path(&hpath).exists());
+    }
+
+    #[test]
     fn cache_snapshot_missing_files_are_silently_cold() {
         let e = evaluator(Objective::Qps);
         let report = e.load_eval_cache(&scratch("never-written.bin"));
-        assert_eq!(report, CacheLoadReport { op_loaded: 0, fuse_loaded: 0, warning: None });
+        assert_eq!(
+            report,
+            CacheLoadReport { op_loaded: 0, fuse_loaded: 0, warm_loaded: 0, warning: None }
+        );
     }
 
     #[test]

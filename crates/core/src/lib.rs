@@ -53,7 +53,7 @@ pub use driver::{FastStudy, OptimizerKind, SearchConfig, SearchReport};
 // The unified study axes, re-exported so driver callers need one import.
 pub use evaluate::{
     CacheLoadReport, CacheStats, DesignEval, EvalError, Evaluator, Objective, SavedCacheMarks,
-    StagedCacheStats, WorkloadEval,
+    SolverStats, StagedCacheStats, WorkloadEval,
 };
 pub use fast_search::{
     Durability, Execution, Fidelity, FidelityReport, StudyConfigError, StudyObjective, StudyReport,

@@ -303,6 +303,259 @@ impl FusionResult {
     }
 }
 
+/// Counters describing the exact-solver work behind fusion solves and how
+/// much of it the cross-point warm-start tier absorbed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SolverStats {
+    /// Exact solves that found a usable cross-point incumbent.
+    pub warm_hits: u64,
+    /// Exact solves with no cross-point incumbent available.
+    pub warm_misses: u64,
+    /// Branch-and-bound nodes spent in warm-seeded solves.
+    pub warm_nodes: u64,
+    /// Branch-and-bound nodes spent in cold (greedy-seeded) solves.
+    pub cold_nodes: u64,
+    /// Total simplex pivots across all exact solves.
+    pub lp_pivots: u64,
+}
+
+impl SolverStats {
+    /// Warm-start hit rate over the exact solves (0 when none ran).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.warm_hits + self.warm_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.warm_hits as f64 / total as f64
+        }
+    }
+
+    /// Counter deltas accumulated after `before` was sampled.
+    #[must_use]
+    pub fn since(&self, before: &SolverStats) -> SolverStats {
+        SolverStats {
+            warm_hits: self.warm_hits.saturating_sub(before.warm_hits),
+            warm_misses: self.warm_misses.saturating_sub(before.warm_misses),
+            warm_nodes: self.warm_nodes.saturating_sub(before.warm_nodes),
+            cold_nodes: self.cold_nodes.saturating_sub(before.cold_nodes),
+            lp_pivots: self.lp_pivots.saturating_sub(before.lp_pivots),
+        }
+    }
+}
+
+impl serde::bin::Encode for SolverStats {
+    fn encode(&self, w: &mut serde::bin::Writer) {
+        let SolverStats { warm_hits, warm_misses, warm_nodes, cold_nodes, lp_pivots } = *self;
+        warm_hits.encode(w);
+        warm_misses.encode(w);
+        warm_nodes.encode(w);
+        cold_nodes.encode(w);
+        lp_pivots.encode(w);
+    }
+}
+
+impl serde::bin::Decode for SolverStats {
+    fn decode(r: &mut serde::bin::Reader<'_>) -> Result<Self, serde::bin::DecodeError> {
+        Ok(SolverStats {
+            warm_hits: u64::decode(r)?,
+            warm_misses: u64::decode(r)?,
+            warm_nodes: u64::decode(r)?,
+            cold_nodes: u64::decode(r)?,
+            lp_pivots: u64::decode(r)?,
+        })
+    }
+}
+
+/// Datapath-free fingerprint of a workload's fusion *structure*: region
+/// count, producer linkage, row-streamability, the eligibility pattern, and
+/// the residency window — exactly what determines the ILP's variable layout
+/// — and none of the `T_i`/byte magnitudes that vary across datapath search
+/// points. Neighboring points that share a key share a 0/1 incumbent shape,
+/// which is what makes cross-point warm-starting possible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StructureKey {
+    /// FNV-1a over the canonical structure encoding.
+    pub hash_a: u64,
+    /// Independent second digest of the same bytes.
+    pub hash_b: u64,
+    /// Length of the canonical encoding in bytes.
+    pub len: u64,
+}
+
+impl serde::bin::Encode for StructureKey {
+    fn encode(&self, w: &mut serde::bin::Writer) {
+        let StructureKey { hash_a, hash_b, len } = *self;
+        hash_a.encode(w);
+        hash_b.encode(w);
+        len.encode(w);
+    }
+}
+
+impl serde::bin::Decode for StructureKey {
+    fn decode(r: &mut serde::bin::Reader<'_>) -> Result<Self, serde::bin::DecodeError> {
+        Ok(StructureKey { hash_a: u64::decode(r)?, hash_b: u64::decode(r)?, len: u64::decode(r)? })
+    }
+}
+
+// Placement rides inside warm-tier snapshot values.
+impl serde::bin::Encode for Placement {
+    fn encode(&self, w: &mut serde::bin::Writer) {
+        let Placement { input_gm, output_gm, weight_gm } = *self;
+        input_gm.encode(w);
+        output_gm.encode(w);
+        weight_gm.encode(w);
+    }
+}
+
+impl serde::bin::Decode for Placement {
+    fn decode(r: &mut serde::bin::Reader<'_>) -> Result<Self, serde::bin::DecodeError> {
+        Ok(Placement {
+            input_gm: bool::decode(r)?,
+            output_gm: bool::decode(r)?,
+            weight_gm: bool::decode(r)?,
+        })
+    }
+}
+
+/// Fingerprints the fusion structure of `regions` under `opts` (see
+/// [`StructureKey`]).
+#[must_use]
+pub fn structure_key(regions: &[RegionPerf], opts: &FusionOptions) -> StructureKey {
+    let elig = eligibility(regions, opts.residency_window.max(1));
+    structure_key_from_elig(regions, opts, &elig)
+}
+
+/// [`structure_key`] over a precomputed eligibility vector (the solver
+/// already has one in hand).
+fn structure_key_from_elig(
+    regions: &[RegionPerf],
+    opts: &FusionOptions,
+    elig: &[Eligibility],
+) -> StructureKey {
+    use serde::bin::Encode as _;
+    let window = opts.residency_window.max(1);
+    let mut w = serde::bin::Writer::new();
+    (regions.len() as u64).encode(&mut w);
+    (window as u64).encode(&mut w);
+    for (r, e) in regions.iter().zip(elig) {
+        r.primary_input.encode(&mut w);
+        r.row_streamable.encode(&mut w);
+        e.input.encode(&mut w);
+        e.output.encode(&mut w);
+        e.weight.encode(&mut w);
+    }
+    let bytes = w.into_bytes();
+    StructureKey {
+        hash_a: serde::bin::fnv1a(&bytes),
+        hash_b: fnv1a_seeded(0x8422_2325_CBF2_9CE4, &bytes),
+        len: bytes.len() as u64,
+    }
+}
+
+/// Cross-point warm-start tier: remembers, per [`StructureKey`], the 0/1
+/// fusion incumbent last proven good at a neighboring search point, plus
+/// counters describing how much solver work the reuse saved.
+///
+/// The tier is strictly a *performance hint* — fusion results are
+/// bit-identical with or without it (see [`fuse_regions_warm`]) — so it can
+/// be persisted, shared, dropped, or merged freely without affecting any
+/// study output.
+#[derive(Debug, Default)]
+pub struct WarmStartTier {
+    entries: std::sync::Mutex<std::collections::HashMap<StructureKey, Vec<Placement>>>,
+    warm_hits: std::sync::atomic::AtomicU64,
+    warm_misses: std::sync::atomic::AtomicU64,
+    warm_nodes: std::sync::atomic::AtomicU64,
+    cold_nodes: std::sync::atomic::AtomicU64,
+    lp_pivots: std::sync::atomic::AtomicU64,
+}
+
+impl WarmStartTier {
+    /// Creates an empty tier.
+    #[must_use]
+    pub fn new() -> Self {
+        WarmStartTier::default()
+    }
+
+    /// Incumbent recorded for `key`, if any. Counts a warm hit or miss.
+    fn lookup(&self, key: &StructureKey) -> Option<Vec<Placement>> {
+        use std::sync::atomic::Ordering;
+        let got = self.entries.lock().expect("warm tier poisoned").get(key).cloned();
+        if got.is_some() {
+            self.warm_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.warm_misses.fetch_add(1, Ordering::Relaxed);
+        }
+        got
+    }
+
+    /// Records the incumbent decided for `key`. First write wins (matching
+    /// the evaluation tiers' merge semantics).
+    fn record(&self, key: StructureKey, placements: &[Placement]) {
+        self.entries
+            .lock()
+            .expect("warm tier poisoned")
+            .entry(key)
+            .or_insert_with(|| placements.to_vec());
+    }
+
+    /// Accumulates one exact solve's work into the counters.
+    fn note_solve(&self, warm: bool, nodes: u64, pivots: u64) {
+        use std::sync::atomic::Ordering;
+        if warm {
+            self.warm_nodes.fetch_add(nodes, Ordering::Relaxed);
+        } else {
+            self.cold_nodes.fetch_add(nodes, Ordering::Relaxed);
+        }
+        self.lp_pivots.fetch_add(pivots, Ordering::Relaxed);
+    }
+
+    /// Counter snapshot.
+    #[must_use]
+    pub fn stats(&self) -> SolverStats {
+        use std::sync::atomic::Ordering;
+        SolverStats {
+            warm_hits: self.warm_hits.load(Ordering::Relaxed),
+            warm_misses: self.warm_misses.load(Ordering::Relaxed),
+            warm_nodes: self.warm_nodes.load(Ordering::Relaxed),
+            cold_nodes: self.cold_nodes.load(Ordering::Relaxed),
+            lp_pivots: self.lp_pivots.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of remembered incumbents.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("warm tier poisoned").len()
+    }
+
+    /// Whether the tier holds no incumbents.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All entries, for persistence.
+    #[must_use]
+    pub fn export(&self) -> Vec<(StructureKey, Vec<Placement>)> {
+        self.entries
+            .lock()
+            .expect("warm tier poisoned")
+            .iter()
+            .map(|(k, v)| (*k, v.clone()))
+            .collect()
+    }
+
+    /// Merges persisted entries; existing entries win.
+    pub fn merge(&self, entries: Vec<(StructureKey, Vec<Placement>)>) {
+        let mut map = self.entries.lock().expect("warm tier poisoned");
+        for (k, v) in entries {
+            map.entry(k).or_insert(v);
+        }
+    }
+}
+
 /// Eligibility of each region's three placement decisions, after pruning.
 struct Eligibility {
     input: bool,
@@ -763,6 +1016,31 @@ pub fn fuse_regions(
     opts: &FusionOptions,
     label: &str,
 ) -> FusionResult {
+    fuse_regions_warm(regions, compute_seconds, gm_bytes, opts, label, None)
+}
+
+/// [`fuse_regions`] with an optional cross-point [`WarmStartTier`].
+///
+/// Results are **bit-identical** to the tier-less path. The tier only
+/// supplies a better *incumbent seed* to the branch-and-bound; when the
+/// warm-seeded solve proves the optimum lies inside the cold solver's
+/// pruning band around the greedy objective, the cold answer is — by the
+/// solver's own cutoff rule — the greedy vector, which we return without
+/// re-running the cold solve. In every other case (no tier, tier miss,
+/// unusable incumbent, optimum strictly better than greedy, budget hit) the
+/// exact cold solve runs and its answer is used. The only observable
+/// difference is the [`FusionSolver`] tag, which can report `ExactOptimal`
+/// where the budget-starved cold solve would have said `ExactIncumbent` —
+/// the placements and all derived numbers are the same.
+#[must_use]
+pub fn fuse_regions_warm(
+    regions: &[RegionPerf],
+    compute_seconds: f64,
+    gm_bytes: u64,
+    opts: &FusionOptions,
+    label: &str,
+    tier: Option<&WarmStartTier>,
+) -> FusionResult {
     let n = regions.len();
     if opts.disabled || gm_bytes == 0 || n == 0 {
         let placements = vec![Placement::default(); n];
@@ -787,62 +1065,9 @@ pub fn fuse_regions(
         .sum();
 
     let (placements, solver) = if n_binaries > 0 && n_binaries <= opts.exact_binary_limit {
-        let (prob, vars) = build_ilp(regions, label, gm_bytes, &elig);
-        let mut ws = vec![0.0; prob.num_vars()];
-        for (i, w) in warm.iter().enumerate() {
-            if let Some(v) = vars.p_in[i] {
-                ws[v.index()] = f64::from(u8::from(w.input_gm));
-            }
-            if let Some(v) = vars.p_out[i] {
-                ws[v.index()] = f64::from(u8::from(w.output_gm));
-            }
-            if let Some(v) = vars.p_w[i] {
-                ws[v.index()] = f64::from(u8::from(w.weight_gm));
-            }
-        }
-        for (i, r) in regions.iter().enumerate() {
-            ws[vars.t[i].index()] =
-                r.time_with_placements(warm[i].input_gm, warm[i].output_gm, warm[i].weight_gm);
-        }
-        let sol = solve_milp(
-            &prob,
-            &SolveOptions {
-                max_nodes: opts.max_nodes,
-                time_limit: opts.time_limit,
-                gap_tol: 1e-6,
-                warm_start: Some(ws),
-            },
-        );
-        match sol.status {
-            MilpStatus::Optimal | MilpStatus::Incumbent => {
-                let mut placements = vec![Placement::default(); n];
-                for (i, p) in placements.iter_mut().enumerate() {
-                    if let Some(v) = vars.p_in[i] {
-                        p.input_gm = sol.values[v.index()] > 0.5;
-                    }
-                    if let Some(v) = vars.p_out[i] {
-                        p.output_gm = sol.values[v.index()] > 0.5;
-                    }
-                    if let Some(v) = vars.p_w[i] {
-                        p.weight_gm = sol.values[v.index()] > 0.5;
-                    }
-                }
-                let status = if sol.status == MilpStatus::Optimal {
-                    FusionSolver::ExactOptimal
-                } else {
-                    FusionSolver::ExactIncumbent
-                };
-                // Guard against solver tolerance artifacts.
-                if feasible(regions, gm_bytes, &placements) {
-                    (placements, status)
-                } else {
-                    (warm.clone(), FusionSolver::Heuristic)
-                }
-            }
-            _ => (warm.clone(), FusionSolver::Heuristic),
-        }
+        solve_exact(regions, label, gm_bytes, opts, &elig, &warm, tier)
     } else {
-        (warm.clone(), FusionSolver::Heuristic)
+        (warm, FusionSolver::Heuristic)
     };
 
     let ev = evaluate(regions, compute_seconds, gm_bytes, &placements);
@@ -856,6 +1081,182 @@ pub fn fuse_regions(
         dram_bytes: ev.dram,
         solver,
     }
+}
+
+/// Exact branch of the fusion solve: builds the Figure-8 ILP, seeds it with
+/// the best available incumbent (cross-point from `tier` when strictly
+/// better than greedy, greedy otherwise), and decodes the answer. See
+/// [`fuse_regions_warm`] for the bit-identity argument.
+fn solve_exact(
+    regions: &[RegionPerf],
+    label: &str,
+    gm_bytes: u64,
+    opts: &FusionOptions,
+    elig: &[Eligibility],
+    greedy_warm: &[Placement],
+    tier: Option<&WarmStartTier>,
+) -> (Vec<Placement>, FusionSolver) {
+    let n = regions.len();
+    let (prob, vars) = build_ilp(regions, label, gm_bytes, elig);
+
+    let ws_of = |placements: &[Placement]| -> Vec<f64> {
+        let mut ws = vec![0.0; prob.num_vars()];
+        for (i, p) in placements.iter().enumerate() {
+            if let Some(v) = vars.p_in[i] {
+                ws[v.index()] = f64::from(u8::from(p.input_gm));
+            }
+            if let Some(v) = vars.p_out[i] {
+                ws[v.index()] = f64::from(u8::from(p.output_gm));
+            }
+            if let Some(v) = vars.p_w[i] {
+                ws[v.index()] = f64::from(u8::from(p.weight_gm));
+            }
+        }
+        for (i, r) in regions.iter().enumerate() {
+            ws[vars.t[i].index()] = r.time_with_placements(
+                placements[i].input_gm,
+                placements[i].output_gm,
+                placements[i].weight_gm,
+            );
+        }
+        ws
+    };
+    let solve_opts = |seed: Vec<f64>| SolveOptions {
+        max_nodes: opts.max_nodes,
+        // Fusion opts in to the wall-clock escape hatch: this mirrors the
+        // paper's SCIP-with-timeout contract (§6.1). The deterministic node
+        // budget above is the primary limit.
+        time_limit: Some(opts.time_limit),
+        gap_tol: 1e-6,
+        warm_start: Some(seed),
+    };
+    let decode = |values: &[f64]| -> Vec<Placement> {
+        let mut placements = vec![Placement::default(); n];
+        for (i, p) in placements.iter_mut().enumerate() {
+            if let Some(v) = vars.p_in[i] {
+                p.input_gm = values[v.index()] > 0.5;
+            }
+            if let Some(v) = vars.p_out[i] {
+                p.output_gm = values[v.index()] > 0.5;
+            }
+            if let Some(v) = vars.p_w[i] {
+                p.weight_gm = values[v.index()] > 0.5;
+            }
+        }
+        placements
+    };
+
+    let greedy_ws = ws_of(greedy_warm);
+    let greedy_obj = prob.objective_value(&greedy_ws);
+    // The solver prunes every node whose bound clears this line; a cold
+    // solve seeded with the greedy incumbent therefore returns the greedy
+    // vector itself whenever the true optimum is at or above it.
+    let greedy_cutoff = greedy_obj - 1e-6 * greedy_obj.abs().max(1.0);
+
+    // Cross-point incumbent: usable only when it is feasible for *this*
+    // point's ILP and strictly better than the greedy seed (otherwise it
+    // adds nothing the cold solve doesn't already have).
+    let key = tier.map(|_| structure_key_from_elig(regions, opts, elig));
+    let cross: Option<Vec<f64>> = match (tier, key) {
+        (Some(t), Some(k)) => t
+            .lookup(&k)
+            .filter(|p| p.len() == n)
+            .map(|p| ws_of(&p))
+            .filter(|ws| prob.is_feasible(ws, 1e-6) && prob.objective_value(ws) < greedy_cutoff),
+        _ => None,
+    };
+
+    let mut decided: Option<(Vec<Placement>, FusionSolver)> = None;
+    if let (Some(t), Some(ws)) = (tier, cross) {
+        let sol = solve_milp(&prob, &solve_opts(ws));
+        t.note_solve(true, sol.nodes_explored as u64, sol.lp_pivots);
+        // Bit-identity gate: only trust the warm solve when it *proved* the
+        // optimum and the optimum is at or above the greedy cutoff — the
+        // regime where the cold answer is the greedy vector by the cutoff
+        // rule. Anything else (optimum beats greedy, budget hit) falls
+        // through to the cold solve so the answer comes from the exact same
+        // computation the tier-less path runs.
+        if sol.status == MilpStatus::Optimal && sol.objective >= greedy_cutoff {
+            decided = Some((greedy_warm.to_vec(), FusionSolver::ExactOptimal));
+        }
+    }
+
+    let (placements, solver) = decided.unwrap_or_else(|| {
+        let sol = solve_milp(&prob, &solve_opts(greedy_ws));
+        if let Some(t) = tier {
+            t.note_solve(false, sol.nodes_explored as u64, sol.lp_pivots);
+        }
+        match sol.status {
+            MilpStatus::Optimal | MilpStatus::Incumbent => {
+                let placements = decode(&sol.values);
+                let status = if sol.status == MilpStatus::Optimal {
+                    FusionSolver::ExactOptimal
+                } else {
+                    FusionSolver::ExactIncumbent
+                };
+                // Guard against solver tolerance artifacts.
+                if feasible(regions, gm_bytes, &placements) {
+                    (placements, status)
+                } else {
+                    (greedy_warm.to_vec(), FusionSolver::Heuristic)
+                }
+            }
+            _ => (greedy_warm.to_vec(), FusionSolver::Heuristic),
+        }
+    });
+
+    if let (Some(t), Some(k)) = (tier, key) {
+        t.record(k, &placements);
+    }
+    (placements, solver)
+}
+
+/// Builds the Figure-8 ILP for a workload's region statistics, paired with
+/// the greedy warm-start vector the exact path seeds it with.
+///
+/// This is the benchmarking/diagnostic window into the solver: it exposes
+/// the *same* `(Problem, incumbent)` pair [`fuse_regions`] hands to
+/// `solve_milp`, so solver comparisons (node counts, pivot counts,
+/// objective bit-identity) run against the production ILPs rather than
+/// synthetic ones. Returns `None` when the exact path would not run — no
+/// eligible binaries, or more than `opts.exact_binary_limit` of them.
+#[must_use]
+pub fn figure8_problem(
+    regions: &[RegionPerf],
+    gm_bytes: u64,
+    opts: &FusionOptions,
+    label: &str,
+) -> Option<(Problem, Vec<f64>)> {
+    if opts.disabled || gm_bytes == 0 || regions.is_empty() {
+        return None;
+    }
+    let elig = eligibility(regions, opts.residency_window.max(1));
+    let n_binaries: usize = elig
+        .iter()
+        .map(|e| usize::from(e.input) + usize::from(e.output) + usize::from(e.weight))
+        .sum();
+    if n_binaries == 0 || n_binaries > opts.exact_binary_limit {
+        return None;
+    }
+    let warm = greedy(regions, gm_bytes, &elig);
+    let (prob, vars) = build_ilp(regions, label, gm_bytes, &elig);
+    let mut ws = vec![0.0; prob.num_vars()];
+    for (i, p) in warm.iter().enumerate() {
+        if let Some(v) = vars.p_in[i] {
+            ws[v.index()] = f64::from(u8::from(p.input_gm));
+        }
+        if let Some(v) = vars.p_out[i] {
+            ws[v.index()] = f64::from(u8::from(p.output_gm));
+        }
+        if let Some(v) = vars.p_w[i] {
+            ws[v.index()] = f64::from(u8::from(p.weight_gm));
+        }
+    }
+    for (i, r) in regions.iter().enumerate() {
+        ws[vars.t[i].index()] =
+            r.time_with_placements(warm[i].input_gm, warm[i].output_gm, warm[i].weight_gm);
+    }
+    Some((prob, ws))
 }
 
 #[cfg(test)]
@@ -1147,6 +1548,130 @@ mod tests {
         // And a different workload's stats are (overwhelmingly) distinct.
         let other = perf_of(Workload::ResNet50, 8, &cfg);
         assert_ne!(base, stats_fingerprint(&other.regions, other.compute_seconds));
+    }
+
+    /// Exact fusion options sized so the B0/batch-1 problem actually enters
+    /// the branch-and-bound (the default path is heuristic-only).
+    fn exact_opts() -> FusionOptions {
+        FusionOptions {
+            exact_binary_limit: 10_000,
+            max_nodes: 4000,
+            time_limit: Duration::from_secs(30),
+            ..FusionOptions::default()
+        }
+    }
+
+    #[test]
+    fn warm_tier_is_bit_identical_to_cold_solve() {
+        let opts = exact_opts();
+        // Neighboring search points: same workload, clocks apart. Structure
+        // (and hence the tier key) is shared; every T_i magnitude differs.
+        let mut cfgs = Vec::new();
+        for clock in [0.94, 1.2, 1.5] {
+            let mut c = presets::fast_large();
+            c.clock_ghz = clock;
+            cfgs.push(c);
+        }
+        let perfs: Vec<WorkloadPerf> =
+            cfgs.iter().map(|c| perf_of(Workload::EfficientNet(EfficientNet::B0), 1, c)).collect();
+
+        let colds: Vec<FusionResult> =
+            perfs.iter().zip(&cfgs).map(|(p, c)| fuse_workload(p, c, &opts)).collect();
+
+        let tier = WarmStartTier::new();
+        for round in 0..2 {
+            for ((p, c), cold) in perfs.iter().zip(&cfgs).zip(&colds) {
+                let warm = fuse_regions_warm(
+                    &p.regions,
+                    p.compute_seconds,
+                    c.global_memory_bytes(),
+                    &opts,
+                    &p.workload,
+                    Some(&tier),
+                );
+                assert_eq!(warm.placements, cold.placements, "round {round}");
+                assert_eq!(
+                    warm.total_seconds.to_bits(),
+                    cold.total_seconds.to_bits(),
+                    "round {round}"
+                );
+                assert_eq!(warm.pinned_weight_bytes, cold.pinned_weight_bytes);
+                assert_eq!(warm.dram_bytes, cold.dram_bytes);
+            }
+        }
+        let stats = tier.stats();
+        // First point of round 1 misses; everything after shares its key.
+        assert_eq!(stats.warm_hits + stats.warm_misses, 6, "every solve consults the tier");
+        assert!(stats.warm_hits >= 1, "neighboring points must hit: {stats:?}");
+        assert_eq!(tier.len(), 1, "three clocks share one structure");
+    }
+
+    #[test]
+    fn structure_key_ignores_datapath_magnitudes() {
+        let opts = FusionOptions::default();
+        let mut slow = presets::fast_large();
+        slow.clock_ghz = 0.5;
+        let fast = presets::fast_large();
+        let a = perf_of(Workload::EfficientNet(EfficientNet::B0), 8, &fast);
+        let b = perf_of(Workload::EfficientNet(EfficientNet::B0), 8, &slow);
+        // Same structure, different magnitudes: stats fingerprints diverge,
+        // structure keys collide — that collision is the warm-start reuse.
+        assert_ne!(
+            stats_fingerprint(&a.regions, a.compute_seconds),
+            stats_fingerprint(&b.regions, b.compute_seconds)
+        );
+        assert_eq!(structure_key(&a.regions, &opts), structure_key(&b.regions, &opts));
+
+        // Different workload or residency window: different structure.
+        let other = perf_of(Workload::ResNet50, 8, &fast);
+        assert_ne!(structure_key(&a.regions, &opts), structure_key(&other.regions, &opts));
+        let narrow = FusionOptions { residency_window: 1, ..FusionOptions::default() };
+        assert_ne!(structure_key(&a.regions, &opts), structure_key(&a.regions, &narrow));
+    }
+
+    #[test]
+    fn warm_tier_snapshot_round_trips_and_merges_keep_first() {
+        use serde::bin::{Decode as _, Encode as _};
+        let opts = exact_opts();
+        let cfg = presets::fast_large();
+        let perf = perf_of(Workload::EfficientNet(EfficientNet::B0), 1, &cfg);
+        let tier = WarmStartTier::new();
+        let _ = fuse_regions_warm(
+            &perf.regions,
+            perf.compute_seconds,
+            cfg.global_memory_bytes(),
+            &opts,
+            &perf.workload,
+            Some(&tier),
+        );
+        assert_eq!(tier.len(), 1);
+
+        // Codec round trip of the exported entries.
+        let entries = tier.export();
+        let mut w = serde::bin::Writer::new();
+        entries.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = serde::bin::Reader::new(&bytes);
+        let back: Vec<(StructureKey, Vec<Placement>)> = Vec::decode(&mut r).unwrap();
+        assert_eq!(back, entries);
+
+        // Merge into a tier that already has the key: existing entry wins.
+        let other = WarmStartTier::new();
+        let key = entries[0].0;
+        let sentinel = vec![Placement::default(); entries[0].1.len()];
+        other.merge(vec![(key, sentinel.clone())]);
+        other.merge(entries);
+        assert_eq!(other.export(), vec![(key, sentinel)]);
+
+        // Counter deltas.
+        let s0 = SolverStats { warm_hits: 1, cold_nodes: 5, ..SolverStats::default() };
+        let s1 = SolverStats { warm_hits: 3, cold_nodes: 9, lp_pivots: 7, ..s0 };
+        let d = s1.since(&s0);
+        assert_eq!(d.warm_hits, 2);
+        assert_eq!(d.cold_nodes, 4);
+        assert_eq!(d.lp_pivots, 7);
+        assert!((s1.hit_rate() - 1.0).abs() < 1e-12);
+        assert!(SolverStats::default().hit_rate().abs() < 1e-12);
     }
 
     #[test]

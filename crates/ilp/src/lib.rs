@@ -6,9 +6,15 @@
 //! substrate from scratch:
 //!
 //! * a [`Problem`] builder for sparse mixed 0/1 linear programs,
-//! * a dense two-phase primal [`simplex`] solver for LP relaxations,
-//! * an LP-based [`branch_bound`] driver with node/time limits that returns
-//!   the best incumbent on limit — the same contract FAST relies on.
+//! * a dense two-phase primal [`simplex`] solver for LP relaxations, with
+//!   crash warm-starting from a related basis and an anti-cycling guard,
+//! * a `presolve` pass (binary fixing, coefficient tightening) that
+//!   shrinks the search without changing any answer,
+//! * an LP-based [`branch_bound`] driver — best-bound node selection with
+//!   pseudocost branching — with a deterministic node budget that returns
+//!   the best incumbent on limit, the same contract FAST relies on.
+//!   The pre-optimization depth-first solver survives as
+//!   [`solve_milp_reference`], the oracle used by the `ilp_solve` bench.
 //!
 //! ```
 //! use fast_ilp::{Problem, Sense, SolveOptions, solve_milp, MilpStatus};
@@ -25,12 +31,13 @@
 //! ```
 
 pub mod branch_bound;
+pub(crate) mod presolve;
 pub mod problem;
 pub mod simplex;
 
-pub use branch_bound::{solve_milp, MilpSolution, MilpStatus, SolveOptions};
+pub use branch_bound::{solve_milp, solve_milp_reference, MilpSolution, MilpStatus, SolveOptions};
 pub use problem::{Constraint, Problem, Sense, VarId, VarKind, Variable};
-pub use simplex::{solve_lp, Bounds, LpSolution, LpStatus};
+pub use simplex::{solve_lp, solve_lp_warm, Bounds, LpSolution, LpStatus};
 
 #[cfg(test)]
 mod proptests {
@@ -117,6 +124,54 @@ mod proptests {
             if sol.status != MilpStatus::Unknown && sol.status != MilpStatus::Infeasible {
                 prop_assert!(p.is_feasible(&sol.values, 1e-6));
             }
+        }
+
+        /// Warm-start soundness: for random problems and random *feasible*
+        /// warm starts, the solve returns the same status and objective as
+        /// the cold solve — warm starts may change node counts, never
+        /// answers.
+        #[test]
+        fn feasible_warm_starts_never_change_answers(
+            values in prop::collection::vec(-9i32..=0, 3..=9),
+            weights in prop::collection::vec(1i32..=4, 9),
+            cap in 1i32..=12,
+            picks in prop::collection::vec(0i32..=1, 9),
+        ) {
+            let n = values.len();
+            let mut p = Problem::new("warm");
+            let vars: Vec<VarId> = values
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| p.add_binary(format!("x{i}"), v as f64))
+                .collect();
+            let terms: Vec<(VarId, f64)> = vars
+                .iter()
+                .zip(&weights[..n])
+                .map(|(&v, &w)| (v, w as f64))
+                .collect();
+            p.add_constraint("cap", terms, Sense::Le, cap as f64);
+
+            // Build a random feasible 0/1 point: greedily keep picked items
+            // that still fit under the capacity.
+            let mut ws = vec![0.0f64; n];
+            let mut used = 0i32;
+            for i in 0..n {
+                if picks[i] == 1 && used + weights[i] <= cap {
+                    ws[i] = 1.0;
+                    used += weights[i];
+                }
+            }
+            // Feasible by construction (positive weights, greedy fit).
+            prop_assert!(p.is_feasible(&ws, 1e-9));
+
+            let cold = solve_milp(&p, &SolveOptions::default());
+            let warm = solve_milp(
+                &p,
+                &SolveOptions { warm_start: Some(ws), ..Default::default() },
+            );
+            prop_assert_eq!(warm.status, cold.status);
+            prop_assert!((warm.objective - cold.objective).abs() < 1e-6,
+                "warm {} vs cold {}", warm.objective, cold.objective);
         }
 
         /// LP relaxation is a valid lower bound for the MILP optimum.

@@ -1,0 +1,263 @@
+//! Root presolve for the 0/1 branch-and-bound: bound-implied binary
+//! fixing plus coefficient tightening.
+//!
+//! Both reductions are *exact* on the integer feasible set — they never cut
+//! off a feasible 0/1 assignment and never admit an infeasible one — so the
+//! solver's answers are bit-identical with or without presolve; only the LP
+//! relaxation gets tighter and the tree smaller.
+//!
+//! * **Binary fixing.** For each row read in `≤` form, let `m_j` be the
+//!   minimum activity of the row over the current bounds *excluding*
+//!   variable `j`. If `m_j + a_j > b` then `x_j = 1` is impossible in every
+//!   completion, so `x_j` is fixed to 0; if `m_j > b` then `x_j = 0` is
+//!   impossible and `x_j` is fixed to 1. Singleton rows (`a·x ≤ b`) are the
+//!   degenerate case `m_j = 0`. Equality rows are processed in both
+//!   directions.
+//! * **Coefficient tightening** (Savelsbergh-style). For a `≤` row with a
+//!   binary `x_j`, `a_j > 0`, and finite maximum activity `M` of the other
+//!   terms: when `M ≤ b` and `M > b − a_j`, replacing `(a_j, b)` with
+//!   `(M − b + a_j, M)` keeps both 0/1 completions of the row exactly as
+//!   feasible as before while shrinking the fractional region. Rows with
+//!   unbounded activity (e.g. the fusion time rows over free `T_i`) are
+//!   skipped.
+
+use crate::problem::{Problem, Sense, VarKind};
+use crate::simplex::Bounds;
+
+const TOL: f64 = 1e-9;
+
+/// Outcome of [`presolve`].
+pub(crate) struct PresolveResult {
+    /// Root bounds with presolve-fixed binaries (`lo == hi`).
+    pub bounds: Bounds,
+    /// A copy of the problem with tightened rows; variables and objective
+    /// are untouched, so assignments and objective values are directly
+    /// comparable with the original.
+    pub problem: Problem,
+    /// The bounds alone prove the integer problem infeasible.
+    pub infeasible: bool,
+    /// Binaries fixed by bound implication (diagnostics/tests only).
+    #[allow(dead_code)]
+    pub fixed_binaries: usize,
+    /// Coefficients tightened (diagnostics/tests only).
+    #[allow(dead_code)]
+    pub tightened: usize,
+}
+
+/// One row viewed in `≤` form: `sign · (terms) ≤ sign · rhs` with
+/// `sign ∈ {+1, −1}` (−1 reads a `≥` row as `≤`).
+struct LeView {
+    sign: f64,
+}
+
+impl LeView {
+    fn coef(&self, a: f64) -> f64 {
+        self.sign * a
+    }
+}
+
+/// Minimum/maximum of `a · x` over `x ∈ [lo, hi]` (infinity-aware).
+fn term_range(a: f64, lo: f64, hi: f64) -> (f64, f64) {
+    let p = a * lo;
+    let q = a * hi;
+    if p <= q {
+        (p, q)
+    } else {
+        (q, p)
+    }
+}
+
+/// Runs bound-implied binary fixing and coefficient tightening to a
+/// fixpoint (bounded rounds). See the module docs for the exact rules.
+pub(crate) fn presolve(problem: &Problem, root: &Bounds) -> PresolveResult {
+    let mut bounds = root.clone();
+    let mut tightened_problem = problem.clone();
+    let mut infeasible = false;
+    let mut fixed_binaries = 0usize;
+    let mut tightened = 0usize;
+
+    let is_binary: Vec<bool> =
+        problem.variables().iter().map(|v| matches!(v.kind, VarKind::Binary)).collect();
+
+    'rounds: for _ in 0..4 {
+        let mut changed = false;
+        for row_idx in 0..tightened_problem.num_constraints() {
+            let (sense, rhs) = {
+                let c = &tightened_problem.constraints()[row_idx];
+                (c.sense, c.rhs)
+            };
+            // Rows with duplicate variables are left alone (none of our
+            // model builders emit them; correctness first).
+            let has_dup = {
+                let terms = &tightened_problem.constraints()[row_idx].terms;
+                let mut seen: Vec<u32> = terms.iter().map(|&(v, _)| v.index() as u32).collect();
+                seen.sort_unstable();
+                seen.windows(2).any(|w| w[0] == w[1])
+            };
+            if has_dup {
+                continue;
+            }
+
+            let views: &[LeView] = match sense {
+                Sense::Le => &[LeView { sign: 1.0 }],
+                Sense::Ge => &[LeView { sign: -1.0 }],
+                Sense::Eq => &[LeView { sign: 1.0 }, LeView { sign: -1.0 }],
+            };
+            for view in views {
+                let b = view.sign * rhs;
+                // Activity range over the current bounds.
+                let mut min_act = 0.0f64;
+                let mut max_act = 0.0f64;
+                for &(v, a) in &tightened_problem.constraints()[row_idx].terms {
+                    let (lo, hi) = (bounds.lo[v.index()], bounds.hi[v.index()]);
+                    let (mn, mx) = term_range(view.coef(a), lo, hi);
+                    min_act += mn;
+                    max_act += mx;
+                }
+                if min_act > b + TOL {
+                    infeasible = true;
+                    break 'rounds;
+                }
+
+                // Binary fixing.
+                let terms: Vec<(usize, f64)> = tightened_problem.constraints()[row_idx]
+                    .terms
+                    .iter()
+                    .map(|&(v, a)| (v.index(), view.coef(a)))
+                    .collect();
+                for &(j, a) in &terms {
+                    if !is_binary[j] || bounds.hi[j] - bounds.lo[j] < 0.5 {
+                        continue;
+                    }
+                    let (mn_j, _) = term_range(a, bounds.lo[j], bounds.hi[j]);
+                    let m = min_act - mn_j;
+                    if m + a > b + TOL {
+                        // x_j = 1 violates even the best completion.
+                        bounds.hi[j] = 0.0;
+                        fixed_binaries += 1;
+                        changed = true;
+                    } else if m > b + TOL {
+                        // x_j = 0 violates even the best completion.
+                        bounds.lo[j] = 1.0;
+                        fixed_binaries += 1;
+                        changed = true;
+                    }
+                    if bounds.lo[j] > bounds.hi[j] + TOL {
+                        infeasible = true;
+                        break 'rounds;
+                    }
+                }
+
+                // Coefficient tightening (inequality rows only).
+                if sense == Sense::Eq {
+                    continue;
+                }
+                for (pos, &(j, a)) in terms.iter().enumerate() {
+                    if !is_binary[j] || a <= TOL || bounds.hi[j] - bounds.lo[j] < 0.5 {
+                        continue;
+                    }
+                    let (_, mx_j) = term_range(a, bounds.lo[j], bounds.hi[j]);
+                    let m = max_act - mx_j;
+                    if !m.is_finite() {
+                        continue;
+                    }
+                    if m <= b + TOL && m > b - a + TOL {
+                        let new_a = m - b + a;
+                        let c = &mut tightened_problem.constraints_mut()[row_idx];
+                        c.terms[pos].1 = view.coef(new_a);
+                        c.rhs = view.sign * m;
+                        tightened += 1;
+                        changed = true;
+                        // Row changed: move on; the next round revisits it.
+                        break;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    PresolveResult { bounds, problem: tightened_problem, infeasible, fixed_binaries, tightened }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Sense;
+
+    #[test]
+    fn fixes_binary_that_cannot_fit() {
+        // 10 a + b <= 5: a can never be 1.
+        let mut p = Problem::new("t");
+        let a = p.add_binary("a", -1.0);
+        let b = p.add_binary("b", -1.0);
+        p.add_constraint("cap", vec![(a, 10.0), (b, 1.0)], Sense::Le, 5.0);
+        let pre = presolve(&p, &Bounds::of(&p));
+        assert!(!pre.infeasible);
+        assert_eq!(pre.fixed_binaries, 1);
+        assert_eq!(pre.bounds.hi[0], 0.0);
+        assert_eq!(pre.bounds.hi[1], 1.0);
+    }
+
+    #[test]
+    fn fixes_binary_forced_on_by_ge_row() {
+        // a + b >= 2 over binaries: both must be 1.
+        let mut p = Problem::new("t");
+        let a = p.add_binary("a", 1.0);
+        let b = p.add_binary("b", 1.0);
+        p.add_constraint("need", vec![(a, 1.0), (b, 1.0)], Sense::Ge, 2.0);
+        let pre = presolve(&p, &Bounds::of(&p));
+        assert!(!pre.infeasible);
+        assert_eq!(pre.fixed_binaries, 2);
+        assert_eq!(pre.bounds.lo[0], 1.0);
+        assert_eq!(pre.bounds.lo[1], 1.0);
+    }
+
+    #[test]
+    fn detects_infeasible_from_bounds_alone() {
+        let mut p = Problem::new("t");
+        let a = p.add_binary("a", 1.0);
+        let b = p.add_binary("b", 1.0);
+        p.add_constraint("need", vec![(a, 1.0), (b, 1.0)], Sense::Ge, 3.0);
+        let pre = presolve(&p, &Bounds::of(&p));
+        assert!(pre.infeasible);
+    }
+
+    #[test]
+    fn tightens_knapsack_coefficient() {
+        // 3a + 3b <= 5: with b at most 1, M = 3 for each var; M <= 5 and
+        // M > 5 - 3 = 2, so a's coefficient tightens to 3 - 5 + 3 = 1 with
+        // rhs 3 (and then the row is re-tightened symmetrically). The 0/1
+        // feasible set ({a+b <= 1... actually both can't be 1: 6 > 5}) is
+        // exactly preserved.
+        let mut p = Problem::new("t");
+        let a = p.add_binary("a", -1.0);
+        let b = p.add_binary("b", -1.0);
+        p.add_constraint("cap", vec![(a, 3.0), (b, 3.0)], Sense::Le, 5.0);
+        let pre = presolve(&p, &Bounds::of(&p));
+        assert!(pre.tightened >= 1, "expected at least one tightening");
+        // Exactness: every 0/1 point keeps its feasibility classification.
+        for (x, y) in [(0.0, 0.0), (1.0, 0.0), (0.0, 1.0), (1.0, 1.0)] {
+            assert_eq!(
+                p.is_feasible(&[x, y], 1e-9),
+                pre.problem.is_feasible(&[x, y], 1e-9),
+                "({x},{y}) classification changed"
+            );
+        }
+    }
+
+    #[test]
+    fn skips_rows_with_unbounded_activity() {
+        // T free above: tightening must not touch the row.
+        let mut p = Problem::new("t");
+        let t = p.add_continuous("T", 0.0, f64::INFINITY, 1.0);
+        let a = p.add_binary("a", 0.0);
+        p.add_constraint("time", vec![(t, 1.0), (a, 2.0)], Sense::Ge, 3.0);
+        let before = p.constraints()[0].terms.clone();
+        let pre = presolve(&p, &Bounds::of(&p));
+        assert_eq!(pre.tightened, 0);
+        assert_eq!(pre.problem.constraints()[0].terms, before);
+    }
+}

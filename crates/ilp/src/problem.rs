@@ -158,6 +158,11 @@ impl Problem {
         &self.constraints
     }
 
+    /// Mutable constraint rows (presolve rewrites coefficients in place).
+    pub(crate) fn constraints_mut(&mut self) -> &mut Vec<Constraint> {
+        &mut self.constraints
+    }
+
     /// Indices of the binary variables.
     #[must_use]
     pub fn binary_vars(&self) -> Vec<VarId> {

@@ -4,10 +4,16 @@
 //! * Variables are shifted to nonnegative form; finite upper bounds become
 //!   explicit slack rows (simple and adequate for the fusion-ILP sizes this
 //!   solver targets).
-//! * Dantzig pricing with a Bland's-rule fallback to guarantee termination
-//!   in the presence of degeneracy.
+//! * Dantzig pricing with an anti-cycling guard: after
+//!   `DEGEN_PIVOT_LIMIT` consecutive degenerate pivots the pricing falls
+//!   back to Bland's rule (which provably cannot cycle) until a pivot makes
+//!   objective progress again.
 //! * Phase 1 minimizes artificial infeasibility; redundant rows whose
 //!   artificial cannot be pivoted out are left basic at zero.
+//! * [`solve_lp_warm`] accepts a *crash basis* — the structural variables
+//!   basic at a related solve's optimum. They are pivoted in before phase 1
+//!   using min-ratio rows (feasibility-preserving), which typically leaves
+//!   both phases only a few pivots of work on branch-and-bound child nodes.
 
 use crate::problem::{Problem, Sense, VarKind};
 
@@ -33,6 +39,11 @@ pub struct LpSolution {
     pub objective: f64,
     /// Variable assignment, indexed by [`crate::VarId`].
     pub values: Vec<f64>,
+    /// Simplex pivots performed (crash + phase 1 + phase 2).
+    pub pivots: u64,
+    /// Structural variables basic at termination (sorted ascending). Feed
+    /// these to [`solve_lp_warm`] to crash-start a related solve.
+    pub basic_structurals: Vec<usize>,
 }
 
 /// Per-variable effective bounds used by branch-and-bound to fix binaries
@@ -70,16 +81,37 @@ impl Bounds {
 
 const EPS: f64 = 1e-9;
 
+/// Consecutive degenerate pivots tolerated before pricing falls back to
+/// Bland's rule (see [`Tableau::iterate`]).
+const DEGEN_PIVOT_LIMIT: usize = 12;
+
 /// Solves the LP relaxation of `problem` under `bounds`.
 #[must_use]
 pub fn solve_lp(problem: &Problem, bounds: &Bounds) -> LpSolution {
+    solve_lp_warm(problem, bounds, None)
+}
+
+/// Solves the LP relaxation with an optional crash basis: structural
+/// variable indices that were basic at a related solve's optimum (e.g. the
+/// branch-and-bound parent node). They are pivoted in up front with
+/// feasibility-preserving min-ratio pivots, which usually shortens both
+/// simplex phases. The returned solution is unaffected by the hint.
+#[must_use]
+pub fn solve_lp_warm(problem: &Problem, bounds: &Bounds, crash: Option<&[usize]>) -> LpSolution {
     Tableau::build(problem, bounds).map_or(
         LpSolution {
             status: LpStatus::Infeasible,
             objective: f64::INFINITY,
             values: vec![0.0; problem.num_vars()],
+            pivots: 0,
+            basic_structurals: Vec::new(),
         },
-        |mut t| t.solve(problem),
+        |mut t| {
+            if let Some(hint) = crash {
+                t.crash_basis(hint, bounds);
+            }
+            t.solve(problem)
+        },
     )
 }
 
@@ -98,6 +130,8 @@ struct Tableau {
     shifts: Vec<f64>,
     /// Objective row (length cols + 1; last entry is -objective value).
     cost: Vec<f64>,
+    /// Pivots performed so far (crash + phase 1 + phase 2).
+    pivots: u64,
 }
 
 impl Tableau {
@@ -172,6 +206,7 @@ impl Tableau {
             n_struct: n,
             shifts,
             cost: vec![0.0; cols + 1],
+            pivots: 0,
         };
 
         let mut slack_idx = n;
@@ -261,20 +296,64 @@ impl Tableau {
             self.cost[pc] = 0.0;
         }
         self.basis[pr] = pc;
+        self.pivots += 1;
+    }
+
+    /// Crash-pivots the hinted structural columns into the basis before any
+    /// simplex phase runs. Each pivot uses the global minimum-ratio row
+    /// (preserving the nonnegative RHS the phases rely on), with ties broken
+    /// toward rows whose basic variable is a slack/artificial; a column is
+    /// skipped when its min-ratio row holds another structural variable
+    /// (never evict crashed work), when its pivot element is numerically
+    /// risky, or when the variable is fixed in this node's bounds.
+    fn crash_basis(&mut self, hint: &[usize], bounds: &Bounds) {
+        for &j in hint {
+            if j >= self.n_struct || bounds.hi[j] - bounds.lo[j] <= EPS || self.basis.contains(&j) {
+                continue;
+            }
+            let mut pr: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for r in 0..self.rows {
+                let a = self.at(r, j);
+                if a > EPS {
+                    let ratio = self.at(r, self.cols) / a;
+                    let better = ratio < best_ratio - EPS
+                        || (ratio < best_ratio + EPS
+                            && pr.is_some_and(|p| {
+                                let (br, bp) = (self.basis[r], self.basis[p]);
+                                let (r_aux, p_aux) = (br >= self.n_struct, bp >= self.n_struct);
+                                (r_aux && !p_aux) || (r_aux == p_aux && br < bp)
+                            }));
+                    if better {
+                        best_ratio = ratio;
+                        pr = Some(r);
+                    }
+                }
+            }
+            let Some(pr) = pr else { continue };
+            if self.basis[pr] < self.n_struct || self.at(pr, j) < 1e-7 {
+                continue;
+            }
+            self.pivot(pr, j);
+        }
     }
 
     /// Runs simplex iterations until optimality/unboundedness/limit.
     /// `allow_artificial` permits artificial columns to enter (phase 1 only).
     fn iterate(&mut self, allow_artificial: bool, max_iters: usize) -> LpStatus {
         let mut iters = 0;
-        let bland_after = max_iters / 2;
+        // Anti-cycling guard: Dantzig pricing can cycle on degenerate
+        // vertices. After DEGEN_PIVOT_LIMIT consecutive zero-progress
+        // pivots, switch to Bland's rule (provably cycle-free) until a
+        // pivot moves the objective again.
+        let mut degenerate_run = 0usize;
         loop {
             if iters >= max_iters {
                 return LpStatus::IterLimit;
             }
             iters += 1;
             // Entering column.
-            let use_bland = iters > bland_after;
+            let use_bland = degenerate_run >= DEGEN_PIVOT_LIMIT;
             let mut pc: Option<usize> = None;
             let mut best = -EPS;
             let limit = if allow_artificial { self.cols } else { self.artificial_start };
@@ -309,6 +388,11 @@ impl Tableau {
                 }
             }
             let Some(pr) = pr else { return LpStatus::Unbounded };
+            if best_ratio <= EPS {
+                degenerate_run += 1;
+            } else {
+                degenerate_run = 0;
+            }
             self.pivot(pr, pc);
         }
     }
@@ -330,6 +414,8 @@ impl Tableau {
                     status: LpStatus::Infeasible,
                     objective: f64::INFINITY,
                     values: vec![0.0; problem.num_vars()],
+                    pivots: self.pivots,
+                    basic_structurals: Vec::new(),
                 };
             }
             // Pivot out any artificial still basic (at zero).
@@ -355,17 +441,22 @@ impl Tableau {
                 status,
                 objective: f64::NEG_INFINITY,
                 values: vec![0.0; problem.num_vars()],
+                pivots: self.pivots,
+                basic_structurals: Vec::new(),
             };
         }
 
         // Extract solution.
         let mut x = vec![0.0; self.n_struct];
+        let mut basic_structurals = Vec::new();
         for r in 0..self.rows {
             let b = self.basis[r];
             if b < self.n_struct {
                 x[b] = self.at(r, self.cols);
+                basic_structurals.push(b);
             }
         }
+        basic_structurals.sort_unstable();
         for (i, xi) in x.iter_mut().enumerate() {
             *xi += self.shifts[i];
         }
@@ -378,6 +469,8 @@ impl Tableau {
             },
             objective,
             values: x,
+            pivots: self.pivots,
+            basic_structurals,
         }
     }
 }
@@ -497,6 +590,68 @@ mod tests {
         bounds.hi[0] = 0.0;
         let s = solve_lp(&p, &bounds);
         assert_eq!(s.status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn beale_cycling_lp_terminates_quickly() {
+        // Beale's classic example: Dantzig pricing with naive tie-breaking
+        // cycles forever at the degenerate origin vertex. The degenerate-run
+        // counter must hand pricing to Bland's rule long before the
+        // iteration limit, so the solve both finishes and stays cheap.
+        let mut p = Problem::new("beale");
+        let x1 = p.add_continuous("x1", 0.0, f64::INFINITY, -0.75);
+        let x2 = p.add_continuous("x2", 0.0, f64::INFINITY, 150.0);
+        let x3 = p.add_continuous("x3", 0.0, f64::INFINITY, -0.02);
+        let x4 = p.add_continuous("x4", 0.0, f64::INFINITY, 6.0);
+        p.add_constraint(
+            "r1",
+            vec![(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)],
+            crate::Sense::Le,
+            0.0,
+        );
+        p.add_constraint(
+            "r2",
+            vec![(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)],
+            crate::Sense::Le,
+            0.0,
+        );
+        p.add_constraint("r3", vec![(x3, 1.0)], crate::Sense::Le, 1.0);
+        let s = solve(&p);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.objective - (-0.05)).abs() < 1e-9, "{}", s.objective);
+        assert!(s.pivots < 200, "anti-cycling guard did not engage: {} pivots", s.pivots);
+    }
+
+    #[test]
+    fn crash_basis_preserves_answer() {
+        let mut p = Problem::new("t");
+        let x = p.add_continuous("x", 0.0, 3.0, -1.0);
+        let y = p.add_continuous("y", 0.0, 2.0, -2.0);
+        p.add_constraint("cap", vec![(x, 1.0), (y, 1.0)], crate::Sense::Le, 4.0);
+        let cold = solve_lp(&p, &Bounds::of(&p));
+        assert_eq!(cold.status, LpStatus::Optimal);
+        assert!(cold.pivots > 0);
+        assert_eq!(cold.basic_structurals, vec![0, 1]);
+        let warm = solve_lp_warm(&p, &Bounds::of(&p), Some(&cold.basic_structurals));
+        assert_eq!(warm.status, LpStatus::Optimal);
+        assert!((warm.objective - cold.objective).abs() < 1e-9);
+        assert!((warm.values[0] - cold.values[0]).abs() < 1e-9);
+        assert!((warm.values[1] - cold.values[1]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn crash_basis_skips_fixed_and_out_of_range_hints() {
+        let mut p = Problem::new("t");
+        let a = p.add_binary("a", -1.0);
+        let b = p.add_binary("b", -1.0);
+        p.add_constraint("c", vec![(a, 1.0), (b, 1.0)], crate::Sense::Le, 2.0);
+        let mut bounds = Bounds::of(&p);
+        bounds.lo[0] = 0.0;
+        bounds.hi[0] = 0.0; // fixed: the hint for column 0 must be ignored
+        let s = solve_lp_warm(&p, &bounds, Some(&[0, 1, 99]));
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!(s.values[0].abs() < 1e-9);
+        assert!((s.values[1] - 1.0).abs() < 1e-6);
     }
 
     #[test]

@@ -35,8 +35,10 @@ pub const MAGIC: [u8; 8] = *b"FASTSRV1";
 
 /// Protocol version; both sides must agree exactly. Version 2 added the
 /// multi-fidelity fields: [`JobEvent::Round::full_evals`] and
-/// [`JobEvent::ScenarioFinished::fidelity`].
-pub const VERSION: u32 = 2;
+/// [`JobEvent::ScenarioFinished::fidelity`]. Version 3 added
+/// [`StagedTraffic::solver`], the per-job exact-solver counters (warm-start
+/// hit rate, branch-and-bound node counts, simplex pivots).
+pub const VERSION: u32 = 3;
 
 /// Hard ceiling on a frame payload. A header claiming more is rejected
 /// before any payload byte is read or allocated.
@@ -80,7 +82,8 @@ impl From<CacheStats> for Traffic {
 }
 
 /// Per-stage traffic: op tier (Stage A), sim tier (Stage B), fuse tier
-/// (Stage C) — the wire mirror of [`fast_core::StagedCacheStats`].
+/// (Stage C) plus exact-solver counters — the wire mirror of
+/// [`fast_core::StagedCacheStats`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StagedTraffic {
     /// Per-op mapper lookups.
@@ -89,11 +92,60 @@ pub struct StagedTraffic {
     pub sim: Traffic,
     /// Fusion solves.
     pub fuse: Traffic,
+    /// Exact-solver work behind the fuse misses (all zero on the default
+    /// heuristic-only fusion path).
+    pub solver: SolverTraffic,
+}
+
+/// Exact-fusion solver counters, as carried on the wire (the serve-local
+/// mirror of [`fast_core::SolverStats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverTraffic {
+    /// Exact solves seeded by a cross-point warm-start incumbent.
+    pub warm_hits: u64,
+    /// Exact solves with no usable incumbent.
+    pub warm_misses: u64,
+    /// Branch-and-bound nodes spent in warm-seeded solves.
+    pub warm_nodes: u64,
+    /// Branch-and-bound nodes spent in cold solves.
+    pub cold_nodes: u64,
+    /// Total simplex pivots across all exact solves.
+    pub lp_pivots: u64,
+}
+
+impl SolverTraffic {
+    /// Warm-start hit rate over the exact solves (0 when none ran).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.warm_hits + self.warm_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.warm_hits as f64 / total as f64
+        }
+    }
+}
+
+impl From<fast_core::SolverStats> for SolverTraffic {
+    fn from(s: fast_core::SolverStats) -> Self {
+        SolverTraffic {
+            warm_hits: s.warm_hits,
+            warm_misses: s.warm_misses,
+            warm_nodes: s.warm_nodes,
+            cold_nodes: s.cold_nodes,
+            lp_pivots: s.lp_pivots,
+        }
+    }
 }
 
 impl From<StagedCacheStats> for StagedTraffic {
     fn from(s: StagedCacheStats) -> Self {
-        StagedTraffic { op: s.op.into(), sim: s.sim.into(), fuse: s.fuse.into() }
+        StagedTraffic {
+            op: s.op.into(),
+            sim: s.sim.into(),
+            fuse: s.fuse.into(),
+            solver: s.solver.into(),
+        }
     }
 }
 
@@ -113,10 +165,11 @@ impl Decode for Traffic {
 
 impl Encode for StagedTraffic {
     fn encode(&self, w: &mut Writer) {
-        let StagedTraffic { op, sim, fuse } = self;
+        let StagedTraffic { op, sim, fuse, solver } = self;
         op.encode(w);
         sim.encode(w);
         fuse.encode(w);
+        solver.encode(w);
     }
 }
 
@@ -126,6 +179,30 @@ impl Decode for StagedTraffic {
             op: Decode::decode(r)?,
             sim: Decode::decode(r)?,
             fuse: Decode::decode(r)?,
+            solver: Decode::decode(r)?,
+        })
+    }
+}
+
+impl Encode for SolverTraffic {
+    fn encode(&self, w: &mut Writer) {
+        let SolverTraffic { warm_hits, warm_misses, warm_nodes, cold_nodes, lp_pivots } = self;
+        w.put_u64(*warm_hits);
+        w.put_u64(*warm_misses);
+        w.put_u64(*warm_nodes);
+        w.put_u64(*cold_nodes);
+        w.put_u64(*lp_pivots);
+    }
+}
+
+impl Decode for SolverTraffic {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(SolverTraffic {
+            warm_hits: r.get_u64()?,
+            warm_misses: r.get_u64()?,
+            warm_nodes: r.get_u64()?,
+            cold_nodes: r.get_u64()?,
+            lp_pivots: r.get_u64()?,
         })
     }
 }

@@ -166,6 +166,58 @@ impl<K: Eq + Hash, V: Clone> Tier<K, V> {
         cell.get_or_init(compute).clone()
     }
 
+    /// Batched [`Tier::get_or_compute`]: resolves a whole key list in one
+    /// pass, computing all of this call's first-asked keys together.
+    ///
+    /// `compute_batch` receives the indices (into `keys`) this call owns —
+    /// each distinct uncached key exactly once, at its first occurrence —
+    /// and must return one value per index, in order. `compute_one` is the
+    /// rare fallback for a key whose cell another thread registered but has
+    /// not finished computing (this call then resolves it alone, exactly
+    /// like the sequential path).
+    ///
+    /// Hit/miss accounting is identical to asking the keys one at a time in
+    /// order: the first occurrence of an uncached key is the one miss;
+    /// duplicates and already-cached keys are hits.
+    pub fn get_or_compute_batch(
+        &self,
+        keys: Vec<K>,
+        compute_batch: impl FnOnce(&[usize]) -> Vec<V>,
+        mut compute_one: impl FnMut(usize) -> V,
+    ) -> Vec<V> {
+        let mut cells: Vec<Arc<OnceLock<V>>> = Vec::with_capacity(keys.len());
+        let mut owned: Vec<usize> = Vec::new();
+        {
+            let mut entries = self.entries.lock().expect("cache tier poisoned");
+            for (i, key) in keys.into_iter().enumerate() {
+                match entries.entry(key) {
+                    std::collections::hash_map::Entry::Occupied(e) => {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        cells.push(e.get().clone());
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        self.misses.fetch_add(1, Ordering::Relaxed);
+                        owned.push(i);
+                        cells.push(e.insert(Arc::new(OnceLock::new())).clone());
+                    }
+                }
+            }
+        }
+        if !owned.is_empty() {
+            let values = compute_batch(&owned);
+            debug_assert_eq!(values.len(), owned.len(), "one value per owned index");
+            for (&i, v) in owned.iter().zip(values) {
+                // The cell was created by this call; nobody else sets it.
+                let _ = cells[i].set(v);
+            }
+        }
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, cell)| cell.get_or_init(|| compute_one(i)).clone())
+            .collect()
+    }
+
     /// Hit/miss totals since this tier was created.
     #[must_use]
     pub fn stats(&self) -> CacheStats {
@@ -253,6 +305,35 @@ impl MapperCache {
         self.tier
             .get_or_compute(key, || map_op(nest, cfg, opts.padding, opts.dataflows))
             .map_err(|cause| cause.for_op(op))
+    }
+
+    /// Batched [`MapperCache::map`]: resolves a workload's worth of nests
+    /// in one pass, answering hits from the cache and pricing all misses
+    /// together through the batched mapper (`map_ops_batch`) — one L1
+    /// precondition check and a contiguous costing pass instead of per-op
+    /// dispatch.
+    ///
+    /// Results (including per-op failures, with each asking op's name
+    /// attached) and hit/miss accounting are bit-identical to calling
+    /// [`MapperCache::map`] per `(nest, op)` pair in order.
+    pub fn map_batch(
+        &self,
+        nests: &[fast_ir::LoopNest],
+        cfg: &DatapathConfig,
+        opts: &SimOptions,
+        ops: &[&str],
+    ) -> Vec<Result<Mapping, SimError>> {
+        debug_assert_eq!(nests.len(), ops.len(), "one op name per nest");
+        let keys: Vec<OpKey> = nests.iter().map(|n| OpKey::of(n, cfg, opts)).collect();
+        let results = self.tier.get_or_compute_batch(
+            keys,
+            |owned| {
+                let miss_nests: Vec<fast_ir::LoopNest> = owned.iter().map(|&i| nests[i]).collect();
+                crate::mapper::map_ops_batch(&miss_nests, cfg, opts.padding, opts.dataflows)
+            },
+            |i| map_op(&nests[i], cfg, opts.padding, opts.dataflows),
+        );
+        results.into_iter().zip(ops).map(|(r, op)| r.map_err(|cause| cause.for_op(op))).collect()
     }
 
     /// Hit/miss totals since this cache was created.
@@ -347,6 +428,50 @@ mod tests {
         let cached = cache.map(&n, &cfg, &opts, "op").unwrap();
         let direct = crate::map_matrix_op(&n, &cfg, opts.padding, opts.dataflows, "op").unwrap();
         assert_eq!(cached, direct);
+    }
+
+    #[test]
+    fn batch_counts_hits_and_misses_like_sequential() {
+        let cfg = presets::fast_large();
+        let opts = SimOptions::default();
+        let a = nest(8, 28, 256, 256);
+        let b = nest(8, 14, 512, 512);
+        let c = nest(4, 14, 512, 128);
+
+        // Pre-warm `b`, then batch [a, b, a, c]: sequentially that is
+        // miss, hit, hit (duplicate), miss.
+        let cache = MapperCache::new();
+        let _ = cache.map(&b, &cfg, &opts, "warm").unwrap();
+        let batch = cache.map_batch(&[a, b, a, c], &cfg, &opts, &["op_a", "op_b", "op_a2", "op_c"]);
+        assert_eq!(cache.stats(), CacheStats { hits: 2, misses: 3 });
+        assert_eq!(cache.len(), 3);
+
+        // Values equal the sequential path's, entry for entry.
+        let seq = MapperCache::new();
+        let _ = seq.map(&b, &cfg, &opts, "warm").unwrap();
+        for (n, got) in [a, b, a, c].iter().zip(&batch) {
+            let want = seq.map(n, &cfg, &opts, "x").unwrap();
+            assert_eq!(got.as_ref().unwrap(), &want);
+        }
+        assert_eq!(seq.stats(), CacheStats { hits: 2, misses: 3 });
+    }
+
+    #[test]
+    fn batch_failures_carry_each_asking_ops_name() {
+        let cache = MapperCache::new();
+        let mut cfg = presets::tpu_v3();
+        cfg.l1_input_kib = 1;
+        cfg.l1_weight_kib = 1;
+        cfg.l1_output_kib = 1;
+        let opts = SimOptions::default();
+        let n = nest(1, 28, 256, 256);
+        let batch = cache.map_batch(&[n, n], &cfg, &opts, &["conv_1", "conv_2"]);
+        let [first, second] = &batch[..] else { panic!("two results") };
+        let (first, second) = (first.as_ref().unwrap_err(), second.as_ref().unwrap_err());
+        assert_eq!(first.op, "conv_1");
+        assert_eq!(second.op, "conv_2");
+        assert_eq!(first.cause, second.cause);
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
     }
 
     #[test]

@@ -310,10 +310,24 @@ pub fn simulate_staged(
     let mut node_is_matrix = vec![false; graph.len()];
     let mut node_spill = vec![0u64; graph.len()];
 
+    // Pass 1: gather every matrix op's nest, then price them through the
+    // cache in one batch — misses share one L1 check and a contiguous
+    // costing pass. Results come back in node order, so taking the first
+    // error below reports exactly the op a per-node loop would have.
+    let mut matrix_nests = Vec::new();
+    let mut matrix_ops = Vec::new();
+    for node in graph.nodes() {
+        if let Some(nest) = graph.loop_nest(node.id()) {
+            matrix_nests.push(nest);
+            matrix_ops.push(node.name());
+        }
+    }
+    let mut mapped = mapper.map_batch(&matrix_nests, cfg, opts, &matrix_ops).into_iter();
+
     for node in graph.nodes() {
         let id = node.id();
-        let (compute_seconds, sa_util, spill) = if let Some(nest) = graph.loop_nest(id) {
-            let mapping = mapper.map(&nest, cfg, opts, node.name())?;
+        let (compute_seconds, sa_util, spill) = if graph.loop_nest(id).is_some() {
+            let mapping = mapped.next().expect("one batched mapping per matrix op")?;
             (mapping.compute_cycles as f64 / clock_hz, Some(mapping.utilization), 0u64)
         } else {
             let in_elements: u64 =

@@ -258,6 +258,28 @@ pub(crate) fn map_op(
     dataflows: DataflowSet,
 ) -> Result<Mapping, MapFailure> {
     check_l1(cfg)?;
+    check_padding(nest, cfg, padding)?;
+
+    let mut best: Option<Mapping> = None;
+    for &df in dataflows.candidates() {
+        let cost = match df {
+            Dataflow::WeightStationary => cost_weight_stationary(nest, cfg),
+            Dataflow::OutputStationary => cost_output_stationary(nest, cfg),
+        };
+        let m = finish_candidate(nest, cfg, df, cost);
+        if best.as_ref().is_none_or(|b| m.compute_cycles < b.compute_cycles) {
+            best = Some(m);
+        }
+    }
+    Ok(best.expect("at least one dataflow candidate"))
+}
+
+/// The exact-factorization precondition of [`PaddingMode::Exact`].
+fn check_padding(
+    nest: &LoopNest,
+    cfg: &DatapathConfig,
+    padding: PaddingMode,
+) -> Result<(), MapFailure> {
     if padding == PaddingMode::Exact {
         let reduction = nest.reduction_extent();
         if !reduction.is_multiple_of(cfg.sa_x) && reduction > cfg.sa_x {
@@ -271,30 +293,104 @@ pub(crate) fn map_op(
             });
         }
     }
+    Ok(())
+}
 
-    let true_macs = nest.macs();
-    let mut best: Option<Mapping> = None;
-    for &df in dataflows.candidates() {
-        let (one_pe_cycles, units, padded) = match df {
-            Dataflow::WeightStationary => cost_weight_stationary(nest, cfg),
-            Dataflow::OutputStationary => cost_output_stationary(nest, cfg),
-        };
-        let per_unit = one_pe_cycles.div_ceil(units.max(1));
-        let cycles = parallelize(one_pe_cycles, units, per_unit, cfg).max(1);
-        let peak_macs_per_cycle = (cfg.pes_per_core() * cfg.macs_per_pe()) as f64;
-        let utilization = (true_macs as f64 / (cycles as f64 * peak_macs_per_cycle)).min(1.0);
-        let m = Mapping {
-            dataflow: df,
-            compute_cycles: cycles,
-            utilization,
-            weight_latches: units,
-            padded_macs: padded,
-        };
-        if best.as_ref().is_none_or(|b| m.compute_cycles < b.compute_cycles) {
-            best = Some(m);
-        }
+/// Turns one dataflow candidate's raw cost triple into a [`Mapping`] — the
+/// shared tail of [`map_op`] and [`map_ops_batch`], so both produce
+/// bit-identical numbers from identical costs.
+fn finish_candidate(
+    nest: &LoopNest,
+    cfg: &DatapathConfig,
+    df: Dataflow,
+    (one_pe_cycles, units, padded): (u64, u64, u64),
+) -> Mapping {
+    let per_unit = one_pe_cycles.div_ceil(units.max(1));
+    let cycles = parallelize(one_pe_cycles, units, per_unit, cfg).max(1);
+    let peak_macs_per_cycle = (cfg.pes_per_core() * cfg.macs_per_pe()) as f64;
+    let utilization = (nest.macs() as f64 / (cycles as f64 * peak_macs_per_cycle)).min(1.0);
+    Mapping {
+        dataflow: df,
+        compute_cycles: cycles,
+        utilization,
+        weight_latches: units,
+        padded_macs: padded,
     }
-    Ok(best.expect("at least one dataflow candidate"))
+}
+
+/// Floor lower bound on the *final* (post-[`parallelize`]) cycle count of
+/// every output-stationary schedule of `nest` — valid for all blocking
+/// factors `t` the search tries.
+///
+/// Derivation: for any `t`, `row_tiles ≥ stream/(sa_x·t)` and
+/// `per_tile ≥ reduction·t`, so the one-PE total is at least
+/// `latches · col_tiles · stream · reduction / sa_x` (the `t`s cancel), and
+/// [`parallelize`] never returns fewer than `one_pe / pes` cycles (each of
+/// its branches rounds a share of the total *up*). Integer floor division
+/// only ever lowers the bound, so it stays sound.
+fn os_final_cycles_lower_bound(nest: &LoopNest, cfg: &DatapathConfig) -> u64 {
+    let one_pe = nest.weight_latches as u128
+        * nest.of.div_ceil(cfg.sa_y) as u128
+        * nest.streaming_extent() as u128
+        * nest.reduction_extent() as u128
+        / cfg.sa_x as u128;
+    let final_lb = one_pe.div_ceil(cfg.pes_per_core().max(1) as u128).max(1);
+    u64::try_from(final_lb).unwrap_or(u64::MAX)
+}
+
+/// Batched [`map_op`]: prices every nest of a workload in one call,
+/// returning per-nest results in input order. Bit-identical to calling
+/// [`map_op`] per nest — the cost math is shared — but cheaper on the cold
+/// path:
+///
+/// * the L1 capacity preconditions read only the config, so they are
+///   checked once per batch instead of once per op;
+/// * the weight-stationary costs of the whole batch are priced first over
+///   contiguous arrays (one tight pass, no per-op dispatch);
+/// * the output-stationary blocking search (the expensive candidate: a
+///   seven-point `t` scan with divisions per point) runs only for nests
+///   where [`os_final_cycles_lower_bound`] beats the weight-stationary
+///   cycles. Since output-stationary must be *strictly* cheaper to be
+///   chosen, pruning a dominated candidate cannot change the answer.
+pub(crate) fn map_ops_batch(
+    nests: &[LoopNest],
+    cfg: &DatapathConfig,
+    padding: PaddingMode,
+    dataflows: DataflowSet,
+) -> Vec<Result<Mapping, MapFailure>> {
+    if let Err(cause) = check_l1(cfg) {
+        return nests.iter().map(|_| Err(cause.clone())).collect();
+    }
+    // SoA pricing pass: the weight-stationary cost triples and the
+    // output-stationary dominance bounds of the whole batch, gathered into
+    // contiguous arrays.
+    let ws_cost: Vec<(u64, u64, u64)> =
+        nests.iter().map(|n| cost_weight_stationary(n, cfg)).collect();
+    let os_bound: Vec<u64> = match dataflows {
+        DataflowSet::All => nests.iter().map(|n| os_final_cycles_lower_bound(n, cfg)).collect(),
+        DataflowSet::WeightStationaryOnly => Vec::new(),
+    };
+
+    nests
+        .iter()
+        .enumerate()
+        .map(|(i, nest)| {
+            check_padding(nest, cfg, padding)?;
+            let mut best = finish_candidate(nest, cfg, Dataflow::WeightStationary, ws_cost[i]);
+            if dataflows == DataflowSet::All && os_bound[i] < best.compute_cycles {
+                let os = finish_candidate(
+                    nest,
+                    cfg,
+                    Dataflow::OutputStationary,
+                    cost_output_stationary(nest, cfg),
+                );
+                if os.compute_cycles < best.compute_cycles {
+                    best = os;
+                }
+            }
+            Ok(best)
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -459,6 +555,120 @@ mod tests {
         let m = map(&nest, &cfg, DataflowSet::All);
         assert!(m.utilization <= 1.0);
         assert!(m.compute_cycles > 0);
+    }
+
+    /// Strategy over arbitrary loop nests, mappable or not.
+    struct AnyNest;
+
+    impl proptest::prelude::Strategy for AnyNest {
+        type Value = LoopNest;
+        fn sample(&self, rng: &mut rand::rngs::StdRng) -> LoopNest {
+            let ((b, oh, ow, if_), (of, kh, kw, latches), (act, reuse)) = (
+                (1u64..64, 1u64..32, 1u64..32, 1u64..512),
+                (1u64..512, 1u64..4, 1u64..4, 1u64..8),
+                (0u64..2, 1u64..10),
+            )
+                .sample(rng);
+            LoopNest {
+                b,
+                oh,
+                ow,
+                if_,
+                of,
+                kh,
+                kw,
+                weight_latches: latches,
+                stationary_is_activation: act != 0,
+                input_reuse: reuse,
+            }
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(48))]
+
+        /// Batched pricing is bit-identical to per-op pricing on arbitrary
+        /// nests, for every dataflow set and padding mode.
+        #[test]
+        fn batched_pricing_matches_singleton(
+            nests in proptest::collection::vec(AnyNest, 1..12usize),
+        ) {
+            use proptest::prelude::*;
+            for cfg in [presets::tpu_v3(), presets::fast_large()] {
+                for flows in [DataflowSet::All, DataflowSet::WeightStationaryOnly] {
+                    for padding in [PaddingMode::Pad, PaddingMode::Exact] {
+                        let batch = map_ops_batch(&nests, &cfg, padding, flows);
+                        for (n, got) in nests.iter().zip(&batch) {
+                            let want = map_op(n, &cfg, padding, flows);
+                            prop_assert_eq!(got, &want, "{:?} {:?} {:?}", n, flows, padding);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_pricing_matches_singleton_on_fixed_shapes() {
+        // A mix that exercises both prune outcomes: dense convs (OS
+        // dominated, pruned) and depthwise (OS wins, priced).
+        let nests = [
+            nest_conv(8, 28, 512, 512, 1),
+            nest_dw(8, 56, 144, 3),
+            nest_conv(1, 7, 100, 300, 3),
+            nest_conv(64, 14, 512, 512, 1),
+            nest_dw(1, 112, 32, 3),
+        ];
+        for cfg in [presets::tpu_v3(), presets::fast_large(), presets::fast_small()] {
+            for flows in [DataflowSet::All, DataflowSet::WeightStationaryOnly] {
+                for padding in [PaddingMode::Pad, PaddingMode::Exact] {
+                    let batch = map_ops_batch(&nests, &cfg, padding, flows);
+                    for (n, got) in nests.iter().zip(&batch) {
+                        let want = map_op(n, &cfg, padding, flows);
+                        assert_eq!(got, &want, "batch diverged on {n:?} ({flows:?}, {padding:?})");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_pricing_shares_one_l1_failure() {
+        let mut cfg = presets::tpu_v3();
+        cfg.l1_input_kib = 1;
+        cfg.l1_weight_kib = 1;
+        cfg.l1_output_kib = 1;
+        let nests = [nest_conv(1, 28, 256, 256, 1), nest_dw(8, 56, 144, 3)];
+        let batch = map_ops_batch(&nests, &cfg, PaddingMode::Pad, DataflowSet::All);
+        for (n, got) in nests.iter().zip(&batch) {
+            assert_eq!(got, &map_op(n, &cfg, PaddingMode::Pad, DataflowSet::All));
+            assert!(matches!(got, Err(MapFailure::WeightTileDoesNotFit { .. })), "{n:?}");
+        }
+    }
+
+    #[test]
+    fn os_lower_bound_never_exceeds_actual_cycles() {
+        for cfg in [presets::tpu_v3(), presets::fast_large(), presets::fast_small()] {
+            for nest in [
+                nest_conv(8, 28, 512, 512, 1),
+                nest_dw(8, 56, 144, 3),
+                nest_conv(1, 7, 100, 300, 3),
+                nest_dw(1, 112, 32, 3),
+            ] {
+                let os = finish_candidate(
+                    &nest,
+                    &cfg,
+                    Dataflow::OutputStationary,
+                    cost_output_stationary(&nest, &cfg),
+                );
+                let lb = os_final_cycles_lower_bound(&nest, &cfg);
+                assert!(
+                    lb <= os.compute_cycles,
+                    "bound {lb} > actual {} for {nest:?}",
+                    os.compute_cycles
+                );
+            }
+        }
     }
 
     #[test]
